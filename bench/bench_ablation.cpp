@@ -1,0 +1,151 @@
+// Ablation experiments for the design choices DESIGN.md calls out.
+//
+// A — mechanism ablation (the paper's machinery): availability on the
+//     cascading-shrink workload with garbage collection and/or registration
+//     disabled. Both mechanisms feed the `act` advancement that lets the
+//     majority check measure against the *latest* totally registered view;
+//     without either, `use` keeps every historical view and the dynamic
+//     service degrades to (at best) the static rule — the shrink blocks as
+//     soon as the component is not a majority of the initial membership.
+//
+// B — failure-detection tradeoff: suspect-timeout sweep vs recovery time
+//     (time to a re-formed primary after a member pause). Lower timeouts
+//     recover faster but a production deployment pays with false suspicions
+//     on jittery links; the sweep quantifies the latency side.
+#include <cstdio>
+#include <optional>
+
+#include "analysis/availability.h"
+#include "tosys/cluster.h"
+
+namespace {
+
+using namespace dvs;         // NOLINT
+using namespace dvs::tosys;  // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+double cascade_availability(std::size_t n, bool gc, bool registration,
+                            std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  cfg.gc_enabled = gc;
+  cfg.registration_enabled = registration;
+  Cluster c(cfg, seed);
+  analysis::AvailabilitySampler sampler(c, c.v0());
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  const sim::Time hold = 2 * kSecond;
+  const sim::Time sample_period = 20 * kMillisecond;
+  auto run_and_sample = [&](sim::Time duration) {
+    for (sim::Time t = 0; t < duration; t += sample_period) {
+      c.run_for(sample_period);
+      sampler.sample();
+    }
+  };
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (std::size_t alive = n; alive >= 2; --alive) {
+      std::vector<ProcessSet> groups{make_universe(alive)};
+      for (std::size_t i = alive; i < n; ++i) {
+        groups.push_back(make_process_set({static_cast<unsigned>(i)}));
+      }
+      c.net().set_partition(groups);
+      run_and_sample(hold);
+      if (alive == 2) break;
+    }
+    c.net().heal();
+    run_and_sample(2 * hold);
+  }
+  return sampler.report().dynamic_dvs;
+}
+
+double recovery_ms(sim::Time suspect_timeout, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = 5;
+  cfg.record_traces = false;
+  cfg.vs.suspect_timeout = suspect_timeout;
+  cfg.vs.heartbeat_period = std::max<sim::Time>(suspect_timeout / 5,
+                                                2 * kMillisecond);
+  Cluster c(cfg, seed);
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  std::vector<double> samples;
+  const ProcessSet everyone = c.universe();
+  for (int e = 0; e < 8; ++e) {
+    const ProcessId victim{static_cast<ProcessId::Rep>(1 + (e % 4))};
+    ProcessSet survivors = everyone;
+    survivors.erase(victim);
+    c.net().pause(victim);
+    const sim::Time start = c.sim().now();
+    const sim::Time deadline = start + 20 * kSecond;
+    while (c.sim().now() < deadline) {
+      c.run_for(1 * kMillisecond);
+      bool done = true;
+      for (ProcessId p : survivors) {
+        const auto& node = c.dvs_node(p);
+        const auto& pv = node.primary_view();
+        if (!node.in_primary() || !pv.has_value() ||
+            pv->set() != survivors) {
+          done = false;
+          break;
+        }
+      }
+      if (done) break;
+    }
+    samples.push_back(static_cast<double>(c.sim().now() - start) /
+                      kMillisecond);
+    c.net().resume(victim);
+    c.run_for(3 * kSecond);
+  }
+  return analysis::percentiles(std::move(samples)).p50;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A: cascade availability with the paper's mechanisms "
+      "disabled (n-process shrink to 2, dynamic policy)\n");
+  std::printf("%4s  %-24s  %12s\n", "n", "configuration", "availability");
+  for (std::size_t n : {5, 7}) {
+    struct Config {
+      const char* name;
+      bool gc;
+      bool reg;
+    };
+    const Config configs[] = {
+        {"full (gc + registration)", true, true},
+        {"no garbage collection", false, true},
+        {"no registration", true, false},
+        {"neither", false, false},
+    };
+    for (const Config& cfg : configs) {
+      const double a = cascade_availability(n, cfg.gc, cfg.reg, 500 + n);
+      std::printf("%4zu  %-24s  %12.3f\n", n, cfg.name, a);
+    }
+  }
+  std::printf(
+      "\nshape check: 'full' sustains the deep shrink; every ablated "
+      "configuration collapses once the component is no longer a majority "
+      "of the initial membership — both mechanisms are load-bearing.\n\n");
+
+  std::printf(
+      "Ablation B: failure-detection timeout vs time to a re-formed "
+      "primary (n = 5, one member pauses; p50 over 8 events)\n");
+  std::printf("%18s  %14s\n", "suspect timeout", "recovery p50");
+  for (sim::Time timeout :
+       {25 * kMillisecond, 50 * kMillisecond, 100 * kMillisecond,
+        200 * kMillisecond, 400 * kMillisecond}) {
+    const double p50 = recovery_ms(timeout, 900 + timeout);
+    std::printf("%15llu ms  %11.1f ms\n",
+                static_cast<unsigned long long>(timeout / kMillisecond), p50);
+  }
+  std::printf(
+      "\nshape check: recovery tracks the suspect timeout almost linearly — "
+      "detection dominates; the membership/info/exchange rounds add a "
+      "near-constant tail.\n");
+  return 0;
+}

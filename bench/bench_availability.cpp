@@ -1,0 +1,276 @@
+// Experiment E9 (the paper's motivating claim, Sections 1 and 4):
+// availability of a dynamic primary-view service vs a static majority rule,
+// under membership churn.
+//
+// For each group size and churn workload we run the full distributed stack
+// and periodically sample, for every live process, whether it is operating
+// in a primary component under three policies:
+//   dynamic  — the DVS stack itself (per-node, distributed);
+//   static   — strict majority of the fixed universe (the classical rule);
+//   oracle   — centralized idealized dynamic voting (upper bound).
+//
+// Workloads:
+//   cascade — graceful shrink one process at a time down to 2, then grow
+//             back (the scenario where dynamic voting shines: a 2-node
+//             primary survives while 2 < n/2 for the static rule);
+//   random  — random partitions into 1–3 groups at a configurable rate.
+//
+// Expected shape (recorded in EXPERIMENTS.md): dynamic ≈ oracle ≥ static,
+// with the gap widening as the cascade deepens; under random partitioning
+// the gap narrows because abrupt splits rarely contain a majority of the
+// previous primary.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "baseline/static_stack.h"
+#include "common/rng.h"
+#include "tosys/cluster.h"
+
+namespace {
+
+using namespace dvs;           // NOLINT
+using namespace dvs::tosys;    // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct Row {
+  std::size_t n;
+  const char* workload;
+  sim::Time change_period;
+  analysis::AvailabilityReport report;
+};
+
+/// Largest group of a partition (fed to the oracle as "the" component).
+ProcessSet largest(const std::vector<ProcessSet>& groups) {
+  const ProcessSet* best = &groups.front();
+  for (const ProcessSet& g : groups) {
+    if (g.size() > best->size()) best = &g;
+  }
+  return *best;
+}
+
+Row run_cascade(std::size_t n, sim::Time change_period, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  Cluster c(cfg, seed);
+  analysis::AvailabilitySampler sampler(c, c.v0());
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  const sim::Time sample_period = 20 * kMillisecond;
+  auto run_and_sample = [&](sim::Time duration) {
+    for (sim::Time t = 0; t < duration; t += sample_period) {
+      c.run_for(sample_period);
+      sampler.sample();
+    }
+  };
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    // Shrink: n → n-1 → ... → 2.
+    for (std::size_t alive = n; alive >= 2; --alive) {
+      ProcessSet component = make_universe(alive);
+      std::vector<ProcessSet> groups{component};
+      for (std::size_t i = alive; i < n; ++i) {
+        groups.push_back(make_process_set(
+            {static_cast<unsigned>(i)}));
+      }
+      c.net().set_partition(groups);
+      sampler.on_configuration_change(component);
+      run_and_sample(change_period);
+      if (alive == 2) break;
+    }
+    // Grow back to full.
+    c.net().heal();
+    sampler.on_configuration_change(make_universe(n));
+    run_and_sample(2 * change_period);
+  }
+  return Row{n, "cascade", change_period, sampler.report()};
+}
+
+Row run_random(std::size_t n, sim::Time change_period, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  Cluster c(cfg, seed);
+  Rng chaos(seed ^ 0xabcdef);
+  analysis::AvailabilitySampler sampler(c, c.v0());
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  const sim::Time sample_period = 20 * kMillisecond;
+  for (int round = 0; round < 30; ++round) {
+    if (chaos.chance(0.6)) {
+      const std::size_t groups_n = 1 + chaos.below(3);
+      std::vector<ProcessSet> groups(groups_n);
+      for (ProcessId p : c.universe()) {
+        groups[chaos.below(groups_n)].insert(p);
+      }
+      std::erase_if(groups, [](const ProcessSet& g) { return g.empty(); });
+      c.net().set_partition(groups);
+      sampler.on_configuration_change(largest(groups));
+    } else {
+      c.net().heal();
+      sampler.on_configuration_change(c.universe());
+    }
+    for (sim::Time t = 0; t < change_period; t += sample_period) {
+      c.run_for(sample_period);
+      sampler.sample();
+    }
+  }
+  return Row{n, "random", change_period, sampler.report()};
+}
+
+/// Rolling-restart workload: members pause and resume one at a time (the
+/// "processes join and leave routinely" setting of the paper's
+/// introduction). The dynamic service re-forms a primary around each
+/// departure; the static rule also survives (n-1 is a majority) — the
+/// interesting comparison is against the *oracle*: how much the distributed
+/// implementation loses to reconfiguration transients.
+Row run_rolling(std::size_t n, sim::Time change_period, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  Cluster c(cfg, seed);
+  analysis::AvailabilitySampler sampler(c, c.v0());
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  const sim::Time sample_period = 20 * kMillisecond;
+  auto run_and_sample = [&](sim::Time duration) {
+    for (sim::Time t = 0; t < duration; t += sample_period) {
+      c.run_for(sample_period);
+      sampler.sample();
+    }
+  };
+  for (int round = 0; round < 12; ++round) {
+    const ProcessId victim{static_cast<ProcessId::Rep>(round % n)};
+    c.net().pause(victim);
+    ProcessSet component = c.universe();
+    component.erase(victim);
+    sampler.on_configuration_change(component);
+    run_and_sample(change_period);
+    c.net().resume(victim);
+    sampler.on_configuration_change(c.universe());
+    run_and_sample(change_period);
+  }
+  return Row{n, "rolling", change_period, sampler.report()};
+}
+
+/// Goodput companion experiment: the same cascading-shrink schedule drives
+/// the full dynamic stack and the static-baseline stack; a client at p0
+/// offers one broadcast every 100 ms throughout. Because the TO recovery
+/// machinery eventually commits even long-stalled commands after the heal,
+/// raw totals converge — the operational difference is *timeliness*, so we
+/// count commands committed within 500 ms of being offered.
+struct Goodput {
+  std::size_t offered = 0;
+  std::size_t committed_dynamic = 0;  // within the deadline
+  std::size_t committed_static = 0;   // within the deadline
+};
+
+Goodput run_goodput(std::size_t n, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  Cluster dyn(cfg, seed);
+  baseline::StaticCluster sta(n, seed);
+  dyn.start();
+  sta.start();
+  dyn.run_for(500 * kMillisecond);
+  sta.run_for(500 * kMillisecond);
+
+  Goodput g;
+  std::uint64_t uid = 1;
+  std::map<std::uint64_t, sim::Time> offered_at;
+  auto drive = [&](auto&& reconfigure, sim::Time hold) {
+    reconfigure();
+    for (sim::Time t = 0; t < hold; t += 100 * kMillisecond) {
+      ++g.offered;
+      offered_at[uid] = dyn.sim().now();
+      dyn.bcast(ProcessId{0}, AppMsg{uid, ProcessId{0}, ""});
+      sta.bcast(ProcessId{0}, AppMsg{uid, ProcessId{0}, ""});
+      ++uid;
+      dyn.run_for(100 * kMillisecond);
+      sta.run_for(100 * kMillisecond);
+    }
+  };
+
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (std::size_t alive = n; alive >= 2; --alive) {
+      std::vector<ProcessSet> groups{make_universe(alive)};
+      for (std::size_t i = alive; i < n; ++i) {
+        groups.push_back(make_process_set({static_cast<unsigned>(i)}));
+      }
+      drive([&] {
+        dyn.net().set_partition(groups);
+        sta.net().set_partition(groups);
+      }, 2 * kSecond);
+      if (alive == 2) break;
+    }
+    drive([&] {
+      dyn.net().heal();
+      sta.net().heal();
+    }, 4 * kSecond);
+  }
+  dyn.run_for(3 * kSecond);
+  sta.run_for(3 * kSecond);
+  const sim::Time deadline = 500 * kMillisecond;
+  for (const Delivery& d : dyn.deliveries_at(ProcessId{0})) {
+    auto it = offered_at.find(d.msg.uid);
+    if (it != offered_at.end() && d.at - it->second <= deadline) {
+      ++g.committed_dynamic;
+    }
+  }
+  for (const auto& d : sta.deliveries_at(ProcessId{0})) {
+    auto it = offered_at.find(d.msg.uid);
+    if (it != offered_at.end() && d.at - it->second <= deadline) {
+      ++g.committed_static;
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E9: primary-component availability — dynamic (DVS) vs static majority "
+      "vs oracle dynamic voting\n");
+  std::printf("%4s  %-8s  %12s  %9s  %9s  %9s  %8s\n", "n", "workload",
+              "period(ms)", "dynamic", "static", "oracle", "samples");
+  std::vector<Row> rows;
+  for (std::size_t n : {5, 7, 9}) {
+    for (sim::Time period : {1 * kSecond, 3 * kSecond}) {
+      rows.push_back(run_cascade(n, period, 1000 + n));
+      rows.push_back(run_random(n, period, 2000 + n));
+      rows.push_back(run_rolling(n, period, 3000 + n));
+    }
+  }
+  for (const Row& r : rows) {
+    std::printf("%4zu  %-8s  %12llu  %9.3f  %9.3f  %9.3f  %8zu\n", r.n,
+                r.workload,
+                static_cast<unsigned long long>(r.change_period / kMillisecond),
+                r.report.dynamic_dvs, r.report.static_majority,
+                r.report.oracle_dynamic, r.report.samples);
+  }
+  std::printf(
+      "\nshape check: on 'cascade', dynamic stays near the oracle and beats "
+      "static; the gap is the paper's motivation for dynamic views.\n");
+
+  std::printf(
+      "\nE9b: goodput under the cascade — identical application and "
+      "workload, dynamic vs static-majority stack\n");
+  std::printf("%4s  %9s  %10s  %10s   (committed within 500 ms)\n", "n",
+              "offered", "dynamic", "static");
+  for (std::size_t n : {5, 7, 9}) {
+    const Goodput g = run_goodput(n, 4000 + n);
+    std::printf("%4zu  %9zu  %10zu  %10zu\n", n, g.offered,
+                g.committed_dynamic, g.committed_static);
+  }
+  std::printf(
+"\nshape check: the dynamic stack commits promptly through the deep "
+      "(2-node) phases where the static stack stalls until the heal.\n");
+  return 0;
+}

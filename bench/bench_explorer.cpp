@@ -1,0 +1,84 @@
+// Cost of the verification machinery (experiments E1–E7): steps/second of
+// the randomized explorers, with and without the per-step checkers. The
+// interesting ratio is how much the paper's invariants + the step-wise
+// refinement check cost on top of raw execution.
+#include <benchmark/benchmark.h>
+
+#include "explorer/explorer.h"
+#include "explorer/to_explorer.h"
+
+namespace {
+
+using namespace dvs;  // NOLINT
+
+void BM_VsSpecExplorer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    explorer::ExplorerConfig config;
+    config.steps = 500;
+    explorer::VsSpecExplorer ex(make_universe(n),
+                                initial_view(make_universe(n)), config,
+                                seed++);
+    benchmark::DoNotOptimize(ex.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_VsSpecExplorer)->Arg(3)->Arg(5);
+
+void BM_DvsSpecExplorer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    explorer::ExplorerConfig config;
+    config.steps = 500;
+    explorer::DvsSpecExplorer ex(make_universe(n),
+                                 initial_view(make_universe(n)), config,
+                                 seed++);
+    benchmark::DoNotOptimize(ex.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_DvsSpecExplorer)->Arg(3)->Arg(5);
+
+void BM_DvsImplExplorer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool check_refinement = state.range(1) != 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    explorer::ExplorerConfig config;
+    config.steps = 500;
+    config.check_refinement = check_refinement;
+    config.check_acceptance = check_refinement;
+    explorer::DvsImplExplorer ex(make_universe(n),
+                                 initial_view(make_universe(n)), config,
+                                 seed++);
+    benchmark::DoNotOptimize(ex.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+  state.SetLabel(check_refinement ? "checkers on" : "checkers off");
+}
+BENCHMARK(BM_DvsImplExplorer)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
+void BM_ToImplExplorer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    explorer::ExplorerConfig config;
+    config.steps = 500;
+    explorer::ToImplExplorer ex(make_universe(n),
+                                initial_view(make_universe(n)), config,
+                                seed++);
+    benchmark::DoNotOptimize(ex.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_ToImplExplorer)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

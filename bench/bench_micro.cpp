@@ -1,0 +1,98 @@
+// Micro-benchmarks (experiment E13): the primitive operations every layer
+// leans on — wire codec, view-set operations, the event queue, and the TO
+// recovery functions.
+#include <benchmark/benchmark.h>
+
+#include "common/labels.h"
+#include "common/serialize.h"
+#include "common/view.h"
+#include "sim/simulator.h"
+#include "vsys/wire.h"
+
+namespace {
+
+using namespace dvs;  // NOLINT
+
+void BM_EncodeDecodeSeq(benchmark::State& state) {
+  const vsys::Seq sq{ViewId{12, ProcessId{3}}, 417, ProcessId{2},
+                     Msg{OpaqueMsg{99, ProcessId{2}}}};
+  for (auto _ : state) {
+    const Bytes data = vsys::encode(vsys::WireMsg{sq});
+    benchmark::DoNotOptimize(vsys::decode(data));
+  }
+}
+BENCHMARK(BM_EncodeDecodeSeq);
+
+void BM_EncodeDecodeSummary(benchmark::State& state) {
+  Summary x;
+  for (std::uint64_t i = 1; i <= static_cast<std::uint64_t>(state.range(0));
+       ++i) {
+    const Label l{ViewId{1, ProcessId{0}}, i, ProcessId{i % 4}};
+    x.con.emplace(l, AppMsg{i, ProcessId{i % 4}, "payload"});
+    x.ord.push_back(l);
+  }
+  x.next = x.ord.size();
+  x.high = ViewId{1, ProcessId{0}};
+  for (auto _ : state) {
+    Writer w;
+    w.summary(x);
+    const Bytes data = w.take();
+    Reader r(data);
+    benchmark::DoNotOptimize(r.summary());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " labels");
+}
+BENCHMARK(BM_EncodeDecodeSummary)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_MajorityCheck(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const ProcessSet a = make_universe(n);
+  ProcessSet b;
+  for (std::size_t i = n / 3; i < n; ++i) {
+    b.insert(ProcessId{static_cast<ProcessId::Rep>(i)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(majority_of(a, b));
+  }
+}
+BENCHMARK(BM_MajorityCheck)->Arg(5)->Arg(50)->Arg(500);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<sim::Time>((i * 7919) % 10000),
+                      [&sink] { ++sink; });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_Fullorder(benchmark::State& state) {
+  // The TO recovery hot path: combine summaries from n members.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::map<ProcessId, Summary> gotstate;
+  for (std::size_t q = 0; q < n; ++q) {
+    Summary x;
+    for (std::uint64_t i = 1; i <= 200; ++i) {
+      const Label l{ViewId{1, ProcessId{0}}, i,
+                    ProcessId{static_cast<ProcessId::Rep>(i % n)}};
+      x.con.emplace(l, AppMsg{i, l.origin, ""});
+      if (i % (q + 1) == 0) x.ord.push_back(l);
+    }
+    x.high = ViewId{static_cast<std::uint64_t>(q), ProcessId{0}};
+    gotstate.emplace(ProcessId{static_cast<ProcessId::Rep>(q)}, std::move(x));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fullorder(gotstate));
+  }
+}
+BENCHMARK(BM_Fullorder)->Arg(3)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

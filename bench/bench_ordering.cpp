@@ -1,0 +1,105 @@
+// Ordering-strategy comparison: sequencer (Isis/Amoeba style) vs token ring
+// (Totem style) inside the same VS layer, with the DVS + TO stack on top.
+//
+// The classic tradeoff this reproduces: the sequencer gives low, flat
+// delivery latency at any load but concentrates work at one member; the
+// token ring spreads the ordering work but bounds idle latency from below
+// by the token circulation time (≈ n/2 hops at the heartbeat pace when the
+// system is lightly loaded, much less under load because holders forward
+// immediately after issuing).
+#include <cstdio>
+#include <map>
+
+#include "analysis/availability.h"
+#include "tosys/cluster.h"
+
+namespace {
+
+using namespace dvs;         // NOLINT
+using namespace dvs::tosys;  // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct Result {
+  double msgs_per_sec;
+  analysis::Percentiles latency_ms;
+  std::uint64_t wire_messages;
+};
+
+Result run(std::size_t n, vsys::OrderingMode mode, sim::Time send_period,
+           std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  cfg.vs.ordering = mode;
+  Cluster c(cfg, seed);
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  std::map<std::uint64_t, sim::Time> sent_at;
+  const sim::Time load_duration = 20 * kSecond;
+  std::uint64_t uid = 1;
+  const sim::Time t0 = c.sim().now();
+  for (sim::Time t = 0; t < load_duration; t += send_period) {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % n)};
+    sent_at[uid] = c.sim().now();
+    c.bcast(p, AppMsg{uid, p, ""});
+    ++uid;
+    c.run_for(send_period);
+  }
+  c.run_for(3 * kSecond);
+
+  std::vector<double> latencies;
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const Delivery& d : c.deliveries()) {
+    auto it = sent_at.find(d.msg.uid);
+    if (it == sent_at.end()) continue;
+    latencies.push_back(static_cast<double>(d.at - it->second) /
+                        kMillisecond);
+    ++counts[d.msg.uid];
+  }
+  std::size_t complete = 0;
+  for (const auto& [id, k] : counts) {
+    if (k == n) ++complete;
+  }
+  Result r;
+  r.msgs_per_sec = static_cast<double>(complete) /
+                   (static_cast<double>(c.sim().now() - t0) / kSecond);
+  r.latency_ms = analysis::percentiles(std::move(latencies));
+  r.wire_messages = c.net().stats().sent;
+  return r;
+}
+
+const char* mode_name(vsys::OrderingMode mode) {
+  return mode == vsys::OrderingMode::kSequencer ? "sequencer" : "token-ring";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ordering-strategy comparison: sequencer vs token ring (delivery "
+      "latency in simulated ms)\n");
+  std::printf("%4s  %-10s  %10s | %8s %8s %8s %8s | %12s\n", "n", "mode",
+              "load", "msgs/s", "lat p50", "p90", "mean", "wire msgs");
+  for (std::size_t n : {3, 5, 8}) {
+    for (sim::Time period : {100 * kMillisecond, 10 * kMillisecond,
+                             2 * kMillisecond}) {
+      for (auto mode : {vsys::OrderingMode::kSequencer,
+                        vsys::OrderingMode::kTokenRing}) {
+        const Result r = run(n, mode, period, 100 + n);
+        std::printf("%4zu  %-10s  %7.0f/s | %8.1f %8.1f %8.1f %8.1f | %12llu\n",
+                    n, mode_name(mode),
+                    1000.0 / (static_cast<double>(period) / kMillisecond),
+                    r.msgs_per_sec, r.latency_ms.p50, r.latency_ms.p90,
+                    r.latency_ms.mean,
+                    static_cast<unsigned long long>(r.wire_messages));
+      }
+    }
+  }
+  std::printf(
+      "\nshape check: sequencer latency is flat in load; token-ring latency "
+      "is high at light load (circulation bound) and drops as load rises "
+      "(the token is usually already in motion with work queued).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Simulation-rate benchmark of the full distributed stack (experiment E8's
+// machinery): wall-clock cost per simulated second and per delivered
+// message, with and without trace recording.
+#include <benchmark/benchmark.h>
+
+#include "tosys/cluster.h"
+
+namespace {
+
+using namespace dvs;         // NOLINT
+using namespace dvs::tosys;  // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+void BM_StableClusterSecond(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool record = state.range(1) != 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n_processes = n;
+    cfg.record_traces = record;
+    Cluster c(cfg, seed++);
+    c.start();
+    std::uint64_t uid = 1;
+    for (int i = 0; i < 50; ++i) {
+      const ProcessId p{static_cast<ProcessId::Rep>(uid % n)};
+      c.bcast(p, AppMsg{uid++, p, ""});
+      c.run_for(20 * kMillisecond);
+    }
+    benchmark::DoNotOptimize(c.deliveries().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+  state.SetLabel(record ? "traces on" : "traces off");
+}
+BENCHMARK(BM_StableClusterSecond)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({5, 0})
+    ->Args({9, 0});
+
+void BM_ViewChange(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n_processes = n;
+    cfg.record_traces = false;
+    Cluster c(cfg, seed++);
+    c.start();
+    c.run_for(300 * kMillisecond);
+    c.net().pause(ProcessId{1});
+    c.run_for(2 * kSecond);
+    c.net().resume(ProcessId{1});
+    c.run_for(2 * kSecond);
+    benchmark::DoNotOptimize(c.primary_fraction());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // two view changes
+}
+BENCHMARK(BM_ViewChange)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_TraceAcceptance(benchmark::State& state) {
+  // Cost of replaying a recorded run through all three spec acceptors.
+  ClusterConfig cfg;
+  cfg.n_processes = 4;
+  Cluster c(cfg, 99);
+  c.start();
+  std::uint64_t uid = 1;
+  for (int i = 0; i < 100; ++i) {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % 4)};
+    c.bcast(p, AppMsg{uid++, p, ""});
+    c.run_for(10 * kMillisecond);
+  }
+  c.run_for(1 * kSecond);
+  const std::size_t events =
+      c.vs_trace().size() + c.dvs_trace().size() + c.to_trace().size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.check_vs_trace().ok);
+    benchmark::DoNotOptimize(c.check_dvs_trace().ok);
+    benchmark::DoNotOptimize(c.check_to_trace().ok);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceAcceptance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Experiment E11: steady-state throughput and delivery latency of the
+// totally-ordered broadcast service over the full stack, vs group size.
+//
+// Each broadcast is timestamped; BRCV latency is measured per receiver.
+// Reported: confirmed deliveries per simulated second and latency
+// percentiles. The TO/DVS layers sit on a sequencer-ordered view layer, so
+// latency ≈ 2 network hops (sender→sequencer→receivers) plus the safe
+// round (heartbeat-carried acks) before confirmation — the shape to expect
+// is a flat-ish curve in n for delivery, with safe/confirm latency bound to
+// the heartbeat period.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "tosys/cluster.h"
+
+namespace {
+
+using namespace dvs;         // NOLINT
+using namespace dvs::tosys;  // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct Result {
+  std::size_t n;
+  double msgs_per_sec;       // unique messages confirmed at every node
+  analysis::Percentiles latency_ms;  // bcast → brcv, per delivery
+  std::uint64_t wire_messages;
+  std::uint64_t wire_bytes;
+};
+
+Result run(std::size_t n, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  Cluster c(cfg, seed);
+  c.start();
+  c.run_for(500 * kMillisecond);
+
+  std::map<std::uint64_t, sim::Time> sent_at;
+  std::vector<double> latencies;
+
+  const sim::Time load_duration = 20 * kSecond;
+  const sim::Time send_period = 10 * kMillisecond;  // 100 msg/s offered
+  std::uint64_t uid = 1;
+  const sim::Time t_start = c.sim().now();
+  for (sim::Time t = 0; t < load_duration; t += send_period) {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % n)};
+    sent_at[uid] = c.sim().now();
+    c.bcast(p, AppMsg{uid, p, ""});
+    ++uid;
+    c.run_for(send_period);
+  }
+  c.run_for(2 * kSecond);  // drain
+
+  // Collect latencies and completeness.
+  std::map<std::uint64_t, std::size_t> delivered_count;
+  for (const Delivery& d : c.deliveries()) {
+    auto it = sent_at.find(d.msg.uid);
+    if (it == sent_at.end()) continue;
+    latencies.push_back(static_cast<double>(d.at - it->second) /
+                        kMillisecond);
+    ++delivered_count[d.msg.uid];
+  }
+  std::size_t fully_delivered = 0;
+  for (const auto& [id, count] : delivered_count) {
+    if (count == n) ++fully_delivered;
+  }
+  const double seconds =
+      static_cast<double>(c.sim().now() - t_start) / kSecond;
+
+  Result r;
+  r.n = n;
+  r.msgs_per_sec = static_cast<double>(fully_delivered) / seconds;
+  r.latency_ms = analysis::percentiles(std::move(latencies));
+  r.wire_messages = c.net().stats().sent;
+  r.wire_bytes = c.net().stats().bytes_sent;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E11: totally-ordered broadcast throughput/latency vs group size "
+      "(offered load 100 msg/s, sim time)\n");
+  std::printf("%4s  %10s | %8s %8s %8s %8s | %12s %12s\n", "n", "msgs/s",
+              "lat p50", "p90", "p99", "mean", "wire msgs", "wire bytes");
+  for (std::size_t n : {2, 3, 4, 5, 6, 8}) {
+    const Result r = run(n, 7 + n);
+    std::printf("%4zu  %10.1f | %8.1f %8.1f %8.1f %8.1f | %12llu %12llu\n",
+                r.n, r.msgs_per_sec, r.latency_ms.p50, r.latency_ms.p90,
+                r.latency_ms.p99, r.latency_ms.mean,
+                static_cast<unsigned long long>(r.wire_messages),
+                static_cast<unsigned long long>(r.wire_bytes));
+  }
+  std::printf(
+      "\nshape check: throughput tracks the offered load for all n (the "
+      "sequencer is not saturated); delivery latency is a few network "
+      "delays and roughly flat in n; wire traffic grows ~n per message "
+      "(sequencer fan-out) plus n^2 heartbeats.\n");
+  return 0;
+}

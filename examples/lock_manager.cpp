@@ -1,0 +1,109 @@
+// A distributed lock manager on the replicated-state-machine library — the
+// archetypal coherent-data service: because lock commands commit in one
+// global order at every replica, two clients can never both believe they
+// hold the same lock, even across partitions (the minority side simply
+// cannot acquire anything).
+//
+//   $ ./build/examples/lock_manager
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "apps/smr.h"
+
+using namespace dvs;        // NOLINT
+using namespace dvs::apps;  // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+/// Lock-table state machine; commands: "acquire <lock> <client>",
+/// "release <lock> <client>". Acquire fails deterministically when held.
+class LockStateMachine final : public StateMachine {
+ public:
+  void apply(const std::string& command) override {
+    std::istringstream is(command);
+    std::string op;
+    std::string lock;
+    std::string client;
+    is >> op >> lock >> client;
+    if (op == "acquire") {
+      holders_.try_emplace(lock, client);  // no-op if already held
+    } else if (op == "release") {
+      auto it = holders_.find(lock);
+      if (it != holders_.end() && it->second == client) holders_.erase(it);
+    }
+    ++applied_;
+  }
+  [[nodiscard]] std::string snapshot() const override {
+    std::ostringstream os;
+    for (const auto& [l, c] : holders_) os << l << "->" << c << ";";
+    return os.str();
+  }
+  [[nodiscard]] std::uint64_t digest() const override {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const auto& [l, c] : holders_) {
+      for (char ch : l + "\x01" + c + "\x02") {
+        h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
+      }
+    }
+    return h ^ applied_;
+  }
+  [[nodiscard]] std::uint64_t applied() const override { return applied_; }
+  [[nodiscard]] std::string holder(const std::string& lock) const {
+    auto it = holders_.find(lock);
+    return it == holders_.end() ? "(free)" : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> holders_;
+  std::uint64_t applied_ = 0;
+};
+
+const LockStateMachine& locks(const SmrCluster& smr, unsigned p) {
+  return dynamic_cast<const LockStateMachine&>(
+      smr.replica(ProcessId{p}));
+}
+
+}  // namespace
+
+int main() {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 5;
+  SmrCluster smr(cfg, 2026,
+                 [] { return std::make_unique<LockStateMachine>(); });
+  smr.start();
+  smr.run_for(300 * kMillisecond);
+
+  std::printf("== two clients race for lock 'L' ==\n");
+  smr.submit(ProcessId{0}, "acquire L alice");
+  smr.submit(ProcessId{4}, "acquire L bob");
+  smr.run_for(1 * kSecond);
+  std::printf("every replica agrees the holder is: %s\n",
+              locks(smr, 2).holder("L").c_str());
+
+  std::printf("\n== partition {0,1,2} | {3,4}: minority cannot acquire ==\n");
+  smr.cluster().net().set_partition({make_process_set({0, 1, 2}),
+                                     make_process_set({3, 4})});
+  smr.run_for(1 * kSecond);
+  smr.submit(ProcessId{3}, "acquire M mallory");  // stalls in the minority
+  smr.submit(ProcessId{1}, "acquire M alice");    // commits in the majority
+  smr.run_for(2 * kSecond);
+  std::printf("majority replica: M held by %s; minority replica p3 has "
+              "applied %llu commands (stalled)\n",
+              locks(smr, 0).holder("M").c_str(),
+              static_cast<unsigned long long>(locks(smr, 3).applied()));
+
+  std::printf("\n== heal: one history, mallory's late acquire loses ==\n");
+  smr.cluster().net().heal();
+  smr.run_for(4 * kSecond);
+  for (unsigned p = 0; p < 5; ++p) {
+    std::printf("  p%u: L=%s M=%s (%llu applied)\n", p,
+                locks(smr, p).holder("L").c_str(),
+                locks(smr, p).holder("M").c_str(),
+                static_cast<unsigned long long>(locks(smr, p).applied()));
+  }
+  std::printf("replicas converged: %s\n", smr.converged() ? "yes" : "NO");
+  return smr.converged() ? 0 : 1;
+}

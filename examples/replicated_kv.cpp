@@ -1,0 +1,131 @@
+// Replicated key-value store — the "coherent data" application class the
+// paper's primary views exist for (Section 1's replicated-database
+// motivation).
+//
+// Each replica applies totally-ordered PUT commands to a local map. Because
+// every replica applies the same command sequence, the copies never
+// diverge; because only primary components make progress, a partitioned
+// minority simply stalls instead of forking history.
+//
+//   $ ./build/examples/replicated_kv
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "tosys/cluster.h"
+
+using namespace dvs;         // NOLINT
+using namespace dvs::tosys;  // NOLINT
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+/// One replica's state machine: applies "key=value" commands in delivery
+/// order.
+class KvReplica {
+ public:
+  void apply(const AppMsg& command) {
+    const std::string& text = command.payload;
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) return;
+    store_[text.substr(0, eq)] = text.substr(eq + 1);
+    ++applied_;
+  }
+
+  [[nodiscard]] std::string dump() const {
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto& [k, v] : store_) {
+      if (!first) os << ", ";
+      os << k << "=" << v;
+      first = false;
+    }
+    os << "} (" << applied_ << " commands)";
+    return os.str();
+  }
+
+  [[nodiscard]] bool same_as(const KvReplica& other) const {
+    return store_ == other.store_ && applied_ == other.applied_;
+  }
+
+ private:
+  std::map<std::string, std::string> store_;
+  std::size_t applied_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  ClusterConfig config;
+  config.n_processes = 5;
+  Cluster cluster(config, /*seed=*/7);
+
+  // Wire one replica per process: BRCV callbacks apply commands.
+  std::map<ProcessId, KvReplica> replicas;
+  for (ProcessId p : cluster.universe()) replicas[p];
+  // Rewire the TO callbacks to feed the replicas (on top of the cluster's
+  // own recording hooks we keep the simple path: poll deliveries).
+  cluster.start();
+  cluster.run_for(200 * kMillisecond);
+
+  std::uint64_t uid = 1;
+  auto put = [&](unsigned at, const std::string& kv) {
+    cluster.bcast(ProcessId{at}, AppMsg{uid++, ProcessId{at}, kv});
+  };
+
+  std::printf("== normal operation: 5 replicas ==\n");
+  put(0, "name=dvs");
+  put(1, "lang=c++20");
+  put(2, "venue=podc98");
+  cluster.run_for(1 * kSecond);
+
+  std::printf("== partition: {0,1,2} | {3,4} — majority keeps serving ==\n");
+  cluster.net().set_partition({make_process_set({0, 1, 2}),
+                               make_process_set({3, 4})});
+  cluster.run_for(1 * kSecond);
+  put(0, "state=partitioned");
+  // A write submitted in the minority stalls: no component it belongs to is
+  // primary, so it is not delivered anywhere during the partition. It is
+  // NOT lost — the label stays in p3's content and is recovered through the
+  // state exchange when the group re-forms.
+  put(3, "minority=stalls-until-heal");
+  cluster.run_for(1 * kSecond);
+  bool minority_write_visible = false;
+  for (ProcessId p : cluster.universe()) {
+    for (const Delivery& d : cluster.deliveries_at(p)) {
+      if (d.msg.payload.starts_with("minority=")) minority_write_visible = true;
+    }
+  }
+  std::printf("minority write delivered during the partition: %s\n",
+              minority_write_visible ? "YES (bug!)" : "no (stalled, as "
+              "required for consistency)");
+
+  std::printf("== heal: minority catches up through the state exchange ==\n");
+  cluster.net().heal();
+  cluster.run_for(3 * kSecond);
+  put(4, "state=healed");
+  cluster.run_for(1 * kSecond);
+
+  // Apply the delivery log to each replica and compare.
+  for (ProcessId p : cluster.universe()) {
+    for (const Delivery& d : cluster.deliveries_at(p)) {
+      replicas[p].apply(d.msg);
+    }
+  }
+  bool all_equal = true;
+  for (ProcessId p : cluster.universe()) {
+    std::printf("%s: %s\n", p.to_string().c_str(),
+                replicas[p].dump().c_str());
+    if (!replicas[p].same_as(replicas[ProcessId{0}])) all_equal = false;
+  }
+  std::printf("replicas identical: %s\n", all_equal ? "yes" : "NO");
+  std::printf("note: the write submitted in the minority was invisible for "
+              "the whole partition and committed only after the heal, when "
+              "the state exchange pulled it into the new primary's order — "
+              "coherence is never violated and no acknowledged write is "
+              "lost.\n");
+  return all_equal ? 0 : 1;
+}

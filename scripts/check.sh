@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full local gate: configure, build, test, sanitize, bench-smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release-ish build + tests =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== ASan/UBSan build + tests =="
+cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" >/dev/null
+cmake --build build-asan
+ctest --test-dir build-asan --output-on-failure
+
+echo "== bench smoke =="
+for b in build/bench/*; do
+  if [[ -x "$b" && -f "$b" ]]; then
+    echo "--- $b"
+    case "$b" in
+      *bench_micro|*bench_explorer|*bench_stack)
+        "$b" --benchmark_min_time=0.05 ;;
+      *)
+        "$b" ;;
+    esac
+  fi
+done
+
+echo "== examples =="
+./build/examples/quickstart
+./build/examples/model_checker 3 1000 3
+./build/examples/model_checker --exhaustive 2
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,169 @@
+#include "analysis/availability.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dvs::analysis {
+
+AvailabilitySampler::AvailabilitySampler(tosys::Cluster& cluster,
+                                         View initial_primary)
+    : cluster_(cluster),
+      majority_(cluster.universe()),
+      oracle_(std::move(initial_primary)) {}
+
+void AvailabilitySampler::on_configuration_change(const ProcessSet& component) {
+  oracle_has_primary_ = oracle_.advance(component);
+}
+
+void AvailabilitySampler::sample() {
+  const ProcessSet& universe = cluster_.universe();
+  std::size_t live = 0;
+  std::size_t dynamic_primary = 0;
+  std::size_t static_primary = 0;
+  std::size_t oracle_primary = 0;
+  for (ProcessId p : universe) {
+    if (cluster_.net().paused(p)) continue;
+    ++live;
+    const auto& dvs = cluster_.dvs_node(p);
+    if (dvs.in_primary()) ++dynamic_primary;
+    const auto& vs_view = cluster_.vs_node(p).view();
+    if (vs_view.has_value() && majority_.is_primary(vs_view->set())) {
+      ++static_primary;
+    }
+    if (oracle_has_primary_ && oracle_.is_member(p)) ++oracle_primary;
+  }
+  if (live == 0) return;
+  acc_dynamic_ += static_cast<double>(dynamic_primary) / live;
+  acc_static_ += static_cast<double>(static_primary) / live;
+  acc_oracle_ += static_cast<double>(oracle_primary) / live;
+  ++samples_;
+}
+
+AvailabilityReport AvailabilitySampler::report() const {
+  AvailabilityReport r;
+  r.samples = samples_;
+  if (samples_ == 0) return r;
+  r.dynamic_dvs = acc_dynamic_ / static_cast<double>(samples_);
+  r.static_majority = acc_static_ / static_cast<double>(samples_);
+  r.oracle_dynamic = acc_oracle_ / static_cast<double>(samples_);
+  return r;
+}
+
+bool chain_condition_holds(const std::vector<spec::DvsEvent>& dvs_trace,
+                           const View& v0) {
+  // Collect attempted views and their attempting processes.
+  std::map<ViewId, ProcessSet> attempted_by;
+  std::map<ViewId, View> views;
+  views.emplace(v0.id(), v0);
+  attempted_by[v0.id()] = v0.set();
+  for (const spec::DvsEvent& ev : dvs_trace) {
+    if (const auto* nv = std::get_if<spec::EvNewview>(&ev)) {
+      views.emplace(nv->v.id(), nv->v);
+      attempted_by[nv->v.id()].insert(nv->p);
+    }
+  }
+  if (views.size() <= 1) return true;
+  // Union-find over views: join views that share an attempting process.
+  std::vector<ViewId> ids;
+  ids.reserve(views.size());
+  for (const auto& [g, v] : views) ids.push_back(g);
+  std::map<ViewId, std::size_t> index;
+  for (std::size_t i = 0; i < ids.size(); ++i) index[ids[i]] = i;
+  std::vector<std::size_t> parent(ids.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](std::size_t a, std::size_t b) {
+    parent[find(a)] = find(b);
+  };
+  // Per process, join all views it attempted.
+  std::map<ProcessId, std::vector<ViewId>> by_process;
+  for (const auto& [g, procs] : attempted_by) {
+    for (ProcessId p : procs) by_process[p].push_back(g);
+  }
+  for (const auto& [p, list] : by_process) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      unite(index[list[i - 1]], index[list[i]]);
+    }
+  }
+  const std::size_t root = find(0);
+  return std::all_of(index.begin(), index.end(), [&](const auto& entry) {
+    return find(entry.second) == root;
+  });
+}
+
+IsisPropertyReport isis_same_messages(
+    const std::vector<spec::DvsEvent>& dvs_trace, const View& v0) {
+  // Replay the trace per process: which view each delivery happened in, and
+  // the per-(process, view) delivery multiset (order is shared by the DVS
+  // total-order guarantee, so a sequence compare is equivalent).
+  std::map<ProcessId, ViewId> current;
+  for (ProcessId p : v0.set()) current[p] = v0.id();
+  // Per process: the sequence of views it attempted (to find co-movers).
+  std::map<ProcessId, std::vector<ViewId>> path;
+  for (ProcessId p : v0.set()) path[p].push_back(v0.id());
+  // received[p][g]: printable keys of messages p received while in g.
+  std::map<ProcessId, std::map<ViewId, std::vector<std::string>>> received;
+
+  for (const spec::DvsEvent& ev : dvs_trace) {
+    if (const auto* nv = std::get_if<spec::EvNewview>(&ev)) {
+      current[nv->p] = nv->v.id();
+      path[nv->p].push_back(nv->v.id());
+    } else if (const auto* rcv = std::get_if<spec::EvGprcv<ClientMsg>>(&ev)) {
+      auto it = current.find(rcv->receiver);
+      if (it != current.end()) {
+        received[rcv->receiver][it->second].push_back(to_string(rcv->m));
+      }
+    }
+  }
+
+  IsisPropertyReport report;
+  // For every pair of processes and every consecutive (v, v') both have in
+  // their paths at the same transition, compare their view-v deliveries.
+  std::map<std::pair<ViewId, ViewId>, std::vector<ProcessId>> co_movers;
+  for (const auto& [p, views] : path) {
+    for (std::size_t i = 1; i < views.size(); ++i) {
+      co_movers[{views[i - 1], views[i]}].push_back(p);
+    }
+  }
+  std::set<ViewId> views_with_pairs;
+  for (const auto& [transition, procs] : co_movers) {
+    if (procs.size() < 2) continue;
+    views_with_pairs.insert(transition.first);
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      for (std::size_t j = i + 1; j < procs.size(); ++j) {
+        ++report.pairs_checked;
+        const auto& a = received[procs[i]][transition.first];
+        const auto& b = received[procs[j]][transition.first];
+        if (a == b) ++report.pairs_equal;
+      }
+    }
+  }
+  report.views_examined = views_with_pairs.size();
+  return report;
+}
+
+Percentiles percentiles(std::vector<double> samples) {
+  Percentiles out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[idx];
+  };
+  out.p50 = at(0.50);
+  out.p90 = at(0.90);
+  out.p99 = at(0.99);
+  out.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+             static_cast<double>(samples.size());
+  return out;
+}
+
+}  // namespace dvs::analysis

@@ -1,0 +1,99 @@
+// Availability accounting and execution analysis for the experiments
+// (DESIGN.md E9–E12).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/static_primary.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "spec/events.h"
+#include "tosys/cluster.h"
+
+namespace dvs::analysis {
+
+/// Availability of one policy over a sampled run: the average (over samples
+/// and processes) fraction of live processes that were operating in a
+/// primary component under that policy.
+struct AvailabilityReport {
+  double dynamic_dvs = 0.0;       // the paper's service (per-node view)
+  double static_majority = 0.0;   // majority of the static universe
+  double oracle_dynamic = 0.0;    // centralized dynamic-voting upper bound
+  std::size_t samples = 0;
+};
+
+/// Samples a running cluster: call sample() periodically (from a simulator
+/// timer); report() averages.
+class AvailabilitySampler {
+ public:
+  AvailabilitySampler(tosys::Cluster& cluster, View initial_primary);
+
+  /// Takes one sample of all three policies.
+  void sample();
+
+  /// Feed connectivity changes to the oracle (call whenever the injected
+  /// component set changes; `component` is the largest live component).
+  void on_configuration_change(const ProcessSet& component);
+
+  [[nodiscard]] AvailabilityReport report() const;
+
+ private:
+  tosys::Cluster& cluster_;
+  baseline::MajorityDetector majority_;
+  baseline::DynamicVotingOracle oracle_;
+  bool oracle_has_primary_ = true;
+  double acc_dynamic_ = 0.0;
+  double acc_static_ = 0.0;
+  double acc_oracle_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+/// The Lotem–Keidar–Dolev / Cristian chain condition (paper Section 1):
+/// every two primary views of an execution are linked by a chain of views
+/// such that every consecutive pair has some process that attempted both.
+/// Checks it on a recorded DVS trace; returns true iff the graph whose
+/// vertices are attempted views and whose edges join views sharing an
+/// attempting process is connected.
+[[nodiscard]] bool chain_condition_holds(
+    const std::vector<spec::DvsEvent>& dvs_trace, const View& v0);
+
+/// The Isis "same messages" property (paper Section 7: "we would like to
+/// understand the power of the Isis requirement that processes that move
+/// together from one view to the next receive exactly the same messages in
+/// the first view"). DVS deliberately does NOT guarantee it — members may
+/// receive different prefixes of a view's messages. This analyzer measures
+/// how often it holds anyway on a recorded DVS trace: for every view v and
+/// every pair of processes that move together from v to the same next view,
+/// did they receive the same messages in v?
+struct IsisPropertyReport {
+  std::size_t pairs_checked = 0;   // (p, q, v) co-moving pairs examined
+  std::size_t pairs_equal = 0;     // pairs that received identical messages
+  std::size_t views_examined = 0;  // views with at least one co-moving pair
+
+  [[nodiscard]] double fraction_equal() const {
+    return pairs_checked == 0
+               ? 1.0
+               : static_cast<double>(pairs_equal) /
+                     static_cast<double>(pairs_checked);
+  }
+};
+
+[[nodiscard]] IsisPropertyReport isis_same_messages(
+    const std::vector<spec::DvsEvent>& dvs_trace, const View& v0);
+
+/// Simple order statistics for latency reporting.
+struct Percentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] Percentiles percentiles(std::vector<double> samples);
+
+}  // namespace dvs::analysis

@@ -1,0 +1,61 @@
+#include "analysis/timeliness.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dvs::analysis {
+
+TimelinessReport check_conditional_timeliness(
+    const std::vector<Offer>& offers,
+    const std::vector<tosys::Delivery>& deliveries,
+    const ProcessSet& expected_receivers,
+    const std::vector<sim::Time>& fault_events, const TimelinessConfig& config,
+    sim::Time run_end) {
+  TimelinessReport report;
+  report.offers_total = offers.size();
+
+  // Index deliveries: uid → receiver → earliest delivery time.
+  std::map<std::uint64_t, std::map<ProcessId, sim::Time>> delivered;
+  for (const tosys::Delivery& d : deliveries) {
+    auto& at = delivered[d.msg.uid];
+    auto it = at.find(d.receiver);
+    if (it == at.end() || d.at < it->second) at[d.receiver] = d.at;
+  }
+
+  std::vector<sim::Time> faults = fault_events;
+  std::sort(faults.begin(), faults.end());
+
+  for (const Offer& offer : offers) {
+    const sim::Time window_start =
+        offer.at >= config.stabilization ? offer.at - config.stabilization
+                                         : 0;
+    const sim::Time window_end = offer.at + config.deadline;
+    if (window_end > run_end) continue;  // not judged: run ended too soon
+    // In scope iff no fault event inside [window_start, window_end].
+    auto it = std::lower_bound(faults.begin(), faults.end(), window_start);
+    if (it != faults.end() && *it <= window_end) continue;
+    ++report.offers_in_scope;
+
+    bool met = true;
+    const auto did = delivered.find(offer.uid);
+    for (ProcessId p : expected_receivers) {
+      if (did == delivered.end()) {
+        met = false;
+        break;
+      }
+      auto at = did->second.find(p);
+      if (at == did->second.end() || at->second > window_end) {
+        met = false;
+        break;
+      }
+    }
+    if (met) {
+      ++report.met;
+    } else {
+      report.violations.push_back(offer.uid);
+    }
+  }
+  return report;
+}
+
+}  // namespace dvs::analysis

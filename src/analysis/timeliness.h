@@ -1,0 +1,59 @@
+// Conditional timeliness — the executable analogue of the *timed trace
+// property* that accompanies the safety machine in the Fekete–Lynch–
+// Shvartsman VS specification [12] ("conditional performance and
+// fault-tolerance requirements"). Our paper defers performance properties
+// to future work (Section 7); this checker supplies the obvious one:
+//
+//   If the system has been stable (no fault injections) for at least
+//   `stabilization` before a broadcast is offered, and stays stable through
+//   the following `deadline`, then the broadcast is delivered at every
+//   expected receiver within `deadline`.
+//
+// Offers falling inside unstable windows are out of scope — the property is
+// conditional, exactly like [12]'s.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+#include "sim/simulator.h"
+#include "tosys/cluster.h"
+
+namespace dvs::analysis {
+
+struct TimelinessConfig {
+  /// Quiet time required before an offer for the property to apply.
+  sim::Time stabilization = 500 * sim::kMillisecond;
+  /// Commit deadline for in-scope offers.
+  sim::Time deadline = 300 * sim::kMillisecond;
+};
+
+struct Offer {
+  std::uint64_t uid = 0;
+  sim::Time at = 0;
+};
+
+struct TimelinessReport {
+  std::size_t offers_total = 0;
+  std::size_t offers_in_scope = 0;
+  std::size_t met = 0;
+  std::vector<std::uint64_t> violations;  // in-scope offers that missed
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// Checks the property over a finished run. `fault_events` are the times of
+/// injected faults (partitions, pauses, heals — any connectivity change);
+/// `expected_receivers` is the set that must deliver each in-scope offer;
+/// `run_end` bounds scope (offers whose deadline extends past the end of
+/// the run are not judged).
+[[nodiscard]] TimelinessReport check_conditional_timeliness(
+    const std::vector<Offer>& offers,
+    const std::vector<tosys::Delivery>& deliveries,
+    const ProcessSet& expected_receivers,
+    const std::vector<sim::Time>& fault_events, const TimelinessConfig& config,
+    sim::Time run_end);
+
+}  // namespace dvs::analysis

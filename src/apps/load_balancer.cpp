@@ -1,0 +1,104 @@
+#include "apps/load_balancer.h"
+
+#include <algorithm>
+
+namespace dvs::apps {
+
+LoadBalancerNode::LoadBalancerNode(ProcessId self, std::size_t shards)
+    : self_(self), shards_(shards) {}
+
+dvsys::ExchangeCallbacks LoadBalancerNode::exchange_callbacks() {
+  dvsys::ExchangeCallbacks cb;
+  cb.make_state = [this] { return std::to_string(load_); };
+  cb.on_established = [this](const View& v,
+                             const std::map<ProcessId, std::string>& blobs) {
+    on_established(v, blobs);
+  };
+  return cb;
+}
+
+void LoadBalancerNode::on_established(
+    const View& v, const std::map<ProcessId, std::string>& blobs) {
+  // Order members by (reported load, id): lightly loaded first. Every
+  // member computes this from the same agreed blobs, so assignments match.
+  std::vector<std::pair<std::uint64_t, ProcessId>> order;
+  order.reserve(blobs.size());
+  for (const auto& [p, blob] : blobs) {
+    std::uint64_t reported = 0;
+    try {
+      reported = std::stoull(blob);
+    } catch (...) {
+      reported = 0;  // malformed blob counts as idle, deterministically
+    }
+    order.emplace_back(reported, p);
+  }
+  std::sort(order.begin(), order.end());
+
+  assignment_.assign(shards_, ProcessId{});
+  for (std::size_t shard = 0; shard < shards_; ++shard) {
+    assignment_[shard] = order[shard % order.size()].second;
+  }
+  assignment_view_ = v;
+  fresh_ = true;
+}
+
+std::vector<std::size_t> LoadBalancerNode::shards_owned_by(
+    ProcessId p) const {
+  std::vector<std::size_t> out;
+  for (std::size_t shard = 0; shard < assignment_.size(); ++shard) {
+    if (assignment_[shard] == p) out.push_back(shard);
+  }
+  return out;
+}
+
+LbCluster::LbCluster(std::size_t n_processes, std::size_t shards,
+                     std::uint64_t seed)
+    : rng_(seed),
+      universe_(make_universe(n_processes)),
+      v0_(initial_view(universe_)) {
+  net_ = std::make_unique<net::SimNetwork>(sim_, rng_, net::NetConfig{},
+                                           universe_);
+  for (ProcessId p : universe_) {
+    balancers_[p] = std::make_unique<LoadBalancerNode>(p, shards);
+    vs_[p] = std::make_unique<vsys::VsNode>(p, std::optional<View>{v0_},
+                                            *net_, sim_, vsys::VsConfig{},
+                                            vsys::VsCallbacks{});
+    dvs_[p] = std::make_unique<dvsys::DvsNode>(p, v0_, *vs_[p],
+                                               dvsys::DvsCallbacks{});
+    exchange_[p] = std::make_unique<dvsys::ExchangeDvsNode>(
+        p, balancers_[p]->exchange_callbacks());
+  }
+  for (ProcessId p : universe_) {
+    dvsys::DvsNode* dvs_node = dvs_.at(p).get();
+    dvsys::ExchangeDvsNode* ex = exchange_.at(p).get();
+    LoadBalancerNode* lb = balancers_.at(p).get();
+    dvs_node->set_callbacks(ex->dvs_callbacks(*dvs_node));
+    // Any membership change at the *service* level immediately invalidates
+    // the old assignment — even at a node whose new component never becomes
+    // primary (it would otherwise keep serving shards the primary side may
+    // have reassigned). The assignment turns fresh again only when a new
+    // primary view is established by the exchange.
+    vsys::VsCallbacks vs_cb = dvs_node->vs_callbacks();
+    auto fwd_newview = std::move(vs_cb.on_newview);
+    vs_cb.on_newview = [lb, fwd_newview](const View& v) {
+      lb->mark_stale();
+      if (fwd_newview) fwd_newview(v);
+    };
+    vs_.at(p)->set_callbacks(std::move(vs_cb));
+  }
+}
+
+void LbCluster::start() {
+  for (auto& [p, node] : vs_) node->start();
+  // The initial view v0 counts as established with empty loads: trigger the
+  // initial exchange by treating v0 as a fresh primary at every member.
+  for (ProcessId p : universe_) {
+    dvsys::ExchangeDvsNode& ex = *exchange_.at(p);
+    // Simulate the initial DVS-NEWVIEW for v0 (DVS reports only *new*
+    // views; v0 is the distinguished initial one every member starts in).
+    auto cb = ex.dvs_callbacks(*dvs_.at(p));
+    cb.on_newview(v0_);
+  }
+}
+
+}  // namespace dvs::apps

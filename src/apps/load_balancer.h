@@ -1,0 +1,102 @@
+// Load balancing over dynamic primary views — the second application class
+// the paper's Discussion names ("replicated data applications and
+// load-balancing applications", Section 7), built on the service-supported
+// state-exchange extension (dvsys::ExchangeDvsNode).
+//
+// Each node owns a share of K shards. Whenever a new primary view is
+// established, members exchange their current load as the state blob and
+// every member deterministically computes the same shard assignment
+// (lightly-loaded members first). Because assignments are derived from an
+// agreed view plus agreed blobs, members of a primary never disagree about
+// ownership — and a partitioned minority simply keeps its last assignment
+// flagged stale, never serving shards the primary side may have moved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dvsys/exchange_node.h"
+#include "net/sim_network.h"
+#include "sim/simulator.h"
+#include "tosys/cluster.h"
+#include "vsys/vs_node.h"
+
+namespace dvs::apps {
+
+/// One balancer participant.
+class LoadBalancerNode {
+ public:
+  LoadBalancerNode(ProcessId self, std::size_t shards);
+
+  /// Reports this node's load (exchanged at the next view establishment).
+  void set_load(std::uint64_t load) { load_ = load; }
+  [[nodiscard]] std::uint64_t load() const { return load_; }
+
+  /// Exchange-extension callbacks (wired by LbCluster).
+  [[nodiscard]] dvsys::ExchangeCallbacks exchange_callbacks();
+
+  /// True iff this node's assignment comes from an established view it is a
+  /// member of (serving is safe); false = stale, stop serving.
+  [[nodiscard]] bool assignment_fresh() const { return fresh_; }
+  [[nodiscard]] const std::optional<View>& assignment_view() const {
+    return assignment_view_;
+  }
+  /// Owner of each shard under the current assignment (empty when never
+  /// established). Deterministic across members of the same view.
+  [[nodiscard]] const std::vector<ProcessId>& assignment() const {
+    return assignment_;
+  }
+  [[nodiscard]] std::vector<std::size_t> shards_owned_by(ProcessId p) const;
+
+  /// Called by the wiring when the service reports a new (not yet
+  /// established) view: the old assignment becomes stale immediately.
+  void mark_stale() { fresh_ = false; }
+
+ private:
+  void on_established(const View& v,
+                      const std::map<ProcessId, std::string>& blobs);
+
+  ProcessId self_;
+  std::size_t shards_;
+  std::uint64_t load_ = 0;
+  bool fresh_ = false;
+  std::optional<View> assignment_view_;
+  std::vector<ProcessId> assignment_;
+};
+
+/// Assembly: simulator + network + VS + DVS + exchange + balancer per
+/// process. Mirrors tosys::Cluster but runs the exchange extension instead
+/// of the TO application.
+class LbCluster {
+ public:
+  LbCluster(std::size_t n_processes, std::size_t shards, std::uint64_t seed);
+
+  void start();
+  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::SimNetwork& net() { return *net_; }
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] LoadBalancerNode& balancer(ProcessId p) {
+    return *balancers_.at(p);
+  }
+  [[nodiscard]] dvsys::ExchangeDvsNode& exchange(ProcessId p) {
+    return *exchange_.at(p);
+  }
+
+ private:
+  Rng rng_;
+  ProcessSet universe_;
+  View v0_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::map<ProcessId, std::unique_ptr<vsys::VsNode>> vs_;
+  std::map<ProcessId, std::unique_ptr<dvsys::DvsNode>> dvs_;
+  std::map<ProcessId, std::unique_ptr<dvsys::ExchangeDvsNode>> exchange_;
+  std::map<ProcessId, std::unique_ptr<LoadBalancerNode>> balancers_;
+};
+
+}  // namespace dvs::apps

@@ -1,0 +1,48 @@
+#include "apps/smr.h"
+
+#include "common/sequence.h"
+
+namespace dvs::apps {
+
+SmrCluster::SmrCluster(tosys::ClusterConfig config, std::uint64_t seed,
+                       MachineFactory factory)
+    : cluster_(config, seed) {
+  for (ProcessId p : cluster_.universe()) {
+    replicas_.emplace(p, factory());
+    logs_[p];
+  }
+  cluster_.set_delivery_hook([this](const tosys::Delivery& d) {
+    replicas_.at(d.receiver)->apply(d.msg.payload);
+    logs_.at(d.receiver).push_back(d.msg.uid);
+  });
+}
+
+std::uint64_t SmrCluster::submit(ProcessId p, const std::string& command) {
+  const std::uint64_t uid = next_uid_++;
+  cluster_.bcast(p, AppMsg{uid, p, command});
+  return uid;
+}
+
+bool SmrCluster::prefix_consistent() const {
+  std::vector<std::vector<std::uint64_t>> all;
+  all.reserve(logs_.size());
+  for (const auto& [p, log] : logs_) all.push_back(log);
+  return is_consistent(all);
+}
+
+bool SmrCluster::converged() const {
+  const StateMachine* first = nullptr;
+  for (const auto& [p, machine] : replicas_) {
+    if (first == nullptr) {
+      first = machine.get();
+      continue;
+    }
+    if (machine->applied() != first->applied() ||
+        machine->digest() != first->digest()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dvs::apps

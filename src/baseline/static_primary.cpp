@@ -1,0 +1,93 @@
+#include "baseline/static_primary.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dvs::baseline {
+
+QuorumSetDetector::QuorumSetDetector(std::vector<ProcessSet> quorums)
+    : quorums_(std::move(quorums)) {
+  if (quorums_.empty()) {
+    throw std::invalid_argument("quorum set must be nonempty");
+  }
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    if (quorums_[i].empty()) {
+      throw std::invalid_argument("quorums must be nonempty");
+    }
+    for (std::size_t j = i + 1; j < quorums_.size(); ++j) {
+      if (!intersects(quorums_[i], quorums_[j])) {
+        throw std::invalid_argument(
+            "quorum set violates the pairwise intersection property");
+      }
+    }
+  }
+}
+
+bool QuorumSetDetector::is_primary(const ProcessSet& members) const {
+  return std::any_of(quorums_.begin(), quorums_.end(), [&](const ProcessSet& q) {
+    return std::includes(members.begin(), members.end(), q.begin(), q.end());
+  });
+}
+
+QuorumSetDetector QuorumSetDetector::majorities(const ProcessSet& universe) {
+  // Enumerate minimal majorities: subsets of size floor(n/2)+1.
+  const std::vector<ProcessId> procs(universe.begin(), universe.end());
+  const std::size_t n = procs.size();
+  if (n == 0) throw std::invalid_argument("empty universe");
+  if (n > 20) throw std::invalid_argument("universe too large to enumerate");
+  const std::size_t k = n / 2 + 1;
+  std::vector<ProcessSet> quorums;
+  // Iterate subsets by bitmask, keeping those of size exactly k.
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) != k) continue;
+    ProcessSet q;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) q.insert(procs[i]);
+    }
+    quorums.push_back(std::move(q));
+  }
+  return QuorumSetDetector(std::move(quorums));
+}
+
+QuorumSetDetector QuorumSetDetector::weighted(
+    const ProcessSet& universe, const std::vector<std::size_t>& weights) {
+  const std::vector<ProcessId> procs(universe.begin(), universe.end());
+  if (procs.size() != weights.size()) {
+    throw std::invalid_argument("one weight per process required");
+  }
+  if (procs.size() > 20) {
+    throw std::invalid_argument("universe too large to enumerate");
+  }
+  const std::size_t total =
+      std::accumulate(weights.begin(), weights.end(), std::size_t{0});
+  std::vector<ProcessSet> quorums;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << procs.size()); ++mask) {
+    std::size_t weight = 0;
+    ProcessSet q;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) {
+        weight += weights[i];
+        q.insert(procs[i]);
+      }
+    }
+    if (2 * weight > total) {
+      // Keep only minimal quorums to bound the set's size.
+      bool minimal = true;
+      for (ProcessId p : q) {
+        std::size_t without = weight;
+        for (std::size_t i = 0; i < procs.size(); ++i) {
+          if (procs[i] == p) without -= weights[i];
+        }
+        if (2 * without > total) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) quorums.push_back(std::move(q));
+    }
+  }
+  return QuorumSetDetector(std::move(quorums));
+}
+
+}  // namespace dvs::baseline

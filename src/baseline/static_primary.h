@@ -1,0 +1,88 @@
+// Static primary-view policies — the baselines the paper's dynamic notion
+// is motivated against (Section 1).
+//
+// A *static* policy decides whether a membership view is primary by looking
+// only at a fixed universe (majority) or a predefined quorum set; it needs
+// no history, but loses the primary as soon as the live component drops to
+// half the universe, no matter how gracefully the system shrank.
+//
+// DynamicVotingOracle is an idealized, centralized reference implementation
+// of dynamic voting (one global chain of primaries, each a strict majority
+// of its predecessor). It upper-bounds what any distributed dynamic scheme
+// (like DVS) can achieve, and the availability bench reports all three.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::baseline {
+
+/// Static majority of a fixed universe.
+class MajorityDetector {
+ public:
+  explicit MajorityDetector(ProcessSet universe)
+      : universe_(std::move(universe)) {}
+
+  [[nodiscard]] bool is_primary(const ProcessSet& members) const {
+    return 2 * intersection_size(members, universe_) > universe_.size();
+  }
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+
+ private:
+  ProcessSet universe_;
+};
+
+/// Predefined quorum set: a view is primary iff it contains some quorum.
+/// The constructor validates the defining property — every two quorums
+/// intersect — which is what permits information flow between primaries.
+class QuorumSetDetector {
+ public:
+  explicit QuorumSetDetector(std::vector<ProcessSet> quorums);
+
+  [[nodiscard]] bool is_primary(const ProcessSet& members) const;
+  [[nodiscard]] const std::vector<ProcessSet>& quorums() const {
+    return quorums_;
+  }
+
+  /// All majority subsets of `universe` (the canonical quorum system).
+  static QuorumSetDetector majorities(const ProcessSet& universe);
+
+  /// Weighted majority: a view is a quorum iff its weight exceeds half the
+  /// total. Weights are per-process (indexed by position in `universe`).
+  static QuorumSetDetector weighted(const ProcessSet& universe,
+                                    const std::vector<std::size_t>& weights);
+
+ private:
+  std::vector<ProcessSet> quorums_;
+};
+
+/// Idealized centralized dynamic voting: the reference chain of primaries.
+/// advance() is fed each successive live component; the component becomes
+/// the new primary iff it contains a strict majority of the previous
+/// primary's membership.
+class DynamicVotingOracle {
+ public:
+  explicit DynamicVotingOracle(View initial_primary)
+      : primary_(std::move(initial_primary)) {}
+
+  /// Feeds the next configuration; returns true iff it became primary.
+  bool advance(const ProcessSet& members) {
+    if (!majority_of(members, primary_.set())) return false;
+    primary_ = View{ViewId{primary_.id().epoch() + 1, *members.begin()},
+                    members};
+    return true;
+  }
+
+  [[nodiscard]] const View& primary() const { return primary_; }
+  [[nodiscard]] bool is_member(ProcessId p) const {
+    return primary_.contains(p);
+  }
+
+ private:
+  View primary_;
+};
+
+}  // namespace dvs::baseline

@@ -1,0 +1,168 @@
+#include "baseline/static_stack.h"
+
+namespace dvs::baseline {
+
+StaticFilter::StaticFilter(ProcessId self, const View& v0,
+                           const ProcessSet& universe, vsys::VsNode& vs,
+                           Callbacks callbacks)
+    : self_(self),
+      majority_(universe),
+      vs_(vs),
+      callbacks_(std::move(callbacks)) {
+  if (v0.contains(self)) {
+    vs_cur_ = v0;
+    client_cur_ = v0;
+  }
+}
+
+void StaticFilter::gpsnd(const ClientMsg& m) {
+  // Only forward sends issued while the client is in a live primary;
+  // otherwise the message would be tagged with a view the client is not
+  // actually in.
+  if (!in_primary()) return;
+  vs_.gpsnd(to_msg(m));
+}
+
+vsys::VsCallbacks StaticFilter::vs_callbacks() {
+  vsys::VsCallbacks cb;
+  cb.on_newview = [this](const View& v) {
+    vs_cur_ = v;
+    if (majority_.is_primary(v.set()) &&
+        (!client_cur_.has_value() || v.id() > client_cur_->id())) {
+      client_cur_ = v;
+      if (callbacks_.on_newview) callbacks_.on_newview(v);
+    }
+  };
+  cb.on_gprcv = [this](const Msg& m, ProcessId from) {
+    if (!in_primary() || !is_client(m)) return;
+    if (callbacks_.on_gprcv) callbacks_.on_gprcv(to_client(m), from);
+  };
+  cb.on_safe = [this](const Msg& m, ProcessId from) {
+    if (!in_primary() || !is_client(m)) return;
+    if (callbacks_.on_safe) callbacks_.on_safe(to_client(m), from);
+  };
+  return cb;
+}
+
+StaticToNode::StaticToNode(ProcessId self, const View& v0,
+                           StaticFilter& filter, Callbacks callbacks)
+    : automaton_(self, v0),
+      filter_(filter),
+      callbacks_(std::move(callbacks)) {}
+
+void StaticToNode::bcast(const AppMsg& a) {
+  automaton_.on_bcast(a);
+  drain();
+}
+
+StaticFilter::Callbacks StaticToNode::filter_callbacks() {
+  StaticFilter::Callbacks cb;
+  cb.on_newview = [this](const View& v) {
+    automaton_.on_dvs_newview(v);
+    drain();
+  };
+  cb.on_gprcv = [this](const ClientMsg& m, ProcessId from) {
+    automaton_.on_dvs_gprcv(m, from);
+    drain();
+  };
+  cb.on_safe = [this](const ClientMsg& m, ProcessId from) {
+    automaton_.on_dvs_safe(m, from);
+    drain();
+  };
+  return cb;
+}
+
+void StaticToNode::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    while (automaton_.can_label()) {
+      automaton_.apply_label();
+      progressed = true;
+    }
+    while (automaton_.next_gpsnd().has_value()) {
+      filter_.gpsnd(automaton_.take_gpsnd());
+      progressed = true;
+    }
+    // Registration is a no-op for the static service, but the automaton
+    // still tracks it; keep its state machine moving.
+    if (automaton_.can_register()) {
+      automaton_.apply_register();
+      progressed = true;
+    }
+    while (automaton_.can_confirm()) {
+      automaton_.apply_confirm();
+      progressed = true;
+    }
+    while (automaton_.next_brcv().has_value()) {
+      auto [a, origin] = automaton_.take_brcv();
+      if (callbacks_.on_brcv) callbacks_.on_brcv(a, origin);
+      progressed = true;
+    }
+  }
+}
+
+StaticCluster::StaticCluster(std::size_t n_processes, std::uint64_t seed,
+                             net::NetConfig net_config,
+                             vsys::VsConfig vs_config)
+    : rng_(seed),
+      universe_(make_universe(n_processes)),
+      v0_(initial_view(universe_)) {
+  net_ = std::make_unique<net::SimNetwork>(sim_, rng_, net_config, universe_);
+  for (ProcessId p : universe_) {
+    vs_[p] = std::make_unique<vsys::VsNode>(p, std::optional<View>{v0_},
+                                            *net_, sim_, vs_config,
+                                            vsys::VsCallbacks{});
+    filters_[p] = std::make_unique<StaticFilter>(p, v0_, universe_, *vs_[p],
+                                                 StaticFilter::Callbacks{});
+    StaticToNode::Callbacks to_cb;
+    to_cb.on_brcv = [this, p](const AppMsg& a, ProcessId origin) {
+      deliveries_.push_back(Delivery{p, origin, a, sim_.now()});
+      to_trace_.push_back(spec::EvBrcv{origin, p, a});
+    };
+    to_[p] = std::make_unique<StaticToNode>(p, v0_, *filters_[p],
+                                            std::move(to_cb));
+  }
+  // Wire the callback chain bottom-up (same two-phase idiom as Cluster).
+  for (ProcessId p : universe_) {
+    filters_.at(p)->set_callbacks(to_.at(p)->filter_callbacks());
+    vs_.at(p)->set_callbacks(filters_.at(p)->vs_callbacks());
+  }
+}
+
+void StaticCluster::start() {
+  for (auto& [p, node] : vs_) node->start();
+}
+
+void StaticCluster::bcast(ProcessId p, AppMsg a) {
+  to_trace_.push_back(spec::EvBcast{p, a});
+  to_.at(p)->bcast(a);
+}
+
+std::vector<StaticCluster::Delivery> StaticCluster::deliveries_at(
+    ProcessId p) const {
+  std::vector<Delivery> out;
+  for (const Delivery& d : deliveries_) {
+    if (d.receiver == p) out.push_back(d);
+  }
+  return out;
+}
+
+spec::AcceptResult StaticCluster::check_to_trace() const {
+  spec::ToAcceptor acceptor(universe_);
+  return acceptor.feed_all(to_trace_);
+}
+
+double StaticCluster::primary_fraction() const {
+  std::size_t count = 0;
+  std::size_t live = 0;
+  for (const auto& [p, filter] : filters_) {
+    if (net_->paused(p)) continue;
+    ++live;
+    if (filter->in_primary()) ++count;
+  }
+  return live == 0 ? 0.0
+                   : static_cast<double>(count) / static_cast<double>(live);
+}
+
+}  // namespace dvs::baseline

@@ -1,0 +1,142 @@
+// The static-primary baseline stack: totally-ordered broadcast in the style
+// of Fekete–Lynch–Shvartsman [12], where "primary" is a *local, static*
+// test — the view contains a strict majority of the fixed universe — rather
+// than the paper's dynamic notion.
+//
+// Architecture: the same verified DvsToTo application automaton runs over
+// vsys through StaticFilter, a drop-in replacement for the VS-TO-DVS layer
+// that forwards exactly the views passing the static majority test (no
+// "info" exchange, no registration — static primaries always pairwise
+// intersect, so no history tracking is needed).
+//
+// This gives the availability benches a faithful head-to-head opponent: the
+// application code is identical; only the primary-view notion differs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseline/static_primary.h"
+#include "common/labels.h"
+#include "net/sim_network.h"
+#include "sim/simulator.h"
+#include "spec/acceptors.h"
+#include "spec/events.h"
+#include "toimpl/dvs_to_to.h"
+#include "vsys/vs_node.h"
+
+namespace dvs::baseline {
+
+/// Per-process filter: VS views → static-majority primary views.
+/// Provides the same upward interface shape as dvsys::DvsNode.
+class StaticFilter {
+ public:
+  struct Callbacks {
+    std::function<void(const View&)> on_newview;
+    std::function<void(const ClientMsg&, ProcessId)> on_gprcv;
+    std::function<void(const ClientMsg&, ProcessId)> on_safe;
+  };
+
+  StaticFilter(ProcessId self, const View& v0, const ProcessSet& universe,
+               vsys::VsNode& vs, Callbacks callbacks);
+
+  /// Replaces the callbacks; must be called before traffic flows.
+  void set_callbacks(Callbacks callbacks) {
+    callbacks_ = std::move(callbacks);
+  }
+
+  void gpsnd(const ClientMsg& m);
+  [[nodiscard]] vsys::VsCallbacks vs_callbacks();
+
+  /// The last primary view forwarded to the client (client-cur analogue).
+  [[nodiscard]] const std::optional<View>& primary_view() const {
+    return client_cur_;
+  }
+  /// True when the client's view is the service's current view: the node is
+  /// operating in a live static primary.
+  [[nodiscard]] bool in_primary() const {
+    return client_cur_.has_value() && vs_cur_.has_value() &&
+           client_cur_->id() == vs_cur_->id();
+  }
+
+ private:
+  ProcessId self_;
+  MajorityDetector majority_;
+  vsys::VsNode& vs_;
+  Callbacks callbacks_;
+  std::optional<View> vs_cur_;
+  std::optional<View> client_cur_;
+};
+
+/// One process of the baseline stack: vsys → StaticFilter → DvsToTo.
+class StaticToNode {
+ public:
+  struct Callbacks {
+    std::function<void(const AppMsg&, ProcessId origin)> on_brcv;
+  };
+
+  StaticToNode(ProcessId self, const View& v0, StaticFilter& filter,
+               Callbacks callbacks);
+
+  void bcast(const AppMsg& a);
+  [[nodiscard]] StaticFilter::Callbacks filter_callbacks();
+  [[nodiscard]] const toimpl::DvsToTo& automaton() const { return automaton_; }
+
+ private:
+  void drain();
+
+  toimpl::DvsToTo automaton_;
+  StaticFilter& filter_;
+  Callbacks callbacks_;
+};
+
+/// Whole-cluster assembly for the baseline, mirroring tosys::Cluster.
+class StaticCluster {
+ public:
+  StaticCluster(std::size_t n_processes, std::uint64_t seed,
+                net::NetConfig net_config = {}, vsys::VsConfig vs_config = {});
+
+  void start();
+  void run_for(sim::Time duration) { sim_.run_until(sim_.now() + duration); }
+  void bcast(ProcessId p, AppMsg a);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::SimNetwork& net() { return *net_; }
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] StaticFilter& filter(ProcessId p) { return *filters_.at(p); }
+
+  struct Delivery {
+    ProcessId receiver;
+    ProcessId origin;
+    AppMsg msg;
+    sim::Time at;
+  };
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] std::vector<Delivery> deliveries_at(ProcessId p) const;
+
+  /// TO-spec acceptance over the recorded BCAST/BRCV trace.
+  [[nodiscard]] spec::AcceptResult check_to_trace() const;
+
+  /// Fraction of live processes in a (static) primary right now.
+  [[nodiscard]] double primary_fraction() const;
+
+ private:
+  Rng rng_;
+  ProcessSet universe_;
+  View v0_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::map<ProcessId, std::unique_ptr<vsys::VsNode>> vs_;
+  std::map<ProcessId, std::unique_ptr<StaticFilter>> filters_;
+  std::map<ProcessId, std::unique_ptr<StaticToNode>> to_;
+  std::vector<spec::ToEvent> to_trace_;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace dvs::baseline

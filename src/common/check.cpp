@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+namespace dvs::detail {
+
+void fail_invariant(const char* invariant_name, const std::string& details) {
+  throw InvariantViolation(std::string(invariant_name) +
+                           " violated: " + details);
+}
+
+void fail_precondition(const char* action_name, const std::string& details) {
+  throw PreconditionViolation(std::string(action_name) +
+                              " precondition failed: " + details);
+}
+
+}  // namespace dvs::detail

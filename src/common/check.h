@@ -1,0 +1,60 @@
+// Invariant-violation reporting for the executable specs and checkers.
+//
+// A violated paper invariant is a *finding*, not a programming error: the
+// checkers throw InvariantViolation carrying a human-readable account of the
+// state that broke the property, and the explorer attaches the seed and the
+// action trace so the execution replays deterministically.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dvs {
+
+/// Thrown when an executable-spec invariant or a trace-acceptance check
+/// fails. `what()` names the invariant and describes the offending state.
+class InvariantViolation : public std::runtime_error {
+ public:
+  explicit InvariantViolation(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+/// Thrown when a precondition of an automaton action is not met. Applying a
+/// disabled action is a harness bug (or a genuine trace rejection when used
+/// by acceptors, which catch it and report).
+class PreconditionViolation : public std::runtime_error {
+ public:
+  explicit PreconditionViolation(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_invariant(const char* invariant_name,
+                                 const std::string& details);
+[[noreturn]] void fail_precondition(const char* action_name,
+                                    const std::string& details);
+}  // namespace detail
+
+}  // namespace dvs
+
+/// Check a paper invariant; on failure throw InvariantViolation naming it.
+/// `name` should be the paper's label, e.g. "Invariant 4.1 (DVS)".
+#define DVS_INVARIANT(name, cond, details)                    \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      std::ostringstream dvs_check_os_;                       \
+      dvs_check_os_ << details; /* NOLINT */                  \
+      ::dvs::detail::fail_invariant(name, dvs_check_os_.str()); \
+    }                                                         \
+  } while (false)
+
+/// Check an action precondition inside an `apply` implementation.
+#define DVS_REQUIRE(action_name, cond, details)                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream dvs_check_os_;                                 \
+      dvs_check_os_ << details; /* NOLINT */                            \
+      ::dvs::detail::fail_precondition(action_name, dvs_check_os_.str()); \
+    }                                                                   \
+  } while (false)

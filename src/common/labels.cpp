@@ -1,0 +1,89 @@
+#include "common/labels.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvs {
+
+std::string Label::to_string() const {
+  std::ostringstream os;
+  os << "l(" << id.to_string() << "," << seqno << "," << origin.to_string()
+     << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Label& l) {
+  return os << l.to_string();
+}
+
+std::string AppMsg::to_string() const {
+  std::ostringstream os;
+  os << "a#" << uid << "@" << origin.to_string();
+  if (!payload.empty()) os << "[" << payload << "]";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AppMsg& a) {
+  return os << a.to_string();
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "summary{|con|=" << con.size() << ",|ord|=" << ord.size()
+     << ",next=" << next << ",high=" << high.to_string() << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Summary& x) {
+  return os << x.to_string();
+}
+
+ContentMap knowncontent(const std::map<ProcessId, Summary>& y) {
+  ContentMap all;
+  for (const auto& [q, x] : y) {
+    all.insert(x.con.begin(), x.con.end());
+  }
+  return all;
+}
+
+ViewId maxprimary(const std::map<ProcessId, Summary>& y) {
+  if (y.empty()) throw std::logic_error("maxprimary of empty summary map");
+  ViewId best = y.begin()->second.high;
+  for (const auto& [q, x] : y) best = std::max(best, x.high);
+  return best;
+}
+
+std::uint64_t maxnextconfirm(const std::map<ProcessId, Summary>& y) {
+  if (y.empty()) throw std::logic_error("maxnextconfirm of empty summary map");
+  std::uint64_t best = 1;
+  for (const auto& [q, x] : y) best = std::max(best, x.next);
+  return best;
+}
+
+ProcessId chosenrep(const std::map<ProcessId, Summary>& y) {
+  const ViewId high = maxprimary(y);
+  for (const auto& [q, x] : y) {
+    if (x.high == high) return q;  // map iterates in ProcessId order
+  }
+  throw std::logic_error("chosenrep: no representative found");
+}
+
+std::vector<Label> shortorder(const std::map<ProcessId, Summary>& y) {
+  return y.at(chosenrep(y)).ord;
+}
+
+std::vector<Label> fullorder(const std::map<ProcessId, Summary>& y) {
+  std::vector<Label> order = shortorder(y);
+  std::set<Label> seen(order.begin(), order.end());
+  // Remaining labels of dom(knowncontent(Y)), in label order. ContentMap is
+  // a std::map keyed by Label, so iteration is already label order.
+  for (const auto& [label, msg] : knowncontent(y)) {
+    if (seen.insert(label).second) order.push_back(label);
+  }
+  return order;
+}
+
+}  // namespace dvs

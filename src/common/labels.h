@@ -1,0 +1,91 @@
+// Types used by the totally-ordered-broadcast application (paper Figure 5):
+// labels, application messages, content associations and summaries.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs {
+
+/// L = G × N>0 × P, with selectors id, seqno and origin. Labels are the
+/// system-wide unique names given to client messages; "label order" is the
+/// lexicographic order used by fullorder().
+struct Label {
+  ViewId id{};
+  std::uint64_t seqno = 0;  // N>0 in the paper; 0 only in default objects
+  ProcessId origin{};
+
+  friend constexpr auto operator<=>(const Label&, const Label&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Label& l);
+
+/// A ∈ the set of client messages of the TO service. uid makes messages
+/// distinguishable; payload carries application bytes for the examples.
+struct AppMsg {
+  std::uint64_t uid = 0;
+  ProcessId origin{};
+  std::string payload;
+
+  friend auto operator<=>(const AppMsg&, const AppMsg&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const AppMsg& a);
+
+/// Content relation entries: C = L × A. The `content` state variable of
+/// DVS-TO-TO_p is a set of these; in practice each label maps to exactly one
+/// message, so we model it as a map keyed by label.
+using ContentMap = std::map<Label, AppMsg>;
+
+/// S = 2^C × seqof(L) × N>0 × G, with selectors con, ord, next and high.
+/// A summary is a node's state digest exchanged during recovery.
+struct Summary {
+  ContentMap con;
+  std::vector<Label> ord;
+  std::uint64_t next = 1;  // next confirm index (1-based, like the paper)
+  ViewId high{};           // highest established primary id
+
+  friend bool operator==(const Summary&, const Summary&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Summary& x);
+
+/// Helper functions on partial maps Y : P → S (paper Section 6.1).
+/// knowncontent(Y) = union of all con components.
+[[nodiscard]] ContentMap knowncontent(const std::map<ProcessId, Summary>& y);
+
+/// maxprimary(Y) = max over Y of high.
+[[nodiscard]] ViewId maxprimary(const std::map<ProcessId, Summary>& y);
+
+/// maxnextconfirm(Y) = max over Y of next.
+[[nodiscard]] std::uint64_t maxnextconfirm(
+    const std::map<ProcessId, Summary>& y);
+
+/// chosenrep(Y): some element of reps(Y) = argmax of high. We pick the one
+/// with the smallest ProcessId so every node makes the same deterministic
+/// choice — any consistent choice satisfies the paper's "some element".
+[[nodiscard]] ProcessId chosenrep(const std::map<ProcessId, Summary>& y);
+
+/// shortorder(Y) = Y(chosenrep(Y)).ord.
+[[nodiscard]] std::vector<Label> shortorder(
+    const std::map<ProcessId, Summary>& y);
+
+/// fullorder(Y) = shortorder(Y) followed by the remaining labels of
+/// dom(knowncontent(Y)) in label order.
+[[nodiscard]] std::vector<Label> fullorder(
+    const std::map<ProcessId, Summary>& y);
+
+}  // namespace dvs

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+namespace dvs {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& component,
+          const std::string& message) {
+  std::cerr << "[" << level_name(level) << "][" << component << "] " << message
+            << "\n";
+}
+}  // namespace detail
+
+}  // namespace dvs

@@ -1,0 +1,39 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples and debugging sessions turn it on per component.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dvs {
+
+enum class LogLevel { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log threshold (single-threaded harness; no atomics needed).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& component,
+          const std::string& message);
+}  // namespace detail
+
+}  // namespace dvs
+
+#define DVS_LOG(level, component, expr)                              \
+  do {                                                               \
+    if (static_cast<int>(::dvs::log_level()) >=                      \
+        static_cast<int>(level)) {                                   \
+      std::ostringstream dvs_log_os_;                                \
+      dvs_log_os_ << expr; /* NOLINT */                              \
+      ::dvs::detail::emit(level, component, dvs_log_os_.str());      \
+    }                                                                \
+  } while (false)
+
+#define DVS_LOG_INFO(component, expr) \
+  DVS_LOG(::dvs::LogLevel::kInfo, component, expr)
+#define DVS_LOG_DEBUG(component, expr) \
+  DVS_LOG(::dvs::LogLevel::kDebug, component, expr)
+#define DVS_LOG_ERROR(component, expr) \
+  DVS_LOG(::dvs::LogLevel::kError, component, expr)

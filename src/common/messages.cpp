@@ -1,0 +1,74 @@
+#include "common/messages.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dvs {
+
+std::string OpaqueMsg::to_string() const {
+  std::ostringstream os;
+  os << "m#" << uid << "@" << sender.to_string();
+  return os.str();
+}
+
+std::string LabeledAppMsg::to_string() const {
+  std::ostringstream os;
+  os << "<" << label.to_string() << "," << msg.to_string() << ">";
+  return os.str();
+}
+
+std::string InfoMsg::to_string() const {
+  std::ostringstream os;
+  os << "info{act=" << act.to_string() << ",amb={";
+  bool first = true;
+  for (const View& w : amb) {
+    if (!first) os << ",";
+    os << w.to_string();
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string StateMsg::to_string() const {
+  std::ostringstream os;
+  os << "state{" << view.to_string() << ",|blob|=" << blob.size() << "}";
+  return os.str();
+}
+
+std::string RegisteredMsg::to_string() const { return "registered"; }
+
+bool is_client(const Msg& m) {
+  return !std::holds_alternative<InfoMsg>(m) &&
+         !std::holds_alternative<RegisteredMsg>(m);
+}
+
+Msg to_msg(const ClientMsg& m) {
+  return std::visit([](const auto& inner) -> Msg { return inner; }, m);
+}
+
+ClientMsg to_client(const Msg& m) {
+  if (const auto* o = std::get_if<OpaqueMsg>(&m)) return *o;
+  if (const auto* l = std::get_if<LabeledAppMsg>(&m)) return *l;
+  if (const auto* s = std::get_if<Summary>(&m)) return *s;
+  if (const auto* st = std::get_if<StateMsg>(&m)) return *st;
+  throw std::logic_error("to_client called on a non-client message");
+}
+
+std::string to_string(const ClientMsg& m) {
+  return std::visit([](const auto& inner) { return inner.to_string(); }, m);
+}
+
+std::string to_string(const Msg& m) {
+  return std::visit([](const auto& inner) { return inner.to_string(); }, m);
+}
+
+std::ostream& operator<<(std::ostream& os, const ClientMsg& m) {
+  return os << to_string(m);
+}
+
+std::ostream& operator<<(std::ostream& os, const Msg& m) {
+  return os << to_string(m);
+}
+
+}  // namespace dvs

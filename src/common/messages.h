@@ -1,0 +1,90 @@
+// Message universes.
+//
+// The paper uses M = Mc ∪ ({"info"} × V × 2^V) ∪ {"registered"}, where Mc is
+// the set of client messages (Section 5.1). For the TO application, clients
+// of DVS send Mc = C ∪ S (labelled app messages and summaries, Figure 5).
+// We also provide an opaque client message for spec-level exploration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs {
+
+/// An uninterpreted client message, used when exploring the VS/DVS specs
+/// directly: the services treat client messages as opaque values.
+struct OpaqueMsg {
+  std::uint64_t uid = 0;
+  ProcessId sender{};
+
+  friend auto operator<=>(const OpaqueMsg&, const OpaqueMsg&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// C = L × A: a labelled application message (Figure 5).
+struct LabeledAppMsg {
+  Label label;
+  AppMsg msg;
+
+  friend auto operator<=>(const LabeledAppMsg&, const LabeledAppMsg&) =
+      default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// An application state blob exchanged at the start of a view — used by the
+/// service-supported state-exchange extension (paper Section 7: "a
+/// variation in which the state exchange at the beginning of a new view is
+/// supported by the dynamic view service").
+struct StateMsg {
+  ViewId view;       // the view whose exchange this blob belongs to
+  std::string blob;  // opaque application bytes
+
+  friend auto operator<=>(const StateMsg&, const StateMsg&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Mc: the union of all client-message shapes used in this repository.
+using ClientMsg = std::variant<OpaqueMsg, LabeledAppMsg, Summary, StateMsg>;
+
+/// ("info", v, V): the VS-TO-DVS info message carrying act and amb.
+struct InfoMsg {
+  View act;
+  std::vector<View> amb;
+
+  friend bool operator==(const InfoMsg&, const InfoMsg&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// ("registered"): the VS-TO-DVS registration announcement.
+struct RegisteredMsg {
+  friend bool operator==(const RegisteredMsg&, const RegisteredMsg&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// M = Mc ∪ info ∪ registered (flattened variant).
+using Msg = std::variant<OpaqueMsg, LabeledAppMsg, Summary, StateMsg, InfoMsg,
+                         RegisteredMsg>;
+
+/// True iff m ∈ Mc.
+[[nodiscard]] bool is_client(const Msg& m);
+
+/// Injection Mc → M.
+[[nodiscard]] Msg to_msg(const ClientMsg& m);
+
+/// Partial projection M → Mc. Precondition: is_client(m).
+[[nodiscard]] ClientMsg to_client(const Msg& m);
+
+[[nodiscard]] std::string to_string(const ClientMsg& m);
+[[nodiscard]] std::string to_string(const Msg& m);
+
+std::ostream& operator<<(std::ostream& os, const ClientMsg& m);
+std::ostream& operator<<(std::ostream& os, const Msg& m);
+
+}  // namespace dvs

@@ -1,0 +1,74 @@
+// Deterministic randomness for explorers, simulators and workloads.
+//
+// All nondeterminism in the repository flows through one Rng seeded at the
+// top of a run, so every failing execution replays from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace dvs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  [[nodiscard]] std::size_t below(std::size_t bound) {
+    if (bound == 0) throw std::logic_error("Rng::below(0)");
+    return std::uniform_int_distribution<std::size_t>{0, bound - 1}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Bernoulli with probability p.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0); used for
+  /// message-delay distributions in the simulated network.
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Uniform element of a nonempty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::logic_error("Rng::pick on empty vector");
+    return items[below(items.size())];
+  }
+
+  /// Uniform element of a nonempty set.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::set<T>& items) {
+    if (items.empty()) throw std::logic_error("Rng::pick on empty set");
+    auto it = items.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(below(items.size())));
+    return *it;
+  }
+
+  /// A fresh child seed (for spawning independent streams deterministically).
+  [[nodiscard]] std::uint64_t fork_seed() { return engine_(); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dvs

@@ -1,0 +1,60 @@
+// Sequence utilities from Section 2 of the paper: prefix ordering (≤),
+// consistency of a collection of sequences, and lub of a consistent
+// collection.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace dvs {
+
+/// a ≤ b: a is a prefix of b.
+template <typename T>
+[[nodiscard]] bool is_prefix(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() > b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin());
+}
+
+/// A collection A of sequences is consistent iff a ≤ b or b ≤ a for all
+/// a, b ∈ A (equivalently, pairwise prefix-comparable).
+template <typename T>
+[[nodiscard]] bool is_consistent(const std::vector<std::vector<T>>& seqs) {
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+      if (!is_prefix(seqs[i], seqs[j]) && !is_prefix(seqs[j], seqs[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// lub(A): the minimum sequence b with a ≤ b for all a ∈ A. For a consistent
+/// collection this is simply the longest member (empty collection → empty
+/// sequence). Precondition: is_consistent(seqs).
+template <typename T>
+[[nodiscard]] std::vector<T> lub(const std::vector<std::vector<T>>& seqs) {
+  const std::vector<T>* longest = nullptr;
+  for (const auto& s : seqs) {
+    if (longest == nullptr || s.size() > longest->size()) longest = &s;
+  }
+  return longest != nullptr ? *longest : std::vector<T>{};
+}
+
+/// The longest common prefix of a collection (useful for TO-spec acceptance:
+/// the committed order is the part all replicas agree on).
+template <typename T>
+[[nodiscard]] std::vector<T> common_prefix(
+    const std::vector<std::vector<T>>& seqs) {
+  if (seqs.empty()) return {};
+  std::vector<T> out = seqs.front();
+  for (const auto& s : seqs) {
+    std::size_t k = 0;
+    while (k < out.size() && k < s.size() && out[k] == s[k]) ++k;
+    out.resize(k);
+  }
+  return out;
+}
+
+}  // namespace dvs

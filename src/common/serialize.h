@@ -1,0 +1,95 @@
+// Compact binary serialization for wire messages.
+//
+// The distributed layers (vsys/dvsys/tosys) exchange real encoded byte
+// buffers over the simulated network rather than sharing C++ objects; this
+// keeps the stack honest about what information actually crosses the wire
+// and exercises encode/decode on every hop.
+//
+// Format: little-endian fixed-width integers, varuint-prefixed containers.
+// Decoding is bounds-checked; malformed input throws DecodeError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& message)
+      : std::runtime_error("decode error: " + message) {}
+};
+
+using Bytes = std::vector<std::byte>;
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128-style variable-length unsigned integer (length prefixes).
+  void varuint(std::uint64_t v);
+  void str(const std::string& s);
+  void bytes_field(const Bytes& b);
+
+  void process_id(ProcessId p);
+  void view_id(const ViewId& g);
+  void process_set(const ProcessSet& s);
+  void view(const View& v);
+  void label(const Label& l);
+  void app_msg(const AppMsg& a);
+  void summary(const Summary& x);
+  void client_msg(const ClientMsg& m);
+  void msg(const Msg& m);
+
+  [[nodiscard]] Bytes take() { return std::move(buffer_); }
+  [[nodiscard]] const Bytes& buffer() const { return buffer_; }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Bounds-checked byte source.
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::uint64_t varuint();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Bytes bytes_field();
+
+  [[nodiscard]] ProcessId process_id();
+  [[nodiscard]] ViewId view_id();
+  [[nodiscard]] ProcessSet process_set();
+  [[nodiscard]] View view();
+  [[nodiscard]] Label label();
+  [[nodiscard]] AppMsg app_msg();
+  [[nodiscard]] Summary summary();
+  [[nodiscard]] ClientMsg client_msg();
+  [[nodiscard]] Msg msg();
+
+  /// True when every byte has been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  /// Throw unless exhausted (call at the end of a decode).
+  void expect_exhausted() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dvs

@@ -1,0 +1,26 @@
+#include "common/types.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dvs {
+
+std::string ProcessId::to_string() const {
+  return "p" + std::to_string(value_);
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessId p) {
+  return os << p.to_string();
+}
+
+std::string ViewId::to_string() const {
+  std::ostringstream os;
+  os << "g(" << epoch_ << "," << origin_.to_string() << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ViewId& g) {
+  return os << g.to_string();
+}
+
+}  // namespace dvs

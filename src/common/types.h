@@ -1,0 +1,89 @@
+// Core identifier types shared by every layer of the library.
+//
+// The paper (Section 2) postulates a universe of processors P, a totally
+// ordered set G of view identifiers with a least element g0, and views
+// v = <g, P> consisting of an identifier and a nonempty membership set.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace dvs {
+
+/// Identifies a processor ("process" and "processor" are interchangeable,
+/// as in the paper). Small integral handle; the universe P is finite.
+class ProcessId {
+ public:
+  using Rep = std::uint32_t;
+
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(ProcessId, ProcessId) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Rep value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, ProcessId p);
+
+/// Totally ordered view identifier with a distinguished least element.
+///
+/// A ViewId is a pair (epoch, origin) ordered lexicographically. The initial
+/// identifier g0 compares strictly below anything a running node mints
+/// because nodes always mint epochs >= 1. Using the proposer as tie-breaker
+/// lets concurrent proposers in different partitions mint distinct ids
+/// without coordination, exactly the property dynamic voting needs.
+class ViewId {
+ public:
+  constexpr ViewId() = default;
+  constexpr ViewId(std::uint64_t epoch, ProcessId origin)
+      : epoch_(epoch), origin_(origin) {}
+
+  [[nodiscard]] constexpr std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] constexpr ProcessId origin() const { return origin_; }
+
+  /// The distinguished least identifier g0.
+  [[nodiscard]] static constexpr ViewId initial() { return ViewId{}; }
+
+  friend constexpr auto operator<=>(const ViewId& a, const ViewId& b) {
+    if (auto c = a.epoch_ <=> b.epoch_; c != 0) return c;
+    return a.origin_ <=> b.origin_;
+  }
+  friend constexpr bool operator==(const ViewId&, const ViewId&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  ProcessId origin_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const ViewId& g);
+
+}  // namespace dvs
+
+template <>
+struct std::hash<dvs::ProcessId> {
+  std::size_t operator()(const dvs::ProcessId& p) const noexcept {
+    return std::hash<dvs::ProcessId::Rep>{}(p.value());
+  }
+};
+
+template <>
+struct std::hash<dvs::ViewId> {
+  std::size_t operator()(const dvs::ViewId& g) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(g.epoch());
+    h ^= std::hash<dvs::ProcessId>{}(g.origin()) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    return h;
+  }
+};

@@ -1,0 +1,81 @@
+#include "common/view.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dvs {
+
+std::string View::to_string() const {
+  std::ostringstream os;
+  os << "<" << id_.to_string() << ",{";
+  bool first = true;
+  for (ProcessId p : set_) {
+    if (!first) os << ",";
+    os << p.to_string();
+    first = false;
+  }
+  os << "}>";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const View& v) {
+  return os << v.to_string();
+}
+
+std::size_t intersection_size(const ProcessSet& a, const ProcessSet& b) {
+  // Walk the smaller set, probe the larger: O(min log max).
+  const ProcessSet& small = a.size() <= b.size() ? a : b;
+  const ProcessSet& large = a.size() <= b.size() ? b : a;
+  std::size_t count = 0;
+  for (ProcessId p : small) {
+    if (large.contains(p)) ++count;
+  }
+  return count;
+}
+
+bool intersects(const ProcessSet& a, const ProcessSet& b) {
+  const ProcessSet& small = a.size() <= b.size() ? a : b;
+  const ProcessSet& large = a.size() <= b.size() ? b : a;
+  return std::any_of(small.begin(), small.end(),
+                     [&](ProcessId p) { return large.contains(p); });
+}
+
+bool majority_of(const ProcessSet& v_set, const ProcessSet& w_set) {
+  return 2 * intersection_size(v_set, w_set) > w_set.size();
+}
+
+bool weighted_majority_of(const ProcessSet& v_set, const ProcessSet& w_set,
+                          const WeightMap& weights) {
+  auto weight_of = [&](ProcessId p) -> std::uint64_t {
+    auto it = weights.find(p);
+    return it == weights.end() ? 1 : it->second;
+  };
+  std::uint64_t total = 0;
+  std::uint64_t shared = 0;
+  for (ProcessId p : w_set) {
+    const std::uint64_t w = weight_of(p);
+    total += w;
+    if (v_set.contains(p)) shared += w;
+  }
+  return 2 * shared > total;
+}
+
+ProcessSet make_universe(std::size_t n) {
+  ProcessSet s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.insert(ProcessId{static_cast<ProcessId::Rep>(i)});
+  }
+  return s;
+}
+
+ProcessSet make_process_set(std::initializer_list<unsigned> ids) {
+  ProcessSet s;
+  for (unsigned id : ids) s.insert(ProcessId{id});
+  return s;
+}
+
+View initial_view(const ProcessSet& p0) {
+  return View{ViewId::initial(), p0};
+}
+
+}  // namespace dvs

@@ -1,0 +1,88 @@
+// Views: identifier + nonempty membership set (paper Section 2).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <initializer_list>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dvs {
+
+/// An ordered set of processors. std::set keeps membership iteration
+/// deterministic, which the explorer and the distributed protocols rely on.
+using ProcessSet = std::set<ProcessId>;
+
+/// A view v = <g, P>: a view identifier and a nonempty membership set.
+///
+/// Invariant: set is nonempty (checked by the factory; default-constructed
+/// Views are only used as "not yet assigned" placeholders behind optional).
+class View {
+ public:
+  View() = default;
+  View(ViewId id, ProcessSet members) : id_(id), set_(std::move(members)) {}
+
+  [[nodiscard]] const ViewId& id() const { return id_; }
+  [[nodiscard]] const ProcessSet& set() const { return set_; }
+
+  [[nodiscard]] bool contains(ProcessId p) const { return set_.contains(p); }
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+
+  friend bool operator==(const View&, const View&) = default;
+  /// Views order by identifier; the paper's Invariant 3.1 guarantees created
+  /// views with equal ids are equal, so this is a strict weak order on any
+  /// created set.
+  friend auto operator<=>(const View& a, const View& b) {
+    return a.id_ <=> b.id_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  ViewId id_{};
+  ProcessSet set_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const View& v);
+
+/// |a ∩ b|.
+[[nodiscard]] std::size_t intersection_size(const ProcessSet& a,
+                                            const ProcessSet& b);
+
+/// a ∩ b ≠ {} without materializing the intersection.
+[[nodiscard]] bool intersects(const ProcessSet& a, const ProcessSet& b);
+
+/// The paper's local acceptance check: |v.set ∩ w.set| > |w.set| / 2.
+/// Note the threshold is a strict majority *of w*, not of v.
+[[nodiscard]] bool majority_of(const ProcessSet& v_set,
+                               const ProcessSet& w_set);
+
+/// Per-process vote weights for weighted dynamic voting (empty map entries
+/// default to weight 1; a zero weight makes a process a non-voting member).
+using WeightMap = std::map<ProcessId, std::uint64_t>;
+
+/// Weighted generalization (Jajodia–Mutchler style): the members of
+/// v ∩ w hold a strict majority of w's total vote weight. With all weights
+/// equal it coincides with majority_of. Two weighted majorities of the same
+/// w always intersect, which is the property the dynamic-voting safety
+/// argument needs.
+[[nodiscard]] bool weighted_majority_of(const ProcessSet& v_set,
+                                        const ProcessSet& w_set,
+                                        const WeightMap& weights);
+
+/// Convenience factory: processes {0, 1, ..., n-1}.
+[[nodiscard]] ProcessSet make_universe(std::size_t n);
+
+/// Convenience factory from ids.
+[[nodiscard]] ProcessSet make_process_set(std::initializer_list<unsigned> ids);
+
+/// The distinguished initial view v0 = <g0, P0>.
+[[nodiscard]] View initial_view(const ProcessSet& p0);
+
+}  // namespace dvs

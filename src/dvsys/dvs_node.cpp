@@ -1,0 +1,84 @@
+#include "dvsys/dvs_node.h"
+
+namespace dvs::dvsys {
+
+DvsNode::DvsNode(ProcessId self, const View& v0, vsys::VsNode& vs,
+                 DvsCallbacks callbacks, DvsNodeOptions options)
+    : automaton_(self, v0,
+                 impl::VsToDvsOptions{.printed_figure_mode = false,
+                                      .weights = options.weights}),
+      vs_(vs),
+      callbacks_(std::move(callbacks)),
+      options_(std::move(options)) {}
+
+void DvsNode::gpsnd(const ClientMsg& m) {
+  if (callbacks_.on_gpsnd) callbacks_.on_gpsnd(m);
+  automaton_.on_dvs_gpsnd(m);
+  ++stats_.msgs_sent;
+  drain();
+}
+
+void DvsNode::register_view() {
+  if (callbacks_.on_register) callbacks_.on_register();
+  automaton_.on_dvs_register();
+  drain();
+}
+
+vsys::VsCallbacks DvsNode::vs_callbacks() {
+  vsys::VsCallbacks cb;
+  cb.on_newview = [this](const View& v) {
+    automaton_.on_vs_newview(v);
+    drain();
+  };
+  cb.on_gprcv = [this](const Msg& m, ProcessId from) {
+    automaton_.on_vs_gprcv(m, from);
+    drain();
+  };
+  cb.on_safe = [this](const Msg& m, ProcessId from) {
+    automaton_.on_vs_safe(m, from);
+    drain();
+  };
+  return cb;
+}
+
+void DvsNode::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Forward queued messages into the VS layer.
+    while (automaton_.next_vs_gpsnd().has_value()) {
+      vs_.gpsnd(automaton_.take_vs_gpsnd());
+      progressed = true;
+    }
+    // Accept the current VS view as primary when the checks pass.
+    if (automaton_.can_dvs_newview()) {
+      const View v = automaton_.apply_dvs_newview();
+      ++stats_.views_attempted;
+      if (callbacks_.on_newview) callbacks_.on_newview(v);
+      progressed = true;
+    }
+    // Client-facing deliveries and safe indications.
+    while (automaton_.next_dvs_gprcv().has_value()) {
+      auto [m, from] = automaton_.take_dvs_gprcv();
+      ++stats_.msgs_delivered;
+      if (callbacks_.on_gprcv) callbacks_.on_gprcv(m, from);
+      progressed = true;
+    }
+    while (automaton_.next_dvs_safe().has_value()) {
+      auto [m, from] = automaton_.take_dvs_safe();
+      ++stats_.safes_delivered;
+      if (callbacks_.on_safe) callbacks_.on_safe(m, from);
+      progressed = true;
+    }
+    // Garbage collection of settled views.
+    if (!options_.auto_gc) continue;
+    for (const View& v : automaton_.gc_candidates()) {
+      automaton_.apply_garbage_collect(v);
+      ++stats_.garbage_collections;
+      progressed = true;
+      break;  // candidates changed; re-enumerate
+    }
+  }
+}
+
+}  // namespace dvs::dvsys

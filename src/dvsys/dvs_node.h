@@ -1,0 +1,101 @@
+// Distributed DVS node: the Figure 3 VS-TO-DVS automaton driven over the
+// distributed VS layer.
+//
+// The node's protocol logic IS the verified impl::VsToDvs automaton — the
+// same code the model-checking harness exercises against the DVS
+// specification. This wrapper wires its inputs to vsys callbacks and fires
+// its enabled outputs eagerly after every input (an eager schedule is one
+// of the automaton's legal schedules, so all safety results carry over).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "impl/vs_to_dvs.h"
+#include "vsys/vs_node.h"
+
+namespace dvs::dvsys {
+
+struct DvsCallbacks {
+  std::function<void(const View&)> on_newview;
+  std::function<void(const ClientMsg&, ProcessId from)> on_gprcv;
+  std::function<void(const ClientMsg&, ProcessId from)> on_safe;
+  /// Observers for trace recording; not part of the service semantics.
+  std::function<void(const ClientMsg&)> on_gpsnd;
+  std::function<void()> on_register;
+};
+
+struct DvsNodeOptions {
+  /// Fire DVS-GARBAGE-COLLECT automatically when enabled (the normal mode).
+  /// Disabling it is an ablation: `act` never advances, `amb` accumulates
+  /// every attempted view, and the majority checks must keep satisfying
+  /// every historical view — adaptivity degrades to the static rule (see
+  /// bench_ablation).
+  bool auto_gc = true;
+  /// Vote weights for weighted dynamic voting (see impl::VsToDvsOptions).
+  WeightMap weights;
+};
+
+struct DvsNodeStats {
+  std::uint64_t views_attempted = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t safes_delivered = 0;
+  std::uint64_t garbage_collections = 0;
+};
+
+class DvsNode {
+ public:
+  /// `vs` must outlive this node. Callbacks fire synchronously from within
+  /// vsys deliveries.
+  DvsNode(ProcessId self, const View& v0, vsys::VsNode& vs,
+          DvsCallbacks callbacks, DvsNodeOptions options = {});
+
+  /// Replaces the callbacks; must be called before any traffic flows.
+  void set_callbacks(DvsCallbacks callbacks) {
+    callbacks_ = std::move(callbacks);
+  }
+
+  /// Client send (DVS-GPSND).
+  void gpsnd(const ClientMsg& m);
+
+  /// Client registration (DVS-REGISTER): the application has gathered the
+  /// state it needs to operate in the current primary view.
+  void register_view();
+
+  /// The VS callbacks to install on the underlying vsys::VsNode.
+  [[nodiscard]] vsys::VsCallbacks vs_callbacks();
+
+  [[nodiscard]] ProcessId self() const { return automaton_.self(); }
+  /// The current primary view as seen by the client (client-cur).
+  [[nodiscard]] const std::optional<View>& primary_view() const {
+    return automaton_.client_cur();
+  }
+  /// True when this node currently operates in a primary view: its client
+  /// view is the latest view its service layer installed (i.e. the current
+  /// membership was accepted as primary). The availability benches sample
+  /// this.
+  [[nodiscard]] bool in_primary() const {
+    return automaton_.client_cur().has_value() &&
+           automaton_.cur().has_value() &&
+           automaton_.client_cur()->id() == automaton_.cur()->id();
+  }
+  [[nodiscard]] const impl::VsToDvs& automaton() const { return automaton_; }
+  [[nodiscard]] const DvsNodeStats& stats() const { return stats_; }
+
+ private:
+  /// Fires every enabled output/internal action until quiescent.
+  void drain();
+
+  impl::VsToDvs automaton_;
+  vsys::VsNode& vs_;
+  DvsCallbacks callbacks_;
+  DvsNodeOptions options_;
+  DvsNodeStats stats_;
+};
+
+}  // namespace dvs::dvsys

@@ -1,0 +1,83 @@
+#include "dvsys/exchange_node.h"
+
+namespace dvs::dvsys {
+
+ExchangeDvsNode::ExchangeDvsNode(ProcessId self, ExchangeCallbacks callbacks)
+    : self_(self), callbacks_(std::move(callbacks)) {}
+
+DvsCallbacks ExchangeDvsNode::dvs_callbacks(DvsNode& dvs) {
+  DvsCallbacks cb;
+  cb.on_newview = [this, &dvs](const View& v) { on_newview(dvs, v); };
+  cb.on_gprcv = [this, &dvs](const ClientMsg& m, ProcessId from) {
+    on_gprcv(dvs, m, from);
+  };
+  cb.on_safe = [this](const ClientMsg& m, ProcessId from) {
+    // State-blob safes complete the exchange stabilization; application
+    // safes are forwarded only in established views (a safe for a deferred
+    // message cannot arrive before the message itself: deliver-before-safe).
+    if (std::holds_alternative<StateMsg>(m)) return;
+    if (established_ && callbacks_.on_safe) callbacks_.on_safe(m, from);
+  };
+  return cb;
+}
+
+void ExchangeDvsNode::on_newview(DvsNode& dvs, const View& v) {
+  view_ = v;
+  established_ = false;
+  blobs_.clear();
+  deferred_.clear();
+  ++stats_.views_seen;
+  // Multicast this node's state blob for the exchange.
+  const std::string blob = callbacks_.make_state ? callbacks_.make_state()
+                                                 : std::string{};
+  dvs.gpsnd(ClientMsg{StateMsg{v.id(), blob}});
+  ++stats_.blobs_sent;
+}
+
+void ExchangeDvsNode::on_gprcv(DvsNode& dvs, const ClientMsg& m,
+                               ProcessId from) {
+  if (const auto* st = std::get_if<StateMsg>(&m)) {
+    if (!view_.has_value() || st->view != view_->id()) return;  // stale blob
+    blobs_.emplace(from, st->blob);
+    ++stats_.blobs_received;
+    maybe_establish(dvs);
+    return;
+  }
+  if (!established_) {
+    deferred_.emplace_back(m, from);
+    return;
+  }
+  if (callbacks_.on_gprcv) callbacks_.on_gprcv(m, from);
+}
+
+void ExchangeDvsNode::maybe_establish(DvsNode& dvs) {
+  if (established_ || !view_.has_value()) return;
+  for (ProcessId q : view_->set()) {
+    if (!blobs_.contains(q)) return;
+  }
+  established_ = true;
+  ++stats_.views_established;
+  if (callbacks_.on_established) callbacks_.on_established(*view_, blobs_);
+  // The exchange is complete: tell the service (DVS-REGISTER), replay
+  // deliveries that raced the exchange, then flush buffered client sends.
+  dvs.register_view();
+  while (!deferred_.empty()) {
+    auto [m, from] = std::move(deferred_.front());
+    deferred_.pop_front();
+    if (callbacks_.on_gprcv) callbacks_.on_gprcv(m, from);
+  }
+  while (!outbox_.empty()) {
+    dvs.gpsnd(outbox_.front());
+    outbox_.pop_front();
+  }
+}
+
+void ExchangeDvsNode::gpsnd(DvsNode& dvs, const ClientMsg& m) {
+  if (!established_) {
+    outbox_.push_back(m);
+    return;
+  }
+  dvs.gpsnd(m);
+}
+
+}  // namespace dvs::dvsys

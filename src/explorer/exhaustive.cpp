@@ -1,0 +1,353 @@
+#include "explorer/exhaustive.h"
+
+#include "common/check.h"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace dvs::explorer {
+namespace {
+
+/// One search node: a spec state plus the number of sends used so far (the
+/// environment budget is part of the state space).
+struct Node {
+  spec::DvsSpec spec;
+  std::size_t sends_used;
+};
+
+void encode_counters(
+    std::ostringstream& os,
+    const std::map<ProcessId, std::map<ViewId, std::size_t>>& counters,
+    std::size_t default_value) {
+  for (const auto& [p, per_view] : counters) {
+    for (const auto& [g, value] : per_view) {
+      if (value != default_value) {
+        os << p.to_string() << g.to_string() << ':' << value << ';';
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string encode_state(const spec::DvsSpec& spec) {
+  std::ostringstream os;
+  os << "C";
+  for (const auto& [g, v] : spec.created()) os << v.to_string();
+  os << "|V";
+  for (ProcessId p : spec.universe()) {
+    const auto cur = spec.current_viewid(p);
+    os << (cur.has_value() ? cur->to_string() : std::string{"_"}) << ';';
+  }
+  os << "|A";
+  for (const auto& [g, members] : spec.attempted_all()) {
+    os << g.to_string() << ':';
+    for (ProcessId p : members) os << p.value() << ',';
+    os << ';';
+  }
+  os << "|R";
+  for (const auto& [g, members] : spec.registered_all()) {
+    os << g.to_string() << ':';
+    for (ProcessId p : members) os << p.value() << ',';
+    os << ';';
+  }
+  os << "|P";
+  for (const auto& [p, per_view] : spec.pending_all()) {
+    for (const auto& [g, msgs] : per_view) {
+      if (msgs.empty()) continue;
+      os << p.to_string() << g.to_string() << ':';
+      for (const ClientMsg& m : msgs) os << to_string(m) << ',';
+      os << ';';
+    }
+  }
+  os << "|Q";
+  for (const auto& [g, queue] : spec.queue_all()) {
+    if (queue.empty()) continue;
+    os << g.to_string() << ':';
+    for (const auto& [m, sender] : queue) {
+      os << to_string(m) << '@' << sender.value() << ',';
+    }
+    os << ';';
+  }
+  os << "|N";
+  encode_counters(os, spec.next_all(), 1);
+  os << "|S";
+  encode_counters(os, spec.next_safe_all(), 1);
+  os << "|D";
+  encode_counters(os, spec.received_all(), 0);
+  return os.str();
+}
+
+ExhaustiveStats exhaustive_check_dvs_spec(const ProcessSet& universe,
+                                          const View& v0,
+                                          const ExhaustiveConfig& config) {
+  ExhaustiveStats stats;
+  std::deque<Node> frontier;
+  std::unordered_set<std::string> visited;
+
+  Node initial{spec::DvsSpec{universe, v0}, 0};
+  initial.spec.check_invariants();
+  visited.insert(encode_state(initial.spec) + "#0");
+  frontier.push_back(std::move(initial));
+  stats.states_visited = 1;
+
+  auto push = [&](spec::DvsSpec next, std::size_t sends_used) {
+    ++stats.transitions;
+    std::string key = encode_state(next) + "#" + std::to_string(sends_used);
+    if (!visited.insert(std::move(key)).second) return;
+    next.check_invariants();
+    ++stats.states_visited;
+    frontier.push_back(Node{std::move(next), sends_used});
+    stats.frontier_peak = std::max(stats.frontier_peak, frontier.size());
+  };
+
+  while (!frontier.empty()) {
+    if (stats.states_visited >= config.max_states) {
+      stats.truncated = true;
+      break;
+    }
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+    const spec::DvsSpec& s = node.spec;
+
+    // DVS-CREATEVIEW over the candidate pool.
+    for (const View& v : config.candidate_views) {
+      if (s.can_createview(v)) {
+        spec::DvsSpec next = s;
+        next.apply_createview(v);
+        push(std::move(next), node.sends_used);
+      }
+    }
+    for (ProcessId p : universe) {
+      // DVS-NEWVIEW.
+      for (const View& v : s.newview_candidates(p)) {
+        spec::DvsSpec next = s;
+        next.apply_newview(v, p);
+        push(std::move(next), node.sends_used);
+      }
+      // DVS-REGISTER (input; always enabled — dedup discards no-ops).
+      {
+        spec::DvsSpec next = s;
+        next.apply_register(p);
+        push(std::move(next), node.sends_used);
+      }
+      // DVS-GPSND within the budget; message identity = send index.
+      if (node.sends_used < config.send_budget) {
+        spec::DvsSpec next = s;
+        next.apply_gpsnd(
+            ClientMsg{OpaqueMsg{node.sends_used + 1, p}}, p);
+        push(std::move(next), node.sends_used + 1);
+      }
+      // DVS-ORDER / DVS-RECEIVE over created views.
+      for (const auto& [g, v] : s.created()) {
+        if (s.can_order(p, g)) {
+          spec::DvsSpec next = s;
+          next.apply_order(p, g);
+          push(std::move(next), node.sends_used);
+        }
+        if (s.can_receive(p, g)) {
+          spec::DvsSpec next = s;
+          next.apply_receive(p, g);
+          push(std::move(next), node.sends_used);
+        }
+      }
+      // DVS-GPRCV / DVS-SAFE.
+      if (s.next_gprcv(p).has_value()) {
+        spec::DvsSpec next = s;
+        next.apply_gprcv(p);
+        push(std::move(next), node.sends_used);
+      }
+      if (s.next_safe_indication(p).has_value()) {
+        spec::DvsSpec next = s;
+        next.apply_safe(p);
+        push(std::move(next), node.sends_used);
+      }
+    }
+  }
+  return stats;
+}
+
+namespace {
+
+void encode_info(std::ostringstream& os, const impl::InfoRecord& info) {
+  os << info.act.to_string() << '[';
+  for (const auto& [g, w] : info.amb) os << w.to_string() << ',';
+  os << ']';
+}
+
+void encode_node(std::ostringstream& os, const impl::VsToDvs& node) {
+  os << "{cur=" << (node.cur() ? node.cur()->to_string() : "_")
+     << ";cc=" << (node.client_cur() ? node.client_cur()->to_string() : "_")
+     << ";act=" << node.act().to_string() << ";amb=";
+  for (const auto& [g, w] : node.amb()) os << w.to_string() << ',';
+  os << ";att=";
+  for (const auto& [g, w] : node.attempted()) os << g.to_string() << ',';
+  os << ";reg=";
+  for (const ViewId& g : node.reg_set()) os << g.to_string() << ',';
+  os << ";is=";
+  for (const auto& [g, info] : node.info_sent_all()) {
+    os << g.to_string() << ':';
+    encode_info(os, info);
+    os << ';';
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string encode_state(const impl::DvsImplSystem& sys) {
+  std::ostringstream os;
+  // VS spec portion.
+  os << "VS:C";
+  for (const auto& [g, v] : sys.vs().created()) os << v.to_string();
+  for (ProcessId p : sys.universe()) {
+    const auto cur = sys.vs().current_viewid(p);
+    os << '|' << (cur ? cur->to_string() : std::string{"_"});
+    for (const auto& [g, v] : sys.vs().created()) {
+      const auto& pend = sys.vs().pending(p, g);
+      if (!pend.empty()) {
+        os << "P" << g.to_string() << ':';
+        for (const Msg& m : pend) os << to_string(m) << ',';
+      }
+      if (sys.vs().next(p, g) != 1) {
+        os << "n" << g.to_string() << '=' << sys.vs().next(p, g);
+      }
+      if (sys.vs().next_safe(p, g) != 1) {
+        os << "s" << g.to_string() << '=' << sys.vs().next_safe(p, g);
+      }
+    }
+  }
+  for (const auto& [g, v] : sys.vs().created()) {
+    const auto& q = sys.vs().queue(g);
+    if (q.empty()) continue;
+    os << "|Q" << g.to_string() << ':';
+    for (const auto& [m, sender] : q) {
+      os << to_string(m) << '@' << sender.value() << ',';
+    }
+  }
+  // Per-node automaton state. info-rcvd and rcvd-rgst are keyed by the
+  // created views × processes.
+  for (ProcessId p : sys.universe()) {
+    const impl::VsToDvs& node = sys.node(p);
+    os << "|N" << p.value();
+    encode_node(os, node);
+    for (const auto& [g, v] : sys.vs().created()) {
+      for (ProcessId q : sys.universe()) {
+        const auto info = node.info_rcvd(q, g);
+        if (info.has_value()) {
+          os << "ir" << q.value() << g.to_string() << ':';
+          encode_info(os, *info);
+        }
+        if (node.rcvd_rgst(g, q)) {
+          os << "rr" << q.value() << g.to_string();
+        }
+      }
+      const auto& to_vs = node.msgs_to_vs(g);
+      if (!to_vs.empty()) {
+        os << "tv" << g.to_string() << ':';
+        for (const Msg& m : to_vs) os << to_string(m) << ',';
+      }
+      const auto& from_vs = node.msgs_from_vs(g);
+      if (!from_vs.empty()) {
+        os << "fv" << g.to_string() << ':';
+        for (const auto& [m, sender] : from_vs) {
+          os << to_string(m) << '@' << sender.value() << ',';
+        }
+      }
+      const auto& safe_vs = node.safe_from_vs(g);
+      if (!safe_vs.empty()) {
+        os << "sv" << g.to_string() << ':';
+        for (const auto& [m, sender] : safe_vs) {
+          os << to_string(m) << '@' << sender.value() << ',';
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+ExhaustiveStats exhaustive_check_dvs_impl(const ProcessSet& universe,
+                                          const View& v0,
+                                          const ExhaustiveConfig& config) {
+  ExhaustiveStats stats;
+
+  struct Node {
+    impl::DvsImplSystem sys;
+    impl::RefinementChecker checker;  // shadow rides along; ≅ ℱ(sys)
+    std::size_t sends_used;
+  };
+
+  std::deque<Node> frontier;
+  std::unordered_set<std::string> visited;
+
+  Node initial{impl::DvsImplSystem{universe, v0},
+               impl::RefinementChecker{impl::DvsImplSystem{universe, v0}},
+               0};
+  initial.sys.check_invariants();
+  visited.insert(encode_state(initial.sys) + "#0");
+  frontier.push_back(std::move(initial));
+  stats.states_visited = 1;
+
+  auto expand = [&](const Node& node, const impl::DvsImplAction& action,
+                    std::size_t sends_used) {
+    ++stats.transitions;
+    Node next{node.sys, node.checker, sends_used};
+    const impl::RefinementResult r = next.checker.step(next.sys, action);
+    if (!r.ok) throw InvariantViolation(r.error);
+    std::string key = encode_state(next.sys) + "#" +
+                      std::to_string(sends_used);
+    if (!visited.insert(std::move(key)).second) return;
+    next.sys.check_invariants();
+    ++stats.states_visited;
+    frontier.push_back(std::move(next));
+    stats.frontier_peak = std::max(stats.frontier_peak, frontier.size());
+  };
+
+  while (!frontier.empty()) {
+    if (stats.states_visited >= config.max_states) {
+      stats.truncated = true;
+      break;
+    }
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+
+    // Environment: candidate VS views, client sends, registrations.
+    for (const View& v : config.candidate_views) {
+      if (node.sys.can_vs_createview(v)) {
+        expand(node,
+               impl::DvsImplAction::with_view(
+                   impl::DvsImplActionKind::kVsCreateview, v.id().origin(), v),
+               node.sends_used);
+      }
+    }
+    for (ProcessId p : universe) {
+      if (node.sends_used < config.send_budget) {
+        expand(node,
+               impl::DvsImplAction::send(
+                   p, ClientMsg{OpaqueMsg{node.sends_used + 1, p}}),
+               node.sends_used + 1);
+      }
+      // Register only when it changes something: a re-register appends yet
+      // another "registered" message without any new information, which
+      // would make the reachable state space infinite.
+      {
+        const impl::VsToDvs& n = node.sys.node(p);
+        if (n.client_cur().has_value() && !n.reg(n.client_cur()->id())) {
+          expand(node,
+                 impl::DvsImplAction::make(
+                     impl::DvsImplActionKind::kDvsRegister, p),
+                 node.sends_used);
+        }
+      }
+    }
+    // All enabled system actions.
+    for (const impl::DvsImplAction& a : node.sys.enabled_actions()) {
+      expand(node, a, node.sends_used);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dvs::explorer

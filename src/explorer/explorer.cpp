@@ -1,0 +1,374 @@
+#include "explorer/explorer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dvs::explorer {
+namespace {
+
+constexpr std::size_t kActionLogSize = 64;
+
+std::string failure_message(std::uint64_t seed, const std::string& why,
+                            const std::deque<std::string>& recent) {
+  std::ostringstream os;
+  os << why << "\n  seed: " << seed << "\n  last " << recent.size()
+     << " actions:";
+  for (const std::string& a : recent) os << "\n    " << a;
+  return os.str();
+}
+
+}  // namespace
+
+ExplorationFailure::ExplorationFailure(
+    std::uint64_t seed, const std::string& why,
+    const std::deque<std::string>& recent_actions)
+    : std::runtime_error(failure_message(seed, why, recent_actions)) {}
+
+View random_view_candidate(Rng& rng, const ProcessSet& universe,
+                           const ViewId& existing_max,
+                           const ProcessSet& bias_toward, double p_biased) {
+  const std::uint64_t epoch =
+      existing_max.epoch() + 1 + static_cast<std::uint64_t>(rng.below(2));
+  const ProcessId origin = rng.pick(universe);
+  ProcessSet members;
+  if (!bias_toward.empty() && rng.chance(p_biased)) {
+    // Start from a strict majority of the bias set, then sprinkle others:
+    // this makes dynamic-primary formation reachable often.
+    std::vector<ProcessId> pool(bias_toward.begin(), bias_toward.end());
+    std::shuffle(pool.begin(), pool.end(), rng.engine());
+    const std::size_t quorum = bias_toward.size() / 2 + 1;
+    members.insert(pool.begin(),
+                   pool.begin() + static_cast<std::ptrdiff_t>(quorum));
+    for (ProcessId p : universe) {
+      if (rng.chance(0.3)) members.insert(p);
+    }
+  } else {
+    for (ProcessId p : universe) {
+      if (rng.chance(0.5)) members.insert(p);
+    }
+    if (members.empty()) members.insert(rng.pick(universe));
+  }
+  return View{ViewId{epoch, origin}, std::move(members)};
+}
+
+// ---------------------------------------------------------------------------
+// VsSpecExplorer
+// ---------------------------------------------------------------------------
+
+VsSpecExplorer::VsSpecExplorer(ProcessSet universe, View v0,
+                               ExplorerConfig config, std::uint64_t seed)
+    : spec_(std::move(universe), std::move(v0)),
+      config_(config),
+      rng_(seed) {}
+
+ExplorationStats VsSpecExplorer::run() {
+  ExplorationStats stats;
+  std::deque<std::string> log;
+  auto note = [&](const std::string& a) {
+    log.push_back(a);
+    if (log.size() > kActionLogSize) log.pop_front();
+  };
+  try {
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      ++stats.steps_taken;
+      if (rng_.chance(config_.p_env)) {
+        ++stats.env_actions;
+        if (rng_.chance(config_.p_propose_view) &&
+            spec_.created().size() < config_.max_views) {
+          const View& latest = spec_.created().rbegin()->second;
+          View v = random_view_candidate(rng_, spec_.universe(),
+                                         spec_.max_created_id(), latest.set(),
+                                         config_.p_biased_membership);
+          if (spec_.can_createview(v)) {
+            spec_.apply_createview(v);
+            ++stats.views_created;
+            note("vs-createview(" + v.to_string() + ")");
+          }
+        } else {
+          const ProcessId p = rng_.pick(spec_.universe());
+          spec_.apply_gpsnd(Msg{OpaqueMsg{next_uid_++, p}}, p);
+          ++stats.msgs_sent;
+          note("vs-gpsnd_" + p.to_string());
+        }
+      } else {
+        // Enumerate enabled non-env actions.
+        struct Choice {
+          int kind;  // 0 newview, 1 order, 2 gprcv, 3 safe
+          ProcessId p;
+          View v;
+          ViewId g;
+        };
+        std::vector<Choice> choices;
+        for (ProcessId p : spec_.universe()) {
+          for (const View& v : spec_.newview_candidates(p)) {
+            choices.push_back({0, p, v, {}});
+          }
+          for (const auto& [g, v] : spec_.created()) {
+            if (spec_.can_order(p, g)) choices.push_back({1, p, {}, g});
+          }
+          if (spec_.next_gprcv(p).has_value()) {
+            choices.push_back({2, p, {}, {}});
+          }
+          if (spec_.next_safe_indication(p).has_value()) {
+            choices.push_back({3, p, {}, {}});
+          }
+        }
+        if (choices.empty()) continue;
+        const Choice& c = rng_.pick(choices);
+        switch (c.kind) {
+          case 0:
+            spec_.apply_newview(c.v, c.p);
+            note("vs-newview(" + c.v.to_string() + ")_" + c.p.to_string());
+            break;
+          case 1:
+            spec_.apply_order(c.p, c.g);
+            note("vs-order_" + c.p.to_string());
+            break;
+          case 2:
+            spec_.apply_gprcv(c.p);
+            ++stats.msgs_delivered;
+            note("vs-gprcv_" + c.p.to_string());
+            break;
+          default:
+            spec_.apply_safe(c.p);
+            note("vs-safe_" + c.p.to_string());
+            break;
+        }
+      }
+      if (step % config_.check_every == 0) {
+        spec_.check_invariants();
+        ++stats.invariant_checks;
+      }
+    }
+    spec_.check_invariants();
+    ++stats.invariant_checks;
+  } catch (const InvariantViolation& e) {
+    throw ExplorationFailure(rng_.seed(), e.what(), log);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// DvsSpecExplorer
+// ---------------------------------------------------------------------------
+
+DvsSpecExplorer::DvsSpecExplorer(ProcessSet universe, View v0,
+                                 ExplorerConfig config, std::uint64_t seed)
+    : spec_(std::move(universe), std::move(v0)),
+      config_(config),
+      rng_(seed) {}
+
+ExplorationStats DvsSpecExplorer::run() {
+  ExplorationStats stats;
+  std::deque<std::string> log;
+  auto note = [&](const std::string& a) {
+    log.push_back(a);
+    if (log.size() > kActionLogSize) log.pop_front();
+  };
+  try {
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      ++stats.steps_taken;
+      if (rng_.chance(config_.p_env)) {
+        ++stats.env_actions;
+        const double r = rng_.uniform();
+        if (r < config_.p_propose_view &&
+            spec_.created().size() < config_.max_views) {
+          // DVS permits out-of-order creation: occasionally propose an epoch
+          // between existing ones.
+          const View& latest = spec_.created().rbegin()->second;
+          View v = random_view_candidate(rng_, spec_.universe(),
+                                         spec_.created().rbegin()->first,
+                                         latest.set(),
+                                         config_.p_biased_membership);
+          if (rng_.chance(0.25) && spec_.created().size() >= 2) {
+            // Rewind the epoch into the middle of the created range.
+            const std::uint64_t lo = spec_.created().begin()->first.epoch();
+            const std::uint64_t hi = spec_.created().rbegin()->first.epoch();
+            if (hi > lo + 1) {
+              const auto epoch = static_cast<std::uint64_t>(
+                  rng_.between(static_cast<std::int64_t>(lo + 1),
+                               static_cast<std::int64_t>(hi)));
+              v = View{ViewId{epoch, v.id().origin()}, v.set()};
+            }
+          }
+          if (spec_.can_createview(v)) {
+            spec_.apply_createview(v);
+            ++stats.views_created;
+            note("dvs-createview(" + v.to_string() + ")");
+          }
+        } else if (r < config_.p_propose_view + config_.p_register) {
+          const ProcessId p = rng_.pick(spec_.universe());
+          spec_.apply_register(p);
+          ++stats.registers;
+          note("dvs-register_" + p.to_string());
+        } else {
+          const ProcessId p = rng_.pick(spec_.universe());
+          spec_.apply_gpsnd(ClientMsg{OpaqueMsg{next_uid_++, p}}, p);
+          ++stats.msgs_sent;
+          note("dvs-gpsnd_" + p.to_string());
+        }
+      } else {
+        struct Choice {
+          int kind;  // 0 newview, 1 order, 2 gprcv, 3 safe
+          ProcessId p;
+          View v;
+          ViewId g;
+        };
+        std::vector<Choice> choices;
+        for (ProcessId p : spec_.universe()) {
+          for (const View& v : spec_.newview_candidates(p)) {
+            choices.push_back({0, p, v, {}});
+          }
+          for (const auto& [g, v] : spec_.created()) {
+            if (spec_.can_order(p, g)) choices.push_back({1, p, {}, g});
+            if (spec_.can_receive(p, g)) choices.push_back({4, p, {}, g});
+          }
+          if (spec_.next_gprcv(p).has_value()) {
+            choices.push_back({2, p, {}, {}});
+          }
+          if (spec_.next_safe_indication(p).has_value()) {
+            choices.push_back({3, p, {}, {}});
+          }
+        }
+        if (choices.empty()) continue;
+        const Choice& c = rng_.pick(choices);
+        switch (c.kind) {
+          case 0:
+            spec_.apply_newview(c.v, c.p);
+            ++stats.dvs_views_attempted;
+            note("dvs-newview(" + c.v.to_string() + ")_" + c.p.to_string());
+            break;
+          case 1:
+            spec_.apply_order(c.p, c.g);
+            note("dvs-order_" + c.p.to_string());
+            break;
+          case 2:
+            spec_.apply_gprcv(c.p);
+            ++stats.msgs_delivered;
+            note("dvs-gprcv_" + c.p.to_string());
+            break;
+          case 3:
+            spec_.apply_safe(c.p);
+            note("dvs-safe_" + c.p.to_string());
+            break;
+          default:
+            spec_.apply_receive(c.p, c.g);
+            note("dvs-receive_" + c.p.to_string());
+            break;
+        }
+      }
+      if (step % config_.check_every == 0) {
+        spec_.check_invariants();
+        ++stats.invariant_checks;
+      }
+    }
+    spec_.check_invariants();
+    ++stats.invariant_checks;
+  } catch (const InvariantViolation& e) {
+    throw ExplorationFailure(rng_.seed(), e.what(), log);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// DvsImplExplorer
+// ---------------------------------------------------------------------------
+
+DvsImplExplorer::DvsImplExplorer(ProcessSet universe, View v0,
+                                 ExplorerConfig config, std::uint64_t seed,
+                                 impl::VsToDvsOptions node_options)
+    : system_(universe, v0, node_options),
+      refinement_(system_),
+      acceptor_(universe, v0),
+      config_(config),
+      rng_(seed) {}
+
+void DvsImplExplorer::on_event(const spec::DvsEvent& event,
+                               ExplorationStats& stats) {
+  ++stats.external_events;
+  trace_.push_back(event);
+  if (config_.check_acceptance) {
+    const spec::AcceptResult r = acceptor_.feed(event);
+    if (!r.ok) {
+      throw InvariantViolation("DVS trace acceptance failed: " + r.error);
+    }
+  }
+}
+
+ExplorationStats DvsImplExplorer::run() {
+  ExplorationStats stats;
+  auto note = [&](const std::string& a) {
+    action_log_.push_back(a);
+    if (action_log_.size() > kActionLogSize) action_log_.pop_front();
+  };
+  auto run_action = [&](const impl::DvsImplAction& action) {
+    note(action.to_string());
+    if (config_.check_refinement) {
+      impl::RefinementResult r = refinement_.step(system_, action);
+      if (!r.ok) throw InvariantViolation(r.error);
+      if (r.event.has_value()) on_event(*r.event, stats);
+    } else {
+      auto event = system_.apply(action);
+      if (event.has_value()) on_event(*event, stats);
+    }
+  };
+
+  try {
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      ++stats.steps_taken;
+      if (rng_.chance(config_.p_env)) {
+        ++stats.env_actions;
+        const double r = rng_.uniform();
+        if (r < config_.p_propose_view &&
+            system_.vs().created().size() < config_.max_views) {
+          const View& latest = system_.vs().created().rbegin()->second;
+          View v = random_view_candidate(
+              rng_, system_.universe(), system_.vs().max_created_id(),
+              latest.set(), config_.p_biased_membership);
+          if (system_.can_vs_createview(v)) {
+            impl::DvsImplAction a = impl::DvsImplAction::with_view(
+                impl::DvsImplActionKind::kVsCreateview, v.id().origin(), v);
+            run_action(a);
+            ++stats.views_created;
+          }
+        } else if (r < config_.p_propose_view + config_.p_register) {
+          const ProcessId p = rng_.pick(system_.universe());
+          run_action(impl::DvsImplAction::make(
+              impl::DvsImplActionKind::kDvsRegister, p));
+          ++stats.registers;
+        } else {
+          const ProcessId p = rng_.pick(system_.universe());
+          run_action(impl::DvsImplAction::send(
+              p, ClientMsg{OpaqueMsg{next_uid_++, p}}));
+          ++stats.msgs_sent;
+        }
+      } else {
+        const std::vector<impl::DvsImplAction> actions =
+            system_.enabled_actions();
+        if (actions.empty()) continue;
+        const impl::DvsImplAction& a = rng_.pick(actions);
+        run_action(a);
+        if (a.kind == impl::DvsImplActionKind::kDvsNewview) {
+          ++stats.dvs_views_attempted;
+        } else if (a.kind == impl::DvsImplActionKind::kDvsGprcv) {
+          ++stats.msgs_delivered;
+        }
+      }
+      if (step % config_.check_every == 0) {
+        system_.check_invariants();
+        ++stats.invariant_checks;
+      }
+    }
+    system_.check_invariants();
+    ++stats.invariant_checks;
+  } catch (const InvariantViolation& e) {
+    throw ExplorationFailure(rng_.seed(), e.what(), action_log_);
+  } catch (const PreconditionViolation& e) {
+    throw ExplorationFailure(rng_.seed(), e.what(), action_log_);
+  }
+  return stats;
+}
+
+}  // namespace dvs::explorer

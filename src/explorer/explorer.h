@@ -1,0 +1,142 @@
+// Randomized execution explorers for the spec automata and for DVS-IMPL.
+//
+// An explorer drives one automaton (or composed system) with a seeded
+// pseudo-random scheduler: at each step it either injects an environment
+// action (client send, register, or a candidate view for the membership
+// service) or fires one uniformly-chosen enabled automaton action. After
+// every step it runs the paper's invariant checkers; the DVS-IMPL explorer
+// additionally runs the step-wise refinement checker (Lemma 5.8) and the
+// DVS trace acceptor.
+//
+// All failures throw ExplorationFailure carrying the seed and the recent
+// action log, so every counterexample replays deterministically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "impl/dvs_impl.h"
+#include "impl/refinement.h"
+#include "spec/acceptors.h"
+#include "spec/dvs_spec.h"
+#include "spec/events.h"
+#include "spec/vs_spec.h"
+
+namespace dvs::explorer {
+
+struct ExplorerConfig {
+  std::size_t steps = 2000;
+  /// Probability that a step injects an environment action.
+  double p_env = 0.35;
+  /// Split of environment actions: propose-view vs send vs register.
+  double p_propose_view = 0.15;
+  double p_register = 0.35;
+  /// Cap on the number of views the membership service creates.
+  std::size_t max_views = 10;
+  /// Run the invariant checkers every k steps (1 = every step).
+  std::size_t check_every = 1;
+  /// DVS-IMPL only: run the refinement checker / trace acceptor.
+  bool check_refinement = true;
+  bool check_acceptance = true;
+  /// Bias view proposals towards majorities of the latest membership (makes
+  /// primary formation likely); 0 = fully uniform memberships.
+  double p_biased_membership = 0.6;
+};
+
+struct ExplorationStats {
+  std::size_t steps_taken = 0;
+  std::size_t env_actions = 0;
+  std::size_t views_created = 0;
+  std::size_t dvs_views_attempted = 0;
+  std::size_t msgs_sent = 0;
+  std::size_t msgs_delivered = 0;
+  std::size_t registers = 0;
+  std::size_t external_events = 0;
+  std::size_t invariant_checks = 0;
+};
+
+/// Thrown when an invariant, refinement or acceptance check fails during
+/// exploration; carries the seed and the tail of the action log.
+class ExplorationFailure : public std::runtime_error {
+ public:
+  ExplorationFailure(std::uint64_t seed, const std::string& why,
+                     const std::deque<std::string>& recent_actions);
+};
+
+/// Explores the VS specification (Figure 1) standalone. Checks
+/// Invariant 3.1 and structural sanity every step.
+class VsSpecExplorer {
+ public:
+  VsSpecExplorer(ProcessSet universe, View v0, ExplorerConfig config,
+                 std::uint64_t seed);
+
+  ExplorationStats run();
+  [[nodiscard]] const spec::VsSpec& spec() const { return spec_; }
+
+ private:
+  spec::VsSpec spec_;
+  ExplorerConfig config_;
+  Rng rng_;
+  std::uint64_t next_uid_ = 1;
+};
+
+/// Explores the DVS specification (Figure 2) standalone. Checks
+/// Invariants 4.1 and 4.2 every step.
+class DvsSpecExplorer {
+ public:
+  DvsSpecExplorer(ProcessSet universe, View v0, ExplorerConfig config,
+                  std::uint64_t seed);
+
+  ExplorationStats run();
+  [[nodiscard]] const spec::DvsSpec& spec() const { return spec_; }
+
+ private:
+  spec::DvsSpec spec_;
+  ExplorerConfig config_;
+  Rng rng_;
+  std::uint64_t next_uid_ = 1;
+};
+
+/// Explores DVS-IMPL (Section 5). Checks Invariants 5.1–5.6 (corrected
+/// forms; see impl/dvs_impl.h), the refinement to DVS (Lemma 5.8), and DVS
+/// trace acceptance, every step.
+class DvsImplExplorer {
+ public:
+  DvsImplExplorer(ProcessSet universe, View v0, ExplorerConfig config,
+                  std::uint64_t seed, impl::VsToDvsOptions node_options = {});
+
+  ExplorationStats run();
+
+  [[nodiscard]] const impl::DvsImplSystem& system() const { return system_; }
+  [[nodiscard]] const std::vector<spec::DvsEvent>& trace() const {
+    return trace_;
+  }
+
+ private:
+  void on_event(const spec::DvsEvent& event, ExplorationStats& stats);
+
+  impl::DvsImplSystem system_;
+  impl::RefinementChecker refinement_;
+  spec::DvsAcceptor acceptor_;
+  ExplorerConfig config_;
+  Rng rng_;
+  std::uint64_t next_uid_ = 1;
+  std::vector<spec::DvsEvent> trace_;
+  std::deque<std::string> action_log_;
+};
+
+/// Generates a candidate view for the membership service: a fresh id above
+/// everything in `existing_max`, with a random nonempty membership of
+/// `universe`, biased (per config) toward majorities of `bias_toward`.
+[[nodiscard]] View random_view_candidate(Rng& rng, const ProcessSet& universe,
+                                         const ViewId& existing_max,
+                                         const ProcessSet& bias_toward,
+                                         double p_biased);
+
+}  // namespace dvs::explorer

@@ -1,0 +1,89 @@
+#include "explorer/to_explorer.h"
+
+#include "common/check.h"
+
+namespace dvs::explorer {
+namespace {
+constexpr std::size_t kActionLogSize = 64;
+}  // namespace
+
+ToImplExplorer::ToImplExplorer(ProcessSet universe, View v0,
+                               ExplorerConfig config, std::uint64_t seed,
+                               toimpl::DvsToToOptions node_options)
+    : system_(universe, v0, node_options),
+      acceptor_(universe),
+      config_(config),
+      rng_(seed) {}
+
+void ToImplExplorer::run_action(const toimpl::ToImplAction& action,
+                                ExplorationStats& stats) {
+  action_log_.push_back(action.to_string());
+  if (action_log_.size() > kActionLogSize) action_log_.pop_front();
+  const auto event = system_.apply(action);
+  if (event.has_value()) {
+    ++stats.external_events;
+    trace_.push_back(*event);
+    if (config_.check_acceptance) {
+      const spec::AcceptResult r = acceptor_.feed(*event);
+      if (!r.ok) {
+        throw InvariantViolation("TO trace acceptance (Theorem 6.4) failed: " +
+                                 r.error);
+      }
+    }
+  }
+}
+
+ExplorationStats ToImplExplorer::run() {
+  ExplorationStats stats;
+  try {
+    for (std::size_t step = 0; step < config_.steps; ++step) {
+      ++stats.steps_taken;
+      if (rng_.chance(config_.p_env)) {
+        ++stats.env_actions;
+        if (rng_.chance(config_.p_propose_view) &&
+            system_.dvs().created().size() < config_.max_views) {
+          const View& latest = system_.dvs().created().rbegin()->second;
+          View v = random_view_candidate(
+              rng_, system_.universe(),
+              system_.dvs().created().rbegin()->first, latest.set(),
+              config_.p_biased_membership);
+          if (system_.can_dvs_createview(v)) {
+            run_action(toimpl::ToImplAction::with_view(
+                           toimpl::ToImplActionKind::kDvsCreateview,
+                           v.id().origin(), v),
+                       stats);
+            ++stats.views_created;
+          }
+        } else {
+          const ProcessId p = rng_.pick(system_.universe());
+          AppMsg a{next_uid_++, p, ""};
+          run_action(toimpl::ToImplAction::bcast(p, std::move(a)), stats);
+          ++stats.msgs_sent;
+        }
+      } else {
+        const auto actions = system_.enabled_actions();
+        if (actions.empty()) continue;
+        const toimpl::ToImplAction& a = rng_.pick(actions);
+        run_action(a, stats);
+        if (a.kind == toimpl::ToImplActionKind::kDvsNewview) {
+          ++stats.dvs_views_attempted;
+        } else if (a.kind == toimpl::ToImplActionKind::kBrcv) {
+          ++stats.msgs_delivered;
+        }
+      }
+      if (step % config_.check_every == 0) {
+        system_.check_invariants();
+        ++stats.invariant_checks;
+      }
+    }
+    system_.check_invariants();
+    ++stats.invariant_checks;
+  } catch (const InvariantViolation& e) {
+    throw ExplorationFailure(rng_.seed(), e.what(), action_log_);
+  } catch (const PreconditionViolation& e) {
+    throw ExplorationFailure(rng_.seed(), e.what(), action_log_);
+  }
+  return stats;
+}
+
+}  // namespace dvs::explorer

@@ -1,0 +1,44 @@
+// Randomized explorer for TO-IMPL (Section 6): drives the composed
+// DVS × Π DVS-TO-TO_p system, checks Invariants 6.1–6.3 every step, and
+// feeds the external BCAST/BRCV trace to the TO acceptor — the executable
+// counterpart of Theorem 6.4.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "explorer/explorer.h"
+#include "spec/acceptors.h"
+#include "toimpl/to_impl.h"
+
+namespace dvs::explorer {
+
+class ToImplExplorer {
+ public:
+  ToImplExplorer(ProcessSet universe, View v0, ExplorerConfig config,
+                 std::uint64_t seed,
+                 toimpl::DvsToToOptions node_options = {});
+
+  ExplorationStats run();
+
+  [[nodiscard]] const toimpl::ToImplSystem& system() const { return system_; }
+  [[nodiscard]] const std::vector<spec::ToEvent>& trace() const {
+    return trace_;
+  }
+
+ private:
+  void run_action(const toimpl::ToImplAction& action, ExplorationStats& stats);
+
+  toimpl::ToImplSystem system_;
+  spec::ToAcceptor acceptor_;
+  ExplorerConfig config_;
+  Rng rng_;
+  std::uint64_t next_uid_ = 1;
+  std::vector<spec::ToEvent> trace_;
+  std::deque<std::string> action_log_;
+};
+
+}  // namespace dvs::explorer

@@ -1,0 +1,470 @@
+#include "impl/dvs_impl.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dvs::impl {
+
+const char* to_string(DvsImplActionKind kind) {
+  switch (kind) {
+    case DvsImplActionKind::kVsCreateview:
+      return "vs-createview";
+    case DvsImplActionKind::kVsNewview:
+      return "vs-newview";
+    case DvsImplActionKind::kVsOrder:
+      return "vs-order";
+    case DvsImplActionKind::kVsGprcv:
+      return "vs-gprcv";
+    case DvsImplActionKind::kVsSafe:
+      return "vs-safe";
+    case DvsImplActionKind::kVsGpsnd:
+      return "vs-gpsnd";
+    case DvsImplActionKind::kDvsNewview:
+      return "dvs-newview";
+    case DvsImplActionKind::kDvsGprcv:
+      return "dvs-gprcv";
+    case DvsImplActionKind::kDvsSafe:
+      return "dvs-safe";
+    case DvsImplActionKind::kGarbageCollect:
+      return "dvs-garbage-collect";
+    case DvsImplActionKind::kDvsGpsnd:
+      return "dvs-gpsnd";
+    case DvsImplActionKind::kDvsRegister:
+      return "dvs-register";
+  }
+  return "?";
+}
+
+std::string DvsImplAction::to_string() const {
+  std::ostringstream os;
+  os << impl::to_string(kind) << "_" << p.to_string();
+  if (view.has_value()) os << "(" << view->to_string() << ")";
+  if (gid.has_value()) os << "[g=" << gid->to_string() << "]";
+  if (from.has_value()) os << "[from=" << from->to_string() << "]";
+  if (msg.has_value()) os << "(" << dvs::to_string(*msg) << ")";
+  return os.str();
+}
+
+DvsImplAction DvsImplAction::make(DvsImplActionKind kind, ProcessId p) {
+  DvsImplAction a;
+  a.kind = kind;
+  a.p = p;
+  return a;
+}
+
+DvsImplAction DvsImplAction::with_view(DvsImplActionKind kind, ProcessId p,
+                                       View v) {
+  DvsImplAction a = make(kind, p);
+  a.view = std::move(v);
+  return a;
+}
+
+DvsImplAction DvsImplAction::order(ProcessId sender, ViewId g) {
+  DvsImplAction a = make(DvsImplActionKind::kVsOrder, sender);
+  a.gid = g;
+  a.from = sender;
+  return a;
+}
+
+DvsImplAction DvsImplAction::send(ProcessId p, ClientMsg m) {
+  DvsImplAction a = make(DvsImplActionKind::kDvsGpsnd, p);
+  a.msg = std::move(m);
+  return a;
+}
+
+DvsImplSystem::DvsImplSystem(ProcessSet universe, View v0,
+                             VsToDvsOptions node_options)
+    : universe_(std::move(universe)),
+      v0_(std::move(v0)),
+      vs_(universe_, v0_),
+      node_options_(std::move(node_options)) {
+  for (ProcessId p : universe_) {
+    nodes_.emplace(p, VsToDvs{p, v0_, node_options_});
+  }
+}
+
+bool DvsImplSystem::acceptance_majority(const ProcessSet& v_set,
+                                        const ProcessSet& w_set) const {
+  return node_options_.weights.empty()
+             ? majority_of(v_set, w_set)
+             : weighted_majority_of(v_set, w_set, node_options_.weights);
+}
+
+std::vector<DvsImplAction> DvsImplSystem::enabled_actions() const {
+  std::vector<DvsImplAction> out;
+  for (const auto& [p, node] : nodes_) {
+    // VS outputs directed at p.
+    for (const View& v : vs_.newview_candidates(p)) {
+      out.push_back(
+          DvsImplAction::with_view(DvsImplActionKind::kVsNewview, p, v));
+    }
+    if (vs_.next_gprcv(p).has_value()) {
+      out.push_back(DvsImplAction::make(DvsImplActionKind::kVsGprcv, p));
+    }
+    if (vs_.next_safe_indication(p).has_value()) {
+      out.push_back(DvsImplAction::make(DvsImplActionKind::kVsSafe, p));
+    }
+    // VS internal ordering of p's pending messages (any created view id).
+    for (const auto& [g, v] : vs_.created()) {
+      if (vs_.can_order(p, g)) {
+        out.push_back(DvsImplAction::order(p, g));
+      }
+    }
+    // VS-TO-DVS_p outputs.
+    if (node.next_vs_gpsnd().has_value()) {
+      out.push_back(DvsImplAction::make(DvsImplActionKind::kVsGpsnd, p));
+    }
+    if (node.can_dvs_newview()) {
+      out.push_back(DvsImplAction::with_view(DvsImplActionKind::kDvsNewview,
+                                             p, *node.cur()));
+    }
+    if (node.next_dvs_gprcv().has_value()) {
+      out.push_back(DvsImplAction::make(DvsImplActionKind::kDvsGprcv, p));
+    }
+    if (node.next_dvs_safe().has_value()) {
+      out.push_back(DvsImplAction::make(DvsImplActionKind::kDvsSafe, p));
+    }
+    for (const View& v : node.gc_candidates()) {
+      out.push_back(DvsImplAction::with_view(
+          DvsImplActionKind::kGarbageCollect, p, v));
+    }
+  }
+  return out;
+}
+
+bool DvsImplSystem::can_vs_createview(const View& v) const {
+  return vs_.can_createview(v);
+}
+
+std::optional<spec::DvsEvent> DvsImplSystem::apply(
+    const DvsImplAction& action) {
+  VsToDvs& node = nodes_.at(action.p);
+  switch (action.kind) {
+    case DvsImplActionKind::kVsCreateview:
+      vs_.apply_createview(action.view.value());
+      return std::nullopt;
+    case DvsImplActionKind::kVsNewview: {
+      const View& v = action.view.value();
+      vs_.apply_newview(v, action.p);
+      node.on_vs_newview(v);
+      return std::nullopt;
+    }
+    case DvsImplActionKind::kVsOrder:
+      vs_.apply_order(action.from.value(), action.gid.value());
+      return std::nullopt;
+    case DvsImplActionKind::kVsGprcv: {
+      auto [m, sender] = vs_.apply_gprcv(action.p);
+      node.on_vs_gprcv(m, sender);
+      return std::nullopt;
+    }
+    case DvsImplActionKind::kVsSafe: {
+      auto [m, sender] = vs_.apply_safe(action.p);
+      node.on_vs_safe(m, sender);
+      return std::nullopt;
+    }
+    case DvsImplActionKind::kVsGpsnd: {
+      Msg m = node.take_vs_gpsnd();
+      vs_.apply_gpsnd(m, action.p);
+      return std::nullopt;
+    }
+    case DvsImplActionKind::kDvsNewview: {
+      View v = node.apply_dvs_newview();
+      return spec::DvsEvent{spec::EvNewview{action.p, std::move(v)}};
+    }
+    case DvsImplActionKind::kDvsGprcv: {
+      auto [m, sender] = node.take_dvs_gprcv();
+      return spec::DvsEvent{
+          spec::EvGprcv<ClientMsg>{sender, action.p, std::move(m)}};
+    }
+    case DvsImplActionKind::kDvsSafe: {
+      auto [m, sender] = node.take_dvs_safe();
+      return spec::DvsEvent{
+          spec::EvSafe<ClientMsg>{sender, action.p, std::move(m)}};
+    }
+    case DvsImplActionKind::kGarbageCollect:
+      node.apply_garbage_collect(action.view.value());
+      return std::nullopt;
+    case DvsImplActionKind::kDvsGpsnd:
+      node.on_dvs_gpsnd(action.msg.value());
+      return spec::DvsEvent{
+          spec::EvGpsnd<ClientMsg>{action.p, action.msg.value()}};
+    case DvsImplActionKind::kDvsRegister:
+      node.on_dvs_register();
+      return spec::DvsEvent{spec::EvRegister{action.p}};
+  }
+  throw PreconditionViolation("unknown DvsImplAction kind");
+}
+
+std::vector<View> DvsImplSystem::created() const {
+  std::vector<View> out;
+  out.reserve(vs_.created().size());
+  for (const auto& [g, v] : vs_.created()) out.push_back(v);
+  return out;
+}
+
+std::vector<View> DvsImplSystem::att() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : vs_.created()) {
+    const bool attempted_somewhere =
+        std::any_of(v.set().begin(), v.set().end(), [&](ProcessId p) {
+          return nodes_.at(p).attempted().contains(g);
+        });
+    if (attempted_somewhere) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<View> DvsImplSystem::tot_att() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : vs_.created()) {
+    const bool attempted_everywhere =
+        std::all_of(v.set().begin(), v.set().end(), [&](ProcessId p) {
+          return nodes_.at(p).attempted().contains(g);
+        });
+    if (attempted_everywhere) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<View> DvsImplSystem::reg() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : vs_.created()) {
+    const bool registered_somewhere =
+        std::any_of(v.set().begin(), v.set().end(),
+                    [&](ProcessId p) { return nodes_.at(p).reg(g); });
+    if (registered_somewhere) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<View> DvsImplSystem::tot_reg() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : vs_.created()) {
+    const bool registered_everywhere =
+        std::all_of(v.set().begin(), v.set().end(),
+                    [&](ProcessId p) { return nodes_.at(p).reg(g); });
+    if (registered_everywhere) out.push_back(v);
+  }
+  return out;
+}
+
+bool DvsImplSystem::tot_reg_between(const ViewId& lo, const ViewId& hi) const {
+  for (const View& x : tot_reg()) {
+    if (lo < x.id() && x.id() < hi) return true;
+  }
+  return false;
+}
+
+void DvsImplSystem::check_invariants() const {
+  check_invariant_5_1();
+  check_invariant_5_2();
+  check_invariant_5_3();
+  check_invariant_5_4();
+  check_invariant_5_5();
+  check_invariant_5_6();
+}
+
+// Invariant 5.1: if v ∈ attempted_p and q ∈ v.set then cur.id_q ≥ v.id.
+void DvsImplSystem::check_invariant_5_1() const {
+  for (const auto& [p, node] : nodes_) {
+    for (const auto& [g, v] : node.attempted()) {
+      for (ProcessId q : v.set()) {
+        const auto& cur_q = nodes_.at(q).cur();
+        DVS_INVARIANT("Invariant 5.1 (DVS-IMPL)",
+                      cur_q.has_value() && cur_q->id() >= v.id(),
+                      "view " << v.to_string() << " attempted at "
+                              << p.to_string() << " but member "
+                              << q.to_string() << " has an older cur");
+      }
+    }
+  }
+}
+
+// Invariant 5.2 parts 1, 2, 4, 5, 6 as printed; part 3 in the corrected
+// form: cur_p ≠ ⊥ ∧ w ∈ use_p ⇒ w.id ≤ cur.id_p, with equality only when
+// client-cur_p = cur_p. (The printed form bounds use by client-cur, which a
+// reachable counterexample falsifies — see dvs_impl.h and the tests.)
+void DvsImplSystem::check_invariant_5_2() const {
+  const std::vector<View> totreg = tot_reg();
+  auto in_totreg = [&](const View& x) {
+    return std::any_of(totreg.begin(), totreg.end(),
+                       [&](const View& y) { return y == x; });
+  };
+  for (const auto& [p, node] : nodes_) {
+    // (1) act_p ∈ TotReg.
+    DVS_INVARIANT("Invariant 5.2.1 (DVS-IMPL)", in_totreg(node.act()),
+                  "act at " << p.to_string() << " = "
+                            << node.act().to_string()
+                            << " is not totally registered");
+    // (2) w ∈ amb_p ⇒ act.id_p < w.id.
+    for (const auto& [g, w] : node.amb()) {
+      DVS_INVARIANT("Invariant 5.2.2 (DVS-IMPL)", node.act().id() < w.id(),
+                    "amb entry " << w.to_string() << " not above act at "
+                                 << p.to_string());
+    }
+    // (3, corrected) cur_p ≠ ⊥ ∧ w ∈ use_p ⇒ w.id ≤ cur.id_p; equality only
+    // when client-cur_p = cur_p.
+    if (node.cur().has_value()) {
+      for (const View& w : node.use()) {
+        const bool ok =
+            w.id() < node.cur()->id() ||
+            (w.id() == node.cur()->id() && node.client_cur().has_value() &&
+             node.client_cur()->id() == node.cur()->id());
+        DVS_INVARIANT("Invariant 5.2.3' (DVS-IMPL, corrected)", ok,
+                      "use entry " << w.to_string() << " above cur at "
+                                   << p.to_string());
+      }
+    }
+    for (const auto& [g, info] : node.info_sent_all()) {
+      // (4) info-sent[g]_p = ⟨x, X⟩ ⇒ x ∈ TotReg.
+      DVS_INVARIANT("Invariant 5.2.4 (DVS-IMPL)", in_totreg(info.act),
+                    "info-sent[" << g.to_string() << "] at " << p.to_string()
+                                 << " carries act "
+                                 << info.act.to_string()
+                                 << " not totally registered");
+      for (const auto& [wid, w] : info.amb) {
+        // (5) w ∈ X ⇒ x.id < w.id.
+        DVS_INVARIANT("Invariant 5.2.5 (DVS-IMPL)", info.act.id() < w.id(),
+                      "info-sent[" << g.to_string() << "] at "
+                                   << p.to_string() << " has amb entry "
+                                   << w.to_string() << " not above its act");
+        // (6) w ∈ {x} ∪ X ⇒ w.id < g.
+        DVS_INVARIANT("Invariant 5.2.6 (DVS-IMPL)", w.id() < g,
+                      "info-sent[" << g.to_string() << "] amb entry "
+                                   << w.to_string() << " not below " << "g");
+      }
+      DVS_INVARIANT("Invariant 5.2.6 (DVS-IMPL)", info.act.id() < g,
+                    "info-sent[" << g.to_string() << "] act "
+                                 << info.act.to_string() << " not below g");
+    }
+  }
+}
+
+void DvsImplSystem::check_invariant_5_2_3_literal() const {
+  for (const auto& [p, node] : nodes_) {
+    if (!node.client_cur().has_value()) continue;
+    for (const View& w : node.use()) {
+      DVS_INVARIANT("Invariant 5.2.3 (literal)",
+                    w.id() <= node.client_cur()->id(),
+                    "use entry " << w.to_string() << " above client-cur at "
+                                 << p.to_string());
+    }
+  }
+}
+
+// Invariant 5.3, part 1 with the corrective hypothesis w.id < g (the form
+// the paper's proofs actually instantiate), part 2 as printed.
+void DvsImplSystem::check_invariant_5_3() const {
+  for (const auto& [p, node] : nodes_) {
+    // (1') info-sent[g]_p = ⟨x, X⟩ ∧ w ∈ attempted_p ∧ w.id < g ⇒
+    //      w ∈ {x} ∪ X ∨ w.id < x.id.
+    for (const auto& [g, info] : node.info_sent_all()) {
+      for (const auto& [wid, w] : node.attempted()) {
+        if (!(wid < g)) continue;
+        const bool in_info = info.act == w || info.amb.contains(wid);
+        DVS_INVARIANT("Invariant 5.3.1' (DVS-IMPL, corrected)",
+                      in_info || wid < info.act.id(),
+                      "attempted view " << w.to_string()
+                                        << " missing from info-sent["
+                                        << g.to_string() << "] at "
+                                        << p.to_string());
+      }
+    }
+    // (2) info-rcvd[q, g]_p = ⟨x, X⟩ ∧ w ∈ {x} ∪ X ⇒ w ∈ use_p ∨
+    //     w.id < act.id_p.
+    for (ProcessId q : universe_) {
+      for (const auto& [g, v] : vs_.created()) {
+        const auto info = node.info_rcvd(q, g);
+        if (!info.has_value()) continue;
+        auto check = [&](const View& w) {
+          const bool in_use = w == node.act() || node.amb().contains(w.id());
+          DVS_INVARIANT("Invariant 5.3.2 (DVS-IMPL)",
+                        in_use || w.id() < node.act().id(),
+                        "info-rcvd[" << q.to_string() << "," << g.to_string()
+                                     << "] entry " << w.to_string()
+                                     << " neither in use nor below act at "
+                                     << p.to_string());
+        };
+        check(info->act);
+        for (const auto& [wid, w] : info->amb) check(w);
+      }
+    }
+  }
+}
+
+void DvsImplSystem::check_invariant_5_3_1_literal() const {
+  for (const auto& [p, node] : nodes_) {
+    for (const auto& [g, info] : node.info_sent_all()) {
+      for (const auto& [wid, w] : node.attempted()) {
+        const bool in_info = info.act == w || info.amb.contains(wid);
+        DVS_INVARIANT("Invariant 5.3.1 (literal)",
+                      in_info || wid < info.act.id(),
+                      "attempted view " << w.to_string()
+                                        << " missing from info-sent["
+                                        << g.to_string() << "] at "
+                                        << p.to_string());
+      }
+    }
+  }
+}
+
+// Invariant 5.4: v ∈ attempted_p, q ∈ v.set, w ∈ attempted_q, w.id < v.id,
+// no x ∈ TotReg with w.id < x.id < v.id ⇒ |v.set ∩ w.set| > |w.set| / 2.
+void DvsImplSystem::check_invariant_5_4() const {
+  for (const auto& [p, node_p] : nodes_) {
+    for (const auto& [vid, v] : node_p.attempted()) {
+      for (ProcessId q : v.set()) {
+        const VsToDvs& node_q = nodes_.at(q);
+        for (const auto& [wid, w] : node_q.attempted()) {
+          if (!(wid < vid)) continue;
+          if (tot_reg_between(wid, vid)) continue;
+          DVS_INVARIANT(
+              "Invariant 5.4 (DVS-IMPL)", acceptance_majority(v.set(), w.set()),
+              "attempted views " << v.to_string() << " (at " << p.to_string()
+                                 << ") and " << w.to_string() << " (at "
+                                 << q.to_string()
+                                 << ") lack a majority intersection");
+        }
+      }
+    }
+  }
+}
+
+// Invariant 5.5: v ∈ Att, w ∈ TotReg, w.id < v.id, no x ∈ TotReg with
+// w.id < x.id < v.id ⇒ |v.set ∩ w.set| > |w.set| / 2.
+void DvsImplSystem::check_invariant_5_5() const {
+  const std::vector<View> a = att();
+  const std::vector<View> tr = tot_reg();
+  for (const View& v : a) {
+    for (const View& w : tr) {
+      if (!(w.id() < v.id())) continue;
+      if (tot_reg_between(w.id(), v.id())) continue;
+      DVS_INVARIANT("Invariant 5.5 (DVS-IMPL)",
+                    acceptance_majority(v.set(), w.set()),
+                    "attempted view "
+                        << v.to_string()
+                        << " lacks a majority of the latest preceding totally "
+                           "registered view "
+                        << w.to_string());
+    }
+  }
+}
+
+// Invariant 5.6: v, w ∈ Att, w.id < v.id, no x ∈ TotReg with
+// w.id < x.id < v.id ⇒ v.set ∩ w.set ≠ {}.
+void DvsImplSystem::check_invariant_5_6() const {
+  const std::vector<View> a = att();
+  for (const View& v : a) {
+    for (const View& w : a) {
+      if (!(w.id() < v.id())) continue;
+      if (tot_reg_between(w.id(), v.id())) continue;
+      DVS_INVARIANT("Invariant 5.6 (DVS-IMPL)", intersects(v.set(), w.set()),
+                    "attempted views " << v.to_string() << " and "
+                                       << w.to_string() << " are disjoint");
+    }
+  }
+}
+
+}  // namespace dvs::impl

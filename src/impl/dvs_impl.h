@@ -1,0 +1,152 @@
+// DVS-IMPL: the composition of the VS specification automaton with one
+// VS-TO-DVS_p automaton per processor, with all VS actions hidden
+// (paper Section 5.1).
+//
+// The class enumerates the enabled actions of the composed automaton so a
+// scheduler can explore executions, exposes the derived variables Att,
+// TotAtt, Reg and TotReg, and implements checkers for Invariants 5.1–5.6.
+//
+// Two of the paper's invariants are falsifiable exactly as printed
+// (5.2(3) and 5.3(1)); the executable checkers found reachable
+// counterexamples, reproduced as unit tests. check_invariants() verifies
+// corrected forms that are reachable-state-true and still support the
+// paper's proofs; check_invariant_5_2_3_literal / 5_3_1_literal implement
+// the printed statements so the counterexamples stay documented. See
+// EXPERIMENTS.md E4 for the analysis.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "impl/vs_to_dvs.h"
+#include "spec/events.h"
+#include "spec/vs_spec.h"
+
+namespace dvs::impl {
+
+enum class DvsImplActionKind {
+  // VS specification moves (hidden in the composition).
+  kVsCreateview,
+  kVsNewview,
+  kVsOrder,
+  kVsGprcv,
+  kVsSafe,
+  // VS-TO-DVS_p output feeding VS.
+  kVsGpsnd,
+  // VS-TO-DVS_p outputs / internal actions.
+  kDvsNewview,
+  kDvsGprcv,
+  kDvsSafe,
+  kGarbageCollect,
+  // Environment inputs.
+  kDvsGpsnd,
+  kDvsRegister,
+};
+
+[[nodiscard]] const char* to_string(DvsImplActionKind kind);
+
+/// One transition of the composed automaton, with its parameters.
+struct DvsImplAction {
+  DvsImplActionKind kind{};
+  ProcessId p{};                  // acting processor
+  std::optional<View> view;       // createview / newview / garbage-collect
+  std::optional<ViewId> gid;      // vs-order view id
+  std::optional<ProcessId> from;  // vs-order sender
+  std::optional<ClientMsg> msg;   // dvs-gpsnd payload
+
+  [[nodiscard]] std::string to_string() const;
+
+  // Factories for the common shapes.
+  static DvsImplAction make(DvsImplActionKind kind, ProcessId p);
+  static DvsImplAction with_view(DvsImplActionKind kind, ProcessId p, View v);
+  static DvsImplAction order(ProcessId sender, ViewId g);
+  static DvsImplAction send(ProcessId p, ClientMsg m);
+};
+
+/// The composed system.
+class DvsImplSystem {
+ public:
+  /// All processes in `universe` exist from the start; those in v0.set are
+  /// the initial members. `node_options` is forwarded to every VS-TO-DVS_p
+  /// (mutation-testing switches; see VsToDvsOptions).
+  DvsImplSystem(ProcessSet universe, View v0,
+                VsToDvsOptions node_options = {});
+
+  // ----- action interface --------------------------------------------------
+
+  /// Enumerates every enabled non-environment action (VS moves, VS-TO-DVS
+  /// outputs, garbage collection). Environment inputs (kDvsGpsnd,
+  /// kDvsRegister, and kVsCreateview candidates) are chosen by the caller.
+  [[nodiscard]] std::vector<DvsImplAction> enabled_actions() const;
+
+  /// VS-CREATEVIEW is internal to VS but its view parameter is
+  /// unconstrained; callers propose candidates.
+  [[nodiscard]] bool can_vs_createview(const View& v) const;
+
+  /// Applies the action; returns the resulting external DVS event if the
+  /// action is external, nullopt for internal actions. Throws
+  /// PreconditionViolation if the action is not enabled.
+  std::optional<spec::DvsEvent> apply(const DvsImplAction& action);
+
+  // ----- state access -------------------------------------------------------
+
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const View& v0() const { return v0_; }
+  [[nodiscard]] const spec::VsSpec& vs() const { return vs_; }
+  [[nodiscard]] const VsToDvs& node(ProcessId p) const { return nodes_.at(p); }
+
+  // ----- derived variables (Section 5.1) ------------------------------------
+
+  /// created: the views created by the underlying VS service.
+  [[nodiscard]] std::vector<View> created() const;
+  /// Att = {v ∈ created | ∃p ∈ v.set: v ∈ attempted_p}.
+  [[nodiscard]] std::vector<View> att() const;
+  /// TotAtt = {v ∈ created | ∀p ∈ v.set: v ∈ attempted_p}.
+  [[nodiscard]] std::vector<View> tot_att() const;
+  /// Reg = {v ∈ created | ∃p ∈ v.set: reg[v.id]_p}.
+  [[nodiscard]] std::vector<View> reg() const;
+  /// TotReg = {v ∈ created | ∀p ∈ v.set: reg[v.id]_p}.
+  [[nodiscard]] std::vector<View> tot_reg() const;
+  /// ∃x ∈ TotReg with lo < x.id < hi.
+  [[nodiscard]] bool tot_reg_between(const ViewId& lo, const ViewId& hi) const;
+
+  // ----- invariants ----------------------------------------------------------
+
+  /// Checks Invariants 5.1, 5.2 (corrected form of part 3), 5.3 (corrected
+  /// form of part 1), 5.4, 5.5 and 5.6. Throws InvariantViolation on the
+  /// first failure. Under weighted dynamic voting, 5.4 and 5.5 use the
+  /// weighted majority (the paper's counting form is the all-weights-equal
+  /// case); 5.6 and the refinement are weight-independent.
+  void check_invariants() const;
+
+  void check_invariant_5_1() const;
+  void check_invariant_5_2() const;
+  void check_invariant_5_3() const;
+  void check_invariant_5_4() const;
+  void check_invariant_5_5() const;
+  void check_invariant_5_6() const;
+
+  /// The printed form of Invariant 5.2(3): client-cur_p ≠ ⊥ ∧ w ∈ use_p ⇒
+  /// w.id ≤ client-cur.id_p. Falsifiable (see header comment); kept for the
+  /// documented counterexample tests.
+  void check_invariant_5_2_3_literal() const;
+  /// The printed form of Invariant 5.3(1), without the w.id < g hypothesis.
+  void check_invariant_5_3_1_literal() const;
+
+ private:
+  [[nodiscard]] bool acceptance_majority(const ProcessSet& v_set,
+                                         const ProcessSet& w_set) const;
+
+  ProcessSet universe_;
+  View v0_;
+  spec::VsSpec vs_;
+  VsToDvsOptions node_options_;
+  std::map<ProcessId, VsToDvs> nodes_;
+};
+
+}  // namespace dvs::impl

@@ -1,0 +1,297 @@
+#include "impl/refinement.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dvs::impl {
+namespace {
+
+/// purge: client messages of a mixed queue, in order.
+std::vector<ClientMsg> purge(const std::deque<Msg>& msgs) {
+  std::vector<ClientMsg> out;
+  for (const Msg& m : msgs) {
+    if (is_client(m)) out.push_back(to_client(m));
+  }
+  return out;
+}
+
+std::vector<std::pair<ClientMsg, ProcessId>> purge_queue(
+    const std::vector<std::pair<Msg, ProcessId>>& queue) {
+  std::vector<std::pair<ClientMsg, ProcessId>> out;
+  for (const auto& [m, p] : queue) {
+    if (is_client(m)) out.emplace_back(to_client(m), p);
+  }
+  return out;
+}
+
+/// purgesize of queue(1..prefix_len): the number of non-client messages in
+/// the first prefix_len entries.
+std::size_t purgesize_prefix(const std::vector<std::pair<Msg, ProcessId>>& q,
+                             std::size_t prefix_len) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < prefix_len && i < q.size(); ++i) {
+    if (!is_client(q[i].first)) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::string DvsState::diff(const DvsState& a, const DvsState& b) {
+  std::ostringstream os;
+  if (a.created != b.created) {
+    os << "created differs: |a|=" << a.created.size()
+       << " |b|=" << b.created.size();
+  } else if (a.current_viewid != b.current_viewid) {
+    os << "current-viewid differs";
+    for (const auto& [p, g] : a.current_viewid) {
+      auto it = b.current_viewid.find(p);
+      const bool same = it != b.current_viewid.end() && it->second == g;
+      if (!same) {
+        os << " at " << p.to_string();
+        break;
+      }
+    }
+  } else if (a.attempted != b.attempted) {
+    os << "attempted differs";
+  } else if (a.registered != b.registered) {
+    os << "registered differs";
+  } else if (a.pending != b.pending) {
+    os << "pending differs";
+    for (const auto& [key, msgs] : a.pending) {
+      auto it = b.pending.find(key);
+      if (it == b.pending.end() || it->second != msgs) {
+        os << " at (" << key.first.to_string() << "," << key.second.to_string()
+           << "): a has " << msgs.size() << " entries, b has "
+           << (it == b.pending.end() ? 0 : it->second.size());
+        break;
+      }
+    }
+  } else if (a.queue != b.queue) {
+    os << "queue differs";
+  } else if (a.next != b.next) {
+    os << "next differs";
+  } else if (a.next_safe != b.next_safe) {
+    os << "next-safe differs";
+  } else if (a.received != b.received) {
+    os << "received differs";
+  } else {
+    return "";
+  }
+  return os.str();
+}
+
+DvsState snapshot(const spec::DvsSpec& spec) {
+  DvsState t;
+  t.created = spec.created();
+  for (ProcessId p : spec.universe()) {
+    t.current_viewid[p] = spec.current_viewid(p);
+  }
+  for (const auto& [g, members] : spec.attempted_all()) {
+    if (!members.empty()) t.attempted[g] = members;
+  }
+  for (const auto& [g, members] : spec.registered_all()) {
+    if (!members.empty()) t.registered[g] = members;
+  }
+  for (const auto& [p, per_view] : spec.pending_all()) {
+    for (const auto& [g, msgs] : per_view) {
+      if (!msgs.empty()) {
+        t.pending[{p, g}] = std::vector<ClientMsg>(msgs.begin(), msgs.end());
+      }
+    }
+  }
+  for (const auto& [g, q] : spec.queue_all()) {
+    if (!q.empty()) t.queue[g] = q;
+  }
+  for (const auto& [p, per_view] : spec.next_all()) {
+    for (const auto& [g, n] : per_view) {
+      if (n != 1) t.next[{p, g}] = n;
+    }
+  }
+  for (const auto& [p, per_view] : spec.next_safe_all()) {
+    for (const auto& [g, n] : per_view) {
+      if (n != 1) t.next_safe[{p, g}] = n;
+    }
+  }
+  for (const auto& [p, per_view] : spec.received_all()) {
+    for (const auto& [g, n] : per_view) {
+      if (n != 0) t.received[{p, g}] = n;
+    }
+  }
+  return t;
+}
+
+DvsState refinement(const DvsImplSystem& sys) {
+  DvsState t;
+  // created = ∪_p attempted_p.
+  for (ProcessId p : sys.universe()) {
+    for (const auto& [g, v] : sys.node(p).attempted()) {
+      t.created.emplace(g, v);
+    }
+  }
+  // current-viewid[p] = client-cur.id_p; attempted[g]; registered[g].
+  for (ProcessId p : sys.universe()) {
+    const VsToDvs& node = sys.node(p);
+    t.current_viewid[p] = node.client_cur().has_value()
+                              ? std::optional<ViewId>{node.client_cur()->id()}
+                              : std::nullopt;
+    for (const auto& [g, v] : node.attempted()) t.attempted[g].insert(p);
+    for (const ViewId& g : node.reg_set()) t.registered[g].insert(p);
+  }
+  // The view ids along which client traffic can exist: every VS-created id
+  // (VS pending/queue are indexed by them) plus every attempted id
+  // (msgs-to-vs is indexed by client views).
+  std::set<ViewId> gids;
+  for (const auto& [g, v] : sys.vs().created()) gids.insert(g);
+  for (const auto& [g, v] : t.created) gids.insert(g);
+
+  for (const ViewId& g : gids) {
+    const auto q = purge_queue(sys.vs().queue(g));
+    if (!q.empty()) t.queue[g] = q;
+    for (ProcessId p : sys.universe()) {
+      const VsToDvs& node = sys.node(p);
+      // pending[p,g] = purge(vs.pending) + purge(msgs-to-vs).
+      std::vector<ClientMsg> pend = purge(sys.vs().pending(p, g));
+      for (const ClientMsg& m : purge(node.msgs_to_vs(g))) pend.push_back(m);
+      if (!pend.empty()) t.pending[{p, g}] = std::move(pend);
+      // next / next-safe corrections.
+      const std::size_t impl_next = sys.vs().next(p, g);
+      const std::size_t spec_next =
+          impl_next - purgesize_prefix(sys.vs().queue(g), impl_next - 1) -
+          node.msgs_from_vs(g).size();
+      if (spec_next != 1) t.next[{p, g}] = spec_next;
+      const std::size_t impl_safe = sys.vs().next_safe(p, g);
+      const std::size_t spec_safe =
+          impl_safe - purgesize_prefix(sys.vs().queue(g), impl_safe - 1) -
+          node.safe_from_vs(g).size();
+      if (spec_safe != 1) t.next_safe[{p, g}] = spec_safe;
+      const std::size_t node_received =
+          impl_next - 1 - purgesize_prefix(sys.vs().queue(g), impl_next - 1);
+      if (node_received != 0) t.received[{p, g}] = node_received;
+    }
+  }
+  return t;
+}
+
+RefinementChecker::RefinementChecker(const DvsImplSystem& initial)
+    : shadow_(initial.universe(), initial.v0()) {}
+
+RefinementResult RefinementChecker::step(DvsImplSystem& sys,
+                                         const DvsImplAction& action) {
+  // Capture the pre-state facts the mapping needs.
+  std::optional<std::pair<ClientMsg, ProcessId>> ordered_client;
+  if (action.kind == DvsImplActionKind::kVsOrder) {
+    const auto& pend = sys.vs().pending(*action.from, *action.gid);
+    if (!pend.empty() && is_client(pend.front())) {
+      ordered_client = {to_client(pend.front()), *action.from};
+    }
+  }
+  // A VS-GPRCV that hands a client message to the node maps to the spec's
+  // internal DVS-RECEIVE (node-level receipt, corrected spec).
+  std::optional<ViewId> received_gid;
+  if (action.kind == DvsImplActionKind::kVsGprcv) {
+    const auto delivery = sys.vs().next_gprcv(action.p);
+    if (delivery.has_value() && is_client(delivery->first)) {
+      received_gid = sys.vs().current_viewid(action.p);
+    }
+  }
+
+  const std::optional<spec::DvsEvent> event = sys.apply(action);
+  ++steps_checked_;
+
+  auto fail = [&](const std::string& why) {
+    RefinementResult r;
+    r.ok = false;
+    r.error = "refinement failure at step " + std::to_string(steps_checked_) +
+              " (" + action.to_string() + "): " + why;
+    r.event = event;
+    return r;
+  };
+
+  switch (action.kind) {
+    case DvsImplActionKind::kVsOrder:
+      if (ordered_client.has_value()) {
+        if (!shadow_.can_order(ordered_client->second, *action.gid)) {
+          return fail("DVS-ORDER not enabled in the spec");
+        }
+        const ClientMsg& head =
+            shadow_.pending(ordered_client->second, *action.gid).front();
+        if (!(head == ordered_client->first)) {
+          return fail("spec pending head differs from the ordered message");
+        }
+        shadow_.apply_order(ordered_client->second, *action.gid);
+      }
+      break;
+    case DvsImplActionKind::kDvsGpsnd:
+      shadow_.apply_gpsnd(*action.msg, action.p);
+      break;
+    case DvsImplActionKind::kDvsRegister:
+      shadow_.apply_register(action.p);
+      break;
+    case DvsImplActionKind::kDvsNewview: {
+      const View& v = *action.view;
+      if (!shadow_.created().contains(v.id())) {
+        if (!shadow_.can_createview(v)) {
+          return fail(
+              "DVS-CREATEVIEW precondition fails in the spec — the paper "
+              "derives it from Invariant 5.6");
+        }
+        shadow_.apply_createview(v);
+      }
+      if (!shadow_.can_newview(v, action.p)) {
+        return fail("DVS-NEWVIEW precondition fails in the spec");
+      }
+      shadow_.apply_newview(v, action.p);
+      break;
+    }
+    case DvsImplActionKind::kDvsGprcv: {
+      const auto& ev = std::get<spec::EvGprcv<ClientMsg>>(*event);
+      const auto expected = shadow_.next_gprcv(action.p);
+      if (!expected.has_value() || expected->second != ev.sender ||
+          !(expected->first == ev.m)) {
+        return fail("DVS-GPRCV not enabled or delivers a different message");
+      }
+      shadow_.apply_gprcv(action.p);
+      break;
+    }
+    case DvsImplActionKind::kDvsSafe: {
+      const auto& ev = std::get<spec::EvSafe<ClientMsg>>(*event);
+      const auto expected = shadow_.next_safe_indication(action.p);
+      if (!expected.has_value() || expected->second != ev.sender ||
+          !(expected->first == ev.m)) {
+        return fail("DVS-SAFE not enabled or indicates a different message");
+      }
+      shadow_.apply_safe(action.p);
+      break;
+    }
+    case DvsImplActionKind::kVsGprcv:
+      if (received_gid.has_value()) {
+        if (!shadow_.can_receive(action.p, *received_gid)) {
+          return fail("DVS-RECEIVE not enabled in the spec");
+        }
+        shadow_.apply_receive(action.p, *received_gid);
+      }
+      break;
+    case DvsImplActionKind::kVsCreateview:
+    case DvsImplActionKind::kVsNewview:
+    case DvsImplActionKind::kVsSafe:
+    case DvsImplActionKind::kVsGpsnd:
+    case DvsImplActionKind::kGarbageCollect:
+      // Internal to the implementation; the spec takes no step, so ℱ must be
+      // unchanged — verified by the snapshot comparison below.
+      break;
+  }
+
+  const DvsState expected = refinement(sys);
+  const DvsState actual = snapshot(shadow_);
+  if (!(expected == actual)) {
+    return fail("ℱ(impl state) diverges from the shadow spec state: " +
+                DvsState::diff(actual, expected));
+  }
+  RefinementResult ok;
+  ok.event = event;
+  return ok;
+}
+
+}  // namespace dvs::impl

@@ -1,0 +1,97 @@
+// The refinement ℱ of Figure 4 and a step-wise refinement checker — the
+// executable counterpart of Lemma 5.8 / Theorem 5.9.
+//
+// ℱ maps a DVS-IMPL state to a DVS state:
+//   * created      = ∪_p attempted_p
+//   * current-viewid[p] = client-cur.id_p
+//   * registered[g] = {p | reg[g]_p}
+//   * pending[p,g] = purge(vs.pending[p,g]) + purge(msgs-to-vs[g]_p)
+//   * queue[g]     = purge(vs.queue[g])
+//   * next[p,g]    = vs.next[p,g] − purgesize(vs.queue[g](1..next−1))
+//                    − |msgs-from-vs[g]_p|
+//   * next-safe[p,g] analogously with safe-from-vs
+//   * received[p,g] = vs.next[p,g] − 1 − purgesize(vs.queue[g](1..next−1))
+//     (corrected spec; the number of client messages the node has received)
+// where purge drops "info"/"registered" messages and purgesize counts them.
+// Figure 4 leaves the spec's attempted[g] variable implicit; the unique
+// completion consistent with the DVS-NEWVIEW effect is
+//   attempted[g] = {p | g ∈ attempted_p},
+// which we adopt.
+//
+// The checker maintains a shadow DVS automaton. For every DVS-IMPL step it
+// applies the corresponding DVS step(s) from the proof of Lemma 5.8
+// (external actions map to their namesakes, a first DVS-NEWVIEW(v) is
+// preceded by DVS-CREATEVIEW(v), VS-ORDER of a client message maps to
+// DVS-ORDER, everything else maps to no step) and verifies that
+//   (a) the spec step is enabled, and
+//   (b) the shadow state equals ℱ(implementation state) afterwards.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "impl/dvs_impl.h"
+#include "spec/dvs_spec.h"
+
+namespace dvs::impl {
+
+/// A canonical (default-entries-dropped) snapshot of a DVS-spec state, used
+/// to compare ℱ(impl state) with the shadow spec state.
+struct DvsState {
+  std::map<ViewId, View> created;
+  std::map<ProcessId, std::optional<ViewId>> current_viewid;
+  std::map<ViewId, ProcessSet> attempted;   // nonempty sets only
+  std::map<ViewId, ProcessSet> registered;  // nonempty sets only
+  std::map<std::pair<ProcessId, ViewId>, std::vector<ClientMsg>> pending;
+  std::map<ViewId, std::vector<std::pair<ClientMsg, ProcessId>>> queue;
+  std::map<std::pair<ProcessId, ViewId>, std::size_t> next;       // ≠ 1 only
+  std::map<std::pair<ProcessId, ViewId>, std::size_t> next_safe;  // ≠ 1 only
+  std::map<std::pair<ProcessId, ViewId>, std::size_t> received;   // ≠ 0 only
+
+  friend bool operator==(const DvsState&, const DvsState&) = default;
+
+  /// Human-readable first difference between two states ("" if equal).
+  [[nodiscard]] static std::string diff(const DvsState& a, const DvsState& b);
+};
+
+/// Snapshot of a DVS specification automaton state.
+[[nodiscard]] DvsState snapshot(const spec::DvsSpec& spec);
+
+/// ℱ: snapshot of the abstract state corresponding to a DVS-IMPL state.
+[[nodiscard]] DvsState refinement(const DvsImplSystem& sys);
+
+/// Outcome of one checked step.
+struct RefinementResult {
+  bool ok = true;
+  std::string error;
+  /// The external event produced by the step, if any (forwarded from
+  /// DvsImplSystem::apply so callers can build traces).
+  std::optional<spec::DvsEvent> event;
+};
+
+/// Step-wise refinement checker (mechanized Lemma 5.8).
+class RefinementChecker {
+ public:
+  explicit RefinementChecker(const DvsImplSystem& initial);
+
+  /// Applies `action` to `sys` (exactly like sys.apply) while checking the
+  /// refinement conditions. On failure the returned result explains which
+  /// condition broke; `sys` has still taken its step.
+  RefinementResult step(DvsImplSystem& sys, const DvsImplAction& action);
+
+  [[nodiscard]] const spec::DvsSpec& shadow() const { return shadow_; }
+  [[nodiscard]] std::size_t steps_checked() const { return steps_checked_; }
+
+ private:
+  spec::DvsSpec shadow_;
+  std::size_t steps_checked_ = 0;
+};
+
+}  // namespace dvs::impl

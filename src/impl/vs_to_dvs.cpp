@@ -1,0 +1,251 @@
+#include "impl/vs_to_dvs.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dvs::impl {
+namespace {
+const std::deque<Msg> kEmptyMsgs;
+const std::deque<std::pair<ClientMsg, ProcessId>> kEmptyClientMsgs;
+}  // namespace
+
+VsToDvs::VsToDvs(ProcessId self, const View& v0, VsToDvsOptions options)
+    : self_(self), options_(options), act_(v0) {
+  learn_view(v0);
+  if (v0.contains(self)) {
+    cur_ = v0;
+    client_cur_ = v0;
+    attempted_.emplace(v0.id(), v0);
+    reg_.insert(v0.id());
+  }
+}
+
+void VsToDvs::learn_view(const View& v) { known_views_.emplace(v.id(), v); }
+
+void VsToDvs::on_vs_newview(const View& v) {
+  cur_ = v;
+  learn_view(v);
+  InfoRecord info{act_, amb_};
+  msgs_to_vs_[v.id()].push_back(Msg{InfoMsg{
+      act_, [&] {
+        std::vector<View> amb_views;
+        amb_views.reserve(amb_.size());
+        for (const auto& [g, w] : amb_) amb_views.push_back(w);
+        return amb_views;
+      }()}});
+  info_sent_[v.id()] = std::move(info);
+}
+
+void VsToDvs::on_vs_gprcv(const Msg& m, ProcessId q) {
+  if (!cur_.has_value()) {
+    // VS only delivers within views that include p, so p must have a current
+    // view; defensive guard for harness bugs.
+    throw PreconditionViolation("VS-GPRCV at a process with cur = ⊥");
+  }
+  const ViewId g = cur_->id();
+  if (const auto* info = std::get_if<InfoMsg>(&m)) {
+    InfoRecord rec;
+    rec.act = info->act;
+    for (const View& w : info->amb) rec.amb.emplace(w.id(), w);
+    info_rcvd_[{g, q}] = rec;
+    learn_view(info->act);
+    for (const View& w : info->amb) learn_view(w);
+    // if v.id > act.id then act := v
+    if (info->act.id() > act_.id()) act_ = info->act;
+    // amb := {w ∈ amb ∪ V | w.id > act.id}
+    for (const View& w : info->amb) amb_.emplace(w.id(), w);
+    std::erase_if(amb_, [&](const auto& entry) {
+      return !(entry.first > act_.id());
+    });
+  } else if (std::holds_alternative<RegisteredMsg>(m)) {
+    rcvd_rgst_.insert({g, q});
+  } else {
+    msgs_from_vs_[g].emplace_back(to_client(m), q);
+  }
+}
+
+void VsToDvs::on_vs_safe(const Msg& m, ProcessId q) {
+  if (!cur_.has_value()) {
+    throw PreconditionViolation("VS-SAFE at a process with cur = ⊥");
+  }
+  if (is_client(m)) {
+    safe_from_vs_[cur_->id()].emplace_back(to_client(m), q);
+  }
+  // "info" and "registered" safe indications: Eff: none.
+}
+
+void VsToDvs::on_dvs_gpsnd(const ClientMsg& m) {
+  if (client_cur_.has_value()) {
+    msgs_to_vs_[client_cur_->id()].push_back(to_msg(m));
+  }
+}
+
+void VsToDvs::on_dvs_register() {
+  if (client_cur_.has_value()) {
+    reg_.insert(client_cur_->id());
+    msgs_to_vs_[client_cur_->id()].push_back(Msg{RegisteredMsg{}});
+  }
+}
+
+std::optional<Msg> VsToDvs::next_vs_gpsnd() const {
+  if (!cur_.has_value()) return std::nullopt;
+  const auto& queue = msgs_to_vs(cur_->id());
+  if (queue.empty()) return std::nullopt;
+  return queue.front();
+}
+
+Msg VsToDvs::take_vs_gpsnd() {
+  auto m = next_vs_gpsnd();
+  DVS_REQUIRE("VS-GPSND", m.has_value(), "at " << self_.to_string());
+  msgs_to_vs_[cur_->id()].pop_front();
+  return *m;
+}
+
+bool VsToDvs::can_dvs_newview() const {
+  if (!cur_.has_value()) return false;
+  const View& v = *cur_;
+  // v.id > client-cur.id (⊥ compares below everything).
+  if (client_cur_.has_value() && !(v.id() > client_cur_->id())) return false;
+  // Drain-before-attempt (correction; see spec/dvs_spec.h): the client must
+  // have consumed every buffered delivery and safe indication of its current
+  // view before moving on — otherwise a label confirmed elsewhere via SAFE
+  // could be missing from this node's state at the next state exchange,
+  // which breaks the totally-ordered-broadcast application.
+  if (client_cur_.has_value() && !options_.printed_figure_mode) {
+    if (!msgs_from_vs(client_cur_->id()).empty()) return false;
+    if (!safe_from_vs(client_cur_->id()).empty()) return false;
+  }
+  // ∀q ∈ v.set, q ≠ p: info-rcvd[q, v.id] ≠ ⊥.
+  for (ProcessId q : v.set()) {
+    if (q != self_ && !info_rcvd_.contains({v.id(), q})) return false;
+  }
+  // ∀w ∈ use: |v.set ∩ w.set| > |w.set| / 2 (weighted generalization when
+  // vote weights are configured).
+  auto has_majority = [&](const ProcessSet& w_set) {
+    return options_.weights.empty()
+               ? majority_of(v.set(), w_set)
+               : weighted_majority_of(v.set(), w_set, options_.weights);
+  };
+  if (!has_majority(act_.set())) return false;
+  return std::all_of(amb_.begin(), amb_.end(), [&](const auto& entry) {
+    return has_majority(entry.second.set());
+  });
+}
+
+View VsToDvs::apply_dvs_newview() {
+  DVS_REQUIRE("DVS-NEWVIEW", can_dvs_newview(), "at " << self_.to_string());
+  const View v = *cur_;
+  amb_.emplace(v.id(), v);
+  attempted_.emplace(v.id(), v);
+  client_cur_ = v;
+  return v;
+}
+
+std::optional<std::pair<ClientMsg, ProcessId>> VsToDvs::next_dvs_gprcv()
+    const {
+  if (!client_cur_.has_value()) return std::nullopt;
+  const auto& queue = msgs_from_vs(client_cur_->id());
+  if (queue.empty()) return std::nullopt;
+  return queue.front();
+}
+
+std::pair<ClientMsg, ProcessId> VsToDvs::take_dvs_gprcv() {
+  auto m = next_dvs_gprcv();
+  DVS_REQUIRE("DVS-GPRCV", m.has_value(), "at " << self_.to_string());
+  msgs_from_vs_[client_cur_->id()].pop_front();
+  ++delivered_count_[client_cur_->id()];
+  return *m;
+}
+
+std::optional<std::pair<ClientMsg, ProcessId>> VsToDvs::next_dvs_safe() const {
+  if (!client_cur_.has_value()) return std::nullopt;
+  const ViewId g = client_cur_->id();
+  const auto& queue = safe_from_vs(g);
+  if (queue.empty()) return std::nullopt;
+  // Deliver-before-safe: the k-th safe indication may only follow the k-th
+  // client delivery of this view.
+  auto count_of = [](const std::map<ViewId, std::size_t>& m, const ViewId& g2) {
+    auto it = m.find(g2);
+    return it == m.end() ? std::size_t{0} : it->second;
+  };
+  if (!options_.printed_figure_mode &&
+      count_of(safe_count_, g) >= count_of(delivered_count_, g)) {
+    return std::nullopt;
+  }
+  return queue.front();
+}
+
+std::pair<ClientMsg, ProcessId> VsToDvs::take_dvs_safe() {
+  auto m = next_dvs_safe();
+  DVS_REQUIRE("DVS-SAFE", m.has_value(), "at " << self_.to_string());
+  safe_from_vs_[client_cur_->id()].pop_front();
+  ++safe_count_[client_cur_->id()];
+  return *m;
+}
+
+std::vector<View> VsToDvs::gc_candidates() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : known_views_) {
+    if (can_garbage_collect(v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool VsToDvs::can_garbage_collect(const View& v) const {
+  if (!(v.id() > act_.id())) return false;
+  return std::all_of(v.set().begin(), v.set().end(), [&](ProcessId q) {
+    return rcvd_rgst_.contains({v.id(), q});
+  });
+}
+
+void VsToDvs::apply_garbage_collect(const View& v) {
+  DVS_REQUIRE("DVS-GARBAGE-COLLECT", can_garbage_collect(v),
+              v.to_string() << " at " << self_.to_string());
+  act_ = v;
+  std::erase_if(amb_,
+                [&](const auto& entry) { return !(entry.first > act_.id()); });
+}
+
+std::vector<View> VsToDvs::use() const {
+  std::vector<View> out;
+  out.push_back(act_);
+  for (const auto& [g, w] : amb_) out.push_back(w);
+  return out;
+}
+
+std::optional<InfoRecord> VsToDvs::info_sent(const ViewId& g) const {
+  auto it = info_sent_.find(g);
+  if (it == info_sent_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InfoRecord> VsToDvs::info_rcvd(ProcessId q,
+                                             const ViewId& g) const {
+  auto it = info_rcvd_.find({g, q});
+  if (it == info_rcvd_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool VsToDvs::rcvd_rgst(const ViewId& g, ProcessId q) const {
+  return rcvd_rgst_.contains({g, q});
+}
+
+const std::deque<Msg>& VsToDvs::msgs_to_vs(const ViewId& g) const {
+  auto it = msgs_to_vs_.find(g);
+  return it == msgs_to_vs_.end() ? kEmptyMsgs : it->second;
+}
+
+const std::deque<std::pair<ClientMsg, ProcessId>>& VsToDvs::msgs_from_vs(
+    const ViewId& g) const {
+  auto it = msgs_from_vs_.find(g);
+  return it == msgs_from_vs_.end() ? kEmptyClientMsgs : it->second;
+}
+
+const std::deque<std::pair<ClientMsg, ProcessId>>& VsToDvs::safe_from_vs(
+    const ViewId& g) const {
+  auto it = safe_from_vs_.find(g);
+  return it == safe_from_vs_.end() ? kEmptyClientMsgs : it->second;
+}
+
+}  // namespace dvs::impl

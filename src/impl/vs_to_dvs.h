@@ -1,0 +1,187 @@
+// Executable transcription of Figure 3: VS-TO-DVS_p, the per-process filter
+// that turns a static view-oriented service (VS) into a dynamic
+// primary-view service (DVS), following Lotem–Keidar–Dolev dynamic voting.
+//
+// The automaton keeps an "active" view `act` (the latest view it knows to be
+// totally registered) and a set of "ambiguous" views `amb` (attempted views
+// with ids above act). On a VS view change it exchanges ⟨"info", act, amb⟩
+// with the other members; once it has everyone's information it accepts the
+// view as primary iff the view has a majority intersection with every view
+// in use = {act} ∪ amb.
+//
+// The `attempted`, `reg` and `info-sent` variables are not needed by the
+// algorithm — the paper keeps them for the proofs, and we keep them for the
+// invariant checkers (Invariants 5.1–5.6).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::impl {
+
+/// The ⟨v, V⟩ payload of an "info" message / info-sent / info-rcvd entry.
+struct InfoRecord {
+  View act;
+  std::map<ViewId, View> amb;
+
+  friend bool operator==(const InfoRecord&, const InfoRecord&) = default;
+};
+
+/// Behaviour switches for harness self-validation (mutation testing) and
+/// extensions.
+struct VsToDvsOptions {
+  /// Runs the automaton exactly as printed in Figure 3 — WITHOUT the
+  /// drain-before-attempt and deliver-before-safe corrections (see
+  /// spec/dvs_spec.h). Unsafe: exists so the test suite can demonstrate
+  /// that the refinement checker detects the paper's erratum
+  /// (tests/explorer/test_mutations.cpp).
+  bool printed_figure_mode = false;
+
+  /// Weighted dynamic voting (extension; Jajodia–Mutchler style): replaces
+  /// the |v ∩ w| > |w|/2 acceptance check with a strict majority of w's
+  /// vote *weight*. Missing entries weigh 1; with an empty map this is
+  /// exactly the paper's rule. Safety is preserved because two weighted
+  /// majorities of the same view always intersect — all DVS invariants and
+  /// the refinement continue to hold (tests/explorer sweeps run with random
+  /// weights).
+  WeightMap weights;
+};
+
+/// The VS-TO-DVS_p automaton of Figure 3.
+class VsToDvs {
+ public:
+  /// `self` is p; `v0` the distinguished initial view; membership of p in
+  /// P0 = v0.set determines the initial cur/client-cur/attempted/reg values.
+  VsToDvs(ProcessId self, const View& v0, VsToDvsOptions options = {});
+
+  // ----- inputs ------------------------------------------------------------
+
+  /// input VS-NEWVIEW(v)_p. Eff: cur := v; queue ⟨"info", act, amb⟩ for the
+  /// new view; record info-sent[v.id].
+  void on_vs_newview(const View& v);
+
+  /// input VS-GPRCV(m)_{q,p}. Dispatches on the message kind:
+  ///  * ⟨"info", v, V⟩ — record info-rcvd[q, cur.id]; advance act if v is
+  ///    newer; amb := {w ∈ amb ∪ V | w.id > act.id};
+  ///  * ⟨"registered"⟩ — rcvd-rgst[cur.id, q] := true;
+  ///  * m ∈ Mc — append ⟨m, q⟩ to msgs-from-vs[cur.id].
+  void on_vs_gprcv(const Msg& m, ProcessId q);
+
+  /// input VS-SAFE(m)_{q,p}. Client messages are appended to
+  /// safe-from-vs[cur.id]; "info"/"registered" safes are ignored (Eff: none).
+  void on_vs_safe(const Msg& m, ProcessId q);
+
+  /// input DVS-GPSND(m)_p. Eff: if client-cur ≠ ⊥, queue m for the client's
+  /// current view.
+  void on_dvs_gpsnd(const ClientMsg& m);
+
+  /// input DVS-REGISTER_p. Eff: if client-cur ≠ ⊥, set reg[client-cur.id]
+  /// and queue the ⟨"registered"⟩ announcement.
+  void on_dvs_register();
+
+  // ----- outputs (precondition + effect) -----------------------------------
+
+  /// output VS-GPSND(m)_p. Pre: m is head of msgs-to-vs[cur.id].
+  [[nodiscard]] std::optional<Msg> next_vs_gpsnd() const;
+  Msg take_vs_gpsnd();
+
+  /// output DVS-NEWVIEW(v)_p with v = cur. Pre (Figure 3): v = cur,
+  /// v.id > client-cur.id, info received from every other member of v, and
+  /// ∀w ∈ use: |v.set ∩ w.set| > |w.set| / 2. Corrected (see
+  /// spec/dvs_spec.h): additionally, the client-facing buffers of the
+  /// current client view must be drained.
+  [[nodiscard]] bool can_dvs_newview() const;
+  /// Applies the attempt; returns the attempted view (= cur).
+  View apply_dvs_newview();
+
+  /// output DVS-GPRCV(m)_{q,p}. Pre: ⟨m,q⟩ head of msgs-from-vs[client-cur].
+  [[nodiscard]] std::optional<std::pair<ClientMsg, ProcessId>> next_dvs_gprcv()
+      const;
+  std::pair<ClientMsg, ProcessId> take_dvs_gprcv();
+
+  /// output DVS-SAFE(m)_{q,p}. Pre: ⟨m,q⟩ head of safe-from-vs[client-cur].
+  /// Corrected (deliver-before-safe; see spec/dvs_spec.h): additionally the
+  /// client must already have consumed the corresponding delivery, i.e.
+  /// fewer safes than deliveries have been handed out in this view.
+  [[nodiscard]] std::optional<std::pair<ClientMsg, ProcessId>> next_dvs_safe()
+      const;
+  std::pair<ClientMsg, ProcessId> take_dvs_safe();
+
+  // ----- internal -----------------------------------------------------------
+
+  /// internal DVS-GARBAGE-COLLECT(v)_p.
+  /// Pre: ∀q ∈ v.set: rcvd-rgst[v.id, q] ∧ v.id > act.id.
+  /// Eff: act := v; amb := {w ∈ amb | w.id > act.id}.
+  /// Candidates are enumerated over the views this process has learned.
+  [[nodiscard]] std::vector<View> gc_candidates() const;
+  [[nodiscard]] bool can_garbage_collect(const View& v) const;
+  void apply_garbage_collect(const View& v);
+
+  // ----- observers (paper state variables) ----------------------------------
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] const std::optional<View>& cur() const { return cur_; }
+  [[nodiscard]] const std::optional<View>& client_cur() const {
+    return client_cur_;
+  }
+  [[nodiscard]] const View& act() const { return act_; }
+  [[nodiscard]] const std::map<ViewId, View>& amb() const { return amb_; }
+  /// use = {act} ∪ amb (derived).
+  [[nodiscard]] std::vector<View> use() const;
+  [[nodiscard]] const std::map<ViewId, View>& attempted() const {
+    return attempted_;
+  }
+  [[nodiscard]] bool reg(const ViewId& g) const { return reg_.contains(g); }
+  [[nodiscard]] const std::set<ViewId>& reg_set() const { return reg_; }
+  [[nodiscard]] std::optional<InfoRecord> info_sent(const ViewId& g) const;
+  [[nodiscard]] const std::map<ViewId, InfoRecord>& info_sent_all() const {
+    return info_sent_;
+  }
+  [[nodiscard]] std::optional<InfoRecord> info_rcvd(ProcessId q,
+                                                    const ViewId& g) const;
+  [[nodiscard]] bool rcvd_rgst(const ViewId& g, ProcessId q) const;
+  [[nodiscard]] const std::deque<Msg>& msgs_to_vs(const ViewId& g) const;
+  [[nodiscard]] const std::deque<std::pair<ClientMsg, ProcessId>>&
+  msgs_from_vs(const ViewId& g) const;
+  [[nodiscard]] const std::deque<std::pair<ClientMsg, ProcessId>>&
+  safe_from_vs(const ViewId& g) const;
+
+ private:
+  void learn_view(const View& v);
+
+  ProcessId self_;
+  VsToDvsOptions options_;
+
+  std::optional<View> cur_;         // cur ∈ V⊥
+  std::optional<View> client_cur_;  // client-cur ∈ V⊥
+  View act_;                        // act ∈ V, init v0
+  std::map<ViewId, View> amb_;      // amb ∈ 2^V (keyed by id; ids unique)
+  std::map<ViewId, View> attempted_;
+  std::map<std::pair<ViewId, ProcessId>, InfoRecord> info_rcvd_;
+  std::set<std::pair<ViewId, ProcessId>> rcvd_rgst_;
+  std::map<ViewId, std::deque<Msg>> msgs_to_vs_;
+  std::map<ViewId, std::deque<std::pair<ClientMsg, ProcessId>>> msgs_from_vs_;
+  std::map<ViewId, std::deque<std::pair<ClientMsg, ProcessId>>> safe_from_vs_;
+  std::set<ViewId> reg_;  // reg[g] booleans, stored as the true-set
+  std::map<ViewId, InfoRecord> info_sent_;
+
+  // Deliver-before-safe accounting (correction; see next_dvs_safe): the
+  // number of client deliveries / safe indications handed to the client per
+  // view.
+  std::map<ViewId, std::size_t> delivered_count_;
+  std::map<ViewId, std::size_t> safe_count_;
+
+  // Every view this process has learned about (cur history, act, amb
+  // contents, info payloads). Used to enumerate GC candidates.
+  std::map<ViewId, View> known_views_;
+};
+
+}  // namespace dvs::impl

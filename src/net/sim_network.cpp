@@ -1,0 +1,101 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dvs::net {
+
+SimNetwork::SimNetwork(sim::Simulator& sim, Rng& rng, NetConfig config,
+                       ProcessSet processes)
+    : sim_(sim),
+      rng_(rng),
+      config_(config),
+      processes_(std::move(processes)) {}
+
+void SimNetwork::attach(ProcessId p, Handler handler) {
+  if (!processes_.contains(p)) {
+    throw std::logic_error("attach: unknown process " + p.to_string());
+  }
+  handlers_[p] = std::move(handler);
+}
+
+int SimNetwork::group_of(ProcessId p) const {
+  auto it = partition_group_.find(p);
+  return it == partition_group_.end() ? -1 : it->second;
+}
+
+bool SimNetwork::connected(ProcessId a, ProcessId b) const {
+  if (paused_.contains(a) || paused_.contains(b)) return false;
+  if (partition_group_.empty()) return true;
+  const int ga = group_of(a);
+  const int gb = group_of(b);
+  // Unmentioned processes are singleton groups: connected only to self.
+  if (ga == -1 || gb == -1) return a == b;
+  return ga == gb;
+}
+
+void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
+  ++stats_.sent;
+  stats_.bytes_sent += payload.size();
+  if (paused_.contains(from) || paused_.contains(to)) {
+    ++stats_.dropped_crash;
+    return;
+  }
+  if (!connected(from, to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  if (config_.drop_probability > 0.0 && rng_.chance(config_.drop_probability)) {
+    ++stats_.dropped_random;
+    return;
+  }
+  sim::Time delay = config_.base_delay;
+  if (config_.jitter_mean_us > 0.0) {
+    delay += static_cast<sim::Time>(rng_.exponential(config_.jitter_mean_us));
+  }
+  // FIFO per ordered pair: never deliver before an earlier send on the link.
+  auto& clock = link_clock_[{from, to}];
+  sim::Time at = std::max(sim_.now() + delay, clock + 1);
+  clock = at;
+  sim_.schedule_at(at, [this, from, to, payload = std::move(payload)] {
+    // Re-check connectivity at delivery: partitions and pauses that
+    // happened in flight lose the message.
+    if (!connected(from, to)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) return;
+    ++stats_.delivered;
+    it->second(from, payload);
+  });
+}
+
+void SimNetwork::multicast(ProcessId from, const ProcessSet& targets,
+                           Bytes payload) {
+  for (ProcessId to : targets) {
+    send(from, to, payload);
+  }
+}
+
+void SimNetwork::set_partition(const std::vector<ProcessSet>& groups) {
+  partition_group_.clear();
+  int index = 0;
+  for (const ProcessSet& group : groups) {
+    for (ProcessId p : group) {
+      if (partition_group_.contains(p)) {
+        throw std::logic_error("set_partition: process in two groups");
+      }
+      partition_group_[p] = index;
+    }
+    ++index;
+  }
+}
+
+void SimNetwork::heal() { partition_group_.clear(); }
+
+void SimNetwork::pause(ProcessId p) { paused_.insert(p); }
+
+void SimNetwork::resume(ProcessId p) { paused_.erase(p); }
+
+}  // namespace dvs::net

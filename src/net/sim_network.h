@@ -1,0 +1,103 @@
+// Simulated partitionable network.
+//
+// Point-to-point message transport between processes with per-link delay
+// (base + exponential jitter), optional loss, crash/pause injection and a
+// partition oracle. Links are FIFO (delivery times are monotone per ordered
+// pair, like a TCP stream); connectivity is evaluated both when a message
+// is sent and when it is delivered, so messages in flight across a
+// partition event are lost — exactly the behaviour a view-synchronous layer
+// must tolerate.
+//
+// Payloads are encoded byte buffers: every protocol above this layer
+// serializes its messages (common/serialize.h), keeping the stack honest
+// about what crosses the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "sim/simulator.h"
+
+namespace dvs::net {
+
+struct NetConfig {
+  /// Fixed propagation delay per message.
+  sim::Time base_delay = 1 * sim::kMillisecond;
+  /// Mean of the additional exponential jitter (0 = no jitter).
+  double jitter_mean_us = 500.0;
+  /// Probability a message is silently dropped (checked at send time).
+  double drop_probability = 0.0;
+};
+
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_random = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_crash = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class SimNetwork {
+ public:
+  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+
+  SimNetwork(sim::Simulator& sim, Rng& rng, NetConfig config,
+             ProcessSet processes);
+
+  /// Registers the receive handler for `p`. Must be called before traffic.
+  void attach(ProcessId p, Handler handler);
+
+  /// Sends a datagram; self-sends are delivered (with delay) too.
+  void send(ProcessId from, ProcessId to, Bytes payload);
+
+  /// Sends to every process in `targets` (including `from` if present).
+  void multicast(ProcessId from, const ProcessSet& targets, Bytes payload);
+
+  // ----- fault injection -----------------------------------------------------
+
+  /// Splits connectivity into the given groups; processes in different
+  /// groups cannot communicate. Processes not mentioned form an implicit
+  /// singleton group each.
+  void set_partition(const std::vector<ProcessSet>& groups);
+
+  /// Restores full connectivity.
+  void heal();
+
+  /// Pauses a process: all traffic to and from it is dropped. Models a
+  /// crash in the asynchronous sense (indistinguishable from a very slow
+  /// process); recovery resumes with state intact.
+  void pause(ProcessId p);
+  void resume(ProcessId p);
+  [[nodiscard]] bool paused(ProcessId p) const { return paused_.contains(p); }
+
+  /// True iff a and b are currently in the same connectivity component and
+  /// neither is paused.
+  [[nodiscard]] bool connected(ProcessId a, ProcessId b) const;
+
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  [[nodiscard]] const ProcessSet& processes() const { return processes_; }
+
+ private:
+  [[nodiscard]] int group_of(ProcessId p) const;
+
+  sim::Simulator& sim_;
+  Rng& rng_;
+  NetConfig config_;
+  ProcessSet processes_;
+  std::map<ProcessId, Handler> handlers_;
+  std::map<ProcessId, int> partition_group_;  // empty = fully connected
+  ProcessSet paused_;
+  // FIFO link enforcement: earliest permissible delivery time per link.
+  std::map<std::pair<ProcessId, ProcessId>, sim::Time> link_clock_;
+  NetStats stats_;
+};
+
+}  // namespace dvs::net

@@ -1,0 +1,79 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dvs::sim {
+
+void Simulator::schedule_at(Time at, Callback fn) {
+  if (at < now_) {
+    throw std::logic_error("Simulator::schedule_at in the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(Time delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out, so
+  // copy the bookkeeping first, then pop and run.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++events_fired_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& sim, Time period,
+                             Simulator::Callback fn)
+    : sim_(sim),
+      period_(period),
+      fn_(std::move(fn)),
+      alive_(std::make_shared<bool>(true)),
+      generation_(std::make_shared<std::uint64_t>(0)) {
+  if (period == 0) throw std::logic_error("PeriodicTimer with zero period");
+}
+
+PeriodicTimer::~PeriodicTimer() { *alive_ = false; }
+
+void PeriodicTimer::start() {
+  if (started_) return;
+  started_ = true;
+  ++*generation_;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  started_ = false;
+  ++*generation_;  // invalidate in-flight arms
+}
+
+void PeriodicTimer::arm() {
+  const auto alive = alive_;
+  const auto generation = generation_;
+  const std::uint64_t expected = *generation_;
+  sim_.schedule_after(period_, [this, alive, generation, expected] {
+    if (!*alive || *generation != expected) return;
+    fn_();
+    if (*alive && *generation == expected) arm();
+  });
+}
+
+}  // namespace dvs::sim

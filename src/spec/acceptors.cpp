@@ -1,0 +1,276 @@
+#include "spec/acceptors.h"
+
+#include <type_traits>
+
+namespace dvs::spec {
+namespace {
+
+template <typename MsgT>
+bool msgs_equal(const MsgT& a, const MsgT& b) {
+  return a == b;
+}
+
+}  // namespace
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::feed(const GroupEvent<MsgT>& event) {
+  AcceptResult r = std::visit(
+      [&](const auto& ev) -> AcceptResult {
+        using E = std::decay_t<decltype(ev)>;
+        if constexpr (std::is_same_v<E, EvGpsnd<MsgT>>) {
+          return on_gpsnd(ev);
+        } else if constexpr (std::is_same_v<E, EvGprcv<MsgT>>) {
+          return on_gprcv(ev);
+        } else if constexpr (std::is_same_v<E, EvSafe<MsgT>>) {
+          return on_safe(ev);
+        } else if constexpr (std::is_same_v<E, EvNewview>) {
+          return on_newview(ev);
+        } else {
+          return on_register(ev);
+        }
+      },
+      event);
+  if (r.ok) {
+    ++events_accepted_;
+  } else {
+    r.error += " [event #" + std::to_string(events_accepted_ + 1) + ": " +
+               to_string(event) + "]";
+  }
+  return r;
+}
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::feed_all(
+    const std::vector<GroupEvent<MsgT>>& trace) {
+  for (const auto& ev : trace) {
+    AcceptResult r = feed(ev);
+    if (!r.ok) return r;
+  }
+  return AcceptResult::accepted();
+}
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::on_gpsnd(const EvGpsnd<MsgT>& ev) {
+  spec_.apply_gpsnd(ev.m, ev.p);  // input action: always enabled
+  return AcceptResult::accepted();
+}
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::on_gprcv(const EvGprcv<MsgT>& ev) {
+  const auto g = spec_.current_viewid(ev.receiver);
+  if (!g.has_value()) {
+    return AcceptResult::rejected("GPRCV at a process with no current view");
+  }
+  const auto& queue = spec_.queue(*g);
+  const std::size_t idx = spec_.next(ev.receiver, *g);
+  if (idx > queue.size()) {
+    // This receiver is the first to commit position idx: the spec must order
+    // the claimed sender's pending head now, and it must be this message.
+    if (!spec_.can_order(ev.sender, *g)) {
+      return AcceptResult::rejected(
+          "delivery of a message the sender never sent in this view "
+          "(pending empty)");
+    }
+    const auto& head = spec_.pending(ev.sender, *g).front();
+    if (!msgs_equal(head, ev.m)) {
+      return AcceptResult::rejected(
+          "delivery violates sender FIFO: expected pending head " +
+          dvs::to_string(head));
+    }
+    spec_.apply_order(ev.sender, *g);
+  }
+  const auto& entry = spec_.queue(*g)[idx - 1];
+  if (entry.second != ev.sender || !msgs_equal(entry.first, ev.m)) {
+    return AcceptResult::rejected(
+        "delivery order diverges from the committed total order at position " +
+        std::to_string(idx) + " (expected " + dvs::to_string(entry.first) +
+        " from " + entry.second.to_string() + ")");
+  }
+  if constexpr (std::is_same_v<SpecT, DvsSpec>) {
+    // Corrected DVS spec: insert the internal DVS-RECEIVE steps that carry
+    // the node's receipt pointer up to this delivery.
+    while (spec_.received(ev.receiver, *g) < idx) {
+      spec_.apply_receive(ev.receiver, *g);
+    }
+  }
+  spec_.apply_gprcv(ev.receiver);
+  return AcceptResult::accepted();
+}
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::on_safe(const EvSafe<MsgT>& ev) {
+  if constexpr (std::is_same_v<SpecT, DvsSpec>) {
+    // Corrected DVS spec: a safe indication may precede client deliveries.
+    // Greedily order the message (if no receiver has committed its position
+    // yet) and insert the internal DVS-RECEIVE steps at every member.
+    const auto g = spec_.current_viewid(ev.receiver);
+    if (!g.has_value()) {
+      return AcceptResult::rejected("SAFE at a process with no current view");
+    }
+    const std::size_t idx = spec_.next_safe(ev.receiver, *g);
+    if (idx > spec_.queue(*g).size()) {
+      if (!spec_.can_order(ev.sender, *g)) {
+        return AcceptResult::rejected(
+            "SAFE for a message the sender never sent in this view");
+      }
+      if (!msgs_equal(spec_.pending(ev.sender, *g).front(), ev.m)) {
+        return AcceptResult::rejected(
+            "SAFE violates sender FIFO relative to the pending queue");
+      }
+      spec_.apply_order(ev.sender, *g);
+    }
+    auto vit = spec_.created().find(*g);
+    if (vit != spec_.created().end()) {
+      for (ProcessId r : vit->second.set()) {
+        // Members still in g take ordinary DVS-RECEIVE steps; members that
+        // have already moved on take the retroactive form (their receipt
+        // happened while they were in g; see force_receive).
+        while (spec_.received(r, *g) < idx &&
+               spec_.received(r, *g) < spec_.queue(*g).size()) {
+          if (spec_.can_receive(r, *g)) {
+            spec_.apply_receive(r, *g);
+          } else {
+            spec_.force_receive(r, *g);
+          }
+        }
+      }
+    }
+  }
+  const auto indication = spec_.next_safe_indication(ev.receiver);
+  if (!indication.has_value()) {
+    return AcceptResult::rejected(
+        "SAFE indication not enabled (view unknown, or not all members have "
+        "received the message yet)");
+  }
+  if (indication->second != ev.sender || !msgs_equal(indication->first, ev.m)) {
+    return AcceptResult::rejected(
+        "SAFE indication out of order: spec expects " +
+        dvs::to_string(indication->first) + " from " +
+        indication->second.to_string());
+  }
+  spec_.apply_safe(ev.receiver);
+  return AcceptResult::accepted();
+}
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::on_newview(const EvNewview& ev) {
+  const auto& created = spec_.created();
+  auto it = created.find(ev.v.id());
+  if (it == created.end()) {
+    // First report of this view: the spec's internal CREATEVIEW is inserted
+    // here. For DVS this greedy placement is the most permissive sound
+    // choice (creating later maximizes TotReg and DVS permits out-of-order
+    // ids). For VS, force_createview additionally allows an id smaller than
+    // the maximum: the spec execution we exhibit schedules all CREATEVIEWs
+    // in id order ahead of time, which is valid because created-ness has no
+    // effect on any other state variable (see header commentary).
+    if constexpr (std::is_same_v<SpecT, VsSpec>) {
+      if (!spec_.can_createview(ev.v)) {
+        if (created.contains(ev.v.id())) {
+          return AcceptResult::rejected("duplicate view id " +
+                                        ev.v.id().to_string());
+        }
+        spec_.force_createview(ev.v);
+      } else {
+        spec_.apply_createview(ev.v);
+      }
+    } else {
+      if (!spec_.can_createview(ev.v)) {
+        return AcceptResult::rejected(
+            "DVS-CREATEVIEW precondition fails for " + ev.v.to_string() +
+            ": view does not intersect some earlier view lacking an "
+            "intervening totally registered view");
+      }
+      spec_.apply_createview(ev.v);
+    }
+  } else if (it->second != ev.v) {
+    return AcceptResult::rejected("two distinct views share id " +
+                                  ev.v.id().to_string());
+  }
+  if (!spec_.can_newview(ev.v, ev.p)) {
+    return AcceptResult::rejected(
+        "NEWVIEW not enabled: process not a member, or views reported out of "
+        "id order at this process");
+  }
+  spec_.apply_newview(ev.v, ev.p);
+  return AcceptResult::accepted();
+}
+
+template <typename SpecT, typename MsgT>
+AcceptResult GroupAcceptor<SpecT, MsgT>::on_register(const EvRegister& ev) {
+  if constexpr (std::is_same_v<SpecT, DvsSpec>) {
+    spec_.apply_register(ev.p);
+    return AcceptResult::accepted();
+  } else {
+    (void)ev;
+    return AcceptResult::rejected("REGISTER is not part of the VS signature");
+  }
+}
+
+template class GroupAcceptor<VsSpec, Msg>;
+template class GroupAcceptor<DvsSpec, ClientMsg>;
+
+AcceptResult ToAcceptor::feed(const ToEvent& event) {
+  AcceptResult r = std::visit(
+      [&](const auto& ev) -> AcceptResult {
+        using E = std::decay_t<decltype(ev)>;
+        if constexpr (std::is_same_v<E, EvBcast>) {
+          spec_.apply_bcast(ev.a, ev.p);
+          return AcceptResult::accepted();
+        } else {
+          const std::size_t idx = spec_.next(ev.receiver);
+          if (idx > spec_.queue().size()) {
+            if (!spec_.can_order(ev.sender)) {
+              return AcceptResult::rejected(
+                  "BRCV of a message never broadcast by the claimed sender");
+            }
+            const AppMsg& head = spec_.pending(ev.sender).front();
+            if (head != ev.a) {
+              return AcceptResult::rejected(
+                  "BRCV violates sender FIFO: expected " + head.to_string());
+            }
+            spec_.apply_order(ev.sender);
+          }
+          const auto& entry = spec_.queue()[idx - 1];
+          if (entry.second != ev.sender || entry.first != ev.a) {
+            return AcceptResult::rejected(
+                "delivery diverges from the global total order at position " +
+                std::to_string(idx) + " (expected " + entry.first.to_string() +
+                " from " + entry.second.to_string() + ")");
+          }
+          spec_.apply_brcv(ev.receiver);
+          return AcceptResult::accepted();
+        }
+      },
+      event);
+  if (r.ok) {
+    ++events_accepted_;
+  } else {
+    r.error += " [event #" + std::to_string(events_accepted_ + 1) + ": " +
+               to_string(event) + "]";
+  }
+  return r;
+}
+
+AcceptResult ToAcceptor::feed_all(const std::vector<ToEvent>& trace) {
+  for (const auto& ev : trace) {
+    AcceptResult r = feed(ev);
+    if (!r.ok) return r;
+  }
+  return AcceptResult::accepted();
+}
+
+std::string to_string(const ToEvent& e) {
+  struct Visitor {
+    std::string operator()(const EvBcast& ev) const {
+      return "bcast(" + ev.a.to_string() + ")_" + ev.p.to_string();
+    }
+    std::string operator()(const EvBrcv& ev) const {
+      return "brcv(" + ev.a.to_string() + ")_" + ev.sender.to_string() + "," +
+             ev.receiver.to_string();
+    }
+  };
+  return std::visit(Visitor{}, e);
+}
+
+}  // namespace dvs::spec

@@ -1,0 +1,93 @@
+// Trace acceptors: decide whether an observed external trace is a trace of
+// the VS, DVS or TO specification.
+//
+// The specs are nondeterministic (internal CREATEVIEW/ORDER actions). The
+// acceptors resolve that nondeterminism greedily — internal actions are
+// inserted lazily at the first external event that needs them — which is
+// complete for these specifications because an internal choice only becomes
+// observable at its first external use:
+//   * a view is created when first reported (the paper itself adopts this
+//     convention for DVS-IMPL, Section 5.1);
+//   * a pending message is ordered when a first receiver commits its queue
+//     position.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/messages.h"
+#include "spec/dvs_spec.h"
+#include "spec/events.h"
+#include "spec/to_spec.h"
+#include "spec/vs_spec.h"
+
+namespace dvs::spec {
+
+/// Result of feeding one event (or a whole trace) to an acceptor.
+struct AcceptResult {
+  bool ok = true;
+  std::string error;  // why the trace was rejected, with the offending event
+
+  static AcceptResult accepted() { return {}; }
+  static AcceptResult rejected(std::string why) {
+    return {false, std::move(why)};
+  }
+};
+
+/// Acceptor for the group-communication specs. SpecT is VsSpec (MsgT = Msg)
+/// or DvsSpec (MsgT = ClientMsg); EvRegister events are only legal for DVS.
+template <typename SpecT, typename MsgT>
+class GroupAcceptor {
+ public:
+  GroupAcceptor(ProcessSet universe, View v0)
+      : spec_(std::move(universe), std::move(v0)) {}
+
+  /// Feed the next external event; returns rejection with diagnosis if the
+  /// spec cannot take a matching step. After a rejection the acceptor state
+  /// is unspecified; use a fresh acceptor per trace.
+  AcceptResult feed(const GroupEvent<MsgT>& event);
+
+  /// Feed a whole trace.
+  AcceptResult feed_all(const std::vector<GroupEvent<MsgT>>& trace);
+
+  [[nodiscard]] const SpecT& spec() const { return spec_; }
+  [[nodiscard]] SpecT& spec() { return spec_; }
+  [[nodiscard]] std::size_t events_accepted() const {
+    return events_accepted_;
+  }
+
+ private:
+  AcceptResult on_gpsnd(const EvGpsnd<MsgT>& ev);
+  AcceptResult on_gprcv(const EvGprcv<MsgT>& ev);
+  AcceptResult on_safe(const EvSafe<MsgT>& ev);
+  AcceptResult on_newview(const EvNewview& ev);
+  AcceptResult on_register(const EvRegister& ev);
+
+  SpecT spec_;
+  std::size_t events_accepted_ = 0;
+};
+
+using VsAcceptor = GroupAcceptor<VsSpec, Msg>;
+using DvsAcceptor = GroupAcceptor<DvsSpec, ClientMsg>;
+
+/// Acceptor for the TO broadcast spec.
+class ToAcceptor {
+ public:
+  explicit ToAcceptor(ProcessSet universe) : spec_(std::move(universe)) {}
+
+  AcceptResult feed(const ToEvent& event);
+  AcceptResult feed_all(const std::vector<ToEvent>& trace);
+
+  [[nodiscard]] const ToSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t events_accepted() const {
+    return events_accepted_;
+  }
+
+ private:
+  ToSpec spec_;
+  std::size_t events_accepted_ = 0;
+};
+
+}  // namespace dvs::spec

@@ -1,0 +1,312 @@
+#include "spec/dvs_spec.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dvs::spec {
+namespace {
+
+template <typename Map, typename Key>
+std::size_t counter_or_one(const Map& m, const Key& k) {
+  auto it = m.find(k);
+  return it == m.end() ? 1 : it->second;
+}
+
+const std::deque<ClientMsg> kEmptyPending;
+const std::vector<std::pair<ClientMsg, ProcessId>> kEmptyQueue;
+const ProcessSet kEmptySet;
+
+}  // namespace
+
+DvsSpec::DvsSpec(ProcessSet universe, View v0) : universe_(std::move(universe)) {
+  created_.emplace(v0.id(), v0);
+  for (ProcessId p : universe_) {
+    current_viewid_[p] =
+        v0.contains(p) ? std::optional<ViewId>{v0.id()} : std::nullopt;
+  }
+  // attempted[g0] and registered[g0] initialise to P0.
+  attempted_[v0.id()] = v0.set();
+  registered_[v0.id()] = v0.set();
+}
+
+bool DvsSpec::can_createview(const View& v) const {
+  if (v.set().empty()) return false;
+  if (created_.contains(v.id())) return false;  // ∀w: v.id ≠ w.id
+  for (const auto& [wid, w] : created_) {
+    const bool separated = wid < v.id() ? tot_reg_between(wid, v.id())
+                                        : tot_reg_between(v.id(), wid);
+    if (!separated && !intersects(v.set(), w.set())) return false;
+  }
+  return true;
+}
+
+void DvsSpec::apply_createview(const View& v) {
+  DVS_REQUIRE("DVS-CREATEVIEW", can_createview(v), v.to_string());
+  created_.emplace(v.id(), v);
+}
+
+bool DvsSpec::can_newview(const View& v, ProcessId p) const {
+  if (!v.contains(p)) return false;
+  auto it = created_.find(v.id());
+  if (it == created_.end() || it->second != v) return false;
+  const auto cur = current_viewid(p);
+  if (cur.has_value()) {
+    if (!(v.id() > *cur)) return false;
+    // Corrected precondition: the client has consumed everything the node
+    // received in the current view (drain-before-attempt).
+    if (next(p, *cur) != received(p, *cur) + 1) return false;
+  }
+  return true;
+}
+
+bool DvsSpec::can_receive(ProcessId p, const ViewId& g) const {
+  auto it = created_.find(g);
+  if (it == created_.end() || !it->second.contains(p)) return false;
+  const auto cur = current_viewid(p);
+  if (cur.has_value() && *cur > g) return false;  // never after leaving
+  return received(p, g) < queue(g).size();
+}
+
+void DvsSpec::apply_receive(ProcessId p, const ViewId& g) {
+  DVS_REQUIRE("DVS-RECEIVE", can_receive(p, g),
+              p.to_string() << " in " << g.to_string());
+  received_[p][g] = received(p, g) + 1;
+}
+
+void DvsSpec::force_receive(ProcessId p, const ViewId& g) {
+  auto it = created_.find(g);
+  DVS_REQUIRE("DVS-RECEIVE(force)",
+              it != created_.end() && it->second.contains(p) &&
+                  received(p, g) < queue(g).size(),
+              p.to_string() << " in " << g.to_string());
+  received_[p][g] = received(p, g) + 1;
+}
+
+std::size_t DvsSpec::received(ProcessId p, const ViewId& g) const {
+  auto pit = received_.find(p);
+  if (pit == received_.end()) return 0;
+  auto git = pit->second.find(g);
+  return git == pit->second.end() ? 0 : git->second;
+}
+
+void DvsSpec::apply_newview(const View& v, ProcessId p) {
+  DVS_REQUIRE("DVS-NEWVIEW", can_newview(v, p),
+              v.to_string() << " at " << p.to_string());
+  current_viewid_[p] = v.id();
+  attempted_[v.id()].insert(p);
+}
+
+void DvsSpec::apply_register(ProcessId p) {
+  const auto cur = current_viewid(p);
+  if (cur.has_value()) {
+    registered_[*cur].insert(p);
+  }
+}
+
+void DvsSpec::apply_gpsnd(const ClientMsg& m, ProcessId p) {
+  const auto cur = current_viewid(p);
+  if (cur.has_value()) {
+    pending_[p][*cur].push_back(m);
+  }
+}
+
+bool DvsSpec::can_order(ProcessId p, const ViewId& g) const {
+  return !pending(p, g).empty();
+}
+
+void DvsSpec::apply_order(ProcessId p, const ViewId& g) {
+  DVS_REQUIRE("DVS-ORDER", can_order(p, g),
+              p.to_string() << " in " << g.to_string());
+  auto& pend = pending_[p][g];
+  ClientMsg m = pend.front();
+  pend.pop_front();
+  queue_[g].emplace_back(std::move(m), p);
+}
+
+std::optional<std::pair<ClientMsg, ProcessId>> DvsSpec::next_gprcv(
+    ProcessId q) const {
+  const auto g = current_viewid(q);
+  if (!g.has_value()) return std::nullopt;
+  const auto& que = queue(*g);
+  const std::size_t idx = next(q, *g);
+  if (idx > que.size()) return std::nullopt;
+  // Corrected: the client consumes only what the node has received.
+  if (idx > received(q, *g)) return std::nullopt;
+  return que[idx - 1];
+}
+
+std::pair<ClientMsg, ProcessId> DvsSpec::apply_gprcv(ProcessId q) {
+  auto delivery = next_gprcv(q);
+  DVS_REQUIRE("DVS-GPRCV", delivery.has_value(), "at " << q.to_string());
+  const ViewId g = *current_viewid(q);
+  next_[q][g] = next(q, g) + 1;
+  return *delivery;
+}
+
+std::optional<std::pair<ClientMsg, ProcessId>> DvsSpec::next_safe_indication(
+    ProcessId q) const {
+  const auto g = current_viewid(q);
+  if (!g.has_value()) return std::nullopt;
+  auto it = created_.find(*g);
+  if (it == created_.end()) return std::nullopt;
+  const auto& que = queue(*g);
+  const std::size_t idx = next_safe(q, *g);
+  if (idx > que.size()) return std::nullopt;
+  // Corrected: safe requires node-level receipt (received[r,g] ≥ idx) at
+  // every *other* member instead of the printed client-level condition, but
+  // keeps the printed condition locally (next[q,g] > idx): a client must
+  // see a message before its safe indication, or it could act on a "stable"
+  // message it has not processed — the TO application's exchange-safe logic
+  // depends on exactly this local ordering.
+  if (next(q, *g) <= idx) return std::nullopt;
+  for (ProcessId r : it->second.set()) {
+    if (received(r, *g) < idx) return std::nullopt;
+  }
+  return que[idx - 1];
+}
+
+std::pair<ClientMsg, ProcessId> DvsSpec::apply_safe(ProcessId q) {
+  auto indication = next_safe_indication(q);
+  DVS_REQUIRE("DVS-SAFE", indication.has_value(), "at " << q.to_string());
+  const ViewId g = *current_viewid(q);
+  next_safe_[q][g] = next_safe(q, g) + 1;
+  return *indication;
+}
+
+std::vector<View> DvsSpec::att() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : created_) {
+    if (!attempted(g).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<View> DvsSpec::tot_att() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : created_) {
+    const ProcessSet& a = attempted(g);
+    if (std::includes(a.begin(), a.end(), v.set().begin(), v.set().end())) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<View> DvsSpec::reg() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : created_) {
+    if (!registered(g).empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<View> DvsSpec::tot_reg() const {
+  std::vector<View> out;
+  for (const auto& [g, v] : created_) {
+    const ProcessSet& r = registered(g);
+    if (std::includes(r.begin(), r.end(), v.set().begin(), v.set().end())) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool DvsSpec::tot_reg_between(const ViewId& lo, const ViewId& hi) const {
+  for (auto it = created_.upper_bound(lo); it != created_.end(); ++it) {
+    if (!(it->first < hi)) break;
+    const View& x = it->second;
+    const ProcessSet& r = registered(x.id());
+    if (std::includes(r.begin(), r.end(), x.set().begin(), x.set().end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<ViewId> DvsSpec::current_viewid(ProcessId p) const {
+  auto it = current_viewid_.find(p);
+  return it == current_viewid_.end() ? std::nullopt : it->second;
+}
+
+const ProcessSet& DvsSpec::attempted(const ViewId& g) const {
+  auto it = attempted_.find(g);
+  return it == attempted_.end() ? kEmptySet : it->second;
+}
+
+const ProcessSet& DvsSpec::registered(const ViewId& g) const {
+  auto it = registered_.find(g);
+  return it == registered_.end() ? kEmptySet : it->second;
+}
+
+const std::deque<ClientMsg>& DvsSpec::pending(ProcessId p,
+                                              const ViewId& g) const {
+  auto pit = pending_.find(p);
+  if (pit == pending_.end()) return kEmptyPending;
+  auto git = pit->second.find(g);
+  return git == pit->second.end() ? kEmptyPending : git->second;
+}
+
+const std::vector<std::pair<ClientMsg, ProcessId>>& DvsSpec::queue(
+    const ViewId& g) const {
+  auto it = queue_.find(g);
+  return it == queue_.end() ? kEmptyQueue : it->second;
+}
+
+std::size_t DvsSpec::next(ProcessId p, const ViewId& g) const {
+  auto pit = next_.find(p);
+  if (pit == next_.end()) return 1;
+  return counter_or_one(pit->second, g);
+}
+
+std::size_t DvsSpec::next_safe(ProcessId p, const ViewId& g) const {
+  auto pit = next_safe_.find(p);
+  if (pit == next_safe_.end()) return 1;
+  return counter_or_one(pit->second, g);
+}
+
+std::vector<View> DvsSpec::newview_candidates(ProcessId p) const {
+  std::vector<View> out;
+  for (const auto& [g, v] : created_) {
+    if (can_newview(v, p)) out.push_back(v);
+  }
+  return out;
+}
+
+void DvsSpec::check_invariants() const {
+  // Invariant 4.1 (DVS): if v, w ∈ created, v.id < w.id, and there is no
+  // x ∈ TotReg such that v.id < x.id < w.id, then v.set ∩ w.set ≠ {}.
+  for (auto vit = created_.begin(); vit != created_.end(); ++vit) {
+    for (auto wit = std::next(vit); wit != created_.end(); ++wit) {
+      const View& v = vit->second;
+      const View& w = wit->second;
+      if (tot_reg_between(v.id(), w.id())) continue;
+      DVS_INVARIANT("Invariant 4.1 (DVS)", intersects(v.set(), w.set()),
+                    "created views " << v.to_string() << " and "
+                                     << w.to_string()
+                                     << " are disjoint with no intervening "
+                                        "totally registered view");
+    }
+  }
+
+  // Invariant 4.2 (DVS): if v ∈ created, w ∈ TotAtt, v.id < w.id, then
+  // ∃p ∈ v.set with current-viewid[p] > v.id.
+  const std::vector<View> totatt = tot_att();
+  for (const auto& [gid, v] : created_) {
+    const bool later_tot_att =
+        std::any_of(totatt.begin(), totatt.end(),
+                    [&](const View& w) { return v.id() < w.id(); });
+    if (!later_tot_att) continue;
+    const bool deactivated =
+        std::any_of(v.set().begin(), v.set().end(), [&](ProcessId p) {
+          const auto cur = current_viewid(p);
+          return cur.has_value() && *cur > v.id();
+        });
+    DVS_INVARIANT("Invariant 4.2 (DVS)", deactivated,
+                  "view " << v.to_string()
+                          << " precedes a totally attempted view but no "
+                             "member has advanced past it");
+  }
+}
+
+}  // namespace dvs::spec

@@ -1,0 +1,191 @@
+// Executable transcription of Figure 2: the DVS specification — a dynamic
+// view-oriented group communication service that creates only primary views.
+//
+// Differences from VS (paper Section 4): DVS-REGISTER inputs record client
+// readiness in registered[g]; attempted[g] records which processes have been
+// told about each view; DVS-CREATEVIEW's precondition only admits views that
+// intersect every created view not separated from them by a totally
+// registered view. Messages are client messages Mc.
+//
+// CORRECTION (reproduction finding; see EXPERIMENTS.md E4/E5). The printed
+// DVS-SAFE precondition, ∀r ∈ P: next[r,g] > next-safe[q,g], demands
+// *client-level* delivery at every member before a safe indication. The
+// Figure 3 implementation cannot guarantee that: it relays the underlying VS
+// safe indication while other members may still hold the message in their
+// msgs-from-vs buffers, so DVS-IMPL emits safes the printed spec forbids
+// (the proof of Lemma 5.8 silently skips the DVS-SAFE case). We repair the
+// spec with a node-level receipt counter:
+//   * new state received[p,g] ∈ N (init 0), advanced by a new internal
+//     action DVS-RECEIVE(p,g) with precondition p ∈ members(g) ∧
+//     current-viewid[p] ≤ g ∧ received[p,g] < |queue[g]| — a node may
+//     receive for its current client view or one it has not yet been told
+//     about (its service runs ahead), but never for a view it has left;
+//     receipt-after-leaving is what lets a "stable" message escape a
+//     member's state exchange and break the TO application;
+//   * DVS-GPRCV(m)_{p,q} additionally requires next[q,g] ≤ received[q,g]
+//     (a client consumes only what its node has received);
+//   * DVS-SAFE(m)_{p,q} requires ∀r ∈ P: received[r,g] ≥ next-safe[q,g]
+//     instead of the printed next[r,g] condition for the *other* members,
+//     but keeps next[q,g] > next-safe[q,g] at q itself — a client must see
+//     a message before its safe indication (deliver-before-safe), which the
+//     TO application's exchange-safe logic depends on;
+//   * DVS-NEWVIEW(v)_p additionally requires that p's client has consumed
+//     everything its node received in the current view:
+//     next[p,g] = received[p,g] + 1 (for g = current-viewid[p] ≠ ⊥).
+// The last clause (mirrored by a drain-before-attempt precondition in
+// VS-TO-DVS) is what the TO application needs: a label confirmed via SAFE in
+// a view is then guaranteed to be in the tentative order of every member
+// that ever attempts a later view.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::spec {
+
+/// The DVS automaton of Figure 2.
+class DvsSpec {
+ public:
+  DvsSpec(ProcessSet universe, View v0);
+
+  // ----- signature --------------------------------------------------------
+
+  /// internal DVS-CREATEVIEW(v).
+  /// Pre: ∀w ∈ created: v.id ≠ w.id, and ∀w ∈ created:
+  ///   (∃x ∈ TotReg: w.id < x.id < v.id) ∨ (∃x ∈ TotReg: v.id < x.id < w.id)
+  ///   ∨ v.set ∩ w.set ≠ {}.
+  [[nodiscard]] bool can_createview(const View& v) const;
+  void apply_createview(const View& v);
+
+  /// output DVS-NEWVIEW(v)_p.
+  /// Pre: v ∈ created ∧ v.id > current-viewid[p], p ∈ v.set, and (corrected;
+  /// see header) p's client has consumed everything its node received in the
+  /// current view.
+  /// Eff: current-viewid[p] := v.id; attempted[v.id] ∪= {p}.
+  [[nodiscard]] bool can_newview(const View& v, ProcessId p) const;
+  void apply_newview(const View& v, ProcessId p);
+
+  /// internal DVS-RECEIVE(p, g) (corrected spec; see header): node-level
+  /// receipt of the next queued message of view g at p.
+  /// Pre: p ∈ members(g) ∧ current-viewid[p] ≤ g ∧ received[p,g] < |queue[g]|.
+  /// Eff: received[p,g] += 1.
+  [[nodiscard]] bool can_receive(ProcessId p, const ViewId& g) const;
+  void apply_receive(ProcessId p, const ViewId& g);
+  [[nodiscard]] std::size_t received(ProcessId p, const ViewId& g) const;
+
+  /// Acceptor-only escape hatch: advances received[p,g] for a member p of
+  /// view g even if p's current view has moved on. Sound for greedy trace
+  /// acceptance: the receipt really occurred while p was still in g (the
+  /// underlying service only indicates safe after all members received in
+  /// the view), but the acceptor orders queue entries lazily and may learn
+  /// of the receipt only after observing p's later NEWVIEW.
+  void force_receive(ProcessId p, const ViewId& g);
+
+  /// input DVS-REGISTER_p — always enabled.
+  void apply_register(ProcessId p);
+
+  /// input DVS-GPSND(m)_p — always enabled.
+  void apply_gpsnd(const ClientMsg& m, ProcessId p);
+
+  /// internal DVS-ORDER(m, p, g), keyed by (p, g); m is the pending head.
+  [[nodiscard]] bool can_order(ProcessId p, const ViewId& g) const;
+  void apply_order(ProcessId p, const ViewId& g);
+
+  /// output DVS-GPRCV(m)_{p,q}.
+  [[nodiscard]] std::optional<std::pair<ClientMsg, ProcessId>> next_gprcv(
+      ProcessId q) const;
+  std::pair<ClientMsg, ProcessId> apply_gprcv(ProcessId q);
+
+  /// output DVS-SAFE(m)_{p,q}.
+  [[nodiscard]] std::optional<std::pair<ClientMsg, ProcessId>>
+  next_safe_indication(ProcessId q) const;
+  std::pair<ClientMsg, ProcessId> apply_safe(ProcessId q);
+
+  // ----- derived variables (paper Figure 2) -------------------------------
+
+  /// Att = {v ∈ created | attempted[v.id] ≠ {}}.
+  [[nodiscard]] std::vector<View> att() const;
+  /// TotAtt = {v ∈ created | v.set ⊆ attempted[v.id]}.
+  [[nodiscard]] std::vector<View> tot_att() const;
+  /// Reg = {v ∈ created | registered[v.id] ≠ {}}.
+  [[nodiscard]] std::vector<View> reg() const;
+  /// TotReg = {v ∈ created | v.set ⊆ registered[v.id]}.
+  [[nodiscard]] std::vector<View> tot_reg() const;
+
+  /// ∃x ∈ TotReg with lo < x.id < hi.
+  [[nodiscard]] bool tot_reg_between(const ViewId& lo, const ViewId& hi) const;
+
+  // ----- observers ---------------------------------------------------------
+
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const std::map<ViewId, View>& created() const {
+    return created_;
+  }
+  [[nodiscard]] std::optional<ViewId> current_viewid(ProcessId p) const;
+  [[nodiscard]] const ProcessSet& attempted(const ViewId& g) const;
+  [[nodiscard]] const ProcessSet& registered(const ViewId& g) const;
+  [[nodiscard]] const std::deque<ClientMsg>& pending(ProcessId p,
+                                                     const ViewId& g) const;
+  [[nodiscard]] const std::vector<std::pair<ClientMsg, ProcessId>>& queue(
+      const ViewId& g) const;
+  [[nodiscard]] std::size_t next(ProcessId p, const ViewId& g) const;
+  [[nodiscard]] std::size_t next_safe(ProcessId p, const ViewId& g) const;
+  [[nodiscard]] std::vector<View> newview_candidates(ProcessId p) const;
+
+  // Whole-map accessors (used by the refinement checker to snapshot states).
+  [[nodiscard]] const std::map<ViewId, ProcessSet>& attempted_all() const {
+    return attempted_;
+  }
+  [[nodiscard]] const std::map<ViewId, ProcessSet>& registered_all() const {
+    return registered_;
+  }
+  [[nodiscard]] const std::map<ProcessId, std::map<ViewId, std::deque<ClientMsg>>>&
+  pending_all() const {
+    return pending_;
+  }
+  [[nodiscard]] const std::map<ViewId,
+                               std::vector<std::pair<ClientMsg, ProcessId>>>&
+  queue_all() const {
+    return queue_;
+  }
+  [[nodiscard]] const std::map<ProcessId, std::map<ViewId, std::size_t>>&
+  next_all() const {
+    return next_;
+  }
+  [[nodiscard]] const std::map<ProcessId, std::map<ViewId, std::size_t>>&
+  next_safe_all() const {
+    return next_safe_;
+  }
+  [[nodiscard]] const std::map<ProcessId, std::map<ViewId, std::size_t>>&
+  received_all() const {
+    return received_;
+  }
+
+  /// Checks Invariants 4.1 and 4.2 on the current state; throws
+  /// InvariantViolation with a full account on failure.
+  void check_invariants() const;
+
+ private:
+  ProcessSet universe_;
+
+  std::map<ViewId, View> created_;
+  std::map<ProcessId, std::optional<ViewId>> current_viewid_;
+  std::map<ViewId, std::vector<std::pair<ClientMsg, ProcessId>>> queue_;
+  std::map<ViewId, ProcessSet> attempted_;
+  std::map<ViewId, ProcessSet> registered_;
+  std::map<ProcessId, std::map<ViewId, std::deque<ClientMsg>>> pending_;
+  std::map<ProcessId, std::map<ViewId, std::size_t>> next_;
+  std::map<ProcessId, std::map<ViewId, std::size_t>> next_safe_;
+  // received[p,g] ∈ N, init 0 (corrected spec; node-level receipt count).
+  std::map<ProcessId, std::map<ViewId, std::size_t>> received_;
+};
+
+}  // namespace dvs::spec

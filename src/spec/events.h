@@ -1,0 +1,103 @@
+// External-trace event types.
+//
+// A trace of a view-oriented group communication service is a sequence of
+// external actions. The acceptors replay such traces against the executable
+// specs to decide trace inclusion (the executable counterpart of the paper's
+// Theorems 5.9 and 6.4 and of the claim that our distributed stack
+// implements the specifications).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::spec {
+
+/// GPSND(m)_p — client at p submits m. MsgT is Msg for VS, ClientMsg for DVS.
+template <typename MsgT>
+struct EvGpsnd {
+  ProcessId p;
+  MsgT m;
+};
+
+/// GPRCV(m)_{sender,receiver}.
+template <typename MsgT>
+struct EvGprcv {
+  ProcessId sender;
+  ProcessId receiver;
+  MsgT m;
+};
+
+/// SAFE(m)_{sender,receiver}.
+template <typename MsgT>
+struct EvSafe {
+  ProcessId sender;
+  ProcessId receiver;
+  MsgT m;
+};
+
+/// NEWVIEW(v)_p.
+struct EvNewview {
+  ProcessId p;
+  View v;
+};
+
+/// REGISTER_p (DVS only).
+struct EvRegister {
+  ProcessId p;
+};
+
+template <typename MsgT>
+using GroupEvent = std::variant<EvGpsnd<MsgT>, EvGprcv<MsgT>, EvSafe<MsgT>,
+                                EvNewview, EvRegister>;
+
+using VsEvent = GroupEvent<Msg>;
+using DvsEvent = GroupEvent<ClientMsg>;
+
+template <typename MsgT>
+[[nodiscard]] std::string to_string(const GroupEvent<MsgT>& e) {
+  struct Visitor {
+    std::string operator()(const EvGpsnd<MsgT>& ev) const {
+      return "gpsnd(" + dvs::to_string(ev.m) + ")_" + ev.p.to_string();
+    }
+    std::string operator()(const EvGprcv<MsgT>& ev) const {
+      return "gprcv(" + dvs::to_string(ev.m) + ")_" + ev.sender.to_string() +
+             "," + ev.receiver.to_string();
+    }
+    std::string operator()(const EvSafe<MsgT>& ev) const {
+      return "safe(" + dvs::to_string(ev.m) + ")_" + ev.sender.to_string() +
+             "," + ev.receiver.to_string();
+    }
+    std::string operator()(const EvNewview& ev) const {
+      return "newview(" + ev.v.to_string() + ")_" + ev.p.to_string();
+    }
+    std::string operator()(const EvRegister& ev) const {
+      return "register_" + ev.p.to_string();
+    }
+  };
+  return std::visit(Visitor{}, e);
+}
+
+/// BCAST(a)_p — TO client submits a.
+struct EvBcast {
+  ProcessId p;
+  AppMsg a;
+};
+
+/// BRCV(a)_{sender,receiver} — TO delivery.
+struct EvBrcv {
+  ProcessId sender;
+  ProcessId receiver;
+  AppMsg a;
+};
+
+using ToEvent = std::variant<EvBcast, EvBrcv>;
+
+[[nodiscard]] std::string to_string(const ToEvent& e);
+
+}  // namespace dvs::spec

@@ -1,0 +1,49 @@
+#include "spec/to_spec.h"
+
+#include "common/check.h"
+
+namespace dvs::spec {
+namespace {
+const std::deque<AppMsg> kEmptyPending;
+}  // namespace
+
+ToSpec::ToSpec(ProcessSet universe) : universe_(std::move(universe)) {}
+
+void ToSpec::apply_bcast(const AppMsg& a, ProcessId p) {
+  pending_[p].push_back(a);
+}
+
+bool ToSpec::can_order(ProcessId p) const { return !pending(p).empty(); }
+
+void ToSpec::apply_order(ProcessId p) {
+  DVS_REQUIRE("TO-ORDER", can_order(p), p.to_string());
+  auto& pend = pending_[p];
+  queue_.emplace_back(pend.front(), p);
+  pend.pop_front();
+}
+
+std::optional<std::pair<AppMsg, ProcessId>> ToSpec::next_brcv(
+    ProcessId q) const {
+  const std::size_t idx = next(q);
+  if (idx > queue_.size()) return std::nullopt;
+  return queue_[idx - 1];
+}
+
+std::pair<AppMsg, ProcessId> ToSpec::apply_brcv(ProcessId q) {
+  auto delivery = next_brcv(q);
+  DVS_REQUIRE("BRCV", delivery.has_value(), "at " << q.to_string());
+  next_[q] = next(q) + 1;
+  return *delivery;
+}
+
+const std::deque<AppMsg>& ToSpec::pending(ProcessId p) const {
+  auto it = pending_.find(p);
+  return it == pending_.end() ? kEmptyPending : it->second;
+}
+
+std::size_t ToSpec::next(ProcessId q) const {
+  auto it = next_.find(q);
+  return it == next_.end() ? 1 : it->second;
+}
+
+}  // namespace dvs::spec

@@ -1,0 +1,55 @@
+// Executable specification of TO — the (non-group-oriented) totally-ordered
+// broadcast service of Fekete–Lynch–Shvartsman [12], which Section 6 of the
+// paper implements on top of DVS (Theorem 6.4).
+//
+// TO accepts messages from clients (BCAST) and delivers them to all clients
+// (BRCV) according to one system-wide total order; each client receives a
+// prefix of that order, and each delivery reports the original sender.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::spec {
+
+/// The TO service automaton.
+class ToSpec {
+ public:
+  explicit ToSpec(ProcessSet universe);
+
+  /// input BCAST(a)_p — always enabled. Eff: append a to pending[p].
+  void apply_bcast(const AppMsg& a, ProcessId p);
+
+  /// internal TO-ORDER(a, p): moves the head of pending[p] to the global
+  /// queue. Pre: pending[p] nonempty.
+  [[nodiscard]] bool can_order(ProcessId p) const;
+  void apply_order(ProcessId p);
+
+  /// output BRCV(a)_{p,q}: pre queue(next[q]) = (a, p). Returns (a, p).
+  [[nodiscard]] std::optional<std::pair<AppMsg, ProcessId>> next_brcv(
+      ProcessId q) const;
+  std::pair<AppMsg, ProcessId> apply_brcv(ProcessId q);
+
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const std::vector<std::pair<AppMsg, ProcessId>>& queue()
+      const {
+    return queue_;
+  }
+  [[nodiscard]] const std::deque<AppMsg>& pending(ProcessId p) const;
+  [[nodiscard]] std::size_t next(ProcessId q) const;
+
+ private:
+  ProcessSet universe_;
+  std::vector<std::pair<AppMsg, ProcessId>> queue_;
+  std::map<ProcessId, std::deque<AppMsg>> pending_;
+  std::map<ProcessId, std::size_t> next_;  // init 1
+};
+
+}  // namespace dvs::spec

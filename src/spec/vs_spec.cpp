@@ -1,0 +1,176 @@
+#include "spec/vs_spec.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dvs::spec {
+namespace {
+
+template <typename Map, typename Key>
+std::size_t counter_or_one(const Map& m, const Key& k) {
+  auto it = m.find(k);
+  return it == m.end() ? 1 : it->second;
+}
+
+const std::deque<Msg> kEmptyPending;
+const std::vector<std::pair<Msg, ProcessId>> kEmptyQueue;
+
+}  // namespace
+
+VsSpec::VsSpec(ProcessSet universe, View v0) : universe_(std::move(universe)) {
+  created_.emplace(v0.id(), v0);
+  for (ProcessId p : universe_) {
+    current_viewid_[p] =
+        v0.contains(p) ? std::optional<ViewId>{v0.id()} : std::nullopt;
+  }
+}
+
+bool VsSpec::can_createview(const View& v) const {
+  if (v.set().empty()) return false;
+  return std::all_of(created_.begin(), created_.end(), [&](const auto& entry) {
+    return v.id() > entry.first;
+  });
+}
+
+void VsSpec::apply_createview(const View& v) {
+  DVS_REQUIRE("VS-CREATEVIEW", can_createview(v), v.to_string());
+  created_.emplace(v.id(), v);
+}
+
+void VsSpec::force_createview(const View& v) {
+  DVS_REQUIRE("VS-CREATEVIEW(force)",
+              !created_.contains(v.id()) && !v.set().empty(), v.to_string());
+  created_.emplace(v.id(), v);
+}
+
+bool VsSpec::can_newview(const View& v, ProcessId p) const {
+  if (!v.contains(p)) return false;  // signature: p ∈ v.set
+  auto it = created_.find(v.id());
+  if (it == created_.end() || it->second != v) return false;  // v ∈ created
+  const auto cur = current_viewid(p);
+  return !cur.has_value() || v.id() > *cur;
+}
+
+void VsSpec::apply_newview(const View& v, ProcessId p) {
+  DVS_REQUIRE("VS-NEWVIEW", can_newview(v, p),
+              v.to_string() << " at " << p.to_string());
+  current_viewid_[p] = v.id();
+}
+
+void VsSpec::apply_gpsnd(const Msg& m, ProcessId p) {
+  const auto cur = current_viewid(p);
+  if (cur.has_value()) {
+    pending_[p][*cur].push_back(m);
+  }
+}
+
+bool VsSpec::can_order(ProcessId p, const ViewId& g) const {
+  return !pending(p, g).empty();
+}
+
+void VsSpec::apply_order(ProcessId p, const ViewId& g) {
+  DVS_REQUIRE("VS-ORDER", can_order(p, g),
+              p.to_string() << " in " << g.to_string());
+  auto& pend = pending_[p][g];
+  Msg m = pend.front();
+  pend.pop_front();
+  queue_[g].emplace_back(std::move(m), p);
+}
+
+std::optional<std::pair<Msg, ProcessId>> VsSpec::next_gprcv(
+    ProcessId q) const {
+  const auto g = current_viewid(q);
+  if (!g.has_value()) return std::nullopt;
+  const auto& que = queue(*g);
+  const std::size_t idx = next(q, *g);  // 1-based
+  if (idx > que.size()) return std::nullopt;
+  return que[idx - 1];
+}
+
+std::pair<Msg, ProcessId> VsSpec::apply_gprcv(ProcessId q) {
+  auto delivery = next_gprcv(q);
+  DVS_REQUIRE("VS-GPRCV", delivery.has_value(), "at " << q.to_string());
+  const ViewId g = *current_viewid(q);
+  next_[q][g] = next(q, g) + 1;
+  return *delivery;
+}
+
+std::optional<std::pair<Msg, ProcessId>> VsSpec::next_safe_indication(
+    ProcessId q) const {
+  const auto g = current_viewid(q);
+  if (!g.has_value()) return std::nullopt;
+  auto it = created_.find(*g);
+  if (it == created_.end()) return std::nullopt;  // ⟨g, P⟩ ∈ created
+  const auto& que = queue(*g);
+  const std::size_t idx = next_safe(q, *g);
+  if (idx > que.size()) return std::nullopt;
+  // for all r ∈ P: next[r, g] > next-safe[q, g]
+  for (ProcessId r : it->second.set()) {
+    if (next(r, *g) <= idx) return std::nullopt;
+  }
+  return que[idx - 1];
+}
+
+std::pair<Msg, ProcessId> VsSpec::apply_safe(ProcessId q) {
+  auto indication = next_safe_indication(q);
+  DVS_REQUIRE("VS-SAFE", indication.has_value(), "at " << q.to_string());
+  const ViewId g = *current_viewid(q);
+  next_safe_[q][g] = next_safe(q, g) + 1;
+  return *indication;
+}
+
+std::optional<ViewId> VsSpec::current_viewid(ProcessId p) const {
+  auto it = current_viewid_.find(p);
+  return it == current_viewid_.end() ? std::nullopt : it->second;
+}
+
+const std::deque<Msg>& VsSpec::pending(ProcessId p, const ViewId& g) const {
+  auto pit = pending_.find(p);
+  if (pit == pending_.end()) return kEmptyPending;
+  auto git = pit->second.find(g);
+  return git == pit->second.end() ? kEmptyPending : git->second;
+}
+
+const std::vector<std::pair<Msg, ProcessId>>& VsSpec::queue(
+    const ViewId& g) const {
+  auto it = queue_.find(g);
+  return it == queue_.end() ? kEmptyQueue : it->second;
+}
+
+std::size_t VsSpec::next(ProcessId p, const ViewId& g) const {
+  auto pit = next_.find(p);
+  if (pit == next_.end()) return 1;
+  return counter_or_one(pit->second, g);
+}
+
+std::size_t VsSpec::next_safe(ProcessId p, const ViewId& g) const {
+  auto pit = next_safe_.find(p);
+  if (pit == next_safe_.end()) return 1;
+  return counter_or_one(pit->second, g);
+}
+
+ViewId VsSpec::max_created_id() const {
+  return created_.rbegin()->first;  // created is never empty (holds v0)
+}
+
+std::vector<View> VsSpec::newview_candidates(ProcessId p) const {
+  std::vector<View> out;
+  for (const auto& [g, v] : created_) {
+    if (can_newview(v, p)) out.push_back(v);
+  }
+  return out;
+}
+
+void VsSpec::check_invariants() const {
+  // Invariant 3.1 (VS): v, v' ∈ created ∧ v.id = v'.id ⇒ v = v'. The map
+  // keying enforces this structurally; verify membership sets are nonempty
+  // as required by the definition of a view.
+  for (const auto& [g, v] : created_) {
+    DVS_INVARIANT("Invariant 3.1 (VS)", v.id() == g && !v.set().empty(),
+                  "created view " << v.to_string() << " keyed by "
+                                  << g.to_string());
+  }
+}
+
+}  // namespace dvs::spec

@@ -1,0 +1,117 @@
+// Executable transcription of Figure 1: the (modified) VS specification — a
+// static view-oriented group communication service.
+//
+// State variables, action names, preconditions and effects follow the figure
+// one-for-one. Actions are exposed as `can_<action>` (precondition) and
+// `apply_<action>` (effect; throws PreconditionViolation when disabled, so
+// harness bugs surface immediately).
+//
+// VS carries the full message universe M: its clients in DVS-IMPL are the
+// VS-TO-DVS_p automata, which send client messages as well as "info" and
+// "registered" messages.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::spec {
+
+/// The VS automaton of Figure 1.
+class VsSpec {
+ public:
+  /// Constructs the initial state: created = {v0}; current-viewid[p] = g0 for
+  /// p ∈ P0, ⊥ otherwise. `universe` is P (used to enumerate processes).
+  VsSpec(ProcessSet universe, View v0);
+
+  // ----- signature -------------------------------------------------------
+
+  /// internal VS-CREATEVIEW(v).
+  /// Pre: ∀w ∈ created: v.id > w.id.
+  [[nodiscard]] bool can_createview(const View& v) const;
+  void apply_createview(const View& v);
+
+  /// Acceptor-only escape hatch: records v as created even when its id is
+  /// not maximal. Sound for trace acceptance because VS's in-order creation
+  /// constraint is schedulable independently of all other state (creations
+  /// can always be replayed in id order ahead of their first NEWVIEW);
+  /// requires only id uniqueness and a nonempty membership.
+  void force_createview(const View& v);
+
+  /// output VS-NEWVIEW(v)_p.
+  /// Pre: v ∈ created ∧ v.id > current-viewid[p].  (p must be in v.set per
+  /// the signature.)
+  [[nodiscard]] bool can_newview(const View& v, ProcessId p) const;
+  void apply_newview(const View& v, ProcessId p);
+
+  /// input VS-GPSND(m)_p — always enabled.
+  void apply_gpsnd(const Msg& m, ProcessId p);
+
+  /// internal VS-ORDER(m, p, g). Pre: m is head of pending[p, g].
+  /// We expose it keyed by (p, g); the ordered message is the head.
+  [[nodiscard]] bool can_order(ProcessId p, const ViewId& g) const;
+  void apply_order(ProcessId p, const ViewId& g);
+
+  /// output VS-GPRCV(m)_{p,q} with the chosen g = current-viewid[q].
+  /// Returns the (m, p) that would be delivered, if enabled.
+  [[nodiscard]] std::optional<std::pair<Msg, ProcessId>> next_gprcv(
+      ProcessId q) const;
+  /// Applies the delivery; returns the delivered (m, p).
+  std::pair<Msg, ProcessId> apply_gprcv(ProcessId q);
+
+  /// output VS-SAFE(m)_{p,q} with chosen g = current-viewid[q], P = v.set of
+  /// the created view with id g. Pre additionally requires
+  /// ∀r ∈ P: next[r, g] > next-safe[q, g].
+  [[nodiscard]] std::optional<std::pair<Msg, ProcessId>> next_safe_indication(
+      ProcessId q) const;
+  std::pair<Msg, ProcessId> apply_safe(ProcessId q);
+
+  // ----- observers --------------------------------------------------------
+
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const std::map<ViewId, View>& created() const {
+    return created_;
+  }
+  [[nodiscard]] std::optional<ViewId> current_viewid(ProcessId p) const;
+  [[nodiscard]] const std::deque<Msg>& pending(ProcessId p,
+                                               const ViewId& g) const;
+  [[nodiscard]] const std::vector<std::pair<Msg, ProcessId>>& queue(
+      const ViewId& g) const;
+  [[nodiscard]] std::size_t next(ProcessId p, const ViewId& g) const;
+  [[nodiscard]] std::size_t next_safe(ProcessId p, const ViewId& g) const;
+
+  /// Largest created view id (createview must exceed it).
+  [[nodiscard]] ViewId max_created_id() const;
+
+  /// Views p could currently be notified of (enabled newview targets).
+  [[nodiscard]] std::vector<View> newview_candidates(ProcessId p) const;
+
+  /// Checks Invariant 3.1 (unique ids among created views). With created_
+  /// keyed by ViewId this holds by construction; the checker validates that
+  /// insertion never silently merged distinct views.
+  void check_invariants() const;
+
+ private:
+  ProcessSet universe_;
+
+  // created ∈ 2^V, keyed by id; Invariant 3.1 makes the keying faithful.
+  std::map<ViewId, View> created_;
+  // current-viewid[p] ∈ G⊥.
+  std::map<ProcessId, std::optional<ViewId>> current_viewid_;
+  // pending[p, g] ∈ seqof(M).
+  std::map<ProcessId, std::map<ViewId, std::deque<Msg>>> pending_;
+  // queue[g] ∈ seqof(M × P).
+  std::map<ViewId, std::vector<std::pair<Msg, ProcessId>>> queue_;
+  // next[p, g], next-safe[p, g] ∈ N>0 (init 1). Stored sparsely.
+  std::map<ProcessId, std::map<ViewId, std::size_t>> next_;
+  std::map<ProcessId, std::map<ViewId, std::size_t>> next_safe_;
+};
+
+}  // namespace dvs::spec

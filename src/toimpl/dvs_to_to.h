@@ -1,0 +1,178 @@
+// Executable transcription of Figure 5: DVS-TO-TO_p, the application
+// automaton that implements totally-ordered broadcast on top of DVS
+// (a variant of Keidar–Dolev / Amir–Dolev–Keidar–Melliar-Smith–Moser).
+//
+// Normal activity: each BCAST is given a system-wide unique label, sent via
+// DVS, tentatively ordered on receipt, confirmed when its safe indication
+// arrives, and finally reported (BRCV) in confirmed order.
+//
+// Recovery activity: on a DVS-NEWVIEW each member multicasts a summary of
+// its state; once summaries from all members arrive the node *establishes*
+// the view — adopting fullorder(gotstate) as its tentative order — then
+// registers it with DVS; when the state exchange is safe, all exchanged
+// labels become confirmed.
+//
+// CORRECTIONS to the printed Figure 5 (reproduction findings; see
+// EXPERIMENTS.md E6):
+//  1. LABEL additionally requires status = normal. As printed, a label
+//     created between DVS-NEWVIEW and the summary send leaks into the
+//     summary's con, is placed into fullorder via knowncontent, and then
+//     also arrives as a regular labelled message — ending up *twice* in
+//     order, i.e. a duplicate client delivery. Found by the randomized
+//     TO-IMPL sweep; reproduced as a unit test.
+//  2. A labelled message received while status ≠ normal is recorded in
+//     content but its order-append is deferred until establishment (as
+//     printed, the append is overwritten by order := fullorder and the
+//     label silently vanishes from this member's tentative order while
+//     remaining in everyone else's — diverging confirmed orders). Deferred
+//     appends are replayed after fullorder is adopted; pending deferrals
+//     are discarded on the next view change (the labels stay in content and
+//     are recovered through the state exchange).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::toimpl {
+
+enum class Status { kNormal, kSend, kCollect };
+
+[[nodiscard]] const char* to_string(Status s);
+
+/// Behaviour switches for harness self-validation (mutation testing).
+struct DvsToToOptions {
+  /// Runs the automaton exactly as printed in Figure 5 — labels may be
+  /// created during recovery, and deliveries racing the state exchange
+  /// append to order immediately (both reverted corrections; see the class
+  /// comment). Unsafe: exists so the test suite can demonstrate that the
+  /// TO acceptance harness detects the paper's errata.
+  bool printed_figure_mode = false;
+};
+
+/// The DVS-TO-TO_p automaton of Figure 5.
+class DvsToTo {
+ public:
+  DvsToTo(ProcessId self, const View& v0, DvsToToOptions options = {});
+
+  // ----- inputs -------------------------------------------------------------
+
+  /// input BCAST(a)_p: append a to the delay buffer.
+  void on_bcast(const AppMsg& a);
+
+  /// input DVS-GPRCV(m)_{q,p}: dispatches on labelled message vs summary.
+  void on_dvs_gprcv(const ClientMsg& m, ProcessId q);
+
+  /// input DVS-SAFE(m)_{q,p}: labelled message → safe-labels; summary →
+  /// safe-exch (and mark the exchange safe when complete).
+  void on_dvs_safe(const ClientMsg& m, ProcessId q);
+
+  /// input DVS-NEWVIEW(v)_p: reset per-view state, start recovery.
+  void on_dvs_newview(const View& v);
+
+  // ----- internal actions -----------------------------------------------------
+
+  /// internal LABEL(a)_p. Pre: a head of delay ∧ current ≠ ⊥ ∧
+  /// status = normal (corrected; see header).
+  [[nodiscard]] bool can_label() const;
+  void apply_label();
+
+  /// internal CONFIRM_p. Pre: order(nextconfirm) ∈ safe-labels.
+  [[nodiscard]] bool can_confirm() const;
+  void apply_confirm();
+
+  // ----- outputs --------------------------------------------------------------
+
+  /// output DVS-GPSND(⟨l,a⟩)_p. Pre: status = normal ∧ l head of buffer ∧
+  /// ⟨l,a⟩ ∈ content. Returns the message to hand to DVS.
+  [[nodiscard]] std::optional<ClientMsg> next_gpsnd() const;
+  ClientMsg take_gpsnd();
+
+  /// output DVS-REGISTER_p. Pre: current ≠ ⊥ ∧ established[current.id] ∧
+  /// current.id ∉ registered.
+  [[nodiscard]] bool can_register() const;
+  void apply_register();
+
+  /// output BRCV(a)_{q,p}. Pre: nextreport < nextconfirm ∧
+  /// ⟨order(nextreport), a⟩ ∈ content ∧ q = order(nextreport).origin.
+  /// Returns (a, q) — the payload and its original sender.
+  [[nodiscard]] std::optional<std::pair<AppMsg, ProcessId>> next_brcv() const;
+  std::pair<AppMsg, ProcessId> take_brcv();
+
+  // ----- observers (Figure 5 state + history variables) ----------------------
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] const std::optional<View>& current() const { return current_; }
+  [[nodiscard]] Status status() const { return status_; }
+  [[nodiscard]] const ContentMap& content() const { return content_; }
+  [[nodiscard]] std::uint64_t nextseqno() const { return nextseqno_; }
+  [[nodiscard]] const std::deque<Label>& buffer() const { return buffer_; }
+  [[nodiscard]] const std::set<Label>& safe_labels() const {
+    return safe_labels_;
+  }
+  [[nodiscard]] const std::vector<Label>& order() const { return order_; }
+  [[nodiscard]] std::uint64_t nextconfirm() const { return nextconfirm_; }
+  [[nodiscard]] std::uint64_t nextreport() const { return nextreport_; }
+  [[nodiscard]] const ViewId& highprimary() const { return highprimary_; }
+  [[nodiscard]] const std::map<ProcessId, Summary>& gotstate() const {
+    return gotstate_;
+  }
+  [[nodiscard]] const ProcessSet& safe_exch() const { return safe_exch_; }
+  [[nodiscard]] const std::set<ViewId>& registered() const {
+    return registered_;
+  }
+  [[nodiscard]] const std::deque<AppMsg>& delay() const { return delay_; }
+  [[nodiscard]] bool established(const ViewId& g) const {
+    return established_.contains(g);
+  }
+  [[nodiscard]] const std::set<ViewId>& established_set() const {
+    return established_;
+  }
+
+  /// The summary this node would send during recovery:
+  /// ⟨content, order, nextconfirm, highprimary⟩.
+  [[nodiscard]] Summary make_summary() const;
+
+  /// History variable (from the extended version [13], used by
+  /// Invariant 6.3): the tentative order this node had built in view g —
+  /// its final order while g was current, or the live order if g is
+  /// current now.
+  [[nodiscard]] std::optional<std::vector<Label>> buildorder(
+      const ViewId& g) const;
+
+ private:
+  ProcessId self_;
+  DvsToToOptions options_;
+
+  std::optional<View> current_;
+  Status status_ = Status::kNormal;
+  ContentMap content_;
+  std::uint64_t nextseqno_ = 1;
+  std::deque<Label> buffer_;
+  std::set<Label> safe_labels_;
+  std::vector<Label> order_;
+  std::uint64_t nextconfirm_ = 1;
+  std::uint64_t nextreport_ = 1;
+  ViewId highprimary_{};  // init g0
+  std::map<ProcessId, Summary> gotstate_;
+  ProcessSet safe_exch_;
+  std::set<ViewId> registered_;
+  std::deque<AppMsg> delay_;
+  std::set<ViewId> established_;
+
+  // Labelled messages received during recovery, to be appended to the
+  // adopted fullorder at establishment (correction 2; see header).
+  std::vector<Label> deferred_labels_;
+
+  // History: order as of leaving each past view (checker support only).
+  std::map<ViewId, std::vector<Label>> past_orders_;
+};
+
+}  // namespace dvs::toimpl

@@ -1,0 +1,296 @@
+#include "toimpl/to_impl.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/sequence.h"
+
+namespace dvs::toimpl {
+
+const char* to_string(ToImplActionKind kind) {
+  switch (kind) {
+    case ToImplActionKind::kDvsCreateview:
+      return "dvs-createview";
+    case ToImplActionKind::kDvsNewview:
+      return "dvs-newview";
+    case ToImplActionKind::kDvsOrder:
+      return "dvs-order";
+    case ToImplActionKind::kDvsReceive:
+      return "dvs-receive";
+    case ToImplActionKind::kDvsGprcv:
+      return "dvs-gprcv";
+    case ToImplActionKind::kDvsSafe:
+      return "dvs-safe";
+    case ToImplActionKind::kGpsnd:
+      return "gpsnd";
+    case ToImplActionKind::kRegister:
+      return "register";
+    case ToImplActionKind::kLabel:
+      return "label";
+    case ToImplActionKind::kConfirm:
+      return "confirm";
+    case ToImplActionKind::kBrcv:
+      return "brcv";
+    case ToImplActionKind::kBcast:
+      return "bcast";
+  }
+  return "?";
+}
+
+std::string ToImplAction::to_string() const {
+  std::ostringstream os;
+  os << toimpl::to_string(kind) << "_" << p.to_string();
+  if (view.has_value()) os << "(" << view->to_string() << ")";
+  if (gid.has_value()) os << "[g=" << gid->to_string() << "]";
+  if (from.has_value()) os << "[from=" << from->to_string() << "]";
+  if (msg.has_value()) os << "(" << msg->to_string() << ")";
+  return os.str();
+}
+
+ToImplAction ToImplAction::make(ToImplActionKind kind, ProcessId p) {
+  ToImplAction a;
+  a.kind = kind;
+  a.p = p;
+  return a;
+}
+
+ToImplAction ToImplAction::with_view(ToImplActionKind kind, ProcessId p,
+                                     View v) {
+  ToImplAction a = make(kind, p);
+  a.view = std::move(v);
+  return a;
+}
+
+ToImplAction ToImplAction::order(ProcessId sender, ViewId g) {
+  ToImplAction a = make(ToImplActionKind::kDvsOrder, sender);
+  a.gid = g;
+  a.from = sender;
+  return a;
+}
+
+ToImplAction ToImplAction::receive(ProcessId p, ViewId g) {
+  ToImplAction a = make(ToImplActionKind::kDvsReceive, p);
+  a.gid = g;
+  return a;
+}
+
+ToImplAction ToImplAction::bcast(ProcessId p, AppMsg a_msg) {
+  ToImplAction a = make(ToImplActionKind::kBcast, p);
+  a.msg = std::move(a_msg);
+  return a;
+}
+
+ToImplSystem::ToImplSystem(ProcessSet universe, View v0,
+                           DvsToToOptions node_options)
+    : universe_(std::move(universe)), v0_(std::move(v0)), dvs_(universe_, v0_) {
+  for (ProcessId p : universe_) {
+    nodes_.emplace(p, DvsToTo{p, v0_, node_options});
+  }
+}
+
+std::vector<ToImplAction> ToImplSystem::enabled_actions() const {
+  std::vector<ToImplAction> out;
+  for (const auto& [p, node] : nodes_) {
+    for (const View& v : dvs_.newview_candidates(p)) {
+      out.push_back(
+          ToImplAction::with_view(ToImplActionKind::kDvsNewview, p, v));
+    }
+    for (const auto& [g, v] : dvs_.created()) {
+      if (dvs_.can_order(p, g)) out.push_back(ToImplAction::order(p, g));
+      if (dvs_.can_receive(p, g)) out.push_back(ToImplAction::receive(p, g));
+    }
+    if (dvs_.next_gprcv(p).has_value()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kDvsGprcv, p));
+    }
+    if (dvs_.next_safe_indication(p).has_value()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kDvsSafe, p));
+    }
+    if (node.next_gpsnd().has_value()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kGpsnd, p));
+    }
+    if (node.can_register()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kRegister, p));
+    }
+    if (node.can_label()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kLabel, p));
+    }
+    if (node.can_confirm()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kConfirm, p));
+    }
+    if (node.next_brcv().has_value()) {
+      out.push_back(ToImplAction::make(ToImplActionKind::kBrcv, p));
+    }
+  }
+  return out;
+}
+
+bool ToImplSystem::can_dvs_createview(const View& v) const {
+  return dvs_.can_createview(v);
+}
+
+std::optional<spec::ToEvent> ToImplSystem::apply(const ToImplAction& action) {
+  DvsToTo& node = nodes_.at(action.p);
+  switch (action.kind) {
+    case ToImplActionKind::kDvsCreateview:
+      dvs_.apply_createview(action.view.value());
+      return std::nullopt;
+    case ToImplActionKind::kDvsNewview: {
+      const View& v = action.view.value();
+      dvs_.apply_newview(v, action.p);
+      node.on_dvs_newview(v);
+      return std::nullopt;
+    }
+    case ToImplActionKind::kDvsOrder:
+      dvs_.apply_order(action.from.value(), action.gid.value());
+      return std::nullopt;
+    case ToImplActionKind::kDvsReceive:
+      dvs_.apply_receive(action.p, action.gid.value());
+      return std::nullopt;
+    case ToImplActionKind::kDvsGprcv: {
+      auto [m, sender] = dvs_.apply_gprcv(action.p);
+      node.on_dvs_gprcv(m, sender);
+      return std::nullopt;
+    }
+    case ToImplActionKind::kDvsSafe: {
+      auto [m, sender] = dvs_.apply_safe(action.p);
+      node.on_dvs_safe(m, sender);
+      return std::nullopt;
+    }
+    case ToImplActionKind::kGpsnd: {
+      ClientMsg m = node.take_gpsnd();
+      dvs_.apply_gpsnd(m, action.p);
+      return std::nullopt;
+    }
+    case ToImplActionKind::kRegister:
+      node.apply_register();
+      dvs_.apply_register(action.p);
+      return std::nullopt;
+    case ToImplActionKind::kLabel:
+      node.apply_label();
+      return std::nullopt;
+    case ToImplActionKind::kConfirm:
+      node.apply_confirm();
+      return std::nullopt;
+    case ToImplActionKind::kBrcv: {
+      auto [a, origin] = node.take_brcv();
+      return spec::ToEvent{spec::EvBrcv{origin, action.p, std::move(a)}};
+    }
+    case ToImplActionKind::kBcast:
+      node.on_bcast(action.msg.value());
+      return spec::ToEvent{spec::EvBcast{action.p, action.msg.value()}};
+  }
+  throw PreconditionViolation("unknown ToImplAction kind");
+}
+
+std::vector<Summary> ToImplSystem::allstate() const {
+  std::vector<Summary> out;
+  for (const auto& [p, node] : nodes_) {
+    for (const auto& [q, x] : node.gotstate()) out.push_back(x);
+  }
+  // Summaries in transit inside DVS: pending[p,g] and queue[g].
+  for (const auto& [p, per_view] : dvs_.pending_all()) {
+    for (const auto& [g, msgs] : per_view) {
+      for (const ClientMsg& m : msgs) {
+        if (const auto* x = std::get_if<Summary>(&m)) out.push_back(*x);
+      }
+    }
+  }
+  for (const auto& [g, q] : dvs_.queue_all()) {
+    for (const auto& [m, sender] : q) {
+      if (const auto* x = std::get_if<Summary>(&m)) out.push_back(*x);
+    }
+  }
+  return out;
+}
+
+void ToImplSystem::check_invariants() const {
+  // The composed system contains a DVS automaton; its own invariants
+  // (4.1, 4.2) must keep holding under the TO workload.
+  dvs_.check_invariants();
+  check_invariant_6_1();
+  check_invariant_6_2();
+  check_invariant_6_3();
+}
+
+// Invariant 6.1: if x ∈ allstate then ∃w ∈ created with x.high = w.id and
+// ∀p ∈ w.set: p ∈ attempted[w.id].
+void ToImplSystem::check_invariant_6_1() const {
+  for (const Summary& x : allstate()) {
+    auto it = dvs_.created().find(x.high);
+    DVS_INVARIANT("Invariant 6.1 (TO-IMPL)", it != dvs_.created().end(),
+                  "summary with high = " << x.high.to_string()
+                                         << " names an uncreated view");
+    const View& w = it->second;
+    const ProcessSet& att = dvs_.attempted(x.high);
+    const bool totally_attempted =
+        std::includes(att.begin(), att.end(), w.set().begin(), w.set().end());
+    DVS_INVARIANT("Invariant 6.1 (TO-IMPL)", totally_attempted,
+                  "summary's high view " << w.to_string()
+                                         << " is not totally attempted");
+  }
+}
+
+// Invariant 6.2: if v ∈ created, x ∈ allstate and x.high > v.id then
+// ∃p ∈ v.set with current.id_p > v.id.
+void ToImplSystem::check_invariant_6_2() const {
+  const std::vector<Summary> all = allstate();
+  for (const auto& [gid, v] : dvs_.created()) {
+    const bool later_summary = std::any_of(
+        all.begin(), all.end(),
+        [&](const Summary& x) { return x.high > gid; });
+    if (!later_summary) continue;
+    const bool advanced =
+        std::any_of(v.set().begin(), v.set().end(), [&](ProcessId p) {
+          const auto& cur = nodes_.at(p).current();
+          return cur.has_value() && cur->id() > gid;
+        });
+    DVS_INVARIANT("Invariant 6.2 (TO-IMPL)", advanced,
+                  "view " << v.to_string()
+                          << " precedes an established primary but no member "
+                             "has advanced past it");
+  }
+}
+
+// Invariant 6.3: for every v ∈ created and σ such that every member p with
+// current.id_p > v.id has established[v.id]_p and σ ≤ buildorder[p, v.id],
+// every x ∈ allstate with x.high > v.id satisfies σ ≤ x.ord. We check the
+// strongest such σ: the longest common prefix of the advanced members'
+// buildorders (⊤ when no member advanced — then Invariant 6.2 guarantees no
+// such x exists).
+void ToImplSystem::check_invariant_6_3() const {
+  const std::vector<Summary> all = allstate();
+  for (const auto& [gid, v] : dvs_.created()) {
+    bool hypothesis_holds = true;
+    std::vector<std::vector<Label>> advanced_orders;
+    for (ProcessId p : v.set()) {
+      const DvsToTo& node = nodes_.at(p);
+      const auto& cur = node.current();
+      if (!cur.has_value() || !(cur->id() > gid)) continue;
+      if (!node.established(gid)) {
+        hypothesis_holds = false;
+        break;
+      }
+      const auto bo = node.buildorder(gid);
+      if (!bo.has_value()) {
+        hypothesis_holds = false;  // never in the view: hypothesis undefined
+        break;
+      }
+      advanced_orders.push_back(*bo);
+    }
+    if (!hypothesis_holds) continue;
+    if (advanced_orders.empty()) continue;  // covered by Invariant 6.2
+    const std::vector<Label> sigma = common_prefix(advanced_orders);
+    for (const Summary& x : all) {
+      if (!(x.high > gid)) continue;
+      DVS_INVARIANT(
+          "Invariant 6.3 (TO-IMPL)", is_prefix(sigma, x.ord),
+          "a summary established after view "
+              << v.to_string()
+              << " does not extend the common confirmed prefix (|σ|="
+              << sigma.size() << ", |x.ord|=" << x.ord.size() << ")");
+    }
+  }
+}
+
+}  // namespace dvs::toimpl

@@ -1,0 +1,104 @@
+// TO-IMPL: the composition of the DVS specification automaton with one
+// DVS-TO-TO_p automaton per processor, with all DVS actions hidden
+// (paper Section 6). External actions: BCAST (input) and BRCV (output).
+//
+// The class enumerates enabled actions for exploration, exposes the
+// `allstate` derived variable (every summary present anywhere in the system
+// state), and implements checkers for Invariants 6.1, 6.2 and 6.3. The
+// executable counterpart of Theorem 6.4 is trace acceptance against the TO
+// specification (spec::ToAcceptor) over the BCAST/BRCV trace.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "spec/dvs_spec.h"
+#include "spec/events.h"
+#include "toimpl/dvs_to_to.h"
+
+namespace dvs::toimpl {
+
+enum class ToImplActionKind {
+  // DVS specification moves (hidden).
+  kDvsCreateview,
+  kDvsNewview,
+  kDvsOrder,
+  kDvsReceive,
+  kDvsGprcv,
+  kDvsSafe,
+  // DVS-TO-TO_p moves.
+  kGpsnd,     // node output → DVS input
+  kRegister,  // node output → DVS input
+  kLabel,     // internal
+  kConfirm,   // internal
+  kBrcv,      // external output
+  // Environment input.
+  kBcast,
+};
+
+[[nodiscard]] const char* to_string(ToImplActionKind kind);
+
+struct ToImplAction {
+  ToImplActionKind kind{};
+  ProcessId p{};
+  std::optional<View> view;    // createview / newview
+  std::optional<ViewId> gid;   // order / receive
+  std::optional<ProcessId> from;  // order sender
+  std::optional<AppMsg> msg;   // bcast payload
+
+  [[nodiscard]] std::string to_string() const;
+
+  static ToImplAction make(ToImplActionKind kind, ProcessId p);
+  static ToImplAction with_view(ToImplActionKind kind, ProcessId p, View v);
+  static ToImplAction order(ProcessId sender, ViewId g);
+  static ToImplAction receive(ProcessId p, ViewId g);
+  static ToImplAction bcast(ProcessId p, AppMsg a);
+};
+
+/// The composed system.
+class ToImplSystem {
+ public:
+  /// `node_options` is forwarded to every DVS-TO-TO_p (mutation-testing
+  /// switches; see DvsToToOptions).
+  ToImplSystem(ProcessSet universe, View v0,
+               DvsToToOptions node_options = {});
+
+  /// Enumerates every enabled non-environment action.
+  [[nodiscard]] std::vector<ToImplAction> enabled_actions() const;
+
+  /// DVS-CREATEVIEW candidates are proposed by the caller (the view
+  /// nondeterminism of the membership service).
+  [[nodiscard]] bool can_dvs_createview(const View& v) const;
+
+  /// Applies the action; returns the external TO event if any.
+  std::optional<spec::ToEvent> apply(const ToImplAction& action);
+
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const spec::DvsSpec& dvs() const { return dvs_; }
+  [[nodiscard]] const DvsToTo& node(ProcessId p) const { return nodes_.at(p); }
+
+  /// allstate: every summary present anywhere in the system state — in any
+  /// node's gotstate, or in transit inside the DVS service (pending/queue).
+  [[nodiscard]] std::vector<Summary> allstate() const;
+
+  /// Checks Invariants 6.1–6.3; throws InvariantViolation on failure.
+  void check_invariants() const;
+
+  void check_invariant_6_1() const;
+  void check_invariant_6_2() const;
+  void check_invariant_6_3() const;
+
+ private:
+  ProcessSet universe_;
+  View v0_;
+  spec::DvsSpec dvs_;
+  std::map<ProcessId, DvsToTo> nodes_;
+};
+
+}  // namespace dvs::toimpl

@@ -1,0 +1,147 @@
+#include "tosys/cluster.h"
+
+namespace dvs::tosys {
+
+Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      universe_(make_universe(config.n_processes)),
+      v0_{ViewId::initial(),
+          make_universe(config.initial_members == 0 ? config.n_processes
+                                                    : config.initial_members)} {
+  net_ = std::make_unique<net::SimNetwork>(sim_, rng_, config_.net, universe_);
+
+  for (ProcessId p : universe_) {
+    const bool member = v0_.contains(p);
+    // Build bottom-up; callbacks are wired after all layers exist.
+    vs_[p] = std::make_unique<vsys::VsNode>(
+        p, member ? std::optional<View>{v0_} : std::nullopt, *net_, sim_,
+        config_.vs, vsys::VsCallbacks{});
+    dvs_[p] = std::make_unique<dvsys::DvsNode>(
+        p, v0_, *vs_[p], dvsys::DvsCallbacks{},
+        dvsys::DvsNodeOptions{.auto_gc = config_.gc_enabled,
+                              .weights = config_.weights});
+    to_[p] = std::make_unique<ToNode>(
+        p, v0_, *dvs_[p], ToCallbacks{},
+        ToNodeOptions{.auto_register = config_.registration_enabled});
+  }
+  // Wire callbacks with trace recording interposed at every layer.
+  for (ProcessId p : universe_) {
+    dvsys::DvsNode* dvs_node = dvs_.at(p).get();
+    ToNode* to_node = to_.at(p).get();
+
+    // TO layer on top of DVS.
+    ToCallbacks to_cb;
+    to_cb.on_brcv = [this, p](const AppMsg& a, ProcessId origin) {
+      const Delivery d{p, origin, a, sim_.now()};
+      deliveries_.push_back(d);
+      if (config_.record_traces) {
+        to_trace_.push_back(spec::EvBrcv{origin, p, a});
+      }
+      if (delivery_hook_) delivery_hook_(d);
+    };
+    to_node->set_callbacks(std::move(to_cb));
+
+    // DVS layer on top of VS, forwarding into the TO automaton.
+    dvsys::DvsCallbacks dvs_cb = to_node->dvs_callbacks();
+    if (config_.record_traces) {
+      auto fwd_newview = std::move(dvs_cb.on_newview);
+      dvs_cb.on_newview = [this, p, fwd_newview](const View& v) {
+        dvs_trace_.push_back(spec::EvNewview{p, v});
+        if (fwd_newview) fwd_newview(v);
+      };
+      auto fwd_gprcv = std::move(dvs_cb.on_gprcv);
+      dvs_cb.on_gprcv = [this, p, fwd_gprcv](const ClientMsg& m,
+                                             ProcessId from) {
+        dvs_trace_.push_back(spec::EvGprcv<ClientMsg>{from, p, m});
+        if (fwd_gprcv) fwd_gprcv(m, from);
+      };
+      auto fwd_safe = std::move(dvs_cb.on_safe);
+      dvs_cb.on_safe = [this, p, fwd_safe](const ClientMsg& m,
+                                           ProcessId from) {
+        dvs_trace_.push_back(spec::EvSafe<ClientMsg>{from, p, m});
+        if (fwd_safe) fwd_safe(m, from);
+      };
+      dvs_cb.on_gpsnd = [this, p](const ClientMsg& m) {
+        dvs_trace_.push_back(spec::EvGpsnd<ClientMsg>{p, m});
+      };
+      dvs_cb.on_register = [this, p] {
+        dvs_trace_.push_back(spec::EvRegister{p});
+      };
+    }
+    dvs_node->set_callbacks(std::move(dvs_cb));
+
+    // VS layer, forwarding into the DVS automaton.
+    vsys::VsCallbacks vs_cb = dvs_node->vs_callbacks();
+    if (config_.record_traces) {
+      auto fwd_newview = std::move(vs_cb.on_newview);
+      vs_cb.on_newview = [this, p, fwd_newview](const View& v) {
+        vs_trace_.push_back(spec::EvNewview{p, v});
+        if (fwd_newview) fwd_newview(v);
+      };
+      auto fwd_gprcv = std::move(vs_cb.on_gprcv);
+      vs_cb.on_gprcv = [this, p, fwd_gprcv](const Msg& m, ProcessId from) {
+        vs_trace_.push_back(spec::EvGprcv<Msg>{from, p, m});
+        if (fwd_gprcv) fwd_gprcv(m, from);
+      };
+      auto fwd_safe = std::move(vs_cb.on_safe);
+      vs_cb.on_safe = [this, p, fwd_safe](const Msg& m, ProcessId from) {
+        vs_trace_.push_back(spec::EvSafe<Msg>{from, p, m});
+        if (fwd_safe) fwd_safe(m, from);
+      };
+      vs_cb.on_gpsnd = [this, p](const Msg& m) {
+        vs_trace_.push_back(spec::EvGpsnd<Msg>{p, m});
+      };
+    }
+    vs_.at(p)->set_callbacks(std::move(vs_cb));
+  }
+}
+
+void Cluster::start() {
+  for (ProcessId p : universe_) vs_.at(p)->start();
+}
+
+void Cluster::bcast(ProcessId p, AppMsg a) {
+  if (config_.record_traces) {
+    to_trace_.push_back(spec::EvBcast{p, a});
+  }
+  to_.at(p)->bcast(a);
+}
+
+void Cluster::run_for(sim::Time duration) {
+  sim_.run_until(sim_.now() + duration);
+}
+
+std::vector<Delivery> Cluster::deliveries_at(ProcessId p) const {
+  std::vector<Delivery> out;
+  for (const Delivery& d : deliveries_) {
+    if (d.receiver == p) out.push_back(d);
+  }
+  return out;
+}
+
+spec::AcceptResult Cluster::check_vs_trace() const {
+  spec::VsAcceptor acceptor(universe_, v0_);
+  return acceptor.feed_all(vs_trace_);
+}
+
+spec::AcceptResult Cluster::check_dvs_trace() const {
+  spec::DvsAcceptor acceptor(universe_, v0_);
+  return acceptor.feed_all(dvs_trace_);
+}
+
+spec::AcceptResult Cluster::check_to_trace() const {
+  spec::ToAcceptor acceptor(universe_);
+  return acceptor.feed_all(to_trace_);
+}
+
+double Cluster::primary_fraction() const {
+  std::size_t in_primary = 0;
+  for (const auto& [p, node] : dvs_) {
+    if (node->in_primary() && !net_->paused(p)) ++in_primary;
+  }
+  return static_cast<double>(in_primary) /
+         static_cast<double>(universe_.size());
+}
+
+}  // namespace dvs::tosys

@@ -1,0 +1,126 @@
+// Cluster: assembles the full distributed stack for one simulated run —
+// simulator + partitionable network + per-process VS / DVS / TO nodes —
+// and records the external traces of every layer so tests can replay them
+// through the specification acceptors (experiment E8 of DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/labels.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "dvsys/dvs_node.h"
+#include "net/sim_network.h"
+#include "sim/simulator.h"
+#include "spec/acceptors.h"
+#include "spec/events.h"
+#include "tosys/to_node.h"
+#include "vsys/vs_node.h"
+
+namespace dvs::tosys {
+
+struct ClusterConfig {
+  std::size_t n_processes = 3;
+  /// Number of processes in the initial view v0 (the first k ids);
+  /// 0 means all of them.
+  std::size_t initial_members = 0;
+  net::NetConfig net;
+  vsys::VsConfig vs;
+  /// Record per-layer external traces (costs memory on long runs).
+  bool record_traces = true;
+  /// Ablation knobs (see bench_ablation): the paper's garbage-collection
+  /// and registration mechanisms can be switched off to measure their
+  /// contribution to adaptivity.
+  bool gc_enabled = true;
+  bool registration_enabled = true;
+  /// Vote weights for weighted dynamic voting (empty = the paper's
+  /// unweighted rule).
+  WeightMap weights;
+};
+
+/// One delivered (BRCV) record.
+struct Delivery {
+  ProcessId receiver;
+  ProcessId origin;
+  AppMsg msg;
+  sim::Time at;
+};
+
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, std::uint64_t seed);
+
+  /// Starts every node (attaches handlers, starts timers).
+  void start();
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] net::SimNetwork& net() { return *net_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const View& v0() const { return v0_; }
+
+  [[nodiscard]] vsys::VsNode& vs_node(ProcessId p) { return *vs_.at(p); }
+  [[nodiscard]] dvsys::DvsNode& dvs_node(ProcessId p) { return *dvs_.at(p); }
+  [[nodiscard]] ToNode& to_node(ProcessId p) { return *to_.at(p); }
+
+  /// Client broadcast at p (recorded in the TO trace).
+  void bcast(ProcessId p, AppMsg a);
+
+  /// Observer invoked on every BRCV delivery, after it is recorded. Lets
+  /// applications (e.g. the replicated state-machine library in src/apps)
+  /// apply commands as they commit instead of polling deliveries().
+  void set_delivery_hook(std::function<void(const Delivery&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  /// Convenience: run the simulation for `duration` of simulated time.
+  void run_for(sim::Time duration);
+
+  // ----- recorded traces and checks ------------------------------------------
+
+  [[nodiscard]] const std::vector<spec::VsEvent>& vs_trace() const {
+    return vs_trace_;
+  }
+  [[nodiscard]] const std::vector<spec::DvsEvent>& dvs_trace() const {
+    return dvs_trace_;
+  }
+  [[nodiscard]] const std::vector<spec::ToEvent>& to_trace() const {
+    return to_trace_;
+  }
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+  [[nodiscard]] std::vector<Delivery> deliveries_at(ProcessId p) const;
+
+  /// Replays the recorded traces through the spec acceptors: the executable
+  /// statement that the distributed stack implements VS, DVS and TO.
+  [[nodiscard]] spec::AcceptResult check_vs_trace() const;
+  [[nodiscard]] spec::AcceptResult check_dvs_trace() const;
+  [[nodiscard]] spec::AcceptResult check_to_trace() const;
+
+  /// Fraction of processes currently operating in a primary view.
+  [[nodiscard]] double primary_fraction() const;
+
+ private:
+  ClusterConfig config_;
+  Rng rng_;
+  ProcessSet universe_;
+  View v0_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::map<ProcessId, std::unique_ptr<vsys::VsNode>> vs_;
+  std::map<ProcessId, std::unique_ptr<dvsys::DvsNode>> dvs_;
+  std::map<ProcessId, std::unique_ptr<ToNode>> to_;
+
+  std::function<void(const Delivery&)> delivery_hook_;
+  std::vector<spec::VsEvent> vs_trace_;
+  std::vector<spec::DvsEvent> dvs_trace_;
+  std::vector<spec::ToEvent> to_trace_;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace dvs::tosys

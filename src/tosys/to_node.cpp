@@ -1,0 +1,70 @@
+#include "tosys/to_node.h"
+
+namespace dvs::tosys {
+
+ToNode::ToNode(ProcessId self, const View& v0, dvsys::DvsNode& dvs,
+               ToCallbacks callbacks, ToNodeOptions options)
+    : automaton_(self, v0),
+      dvs_(dvs),
+      callbacks_(std::move(callbacks)),
+      options_(options) {}
+
+void ToNode::bcast(const AppMsg& a) {
+  automaton_.on_bcast(a);
+  ++stats_.bcasts;
+  drain();
+}
+
+dvsys::DvsCallbacks ToNode::dvs_callbacks() {
+  dvsys::DvsCallbacks cb;
+  cb.on_newview = [this](const View& v) {
+    automaton_.on_dvs_newview(v);
+    drain();
+  };
+  cb.on_gprcv = [this](const ClientMsg& m, ProcessId from) {
+    automaton_.on_dvs_gprcv(m, from);
+    drain();
+  };
+  cb.on_safe = [this](const ClientMsg& m, ProcessId from) {
+    automaton_.on_dvs_safe(m, from);
+    drain();
+  };
+  return cb;
+}
+
+void ToNode::drain() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    while (automaton_.can_label()) {
+      automaton_.apply_label();
+      progressed = true;
+    }
+    while (automaton_.next_gpsnd().has_value()) {
+      dvs_.gpsnd(automaton_.take_gpsnd());
+      progressed = true;
+    }
+    if (options_.auto_register && automaton_.can_register()) {
+      automaton_.apply_register();
+      dvs_.register_view();
+      progressed = true;
+    }
+    while (automaton_.can_confirm()) {
+      automaton_.apply_confirm();
+      progressed = true;
+    }
+    while (automaton_.next_brcv().has_value()) {
+      auto [a, origin] = automaton_.take_brcv();
+      ++stats_.deliveries;
+      if (callbacks_.on_brcv) callbacks_.on_brcv(a, origin);
+      progressed = true;
+    }
+    if (automaton_.current().has_value() &&
+        automaton_.established(automaton_.current()->id()) &&
+        counted_established_.insert(automaton_.current()->id()).second) {
+      ++stats_.views_established;
+    }
+  }
+}
+
+}  // namespace dvs::tosys

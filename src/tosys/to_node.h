@@ -1,0 +1,68 @@
+// Distributed totally-ordered-broadcast node: the Figure 5 DVS-TO-TO
+// automaton driven over the distributed DVS layer.
+//
+// As with dvsys::DvsNode, the protocol logic is the verified
+// toimpl::DvsToTo automaton; this wrapper wires inputs to DVS callbacks and
+// fires the enabled outputs/internal actions eagerly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/labels.h"
+#include "dvsys/dvs_node.h"
+#include "toimpl/dvs_to_to.h"
+
+namespace dvs::tosys {
+
+struct ToCallbacks {
+  /// BRCV(a)_{origin, self}: a is delivered in the global total order.
+  std::function<void(const AppMsg&, ProcessId origin)> on_brcv;
+};
+
+struct ToNodeOptions {
+  /// Issue DVS-REGISTER automatically once a view is established (the
+  /// normal mode). Disabling it is an ablation: views never become totally
+  /// registered, so the dynamic service can never garbage-collect and loses
+  /// its adaptivity (see bench_ablation).
+  bool auto_register = true;
+};
+
+struct ToNodeStats {
+  std::uint64_t bcasts = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t views_established = 0;
+};
+
+class ToNode {
+ public:
+  ToNode(ProcessId self, const View& v0, dvsys::DvsNode& dvs,
+         ToCallbacks callbacks, ToNodeOptions options = {});
+
+  /// Replaces the callbacks; must be called before any traffic flows.
+  void set_callbacks(ToCallbacks callbacks) {
+    callbacks_ = std::move(callbacks);
+  }
+
+  /// Client broadcast (BCAST).
+  void bcast(const AppMsg& a);
+
+  /// The DVS callbacks to install on the underlying dvsys::DvsNode.
+  [[nodiscard]] dvsys::DvsCallbacks dvs_callbacks();
+
+  [[nodiscard]] ProcessId self() const { return automaton_.self(); }
+  [[nodiscard]] const toimpl::DvsToTo& automaton() const { return automaton_; }
+  [[nodiscard]] const ToNodeStats& stats() const { return stats_; }
+
+ private:
+  void drain();
+
+  toimpl::DvsToTo automaton_;
+  dvsys::DvsNode& dvs_;
+  ToCallbacks callbacks_;
+  ToNodeOptions options_;
+  ToNodeStats stats_;
+  std::set<ViewId> counted_established_;
+};
+
+}  // namespace dvs::tosys

@@ -1,0 +1,360 @@
+#include "vsys/vs_node.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dvs::vsys {
+
+VsNode::VsNode(ProcessId self, std::optional<View> initial_view,
+               net::SimNetwork& net, sim::Simulator& sim, VsConfig config,
+               VsCallbacks callbacks)
+    : self_(self),
+      net_(net),
+      sim_(sim),
+      config_(config),
+      callbacks_(std::move(callbacks)),
+      ticker_(sim, config.heartbeat_period, [this] { on_tick(); }),
+      view_(std::move(initial_view)) {
+  if (view_.has_value()) {
+    max_epoch_ = view_->id().epoch();
+    delivered_by_[self_] = 0;
+  }
+}
+
+void VsNode::start() {
+  net_.attach(self_, [this](ProcessId from, const Bytes& data) {
+    on_datagram(from, data);
+  });
+  // Assume everyone alive at start so the initial view is not immediately
+  // reconfigured away.
+  for (ProcessId q : net_.processes()) last_heard_[q] = sim_.now();
+  // Token mode: the initial view's coordinator mints its token (later views
+  // mint theirs in install()).
+  if (config_.ordering == OrderingMode::kTokenRing && view_.has_value() &&
+      *view_->set().begin() == self_) {
+    held_token_ = Token{view_->id(), 1, 1};
+    last_rotation_seen_ = 1;
+    last_rotation_processed_ = 1;
+  }
+  ticker_.start();
+}
+
+void VsNode::gpsnd(const Msg& m) {
+  if (callbacks_.on_gpsnd) callbacks_.on_gpsnd(m);
+  if (!view_.has_value()) return;  // matches the spec: sends with ⊥ vanish
+  ++stats_.msgs_sent;
+  if (config_.ordering == OrderingMode::kTokenRing) {
+    token_backlog_.push_back(m);
+    if (held_token_.has_value()) service_token();
+    return;
+  }
+  sent_data_.push_back(m);
+  send_wire(sequencer(), Data{view_->id(), data_seq_out_++, m});
+}
+
+ProcessSet VsNode::estimate() const {
+  ProcessSet est;
+  est.insert(self_);
+  for (ProcessId q : net_.processes()) {
+    if (q != self_ && !suspected(q)) est.insert(q);
+  }
+  return est;
+}
+
+bool VsNode::suspected(ProcessId q) const {
+  auto it = last_heard_.find(q);
+  if (it == last_heard_.end()) return true;
+  return sim_.now() - it->second > config_.suspect_timeout;
+}
+
+ProcessId VsNode::sequencer() const { return *view_->set().begin(); }
+
+void VsNode::send_wire(ProcessId to, const WireMsg& m) {
+  net_.send(self_, to, encode(m));
+}
+
+void VsNode::bump_epoch(std::uint64_t epoch) {
+  max_epoch_ = std::max(max_epoch_, epoch);
+}
+
+void VsNode::on_datagram(ProcessId from, const Bytes& data) {
+  last_heard_[from] = sim_.now();
+  const WireMsg m = decode(data);
+  std::visit([&](const auto& inner) { handle(inner, from); }, m);
+}
+
+void VsNode::on_tick() {
+  Heartbeat hb;
+  hb.max_epoch = max_epoch_;
+  if (view_.has_value()) {
+    hb.view = view_->id();
+    hb.delivered = delivered_;
+    hb.token_rotation = last_rotation_seen_;
+  }
+  const Bytes payload = encode(WireMsg{hb});
+  for (ProcessId q : net_.processes()) {
+    if (q != self_) net_.send(self_, q, payload);
+  }
+  // Within-view reliability: the network may lose messages (short-lived
+  // partitions). Sequencer mode: retransmit the head of my unadmitted DATA
+  // stream. Both modes: each issuer resends, to every lagging member, the
+  // SEQs it issued in the window the member is missing.
+  if (view_.has_value()) {
+    if (config_.ordering == OrderingMode::kSequencer &&
+        own_acked_ < sent_data_.size()) {
+      send_wire(sequencer(), Data{view_->id(), own_acked_ + 1,
+                                  sent_data_[own_acked_]});
+    }
+    if (!issued_.empty()) {
+      for (ProcessId q : view_->set()) {
+        if (q == self_) continue;
+        auto it = delivered_by_.find(q);
+        const std::uint64_t have = it == delivered_by_.end() ? 0 : it->second;
+        // Resend up to 8 of my issued SEQs above the member's position.
+        std::size_t sent = 0;
+        for (auto sit = issued_.upper_bound(have);
+             sit != issued_.end() && sent < 8 && sit->first <= have + 8;
+             ++sit, ++sent) {
+          send_wire(q, sit->second);
+        }
+      }
+    }
+    if (config_.ordering == OrderingMode::kTokenRing) {
+      // Serve a held token (idle tokens advance at tick pace) and
+      // retransmit a forwarded token until its arrival is evidenced.
+      if (held_token_.has_value()) service_token();
+      if (forwarded_token_.has_value() &&
+          last_rotation_seen_ < forwarded_token_->rotation) {
+        send_wire(ring_successor(), *forwarded_token_);
+      }
+    }
+  }
+  // Coordinator duties: abort a stuck proposal, propose when the world has
+  // changed.
+  if (proposal_.has_value() && sim_.now() >= proposal_->deadline) {
+    proposal_.reset();
+    ++stats_.proposals_aborted;
+    cooldown_until_ = sim_.now() + config_.propose_cooldown;
+  }
+  maybe_propose();
+}
+
+void VsNode::maybe_propose() {
+  const ProcessSet est = estimate();
+  // Happy state: the view matches connectivity AND every connected peer
+  // reports the same view. A lost INSTALL can leave peers behind in an
+  // older view; only a fresh proposal can unstick them.
+  if (view_.has_value() && view_->set() == est) {
+    bool peers_aligned = true;
+    for (ProcessId q : est) {
+      if (q == self_) continue;
+      auto it = last_view_of_.find(q);
+      if (it != last_view_of_.end() &&
+          (!it->second.has_value() || *it->second != view_->id())) {
+        peers_aligned = false;
+        break;
+      }
+    }
+    if (peers_aligned) return;
+  }
+  if (est.empty() || *est.begin() != self_) return;      // not coordinator
+  if (proposal_.has_value()) return;                     // already in flight
+  if (sim_.now() < cooldown_until_) return;
+  // A singleton estimate containing only a node that never had a view is
+  // not worth forming (nothing to compute with); still allowed — the DVS
+  // layer is what decides primariness. Propose it.
+  const ViewId id{max_epoch_ + 1, self_};
+  bump_epoch(id.epoch());
+  View v{id, est};
+  proposal_ = Proposal{v, {}, sim_.now() + config_.propose_timeout};
+  ++stats_.proposals_started;
+  DVS_LOG_DEBUG("vsys", self_.to_string() << " proposes " << v.to_string());
+  const Bytes payload = encode(WireMsg{Propose{v}});
+  for (ProcessId q : v.set()) net_.send(self_, q, payload);
+}
+
+void VsNode::handle(const Heartbeat& hb, ProcessId from) {
+  bump_epoch(hb.max_epoch);
+  last_view_of_[from] = hb.view;
+  if (view_.has_value() && hb.view.has_value() && *hb.view == view_->id()) {
+    auto& count = delivered_by_[from];
+    count = std::max(count, hb.delivered);
+    last_rotation_seen_ = std::max(last_rotation_seen_, hb.token_rotation);
+    if (forwarded_token_.has_value() &&
+        last_rotation_seen_ >= forwarded_token_->rotation) {
+      forwarded_token_.reset();
+    }
+    try_emit_safe();
+  }
+}
+
+void VsNode::handle(const Propose& pr, ProcessId from) {
+  bump_epoch(pr.view.id().epoch());
+  if (!pr.view.contains(self_)) return;
+  if (view_.has_value() && !(pr.view.id() > view_->id())) return;
+  if (max_acked_.has_value() && !(pr.view.id() > *max_acked_)) return;
+  max_acked_ = pr.view.id();
+  send_wire(from, FlushAck{pr.view.id()});
+}
+
+void VsNode::handle(const FlushAck& fa, ProcessId from) {
+  if (!proposal_.has_value() || fa.proposed != proposal_->view.id()) return;
+  proposal_->acked.insert(from);
+  const ProcessSet& members = proposal_->view.set();
+  if (std::includes(proposal_->acked.begin(), proposal_->acked.end(),
+                    members.begin(), members.end())) {
+    const View v = proposal_->view;
+    proposal_.reset();
+    cooldown_until_ = sim_.now() + config_.propose_cooldown;
+    const Bytes payload = encode(WireMsg{Install{v}});
+    for (ProcessId q : v.set()) net_.send(self_, q, payload);
+  }
+}
+
+void VsNode::handle(const Install& in, ProcessId /*from*/) {
+  bump_epoch(in.view.id().epoch());
+  if (!in.view.contains(self_)) return;
+  if (view_.has_value() && !(in.view.id() > view_->id())) return;
+  install(in.view);
+}
+
+void VsNode::install(const View& v) {
+  view_ = v;
+  data_seq_out_ = 1;
+  sent_data_.clear();
+  own_acked_ = 0;
+  expected_data_seq_.clear();
+  next_seqno_out_ = 1;
+  issued_.clear();
+  token_backlog_.clear();
+  held_token_.reset();
+  forwarded_token_.reset();
+  last_rotation_seen_ = 0;
+  last_rotation_processed_ = 0;
+  if (config_.ordering == OrderingMode::kTokenRing &&
+      *v.set().begin() == self_) {
+    // The view's coordinator mints the single logical token.
+    held_token_ = Token{v.id(), 1, 1};
+    last_rotation_seen_ = 1;
+    last_rotation_processed_ = 1;
+  }
+  recv_buffer_.clear();
+  seq_log_.clear();
+  delivered_ = 0;
+  safe_emitted_ = 0;
+  delivered_by_.clear();
+  delivered_by_[self_] = 0;
+  if (proposal_.has_value() && !(proposal_->view.id() > v.id())) {
+    proposal_.reset();
+  }
+  ++stats_.views_installed;
+  DVS_LOG_DEBUG("vsys", self_.to_string() << " installs " << v.to_string());
+  if (callbacks_.on_newview) callbacks_.on_newview(v);
+}
+
+void VsNode::handle(const Data& da, ProcessId from) {
+  // Sequencer role: order client payloads of the current view.
+  if (config_.ordering != OrderingMode::kSequencer) return;
+  if (!view_.has_value() || da.view != view_->id()) return;
+  if (sequencer() != self_) return;
+  // Admit each sender's stream contiguously; a gap (lost DATA) permanently
+  // truncates that sender's stream in this view, preserving FIFO.
+  auto& expected = expected_data_seq_[from];
+  if (expected == 0) expected = 1;
+  if (da.sender_seq != expected) return;
+  ++expected;
+  issue(da.payload, from, next_seqno_out_++);
+}
+
+void VsNode::issue(const Msg& payload, ProcessId origin, std::uint64_t seqno) {
+  Seq sq{view_->id(), seqno, origin, payload};
+  issued_.emplace(seqno, sq);
+  const Bytes bytes = encode(WireMsg{sq});
+  for (ProcessId q : view_->set()) net_.send(self_, q, bytes);
+}
+
+void VsNode::handle(const Token& tk, ProcessId /*from*/) {
+  if (config_.ordering != OrderingMode::kTokenRing) return;
+  if (!view_.has_value() || tk.view != view_->id()) return;
+  last_rotation_seen_ = std::max(last_rotation_seen_, tk.rotation);
+  if (forwarded_token_.has_value() &&
+      last_rotation_seen_ >= forwarded_token_->rotation) {
+    forwarded_token_.reset();
+  }
+  if (tk.rotation <= last_rotation_processed_) return;  // duplicate
+  last_rotation_processed_ = tk.rotation;
+  held_token_ = tk;
+  // If there is work, order it immediately; otherwise the token advances at
+  // the next tick (idle circulation at heartbeat pace).
+  if (!token_backlog_.empty()) service_token();
+}
+
+ProcessId VsNode::ring_successor() const {
+  auto it = view_->set().upper_bound(self_);
+  return it == view_->set().end() ? *view_->set().begin() : *it;
+}
+
+void VsNode::service_token() {
+  Token tk = *held_token_;
+  std::size_t issued_now = 0;
+  while (!token_backlog_.empty() && issued_now < config_.token_backlog_cap) {
+    issue(token_backlog_.front(), self_, tk.next_seqno++);
+    token_backlog_.pop_front();
+    ++issued_now;
+  }
+  held_token_.reset();
+  Token next{tk.view, tk.rotation + 1, tk.next_seqno};
+  if (ring_successor() == self_) {
+    // Singleton view: keep the token, just advance the rotation.
+    held_token_ = next;
+    last_rotation_seen_ = std::max(last_rotation_seen_, next.rotation);
+    last_rotation_processed_ = next.rotation;
+    return;
+  }
+  forwarded_token_ = next;
+  send_wire(ring_successor(), next);
+}
+
+void VsNode::handle(const Seq& sq, ProcessId /*from*/) {
+  if (!view_.has_value() || sq.view != view_->id()) return;
+  // Ignore retransmitted duplicates (already delivered or already buffered).
+  if (sq.seqno <= delivered_ || recv_buffer_.contains(sq.seqno)) return;
+  recv_buffer_.emplace(sq.seqno, std::make_pair(sq.origin, sq.payload));
+  if (sq.origin == self_) ++own_acked_;
+  try_deliver();
+}
+
+void VsNode::try_deliver() {
+  bool delivered_any = false;
+  for (auto it = recv_buffer_.find(delivered_ + 1); it != recv_buffer_.end();
+       it = recv_buffer_.find(delivered_ + 1)) {
+    auto [origin, payload] = std::move(it->second);
+    recv_buffer_.erase(it);
+    ++delivered_;
+    delivered_by_[self_] = delivered_;
+    seq_log_.emplace_back(origin, payload);
+    ++stats_.msgs_delivered;
+    if (callbacks_.on_gprcv) callbacks_.on_gprcv(payload, origin);
+    delivered_any = true;
+  }
+  if (delivered_any) try_emit_safe();
+}
+
+void VsNode::try_emit_safe() {
+  if (!view_.has_value()) return;
+  std::uint64_t stable = delivered_;
+  for (ProcessId q : view_->set()) {
+    auto it = delivered_by_.find(q);
+    const std::uint64_t count = it == delivered_by_.end() ? 0 : it->second;
+    stable = std::min(stable, count);
+  }
+  while (safe_emitted_ < stable) {
+    const auto& [origin, payload] = seq_log_[safe_emitted_];
+    ++safe_emitted_;
+    ++stats_.safes_emitted;
+    if (callbacks_.on_safe) callbacks_.on_safe(payload, origin);
+  }
+}
+
+}  // namespace dvs::vsys

@@ -1,0 +1,190 @@
+// Distributed implementation of the VS service (one node per process).
+//
+// Architecture (coordinator-driven membership + per-view sequencer):
+//  * Failure detection — every node broadcasts HEARTBEAT to the whole
+//    universe; a process unheard-from for suspect_timeout is suspected.
+//  * Membership — when a node's connectivity estimate differs from its
+//    installed view and it is the smallest process id in the estimate, it
+//    proposes a fresh view ⟨(max_epoch+1, self), estimate⟩. Members accept
+//    (FLUSH_ACK) proposals with ids above anything they have installed or
+//    acked; once all proposed members ack, the coordinator INSTALLs the
+//    view. Aborted proposals (timeout) simply retry later with higher
+//    epochs. Concurrent coordinators in different partitions mint distinct
+//    ids (the proposer is the tie-breaker), so view ids are globally unique.
+//  * Total order within a view — the smallest member is the sequencer:
+//    senders unicast DATA to it, it assigns consecutive sequence numbers
+//    and multicasts SEQ; members deliver contiguously. Links are FIFO, so
+//    per-sender FIFO is preserved.
+//  * Safe — heartbeats carry the sender's contiguously-delivered count for
+//    its current view; a message is safe at q once every member's count
+//    reaches it.
+//
+// Safety matches the VS specification (Figure 1): view ids are unique with
+// consistent memberships, installs are monotone per process, messages are
+// delivered only in the view they were sent in, every member receives a
+// prefix of one per-view total order, and safe indications imply receipt at
+// every member. tests/vsys replay recorded traces through the VS acceptor.
+//
+// Crash/recovery is modelled as pause/resume with state intact (in the
+// asynchronous model a crashed process is indistinguishable from a very
+// slow one); see net::SimNetwork.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/messages.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "net/sim_network.h"
+#include "sim/simulator.h"
+#include "vsys/wire.h"
+
+namespace dvs::vsys {
+
+/// Within-view total-order strategy.
+enum class OrderingMode {
+  /// The smallest member sequences everyone's messages (Isis/Amoeba style):
+  /// two hops to order, sequencer is a hot spot.
+  kSequencer,
+  /// A token rotates around the members; the holder assigns positions to
+  /// its own backlog (Totem style): no hot spot, but idle latency is bound
+  /// to the token circulation time.
+  kTokenRing,
+};
+
+struct VsConfig {
+  sim::Time heartbeat_period = 20 * sim::kMillisecond;
+  sim::Time suspect_timeout = 100 * sim::kMillisecond;
+  sim::Time propose_timeout = 250 * sim::kMillisecond;
+  sim::Time propose_cooldown = 50 * sim::kMillisecond;
+  OrderingMode ordering = OrderingMode::kSequencer;
+  /// Token mode: max messages a holder issues per rotation (fairness cap).
+  std::size_t token_backlog_cap = 16;
+};
+
+struct VsCallbacks {
+  std::function<void(const View&)> on_newview;
+  std::function<void(const Msg&, ProcessId from)> on_gprcv;
+  std::function<void(const Msg&, ProcessId from)> on_safe;
+  /// Observer: fires on every gpsnd call (trace recording); not part of the
+  /// service semantics.
+  std::function<void(const Msg&)> on_gpsnd;
+};
+
+struct VsNodeStats {
+  std::uint64_t proposals_started = 0;
+  std::uint64_t proposals_aborted = 0;
+  std::uint64_t views_installed = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t safes_emitted = 0;
+};
+
+class VsNode {
+ public:
+  /// `initial_view` is v0 for members of the initial membership, nullopt
+  /// for processes that join later.
+  VsNode(ProcessId self, std::optional<View> initial_view,
+         net::SimNetwork& net, sim::Simulator& sim, VsConfig config,
+         VsCallbacks callbacks);
+
+  /// Replaces the callbacks; must be called before start().
+  void set_callbacks(VsCallbacks callbacks) {
+    callbacks_ = std::move(callbacks);
+  }
+
+  /// Attaches to the network and starts the heartbeat/membership timer.
+  void start();
+
+  /// Client send (VS-GPSND). Dropped when the node has no view, matching
+  /// the specification.
+  void gpsnd(const Msg& m);
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] const std::optional<View>& view() const { return view_; }
+  [[nodiscard]] const VsNodeStats& stats() const { return stats_; }
+
+  /// The node's current connectivity estimate (failure-detector output).
+  [[nodiscard]] ProcessSet estimate() const;
+
+ private:
+  void on_datagram(ProcessId from, const Bytes& data);
+  void on_tick();
+
+  void handle(const Heartbeat& hb, ProcessId from);
+  void handle(const Propose& pr, ProcessId from);
+  void handle(const FlushAck& fa, ProcessId from);
+  void handle(const Install& in, ProcessId from);
+  void handle(const Data& da, ProcessId from);
+  void handle(const Seq& sq, ProcessId from);
+  void handle(const Token& tk, ProcessId from);
+
+  void maybe_propose();
+  void install(const View& v);
+  /// Token mode: issue up to the backlog cap and forward the token.
+  void service_token();
+  [[nodiscard]] ProcessId ring_successor() const;
+  void issue(const Msg& payload, ProcessId origin, std::uint64_t seqno);
+  void try_deliver();
+  void try_emit_safe();
+  [[nodiscard]] bool suspected(ProcessId q) const;
+  [[nodiscard]] ProcessId sequencer() const;  // min member of current view
+  void send_wire(ProcessId to, const WireMsg& m);
+  void bump_epoch(std::uint64_t epoch);
+
+  ProcessId self_;
+  net::SimNetwork& net_;
+  sim::Simulator& sim_;
+  VsConfig config_;
+  VsCallbacks callbacks_;
+  sim::PeriodicTimer ticker_;
+
+  std::optional<View> view_;
+  std::uint64_t max_epoch_ = 0;
+  std::map<ProcessId, sim::Time> last_heard_;
+  // Last view id each peer reported in a heartbeat (nullopt = peer reported
+  // having no view). Absent key = no report yet. Used to detect stuck
+  // mixed-view states and trigger reconfiguration.
+  std::map<ProcessId, std::optional<ViewId>> last_view_of_;
+
+  // Coordinator-side proposal in flight.
+  struct Proposal {
+    View view;
+    ProcessSet acked;
+    sim::Time deadline;
+  };
+  std::optional<Proposal> proposal_;
+  std::optional<ViewId> max_acked_;  // highest proposal this node accepted
+  sim::Time cooldown_until_ = 0;
+
+  // Per-view ordering state (reset on install).
+  std::uint64_t data_seq_out_ = 1;    // sender-side per-view DATA counter
+  std::vector<Msg> sent_data_;        // my sends this view (for retransmit)
+  std::uint64_t own_acked_ = 0;       // my messages the sequencer admitted
+  std::map<ProcessId, std::uint64_t> expected_data_seq_;  // sequencer role
+  std::uint64_t next_seqno_out_ = 1;  // sequencer role
+  // SEQs this node issued in the current view (sequencer: all of them;
+  // token mode: the ones issued while holding the token), keyed by seqno,
+  // for per-issuer retransmission to lagging members.
+  std::map<std::uint64_t, Seq> issued_;
+  // Token-ring state (reset on install).
+  std::deque<Msg> token_backlog_;          // my unsent client payloads
+  std::optional<Token> held_token_;        // the token, while holding it
+  std::optional<Token> forwarded_token_;   // awaiting evidence of arrival
+  std::uint64_t last_rotation_seen_ = 0;   // highest rotation observed
+  std::uint64_t last_rotation_processed_ = 0;
+  std::map<std::uint64_t, std::pair<ProcessId, Msg>> recv_buffer_;
+  std::vector<std::pair<ProcessId, Msg>> seq_log_;  // delivered, in order
+  std::uint64_t delivered_ = 0;
+  std::uint64_t safe_emitted_ = 0;
+  std::map<ProcessId, std::uint64_t> delivered_by_;
+
+  VsNodeStats stats_;
+};
+
+}  // namespace dvs::vsys

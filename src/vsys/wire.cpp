@@ -1,0 +1,135 @@
+#include "vsys/wire.h"
+
+#include <sstream>
+
+namespace dvs::vsys {
+namespace {
+
+enum class Tag : std::uint8_t {
+  kHeartbeat = 1,
+  kPropose = 2,
+  kFlushAck = 3,
+  kInstall = 4,
+  kData = 5,
+  kSeq = 6,
+  kToken = 7,
+};
+
+}  // namespace
+
+Bytes encode(const WireMsg& m) {
+  Writer w;
+  if (const auto* hb = std::get_if<Heartbeat>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
+    w.u64(hb->max_epoch);
+    w.u8(hb->view.has_value() ? 1 : 0);
+    if (hb->view.has_value()) w.view_id(*hb->view);
+    w.u64(hb->delivered);
+    w.u64(hb->token_rotation);
+  } else if (const auto* pr = std::get_if<Propose>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kPropose));
+    w.view(pr->view);
+  } else if (const auto* fa = std::get_if<FlushAck>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kFlushAck));
+    w.view_id(fa->proposed);
+  } else if (const auto* in = std::get_if<Install>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kInstall));
+    w.view(in->view);
+  } else if (const auto* da = std::get_if<Data>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kData));
+    w.view_id(da->view);
+    w.u64(da->sender_seq);
+    w.msg(da->payload);
+  } else if (const auto* sq = std::get_if<Seq>(&m)) {
+    w.u8(static_cast<std::uint8_t>(Tag::kSeq));
+    w.view_id(sq->view);
+    w.u64(sq->seqno);
+    w.process_id(sq->origin);
+    w.msg(sq->payload);
+  } else {
+    const auto& tk = std::get<Token>(m);
+    w.u8(static_cast<std::uint8_t>(Tag::kToken));
+    w.view_id(tk.view);
+    w.u64(tk.rotation);
+    w.u64(tk.next_seqno);
+  }
+  return w.take();
+}
+
+WireMsg decode(const Bytes& data) {
+  Reader r(data);
+  WireMsg out = [&]() -> WireMsg {
+    switch (static_cast<Tag>(r.u8())) {
+      case Tag::kHeartbeat: {
+        Heartbeat hb;
+        hb.max_epoch = r.u64();
+        if (r.u8() != 0) hb.view = r.view_id();
+        hb.delivered = r.u64();
+        hb.token_rotation = r.u64();
+        return hb;
+      }
+      case Tag::kPropose:
+        return Propose{r.view()};
+      case Tag::kFlushAck:
+        return FlushAck{r.view_id()};
+      case Tag::kInstall:
+        return Install{r.view()};
+      case Tag::kData: {
+        Data da;
+        da.view = r.view_id();
+        da.sender_seq = r.u64();
+        da.payload = r.msg();
+        return da;
+      }
+      case Tag::kSeq: {
+        Seq sq;
+        sq.view = r.view_id();
+        sq.seqno = r.u64();
+        sq.origin = r.process_id();
+        sq.payload = r.msg();
+        return sq;
+      }
+      case Tag::kToken: {
+        Token tk;
+        tk.view = r.view_id();
+        tk.rotation = r.u64();
+        tk.next_seqno = r.u64();
+        return tk;
+      }
+    }
+    throw DecodeError("unknown vsys tag");
+  }();
+  r.expect_exhausted();
+  return out;
+}
+
+std::string to_string(const WireMsg& m) {
+  std::ostringstream os;
+  if (const auto* hb = std::get_if<Heartbeat>(&m)) {
+    os << "heartbeat{epoch=" << hb->max_epoch;
+    if (hb->view.has_value()) {
+      os << ",view=" << hb->view->to_string() << ",delivered="
+         << hb->delivered;
+    }
+    os << "}";
+  } else if (const auto* pr = std::get_if<Propose>(&m)) {
+    os << "propose{" << pr->view.to_string() << "}";
+  } else if (const auto* fa = std::get_if<FlushAck>(&m)) {
+    os << "flush-ack{" << fa->proposed.to_string() << "}";
+  } else if (const auto* in = std::get_if<Install>(&m)) {
+    os << "install{" << in->view.to_string() << "}";
+  } else if (const auto* da = std::get_if<Data>(&m)) {
+    os << "data{" << da->view.to_string() << ",#" << da->sender_seq << ","
+       << dvs::to_string(da->payload) << "}";
+  } else if (const auto* sq = std::get_if<Seq>(&m)) {
+    os << "seq{" << sq->view.to_string() << ",#" << sq->seqno << ","
+       << sq->origin.to_string() << "," << dvs::to_string(sq->payload) << "}";
+  } else {
+    const auto& tk = std::get<Token>(m);
+    os << "token{" << tk.view.to_string() << ",rot=" << tk.rotation
+       << ",next=" << tk.next_seqno << "}";
+  }
+  return os.str();
+}
+
+}  // namespace dvs::vsys

@@ -1,0 +1,96 @@
+// Wire protocol of the distributed view-synchronous layer (vsys).
+//
+// One datagram = one protocol message, encoded with common/serialize.h:
+//   HEARTBEAT  — failure detection + epoch gossip + delivery ack (for safe)
+//   PROPOSE    — coordinator proposes a new view (membership agreement)
+//   FLUSH_ACK  — member accepts a proposal and stops old-view activity
+//   INSTALL    — coordinator finalizes the view
+//   DATA       — member sends a client payload to the view's sequencer
+//   SEQ        — sequencer broadcasts the payload with its order number
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/messages.h"
+#include "common/serialize.h"
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs::vsys {
+
+struct Heartbeat {
+  std::uint64_t max_epoch = 0;
+  /// The sender's current view and contiguously-delivered count in it
+  /// (absent when the sender has no view). Drives safe indications.
+  std::optional<ViewId> view;
+  std::uint64_t delivered = 0;
+  /// Token-ring mode only: the highest token rotation the sender has
+  /// observed in its current view (0 in sequencer mode). Lets the previous
+  /// holder stop retransmitting the token.
+  std::uint64_t token_rotation = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+struct Propose {
+  View view;
+
+  friend bool operator==(const Propose&, const Propose&) = default;
+};
+
+struct FlushAck {
+  ViewId proposed;
+
+  friend bool operator==(const FlushAck&, const FlushAck&) = default;
+};
+
+struct Install {
+  View view;
+
+  friend bool operator==(const Install&, const Install&) = default;
+};
+
+struct Data {
+  ViewId view;
+  /// Per-(sender, view) send counter, 1-based. The sequencer admits each
+  /// sender's stream only in contiguous order and discards from the first
+  /// gap onward, so a message lost in flight (e.g. to a short-lived
+  /// partition) truncates that sender's stream instead of leaving a FIFO
+  /// hole in the view's total order.
+  std::uint64_t sender_seq = 0;
+  Msg payload;
+
+  friend bool operator==(const Data&, const Data&) = default;
+};
+
+struct Seq {
+  ViewId view;
+  std::uint64_t seqno = 0;  // 1-based position in the view's total order
+  ProcessId origin;
+  Msg payload;
+
+  friend bool operator==(const Seq&, const Seq&) = default;
+};
+
+/// Token-ring ordering mode: the rotating permission to assign order
+/// positions. Exactly one logical token exists per view; `rotation`
+/// increments at every hop so retransmitted duplicates are discarded.
+struct Token {
+  ViewId view;
+  std::uint64_t rotation = 0;
+  std::uint64_t next_seqno = 1;  // next order position to assign
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+using WireMsg =
+    std::variant<Heartbeat, Propose, FlushAck, Install, Data, Seq, Token>;
+
+[[nodiscard]] Bytes encode(const WireMsg& m);
+[[nodiscard]] WireMsg decode(const Bytes& data);
+[[nodiscard]] std::string to_string(const WireMsg& m);
+
+}  // namespace dvs::vsys

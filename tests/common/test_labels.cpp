@@ -1,0 +1,124 @@
+// Unit tests for labels, summaries and the Section 6.1 helper functions
+// (knowncontent, maxprimary, chosenrep, shortorder, fullorder).
+#include <gtest/gtest.h>
+
+#include "common/labels.h"
+#include "common/messages.h"
+
+namespace dvs {
+namespace {
+
+Label lbl(std::uint64_t epoch, std::uint64_t seqno, unsigned origin) {
+  return Label{ViewId{epoch, ProcessId{0}}, seqno, ProcessId{origin}};
+}
+
+TEST(LabelTest, LabelOrderIsLexicographic) {
+  // (view id, seqno, origin).
+  EXPECT_LT(lbl(1, 9, 2), lbl(2, 1, 0));
+  EXPECT_LT(lbl(1, 1, 0), lbl(1, 2, 0));
+  EXPECT_LT(lbl(1, 1, 0), lbl(1, 1, 1));
+  EXPECT_EQ(lbl(1, 1, 1), lbl(1, 1, 1));
+}
+
+TEST(SummaryHelpersTest, KnowncontentUnionsAllCons) {
+  std::map<ProcessId, Summary> y;
+  Summary a;
+  a.con.emplace(lbl(1, 1, 0), AppMsg{1, ProcessId{0}, "x"});
+  Summary b;
+  b.con.emplace(lbl(1, 2, 1), AppMsg{2, ProcessId{1}, "y"});
+  b.con.emplace(lbl(1, 1, 0), AppMsg{1, ProcessId{0}, "x"});  // shared
+  y.emplace(ProcessId{0}, a);
+  y.emplace(ProcessId{1}, b);
+  EXPECT_EQ(knowncontent(y).size(), 2u);
+}
+
+TEST(SummaryHelpersTest, MaxprimaryAndChosenrep) {
+  std::map<ProcessId, Summary> y;
+  Summary a;
+  a.high = ViewId{3, ProcessId{0}};
+  a.ord = {lbl(1, 1, 0)};
+  Summary b;
+  b.high = ViewId{5, ProcessId{1}};
+  b.ord = {lbl(1, 1, 0), lbl(1, 2, 1)};
+  Summary c;
+  c.high = ViewId{5, ProcessId{1}};  // ties with b
+  c.ord = {lbl(1, 1, 0), lbl(1, 2, 1), lbl(2, 1, 2)};
+  y.emplace(ProcessId{2}, a);
+  y.emplace(ProcessId{0}, b);
+  y.emplace(ProcessId{1}, c);
+  EXPECT_EQ(maxprimary(y), (ViewId{5, ProcessId{1}}));
+  // chosenrep: smallest id among the high-maximizers → p0 (not p1, p2).
+  EXPECT_EQ(chosenrep(y), ProcessId{0});
+  EXPECT_EQ(shortorder(y).size(), 2u);
+}
+
+TEST(SummaryHelpersTest, MaxnextconfirmTakesTheMaximum) {
+  std::map<ProcessId, Summary> y;
+  Summary a;
+  a.next = 4;
+  Summary b;
+  b.next = 9;
+  y.emplace(ProcessId{0}, a);
+  y.emplace(ProcessId{1}, b);
+  EXPECT_EQ(maxnextconfirm(y), 9u);
+}
+
+TEST(SummaryHelpersTest, FullorderAppendsRemainingInLabelOrder) {
+  std::map<ProcessId, Summary> y;
+  Summary rep;  // chosenrep (highest high, smallest id)
+  rep.high = ViewId{2, ProcessId{0}};
+  rep.ord = {lbl(1, 2, 0)};  // deliberately NOT in label order
+  rep.con.emplace(lbl(1, 2, 0), AppMsg{});
+  Summary other;
+  other.high = ViewId{1, ProcessId{0}};
+  other.con.emplace(lbl(1, 1, 1), AppMsg{});
+  other.con.emplace(lbl(1, 3, 0), AppMsg{});
+  y.emplace(ProcessId{0}, rep);
+  y.emplace(ProcessId{1}, other);
+
+  const std::vector<Label> order = fullorder(y);
+  ASSERT_EQ(order.size(), 3u);
+  // shortorder first (rep's tentative order wins)...
+  EXPECT_EQ(order[0], lbl(1, 2, 0));
+  // ...then the remaining known labels in label order.
+  EXPECT_EQ(order[1], lbl(1, 1, 1));
+  EXPECT_EQ(order[2], lbl(1, 3, 0));
+}
+
+TEST(SummaryHelpersTest, FullorderNeverDuplicates) {
+  std::map<ProcessId, Summary> y;
+  Summary rep;
+  rep.ord = {lbl(1, 1, 0), lbl(1, 2, 0)};
+  rep.con.emplace(lbl(1, 1, 0), AppMsg{});
+  rep.con.emplace(lbl(1, 2, 0), AppMsg{});
+  y.emplace(ProcessId{0}, rep);
+  Summary dup = rep;  // same content at another member
+  y.emplace(ProcessId{1}, dup);
+  const std::vector<Label> order = fullorder(y);
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(SummaryHelpersTest, EmptyMapThrows) {
+  std::map<ProcessId, Summary> y;
+  EXPECT_THROW((void)maxprimary(y), std::logic_error);
+  EXPECT_THROW((void)maxnextconfirm(y), std::logic_error);
+  EXPECT_THROW((void)chosenrep(y), std::logic_error);
+}
+
+TEST(MessagesTest, ClientClassification) {
+  EXPECT_TRUE(is_client(Msg{OpaqueMsg{}}));
+  EXPECT_TRUE(is_client(Msg{LabeledAppMsg{}}));
+  EXPECT_TRUE(is_client(Msg{Summary{}}));
+  EXPECT_TRUE(is_client(Msg{StateMsg{}}));
+  EXPECT_FALSE(is_client(Msg{InfoMsg{initial_view(make_universe(1)), {}}}));
+  EXPECT_FALSE(is_client(Msg{RegisteredMsg{}}));
+}
+
+TEST(MessagesTest, RoundTripThroughMsg) {
+  const ClientMsg original{StateMsg{ViewId{2, ProcessId{1}}, "blob"}};
+  EXPECT_EQ(to_client(to_msg(original)), original);
+  EXPECT_THROW((void)to_client(Msg{RegisteredMsg{}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dvs

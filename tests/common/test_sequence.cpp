@@ -1,0 +1,45 @@
+// Tests for the Section 2 sequence calculus: prefix, consistency, lub.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sequence.h"
+
+namespace dvs {
+namespace {
+
+using Seq = std::vector<int>;
+
+TEST(SequenceTest, PrefixBasics) {
+  EXPECT_TRUE(is_prefix(Seq{}, Seq{}));
+  EXPECT_TRUE(is_prefix(Seq{}, Seq{1, 2}));
+  EXPECT_TRUE(is_prefix(Seq{1}, Seq{1, 2}));
+  EXPECT_TRUE(is_prefix(Seq{1, 2}, Seq{1, 2}));
+  EXPECT_FALSE(is_prefix(Seq{2}, Seq{1, 2}));
+  EXPECT_FALSE(is_prefix(Seq{1, 2, 3}, Seq{1, 2}));
+}
+
+TEST(SequenceTest, ConsistencyOfChain) {
+  EXPECT_TRUE(is_consistent<int>({}));
+  EXPECT_TRUE(is_consistent<int>({{1}, {1, 2}, {}}));
+  EXPECT_TRUE(is_consistent<int>({{1, 2, 3}, {1, 2}, {1, 2, 3}}));
+  EXPECT_FALSE(is_consistent<int>({{1, 2}, {1, 3}}));
+  EXPECT_FALSE(is_consistent<int>({{1}, {2}}));
+}
+
+TEST(SequenceTest, LubIsLongestOfConsistentCollection) {
+  EXPECT_EQ(lub<int>({}), Seq{});
+  EXPECT_EQ(lub<int>({{1}, {1, 2, 3}, {1, 2}}), (Seq{1, 2, 3}));
+  EXPECT_EQ(lub<int>({{}, {}}), Seq{});
+}
+
+TEST(SequenceTest, CommonPrefix) {
+  EXPECT_EQ(common_prefix<int>({}), Seq{});
+  EXPECT_EQ(common_prefix<int>({{1, 2, 3}, {1, 2, 4}}), (Seq{1, 2}));
+  EXPECT_EQ(common_prefix<int>({{1, 2}, {1, 2}}), (Seq{1, 2}));
+  EXPECT_EQ(common_prefix<int>({{1}, {2}}), Seq{});
+  EXPECT_EQ(common_prefix<int>({{1, 2}, {}}), Seq{});
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,222 @@
+// Round-trip and malformed-input tests for the wire codec.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace dvs {
+namespace {
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.varuint(0);
+  w.varuint(127);
+  w.varuint(128);
+  w.varuint(0xffffffffffffffffULL);
+  w.str("hello");
+  const Bytes data = w.take();
+
+  Reader r(data);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.varuint(), 0u);
+  EXPECT_EQ(r.varuint(), 127u);
+  EXPECT_EQ(r.varuint(), 128u);
+  EXPECT_EQ(r.varuint(), 0xffffffffffffffffULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, ViewRoundTrip) {
+  const View v{ViewId{42, ProcessId{3}}, make_process_set({0, 3, 7})};
+  Writer w;
+  w.view(v);
+  const Bytes data = w.take();
+  Reader r(data);
+  EXPECT_EQ(r.view(), v);
+  r.expect_exhausted();
+}
+
+TEST(SerializeTest, LabelAndSummaryRoundTrip) {
+  Summary x;
+  const Label l1{ViewId{1, ProcessId{0}}, 1, ProcessId{0}};
+  const Label l2{ViewId{1, ProcessId{0}}, 2, ProcessId{1}};
+  x.con.emplace(l1, AppMsg{10, ProcessId{0}, "alpha"});
+  x.con.emplace(l2, AppMsg{11, ProcessId{1}, "beta"});
+  x.ord = {l1, l2};
+  x.next = 3;
+  x.high = ViewId{1, ProcessId{0}};
+
+  Writer w;
+  w.summary(x);
+  const Bytes data = w.take();
+  Reader r(data);
+  EXPECT_EQ(r.summary(), x);
+  r.expect_exhausted();
+}
+
+TEST(SerializeTest, MsgVariantsRoundTrip) {
+  const std::vector<Msg> msgs = {
+      Msg{OpaqueMsg{99, ProcessId{2}}},
+      Msg{LabeledAppMsg{Label{ViewId{2, ProcessId{1}}, 5, ProcessId{1}},
+                        AppMsg{7, ProcessId{1}, "payload"}}},
+      Msg{Summary{}},
+      Msg{InfoMsg{View{ViewId{1, ProcessId{0}}, make_process_set({0, 1})},
+                  {View{ViewId{2, ProcessId{1}}, make_process_set({1, 2})}}}},
+      Msg{RegisteredMsg{}},
+  };
+  for (const Msg& m : msgs) {
+    Writer w;
+    w.msg(m);
+    const Bytes data = w.take();
+    Reader r(data);
+    EXPECT_EQ(r.msg(), m) << to_string(m);
+    r.expect_exhausted();
+  }
+}
+
+TEST(SerializeTest, ClientMsgRejectsServiceMessages) {
+  Writer w;
+  w.msg(Msg{RegisteredMsg{}});
+  const Bytes data = w.take();
+  Reader r(data);
+  EXPECT_THROW((void)r.client_msg(), DecodeError);
+}
+
+TEST(SerializeTest, TruncatedInputThrows) {
+  Writer w;
+  w.view(View{ViewId{1, ProcessId{0}}, make_process_set({0, 1, 2})});
+  Bytes data = w.take();
+  data.resize(data.size() / 2);
+  Reader r(data);
+  EXPECT_THROW((void)r.view(), DecodeError);
+}
+
+TEST(SerializeTest, EmptyMembershipViewRejected) {
+  Writer w;
+  w.view_id(ViewId{1, ProcessId{0}});
+  w.varuint(0);  // empty membership
+  const Bytes data = w.take();
+  Reader r(data);
+  EXPECT_THROW((void)r.view(), DecodeError);
+}
+
+TEST(SerializeTest, UnknownTagRejected) {
+  Writer w;
+  w.u8(0x7f);
+  const Bytes data = w.take();
+  Reader r(data);
+  EXPECT_THROW((void)r.msg(), DecodeError);
+}
+
+TEST(SerializeTest, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes data = w.take();
+  Reader r(data);
+  (void)r.u8();
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_THROW(r.expect_exhausted(), DecodeError);
+}
+
+}  // namespace
+}  // namespace dvs
+
+namespace dvs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property test: randomly generated message trees round-trip through the
+// codec bit-exactly.
+// ---------------------------------------------------------------------------
+
+class MsgGenerator {
+ public:
+  explicit MsgGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  ProcessId process() { return ProcessId{static_cast<ProcessId::Rep>(rng_.below(16))}; }
+  ViewId view_id() { return ViewId{rng_.below(64), process()}; }
+  View view() {
+    ProcessSet members;
+    const std::size_t n = 1 + rng_.below(5);
+    for (std::size_t i = 0; i < n; ++i) members.insert(process());
+    return View{view_id(), std::move(members)};
+  }
+  Label label() { return Label{view_id(), 1 + rng_.below(100), process()}; }
+  std::string text() {
+    std::string s;
+    const std::size_t n = rng_.below(20);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>(rng_.below(256)));
+    }
+    return s;
+  }
+  AppMsg app_msg() { return AppMsg{rng_.below(1000), process(), text()}; }
+  Summary summary() {
+    Summary x;
+    const std::size_t n = rng_.below(6);
+    for (std::size_t i = 0; i < n; ++i) x.con.emplace(label(), app_msg());
+    const std::size_t m = rng_.below(6);
+    for (std::size_t i = 0; i < m; ++i) x.ord.push_back(label());
+    x.next = 1 + rng_.below(50);
+    x.high = view_id();
+    return x;
+  }
+  Msg msg() {
+    switch (rng_.below(5)) {
+      case 0:
+        return OpaqueMsg{rng_.below(1000), process()};
+      case 1:
+        return LabeledAppMsg{label(), app_msg()};
+      case 2:
+        return summary();
+      case 3: {
+        InfoMsg info{view(), {}};
+        const std::size_t n = rng_.below(4);
+        for (std::size_t i = 0; i < n; ++i) info.amb.push_back(view());
+        return info;
+      }
+      default:
+        if (rng_.chance(0.5)) return StateMsg{view_id(), text()};
+        return RegisteredMsg{};
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+TEST(SerializeTest, PropertyRandomMessagesRoundTrip) {
+  MsgGenerator gen(20260707);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Msg m = gen.msg();
+    Writer w;
+    w.msg(m);
+    const Bytes data = w.take();
+    Reader r(data);
+    const Msg back = r.msg();
+    EXPECT_EQ(back, m) << "trial " << trial << ": " << to_string(m);
+    r.expect_exhausted();
+  }
+}
+
+TEST(SerializeTest, PropertyRandomViewsRoundTrip) {
+  MsgGenerator gen(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const View v = gen.view();
+    Writer w;
+    w.view(v);
+    const Bytes data = w.take();
+    Reader r(data);
+    EXPECT_EQ(r.view(), v);
+    r.expect_exhausted();
+  }
+}
+
+}  // namespace
+}  // namespace dvs

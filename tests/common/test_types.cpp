@@ -1,0 +1,98 @@
+// Unit tests for the core identifier and view types (paper Section 2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/types.h"
+#include "common/view.h"
+
+namespace dvs {
+namespace {
+
+TEST(ProcessIdTest, OrderingAndEquality) {
+  ProcessId a{1};
+  ProcessId b{2};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, ProcessId{1});
+  EXPECT_EQ(a.to_string(), "p1");
+}
+
+TEST(ViewIdTest, InitialIsLeastElement) {
+  const ViewId g0 = ViewId::initial();
+  EXPECT_LT(g0, (ViewId{1, ProcessId{0}}));
+  EXPECT_LT(g0, (ViewId{0, ProcessId{1}}));
+  EXPECT_EQ(g0, (ViewId{0, ProcessId{0}}));
+}
+
+TEST(ViewIdTest, LexicographicOrder) {
+  ViewId a{1, ProcessId{5}};
+  ViewId b{2, ProcessId{0}};
+  ViewId c{2, ProcessId{1}};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(ViewIdTest, TotallyOrderedSetBehaviour) {
+  std::set<ViewId> ids;
+  ids.insert(ViewId{3, ProcessId{1}});
+  ids.insert(ViewId{1, ProcessId{2}});
+  ids.insert(ViewId{3, ProcessId{0}});
+  ids.insert(ViewId{1, ProcessId{2}});  // duplicate
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids.begin()->epoch(), 1u);
+}
+
+TEST(ViewTest, MembershipAndComparison) {
+  View v{ViewId{1, ProcessId{0}}, make_process_set({0, 1, 2})};
+  EXPECT_TRUE(v.contains(ProcessId{1}));
+  EXPECT_FALSE(v.contains(ProcessId{3}));
+  EXPECT_EQ(v.size(), 3u);
+
+  View w{ViewId{2, ProcessId{0}}, make_process_set({0, 1})};
+  EXPECT_LT(v, w);  // ordered by id
+  EXPECT_NE(v, w);
+}
+
+TEST(ViewTest, IntersectionHelpers) {
+  const ProcessSet a = make_process_set({0, 1, 2, 3});
+  const ProcessSet b = make_process_set({2, 3, 4});
+  const ProcessSet c = make_process_set({5, 6});
+  EXPECT_EQ(intersection_size(a, b), 2u);
+  EXPECT_TRUE(intersects(a, b));
+  EXPECT_FALSE(intersects(a, c));
+  EXPECT_EQ(intersection_size(a, c), 0u);
+}
+
+TEST(ViewTest, MajorityIsStrictAndOfSecondArgument) {
+  const ProcessSet v = make_process_set({0, 1});
+  const ProcessSet w = make_process_set({0, 1, 2, 3});
+  // |v ∩ w| = 2 is not > 4/2.
+  EXPECT_FALSE(majority_of(v, w));
+  const ProcessSet u = make_process_set({0, 1, 2});
+  // |u ∩ w| = 3 > 2.
+  EXPECT_TRUE(majority_of(u, w));
+  // Majority is measured against the second argument's size.
+  EXPECT_TRUE(majority_of(w, u));
+  const ProcessSet single = make_process_set({7});
+  EXPECT_FALSE(majority_of(v, single));
+  EXPECT_TRUE(majority_of(single, single));
+}
+
+TEST(ViewTest, MakeUniverse) {
+  const ProcessSet u = make_universe(4);
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_TRUE(u.contains(ProcessId{0}));
+  EXPECT_TRUE(u.contains(ProcessId{3}));
+  EXPECT_FALSE(u.contains(ProcessId{4}));
+}
+
+TEST(ViewTest, InitialView) {
+  const View v0 = initial_view(make_universe(3));
+  EXPECT_EQ(v0.id(), ViewId::initial());
+  EXPECT_EQ(v0.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dvs

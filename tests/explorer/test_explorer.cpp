@@ -1,0 +1,186 @@
+// Randomized model-checking tests (experiments E1–E5 of DESIGN.md): seeded
+// exploration sweeps over the spec automata and over DVS-IMPL with all
+// invariant checkers, the refinement checker and the trace acceptor armed.
+#include <gtest/gtest.h>
+
+#include "explorer/explorer.h"
+#include "explorer/to_explorer.h"
+
+namespace dvs::explorer {
+namespace {
+
+struct SweepParam {
+  std::size_t n_processes;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "n" + std::to_string(info.param.n_processes) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<SweepParam> sweep(std::initializer_list<std::size_t> sizes,
+                              std::uint64_t seeds) {
+  std::vector<SweepParam> out;
+  for (std::size_t n : sizes) {
+    for (std::uint64_t s = 1; s <= seeds; ++s) {
+      out.push_back({n, s * 7919 + n});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// E1: VS specification sweeps (Invariant 3.1).
+// ---------------------------------------------------------------------------
+
+class VsSpecSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(VsSpecSweep, InvariantsHoldOverRandomExecutions) {
+  const auto [n, seed] = GetParam();
+  ExplorerConfig config;
+  config.steps = 1500;
+  VsSpecExplorer ex(make_universe(n), initial_view(make_universe(n)), config,
+                    seed);
+  const ExplorationStats stats = ex.run();
+  EXPECT_EQ(stats.steps_taken, config.steps);
+  EXPECT_GT(stats.invariant_checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VsSpecSweep,
+                         ::testing::ValuesIn(sweep({2, 3, 5}, 6)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// E2/E3: DVS specification sweeps (Invariants 4.1, 4.2).
+// ---------------------------------------------------------------------------
+
+class DvsSpecSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DvsSpecSweep, InvariantsHoldOverRandomExecutions) {
+  const auto [n, seed] = GetParam();
+  ExplorerConfig config;
+  config.steps = 1500;
+  DvsSpecExplorer ex(make_universe(n), initial_view(make_universe(n)), config,
+                     seed);
+  const ExplorationStats stats = ex.run();
+  EXPECT_EQ(stats.steps_taken, config.steps);
+  EXPECT_GT(stats.views_created + 1, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DvsSpecSweep,
+                         ::testing::ValuesIn(sweep({2, 3, 5}, 6)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// E4/E5: DVS-IMPL sweeps — invariants 5.1–5.6 + refinement + acceptance.
+// ---------------------------------------------------------------------------
+
+class DvsImplSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DvsImplSweep, InvariantsRefinementAndAcceptanceHold) {
+  const auto [n, seed] = GetParam();
+  ExplorerConfig config;
+  config.steps = 1200;
+  DvsImplExplorer ex(make_universe(n), initial_view(make_universe(n)), config,
+                     seed);
+  const ExplorationStats stats = ex.run();
+  EXPECT_EQ(stats.steps_taken, config.steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DvsImplSweep,
+                         ::testing::ValuesIn(sweep({2, 3, 4}, 5)),
+                         param_name);
+
+// ---------------------------------------------------------------------------
+// E6/E7: TO-IMPL sweeps — invariants 6.1–6.3 + TO trace acceptance
+// (Theorem 6.4).
+// ---------------------------------------------------------------------------
+
+class ToImplSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ToImplSweep, InvariantsAndTotalOrderHold) {
+  const auto [n, seed] = GetParam();
+  ExplorerConfig config;
+  config.steps = 1200;
+  ToImplExplorer ex(make_universe(n), initial_view(make_universe(n)), config,
+                    seed);
+  const ExplorationStats stats = ex.run();
+  EXPECT_EQ(stats.steps_taken, config.steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ToImplSweep,
+                         ::testing::ValuesIn(sweep({2, 3, 4}, 5)),
+                         param_name);
+
+TEST(ToImplExplorerTest, LongRunDeliversThroughViewChanges) {
+  ExplorerConfig config;
+  config.steps = 10000;
+  config.max_views = 12;
+  ToImplExplorer ex(make_universe(3), initial_view(make_universe(3)), config,
+                    /*seed=*/1234);
+  const ExplorationStats stats = ex.run();
+  EXPECT_GT(stats.views_created, 0u);
+  EXPECT_GT(stats.msgs_sent, 0u);
+  EXPECT_GT(stats.msgs_delivered, 0u) << "no BRCV ever happened";
+}
+
+// A longer single run that must produce actual primary-view dynamics, to
+// guard against a sweep that silently never exercises view changes.
+TEST(DvsImplExplorerTest, LongRunExercisesViewDynamics) {
+  ExplorerConfig config;
+  config.steps = 8000;
+  config.max_views = 14;
+  DvsImplExplorer ex(make_universe(4), initial_view(make_universe(4)), config,
+                     /*seed=*/42);
+  const ExplorationStats stats = ex.run();
+  EXPECT_GT(stats.views_created, 0u) << "no VS views were ever formed";
+  EXPECT_GT(stats.dvs_views_attempted, 0u)
+      << "no dynamic primary view was ever attempted";
+  EXPECT_GT(stats.msgs_delivered, 0u);
+  EXPECT_GT(stats.external_events, 0u);
+  EXPECT_FALSE(ex.trace().empty());
+}
+
+// Exploration with a process outside the initial membership (join scenario).
+TEST(DvsImplExplorerTest, LateJoinerUniverse) {
+  ExplorerConfig config;
+  config.steps = 4000;
+  const ProcessSet universe = make_universe(4);
+  const View v0{ViewId::initial(), make_process_set({0, 1, 2})};
+  DvsImplExplorer ex(universe, v0, config, /*seed=*/7);
+  const ExplorationStats stats = ex.run();
+  EXPECT_EQ(stats.steps_taken, config.steps);
+}
+
+// Determinism: the same seed yields the same trace.
+TEST(DvsImplExplorerTest, SameSeedSameTrace) {
+  ExplorerConfig config;
+  config.steps = 800;
+  DvsImplExplorer a(make_universe(3), initial_view(make_universe(3)), config,
+                    99);
+  DvsImplExplorer b(make_universe(3), initial_view(make_universe(3)), config,
+                    99);
+  (void)a.run();
+  (void)b.run();
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t i = 0; i < a.trace().size(); ++i) {
+    EXPECT_EQ(spec::to_string(a.trace()[i]), spec::to_string(b.trace()[i]));
+  }
+}
+
+// The candidate generator respects the id floor and nonempty membership.
+TEST(RandomViewCandidateTest, ProducesFreshNonemptyViews) {
+  Rng rng(123);
+  const ProcessSet universe = make_universe(5);
+  const ViewId floor{3, ProcessId{2}};
+  for (int i = 0; i < 200; ++i) {
+    const View v = random_view_candidate(rng, universe, floor, universe, 0.5);
+    EXPECT_GT(v.id(), floor);
+    EXPECT_FALSE(v.set().empty());
+    for (ProcessId p : v.set()) EXPECT_TRUE(universe.contains(p));
+  }
+}
+
+}  // namespace
+}  // namespace dvs::explorer

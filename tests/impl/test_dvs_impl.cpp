@@ -1,0 +1,404 @@
+// Scenario tests for DVS-IMPL (Section 5): the composed VS × Π VS-TO-DVS_p
+// system, its invariants, and the refinement to DVS (Lemma 5.8).
+//
+// Every scenario step runs through the RefinementChecker, so these tests
+// exercise Theorem 5.9 on concrete executions, including the paper's key
+// partition scenarios.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "impl/dvs_impl.h"
+#include "impl/refinement.h"
+
+namespace dvs::impl {
+namespace {
+
+View mkview(std::uint64_t epoch, unsigned origin,
+            std::initializer_list<unsigned> members) {
+  return View{ViewId{epoch, ProcessId{origin}}, make_process_set(members)};
+}
+
+/// Drives DVS-IMPL with targeted action sequences, refinement-checked.
+class Harness {
+ public:
+  Harness(std::size_t n, std::initializer_list<unsigned> p0)
+      : universe_(make_universe(n)),
+        v0_{ViewId::initial(), make_process_set(p0)},
+        sys_(universe_, v0_),
+        checker_(sys_) {}
+
+  void apply(const DvsImplAction& a) {
+    const RefinementResult r = checker_.step(sys_, a);
+    ASSERT_TRUE(r.ok) << r.error;
+  }
+
+  void vs_create(const View& v) {
+    ASSERT_TRUE(sys_.can_vs_createview(v)) << v.to_string();
+    apply(DvsImplAction::with_view(DvsImplActionKind::kVsCreateview,
+                                   v.id().origin(), v));
+  }
+
+  void vs_newview(const View& v, ProcessId p) {
+    apply(DvsImplAction::with_view(DvsImplActionKind::kVsNewview, p, v));
+  }
+
+  void vs_newview_all(const View& v) {
+    for (ProcessId p : v.set()) vs_newview(v, p);
+  }
+
+  /// Pumps all message-plumbing actions (gpsnd→VS, order, gprcv, safe) to
+  /// quiescence. Does NOT fire dvs-newview / garbage-collect / dvs-gprcv /
+  /// dvs-safe, so scenarios control those precisely.
+  void flush() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const DvsImplAction& a : sys_.enabled_actions()) {
+        switch (a.kind) {
+          case DvsImplActionKind::kVsGpsnd:
+          case DvsImplActionKind::kVsOrder:
+          case DvsImplActionKind::kVsGprcv:
+          case DvsImplActionKind::kVsSafe:
+            apply(a);
+            progressed = true;
+            break;
+          default:
+            break;
+        }
+        if (progressed) break;  // re-enumerate after each state change
+      }
+    }
+  }
+
+  /// Pumps everything including client-facing deliveries.
+  void flush_all() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const DvsImplAction& a : sys_.enabled_actions()) {
+        if (a.kind == DvsImplActionKind::kDvsNewview ||
+            a.kind == DvsImplActionKind::kGarbageCollect) {
+          continue;
+        }
+        apply(a);
+        progressed = true;
+        break;
+      }
+    }
+  }
+
+  void attempt(ProcessId p) {
+    ASSERT_TRUE(sys_.node(p).can_dvs_newview())
+        << "dvs-newview not enabled at " << p.to_string();
+    apply(DvsImplAction::with_view(DvsImplActionKind::kDvsNewview, p,
+                                   *sys_.node(p).cur()));
+  }
+
+  void do_register(ProcessId p) {
+    apply(DvsImplAction::make(DvsImplActionKind::kDvsRegister, p));
+  }
+
+  void gc(ProcessId p, const View& v) {
+    apply(DvsImplAction::with_view(DvsImplActionKind::kGarbageCollect, p, v));
+  }
+
+  void send(ProcessId p, std::uint64_t uid) {
+    apply(DvsImplAction::send(p, ClientMsg{OpaqueMsg{uid, p}}));
+  }
+
+  DvsImplSystem& sys() { return sys_; }
+  const View& v0() const { return v0_; }
+
+ private:
+  ProcessSet universe_;
+  View v0_;
+  DvsImplSystem sys_;
+  RefinementChecker checker_;
+};
+
+TEST(DvsImplTest, InitialStateSatisfiesInvariantsAndRefinement) {
+  Harness h(3, {0, 1, 2});
+  h.sys().check_invariants();
+  const DvsState f = refinement(h.sys());
+  EXPECT_EQ(f.created.size(), 1u);
+  EXPECT_EQ(f.registered.size(), 1u);
+  EXPECT_EQ(f.attempted.size(), 1u);
+}
+
+TEST(DvsImplTest, FullViewChangeRitual) {
+  Harness h(3, {0, 1, 2});
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+
+  // Before info exchange nobody can attempt.
+  for (unsigned i : {0u, 1u, 2u}) {
+    EXPECT_FALSE(h.sys().node(ProcessId{i}).can_dvs_newview());
+  }
+  h.flush();  // exchange "info" messages
+  for (unsigned i : {0u, 1u, 2u}) {
+    EXPECT_TRUE(h.sys().node(ProcessId{i}).can_dvs_newview());
+    h.attempt(ProcessId{i});
+  }
+  h.sys().check_invariants();
+  // v1 is now totally attempted.
+  ASSERT_EQ(h.sys().tot_att().size(), 2u);  // v0 and v1
+
+  // Register everywhere; after the "registered" messages circulate every
+  // node can garbage-collect up to v1.
+  for (unsigned i : {0u, 1u, 2u}) h.do_register(ProcessId{i});
+  h.flush();
+  ASSERT_EQ(h.sys().tot_reg().size(), 2u);
+  for (unsigned i : {0u, 1u, 2u}) {
+    const ProcessId p{i};
+    const auto candidates = h.sys().node(p).gc_candidates();
+    ASSERT_EQ(candidates.size(), 1u) << "at " << p.to_string();
+    EXPECT_EQ(candidates.front(), v1);
+    h.gc(p, v1);
+    EXPECT_EQ(h.sys().node(p).act(), v1);
+    EXPECT_TRUE(h.sys().node(p).amb().empty());
+  }
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, MinorityViewIsNeverAttempted) {
+  Harness h(3, {0, 1, 2});
+  const View v1 = mkview(1, 0, {0});
+  h.vs_create(v1);
+  h.vs_newview(v1, ProcessId{0});
+  h.flush();
+  // |{0} ∩ v0| = 1, not a strict majority of 3.
+  EXPECT_FALSE(h.sys().node(ProcessId{0}).can_dvs_newview());
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, MinoritySideOfPartitionCannotFormPrimary) {
+  Harness h(5, {0, 1, 2, 3, 4});
+  // Partition: VS forms {0,1,2} (majority) and later {3,4} (minority).
+  const View maj = mkview(1, 0, {0, 1, 2});
+  h.vs_create(maj);
+  h.vs_newview_all(maj);
+  h.flush();
+  for (unsigned i : {0u, 1u, 2u}) h.attempt(ProcessId{i});
+
+  const View min = mkview(2, 3, {3, 4});
+  h.vs_create(min);
+  h.vs_newview_all(min);
+  h.flush();
+  // {3,4} only know v0; |{3,4} ∩ v0| = 2 is not > 5/2.
+  EXPECT_FALSE(h.sys().node(ProcessId{3}).can_dvs_newview());
+  EXPECT_FALSE(h.sys().node(ProcessId{4}).can_dvs_newview());
+  h.sys().check_invariants();
+  // The majority view is the only new attempted view.
+  EXPECT_EQ(h.sys().att().size(), 2u);
+}
+
+TEST(DvsImplTest, StragglerCarriesAmbiguityIntoTheMergedView) {
+  Harness h(5, {0, 1, 2, 3, 4});
+  // v1 = {0,1,2} becomes primary (attempted, not registered).
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+  h.flush();
+  for (unsigned i : {0u, 1u, 2u}) h.attempt(ProcessId{i});
+
+  // The network merges into v2 = {2,3,4}: p2 carries amb = {v1}.
+  const View v2 = mkview(2, 2, {2, 3, 4});
+  h.vs_create(v2);
+  h.vs_newview_all(v2);
+  h.flush();
+  // p3/p4 learned v1 through p2's info; |v2 ∩ v1| = 1 not > 3/2 → blocked.
+  for (unsigned i : {2u, 3u, 4u}) {
+    EXPECT_FALSE(h.sys().node(ProcessId{i}).can_dvs_newview())
+        << "p" << i << " must not attempt v2 (ambiguous v1 blocks it)";
+  }
+  h.sys().check_invariants();
+
+  // A later view with a majority of v1 AND v0 can become primary: {1,2,3}.
+  const View v3 = mkview(3, 1, {1, 2, 3});
+  h.vs_create(v3);
+  h.vs_newview_all(v3);
+  h.flush();
+  for (unsigned i : {1u, 2u, 3u}) h.attempt(ProcessId{i});
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, ClientMessagesFlowThroughPrimaryView) {
+  Harness h(3, {0, 1, 2});
+  h.send(ProcessId{0}, 1);
+  h.send(ProcessId{1}, 2);
+  h.flush_all();
+  // All three clients get both messages, in one order, with safe.
+  h.sys().check_invariants();
+  const DvsState f = refinement(h.sys());
+  // All deliveries drained: every next pointer advanced to 3.
+  for (unsigned i : {0u, 1u, 2u}) {
+    const auto key = std::make_pair(ProcessId{i}, ViewId::initial());
+    ASSERT_TRUE(f.next.contains(key));
+    EXPECT_EQ(f.next.at(key), 3u);
+    ASSERT_TRUE(f.next_safe.contains(key));
+    EXPECT_EQ(f.next_safe.at(key), 3u);
+  }
+}
+
+TEST(DvsImplTest, MessagesSentBeforeViewChangeStayInOldView) {
+  Harness h(3, {0, 1, 2});
+  h.send(ProcessId{0}, 1);
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+  h.flush();
+  // The old-view message still sits in v0's plumbing; new-view clients have
+  // not received it and never will (their VS view moved on). Refinement and
+  // invariants still hold.
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, GarbageCollectionUnblocksDisjointSuccessors) {
+  // After v1 = {0,1} is totally registered (universe {0,1,2}, P0 = {0,1,2}),
+  // a view {1,2} with only minority overlap of v0 can form because use
+  // shrinks to {v1}.
+  Harness h(3, {0, 1, 2});
+  const View v1 = mkview(1, 0, {0, 1});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+  h.flush();
+  h.attempt(ProcessId{0});
+  h.attempt(ProcessId{1});
+  h.do_register(ProcessId{0});
+  h.do_register(ProcessId{1});
+  h.flush();
+  h.gc(ProcessId{0}, v1);
+  h.gc(ProcessId{1}, v1);
+
+  const View v2 = mkview(2, 1, {1, 2});
+  h.vs_create(v2);
+  h.vs_newview_all(v2);
+  h.flush();
+  // p1's use = {v1}; |v2 ∩ v1| = 1 > 2/2? 1 > 1 is false! So p1 still can't.
+  EXPECT_FALSE(h.sys().node(ProcessId{1}).can_dvs_newview());
+  // A two-member overlap works: {0,1,2}.
+  const View v3 = mkview(3, 0, {0, 1, 2});
+  h.vs_create(v3);
+  h.vs_newview_all(v3);
+  h.flush();
+  for (unsigned i : {0u, 1u, 2u}) h.attempt(ProcessId{i});
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, LiteralInvariant531IsFalsifiable) {
+  // Reproduces the counterexample the checker found in the printed
+  // Invariant 5.3(1): after p attempts view v1, attempted_p contains v1
+  // while info-sent[v1.id]_p = ⟨v0, {}⟩ — v1 is neither in the info nor
+  // below v0. The corrected form (hypothesis w.id < g) holds.
+  Harness h(3, {0, 1, 2});
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+  h.flush();
+  h.attempt(ProcessId{0});
+  h.sys().check_invariants();  // corrected forms hold
+  EXPECT_THROW(h.sys().check_invariant_5_3_1_literal(), InvariantViolation);
+}
+
+TEST(DvsImplTest, LiteralInvariant523IsFalsifiable) {
+  // Reproduces the counterexample in the printed Invariant 5.2(3): a node
+  // can learn (via "info") of a totally registered view above its own
+  // client-cur. Universe {0,1,2}; v1 = {1,2} is formed, registered and
+  // garbage-collected by 1 and 2 while 0 sleeps in v0; then v2 = {0,1,2}
+  // forms and 1's info advances 0's act to v1 > client-cur_0 = v0.
+  Harness h(3, {0, 1, 2});
+  const View v1 = mkview(1, 1, {1, 2});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+  h.flush();
+  h.attempt(ProcessId{1});
+  h.attempt(ProcessId{2});
+  h.do_register(ProcessId{1});
+  h.do_register(ProcessId{2});
+  h.flush();
+  h.gc(ProcessId{1}, v1);
+  h.gc(ProcessId{2}, v1);
+
+  const View v2 = mkview(2, 0, {0, 1, 2});
+  h.vs_create(v2);
+  h.vs_newview_all(v2);
+  h.flush();  // p0 receives p1's info carrying act = v1
+
+  EXPECT_EQ(h.sys().node(ProcessId{0}).act(), v1);
+  ASSERT_TRUE(h.sys().node(ProcessId{0}).client_cur().has_value());
+  EXPECT_EQ(h.sys().node(ProcessId{0}).client_cur()->id(), ViewId::initial());
+  EXPECT_THROW(h.sys().check_invariant_5_2_3_literal(), InvariantViolation);
+  // The corrected forms and all other invariants hold in the same state.
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, PrintedSafePreconditionIsViolatedByTheImplementation) {
+  // Reproduction finding: DVS-IMPL emits a DVS-SAFE while another member's
+  // *client* has not yet consumed the message (it sits in msgs-from-vs), so
+  // the printed DVS-SAFE precondition ∀r: next[r,g] > next-safe[q,g] is
+  // false at that moment. The corrected spec (node-level received counter)
+  // accepts the step — the harness refinement checker passes throughout.
+  Harness h(2, {0, 1});
+  h.send(ProcessId{0}, 1);
+  h.flush();  // VS-level delivery + safe at both nodes (buffered)
+
+  const ProcessId p0{0};
+  const ProcessId p1{1};
+  ASSERT_TRUE(h.sys().node(p0).next_dvs_gprcv().has_value());
+  h.apply(DvsImplAction::make(DvsImplActionKind::kDvsGprcv, p0));
+  ASSERT_TRUE(h.sys().node(p0).next_dvs_safe().has_value());
+  h.apply(DvsImplAction::make(DvsImplActionKind::kDvsSafe, p0));
+
+  // At this point p1's client has delivered nothing: spec next[p1,g0] = 1,
+  // yet the safe for queue position 1 was just indicated at p0 — the
+  // printed precondition (next[p1,g0] > 1) is falsified.
+  const DvsState f = refinement(h.sys());
+  const auto key = std::make_pair(p1, ViewId::initial());
+  EXPECT_FALSE(f.next.contains(key)) << "spec next[p1,g0] must still be 1";
+  const auto safe_key = std::make_pair(p0, ViewId::initial());
+  ASSERT_TRUE(f.next_safe.contains(safe_key));
+  EXPECT_EQ(f.next_safe.at(safe_key), 2u);
+  // Node-level receipt did happen everywhere (corrected precondition held).
+  ASSERT_TRUE(f.received.contains(key));
+  EXPECT_EQ(f.received.at(key), 1u);
+}
+
+TEST(DvsImplTest, AttemptBlockedWhileClientBuffersUndrained) {
+  // The drain-before-attempt correction in VS-TO-DVS: a node with buffered
+  // old-view deliveries may not attempt the next view.
+  Harness h(3, {0, 1, 2});
+  h.send(ProcessId{0}, 1);
+  h.flush();  // deliveries + safes buffered at every node
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.vs_create(v1);
+  h.vs_newview_all(v1);
+  h.flush();
+  for (unsigned i : {0u, 1u, 2u}) {
+    EXPECT_FALSE(h.sys().node(ProcessId{i}).can_dvs_newview())
+        << "p" << i << " must drain v0 buffers before attempting v1";
+    h.apply(DvsImplAction::make(DvsImplActionKind::kDvsGprcv, ProcessId{i}));
+    EXPECT_FALSE(h.sys().node(ProcessId{i}).can_dvs_newview());
+    h.apply(DvsImplAction::make(DvsImplActionKind::kDvsSafe, ProcessId{i}));
+    EXPECT_TRUE(h.sys().node(ProcessId{i}).can_dvs_newview());
+    h.attempt(ProcessId{i});
+  }
+  h.sys().check_invariants();
+}
+
+TEST(DvsImplTest, RefinementMapsClientTrafficExactly) {
+  Harness h(3, {0, 1, 2});
+  h.send(ProcessId{0}, 1);
+  const DvsState f1 = refinement(h.sys());
+  const auto key = std::make_pair(ProcessId{0}, ViewId::initial());
+  ASSERT_TRUE(f1.pending.contains(key));
+  EXPECT_EQ(f1.pending.at(key).size(), 1u);
+  h.flush_all();
+  const DvsState f2 = refinement(h.sys());
+  EXPECT_FALSE(f2.pending.contains(key));
+  ASSERT_TRUE(f2.queue.contains(ViewId::initial()));
+  EXPECT_EQ(f2.queue.at(ViewId::initial()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dvs::impl

@@ -1,0 +1,185 @@
+// Unit tests for the refinement machinery: ℱ (Figure 4), state snapshots,
+// the purge semantics, and DvsState diffing.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "impl/dvs_impl.h"
+#include "impl/refinement.h"
+
+namespace dvs::impl {
+namespace {
+
+ClientMsg opaque(std::uint64_t uid, unsigned sender) {
+  return ClientMsg{OpaqueMsg{uid, ProcessId{sender}}};
+}
+
+TEST(RefinementTest, InitialStatesCorrespond) {
+  const ProcessSet universe = make_universe(3);
+  const View v0 = initial_view(universe);
+  DvsImplSystem sys(universe, v0);
+  spec::DvsSpec spec(universe, v0);
+  EXPECT_EQ(refinement(sys), snapshot(spec));
+}
+
+TEST(RefinementTest, ServiceMessagesArePurged) {
+  const ProcessSet universe = make_universe(2);
+  const View v0 = initial_view(universe);
+  DvsImplSystem sys(universe, v0);
+  // A VS view change floods the system with "info" messages; none of them
+  // may surface in the abstract DVS state.
+  const View v1{ViewId{1, ProcessId{0}}, universe};
+  (void)sys.apply(DvsImplAction::with_view(DvsImplActionKind::kVsCreateview,
+                                           ProcessId{0}, v1));
+  for (ProcessId p : universe) {
+    (void)sys.apply(
+        DvsImplAction::with_view(DvsImplActionKind::kVsNewview, p, v1));
+  }
+  // Forward the queued info messages into VS and order one of them.
+  for (ProcessId p : universe) {
+    (void)sys.apply(DvsImplAction::make(DvsImplActionKind::kVsGpsnd, p));
+  }
+  (void)sys.apply(DvsImplAction::order(ProcessId{0}, v1.id()));
+
+  const DvsState t = refinement(sys);
+  EXPECT_TRUE(t.pending.empty());
+  EXPECT_TRUE(t.queue.empty());
+  EXPECT_TRUE(t.next.empty());
+  // created is still just the ∪ of attempted sets (v0 only).
+  EXPECT_EQ(t.created.size(), 1u);
+}
+
+TEST(RefinementTest, ClientSendAppearsInAbstractPending) {
+  const ProcessSet universe = make_universe(2);
+  const View v0 = initial_view(universe);
+  DvsImplSystem sys(universe, v0);
+  (void)sys.apply(DvsImplAction::send(ProcessId{0}, opaque(1, 0)));
+  const DvsState t = refinement(sys);
+  const auto key = std::make_pair(ProcessId{0}, v0.id());
+  ASSERT_TRUE(t.pending.contains(key));
+  ASSERT_EQ(t.pending.at(key).size(), 1u);
+  EXPECT_EQ(t.pending.at(key).front(), opaque(1, 0));
+  // The message sits in msgs-to-vs, not yet in VS pending; ℱ fuses both.
+  (void)sys.apply(DvsImplAction::make(DvsImplActionKind::kVsGpsnd,
+                                      ProcessId{0}));
+  const DvsState t2 = refinement(sys);
+  ASSERT_TRUE(t2.pending.contains(key));
+  EXPECT_EQ(t2.pending.at(key), t.pending.at(key)) << "ℱ must be oblivious "
+      "to which internal queue holds the message";
+}
+
+TEST(RefinementTest, ReceivedTracksNodeLevelDelivery) {
+  const ProcessSet universe = make_universe(2);
+  const View v0 = initial_view(universe);
+  DvsImplSystem sys(universe, v0);
+  (void)sys.apply(DvsImplAction::send(ProcessId{0}, opaque(1, 0)));
+  (void)sys.apply(DvsImplAction::make(DvsImplActionKind::kVsGpsnd,
+                                      ProcessId{0}));
+  (void)sys.apply(DvsImplAction::order(ProcessId{0}, v0.id()));
+  (void)sys.apply(DvsImplAction::make(DvsImplActionKind::kVsGprcv,
+                                      ProcessId{1}));
+  const DvsState t = refinement(sys);
+  const auto key = std::make_pair(ProcessId{1}, v0.id());
+  ASSERT_TRUE(t.received.contains(key));
+  EXPECT_EQ(t.received.at(key), 1u);
+  // Client has not consumed it: next stays at default.
+  EXPECT_FALSE(t.next.contains(key));
+  // After the client pop, next advances.
+  (void)sys.apply(DvsImplAction::make(DvsImplActionKind::kDvsGprcv,
+                                      ProcessId{1}));
+  const DvsState t2 = refinement(sys);
+  ASSERT_TRUE(t2.next.contains(key));
+  EXPECT_EQ(t2.next.at(key), 2u);
+}
+
+TEST(RefinementTest, DiffPinpointsFirstDifference) {
+  DvsState a;
+  DvsState b;
+  EXPECT_EQ(DvsState::diff(a, b), "");
+  b.created.emplace(ViewId{1, ProcessId{0}},
+                    View{ViewId{1, ProcessId{0}}, make_process_set({0})});
+  EXPECT_NE(DvsState::diff(a, b).find("created"), std::string::npos);
+  a = b;
+  a.next[{ProcessId{0}, ViewId::initial()}] = 3;
+  EXPECT_NE(DvsState::diff(a, b).find("next"), std::string::npos);
+}
+
+TEST(RefinementTest, CheckerRejectsSkippedSpecSteps) {
+  // Feeding the checker an action whose spec counterpart is disabled must
+  // produce a diagnosis, not a crash. We fabricate the situation by asking
+  // for a dvs-gprcv at a process with an empty abstract queue — such an
+  // action is not enabled in the impl either, so the impl throws; the
+  // checker path for *enabled* impl actions whose spec step fails is
+  // exercised by the sweeps (and was what found the DVS-SAFE erratum).
+  const ProcessSet universe = make_universe(2);
+  const View v0 = initial_view(universe);
+  DvsImplSystem sys(universe, v0);
+  RefinementChecker checker(sys);
+  const auto disabled =
+      DvsImplAction::make(DvsImplActionKind::kDvsGprcv, ProcessId{0});
+  EXPECT_THROW((void)checker.step(sys, disabled),
+               dvs::PreconditionViolation);
+}
+
+TEST(VsToDvsUnitTest, InfoMessageUpdatesActAndAmb) {
+  const View v0 = initial_view(make_universe(3));
+  VsToDvs node(ProcessId{0}, v0);
+  const View v1{ViewId{1, ProcessId{1}}, make_process_set({1, 2})};
+  const View v2{ViewId{2, ProcessId{1}}, make_process_set({0, 1, 2})};
+  node.on_vs_newview(v2);
+  // p1's info claims act = v1 (totally registered elsewhere), amb = {}.
+  node.on_vs_gprcv(Msg{InfoMsg{v1, {}}}, ProcessId{1});
+  EXPECT_EQ(node.act(), v1);
+  EXPECT_TRUE(node.amb().empty());
+  // A later info with an OLDER act must not regress act.
+  node.on_vs_gprcv(Msg{InfoMsg{v0, {}}}, ProcessId{2});
+  EXPECT_EQ(node.act(), v1);
+}
+
+TEST(VsToDvsUnitTest, AmbPrunedBelowAct) {
+  const View v0 = initial_view(make_universe(3));
+  VsToDvs node(ProcessId{0}, v0);
+  const View v1{ViewId{1, ProcessId{0}}, make_process_set({0, 1})};
+  const View v2{ViewId{2, ProcessId{0}}, make_process_set({0, 1, 2})};
+  const View v3{ViewId{3, ProcessId{0}}, make_process_set({0, 1, 2})};
+  node.on_vs_newview(v3);
+  // Info carries amb = {v1} with act = v0...
+  node.on_vs_gprcv(Msg{InfoMsg{v0, {v1}}}, ProcessId{1});
+  EXPECT_TRUE(node.amb().contains(v1.id()));
+  // ...then another info advances act past v1: amb is pruned.
+  node.on_vs_gprcv(Msg{InfoMsg{v2, {}}}, ProcessId{2});
+  EXPECT_EQ(node.act(), v2);
+  EXPECT_FALSE(node.amb().contains(v1.id()));
+}
+
+TEST(VsToDvsUnitTest, RegisteredMessagesEnableGarbageCollection) {
+  const ProcessSet two = make_process_set({0, 1});
+  const View v0{ViewId::initial(), two};
+  VsToDvs node(ProcessId{0}, v0);
+  const View v1{ViewId{1, ProcessId{0}}, two};
+  node.on_vs_newview(v1);
+  node.on_vs_gprcv(Msg{InfoMsg{v0, {}}}, ProcessId{1});
+  ASSERT_TRUE(node.can_dvs_newview());
+  (void)node.apply_dvs_newview();
+  node.on_dvs_register();
+  EXPECT_TRUE(node.gc_candidates().empty());  // no "registered" heard yet
+  node.on_vs_gprcv(Msg{RegisteredMsg{}}, ProcessId{0});
+  node.on_vs_gprcv(Msg{RegisteredMsg{}}, ProcessId{1});
+  ASSERT_EQ(node.gc_candidates().size(), 1u);
+  node.apply_garbage_collect(v1);
+  EXPECT_EQ(node.act(), v1);
+}
+
+TEST(VsToDvsUnitTest, CannotAttemptWithoutAllInfos) {
+  const View v0 = initial_view(make_universe(3));
+  VsToDvs node(ProcessId{0}, v0);
+  const View v1{ViewId{1, ProcessId{0}}, make_universe(3)};
+  node.on_vs_newview(v1);
+  EXPECT_FALSE(node.can_dvs_newview());
+  node.on_vs_gprcv(Msg{InfoMsg{v0, {}}}, ProcessId{1});
+  EXPECT_FALSE(node.can_dvs_newview());  // p2's info still missing
+  node.on_vs_gprcv(Msg{InfoMsg{v0, {}}}, ProcessId{2});
+  EXPECT_TRUE(node.can_dvs_newview());
+}
+
+}  // namespace
+}  // namespace dvs::impl

@@ -1,0 +1,149 @@
+// Unit tests for the simulated partitionable network.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_network.h"
+
+namespace dvs::net {
+namespace {
+
+Bytes payload(std::uint8_t b) { return Bytes{static_cast<std::byte>(b)}; }
+
+class SimNetworkTest : public ::testing::Test {
+ protected:
+  SimNetworkTest() : rng_(42) {
+    config_.base_delay = 10;
+    config_.jitter_mean_us = 0.0;
+    net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(4));
+  }
+
+  void attach_recorder(unsigned p) {
+    net_->attach(ProcessId{p}, [this, p](ProcessId from, const Bytes& data) {
+      received_.push_back({ProcessId{p}, from, data});
+    });
+  }
+
+  struct Record {
+    ProcessId at;
+    ProcessId from;
+    Bytes data;
+  };
+
+  sim::Simulator sim_;
+  Rng rng_;
+  NetConfig config_;
+  std::unique_ptr<SimNetwork> net_;
+  std::vector<Record> received_;
+};
+
+TEST_F(SimNetworkTest, DeliversWithDelay) {
+  attach_recorder(1);
+  net_->send(ProcessId{0}, ProcessId{1}, payload(7));
+  EXPECT_TRUE(received_.empty());
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].from, ProcessId{0});
+  EXPECT_EQ(received_[0].data, payload(7));
+  EXPECT_EQ(sim_.now(), 10u);
+}
+
+TEST_F(SimNetworkTest, LinksAreFifoEvenWithJitter) {
+  config_.jitter_mean_us = 5000.0;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(i));
+  }
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(received_[i].data, payload(i)) << static_cast<int>(i);
+  }
+}
+
+TEST_F(SimNetworkTest, SelfSendIsDelivered) {
+  attach_recorder(0);
+  net_->send(ProcessId{0}, ProcessId{0}, payload(1));
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, PartitionBlocksCrossGroupTraffic) {
+  attach_recorder(1);
+  attach_recorder(2);
+  net_->set_partition({make_process_set({0, 1}), make_process_set({2, 3})});
+  EXPECT_TRUE(net_->connected(ProcessId{0}, ProcessId{1}));
+  EXPECT_FALSE(net_->connected(ProcessId{0}, ProcessId{2}));
+  net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  net_->send(ProcessId{0}, ProcessId{2}, payload(2));
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, ProcessId{1});
+  EXPECT_EQ(net_->stats().dropped_partition, 1u);
+}
+
+TEST_F(SimNetworkTest, InFlightMessagesDieWhenPartitionHappens) {
+  attach_recorder(1);
+  net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  sim_.schedule_at(5, [this] {
+    net_->set_partition({make_process_set({0}), make_process_set({1, 2, 3})});
+  });
+  sim_.run_all();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_->stats().dropped_partition, 1u);
+}
+
+TEST_F(SimNetworkTest, HealRestoresConnectivity) {
+  attach_recorder(2);
+  net_->set_partition({make_process_set({0, 1}), make_process_set({2, 3})});
+  net_->heal();
+  net_->send(ProcessId{0}, ProcessId{2}, payload(9));
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, UnmentionedProcessesAreIsolated) {
+  net_->set_partition({make_process_set({0, 1})});
+  EXPECT_FALSE(net_->connected(ProcessId{2}, ProcessId{3}));
+  EXPECT_TRUE(net_->connected(ProcessId{2}, ProcessId{2}));
+}
+
+TEST_F(SimNetworkTest, PausedProcessGetsNothingAndSendsNothing) {
+  attach_recorder(1);
+  net_->pause(ProcessId{1});
+  net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  net_->send(ProcessId{1}, ProcessId{0}, payload(2));
+  sim_.run_all();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_->stats().dropped_crash, 2u);
+  net_->resume(ProcessId{1});
+  net_->send(ProcessId{0}, ProcessId{1}, payload(3));
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(SimNetworkTest, RandomDropRateIsRespected) {
+  config_.drop_probability = 0.5;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  for (int i = 0; i < 1000; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(0));
+  }
+  sim_.run_all();
+  EXPECT_GT(received_.size(), 350u);
+  EXPECT_LT(received_.size(), 650u);
+  EXPECT_EQ(received_.size() + net_->stats().dropped_random, 1000u);
+}
+
+TEST_F(SimNetworkTest, MulticastReachesAllTargets) {
+  attach_recorder(1);
+  attach_recorder(2);
+  attach_recorder(3);
+  net_->multicast(ProcessId{0}, make_process_set({1, 2, 3}), payload(5));
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dvs::net

@@ -1,0 +1,112 @@
+// Unit tests for the discrete-event kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dvs::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(30, [&] { fired.push_back(3); });
+  sim.schedule_at(10, [&] { fired.push_back(1); });
+  sim.schedule_at(20, [&] { fired.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&fired, i] { fired.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.schedule_at(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(15, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<Time>{10, 25}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.now(), 100u);  // clock advances to the deadline
+}
+
+TEST(PeriodicTimerTest, FiresRepeatedly) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 10, [&] { ++ticks; });
+  timer.start();
+  sim.run_until(55);
+  EXPECT_EQ(ticks, 5);  // t = 10, 20, 30, 40, 50
+}
+
+TEST(PeriodicTimerTest, StopPreventsFurtherTicks) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 10, [&] { ++ticks; });
+  timer.start();
+  sim.schedule_at(25, [&] { timer.stop(); });
+  sim.run_until(100);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimerTest, DestructionCancelsInFlightTick) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(sim, 10, [&] { ++ticks; });
+    timer.start();
+    sim.run_until(15);
+  }
+  sim.run_until(100);  // the armed tick must not fire after destruction
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(PeriodicTimerTest, RestartAfterStop) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, 10, [&] { ++ticks; });
+  timer.start();
+  sim.run_until(20);
+  timer.stop();
+  sim.run_until(50);
+  EXPECT_EQ(ticks, 2);
+  timer.start();
+  sim.run_until(70);
+  EXPECT_EQ(ticks, 4);  // t = 60, 70
+}
+
+}  // namespace
+}  // namespace dvs::sim

@@ -1,0 +1,60 @@
+// Unit tests for the TO broadcast specification automaton.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "spec/to_spec.h"
+
+namespace dvs::spec {
+namespace {
+
+AppMsg am(std::uint64_t uid, unsigned origin) {
+  return AppMsg{uid, ProcessId{origin}, ""};
+}
+
+TEST(ToSpecTest, OrderCommitsOneGlobalSequence) {
+  ToSpec to(make_universe(3));
+  to.apply_bcast(am(1, 0), ProcessId{0});
+  to.apply_bcast(am(2, 1), ProcessId{1});
+  EXPECT_TRUE(to.can_order(ProcessId{0}));
+  EXPECT_TRUE(to.can_order(ProcessId{1}));
+  to.apply_order(ProcessId{1});
+  to.apply_order(ProcessId{0});
+  ASSERT_EQ(to.queue().size(), 2u);
+  EXPECT_EQ(to.queue()[0].first, am(2, 1));
+  EXPECT_EQ(to.queue()[1].first, am(1, 0));
+}
+
+TEST(ToSpecTest, EachReceiverConsumesAPrefix) {
+  ToSpec to(make_universe(2));
+  to.apply_bcast(am(1, 0), ProcessId{0});
+  to.apply_bcast(am(2, 0), ProcessId{0});
+  to.apply_order(ProcessId{0});
+  to.apply_order(ProcessId{0});
+  // p1 consumes both; p0 consumes one.
+  EXPECT_EQ(to.apply_brcv(ProcessId{1}).first, am(1, 0));
+  EXPECT_EQ(to.apply_brcv(ProcessId{1}).first, am(2, 0));
+  EXPECT_FALSE(to.next_brcv(ProcessId{1}).has_value());
+  EXPECT_EQ(to.apply_brcv(ProcessId{0}).first, am(1, 0));
+  EXPECT_EQ(to.next(ProcessId{0}), 2u);
+  EXPECT_EQ(to.next(ProcessId{1}), 3u);
+}
+
+TEST(ToSpecTest, PerSenderFifoThroughPending) {
+  ToSpec to(make_universe(2));
+  to.apply_bcast(am(1, 0), ProcessId{0});
+  to.apply_bcast(am(2, 0), ProcessId{0});
+  to.apply_order(ProcessId{0});
+  // Only the first can have been ordered.
+  EXPECT_EQ(to.queue().front().first, am(1, 0));
+  EXPECT_EQ(to.pending(ProcessId{0}).front(), am(2, 0));
+}
+
+TEST(ToSpecTest, DisabledActionsThrow) {
+  ToSpec to(make_universe(2));
+  EXPECT_FALSE(to.can_order(ProcessId{0}));
+  EXPECT_THROW(to.apply_order(ProcessId{0}), PreconditionViolation);
+  EXPECT_THROW((void)to.apply_brcv(ProcessId{0}), PreconditionViolation);
+}
+
+}  // namespace
+}  // namespace dvs::spec

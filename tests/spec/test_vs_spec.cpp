@@ -1,0 +1,191 @@
+// Unit tests for the VS specification automaton (Figure 1).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "spec/vs_spec.h"
+
+namespace dvs::spec {
+namespace {
+
+Msg opaque(std::uint64_t uid, unsigned sender) {
+  return Msg{OpaqueMsg{uid, ProcessId{sender}}};
+}
+
+class VsSpecTest : public ::testing::Test {
+ protected:
+  VsSpecTest()
+      : universe_(make_universe(3)),
+        v0_(initial_view(universe_)),
+        vs_(universe_, v0_) {}
+
+  ProcessSet universe_;
+  View v0_;
+  VsSpec vs_;
+};
+
+TEST_F(VsSpecTest, InitialState) {
+  ASSERT_EQ(vs_.created().size(), 1u);
+  EXPECT_EQ(vs_.created().begin()->second, v0_);
+  for (ProcessId p : universe_) {
+    ASSERT_TRUE(vs_.current_viewid(p).has_value());
+    EXPECT_EQ(*vs_.current_viewid(p), ViewId::initial());
+  }
+  vs_.check_invariants();
+}
+
+TEST_F(VsSpecTest, ProcessOutsideInitialViewHasNoView) {
+  ProcessSet p0 = make_process_set({0, 1});
+  VsSpec vs(make_universe(3), View{ViewId::initial(), p0});
+  EXPECT_FALSE(vs.current_viewid(ProcessId{2}).has_value());
+}
+
+TEST_F(VsSpecTest, CreateviewRequiresIncreasingIds) {
+  const View v1{ViewId{1, ProcessId{0}}, make_process_set({0, 1})};
+  EXPECT_TRUE(vs_.can_createview(v1));
+  vs_.apply_createview(v1);
+  // Same id again is rejected.
+  EXPECT_FALSE(vs_.can_createview(v1));
+  // A lower id is rejected.
+  const View older{ViewId{0, ProcessId{2}}, make_process_set({2})};
+  EXPECT_FALSE(vs_.can_createview(older));
+  // Applying a disabled action throws.
+  EXPECT_THROW(vs_.apply_createview(older), PreconditionViolation);
+}
+
+TEST_F(VsSpecTest, NewviewOnlyToMembersInIdOrder) {
+  const View v1{ViewId{1, ProcessId{0}}, make_process_set({0, 1})};
+  vs_.apply_createview(v1);
+  EXPECT_TRUE(vs_.can_newview(v1, ProcessId{0}));
+  EXPECT_FALSE(vs_.can_newview(v1, ProcessId{2}));  // not a member
+  vs_.apply_newview(v1, ProcessId{0});
+  EXPECT_EQ(*vs_.current_viewid(ProcessId{0}), v1.id());
+  // Cannot be re-notified of the same view.
+  EXPECT_FALSE(vs_.can_newview(v1, ProcessId{0}));
+}
+
+TEST_F(VsSpecTest, NewviewSkippingIsAllowed) {
+  const View v1{ViewId{1, ProcessId{0}}, make_process_set({0, 1})};
+  const View v2{ViewId{2, ProcessId{0}}, make_process_set({0, 1, 2})};
+  vs_.apply_createview(v1);
+  vs_.apply_createview(v2);
+  // p0 may go straight to v2 without ever seeing v1.
+  vs_.apply_newview(v2, ProcessId{0});
+  EXPECT_FALSE(vs_.can_newview(v1, ProcessId{0}));  // older than current
+  EXPECT_TRUE(vs_.can_newview(v1, ProcessId{1}));
+}
+
+TEST_F(VsSpecTest, SendOrderDeliverWithinView) {
+  const ProcessId p0{0};
+  const ProcessId p1{1};
+  vs_.apply_gpsnd(opaque(1, 0), p0);
+  vs_.apply_gpsnd(opaque(2, 0), p0);
+  EXPECT_EQ(vs_.pending(p0, ViewId::initial()).size(), 2u);
+
+  // Nothing deliverable before ordering.
+  EXPECT_FALSE(vs_.next_gprcv(p1).has_value());
+  ASSERT_TRUE(vs_.can_order(p0, ViewId::initial()));
+  vs_.apply_order(p0, ViewId::initial());
+  auto delivery = vs_.next_gprcv(p1);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->first, opaque(1, 0));
+  EXPECT_EQ(delivery->second, p0);
+  vs_.apply_gprcv(p1);
+  // FIFO per sender: second message delivered second.
+  vs_.apply_order(p0, ViewId::initial());
+  auto second = vs_.next_gprcv(p1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->first, opaque(2, 0));
+}
+
+TEST_F(VsSpecTest, EachReceiverSeesTheSamePrefix) {
+  const ProcessId p0{0};
+  vs_.apply_gpsnd(opaque(1, 0), p0);
+  vs_.apply_gpsnd(opaque(2, 1), ProcessId{1});
+  vs_.apply_order(ProcessId{1}, ViewId::initial());
+  vs_.apply_order(p0, ViewId::initial());
+  // Order committed: uid 2 (from p1) first, then uid 1.
+  for (ProcessId q : universe_) {
+    auto d1 = vs_.next_gprcv(q);
+    ASSERT_TRUE(d1.has_value());
+    EXPECT_EQ(d1->first, opaque(2, 1));
+    vs_.apply_gprcv(q);
+    auto d2 = vs_.next_gprcv(q);
+    ASSERT_TRUE(d2.has_value());
+    EXPECT_EQ(d2->first, opaque(1, 0));
+    vs_.apply_gprcv(q);
+  }
+}
+
+TEST_F(VsSpecTest, SafeRequiresAllMembersToHaveReceived) {
+  const ProcessId p0{0};
+  vs_.apply_gpsnd(opaque(1, 0), p0);
+  vs_.apply_order(p0, ViewId::initial());
+  // Deliver at p0 and p1 only.
+  vs_.apply_gprcv(ProcessId{0});
+  vs_.apply_gprcv(ProcessId{1});
+  EXPECT_FALSE(vs_.next_safe_indication(ProcessId{0}).has_value());
+  // After the last member receives, safe becomes enabled everywhere.
+  vs_.apply_gprcv(ProcessId{2});
+  for (ProcessId q : universe_) {
+    auto s = vs_.next_safe_indication(q);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->first, opaque(1, 0));
+    vs_.apply_safe(q);
+    EXPECT_FALSE(vs_.next_safe_indication(q).has_value());
+  }
+}
+
+TEST_F(VsSpecTest, MessagesSentInOldViewNotDeliveredInNew) {
+  const ProcessId p0{0};
+  vs_.apply_gpsnd(opaque(1, 0), p0);
+  vs_.apply_order(p0, ViewId::initial());
+  const View v1{ViewId{1, ProcessId{0}}, universe_};
+  vs_.apply_createview(v1);
+  vs_.apply_newview(v1, p0);
+  // p0 now has view v1; the old view's queue is no longer visible to it.
+  EXPECT_FALSE(vs_.next_gprcv(p0).has_value());
+  // p1 still in v0 can receive.
+  EXPECT_TRUE(vs_.next_gprcv(ProcessId{1}).has_value());
+  // A message sent by p0 now goes to v1's queue.
+  vs_.apply_gpsnd(opaque(2, 0), p0);
+  EXPECT_EQ(vs_.pending(p0, v1.id()).size(), 1u);
+  EXPECT_TRUE(vs_.pending(p0, ViewId::initial()).empty());
+}
+
+TEST_F(VsSpecTest, SafeNeedsCreatedViewMembership) {
+  // A member that moved to a later view no longer gets safe indications for
+  // the old one, and safe in the new view requires all new members.
+  const View v1{ViewId{1, ProcessId{0}}, make_process_set({0, 1})};
+  vs_.apply_createview(v1);
+  vs_.apply_newview(v1, ProcessId{0});
+  vs_.apply_newview(v1, ProcessId{1});
+  vs_.apply_gpsnd(opaque(5, 0), ProcessId{0});
+  vs_.apply_order(ProcessId{0}, v1.id());
+  vs_.apply_gprcv(ProcessId{0});
+  EXPECT_FALSE(vs_.next_safe_indication(ProcessId{0}).has_value());
+  vs_.apply_gprcv(ProcessId{1});
+  EXPECT_TRUE(vs_.next_safe_indication(ProcessId{0}).has_value());
+  EXPECT_TRUE(vs_.next_safe_indication(ProcessId{1}).has_value());
+}
+
+TEST_F(VsSpecTest, ForceCreateviewAllowsRetroactiveIds) {
+  const View v2{ViewId{2, ProcessId{0}}, make_process_set({0, 1})};
+  vs_.apply_createview(v2);
+  const View v1{ViewId{1, ProcessId{0}}, make_process_set({0, 2})};
+  EXPECT_FALSE(vs_.can_createview(v1));
+  vs_.force_createview(v1);
+  EXPECT_EQ(vs_.created().size(), 3u);
+  // Duplicate ids still rejected.
+  EXPECT_THROW(vs_.force_createview(v1), PreconditionViolation);
+  vs_.check_invariants();
+}
+
+TEST_F(VsSpecTest, SendWithNoViewIsDropped) {
+  ProcessSet p0 = make_process_set({0, 1});
+  VsSpec vs(make_universe(3), View{ViewId::initial(), p0});
+  vs.apply_gpsnd(opaque(1, 2), ProcessId{2});  // p2 has no view
+  EXPECT_TRUE(vs.pending(ProcessId{2}, ViewId::initial()).empty());
+}
+
+}  // namespace
+}  // namespace dvs::spec

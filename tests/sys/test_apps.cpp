@@ -1,0 +1,215 @@
+// Tests for the application layer: state machines, the replicated
+// state-machine library (SMR over TO), the service-supported state-exchange
+// extension (paper Section 7), and the load balancer built on it.
+#include <gtest/gtest.h>
+
+#include "apps/load_balancer.h"
+#include "apps/smr.h"
+#include "apps/state_machine.h"
+
+namespace dvs::apps {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+// ---------------------------------------------------------------------------
+// State machines
+// ---------------------------------------------------------------------------
+
+TEST(KvStateMachineTest, PutDelGet) {
+  KvStateMachine kv;
+  kv.apply("put a 1");
+  kv.apply("put b two words");
+  EXPECT_EQ(kv.get("a"), "1");
+  EXPECT_EQ(kv.get("b"), "two words");
+  kv.apply("del a");
+  EXPECT_EQ(kv.get("a"), "");
+  EXPECT_EQ(kv.applied(), 3u);
+}
+
+TEST(KvStateMachineTest, DigestIsOrderSensitive) {
+  KvStateMachine a;
+  KvStateMachine b;
+  a.apply("put x 1");
+  a.apply("put x 2");
+  b.apply("put x 2");
+  b.apply("put x 1");
+  EXPECT_EQ(a.snapshot(), "x=2;");
+  EXPECT_EQ(b.snapshot(), "x=1;");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KvStateMachineTest, UnknownCommandsAreDeterministicNoOps) {
+  KvStateMachine a;
+  KvStateMachine b;
+  a.apply("frobnicate z");
+  b.apply("frobnicate z");
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_TRUE(a.data().empty());
+}
+
+TEST(CounterStateMachineTest, SaturatingWithdrawal) {
+  CounterStateMachine c;
+  c.apply("add 10");
+  c.apply("sub 3");
+  EXPECT_EQ(c.balance(), 7u);
+  c.apply("sub 100");  // deterministic no-op floor at zero
+  EXPECT_EQ(c.balance(), 0u);
+  EXPECT_EQ(c.applied(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// SMR over the TO stack
+// ---------------------------------------------------------------------------
+
+tosys::ClusterConfig smr_config(std::size_t n) {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = n;
+  return cfg;
+}
+
+TEST(SmrClusterTest, ReplicasConvergeUnderConcurrentWriters) {
+  SmrCluster smr(smr_config(3), 21,
+                 [] { return std::make_unique<KvStateMachine>(); });
+  smr.start();
+  smr.run_for(200 * kMillisecond);
+  for (int i = 0; i < 10; ++i) {
+    smr.submit(ProcessId{static_cast<ProcessId::Rep>(i % 3)},
+               "put k" + std::to_string(i % 4) + " v" + std::to_string(i));
+    smr.run_for(20 * kMillisecond);
+  }
+  smr.run_for(2 * kSecond);
+  EXPECT_TRUE(smr.prefix_consistent());
+  EXPECT_TRUE(smr.converged());
+  const auto& kv = dynamic_cast<const KvStateMachine&>(
+      smr.replica(ProcessId{0}));
+  EXPECT_EQ(kv.applied(), 10u);
+}
+
+TEST(SmrClusterTest, PrefixConsistencyHoldsMidFlight) {
+  SmrCluster smr(smr_config(4), 22,
+                 [] { return std::make_unique<CounterStateMachine>(); });
+  smr.start();
+  smr.run_for(200 * kMillisecond);
+  for (int i = 0; i < 20; ++i) {
+    smr.submit(ProcessId{0}, "add 1");
+    smr.run_for(3 * kMillisecond);  // deliberately not quiescent
+    EXPECT_TRUE(smr.prefix_consistent());
+  }
+  smr.run_for(2 * kSecond);
+  EXPECT_TRUE(smr.converged());
+  EXPECT_EQ(dynamic_cast<const CounterStateMachine&>(
+                smr.replica(ProcessId{3}))
+                .balance(),
+            20u);
+}
+
+TEST(SmrClusterTest, PartitionedMinorityStallsThenConverges) {
+  SmrCluster smr(smr_config(5), 23,
+                 [] { return std::make_unique<KvStateMachine>(); });
+  smr.start();
+  smr.run_for(300 * kMillisecond);
+  smr.submit(ProcessId{0}, "put before yes");
+  smr.run_for(1 * kSecond);
+
+  smr.cluster().net().set_partition({make_process_set({0, 1, 2}),
+                                     make_process_set({3, 4})});
+  smr.run_for(1 * kSecond);
+  smr.submit(ProcessId{1}, "put during majority");
+  smr.submit(ProcessId{4}, "put minority late");  // stalls
+  smr.run_for(2 * kSecond);
+  EXPECT_TRUE(smr.prefix_consistent());
+  EXPECT_EQ(smr.replica(ProcessId{4}).applied(), 1u);  // only "before"
+  EXPECT_EQ(smr.replica(ProcessId{0}).applied(), 2u);
+
+  smr.cluster().net().heal();
+  smr.run_for(4 * kSecond);
+  EXPECT_TRUE(smr.converged());
+  EXPECT_EQ(smr.replica(ProcessId{4}).applied(), 3u);  // all three committed
+  EXPECT_TRUE(smr.cluster().check_to_trace().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange extension + load balancer
+// ---------------------------------------------------------------------------
+
+TEST(LoadBalancerTest, InitialAssignmentAgreesEverywhere) {
+  LbCluster lb(4, /*shards=*/8, 31);
+  lb.start();
+  lb.run_for(2 * kSecond);
+  for (ProcessId p : lb.universe()) {
+    ASSERT_TRUE(lb.balancer(p).assignment_fresh()) << p.to_string();
+    EXPECT_EQ(lb.balancer(p).assignment(),
+              lb.balancer(ProcessId{0}).assignment());
+  }
+  // All 8 shards covered, spread across all 4 members (2 each).
+  for (ProcessId p : lb.universe()) {
+    EXPECT_EQ(lb.balancer(ProcessId{0}).shards_owned_by(p).size(), 2u);
+  }
+}
+
+TEST(LoadBalancerTest, MajorityReassignsMinorityGoesStale) {
+  LbCluster lb(5, /*shards=*/10, 32);
+  lb.start();
+  lb.run_for(2 * kSecond);
+  lb.net().set_partition({make_process_set({0, 1, 2}),
+                          make_process_set({3, 4})});
+  lb.run_for(3 * kSecond);
+
+  // Majority: fresh assignment covering only the three survivors.
+  for (unsigned i : {0u, 1u, 2u}) {
+    ASSERT_TRUE(lb.balancer(ProcessId{i}).assignment_fresh()) << i;
+  }
+  const auto& assignment = lb.balancer(ProcessId{0}).assignment();
+  for (ProcessId owner : assignment) {
+    EXPECT_LT(owner.value(), 3u) << "a shard is assigned to a lost member";
+  }
+  // Minority: stale — it must stop serving.
+  EXPECT_FALSE(lb.balancer(ProcessId{3}).assignment_fresh());
+  EXPECT_FALSE(lb.balancer(ProcessId{4}).assignment_fresh());
+
+  lb.net().heal();
+  lb.run_for(3 * kSecond);
+  for (ProcessId p : lb.universe()) {
+    EXPECT_TRUE(lb.balancer(p).assignment_fresh()) << p.to_string();
+    EXPECT_EQ(lb.balancer(p).assignment(),
+              lb.balancer(ProcessId{0}).assignment());
+  }
+}
+
+TEST(LoadBalancerTest, LoadAwareAssignmentFavoursIdleNodes) {
+  LbCluster lb(3, /*shards=*/9, 33);
+  lb.balancer(ProcessId{0}).set_load(100);  // busy
+  lb.balancer(ProcessId{1}).set_load(0);
+  lb.balancer(ProcessId{2}).set_load(50);
+  lb.start();
+  lb.run_for(2 * kSecond);
+  // 9 shards across 3 members: 3 each (round robin), but the ORDER favours
+  // idle nodes — p1 gets shards {0,3,6}, p2 {1,4,7}, p0 {2,5,8}.
+  const auto& node0 = lb.balancer(ProcessId{0});
+  ASSERT_TRUE(node0.assignment_fresh());
+  EXPECT_EQ(node0.assignment()[0], ProcessId{1});
+  EXPECT_EQ(node0.assignment()[1], ProcessId{2});
+  EXPECT_EQ(node0.assignment()[2], ProcessId{0});
+}
+
+TEST(ExchangeNodeTest, BlobsReachEveryMemberExactlyOncePerView) {
+  LbCluster lb(3, 3, 34);
+  lb.start();
+  lb.run_for(2 * kSecond);
+  for (ProcessId p : lb.universe()) {
+    const auto& stats = lb.exchange(p).stats();
+    EXPECT_EQ(stats.views_seen, 1u) << p.to_string();  // v0 only
+    EXPECT_EQ(stats.views_established, 1u);
+    EXPECT_EQ(stats.blobs_received, 3u);
+  }
+  // A view change runs a second exchange.
+  lb.net().pause(ProcessId{2});
+  lb.run_for(2 * kSecond);
+  EXPECT_EQ(lb.exchange(ProcessId{0}).stats().views_established, 2u);
+  EXPECT_TRUE(lb.exchange(ProcessId{0}).established());
+}
+
+}  // namespace
+}  // namespace dvs::apps

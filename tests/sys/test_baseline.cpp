@@ -1,0 +1,199 @@
+// Tests for the static primary-view baselines and the analysis helpers.
+#include <gtest/gtest.h>
+
+#include "analysis/availability.h"
+#include "baseline/static_primary.h"
+
+namespace dvs::baseline {
+namespace {
+
+TEST(MajorityDetectorTest, StrictMajorityOfUniverse) {
+  MajorityDetector det(make_universe(5));
+  EXPECT_TRUE(det.is_primary(make_process_set({0, 1, 2})));
+  EXPECT_TRUE(det.is_primary(make_process_set({0, 1, 2, 3, 4})));
+  EXPECT_FALSE(det.is_primary(make_process_set({0, 1})));
+  // Exactly half is not a majority.
+  MajorityDetector det4(make_universe(4));
+  EXPECT_FALSE(det4.is_primary(make_process_set({0, 1})));
+  EXPECT_TRUE(det4.is_primary(make_process_set({0, 1, 2})));
+}
+
+TEST(MajorityDetectorTest, MembersOutsideUniverseDoNotCount) {
+  MajorityDetector det(make_universe(3));
+  EXPECT_FALSE(det.is_primary(make_process_set({1, 7, 8, 9})));
+  EXPECT_TRUE(det.is_primary(make_process_set({0, 1, 9})));
+}
+
+TEST(QuorumSetDetectorTest, ExplicitQuorums) {
+  QuorumSetDetector det({make_process_set({0, 1}), make_process_set({0, 2}),
+                         make_process_set({1, 2})});
+  EXPECT_TRUE(det.is_primary(make_process_set({0, 1})));
+  EXPECT_TRUE(det.is_primary(make_process_set({0, 1, 2})));
+  EXPECT_FALSE(det.is_primary(make_process_set({0})));
+  EXPECT_FALSE(det.is_primary(make_process_set({2})));
+}
+
+TEST(QuorumSetDetectorTest, RejectsNonIntersectingQuorums) {
+  EXPECT_THROW(QuorumSetDetector({make_process_set({0, 1}),
+                                  make_process_set({2, 3})}),
+               std::invalid_argument);
+  EXPECT_THROW(QuorumSetDetector({}), std::invalid_argument);
+}
+
+TEST(QuorumSetDetectorTest, MajorityFactoryMatchesMajorityDetector) {
+  const ProcessSet universe = make_universe(5);
+  const QuorumSetDetector qs = QuorumSetDetector::majorities(universe);
+  const MajorityDetector mj(universe);
+  // Sample memberships; the two must agree.
+  for (std::size_t mask = 1; mask < 32; ++mask) {
+    ProcessSet members;
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (mask & (std::size_t{1} << i)) members.insert(ProcessId{static_cast<ProcessId::Rep>(i)});
+    }
+    EXPECT_EQ(qs.is_primary(members), mj.is_primary(members)) << mask;
+  }
+}
+
+TEST(QuorumSetDetectorTest, WeightedVoting) {
+  // p0 has weight 3, the rest weight 1 each (total 6): p0 plus any other
+  // process beats half; the three light nodes together do not (3 is not
+  // > 3).
+  const ProcessSet universe = make_universe(4);
+  const QuorumSetDetector det =
+      QuorumSetDetector::weighted(universe, {3, 1, 1, 1});
+  EXPECT_TRUE(det.is_primary(make_process_set({0, 1})));
+  EXPECT_FALSE(det.is_primary(make_process_set({1, 2, 3})));
+  EXPECT_FALSE(det.is_primary(make_process_set({0})));
+}
+
+TEST(DynamicVotingOracleTest, ShrinksGracefully) {
+  DynamicVotingOracle oracle(initial_view(make_universe(5)));
+  // 5 → 3: majority of 5 ✓.
+  EXPECT_TRUE(oracle.advance(make_process_set({0, 1, 2})));
+  // 3 → 2: majority of 3 ✓ (this is what static majority cannot do).
+  EXPECT_TRUE(oracle.advance(make_process_set({0, 1})));
+  // 2 → 1: 1 is not > 2/2.
+  EXPECT_FALSE(oracle.advance(make_process_set({0})));
+  // The primary stays {0,1}; a component containing both regains it.
+  EXPECT_TRUE(oracle.advance(make_process_set({0, 1, 3, 4})));
+  EXPECT_TRUE(oracle.is_member(ProcessId{4}));
+}
+
+TEST(DynamicVotingOracleTest, DisjointComponentNeverWins) {
+  DynamicVotingOracle oracle(initial_view(make_universe(4)));
+  EXPECT_TRUE(oracle.advance(make_process_set({0, 1, 2})));
+  EXPECT_FALSE(oracle.advance(make_process_set({3})));
+  EXPECT_FALSE(oracle.advance(make_process_set({1, 3})));  // 1 of 3
+  EXPECT_TRUE(oracle.advance(make_process_set({1, 2, 3})));
+}
+
+}  // namespace
+}  // namespace dvs::baseline
+
+namespace dvs::analysis {
+namespace {
+
+TEST(PercentilesTest, OrderStatistics) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const Percentiles p = percentiles(samples);
+  EXPECT_EQ(p.count, 100u);
+  EXPECT_NEAR(p.p50, 50.0, 1.0);
+  EXPECT_NEAR(p.p90, 90.0, 1.0);
+  EXPECT_NEAR(p.p99, 99.0, 1.0);
+  EXPECT_NEAR(p.mean, 50.5, 0.01);
+}
+
+TEST(PercentilesTest, EmptyInput) {
+  const Percentiles p = percentiles({});
+  EXPECT_EQ(p.count, 0u);
+  EXPECT_EQ(p.mean, 0.0);
+}
+
+TEST(ChainConditionTest, HoldsOnRealExecutions) {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 4;
+  tosys::Cluster c(cfg, 77);
+  c.start();
+  c.run_for(300 * sim::kMillisecond);
+  c.net().set_partition({make_process_set({0, 1, 2}), make_process_set({3})});
+  c.run_for(2 * sim::kSecond);
+  c.net().heal();
+  c.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(chain_condition_holds(c.dvs_trace(), c.v0()));
+}
+
+TEST(ChainConditionTest, DetectsBrokenChains) {
+  // A synthetic trace with two primaries attempted by disjoint process
+  // sets and no linking views: the chain condition must fail.
+  const View v0{ViewId::initial(), make_process_set({0, 1})};
+  std::vector<spec::DvsEvent> trace;
+  const View w{ViewId{5, ProcessId{2}}, make_process_set({2, 3})};
+  trace.push_back(spec::EvNewview{ProcessId{2}, w});
+  trace.push_back(spec::EvNewview{ProcessId{3}, w});
+  EXPECT_FALSE(chain_condition_holds(trace, v0));
+}
+
+TEST(IsisPropertyTest, HoldsInQuiescentViewChanges) {
+  // If the group is quiescent when the view changes, co-moving members
+  // trivially received the same (empty or fully-drained) message sets.
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 3;
+  tosys::Cluster c(cfg, 41);
+  c.start();
+  c.run_for(300 * sim::kMillisecond);
+  c.bcast(ProcessId{0}, AppMsg{1, ProcessId{0}, "x"});
+  c.run_for(1 * sim::kSecond);  // fully delivered before the change
+  c.net().pause(ProcessId{2});
+  c.run_for(2 * sim::kSecond);
+  const IsisPropertyReport r = isis_same_messages(c.dvs_trace(), c.v0());
+  EXPECT_GT(r.pairs_checked, 0u);
+  EXPECT_EQ(r.pairs_equal, r.pairs_checked);
+}
+
+TEST(IsisPropertyTest, MeasuredUnderChurnWithTraffic) {
+  // Under concurrent traffic and churn DVS does not guarantee the Isis
+  // property; the analyzer reports the achieved fraction (Section 7's
+  // open question, quantified). It must never crash and the fraction is a
+  // valid probability.
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 4;
+  tosys::Cluster c(cfg, 43);
+  c.start();
+  c.run_for(300 * sim::kMillisecond);
+  std::uint64_t uid = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      const ProcessId p{static_cast<ProcessId::Rep>(i % 4)};
+      c.bcast(p, AppMsg{uid++, p, ""});
+    }
+    c.net().pause(ProcessId{3});
+    c.run_for(1 * sim::kSecond);
+    c.net().resume(ProcessId{3});
+    c.run_for(2 * sim::kSecond);
+  }
+  const IsisPropertyReport r = isis_same_messages(c.dvs_trace(), c.v0());
+  EXPECT_GT(r.views_examined, 0u);
+  EXPECT_GE(r.fraction_equal(), 0.0);
+  EXPECT_LE(r.fraction_equal(), 1.0);
+}
+
+TEST(AvailabilitySamplerTest, TracksPartitionLoss) {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 5;
+  tosys::Cluster c(cfg, 5);
+  AvailabilitySampler sampler(c, c.v0());
+  c.start();
+  c.run_for(500 * sim::kMillisecond);
+  for (int i = 0; i < 10; ++i) {
+    sampler.sample();
+    c.run_for(50 * sim::kMillisecond);
+  }
+  const AvailabilityReport before = sampler.report();
+  EXPECT_NEAR(before.dynamic_dvs, 1.0, 0.01);
+  EXPECT_NEAR(before.static_majority, 1.0, 0.01);
+  EXPECT_NEAR(before.oracle_dynamic, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dvs::analysis

@@ -1,0 +1,75 @@
+// Unit tests for the Cluster assembly itself: trace recording toggle,
+// delivery hooks, per-process queries.
+#include <gtest/gtest.h>
+
+#include "tosys/cluster.h"
+
+namespace dvs::tosys {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(ClusterTest, TraceRecordingCanBeDisabled) {
+  ClusterConfig cfg;
+  cfg.n_processes = 3;
+  cfg.record_traces = false;
+  Cluster c(cfg, 91);
+  c.start();
+  c.run_for(200 * kMillisecond);
+  c.bcast(ProcessId{0}, AppMsg{1, ProcessId{0}, ""});
+  c.run_for(1 * kSecond);
+  EXPECT_TRUE(c.vs_trace().empty());
+  EXPECT_TRUE(c.dvs_trace().empty());
+  EXPECT_TRUE(c.to_trace().empty());
+  // Deliveries are still tracked (they are results, not traces).
+  EXPECT_EQ(c.deliveries_at(ProcessId{1}).size(), 1u);
+}
+
+TEST(ClusterTest, DeliveryHookFiresPerDelivery) {
+  ClusterConfig cfg;
+  cfg.n_processes = 3;
+  Cluster c(cfg, 92);
+  std::size_t hook_calls = 0;
+  sim::Time last_at = 0;
+  c.set_delivery_hook([&](const Delivery& d) {
+    ++hook_calls;
+    EXPECT_GE(d.at, last_at);
+    last_at = d.at;
+  });
+  c.start();
+  c.run_for(200 * kMillisecond);
+  for (std::uint64_t uid = 1; uid <= 4; ++uid) {
+    c.bcast(ProcessId{0}, AppMsg{uid, ProcessId{0}, ""});
+  }
+  c.run_for(1 * kSecond);
+  EXPECT_EQ(hook_calls, 12u);  // 4 messages × 3 receivers
+  EXPECT_EQ(c.deliveries().size(), 12u);
+}
+
+TEST(ClusterTest, InitialMembersSubset) {
+  ClusterConfig cfg;
+  cfg.n_processes = 5;
+  cfg.initial_members = 2;
+  Cluster c(cfg, 93);
+  EXPECT_EQ(c.v0().size(), 2u);
+  EXPECT_TRUE(c.v0().contains(ProcessId{0}));
+  EXPECT_FALSE(c.v0().contains(ProcessId{4}));
+  EXPECT_EQ(c.universe().size(), 5u);
+}
+
+TEST(ClusterTest, PrimaryFractionIgnoresPausedNodes) {
+  ClusterConfig cfg;
+  cfg.n_processes = 4;
+  Cluster c(cfg, 94);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  EXPECT_DOUBLE_EQ(c.primary_fraction(), 1.0);
+  c.net().pause(ProcessId{3});
+  c.run_for(2 * kSecond);
+  // 3 of 4 processes counted (p3 paused); all three in the new primary.
+  EXPECT_DOUBLE_EQ(c.primary_fraction(), 0.75);
+}
+
+}  // namespace
+}  // namespace dvs::tosys

@@ -1,0 +1,110 @@
+// Randomized fault-injection sweeps over the distributed stack: random
+// partitions, heals, pauses, resumes and broadcasts, across group sizes and
+// seeds. After every run the recorded VS/DVS/TO traces must replay through
+// the specification acceptors, and deliveries must be prefix-consistent
+// across nodes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "tosys/cluster.h"
+
+namespace dvs::tosys {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct ChaosParam {
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+std::string chaos_name(const ::testing::TestParamInfo<ChaosParam>& info) {
+  return "n" + std::to_string(info.param.n) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<ChaosParam> chaos_sweep() {
+  std::vector<ChaosParam> out;
+  for (std::size_t n : {3, 4, 5, 7}) {
+    for (std::uint64_t s = 1; s <= 4; ++s) out.push_back({n, s * 31 + n});
+  }
+  return out;
+}
+
+/// Draws a random partition of the universe into 1–3 groups.
+std::vector<ProcessSet> random_partition(Rng& rng, const ProcessSet& universe) {
+  const std::size_t groups = 1 + rng.below(3);
+  std::vector<ProcessSet> out(groups);
+  for (ProcessId p : universe) {
+    out[rng.below(groups)].insert(p);
+  }
+  std::erase_if(out, [](const ProcessSet& g) { return g.empty(); });
+  return out;
+}
+
+class StackChaos : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(StackChaos, SafetyHoldsUnderRandomFaults) {
+  const auto [n, seed] = GetParam();
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.net.jitter_mean_us = 500.0;
+  Cluster c(cfg, seed);
+  Rng chaos(seed ^ 0xc0ffee);
+  c.start();
+  c.run_for(300 * kMillisecond);
+
+  std::uint64_t uid = 1;
+  for (int round = 0; round < 25; ++round) {
+    const double r = chaos.uniform();
+    if (r < 0.25) {
+      c.net().set_partition(random_partition(chaos, c.universe()));
+    } else if (r < 0.45) {
+      c.net().heal();
+      for (ProcessId p : c.universe()) c.net().resume(p);
+    } else if (r < 0.55) {
+      c.net().pause(chaos.pick(c.universe()));
+    } else {
+      const ProcessId p = chaos.pick(c.universe());
+      c.bcast(p, AppMsg{uid++, p, ""});
+    }
+    c.run_for(static_cast<sim::Time>(chaos.between(50, 800)) * kMillisecond);
+  }
+  // Final heal and settle, so recovery paths run too.
+  c.net().heal();
+  for (ProcessId p : c.universe()) c.net().resume(p);
+  c.run_for(5 * kSecond);
+
+  const spec::AcceptResult vs = c.check_vs_trace();
+  ASSERT_TRUE(vs.ok) << "VS: " << vs.error;
+  const spec::AcceptResult dvs = c.check_dvs_trace();
+  ASSERT_TRUE(dvs.ok) << "DVS: " << dvs.error;
+  const spec::AcceptResult to = c.check_to_trace();
+  ASSERT_TRUE(to.ok) << "TO: " << to.error;
+
+  // Deliveries are prefix-consistent between every pair of nodes (total
+  // order), and FIFO per sender.
+  for (ProcessId a : c.universe()) {
+    const auto da = c.deliveries_at(a);
+    for (ProcessId b : c.universe()) {
+      const auto db = c.deliveries_at(b);
+      const std::size_t k = std::min(da.size(), db.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(da[i].msg, db[i].msg)
+            << "delivery order diverges between " << a.to_string() << " and "
+            << b.to_string() << " at position " << i;
+      }
+    }
+  }
+  // After the final heal everyone is back in one primary.
+  EXPECT_DOUBLE_EQ(c.primary_fraction(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StackChaos, ::testing::ValuesIn(chaos_sweep()),
+                         chaos_name);
+
+}  // namespace
+}  // namespace dvs::tosys

@@ -1,0 +1,136 @@
+// Tests for the static-primary baseline stack: identical application code,
+// static majority instead of dynamic views. Safety must be just as good
+// (TO acceptance); availability is what differs (the benches quantify it —
+// here we check the qualitative crossover directly).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/static_stack.h"
+
+namespace dvs::baseline {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(StaticStackTest, StableClusterDeliversTotallyOrdered) {
+  StaticCluster c(3, 51);
+  c.start();
+  c.run_for(200 * kMillisecond);
+  for (std::uint64_t uid = 1; uid <= 10; ++uid) {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % 3)};
+    c.bcast(p, AppMsg{uid, p, ""});
+    c.run_for(20 * kMillisecond);
+  }
+  c.run_for(1 * kSecond);
+  const auto d0 = c.deliveries_at(ProcessId{0});
+  ASSERT_EQ(d0.size(), 10u);
+  for (unsigned i : {1u, 2u}) {
+    const auto di = c.deliveries_at(ProcessId{i});
+    ASSERT_EQ(di.size(), 10u);
+    for (std::size_t k = 0; k < 10; ++k) {
+      EXPECT_EQ(di[k].msg, d0[k].msg);
+    }
+  }
+  const auto r = c.check_to_trace();
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(StaticStackTest, MajorityPartitionKeepsServing) {
+  StaticCluster c(5, 52);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  c.net().set_partition({make_process_set({0, 1, 2}),
+                         make_process_set({3, 4})});
+  c.run_for(2 * kSecond);
+  EXPECT_TRUE(c.filter(ProcessId{0}).in_primary());
+  EXPECT_FALSE(c.filter(ProcessId{3}).in_primary());
+  c.bcast(ProcessId{0}, AppMsg{1, ProcessId{0}, ""});
+  c.run_for(1 * kSecond);
+  EXPECT_EQ(c.deliveries_at(ProcessId{1}).size(), 1u);
+  EXPECT_TRUE(c.deliveries_at(ProcessId{3}).empty());
+  EXPECT_TRUE(c.check_to_trace().ok);
+}
+
+TEST(StaticStackTest, LosesPrimacyBelowHalfWhereDynamicSurvives) {
+  // The crossover the paper is about: a graceful 5 → 3 → 2 shrink. The
+  // static stack loses the primary at 2 members; see
+  // StackTest.DynamicPrimarySurvivesCascadingShrink for the dynamic stack
+  // keeping it in the identical scenario.
+  StaticCluster c(5, 53);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  c.net().set_partition({make_process_set({0, 1, 2}),
+                         make_process_set({3, 4})});
+  c.run_for(2 * kSecond);
+  EXPECT_TRUE(c.filter(ProcessId{0}).in_primary());  // 3 of 5 is a majority
+
+  c.net().set_partition({make_process_set({0, 1}), make_process_set({2}),
+                         make_process_set({3, 4})});
+  c.run_for(2 * kSecond);
+  EXPECT_FALSE(c.filter(ProcessId{0}).in_primary());  // 2 of 5 is not
+  EXPECT_FALSE(c.filter(ProcessId{1}).in_primary());
+  // Writes stall entirely.
+  c.bcast(ProcessId{0}, AppMsg{9, ProcessId{0}, ""});
+  c.run_for(1 * kSecond);
+  EXPECT_TRUE(c.deliveries_at(ProcessId{1}).empty());
+  EXPECT_TRUE(c.check_to_trace().ok);
+}
+
+TEST(StaticStackTest, RecoversAfterHeal) {
+  StaticCluster c(4, 54);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  c.net().set_partition({make_process_set({0, 1}), make_process_set({2, 3})});
+  c.run_for(1 * kSecond);
+  EXPECT_DOUBLE_EQ(c.primary_fraction(), 0.0);  // 2/2 split: nobody serves
+  c.net().heal();
+  c.run_for(3 * kSecond);
+  EXPECT_DOUBLE_EQ(c.primary_fraction(), 1.0);
+  c.bcast(ProcessId{2}, AppMsg{1, ProcessId{2}, ""});
+  c.run_for(1 * kSecond);
+  EXPECT_EQ(c.deliveries_at(ProcessId{0}).size(), 1u);
+  EXPECT_TRUE(c.check_to_trace().ok);
+}
+
+TEST(StaticStackTest, ChaosSafety) {
+  StaticCluster c(5, 55);
+  Rng chaos(555);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  std::uint64_t uid = 1;
+  for (int round = 0; round < 20; ++round) {
+    const double r = chaos.uniform();
+    if (r < 0.3) {
+      std::vector<ProcessSet> groups(2);
+      for (ProcessId p : c.universe()) groups[chaos.below(2)].insert(p);
+      std::erase_if(groups, [](const ProcessSet& g) { return g.empty(); });
+      c.net().set_partition(groups);
+    } else if (r < 0.5) {
+      c.net().heal();
+    } else {
+      const ProcessId p = chaos.pick(c.universe());
+      c.bcast(p, AppMsg{uid++, p, ""});
+    }
+    c.run_for(static_cast<sim::Time>(chaos.between(100, 600)) * kMillisecond);
+  }
+  c.net().heal();
+  c.run_for(4 * kSecond);
+  const auto r = c.check_to_trace();
+  EXPECT_TRUE(r.ok) << r.error;
+  // Pairwise prefix-consistent deliveries.
+  for (ProcessId a : c.universe()) {
+    const auto da = c.deliveries_at(a);
+    for (ProcessId b : c.universe()) {
+      const auto db = c.deliveries_at(b);
+      const std::size_t k = std::min(da.size(), db.size());
+      for (std::size_t i = 0; i < k; ++i) {
+        ASSERT_EQ(da[i].msg, db[i].msg);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvs::baseline

@@ -1,0 +1,113 @@
+// Tests for the conditional-timeliness property checker ([12]-style timed
+// trace property): stable periods must be timely; offers overlapping fault
+// windows are out of scope.
+#include <gtest/gtest.h>
+
+#include "analysis/timeliness.h"
+
+namespace dvs::analysis {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(TimelinessUnitTest, PureFunctionSemantics) {
+  const ProcessSet receivers = make_process_set({0, 1});
+  TimelinessConfig cfg;
+  cfg.stabilization = 100;
+  cfg.deadline = 50;
+  std::vector<Offer> offers = {{1, 200}, {2, 500}, {3, 900}};
+  std::vector<tosys::Delivery> deliveries = {
+      {ProcessId{0}, ProcessId{0}, AppMsg{1, ProcessId{0}, ""}, 220},
+      {ProcessId{1}, ProcessId{0}, AppMsg{1, ProcessId{0}, ""}, 240},
+      {ProcessId{0}, ProcessId{0}, AppMsg{2, ProcessId{0}, ""}, 530},
+      // uid 2 never reaches p1 in time.
+      {ProcessId{1}, ProcessId{0}, AppMsg{2, ProcessId{0}, ""}, 800},
+      {ProcessId{0}, ProcessId{0}, AppMsg{3, ProcessId{0}, ""}, 910},
+      {ProcessId{1}, ProcessId{0}, AppMsg{3, ProcessId{0}, ""}, 930},
+  };
+  // A fault at t=850 puts offer 3 (window [800, 950]) out of scope.
+  const std::vector<sim::Time> faults = {850};
+  const auto r = check_conditional_timeliness(offers, deliveries, receivers,
+                                              faults, cfg, /*run_end=*/2000);
+  EXPECT_EQ(r.offers_total, 3u);
+  EXPECT_EQ(r.offers_in_scope, 2u);  // offers 1 and 2
+  EXPECT_EQ(r.met, 1u);              // offer 1
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations.front(), 2u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TimelinessUnitTest, UnjudgedWhenRunEndsEarly) {
+  const ProcessSet receivers = make_process_set({0});
+  TimelinessConfig cfg;
+  cfg.stabilization = 10;
+  cfg.deadline = 100;
+  const auto r = check_conditional_timeliness({{1, 50}}, {}, receivers, {},
+                                              cfg, /*run_end=*/100);
+  EXPECT_EQ(r.offers_in_scope, 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(TimelinessSystemTest, StableClusterIsTimely) {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 4;
+  tosys::Cluster c(cfg, 61);
+  c.start();
+  c.run_for(1 * kSecond);
+  std::vector<Offer> offers;
+  for (std::uint64_t uid = 1; uid <= 20; ++uid) {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % 4)};
+    offers.push_back({uid, c.sim().now()});
+    c.bcast(p, AppMsg{uid, p, ""});
+    c.run_for(50 * kMillisecond);
+  }
+  c.run_for(1 * kSecond);
+  TimelinessConfig tcfg;  // 500 ms stabilization, 300 ms deadline
+  const auto r = check_conditional_timeliness(
+      offers, c.deliveries(), c.universe(), /*fault_events=*/{}, tcfg,
+      c.sim().now());
+  EXPECT_EQ(r.offers_in_scope, 20u);
+  EXPECT_TRUE(r.ok()) << r.violations.size() << " in-scope offers missed "
+                      << "the deadline";
+}
+
+TEST(TimelinessSystemTest, FaultWindowsAreExcludedButQuietOnesJudged) {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 3;
+  tosys::Cluster c(cfg, 62);
+  c.start();
+  c.run_for(1 * kSecond);
+  std::vector<Offer> offers;
+  std::vector<sim::Time> faults;
+  std::uint64_t uid = 1;
+
+  auto offer = [&] {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % 3)};
+    offers.push_back({uid, c.sim().now()});
+    c.bcast(p, AppMsg{uid, p, ""});
+    ++uid;
+  };
+
+  for (int i = 0; i < 5; ++i) offer(), c.run_for(100 * kMillisecond);
+  // Fault window: pause and resume p2.
+  faults.push_back(c.sim().now());
+  c.net().pause(ProcessId{2});
+  offer();  // offered into the fault window → out of scope
+  c.run_for(500 * kMillisecond);
+  faults.push_back(c.sim().now());
+  c.net().resume(ProcessId{2});
+  c.run_for(2 * kSecond);  // restabilize
+  for (int i = 0; i < 5; ++i) offer(), c.run_for(100 * kMillisecond);
+  c.run_for(1 * kSecond);
+
+  TimelinessConfig tcfg;
+  const auto r = check_conditional_timeliness(
+      offers, c.deliveries(), c.universe(), faults, tcfg, c.sim().now());
+  EXPECT_GE(r.offers_in_scope, 7u);  // the two quiet batches
+  EXPECT_LT(r.offers_in_scope, offers.size());
+  EXPECT_TRUE(r.ok()) << "in-scope offer missed its deadline";
+}
+
+}  // namespace
+}  // namespace dvs::analysis

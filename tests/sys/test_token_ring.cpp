@@ -1,0 +1,165 @@
+// Tests for the token-ring ordering mode (Totem-style) of the VS layer:
+// the same safety obligations as the sequencer mode — per-view total order,
+// sender FIFO, safe indications, spec-trace acceptance — plus token
+// robustness (duplicate suppression, loss retransmission, regeneration via
+// view change).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tosys/cluster.h"
+
+namespace dvs::tosys {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+ClusterConfig ring_config(std::size_t n) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.vs.ordering = vsys::OrderingMode::kTokenRing;
+  return cfg;
+}
+
+void expect_all_traces_ok(const Cluster& c) {
+  const spec::AcceptResult vs = c.check_vs_trace();
+  EXPECT_TRUE(vs.ok) << "VS trace rejected: " << vs.error;
+  const spec::AcceptResult dvs = c.check_dvs_trace();
+  EXPECT_TRUE(dvs.ok) << "DVS trace rejected: " << dvs.error;
+  const spec::AcceptResult to = c.check_to_trace();
+  EXPECT_TRUE(to.ok) << "TO trace rejected: " << to.error;
+}
+
+TEST(TokenRingTest, StableClusterDeliversEverythingInOneOrder) {
+  Cluster c(ring_config(4), 71);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  for (std::uint64_t uid = 1; uid <= 20; ++uid) {
+    const ProcessId p{static_cast<ProcessId::Rep>(uid % 4)};
+    c.bcast(p, AppMsg{uid, p, ""});
+    c.run_for(15 * kMillisecond);
+  }
+  c.run_for(2 * kSecond);
+  const auto d0 = c.deliveries_at(ProcessId{0});
+  ASSERT_EQ(d0.size(), 20u);
+  for (unsigned i : {1u, 2u, 3u}) {
+    const auto di = c.deliveries_at(ProcessId{i});
+    ASSERT_EQ(di.size(), 20u) << "p" << i;
+    for (std::size_t k = 0; k < 20; ++k) EXPECT_EQ(di[k].msg, d0[k].msg);
+  }
+  expect_all_traces_ok(c);
+}
+
+TEST(TokenRingTest, BurstFromOneSenderKeepsFifo) {
+  Cluster c(ring_config(3), 72);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  // A burst larger than the per-rotation cap (16): must arrive in order
+  // over multiple token rotations.
+  for (std::uint64_t uid = 1; uid <= 40; ++uid) {
+    c.bcast(ProcessId{0}, AppMsg{uid, ProcessId{0}, ""});
+  }
+  c.run_for(3 * kSecond);
+  const auto d2 = c.deliveries_at(ProcessId{2});
+  ASSERT_EQ(d2.size(), 40u);
+  for (std::uint64_t uid = 1; uid <= 40; ++uid) {
+    EXPECT_EQ(d2[uid - 1].msg.uid, uid);
+  }
+  expect_all_traces_ok(c);
+}
+
+TEST(TokenRingTest, TokenLossBlipIsRetransmitted) {
+  Cluster c(ring_config(3), 73);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  // Short full-isolation blip (shorter than the suspect timeout): any token
+  // in flight dies; the forwarder must retransmit and the group keeps
+  // ordering without a view change.
+  c.net().set_partition({make_process_set({0}), make_process_set({1}),
+                         make_process_set({2})});
+  c.run_for(30 * kMillisecond);
+  c.net().heal();
+  c.run_for(500 * kMillisecond);
+  c.bcast(ProcessId{1}, AppMsg{1, ProcessId{1}, "after-blip"});
+  c.run_for(2 * kSecond);
+  EXPECT_EQ(c.deliveries_at(ProcessId{0}).size(), 1u);
+  EXPECT_EQ(c.vs_node(ProcessId{0}).stats().views_installed, 0u)
+      << "the blip must not force a view change";
+  expect_all_traces_ok(c);
+}
+
+TEST(TokenRingTest, ViewChangeMintsFreshToken) {
+  Cluster c(ring_config(4), 74);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  c.bcast(ProcessId{3}, AppMsg{1, ProcessId{3}, "before"});
+  c.run_for(1 * kSecond);
+  c.net().pause(ProcessId{2});
+  c.run_for(2 * kSecond);  // reconfiguration; fresh token in the new view
+  c.bcast(ProcessId{3}, AppMsg{2, ProcessId{3}, "after"});
+  c.run_for(2 * kSecond);
+  const auto d0 = c.deliveries_at(ProcessId{0});
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_EQ(d0[1].msg.uid, 2u);
+  expect_all_traces_ok(c);
+}
+
+TEST(TokenRingTest, SurvivesPartitionAndMergeWithTotalOrder) {
+  Cluster c(ring_config(5), 75);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  c.net().set_partition({make_process_set({0, 1, 2}),
+                         make_process_set({3, 4})});
+  c.run_for(2 * kSecond);
+  c.bcast(ProcessId{1}, AppMsg{1, ProcessId{1}, "majority"});
+  c.run_for(1 * kSecond);
+  c.net().heal();
+  c.run_for(3 * kSecond);
+  c.bcast(ProcessId{4}, AppMsg{2, ProcessId{4}, "merged"});
+  c.run_for(2 * kSecond);
+  for (ProcessId p : c.universe()) {
+    const auto d = c.deliveries_at(p);
+    ASSERT_EQ(d.size(), 2u) << p.to_string();
+    EXPECT_EQ(d[0].msg.uid, 1u);
+    EXPECT_EQ(d[1].msg.uid, 2u);
+  }
+  expect_all_traces_ok(c);
+}
+
+TEST(TokenRingTest, ChaosSafety) {
+  Cluster c(ring_config(4), 76);
+  Rng chaos(767);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  std::uint64_t uid = 1;
+  for (int round = 0; round < 20; ++round) {
+    const double r = chaos.uniform();
+    if (r < 0.25) {
+      std::vector<ProcessSet> groups(2);
+      for (ProcessId p : c.universe()) groups[chaos.below(2)].insert(p);
+      std::erase_if(groups, [](const ProcessSet& g) { return g.empty(); });
+      c.net().set_partition(groups);
+    } else if (r < 0.45) {
+      c.net().heal();
+    } else {
+      const ProcessId p = chaos.pick(c.universe());
+      c.bcast(p, AppMsg{uid++, p, ""});
+    }
+    c.run_for(static_cast<sim::Time>(chaos.between(100, 700)) * kMillisecond);
+  }
+  c.net().heal();
+  c.run_for(5 * kSecond);
+  expect_all_traces_ok(c);
+  for (ProcessId a : c.universe()) {
+    const auto da = c.deliveries_at(a);
+    for (ProcessId b : c.universe()) {
+      const auto db = c.deliveries_at(b);
+      const std::size_t k = std::min(da.size(), db.size());
+      for (std::size_t i = 0; i < k; ++i) ASSERT_EQ(da[i].msg, db[i].msg);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvs::tosys

@@ -1,0 +1,107 @@
+// Tests for the weighted dynamic voting extension: the acceptance check
+// measures a strict majority of the previous views' vote *weight*. Safety
+// must be unchanged (weighted majorities of the same view intersect, so the
+// paper's invariants and the refinement keep holding — verified by sweeps),
+// while availability shifts toward heavy nodes.
+#include <gtest/gtest.h>
+
+#include "common/view.h"
+#include "explorer/explorer.h"
+#include "tosys/cluster.h"
+
+namespace dvs {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(WeightedMajorityTest, CoincidesWithMajorityWhenUnweighted) {
+  const ProcessSet w = make_process_set({0, 1, 2, 3, 4});
+  for (std::size_t mask = 0; mask < 32; ++mask) {
+    ProcessSet v;
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (mask & (1u << i)) v.insert(ProcessId{static_cast<ProcessId::Rep>(i)});
+    }
+    EXPECT_EQ(weighted_majority_of(v, w, {}), majority_of(v, w)) << mask;
+  }
+}
+
+TEST(WeightedMajorityTest, HeavyNodeDominates) {
+  const ProcessSet w = make_process_set({0, 1, 2});
+  WeightMap weights{{ProcessId{0}, 5}};  // p1, p2 default to 1; total 7
+  // {0} alone holds 5 of 7 votes.
+  EXPECT_TRUE(weighted_majority_of(make_process_set({0}), w, weights));
+  // {1,2} hold 2 of 7: not a weighted majority, though a counting one.
+  EXPECT_FALSE(weighted_majority_of(make_process_set({1, 2}), w, weights));
+  EXPECT_TRUE(majority_of(make_process_set({1, 2}), w));
+}
+
+TEST(WeightedMajorityTest, ZeroWeightMembersAreNonVoting) {
+  const ProcessSet w = make_process_set({0, 1, 2});
+  WeightMap weights{{ProcessId{2}, 0}};
+  // {0,1} hold the full voting weight.
+  EXPECT_TRUE(weighted_majority_of(make_process_set({0, 1}), w, weights));
+  EXPECT_FALSE(weighted_majority_of(make_process_set({2}), w, weights));
+}
+
+TEST(WeightedVotingStack, HeavyNodeSideKeepsPrimary) {
+  // Universe of 4 with p0 weighing 3 (total 6): after a 2/2 split, the side
+  // with p0 holds 4 of 6 votes and keeps the primary — impossible for the
+  // unweighted rule, where a 2/2 split loses it entirely (see
+  // StackTest.ConcurrentMinoritiesNeverFormTwoPrimaries).
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 4;
+  cfg.weights = WeightMap{{ProcessId{0}, 3}};
+  tosys::Cluster c(cfg, 81);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  c.net().set_partition({make_process_set({0, 1}), make_process_set({2, 3})});
+  c.run_for(3 * kSecond);
+  EXPECT_TRUE(c.dvs_node(ProcessId{0}).in_primary());
+  EXPECT_TRUE(c.dvs_node(ProcessId{1}).in_primary());
+  EXPECT_FALSE(c.dvs_node(ProcessId{2}).in_primary());
+  EXPECT_FALSE(c.dvs_node(ProcessId{3}).in_primary());
+  // And it is live: a broadcast commits on the heavy side.
+  c.bcast(ProcessId{0}, AppMsg{1, ProcessId{0}, ""});
+  c.run_for(1 * kSecond);
+  EXPECT_EQ(c.deliveries_at(ProcessId{1}).size(), 1u);
+  EXPECT_TRUE(c.check_dvs_trace().ok);
+  EXPECT_TRUE(c.check_to_trace().ok);
+}
+
+TEST(WeightedVotingStack, LightSideNeverFormsAPrimary) {
+  tosys::ClusterConfig cfg;
+  cfg.n_processes = 4;
+  cfg.weights = WeightMap{{ProcessId{0}, 3}};
+  tosys::Cluster c(cfg, 82);
+  c.start();
+  c.run_for(300 * kMillisecond);
+  // Even a 3-member component without the heavy node holds only 3 of 6.
+  c.net().set_partition({make_process_set({0}), make_process_set({1, 2, 3})});
+  c.run_for(3 * kSecond);
+  for (unsigned i : {1u, 2u, 3u}) {
+    EXPECT_FALSE(c.dvs_node(ProcessId{i}).in_primary()) << "p" << i;
+  }
+  EXPECT_TRUE(c.check_dvs_trace().ok);
+}
+
+TEST(WeightedVotingSweep, InvariantsAndRefinementHoldWithRandomWeights) {
+  // The weighted rule only strengthens/shifts the acceptance check; the DVS
+  // invariants and the refinement must keep holding for arbitrary weights.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng wrng(seed * 13);
+    impl::VsToDvsOptions options;
+    for (ProcessId p : make_universe(3)) {
+      options.weights[p] = 1 + wrng.below(4);
+    }
+    explorer::ExplorerConfig config;
+    config.steps = 1200;
+    explorer::DvsImplExplorer ex(make_universe(3),
+                                 initial_view(make_universe(3)), config,
+                                 seed * 7, options);
+    EXPECT_NO_THROW((void)ex.run()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dvs

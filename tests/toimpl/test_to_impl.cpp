@@ -1,0 +1,310 @@
+// Scenario tests for TO-IMPL (Section 6): the DVS-TO-TO automaton, the
+// composed system, Invariants 6.1–6.3, and TO trace acceptance
+// (Theorem 6.4) on concrete executions including view changes.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "spec/acceptors.h"
+#include "toimpl/to_impl.h"
+
+namespace dvs::toimpl {
+namespace {
+
+View mkview(std::uint64_t epoch, unsigned origin,
+            std::initializer_list<unsigned> members) {
+  return View{ViewId{epoch, ProcessId{origin}}, make_process_set(members)};
+}
+
+/// Drives TO-IMPL with targeted sequences; every external event goes through
+/// the TO acceptor and invariants are checked after each scripted step.
+class Harness {
+ public:
+  Harness(std::size_t n, std::initializer_list<unsigned> p0)
+      : universe_(make_universe(n)),
+        v0_{ViewId::initial(), make_process_set(p0)},
+        sys_(universe_, v0_),
+        acceptor_(universe_) {}
+
+  void apply(const ToImplAction& a) {
+    const auto event = sys_.apply(a);
+    if (event.has_value()) {
+      const spec::AcceptResult r = acceptor_.feed(*event);
+      ASSERT_TRUE(r.ok) << r.error;
+      if (std::holds_alternative<spec::EvBrcv>(*event)) {
+        deliveries_.push_back(std::get<spec::EvBrcv>(*event));
+      }
+    }
+    sys_.check_invariants();
+  }
+
+  void bcast(unsigned p, std::uint64_t uid, const std::string& payload) {
+    apply(ToImplAction::bcast(ProcessId{p},
+                              AppMsg{uid, ProcessId{p}, payload}));
+  }
+
+  void create(const View& v) {
+    ASSERT_TRUE(sys_.can_dvs_createview(v)) << v.to_string();
+    apply(ToImplAction::with_view(ToImplActionKind::kDvsCreateview,
+                                  v.id().origin(), v));
+  }
+
+  void newview(const View& v, unsigned p) {
+    apply(ToImplAction::with_view(ToImplActionKind::kDvsNewview, ProcessId{p},
+                                  v));
+  }
+
+  void newview_all(const View& v) {
+    for (ProcessId p : v.set()) newview(v, p.value());
+  }
+
+  /// Pumps every enabled non-BRCV action to quiescence (labels, sends,
+  /// service ordering/receipt/delivery/safe, confirms, registers).
+  void settle() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const ToImplAction& a : sys_.enabled_actions()) {
+        if (a.kind == ToImplActionKind::kBrcv) continue;
+        apply(a);
+        progressed = true;
+        break;
+      }
+    }
+  }
+
+  /// Pumps everything, including client reports.
+  void settle_all() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      const auto actions = sys_.enabled_actions();
+      if (!actions.empty()) {
+        apply(actions.front());
+        progressed = true;
+      }
+    }
+  }
+
+  /// All BRCV payload uids observed at process p, in report order.
+  std::vector<std::uint64_t> delivered_at(unsigned p) const {
+    std::vector<std::uint64_t> out;
+    for (const auto& ev : deliveries_) {
+      if (ev.receiver == ProcessId{p}) out.push_back(ev.a.uid);
+    }
+    return out;
+  }
+
+  ToImplSystem& sys() { return sys_; }
+
+ private:
+  ProcessSet universe_;
+  View v0_;
+  ToImplSystem sys_;
+  spec::ToAcceptor acceptor_;
+  std::vector<spec::EvBrcv> deliveries_;
+};
+
+TEST(DvsToToTest, LabelAssignsViewScopedSequenceNumbers) {
+  const View v0 = initial_view(make_universe(2));
+  DvsToTo node(ProcessId{0}, v0);
+  node.on_bcast(AppMsg{1, ProcessId{0}, "a"});
+  node.on_bcast(AppMsg{2, ProcessId{0}, "b"});
+  ASSERT_TRUE(node.can_label());
+  node.apply_label();
+  node.apply_label();
+  EXPECT_FALSE(node.can_label());
+  ASSERT_EQ(node.buffer().size(), 2u);
+  EXPECT_EQ(node.buffer()[0], (Label{v0.id(), 1, ProcessId{0}}));
+  EXPECT_EQ(node.buffer()[1], (Label{v0.id(), 2, ProcessId{0}}));
+  EXPECT_EQ(node.content().size(), 2u);
+}
+
+TEST(DvsToToTest, NodeOutsideInitialViewBuffersBcasts) {
+  const View v0{ViewId::initial(), make_process_set({0})};
+  DvsToTo node(ProcessId{1}, v0);
+  node.on_bcast(AppMsg{1, ProcessId{1}, "x"});
+  EXPECT_FALSE(node.can_label());  // current = ⊥: delay buffer holds it
+  EXPECT_EQ(node.delay().size(), 1u);
+}
+
+TEST(DvsToToTest, SummarySendSwitchesToCollect) {
+  const View v0 = initial_view(make_universe(2));
+  DvsToTo node(ProcessId{0}, v0);
+  const View v1{ViewId{1, ProcessId{0}}, make_universe(2)};
+  node.on_dvs_newview(v1);
+  EXPECT_EQ(node.status(), Status::kSend);
+  auto m = node.next_gpsnd();
+  ASSERT_TRUE(m.has_value());
+  ASSERT_TRUE(std::holds_alternative<Summary>(*m));
+  (void)node.take_gpsnd();
+  EXPECT_EQ(node.status(), Status::kCollect);
+  // In collect state nothing else is sent.
+  EXPECT_FALSE(node.next_gpsnd().has_value());
+}
+
+TEST(DvsToToTest, EstablishAdoptsFullorderAndEnablesRegistration) {
+  const ProcessSet two = make_universe(2);
+  const View v0 = initial_view(two);
+  DvsToTo node(ProcessId{0}, v0);
+  const View v1{ViewId{1, ProcessId{0}}, two};
+  node.on_dvs_newview(v1);
+  (void)node.take_gpsnd();
+  EXPECT_FALSE(node.can_register());
+
+  Summary mine = node.make_summary();
+  Summary other;
+  const Label l{v0.id(), 1, ProcessId{1}};
+  other.con.emplace(l, AppMsg{9, ProcessId{1}, "m"});
+  other.ord = {l};
+  other.next = 2;
+  other.high = v0.id();
+  node.on_dvs_gprcv(ClientMsg{mine}, ProcessId{0});
+  EXPECT_EQ(node.status(), Status::kCollect);
+  node.on_dvs_gprcv(ClientMsg{other}, ProcessId{1});
+  EXPECT_EQ(node.status(), Status::kNormal);
+  EXPECT_TRUE(node.established(v1.id()));
+  EXPECT_EQ(node.highprimary(), v1.id());
+  EXPECT_EQ(node.nextconfirm(), 2u);  // maxnextconfirm
+  ASSERT_FALSE(node.order().empty());
+  EXPECT_EQ(node.order().front(), l);  // chosenrep’s order wins
+  EXPECT_TRUE(node.can_register());
+  node.apply_register();
+  EXPECT_FALSE(node.can_register());
+}
+
+TEST(ToImplTest, BroadcastDeliverInInitialView) {
+  Harness h(3, {0, 1, 2});
+  h.bcast(0, 1, "alpha");
+  h.bcast(1, 2, "beta");
+  h.settle_all();
+  // Everyone delivers both messages in the same order.
+  const auto d0 = h.delivered_at(0);
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_EQ(h.delivered_at(1), d0);
+  EXPECT_EQ(h.delivered_at(2), d0);
+}
+
+TEST(ToImplTest, FifoPerSenderIsPreserved) {
+  Harness h(3, {0, 1, 2});
+  for (std::uint64_t uid = 1; uid <= 5; ++uid) h.bcast(0, uid, "m");
+  h.settle_all();
+  const auto d2 = h.delivered_at(2);
+  ASSERT_EQ(d2.size(), 5u);
+  for (std::uint64_t uid = 1; uid <= 5; ++uid) EXPECT_EQ(d2[uid - 1], uid);
+}
+
+TEST(ToImplTest, ViewChangeRecoversAndContinues) {
+  Harness h(3, {0, 1, 2});
+  h.bcast(0, 1, "pre");
+  h.settle_all();
+
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.create(v1);
+  h.newview_all(v1);
+  h.settle();  // state exchange, establishment, registration
+  for (unsigned i : {0u, 1u, 2u}) {
+    EXPECT_TRUE(h.sys().node(ProcessId{i}).established(v1.id()))
+        << "p" << i << " failed to establish v1";
+  }
+  // Registration propagated into the DVS service.
+  EXPECT_EQ(h.sys().dvs().registered(v1.id()), make_process_set({0, 1, 2}));
+
+  h.bcast(1, 2, "post");
+  h.settle_all();
+  const auto d0 = h.delivered_at(0);
+  ASSERT_EQ(d0.size(), 2u);
+  EXPECT_EQ(d0[0], 1u);
+  EXPECT_EQ(d0[1], 2u);
+  EXPECT_EQ(h.delivered_at(1), d0);
+  EXPECT_EQ(h.delivered_at(2), d0);
+}
+
+TEST(ToImplTest, MessageInFlightAcrossViewChangeIsRecovered) {
+  Harness h(3, {0, 1, 2});
+  // p0 broadcasts; the message is labelled and sent but we do NOT settle:
+  // deliveries happen only at p0 itself... we let the service deliver to
+  // everyone (drain-before-attempt requires it) but withhold BRCV reports;
+  // then change views and verify the label survives via state exchange and
+  // is reported exactly once in a consistent order.
+  h.bcast(0, 7, "inflight");
+  h.settle();  // everything except client reports
+
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.create(v1);
+  h.newview_all(v1);
+  h.settle_all();
+  for (unsigned i : {0u, 1u, 2u}) {
+    const auto d = h.delivered_at(i);
+    ASSERT_EQ(d.size(), 1u) << "p" << i;
+    EXPECT_EQ(d[0], 7u);
+  }
+}
+
+TEST(ToImplTest, MembershipShrinkThenGrow) {
+  Harness h(4, {0, 1, 2, 3});
+  h.bcast(3, 1, "from-p3");
+  h.settle_all();
+
+  // Shrink to {0,1,2}.
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.create(v1);
+  h.newview_all(v1);
+  h.settle();
+  h.bcast(0, 2, "small-view");
+  h.settle_all();
+
+  // Grow back to everyone.
+  const View v2 = mkview(2, 0, {0, 1, 2, 3});
+  h.create(v2);
+  h.newview_all(v2);
+  h.settle_all();
+
+  // p3 catches up on the small-view message through the state exchange.
+  const auto d3 = h.delivered_at(3);
+  ASSERT_EQ(d3.size(), 2u);
+  EXPECT_EQ(d3[0], 1u);
+  EXPECT_EQ(d3[1], 2u);
+  // And matches the order everyone else saw.
+  EXPECT_EQ(h.delivered_at(0), d3);
+  h.sys().check_invariants();
+}
+
+TEST(ToImplTest, SummariesSatisfyInvariant61) {
+  Harness h(3, {0, 1, 2});
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.create(v1);
+  h.newview_all(v1);
+  h.settle();
+  const auto all = h.sys().allstate();
+  EXPECT_TRUE(all.empty() ||
+              std::all_of(all.begin(), all.end(), [&](const Summary& x) {
+                return h.sys().dvs().created().contains(x.high);
+              }));
+  h.sys().check_invariant_6_1();
+  h.sys().check_invariant_6_2();
+  h.sys().check_invariant_6_3();
+}
+
+TEST(ToImplTest, DelayBufferHoldsPreViewBroadcasts) {
+  // A process outside the initial membership can BCAST; messages wait in
+  // the delay buffer until it gains a view.
+  Harness h(3, {0, 1});
+  h.bcast(2, 9, "early");
+  EXPECT_EQ(h.sys().node(ProcessId{2}).delay().size(), 1u);
+  h.settle_all();
+  EXPECT_TRUE(h.delivered_at(2).empty());
+
+  const View v1 = mkview(1, 0, {0, 1, 2});
+  h.create(v1);
+  h.newview_all(v1);
+  h.settle_all();
+  // Now the early message is labelled in v1 and delivered everywhere.
+  for (unsigned i : {0u, 1u, 2u}) {
+    const auto d = h.delivered_at(i);
+    ASSERT_EQ(d.size(), 1u) << "p" << i;
+    EXPECT_EQ(d[0], 9u);
+  }
+}
+
+}  // namespace
+}  // namespace dvs::toimpl

@@ -1,0 +1,131 @@
+// Round-trip and robustness tests for the vsys wire protocol.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vsys/wire.h"
+
+namespace dvs::vsys {
+namespace {
+
+TEST(WireTest, HeartbeatRoundTrip) {
+  Heartbeat hb;
+  hb.max_epoch = 42;
+  hb.view = ViewId{7, ProcessId{2}};
+  hb.delivered = 19;
+  const WireMsg m{hb};
+  EXPECT_EQ(decode(encode(m)), m);
+
+  Heartbeat no_view;
+  no_view.max_epoch = 1;
+  EXPECT_EQ(decode(encode(WireMsg{no_view})), WireMsg{no_view});
+}
+
+TEST(WireTest, MembershipMessagesRoundTrip) {
+  const View v{ViewId{3, ProcessId{1}}, make_process_set({0, 1, 2})};
+  EXPECT_EQ(decode(encode(WireMsg{Propose{v}})), WireMsg{Propose{v}});
+  EXPECT_EQ(decode(encode(WireMsg{FlushAck{v.id()}})),
+            WireMsg{FlushAck{v.id()}});
+  EXPECT_EQ(decode(encode(WireMsg{Install{v}})), WireMsg{Install{v}});
+}
+
+TEST(WireTest, DataAndSeqRoundTrip) {
+  const Data da{ViewId{2, ProcessId{0}}, 5,
+                Msg{InfoMsg{View{ViewId{1, ProcessId{0}},
+                                 make_process_set({0, 1})},
+                            {}}}};
+  EXPECT_EQ(decode(encode(WireMsg{da})), WireMsg{da});
+  const Seq sq{ViewId{2, ProcessId{0}}, 9, ProcessId{1},
+               Msg{RegisteredMsg{}}};
+  EXPECT_EQ(decode(encode(WireMsg{sq})), WireMsg{sq});
+}
+
+TEST(WireTest, TokenRoundTrip) {
+  const Token tk{ViewId{4, ProcessId{2}}, 17, 42};
+  EXPECT_EQ(decode(encode(WireMsg{tk})), WireMsg{tk});
+}
+
+TEST(WireTest, HeartbeatCarriesTokenRotation) {
+  Heartbeat hb;
+  hb.max_epoch = 3;
+  hb.view = ViewId{3, ProcessId{0}};
+  hb.delivered = 5;
+  hb.token_rotation = 99;
+  const WireMsg m{hb};
+  EXPECT_EQ(decode(encode(m)), m);
+}
+
+TEST(WireTest, ToStringCoversAllVariants) {
+  const View v{ViewId{3, ProcessId{1}}, make_process_set({0, 1})};
+  EXPECT_NE(to_string(WireMsg{Heartbeat{}}).find("heartbeat"),
+            std::string::npos);
+  EXPECT_NE(to_string(WireMsg{Propose{v}}).find("propose"), std::string::npos);
+  EXPECT_NE(to_string(WireMsg{FlushAck{v.id()}}).find("flush-ack"),
+            std::string::npos);
+  EXPECT_NE(to_string(WireMsg{Install{v}}).find("install"), std::string::npos);
+  EXPECT_NE(to_string(WireMsg{Data{v.id(), 1, Msg{RegisteredMsg{}}}})
+                .find("data"),
+            std::string::npos);
+  EXPECT_NE(to_string(WireMsg{Seq{v.id(), 1, ProcessId{0},
+                                  Msg{RegisteredMsg{}}}})
+                .find("seq"),
+            std::string::npos);
+  EXPECT_NE(to_string(WireMsg{Token{v.id(), 2, 3}}).find("token"),
+            std::string::npos);
+}
+
+TEST(WireTest, TruncatedAndTrailingBytesRejected) {
+  const View v{ViewId{3, ProcessId{1}}, make_process_set({0, 1, 2})};
+  Bytes data = encode(WireMsg{Install{v}});
+  Bytes truncated(data.begin(), data.begin() + 3);
+  EXPECT_THROW((void)decode(truncated), DecodeError);
+  Bytes padded = data;
+  padded.push_back(std::byte{0});
+  EXPECT_THROW((void)decode(padded), DecodeError);
+}
+
+TEST(WireTest, RandomBytesNeverCrashTheDecoder) {
+  // Fuzz-ish robustness: decoding arbitrary bytes either succeeds (the
+  // bytes happened to be a valid message) or throws DecodeError — it must
+  // never crash, hang or read out of bounds.
+  Rng rng(20260706);
+  std::size_t decoded = 0;
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::byte>(rng.below(256));
+    try {
+      (void)decode(junk);
+      ++decoded;
+    } catch (const DecodeError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(decoded + rejected, 5000u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(WireTest, MutatedValidMessagesNeverCrashTheDecoder) {
+  const View v{ViewId{3, ProcessId{1}}, make_process_set({0, 1, 2})};
+  const Bytes base = encode(WireMsg{
+      Seq{v.id(), 9, ProcessId{1},
+          Msg{InfoMsg{v, {View{ViewId{4, ProcessId{2}},
+                               make_process_set({1, 2})}}}}}});
+  Rng rng(99);
+  for (int trial = 0; trial < 5000; ++trial) {
+    Bytes mutated = base;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::byte>(rng.below(256));
+    }
+    try {
+      (void)decode(mutated);
+    } catch (const DecodeError&) {
+      // fine
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dvs::vsys
