@@ -20,6 +20,7 @@
 // the gap narrows because abrupt splits rarely contain a majority of the
 // previous primary.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "analysis/availability.h"
@@ -234,15 +235,22 @@ Goodput run_goodput(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: one small configuration per table, for CI sanity runs.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   std::printf(
       "E9: primary-component availability — dynamic (DVS) vs static majority "
       "vs oracle dynamic voting\n");
   std::printf("%4s  %-8s  %12s  %9s  %9s  %9s  %8s\n", "n", "workload",
               "period(ms)", "dynamic", "static", "oracle", "samples");
   std::vector<Row> rows;
-  for (std::size_t n : {5, 7, 9}) {
-    for (sim::Time period : {1 * kSecond, 3 * kSecond}) {
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{5} : std::vector<std::size_t>{5, 7, 9};
+  const std::vector<sim::Time> periods =
+      smoke ? std::vector<sim::Time>{1 * kSecond}
+            : std::vector<sim::Time>{1 * kSecond, 3 * kSecond};
+  for (std::size_t n : sizes) {
+    for (sim::Time period : periods) {
       rows.push_back(run_cascade(n, period, 1000 + n));
       rows.push_back(run_random(n, period, 2000 + n));
       rows.push_back(run_rolling(n, period, 3000 + n));
@@ -264,7 +272,7 @@ int main() {
       "workload, dynamic vs static-majority stack\n");
   std::printf("%4s  %9s  %10s  %10s   (committed within 500 ms)\n", "n",
               "offered", "dynamic", "static");
-  for (std::size_t n : {5, 7, 9}) {
+  for (std::size_t n : sizes) {
     const Goodput g = run_goodput(n, 4000 + n);
     std::printf("%4zu  %9zu  %10zu  %10zu\n", n, g.offered,
                 g.committed_dynamic, g.committed_static);

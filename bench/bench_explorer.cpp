@@ -1,11 +1,16 @@
 // Cost of the verification machinery (experiments E1–E7): steps/second of
 // the randomized explorers, with and without the per-step checkers. The
 // interesting ratio is how much the paper's invariants + the step-wise
-// refinement check cost on top of raw execution.
+// refinement check cost on top of raw execution. The parallel-engine
+// entries (BM_SeedSweep, BM_ExhaustiveBfs) sweep the jobs count; see
+// bench_parallel for the full scaling tables and docs/PERFORMANCE.md for
+// what determinism they promise.
 #include <benchmark/benchmark.h>
 
+#include "explorer/exhaustive.h"
 #include "explorer/explorer.h"
 #include "explorer/to_explorer.h"
+#include "parallel/seed_sweep.h"
 
 namespace {
 
@@ -78,6 +83,46 @@ void BM_ToImplExplorer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 500);
 }
 BENCHMARK(BM_ToImplExplorer)->Arg(3)->Arg(4);
+
+void BM_SeedSweep(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const ProcessSet universe = make_universe(3);
+  const View v0 = initial_view(universe);
+  explorer::ExplorerConfig config;
+  config.steps = 300;
+  const auto task = parallel::dvs_spec_task(universe, v0, config);
+  parallel::SeedSweepConfig sweep;
+  sweep.num_seeds = 8;
+  sweep.jobs = jobs;
+  for (auto _ : state) {
+    const auto result = parallel::SeedSweep(sweep).run(task);
+    if (result.seeds_failed != 0) state.SkipWithError("seed failed");
+    benchmark::DoNotOptimize(result.total);
+  }
+  state.SetItemsProcessed(state.iterations() * sweep.num_seeds * 300);
+}
+BENCHMARK(BM_SeedSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ExhaustiveBfs(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const ProcessSet universe = make_universe(2);
+  const View v0 = initial_view(universe);
+  explorer::ExhaustiveConfig config;
+  config.candidate_views = {View{ViewId{1, ProcessId{0}}, universe},
+                            View{ViewId{2, ProcessId{0}},
+                                 ProcessSet{ProcessId{0}}}};
+  config.send_budget = 1;
+  config.jobs = jobs;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const auto stats = explorer::exhaustive_check_dvs_spec(universe, v0, config);
+    states = stats.states_visited;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(states));
+}
+BENCHMARK(BM_ExhaustiveBfs)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

@@ -4,29 +4,37 @@
 // (Theorem 5.9) and TO trace acceptance (Theorem 6.4) at every step.
 //
 //   $ ./build/examples/model_checker [n_processes] [steps] [seeds]
+//   $ ./build/examples/model_checker --jobs N [n_processes] [steps] [seeds]
 //   $ ./build/examples/model_checker --exhaustive [n_processes]
+//   $ ./build/examples/model_checker --exhaustive [n] --jobs N
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
-// with every checker armed. --exhaustive instead enumerates ALL reachable
-// DVS-specification states for a bounded environment (small-scope proof).
+// with every checker armed. `--jobs N` fans the seeds across N worker
+// threads (0 = one per hardware thread) with deterministic aggregation —
+// same totals and same reported (lowest) failing seed for any N.
+// --exhaustive instead enumerates ALL reachable DVS-specification states
+// for a bounded environment (small-scope proof); with --jobs it runs the
+// level-synchronized parallel BFS.
 //
 // Exit code 0 = no violation found. On failure, the counterexample's seed
 // and action tail are printed for deterministic replay.
 #include <cstdio>
 #include <cstdlib>
-#include <exception>
-
 #include <cstring>
+#include <exception>
+#include <vector>
 
 #include "explorer/exhaustive.h"
 #include "explorer/explorer.h"
 #include "explorer/to_explorer.h"
+#include "parallel/seed_sweep.h"
+#include "parallel/thread_pool.h"
 
 using namespace dvs;  // NOLINT
 
 namespace {
 
-int run_exhaustive(std::size_t n) {
+int run_exhaustive(std::size_t n, std::size_t jobs) {
   explorer::ExhaustiveConfig config;
   // A shrink-and-overlap candidate pool scaled to n.
   ProcessSet shrink;
@@ -38,6 +46,7 @@ int run_exhaustive(std::size_t n) {
       View{ViewId{2, ProcessId{0}}, shrink.empty() ? make_universe(n) : shrink},
   };
   config.send_budget = 1;
+  config.jobs = jobs;
   try {
     const auto stats = explorer::exhaustive_check_dvs_spec(
         make_universe(n), initial_view(make_universe(n)), config);
@@ -54,50 +63,111 @@ int run_exhaustive(std::size_t n) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "--exhaustive") == 0) {
-    const std::size_t n_ex =
-        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2;
-    return run_exhaustive(n_ex);
-  }
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3;
-  const std::size_t steps = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3000;
-  const std::uint64_t seeds =
-      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
-
+int run_sweep(std::size_t n, std::size_t steps, std::uint64_t seeds,
+              std::size_t jobs) {
   explorer::ExplorerConfig config;
   config.steps = steps;
-
   const ProcessSet universe = make_universe(n);
   const View v0 = initial_view(universe);
 
-  std::size_t total_events = 0;
-  std::size_t total_views = 0;
-  try {
-    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-      explorer::DvsImplExplorer dvs_ex(universe, v0, config, seed);
-      const auto s1 = dvs_ex.run();
-      explorer::ToImplExplorer to_ex(universe, v0, config, seed ^ 0x5eed);
-      const auto s2 = to_ex.run();
-      total_events += s1.external_events + s2.external_events;
-      total_views += s1.views_created + s2.views_created;
-      std::printf("seed %3llu: DVS-IMPL %zu steps (%zu attempts), TO-IMPL %zu "
-                  "steps (%zu deliveries) — all checks passed\n",
-                  static_cast<unsigned long long>(seed), s1.steps_taken,
-                  s1.dvs_views_attempted, s2.steps_taken, s2.msgs_delivered);
-    }
-  } catch (const explorer::ExplorationFailure& e) {
-    std::printf("COUNTEREXAMPLE FOUND:\n%s\n", e.what());
+  parallel::SeedSweepConfig sweep_config;
+  sweep_config.first_seed = 1;
+  sweep_config.num_seeds = seeds;
+  sweep_config.jobs = jobs;
+  const parallel::SeedSweep sweep(sweep_config);
+
+  // One task runs BOTH stacks for its seed, mirroring the sequential
+  // mode's per-seed work (TO-IMPL uses the same decorrelated seed).
+  const auto dvs_task = parallel::dvs_impl_task(universe, v0, config);
+  const auto to_task = parallel::to_impl_task(universe, v0, config);
+  const parallel::SeedSweepResult result =
+      sweep.run([&](std::uint64_t seed) {
+        explorer::ExplorationStats stats = dvs_task(seed);
+        stats += to_task(seed ^ 0x5eed);
+        return stats;
+      });
+
+  if (result.first_failure.has_value()) {
+    std::printf("COUNTEREXAMPLE FOUND (lowest failing seed %llu of %zu "
+                "failing):\n%s\n",
+                static_cast<unsigned long long>(result.first_failure->seed),
+                result.seeds_failed, result.first_failure->message.c_str());
     return 1;
+  }
+  std::printf("swept %zu seeds × %zu steps at n=%zu over %zu worker(s): "
+              "%zu steps taken, %zu external events, %zu views, "
+              "%zu invariant checks, zero violations.\n",
+              result.seeds_run, steps, n,
+              parallel::resolve_jobs(jobs), result.total.steps_taken,
+              result.total.external_events, result.total.views_created,
+              result.total.invariant_checks);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Pull out `--jobs N` wherever it appears; remaining args keep their
+  // positional meaning.
+  std::size_t jobs = 1;
+  bool sweep_mode = false;
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::strtoul(argv[++i], nullptr, 10);
+      sweep_mode = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  try {
+    if (!args.empty() && std::strcmp(args[0], "--exhaustive") == 0) {
+      const std::size_t n_ex =
+          args.size() > 1 ? std::strtoul(args[1], nullptr, 10) : 2;
+      return run_exhaustive(n_ex, jobs);
+    }
+    const std::size_t n =
+        !args.empty() ? std::strtoul(args[0], nullptr, 10) : 3;
+    const std::size_t steps =
+        args.size() > 1 ? std::strtoul(args[1], nullptr, 10) : 3000;
+    const std::uint64_t seeds =
+        args.size() > 2 ? std::strtoull(args[2], nullptr, 10) : 10;
+
+    if (sweep_mode) return run_sweep(n, steps, seeds, jobs);
+
+    explorer::ExplorerConfig config;
+    config.steps = steps;
+
+    const ProcessSet universe = make_universe(n);
+    const View v0 = initial_view(universe);
+
+    std::size_t total_events = 0;
+    std::size_t total_views = 0;
+    try {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        explorer::DvsImplExplorer dvs_ex(universe, v0, config, seed);
+        const auto s1 = dvs_ex.run();
+        explorer::ToImplExplorer to_ex(universe, v0, config, seed ^ 0x5eed);
+        const auto s2 = to_ex.run();
+        total_events += s1.external_events + s2.external_events;
+        total_views += s1.views_created + s2.views_created;
+        std::printf("seed %3llu: DVS-IMPL %zu steps (%zu attempts), TO-IMPL "
+                    "%zu steps (%zu deliveries) — all checks passed\n",
+                    static_cast<unsigned long long>(seed), s1.steps_taken,
+                    s1.dvs_views_attempted, s2.steps_taken, s2.msgs_delivered);
+      }
+    } catch (const explorer::ExplorationFailure& e) {
+      std::printf("COUNTEREXAMPLE FOUND:\n%s\n", e.what());
+      return 1;
+    }
+    std::printf("\nexplored %llu seeds × %zu steps at n=%zu: %zu external "
+                "events, %zu views, zero violations.\n",
+                static_cast<unsigned long long>(seeds), steps, n, total_events,
+                total_views);
+    return 0;
   } catch (const std::exception& e) {
     std::printf("harness error: %s\n", e.what());
     return 2;
   }
-  std::printf("\nexplored %llu seeds × %zu steps at n=%zu: %zu external "
-              "events, %zu views, zero violations.\n",
-              static_cast<unsigned long long>(seeds), steps, n, total_events,
-              total_views);
-  return 0;
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Snapshot the google-benchmark microbenchmarks to JSON so perf changes
+# diff in review: BENCH_explorer.json and BENCH_micro.json at the repo
+# root. Run on an idle machine; commit the refreshed files alongside any
+# change that claims a speedup.
+#
+#   $ scripts/bench_snapshot.sh [min_time_seconds]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_TIME="${1:-0.2}"
+
+cmake --build build --target bench_explorer bench_micro >/dev/null
+
+./build/bench/bench_explorer \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json >BENCH_explorer.json
+./build/bench/bench_micro \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json >BENCH_micro.json
+
+echo "wrote BENCH_explorer.json and BENCH_micro.json (min_time=${MIN_TIME}s)"

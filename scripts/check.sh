@@ -1,18 +1,40 @@
 #!/usr/bin/env bash
-# Full local gate: configure, build, test, sanitize, bench-smoke.
+# Full local gate: configure, build, test, sanitize (ASan/UBSan + TSan),
+# bench-smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Reuse whatever generator an existing build dir was configured with; only
+# ask for Ninja on a fresh configure (CMake errors on a generator switch).
+configure() {
+  local dir="$1"; shift
+  if [[ -f "$dir/CMakeCache.txt" ]]; then
+    cmake -B "$dir" "$@" >/dev/null
+  else
+    cmake -B "$dir" -G Ninja "$@" >/dev/null
+  fi
+}
+
 echo "== release-ish build + tests =="
-cmake -B build -G Ninja >/dev/null
+configure build
 cmake --build build
 ctest --test-dir build --output-on-failure
 
 echo "== ASan/UBSan build + tests =="
-cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" >/dev/null
+configure build-asan -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
+
+echo "== TSan build + parallel tests =="
+# The thread sanitizer gate covers the multi-threaded subsystem: the seed
+# sweeps, the sharded parallel BFS, and the thread pool itself.
+configure build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake --build build-tsan --target parallel_test model_checker
+./build-tsan/tests/parallel_test
+./build-tsan/examples/model_checker --jobs 4 2 500 8
+./build-tsan/examples/model_checker --exhaustive 2 --jobs 4
 
 echo "== bench smoke =="
 for b in build/bench/*; do
@@ -21,6 +43,8 @@ for b in build/bench/*; do
     case "$b" in
       *bench_micro|*bench_explorer|*bench_stack)
         "$b" --benchmark_min_time=0.05 ;;
+      *bench_availability|*bench_recovery|*bench_throughput|*bench_parallel)
+        "$b" --smoke ;;
       *)
         "$b" ;;
     esac
@@ -30,6 +54,8 @@ done
 echo "== examples =="
 ./build/examples/quickstart
 ./build/examples/model_checker 3 1000 3
+./build/examples/model_checker --jobs 2 3 1000 3
 ./build/examples/model_checker --exhaustive 2
+./build/examples/model_checker --exhaustive 2 --jobs 2
 
 echo "ALL CHECKS PASSED"

@@ -1,8 +1,15 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace dvs {
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+// Serializes sink writes so concurrent worker-thread log lines never
+// interleave mid-line.
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,12 +26,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void emit(LogLevel level, const std::string& component,
           const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
   std::cerr << "[" << level_name(level) << "][" << component << "] " << message
             << "\n";
 }

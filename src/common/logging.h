@@ -10,7 +10,10 @@ namespace dvs {
 
 enum class LogLevel { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
 
-/// Process-wide log threshold (single-threaded harness; no atomics needed).
+/// Process-wide log threshold. Atomic: the parallel seed sweeps and the
+/// sharded exhaustive search log from worker threads, so the threshold
+/// read on every DVS_LOG must be data-race free (relaxed is enough — a
+/// slightly stale level is fine, a torn read is not).
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -54,6 +54,12 @@ class Writer {
   [[nodiscard]] Bytes take() { return std::move(buffer_); }
   [[nodiscard]] const Bytes& buffer() const { return buffer_; }
 
+  /// Drop the contents but keep the capacity — lets hot encode loops reuse
+  /// one Writer instead of re-growing a fresh buffer per message.
+  void clear() { buffer_.clear(); }
+  void reserve(std::size_t n) { buffer_.reserve(n); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
  private:
   Bytes buffer_;
 };
@@ -62,6 +68,10 @@ class Writer {
 class Reader {
  public:
   explicit Reader(const Bytes& data) : data_(data) {}
+  /// Reader holds a reference to the buffer for its whole lifetime; binding
+  /// it to a temporary would dangle after the full-expression, so decoding
+  /// a temporary buffer must not compile. Name the buffer instead.
+  explicit Reader(Bytes&&) = delete;
 
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();

@@ -1,0 +1,115 @@
+// Small-buffer-optimized move-only callable, a lean stand-in for
+// std::function<void()> on hot scheduling paths.
+//
+// libstdc++'s std::function only inlines captures up to two words, so the
+// typical simulator event closure (a this-pointer plus a couple of
+// shared_ptrs or a ProcessId and a delay) heap-allocates on every
+// schedule. SmallCallback keeps 48 bytes of aligned inline storage —
+// enough for every closure the sim/net/vsys layers create (the largest,
+// a network delivery capturing this + two ProcessIds + a Bytes payload,
+// is 40 bytes) — and falls back to the heap only beyond that. The size is
+// a balance: big enough that the hot closures never allocate, small
+// enough that sifting events through the priority queue stays cheap.
+// Unlike std::function it is move-only, which also means move-only
+// captures (e.g. a Bytes buffer moved into the closure) are allowed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dvs {
+
+class SmallCallback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &inline_vtable<Fn>;
+    } else {
+      *reinterpret_cast<void**>(storage_) = new Fn(std::forward<F>(f));
+      vtable_ = &heap_vtable<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move the callable from src storage into dst storage, destroying the
+    // src copy; the caller nulls src's vtable afterwards.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable{
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable{
+      [](void* s) { (*static_cast<Fn*>(*reinterpret_cast<void**>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* s) noexcept {
+        delete static_cast<Fn*>(*reinterpret_cast<void**>(s));
+      },
+  };
+
+  void move_from(SmallCallback& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(storage_, other.storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace dvs

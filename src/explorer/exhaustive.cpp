@@ -1,21 +1,21 @@
 #include "explorer/exhaustive.h"
 
 #include "common/check.h"
+#include "parallel/sharded_set.h"
+#include "parallel/state_hash.h"
+#include "parallel/thread_pool.h"
 
+#include <algorithm>
 #include <deque>
+#include <exception>
+#include <optional>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 namespace dvs::explorer {
 namespace {
-
-/// One search node: a spec state plus the number of sends used so far (the
-/// environment budget is part of the state space).
-struct Node {
-  spec::DvsSpec spec;
-  std::size_t sends_used;
-};
 
 void encode_counters(
     std::ostringstream& os,
@@ -25,6 +25,28 @@ void encode_counters(
     for (const auto& [g, value] : per_view) {
       if (value != default_value) {
         os << p.to_string() << g.to_string() << ':' << value << ';';
+      }
+    }
+  }
+}
+
+void encode_counters_binary(
+    Writer& w,
+    const std::map<ProcessId, std::map<ViewId, std::size_t>>& counters,
+    std::size_t default_value) {
+  std::size_t n = 0;
+  for (const auto& [p, per_view] : counters) {
+    for (const auto& [g, value] : per_view) {
+      if (value != default_value) ++n;
+    }
+  }
+  w.varuint(n);
+  for (const auto& [p, per_view] : counters) {
+    for (const auto& [g, value] : per_view) {
+      if (value != default_value) {
+        w.process_id(p);
+        w.view_id(g);
+        w.varuint(value);
       }
     }
   }
@@ -80,28 +102,112 @@ std::string encode_state(const spec::DvsSpec& spec) {
   return os.str();
 }
 
-ExhaustiveStats exhaustive_check_dvs_spec(const ProcessSet& universe,
-                                          const View& v0,
-                                          const ExhaustiveConfig& config) {
+void encode_state_binary(const spec::DvsSpec& spec, Writer& w) {
+  w.varuint(spec.created().size());
+  for (const auto& [g, v] : spec.created()) w.view(v);
+  for (ProcessId p : spec.universe()) {
+    const auto cur = spec.current_viewid(p);
+    w.u8(cur.has_value() ? 1 : 0);
+    if (cur.has_value()) w.view_id(*cur);
+  }
+  w.varuint(spec.attempted_all().size());
+  for (const auto& [g, members] : spec.attempted_all()) {
+    w.view_id(g);
+    w.process_set(members);
+  }
+  w.varuint(spec.registered_all().size());
+  for (const auto& [g, members] : spec.registered_all()) {
+    w.view_id(g);
+    w.process_set(members);
+  }
+  // pending / queue: sparse maps may hold touched-but-empty sequences that
+  // are semantically absent; skip them so such states key identically
+  // (mirrors the string encoding).
+  {
+    std::size_t n = 0;
+    for (const auto& [p, per_view] : spec.pending_all()) {
+      for (const auto& [g, msgs] : per_view) {
+        if (!msgs.empty()) ++n;
+      }
+    }
+    w.varuint(n);
+    for (const auto& [p, per_view] : spec.pending_all()) {
+      for (const auto& [g, msgs] : per_view) {
+        if (msgs.empty()) continue;
+        w.process_id(p);
+        w.view_id(g);
+        w.varuint(msgs.size());
+        for (const ClientMsg& m : msgs) w.client_msg(m);
+      }
+    }
+  }
+  {
+    std::size_t n = 0;
+    for (const auto& [g, queue] : spec.queue_all()) {
+      if (!queue.empty()) ++n;
+    }
+    w.varuint(n);
+    for (const auto& [g, queue] : spec.queue_all()) {
+      if (queue.empty()) continue;
+      w.view_id(g);
+      w.varuint(queue.size());
+      for (const auto& [m, sender] : queue) {
+        w.client_msg(m);
+        w.process_id(sender);
+      }
+    }
+  }
+  encode_counters_binary(w, spec.next_all(), 1);
+  encode_counters_binary(w, spec.next_safe_all(), 1);
+  encode_counters_binary(w, spec.received_all(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Generic BFS engines. A Model supplies:
+//   Node                      — one search node (automaton state + budget)
+//   encode(node, Writer&)     — injective binary key (appended to Writer)
+//   check(node)               — state invariants; throws InvariantViolation
+//   expand(node, emit)        — calls emit(Node&&) once per transition;
+//                               may throw InvariantViolation (e.g. a failed
+//                               refinement step)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void throw_collision() {
+  throw std::logic_error(
+      "128-bit state-hash collision detected (paranoid check): two distinct "
+      "encodings share a key");
+}
+
+template <typename Model>
+ExhaustiveStats serial_bfs(const Model& model, typename Model::Node initial,
+                           const ExhaustiveConfig& config) {
+  using Node = typename Model::Node;
   ExhaustiveStats stats;
   std::deque<Node> frontier;
-  std::unordered_set<std::string> visited;
+  std::unordered_set<parallel::Hash128, parallel::Hash128Hasher> visited;
+  std::unordered_map<parallel::Hash128, Bytes, parallel::Hash128Hasher>
+      visited_full;  // paranoid mode only
+  const bool paranoid = config.paranoid_collision_check;
+  Writer scratch;
 
-  Node initial{spec::DvsSpec{universe, v0}, 0};
-  initial.spec.check_invariants();
-  visited.insert(encode_state(initial.spec) + "#0");
+  // Key the state currently sitting in `scratch`; returns true if new.
+  auto insert_scratch = [&]() -> bool {
+    const parallel::Hash128 h =
+        parallel::hash128(scratch.buffer().data(), scratch.size());
+    if (!paranoid) return visited.insert(h).second;
+    auto [it, inserted] = visited_full.try_emplace(h, scratch.buffer());
+    if (!inserted && it->second != scratch.buffer()) throw_collision();
+    return inserted;
+  };
+
+  model.check(initial);
+  scratch.clear();
+  model.encode(initial, scratch);
+  (void)insert_scratch();
   frontier.push_back(std::move(initial));
   stats.states_visited = 1;
-
-  auto push = [&](spec::DvsSpec next, std::size_t sends_used) {
-    ++stats.transitions;
-    std::string key = encode_state(next) + "#" + std::to_string(sends_used);
-    if (!visited.insert(std::move(key)).second) return;
-    next.check_invariants();
-    ++stats.states_visited;
-    frontier.push_back(Node{std::move(next), sends_used});
-    stats.frontier_peak = std::max(stats.frontier_peak, frontier.size());
-  };
 
   while (!frontier.empty()) {
     if (stats.states_visited >= config.max_states) {
@@ -110,64 +216,247 @@ ExhaustiveStats exhaustive_check_dvs_spec(const ProcessSet& universe,
     }
     Node node = std::move(frontier.front());
     frontier.pop_front();
+    model.expand(node, [&](Node&& next) {
+      ++stats.transitions;
+      scratch.clear();
+      model.encode(next, scratch);
+      if (!insert_scratch()) return;
+      model.check(next);
+      ++stats.states_visited;
+      frontier.push_back(std::move(next));
+      stats.frontier_peak = std::max(stats.frontier_peak, frontier.size());
+    });
+  }
+  return stats;
+}
+
+/// Level-synchronized parallel BFS. Workers split each depth level into
+/// contiguous chunks, dedup successors against the sharded visited set and
+/// tally locally; tallies merge in worker order at the level barrier, so
+/// states_visited/transitions equal the serial search exactly whenever the
+/// scope is not truncated (every reachable state is inserted once and
+/// expanded once, regardless of which worker got there first). Invariant
+/// failures are collected per level and the one with the smallest encoded
+/// state is reported, keeping even the counterexample choice independent
+/// of thread interleaving.
+template <typename Model>
+ExhaustiveStats parallel_bfs(const Model& model, typename Model::Node initial,
+                             const ExhaustiveConfig& config,
+                             std::size_t jobs) {
+  using Node = typename Model::Node;
+  ExhaustiveStats stats;
+  parallel::ShardedStateSet visited(config.shards,
+                                    config.paranoid_collision_check);
+
+  model.check(initial);
+  {
+    Writer w;
+    model.encode(initial, w);
+    (void)visited.insert(parallel::hash128(w.buffer().data(), w.size()),
+                         w.buffer());
+  }
+  std::vector<Node> level;
+  level.push_back(std::move(initial));
+  stats.states_visited = 1;
+  stats.frontier_peak = 1;
+
+  struct WorkerOut {
+    std::vector<Node> next;
+    std::size_t transitions = 0;
+    std::size_t states = 0;
+    // Smallest-keyed invariant failure seen by this worker, if any.
+    std::optional<std::pair<Bytes, std::string>> failure;
+    std::exception_ptr harness_error;
+  };
+
+  parallel::ThreadPool pool(jobs);
+  const std::size_t workers = pool.size();
+
+  while (!level.empty()) {
+    if (stats.states_visited >= config.max_states) {
+      stats.truncated = true;
+      break;
+    }
+    std::vector<WorkerOut> outs(workers);
+    for (std::size_t k = 0; k < workers; ++k) {
+      pool.submit([&model, &config, &visited, &level, &out = outs[k], k,
+                   workers]() noexcept {
+        try {
+          Writer scratch;
+          auto note_failure = [&out](const Bytes& key, std::string why) {
+            if (!out.failure.has_value() || key < out.failure->first) {
+              out.failure = {key, std::move(why)};
+            }
+          };
+          const std::size_t begin = level.size() * k / workers;
+          const std::size_t end = level.size() * (k + 1) / workers;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Node& node = level[i];
+            try {
+              model.expand(node, [&](Node&& next) {
+                ++out.transitions;
+                scratch.clear();
+                model.encode(next, scratch);
+                const parallel::Hash128 h = parallel::hash128(
+                    scratch.buffer().data(), scratch.size());
+                if (!visited.insert(h, scratch.buffer())) return;
+                try {
+                  next.check_self();
+                } catch (const InvariantViolation& e) {
+                  note_failure(scratch.buffer(), e.what());
+                  return;
+                }
+                ++out.states;
+                out.next.push_back(std::move(next));
+              });
+            } catch (const InvariantViolation& e) {
+              // A transition itself was rejected (refinement step); key the
+              // report by the parent state.
+              scratch.clear();
+              model.encode(node, scratch);
+              note_failure(scratch.buffer(), e.what());
+            }
+          }
+        } catch (...) {
+          out.harness_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+
+    std::vector<Node> next_level;
+    std::optional<std::pair<Bytes, std::string>> failure;
+    for (WorkerOut& out : outs) {
+      if (out.harness_error) std::rethrow_exception(out.harness_error);
+      stats.transitions += out.transitions;
+      stats.states_visited += out.states;
+      if (out.failure.has_value() &&
+          (!failure.has_value() || out.failure->first < failure->first)) {
+        failure = std::move(out.failure);
+      }
+      if (next_level.empty()) {
+        next_level = std::move(out.next);
+      } else {
+        next_level.insert(next_level.end(),
+                          std::make_move_iterator(out.next.begin()),
+                          std::make_move_iterator(out.next.end()));
+      }
+    }
+    if (failure.has_value()) throw InvariantViolation(failure->second);
+    stats.frontier_peak = std::max(stats.frontier_peak, next_level.size());
+    level = std::move(next_level);
+  }
+  return stats;
+}
+
+template <typename Model>
+ExhaustiveStats run_bfs(const Model& model, typename Model::Node initial,
+                        const ExhaustiveConfig& config) {
+  const std::size_t jobs = parallel::resolve_jobs(config.jobs);
+  if (jobs <= 1) return serial_bfs(model, std::move(initial), config);
+  return parallel_bfs(model, std::move(initial), config, jobs);
+}
+
+// ---------------------------------------------------------------------------
+// DVS specification model.
+// ---------------------------------------------------------------------------
+
+struct SpecNode {
+  spec::DvsSpec spec;
+  std::size_t sends_used;
+
+  void check_self() const { spec.check_invariants(); }
+};
+
+class SpecModel {
+ public:
+  using Node = SpecNode;
+
+  SpecModel(const ProcessSet& universe, const ExhaustiveConfig& config)
+      : universe_(universe), config_(config) {}
+
+  void encode(const Node& node, Writer& w) const {
+    encode_state_binary(node.spec, w);
+    w.varuint(node.sends_used);
+  }
+
+  void check(const Node& node) const { node.check_self(); }
+
+  template <typename Emit>
+  void expand(const Node& node, Emit&& emit) const {
     const spec::DvsSpec& s = node.spec;
 
     // DVS-CREATEVIEW over the candidate pool.
-    for (const View& v : config.candidate_views) {
+    for (const View& v : config_.candidate_views) {
       if (s.can_createview(v)) {
         spec::DvsSpec next = s;
         next.apply_createview(v);
-        push(std::move(next), node.sends_used);
+        emit(Node{std::move(next), node.sends_used});
       }
     }
-    for (ProcessId p : universe) {
+    for (ProcessId p : universe_) {
       // DVS-NEWVIEW.
       for (const View& v : s.newview_candidates(p)) {
         spec::DvsSpec next = s;
         next.apply_newview(v, p);
-        push(std::move(next), node.sends_used);
+        emit(Node{std::move(next), node.sends_used});
       }
       // DVS-REGISTER (input; always enabled — dedup discards no-ops).
       {
         spec::DvsSpec next = s;
         next.apply_register(p);
-        push(std::move(next), node.sends_used);
+        emit(Node{std::move(next), node.sends_used});
       }
       // DVS-GPSND within the budget; message identity = send index.
-      if (node.sends_used < config.send_budget) {
+      if (node.sends_used < config_.send_budget) {
         spec::DvsSpec next = s;
-        next.apply_gpsnd(
-            ClientMsg{OpaqueMsg{node.sends_used + 1, p}}, p);
-        push(std::move(next), node.sends_used + 1);
+        next.apply_gpsnd(ClientMsg{OpaqueMsg{node.sends_used + 1, p}}, p);
+        emit(Node{std::move(next), node.sends_used + 1});
       }
       // DVS-ORDER / DVS-RECEIVE over created views.
       for (const auto& [g, v] : s.created()) {
         if (s.can_order(p, g)) {
           spec::DvsSpec next = s;
           next.apply_order(p, g);
-          push(std::move(next), node.sends_used);
+          emit(Node{std::move(next), node.sends_used});
         }
         if (s.can_receive(p, g)) {
           spec::DvsSpec next = s;
           next.apply_receive(p, g);
-          push(std::move(next), node.sends_used);
+          emit(Node{std::move(next), node.sends_used});
         }
       }
       // DVS-GPRCV / DVS-SAFE.
       if (s.next_gprcv(p).has_value()) {
         spec::DvsSpec next = s;
         next.apply_gprcv(p);
-        push(std::move(next), node.sends_used);
+        emit(Node{std::move(next), node.sends_used});
       }
       if (s.next_safe_indication(p).has_value()) {
         spec::DvsSpec next = s;
         next.apply_safe(p);
-        push(std::move(next), node.sends_used);
+        emit(Node{std::move(next), node.sends_used});
       }
     }
   }
-  return stats;
+
+ private:
+  const ProcessSet& universe_;
+  const ExhaustiveConfig& config_;
+};
+
+}  // namespace
+
+ExhaustiveStats exhaustive_check_dvs_spec(const ProcessSet& universe,
+                                          const View& v0,
+                                          const ExhaustiveConfig& config) {
+  SpecModel model(universe, config);
+  return run_bfs(model, SpecNode{spec::DvsSpec{universe, v0}, 0}, config);
 }
+
+// ---------------------------------------------------------------------------
+// DVS-IMPL model.
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -175,6 +464,12 @@ void encode_info(std::ostringstream& os, const impl::InfoRecord& info) {
   os << info.act.to_string() << '[';
   for (const auto& [g, w] : info.amb) os << w.to_string() << ',';
   os << ']';
+}
+
+void encode_info_binary(Writer& w, const impl::InfoRecord& info) {
+  w.view(info.act);
+  w.varuint(info.amb.size());
+  for (const auto& [g, v] : info.amb) w.view(v);
 }
 
 void encode_node(std::ostringstream& os, const impl::VsToDvs& node) {
@@ -193,6 +488,27 @@ void encode_node(std::ostringstream& os, const impl::VsToDvs& node) {
     os << ';';
   }
   os << "}";
+}
+
+void encode_node_binary(Writer& w, const impl::VsToDvs& node) {
+  auto opt_view = [&w](const std::optional<View>& v) {
+    w.u8(v.has_value() ? 1 : 0);
+    if (v.has_value()) w.view(*v);
+  };
+  opt_view(node.cur());
+  opt_view(node.client_cur());
+  w.view(node.act());
+  w.varuint(node.amb().size());
+  for (const auto& [g, v] : node.amb()) w.view(v);
+  w.varuint(node.attempted().size());
+  for (const auto& [g, v] : node.attempted()) w.view_id(g);
+  w.varuint(node.reg_set().size());
+  for (const ViewId& g : node.reg_set()) w.view_id(g);
+  w.varuint(node.info_sent_all().size());
+  for (const auto& [g, info] : node.info_sent_all()) {
+    w.view_id(g);
+    encode_info_binary(w, info);
+  }
 }
 
 }  // namespace
@@ -268,66 +584,112 @@ std::string encode_state(const impl::DvsImplSystem& sys) {
   return os.str();
 }
 
-ExhaustiveStats exhaustive_check_dvs_impl(const ProcessSet& universe,
-                                          const View& v0,
-                                          const ExhaustiveConfig& config) {
-  ExhaustiveStats stats;
-
-  struct Node {
-    impl::DvsImplSystem sys;
-    impl::RefinementChecker checker;  // shadow rides along; ≅ ℱ(sys)
-    std::size_t sends_used;
-  };
-
-  std::deque<Node> frontier;
-  std::unordered_set<std::string> visited;
-
-  Node initial{impl::DvsImplSystem{universe, v0},
-               impl::RefinementChecker{impl::DvsImplSystem{universe, v0}},
-               0};
-  initial.sys.check_invariants();
-  visited.insert(encode_state(initial.sys) + "#0");
-  frontier.push_back(std::move(initial));
-  stats.states_visited = 1;
-
-  auto expand = [&](const Node& node, const impl::DvsImplAction& action,
-                    std::size_t sends_used) {
-    ++stats.transitions;
-    Node next{node.sys, node.checker, sends_used};
-    const impl::RefinementResult r = next.checker.step(next.sys, action);
-    if (!r.ok) throw InvariantViolation(r.error);
-    std::string key = encode_state(next.sys) + "#" +
-                      std::to_string(sends_used);
-    if (!visited.insert(std::move(key)).second) return;
-    next.sys.check_invariants();
-    ++stats.states_visited;
-    frontier.push_back(std::move(next));
-    stats.frontier_peak = std::max(stats.frontier_peak, frontier.size());
-  };
-
-  while (!frontier.empty()) {
-    if (stats.states_visited >= config.max_states) {
-      stats.truncated = true;
-      break;
+void encode_state_binary(const impl::DvsImplSystem& sys, Writer& w) {
+  const spec::VsSpec& vs = sys.vs();
+  // VS spec portion: created views, then per (process × created view) the
+  // pending sequence and counters, then per-view queues. The iteration
+  // domain is fixed given `created`, so values can be written
+  // unconditionally — unlike the sparse maps in the DvsSpec encoder there
+  // is no touched-but-empty ambiguity here.
+  w.varuint(vs.created().size());
+  for (const auto& [g, v] : vs.created()) w.view(v);
+  for (ProcessId p : sys.universe()) {
+    const auto cur = vs.current_viewid(p);
+    w.u8(cur.has_value() ? 1 : 0);
+    if (cur.has_value()) w.view_id(*cur);
+    for (const auto& [g, v] : vs.created()) {
+      const auto& pend = vs.pending(p, g);
+      w.varuint(pend.size());
+      for (const Msg& m : pend) w.msg(m);
+      w.varuint(vs.next(p, g));
+      w.varuint(vs.next_safe(p, g));
     }
-    Node node = std::move(frontier.front());
-    frontier.pop_front();
-
-    // Environment: candidate VS views, client sends, registrations.
-    for (const View& v : config.candidate_views) {
-      if (node.sys.can_vs_createview(v)) {
-        expand(node,
-               impl::DvsImplAction::with_view(
-                   impl::DvsImplActionKind::kVsCreateview, v.id().origin(), v),
-               node.sends_used);
+  }
+  for (const auto& [g, v] : vs.created()) {
+    const auto& queue = vs.queue(g);
+    w.varuint(queue.size());
+    for (const auto& [m, sender] : queue) {
+      w.msg(m);
+      w.process_id(sender);
+    }
+  }
+  // Per-node automaton state.
+  for (ProcessId p : sys.universe()) {
+    const impl::VsToDvs& node = sys.node(p);
+    encode_node_binary(w, node);
+    for (const auto& [g, v] : vs.created()) {
+      for (ProcessId q : sys.universe()) {
+        const auto info = node.info_rcvd(q, g);
+        w.u8(info.has_value() ? 1 : 0);
+        if (info.has_value()) encode_info_binary(w, *info);
+        w.u8(node.rcvd_rgst(g, q) ? 1 : 0);
+      }
+      const auto& to_vs = node.msgs_to_vs(g);
+      w.varuint(to_vs.size());
+      for (const Msg& m : to_vs) w.msg(m);
+      const auto& from_vs = node.msgs_from_vs(g);
+      w.varuint(from_vs.size());
+      for (const auto& [m, sender] : from_vs) {
+        w.client_msg(m);
+        w.process_id(sender);
+      }
+      const auto& safe_vs = node.safe_from_vs(g);
+      w.varuint(safe_vs.size());
+      for (const auto& [m, sender] : safe_vs) {
+        w.client_msg(m);
+        w.process_id(sender);
       }
     }
-    for (ProcessId p : universe) {
-      if (node.sends_used < config.send_budget) {
-        expand(node,
-               impl::DvsImplAction::send(
-                   p, ClientMsg{OpaqueMsg{node.sends_used + 1, p}}),
-               node.sends_used + 1);
+  }
+}
+
+namespace {
+
+struct ImplNode {
+  impl::DvsImplSystem sys;
+  impl::RefinementChecker checker;  // shadow rides along; ≅ ℱ(sys)
+  std::size_t sends_used;
+
+  void check_self() const { sys.check_invariants(); }
+};
+
+class ImplModel {
+ public:
+  using Node = ImplNode;
+
+  ImplModel(const ProcessSet& universe, const ExhaustiveConfig& config)
+      : universe_(universe), config_(config) {}
+
+  void encode(const Node& node, Writer& w) const {
+    encode_state_binary(node.sys, w);
+    w.varuint(node.sends_used);
+  }
+
+  void check(const Node& node) const { node.check_self(); }
+
+  template <typename Emit>
+  void expand(const Node& node, Emit&& emit) const {
+    auto step = [&](const impl::DvsImplAction& action,
+                    std::size_t sends_used) {
+      Node next{node.sys, node.checker, sends_used};
+      const impl::RefinementResult r = next.checker.step(next.sys, action);
+      if (!r.ok) throw InvariantViolation(r.error);
+      emit(std::move(next));
+    };
+
+    // Environment: candidate VS views, client sends, registrations.
+    for (const View& v : config_.candidate_views) {
+      if (node.sys.can_vs_createview(v)) {
+        step(impl::DvsImplAction::with_view(
+                 impl::DvsImplActionKind::kVsCreateview, v.id().origin(), v),
+             node.sends_used);
+      }
+    }
+    for (ProcessId p : universe_) {
+      if (node.sends_used < config_.send_budget) {
+        step(impl::DvsImplAction::send(
+                 p, ClientMsg{OpaqueMsg{node.sends_used + 1, p}}),
+             node.sends_used + 1);
       }
       // Register only when it changes something: a re-register appends yet
       // another "registered" message without any new information, which
@@ -335,19 +697,33 @@ ExhaustiveStats exhaustive_check_dvs_impl(const ProcessSet& universe,
       {
         const impl::VsToDvs& n = node.sys.node(p);
         if (n.client_cur().has_value() && !n.reg(n.client_cur()->id())) {
-          expand(node,
-                 impl::DvsImplAction::make(
-                     impl::DvsImplActionKind::kDvsRegister, p),
-                 node.sends_used);
+          step(impl::DvsImplAction::make(impl::DvsImplActionKind::kDvsRegister,
+                                         p),
+               node.sends_used);
         }
       }
     }
     // All enabled system actions.
     for (const impl::DvsImplAction& a : node.sys.enabled_actions()) {
-      expand(node, a, node.sends_used);
+      step(a, node.sends_used);
     }
   }
-  return stats;
+
+ private:
+  const ProcessSet& universe_;
+  const ExhaustiveConfig& config_;
+};
+
+}  // namespace
+
+ExhaustiveStats exhaustive_check_dvs_impl(const ProcessSet& universe,
+                                          const View& v0,
+                                          const ExhaustiveConfig& config) {
+  ImplModel model(universe, config);
+  ImplNode initial{impl::DvsImplSystem{universe, v0},
+                   impl::RefinementChecker{impl::DvsImplSystem{universe, v0}},
+                   0};
+  return run_bfs(model, std::move(initial), config);
 }
 
 }  // namespace dvs::explorer

@@ -6,12 +6,25 @@
 // bounded number of client sends) and checks Invariants 4.1 and 4.2 on
 // each. For small scopes this is a proof by state enumeration rather than
 // a statistical argument — the strongest form of experiment E2/E3.
+//
+// Visited states are keyed by a 128-bit hash of a compact binary encoding
+// (parallel/state_hash.h) rather than by the encoding itself; set
+// `paranoid_collision_check` to retain the full encodings and turn any
+// hash collision into a hard error.
+//
+// With `jobs > 1` (or 0 = hardware_concurrency) the search runs as a
+// level-synchronized parallel BFS: workers split each depth level, dedup
+// against a shard-locked visited set, and the per-level tallies are merged
+// in a fixed order — so `states_visited` and `transitions` are exact and
+// thread-count independent whenever the scope completes (not truncated).
+// See docs/PERFORMANCE.md for the determinism contract.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/types.h"
 #include "common/view.h"
 #include "impl/dvs_impl.h"
@@ -25,13 +38,25 @@ struct ExhaustiveConfig {
   std::vector<View> candidate_views;
   /// Total number of client sends across all processes.
   std::size_t send_budget = 1;
-  /// Safety valve: stop after visiting this many states.
+  /// Safety valve: stop after visiting this many states. The serial search
+  /// stops mid-level at exactly this count; the parallel search always
+  /// finishes the depth level it is on (keeping truncated counts
+  /// deterministic), so it may overshoot by up to one level.
   std::size_t max_states = 2'000'000;
+  /// Worker threads: 1 = serial BFS (the default), 0 = one per hardware
+  /// thread, N = exactly N workers.
+  std::size_t jobs = 1;
+  /// Lock shards of the parallel visited set.
+  std::size_t shards = 64;
+  /// Keep every state's full binary encoding alongside its hash and verify
+  /// it on every hit (memory-hungry; for soak runs and tests).
+  bool paranoid_collision_check = false;
 };
 
 struct ExhaustiveStats {
   std::size_t states_visited = 0;
   std::size_t transitions = 0;
+  /// Serial: max queued states. Parallel: widest BFS level.
   std::size_t frontier_peak = 0;
   /// True if max_states stopped the search before the frontier drained
   /// (coverage is then partial).
@@ -44,9 +69,14 @@ struct ExhaustiveStats {
 [[nodiscard]] ExhaustiveStats exhaustive_check_dvs_spec(
     const ProcessSet& universe, const View& v0, const ExhaustiveConfig& config);
 
-/// Canonical string encoding of a DvsSpec state (used as the visited-set
-/// key; exposed for tests).
+/// Canonical string encoding of a DvsSpec state (human-readable; exposed
+/// for tests — the search itself uses encode_state_binary).
 [[nodiscard]] std::string encode_state(const spec::DvsSpec& spec);
+
+/// Compact binary encoding of a DvsSpec state, appended to `w`. Injective
+/// on reachable states: two states encode equal iff the string encodings
+/// are equal. This is the hot-path form the visited-set key hashes.
+void encode_state_binary(const spec::DvsSpec& spec, Writer& w);
 
 /// Exhaustive enumeration of DVS-IMPL (the Section 5 composition) for a
 /// bounded environment: every reachable state is checked against
@@ -59,5 +89,8 @@ struct ExhaustiveStats {
 
 /// Canonical encoding of a DVS-IMPL state (exposed for tests).
 [[nodiscard]] std::string encode_state(const impl::DvsImplSystem& sys);
+
+/// Compact binary encoding of a DVS-IMPL state, appended to `w`.
+void encode_state_binary(const impl::DvsImplSystem& sys, Writer& w);
 
 }  // namespace dvs::explorer

@@ -59,7 +59,26 @@ struct ExplorationStats {
   std::size_t registers = 0;
   std::size_t external_events = 0;
   std::size_t invariant_checks = 0;
+
+  friend bool operator==(const ExplorationStats&,
+                         const ExplorationStats&) = default;
 };
+
+/// Field-wise accumulation (used by the parallel seed sweeps; summing in a
+/// fixed seed order keeps aggregates thread-count independent).
+inline ExplorationStats& operator+=(ExplorationStats& a,
+                                    const ExplorationStats& b) {
+  a.steps_taken += b.steps_taken;
+  a.env_actions += b.env_actions;
+  a.views_created += b.views_created;
+  a.dvs_views_attempted += b.dvs_views_attempted;
+  a.msgs_sent += b.msgs_sent;
+  a.msgs_delivered += b.msgs_delivered;
+  a.registers += b.registers;
+  a.external_events += b.external_events;
+  a.invariant_checks += b.invariant_checks;
+  return a;
+}
 
 /// Thrown when an invariant, refinement or acceptance check fails during
 /// exploration; carries the seed and the tail of the action log.

@@ -1,0 +1,99 @@
+#include "parallel/seed_sweep.h"
+
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "explorer/to_explorer.h"
+#include "parallel/thread_pool.h"
+
+namespace dvs::parallel {
+namespace {
+
+struct SeedSlot {
+  explorer::ExplorationStats stats;
+  bool ok = false;
+  std::string error;
+};
+
+}  // namespace
+
+SeedSweepResult SeedSweep::run(const SeedTask& task) const {
+  const std::size_t n = static_cast<std::size_t>(config_.num_seeds);
+  std::vector<SeedSlot> slots(n);
+
+  {
+    ThreadPool pool(config_.jobs);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&task, &slot = slots[i],
+                   seed = config_.first_seed + i]() noexcept {
+        try {
+          slot.stats = task(seed);
+          slot.ok = true;
+        } catch (const std::exception& e) {
+          slot.error = e.what();
+        } catch (...) {
+          slot.error = "unknown exception";
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Aggregate strictly in seed order: the totals and the reported failure
+  // are independent of which worker ran which seed.
+  SeedSweepResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++result.seeds_run;
+    if (slots[i].ok) {
+      result.total += slots[i].stats;
+    } else {
+      ++result.seeds_failed;
+      if (!result.first_failure.has_value()) {
+        result.first_failure =
+            SeedFailure{config_.first_seed + i, std::move(slots[i].error)};
+      }
+    }
+  }
+  return result;
+}
+
+SeedTask vs_spec_task(ProcessSet universe, View v0,
+                      explorer::ExplorerConfig config) {
+  return [universe = std::move(universe), v0 = std::move(v0),
+          config](std::uint64_t seed) {
+    explorer::VsSpecExplorer ex(universe, v0, config, seed);
+    return ex.run();
+  };
+}
+
+SeedTask dvs_spec_task(ProcessSet universe, View v0,
+                       explorer::ExplorerConfig config) {
+  return [universe = std::move(universe), v0 = std::move(v0),
+          config](std::uint64_t seed) {
+    explorer::DvsSpecExplorer ex(universe, v0, config, seed);
+    return ex.run();
+  };
+}
+
+SeedTask dvs_impl_task(ProcessSet universe, View v0,
+                       explorer::ExplorerConfig config,
+                       impl::VsToDvsOptions node_options) {
+  return [universe = std::move(universe), v0 = std::move(v0), config,
+          node_options](std::uint64_t seed) {
+    explorer::DvsImplExplorer ex(universe, v0, config, seed, node_options);
+    return ex.run();
+  };
+}
+
+SeedTask to_impl_task(ProcessSet universe, View v0,
+                      explorer::ExplorerConfig config,
+                      toimpl::DvsToToOptions node_options) {
+  return [universe = std::move(universe), v0 = std::move(v0), config,
+          node_options](std::uint64_t seed) {
+    explorer::ToImplExplorer ex(universe, v0, config, seed, node_options);
+    return ex.run();
+  };
+}
+
+}  // namespace dvs::parallel

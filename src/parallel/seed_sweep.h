@@ -1,0 +1,88 @@
+// Deterministic multi-threaded seed sweeps over the randomized explorers.
+//
+// A sweep fans the seeds [first_seed, first_seed + num_seeds) across a
+// thread pool, one task per seed. Each seed's exploration is fully
+// self-contained (its own automaton copy and Rng), so the only shared
+// state is the result table, which is indexed by seed — never by worker —
+// and aggregated in seed order after the pool drains. That gives the
+// determinism contract the verification harness needs:
+//
+//   * the aggregated ExplorationStats are byte-identical for any thread
+//     count, and identical to a sequential loop over the same seeds;
+//   * when one or more seeds fail, the sweep always reports the LOWEST
+//     failing seed (with its full failure message), so a counterexample
+//     reproduces with `--jobs 1` exactly as it was found with `--jobs N`.
+//
+// See docs/PERFORMANCE.md for the full contract and measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "common/view.h"
+#include "explorer/explorer.h"
+#include "impl/vs_to_dvs.h"
+#include "toimpl/dvs_to_to.h"
+
+namespace dvs::parallel {
+
+struct SeedSweepConfig {
+  std::uint64_t first_seed = 1;
+  std::uint64_t num_seeds = 16;
+  /// Worker threads; 0 = hardware_concurrency().
+  std::size_t jobs = 0;
+};
+
+/// The lowest failing seed of a sweep and its failure account (the
+/// ExplorationFailure::what(), which embeds the seed and action tail).
+struct SeedFailure {
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
+struct SeedSweepResult {
+  /// Field-wise sum of the per-seed stats, accumulated in seed order.
+  explorer::ExplorationStats total;
+  std::size_t seeds_run = 0;
+  std::size_t seeds_failed = 0;
+  /// Failure of the lowest failing seed, if any seed failed.
+  std::optional<SeedFailure> first_failure;
+};
+
+/// Runs one seed to completion and returns its stats; throws
+/// explorer::ExplorationFailure (or any exception) to report a failure.
+using SeedTask =
+    std::function<explorer::ExplorationStats(std::uint64_t seed)>;
+
+class SeedSweep {
+ public:
+  explicit SeedSweep(SeedSweepConfig config) : config_(config) {}
+
+  /// Fans `task` over the configured seed range. Never throws for seed
+  /// failures — they are captured in the result so the sweep always
+  /// completes every seed and the lowest failing one is known.
+  [[nodiscard]] SeedSweepResult run(const SeedTask& task) const;
+
+  [[nodiscard]] const SeedSweepConfig& config() const { return config_; }
+
+ private:
+  SeedSweepConfig config_;
+};
+
+// ----- canned tasks for the four randomized explorers -----------------------
+
+[[nodiscard]] SeedTask vs_spec_task(ProcessSet universe, View v0,
+                                    explorer::ExplorerConfig config);
+[[nodiscard]] SeedTask dvs_spec_task(ProcessSet universe, View v0,
+                                     explorer::ExplorerConfig config);
+[[nodiscard]] SeedTask dvs_impl_task(ProcessSet universe, View v0,
+                                     explorer::ExplorerConfig config,
+                                     impl::VsToDvsOptions node_options = {});
+[[nodiscard]] SeedTask to_impl_task(ProcessSet universe, View v0,
+                                    explorer::ExplorerConfig config,
+                                    toimpl::DvsToToOptions node_options = {});
+
+}  // namespace dvs::parallel

@@ -1,0 +1,74 @@
+// Sharded concurrent visited set for the parallel exhaustive checkers.
+//
+// The set is partitioned into K independently-locked shards keyed by the
+// state hash, so BFS workers contend only when two of them touch the same
+// shard at the same instant. Membership is by 128-bit hash; in paranoid
+// mode each shard also retains the full binary encoding and verifies it on
+// every hit, turning a (cosmically unlikely) hash collision into a hard
+// error instead of a silently-pruned state.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/serialize.h"
+#include "parallel/state_hash.h"
+
+namespace dvs::parallel {
+
+class ShardedStateSet {
+ public:
+  explicit ShardedStateSet(std::size_t shards = 64, bool paranoid = false)
+      : paranoid_(paranoid), shards_(shards == 0 ? 1 : shards) {}
+
+  /// Inserts the state keyed by `h`; returns true iff it was not already
+  /// present. `encoding` is consulted only in paranoid mode, where a hash
+  /// hit with a different encoding throws.
+  bool insert(const Hash128& h, const Bytes& encoding) {
+    Shard& shard = shards_[shard_index(h)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (paranoid_) {
+      auto [it, inserted] = shard.full.try_emplace(h, encoding);
+      if (!inserted && it->second != encoding) {
+        throw std::logic_error(
+            "128-bit state-hash collision detected (paranoid check): two "
+            "distinct encodings share a key");
+      }
+      return inserted;
+    }
+    return shard.keys.insert(h).second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += paranoid_ ? shard.full.size() : shard.keys.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<Hash128, Hash128Hasher> keys;
+    std::unordered_map<Hash128, Bytes, Hash128Hasher> full;  // paranoid mode
+  };
+
+  [[nodiscard]] std::size_t shard_index(const Hash128& h) const {
+    // hi is independent of the bits unordered_set uses (lo), so shard choice
+    // does not correlate with in-shard bucket placement.
+    return static_cast<std::size_t>(h.hi) % shards_.size();
+  }
+
+  bool paranoid_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace dvs::parallel

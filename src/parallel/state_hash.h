@@ -1,0 +1,140 @@
+// 128-bit hashing of encoded automaton states.
+//
+// The exhaustive checkers key their visited sets on a 128-bit hash of the
+// compact binary state encoding instead of the encoding itself: at the
+// multi-million-state scopes the BFS reaches, storing (and comparing)
+// full string keys dominates both memory and time. With 128 bits the
+// collision probability across 10^7 states is ~10^-25, far below the rate
+// of undetected hardware faults; ExhaustiveConfig::paranoid_collision_check
+// retains the full encodings and turns any collision into a hard error.
+//
+// The function is MurmurHash3's x64 128-bit finalizer pipeline — chosen
+// because it is public-domain, allocation-free, and byte-order independent
+// given our little-endian encodings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
+namespace dvs::parallel {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128& h) const noexcept {
+    // The input is already a high-quality hash; fold the halves.
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+namespace detail {
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+inline std::uint64_t load64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace detail
+
+/// MurmurHash3 x64 128 (public domain, Austin Appleby), fixed seed.
+inline Hash128 hash128(const std::byte* data, std::size_t len) {
+  using detail::fmix64;
+  using detail::load64;
+  using detail::rotl64;
+
+  constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  std::uint64_t h1 = 0x5eed5eed5eed5eedULL;
+  std::uint64_t h2 = 0x5eed5eed5eed5eedULL;
+
+  const std::size_t nblocks = len / 16;
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load64(data + 16 * i);
+    std::uint64_t k2 = load64(data + 16 * i + 8);
+
+    k1 *= c1;
+    k1 = rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2;
+    k2 = rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const std::byte* tail = data + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[14])) << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[13])) << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[12])) << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[11])) << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[10])) << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[9])) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[8]));
+      k2 *= c2;
+      k2 = rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[7])) << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[6])) << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[5])) << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[4])) << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[3])) << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[2])) << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[1])) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t(std::to_integer<std::uint8_t>(tail[0]));
+      k1 *= c1;
+      k1 = rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+      break;
+    default:
+      break;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(len);
+  h2 ^= static_cast<std::uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+}  // namespace dvs::parallel

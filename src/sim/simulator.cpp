@@ -10,7 +10,16 @@ void Simulator::schedule_at(Time at, Callback fn) {
   if (at < now_) {
     throw std::logic_error("Simulator::schedule_at in the past");
   }
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  }
+  queue_.push(Event{at, next_seq_++, slot});
 }
 
 void Simulator::schedule_after(Time delay, Callback fn) {
@@ -19,13 +28,17 @@ void Simulator::schedule_after(Time delay, Callback fn) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the callback must be moved out, so
-  // copy the bookkeeping first, then pop and run.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  const Event ev = queue_.top();
   queue_.pop();
+  // Move the callback out and recycle its slot BEFORE running it: the
+  // callback may schedule (growing or reusing slots_), so no reference
+  // into the pool can be held across the call.
+  Callback fn = std::move(slots_[ev.slot]);
+  slots_[ev.slot] = {};
+  free_slots_.push_back(ev.slot);
   now_ = ev.at;
   ++events_fired_;
-  ev.fn();
+  fn();
   return true;
 }
 

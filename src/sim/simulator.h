@@ -9,10 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
+
+#include "common/small_callback.h"
 
 namespace dvs::sim {
 
@@ -25,7 +26,11 @@ constexpr Time kSecond = 1000 * 1000;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  // SmallCallback instead of std::function: event closures (captures of
+  // this + a couple of shared_ptrs or a payload buffer) overflow
+  // std::function's two-word inline buffer and would heap-allocate per
+  // scheduled event on this hot path.
+  using Callback = SmallCallback;
 
   /// Current simulated time.
   [[nodiscard]] Time now() const { return now_; }
@@ -51,10 +56,15 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
 
  private:
+  // The heap holds only POD tickets; callbacks live in a slot pool indexed
+  // by the ticket. Sifting a ticket through the priority queue is a
+  // 24-byte trivial move instead of dragging the callback storage along,
+  // and freed slots are recycled so steady-state scheduling does not
+  // allocate.
   struct Event {
     Time at;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    Callback fn;
+    std::uint32_t slot;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -67,6 +77,8 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Callback> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// A cancellable periodic timer built on the simulator (heartbeats, ack

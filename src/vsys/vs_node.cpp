@@ -71,7 +71,13 @@ bool VsNode::suspected(ProcessId q) const {
 ProcessId VsNode::sequencer() const { return *view_->set().begin(); }
 
 void VsNode::send_wire(ProcessId to, const WireMsg& m) {
-  net_.send(self_, to, encode(m));
+  net_.send(self_, to, encode_reused(m));
+}
+
+const Bytes& VsNode::encode_reused(const WireMsg& m) {
+  wire_writer_.clear();
+  encode_into(m, wire_writer_);
+  return wire_writer_.buffer();
 }
 
 void VsNode::bump_epoch(std::uint64_t epoch) {
@@ -92,7 +98,7 @@ void VsNode::on_tick() {
     hb.delivered = delivered_;
     hb.token_rotation = last_rotation_seen_;
   }
-  const Bytes payload = encode(WireMsg{hb});
+  const Bytes& payload = encode_reused(WireMsg{hb});
   for (ProcessId q : net_.processes()) {
     if (q != self_) net_.send(self_, q, payload);
   }
@@ -170,7 +176,7 @@ void VsNode::maybe_propose() {
   proposal_ = Proposal{v, {}, sim_.now() + config_.propose_timeout};
   ++stats_.proposals_started;
   DVS_LOG_DEBUG("vsys", self_.to_string() << " proposes " << v.to_string());
-  const Bytes payload = encode(WireMsg{Propose{v}});
+  const Bytes& payload = encode_reused(WireMsg{Propose{v}});
   for (ProcessId q : v.set()) net_.send(self_, q, payload);
 }
 
@@ -207,7 +213,7 @@ void VsNode::handle(const FlushAck& fa, ProcessId from) {
     const View v = proposal_->view;
     proposal_.reset();
     cooldown_until_ = sim_.now() + config_.propose_cooldown;
-    const Bytes payload = encode(WireMsg{Install{v}});
+    const Bytes& payload = encode_reused(WireMsg{Install{v}});
     for (ProcessId q : v.set()) net_.send(self_, q, payload);
   }
 }
@@ -270,7 +276,7 @@ void VsNode::handle(const Data& da, ProcessId from) {
 void VsNode::issue(const Msg& payload, ProcessId origin, std::uint64_t seqno) {
   Seq sq{view_->id(), seqno, origin, payload};
   issued_.emplace(seqno, sq);
-  const Bytes bytes = encode(WireMsg{sq});
+  const Bytes& bytes = encode_reused(WireMsg{sq});
   for (ProcessId q : view_->set()) net_.send(self_, q, bytes);
 }
 

@@ -135,6 +135,10 @@ class VsNode {
   [[nodiscard]] bool suspected(ProcessId q) const;
   [[nodiscard]] ProcessId sequencer() const;  // min member of current view
   void send_wire(ProcessId to, const WireMsg& m);
+  /// Encodes into the node's reused scratch Writer (valid until the next
+  /// encode) — unicast sends and broadcasts avoid re-growing a fresh
+  /// buffer per message.
+  const Bytes& encode_reused(const WireMsg& m);
   void bump_epoch(std::uint64_t epoch);
 
   ProcessId self_;
@@ -143,6 +147,7 @@ class VsNode {
   VsConfig config_;
   VsCallbacks callbacks_;
   sim::PeriodicTimer ticker_;
+  Writer wire_writer_;  // scratch buffer for encode_reused
 
   std::optional<View> view_;
   std::uint64_t max_epoch_ = 0;

@@ -19,6 +19,11 @@ enum class Tag : std::uint8_t {
 
 Bytes encode(const WireMsg& m) {
   Writer w;
+  encode_into(m, w);
+  return w.take();
+}
+
+void encode_into(const WireMsg& m, Writer& w) {
   if (const auto* hb = std::get_if<Heartbeat>(&m)) {
     w.u8(static_cast<std::uint8_t>(Tag::kHeartbeat));
     w.u64(hb->max_epoch);
@@ -53,7 +58,6 @@ Bytes encode(const WireMsg& m) {
     w.u64(tk.rotation);
     w.u64(tk.next_seqno);
   }
-  return w.take();
 }
 
 WireMsg decode(const Bytes& data) {

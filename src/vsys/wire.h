@@ -90,6 +90,9 @@ using WireMsg =
     std::variant<Heartbeat, Propose, FlushAck, Install, Data, Seq, Token>;
 
 [[nodiscard]] Bytes encode(const WireMsg& m);
+/// Appends the encoding to `w` without allocating a fresh buffer — the
+/// broadcast hot paths clear() and reuse one Writer per node.
+void encode_into(const WireMsg& m, Writer& w);
 [[nodiscard]] WireMsg decode(const Bytes& data);
 [[nodiscard]] std::string to_string(const WireMsg& m);
 
