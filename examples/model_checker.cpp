@@ -7,6 +7,9 @@
 //   $ ./build/examples/model_checker --jobs N [n_processes] [steps] [seeds]
 //   $ ./build/examples/model_checker --exhaustive [n_processes]
 //   $ ./build/examples/model_checker --exhaustive [n] --jobs N
+//   $ ./build/examples/model_checker --chaos [n] [seeds] --jobs N
+//   $ ./build/examples/model_checker --chaos --smoke
+//   $ ./build/examples/model_checker --chaos --erratum [n] [seeds]
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
 // with every checker armed. `--jobs N` fans the seeds across N worker
@@ -15,9 +18,18 @@
 // --exhaustive instead enumerates ALL reachable DVS-specification states
 // for a bounded environment (small-scope proof); with --jobs it runs the
 // level-synchronized parallel BFS.
+// --chaos runs FaultPlan-driven adversarial executions of the FULL
+// distributed stack (simulated network with loss/duplication/reordering/
+// truncation + scripted crash/partition schedules) with the
+// spec-conformance oracles attached to every run; the chaos report is
+// byte-identical for any --jobs value. --smoke shrinks the sweep for CI
+// sanitizer gates. --erratum re-injects the paper's Figure 5 errata
+// (printed_figure_mode) and *expects* the oracle to reject — a self-test
+// that the harness detects real specification violations.
 //
-// Exit code 0 = no violation found. On failure, the counterexample's seed
-// and action tail are printed for deterministic replay.
+// Exit code 0 = no violation found (or, under --erratum, the expected
+// violation was found). On failure, the counterexample's seed, replayable
+// fault plan and action/trace tail are printed for deterministic replay.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +41,7 @@
 #include "explorer/to_explorer.h"
 #include "parallel/seed_sweep.h"
 #include "parallel/thread_pool.h"
+#include "tosys/chaos.h"
 
 using namespace dvs;  // NOLINT
 
@@ -104,6 +117,84 @@ int run_sweep(std::size_t n, std::size_t steps, std::uint64_t seeds,
   return 0;
 }
 
+int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
+              bool smoke, bool erratum) {
+  tosys::ChaosConfig chaos;
+  chaos.n_processes = n;
+  chaos.to_options.printed_figure_mode = erratum;
+  if (erratum) {
+    // The reverted corrections misbehave when client messages are queued
+    // while a node has no established view — most robustly at a late
+    // joiner, whose whole backlog is labelled during its first exchange
+    // and delivered twice. Run with one process outside v0 and a denser
+    // client load so broadcasts land in those windows.
+    if (n > 1) chaos.initial_members = n - 1;
+    chaos.broadcasts = 200;
+  }
+  if (smoke) {
+    // CI sanitizer gate: fewer seeds over a shorter horizon.
+    chaos.plan.horizon = 2 * sim::kSecond;
+    chaos.plan.events = 8;
+    chaos.broadcasts = 30;
+    chaos.settle = 2 * sim::kSecond;
+  }
+
+  parallel::SeedSweepConfig sweep;
+  sweep.first_seed = 1;
+  sweep.num_seeds = seeds;
+  sweep.jobs = jobs;
+  const parallel::ChaosSweepResult result =
+      parallel::run_chaos_sweep(sweep, chaos);
+
+  if (erratum) {
+    // Self-test: with the Figure 5 errata re-injected, a clean sweep means
+    // the oracle is blind — that is the failure.
+    if (!result.first_failure.has_value()) {
+      std::printf("ERRATUM SELF-TEST FAILED: printed_figure_mode ran %zu "
+                  "chaos seeds at n=%zu without any oracle rejection.\n",
+                  result.seeds_run, n);
+      return 1;
+    }
+    std::printf("erratum self-test passed: oracle rejected %zu of %zu seeds; "
+                "lowest failing seed %llu:\n%s\n",
+                result.seeds_failed, result.seeds_run,
+                static_cast<unsigned long long>(result.first_failure->seed),
+                result.first_failure->message.c_str());
+    return 0;
+  }
+
+  if (result.first_failure.has_value()) {
+    std::printf("COUNTEREXAMPLE FOUND (lowest failing seed %llu of %zu "
+                "failing):\n%s\n",
+                static_cast<unsigned long long>(result.first_failure->seed),
+                result.seeds_failed, result.first_failure->message.c_str());
+    return 1;
+  }
+  // NOTE: deliberately does not print the worker count — the chaos report
+  // is byte-identical across --jobs values, and that property is asserted
+  // by tests and scripts/check.sh.
+  const tosys::ChaosStats& t = result.total;
+  std::printf(
+      "chaos-swept %zu seeds at n=%zu: %llu oracle events, %llu invariant "
+      "checks, %llu views, %llu broadcasts, %llu TO deliveries, %llu "
+      "scripted faults; injected %llu dups / %llu reorders / %llu "
+      "truncations (%llu decode errors, %llu dups suppressed) — zero "
+      "violations.\n",
+      result.seeds_run, n,
+      static_cast<unsigned long long>(t.events_checked),
+      static_cast<unsigned long long>(t.invariant_checks),
+      static_cast<unsigned long long>(t.views_installed),
+      static_cast<unsigned long long>(t.broadcasts),
+      static_cast<unsigned long long>(t.deliveries),
+      static_cast<unsigned long long>(t.fault_events),
+      static_cast<unsigned long long>(t.duplicated),
+      static_cast<unsigned long long>(t.reordered),
+      static_cast<unsigned long long>(t.truncated),
+      static_cast<unsigned long long>(t.decode_errors),
+      static_cast<unsigned long long>(t.duplicates_suppressed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,17 +202,34 @@ int main(int argc, char** argv) {
   // positional meaning.
   std::size_t jobs = 1;
   bool sweep_mode = false;
+  bool chaos_mode = false;
+  bool smoke = false;
+  bool erratum = false;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::strtoul(argv[++i], nullptr, 10);
       sweep_mode = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos_mode = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--erratum") == 0) {
+      erratum = true;
     } else {
       args.push_back(argv[i]);
     }
   }
 
   try {
+    if (chaos_mode) {
+      const std::size_t n =
+          !args.empty() ? std::strtoul(args[0], nullptr, 10) : 3;
+      const std::uint64_t seeds =
+          args.size() > 1 ? std::strtoull(args[1], nullptr, 10)
+                          : (smoke ? 25 : (erratum ? 60 : 500));
+      return run_chaos(n, seeds, jobs, smoke, erratum);
+    }
     if (!args.empty() && std::strcmp(args[0], "--exhaustive") == 0) {
       const std::size_t n_ex =
           args.size() > 1 ? std::strtoul(args[1], nullptr, 10) : 2;

@@ -25,6 +25,10 @@ configure build-asan -DCMAKE_BUILD_TYPE=Debug \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake --build build-asan
 ctest --test-dir build-asan --output-on-failure
+# Chaos conformance smoke under ASan: FaultPlan-driven full-stack runs with
+# the spec oracles attached (short sweep; the long one is E16).
+./build-asan/examples/model_checker --chaos --smoke --jobs 2
+./build-asan/examples/model_checker --chaos --smoke --erratum --jobs 2
 
 echo "== TSan build + parallel tests =="
 # The thread sanitizer gate covers the multi-threaded subsystem: the seed
@@ -35,6 +39,10 @@ cmake --build build-tsan --target parallel_test model_checker
 ./build-tsan/tests/parallel_test
 ./build-tsan/examples/model_checker --jobs 4 2 500 8
 ./build-tsan/examples/model_checker --exhaustive 2 --jobs 4
+# Chaos smoke under TSan: the chaos sweep shares the thread pool, and the
+# report must be byte-identical regardless of worker count.
+./build-tsan/examples/model_checker --chaos --smoke --jobs 4 | tee /tmp/chaos_tsan_j4.txt
+./build-tsan/examples/model_checker --chaos --smoke --jobs 1 | cmp - /tmp/chaos_tsan_j4.txt
 
 echo "== bench smoke =="
 for b in build/bench/*; do

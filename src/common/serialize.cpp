@@ -147,6 +147,14 @@ std::uint64_t Reader::varuint() {
   }
 }
 
+std::uint64_t Reader::count(std::size_t min_element_bytes) {
+  const std::uint64_t n = varuint();
+  if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+    throw DecodeError("container count exceeds remaining input");
+  }
+  return n;
+}
+
 std::string Reader::str() {
   const std::uint64_t n = varuint();
   need(n);
@@ -176,7 +184,7 @@ ViewId Reader::view_id() {
 }
 
 ProcessSet Reader::process_set() {
-  const std::uint64_t n = varuint();
+  const std::uint64_t n = count(4);  // u32 per member
   ProcessSet s;
   for (std::uint64_t i = 0; i < n; ++i) s.insert(process_id());
   return s;
@@ -207,13 +215,15 @@ AppMsg Reader::app_msg() {
 
 Summary Reader::summary() {
   Summary x;
-  const std::uint64_t ncon = varuint();
+  // Minimum wire sizes: label = 24 (view_id 12 + u64 8 + u32 4), con entry
+  // = label + minimal app_msg (u64 8 + u32 4 + empty str 1) = 37.
+  const std::uint64_t ncon = count(37);
   for (std::uint64_t i = 0; i < ncon; ++i) {
     Label l = label();
     AppMsg a = app_msg();
     x.con.emplace(l, std::move(a));
   }
-  const std::uint64_t nord = varuint();
+  const std::uint64_t nord = count(24);
   x.ord.reserve(nord);
   for (std::uint64_t i = 0; i < nord; ++i) x.ord.push_back(label());
   x.next = u64();
@@ -246,7 +256,9 @@ Msg Reader::msg() {
     case MsgTag::kInfo: {
       InfoMsg i;
       i.act = view();
-      const std::uint64_t n = varuint();
+      // Minimal view: view_id 12 + count 1 + one member 4 (views are
+      // nonempty).
+      const std::uint64_t n = count(17);
       i.amb.reserve(n);
       for (std::uint64_t k = 0; k < n; ++k) i.amb.push_back(view());
       return i;

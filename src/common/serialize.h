@@ -80,6 +80,17 @@ class Reader {
   [[nodiscard]] std::string str();
   [[nodiscard]] Bytes bytes_field();
 
+  /// Reads a varuint container count and validates it against the bytes
+  /// remaining: each element occupies at least `min_element_bytes` on the
+  /// wire, so a count that cannot possibly fit is a malformed length
+  /// prefix — rejected as DecodeError *before* any reserve/allocation, so
+  /// a corrupted length byte can never turn into a huge allocation attempt
+  /// (std::length_error / bad_alloc) instead of a clean decode error.
+  [[nodiscard]] std::uint64_t count(std::size_t min_element_bytes);
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
   [[nodiscard]] ProcessId process_id();
   [[nodiscard]] ViewId view_id();
   [[nodiscard]] ProcessSet process_set();

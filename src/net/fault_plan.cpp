@@ -1,0 +1,322 @@
+#include "net/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvs::net {
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("fault plan parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+/// Round-trip-exact double formatting (%.17g).
+std::string format_probability(double p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);
+  return buf;
+}
+
+std::string format_groups(const std::vector<ProcessSet>& groups) {
+  std::ostringstream os;
+  bool first_group = true;
+  for (const ProcessSet& g : groups) {
+    if (!first_group) os << '|';
+    first_group = false;
+    bool first = true;
+    for (ProcessId p : g) {
+      if (!first) os << ',';
+      first = false;
+      os << p.value();
+    }
+  }
+  return os.str();
+}
+
+std::vector<ProcessSet> parse_groups(const std::string& text,
+                                     std::size_t line_no) {
+  std::vector<ProcessSet> out;
+  std::istringstream gs(text);
+  std::string group;
+  while (std::getline(gs, group, '|')) {
+    ProcessSet set;
+    std::istringstream ms(group);
+    std::string member;
+    while (std::getline(ms, member, ',')) {
+      try {
+        set.insert(ProcessId{
+            static_cast<ProcessId::Rep>(std::stoul(member))});
+      } catch (const std::exception&) {
+        parse_fail(line_no, "bad process id '" + member + "'");
+      }
+    }
+    if (set.empty()) parse_fail(line_no, "empty partition group");
+    out.push_back(std::move(set));
+  }
+  if (out.empty()) parse_fail(line_no, "partition without groups");
+  return out;
+}
+
+/// Draws a random partition of the universe into 1–3 groups.
+std::vector<ProcessSet> random_partition(Rng& rng, const ProcessSet& universe) {
+  const std::size_t n_groups = 1 + rng.below(3);
+  std::vector<ProcessSet> out(n_groups);
+  for (ProcessId p : universe) {
+    out[rng.below(n_groups)].insert(p);
+  }
+  std::erase_if(out, [](const ProcessSet& g) { return g.empty(); });
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCrash:
+      return "crash";
+    case FaultEvent::Kind::kRecover:
+      return "recover";
+    case FaultEvent::Kind::kPartition:
+      return "partition";
+    case FaultEvent::Kind::kHeal:
+      return "heal";
+    case FaultEvent::Kind::kDropWindow:
+      return "drop";
+    case FaultEvent::Kind::kDupBurst:
+      return "dup";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const ProcessSet& universe,
+                            const FaultPlanConfig& config) {
+  Rng rng(seed);
+  FaultPlan plan;
+  if (config.events == 0 || universe.empty()) return plan;
+
+  const sim::Time span =
+      config.horizon > config.warmup ? config.horizon - config.warmup : 1;
+  std::vector<sim::Time> times;
+  times.reserve(config.events);
+  for (std::size_t i = 0; i < config.events; ++i) {
+    times.push_back(config.warmup +
+                    static_cast<sim::Time>(
+                        rng.below(static_cast<std::size_t>(span) + 1)));
+  }
+  std::sort(times.begin(), times.end());
+
+  const std::size_t max_paused =
+      config.max_paused != 0
+          ? config.max_paused
+          : (universe.size() > 1 ? universe.size() - 1 : 0);
+
+  const double total = config.w_partition + config.w_heal + config.w_crash +
+                       config.w_recover + config.w_drop_window +
+                       config.w_dup_burst;
+  // Generator-side model of who is paused, so crash/recover picks stay
+  // meaningful (pause an alive process, resume a paused one).
+  ProcessSet paused;
+
+  for (sim::Time at : times) {
+    FaultEvent ev;
+    ev.at = at;
+    double r = rng.uniform() * (total > 0 ? total : 1.0);
+    auto take = [&r](double w) {
+      if (r < w) return true;
+      r -= w;
+      return false;
+    };
+    FaultEvent::Kind kind = FaultEvent::Kind::kHeal;
+    if (take(config.w_partition)) {
+      kind = FaultEvent::Kind::kPartition;
+    } else if (take(config.w_heal)) {
+      kind = FaultEvent::Kind::kHeal;
+    } else if (take(config.w_crash)) {
+      kind = FaultEvent::Kind::kCrash;
+    } else if (take(config.w_recover)) {
+      kind = FaultEvent::Kind::kRecover;
+    } else if (take(config.w_drop_window)) {
+      kind = FaultEvent::Kind::kDropWindow;
+    } else {
+      kind = FaultEvent::Kind::kDupBurst;
+    }
+    // Degenerate draws degrade into their counterpart: a crash with the
+    // pause budget exhausted becomes a recover, a recover with nobody
+    // paused becomes a crash (or a heal when even that is impossible).
+    if (kind == FaultEvent::Kind::kCrash && paused.size() >= max_paused) {
+      kind = paused.empty() ? FaultEvent::Kind::kHeal
+                            : FaultEvent::Kind::kRecover;
+    }
+    if (kind == FaultEvent::Kind::kRecover && paused.empty()) {
+      kind = max_paused > 0 ? FaultEvent::Kind::kCrash
+                            : FaultEvent::Kind::kHeal;
+    }
+    ev.kind = kind;
+    switch (kind) {
+      case FaultEvent::Kind::kCrash: {
+        ProcessSet alive;
+        for (ProcessId p : universe) {
+          if (!paused.contains(p)) alive.insert(p);
+        }
+        ev.target = rng.pick(alive);
+        paused.insert(ev.target);
+        break;
+      }
+      case FaultEvent::Kind::kRecover:
+        ev.target = rng.pick(paused);
+        paused.erase(ev.target);
+        break;
+      case FaultEvent::Kind::kPartition:
+        ev.groups = random_partition(rng, universe);
+        break;
+      case FaultEvent::Kind::kHeal:
+        break;
+      case FaultEvent::Kind::kDropWindow:
+      case FaultEvent::Kind::kDupBurst: {
+        const auto lo = static_cast<std::int64_t>(config.window_min);
+        const auto hi = static_cast<std::int64_t>(
+            std::max(config.window_max, config.window_min));
+        ev.duration = static_cast<sim::Time>(rng.between(lo, hi));
+        ev.probability = kind == FaultEvent::Kind::kDropWindow
+                             ? config.drop_probability
+                             : config.dup_probability;
+        break;
+      }
+    }
+    plan.events.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& ev : events) {
+    os << net::to_string(ev.kind) << " @" << ev.at;
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+      case FaultEvent::Kind::kRecover:
+        os << ' ' << ev.target.value();
+        break;
+      case FaultEvent::Kind::kPartition:
+        os << ' ' << format_groups(ev.groups);
+        break;
+      case FaultEvent::Kind::kHeal:
+        break;
+      case FaultEvent::Kind::kDropWindow:
+      case FaultEvent::Kind::kDupBurst:
+        os << " +" << ev.duration << ' '
+           << format_probability(ev.probability);
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind_word;
+    std::string at_word;
+    ls >> kind_word >> at_word;
+    if (at_word.size() < 2 || at_word[0] != '@') {
+      parse_fail(line_no, "expected '@<time>' after the event kind");
+    }
+    FaultEvent ev;
+    try {
+      ev.at = std::stoull(at_word.substr(1));
+    } catch (const std::exception&) {
+      parse_fail(line_no, "bad time '" + at_word + "'");
+    }
+    if (kind_word == "crash" || kind_word == "recover") {
+      ev.kind = kind_word == "crash" ? FaultEvent::Kind::kCrash
+                                     : FaultEvent::Kind::kRecover;
+      std::string id_word;
+      if (!(ls >> id_word)) parse_fail(line_no, "missing process id");
+      try {
+        ev.target =
+            ProcessId{static_cast<ProcessId::Rep>(std::stoul(id_word))};
+      } catch (const std::exception&) {
+        parse_fail(line_no, "bad process id '" + id_word + "'");
+      }
+    } else if (kind_word == "partition") {
+      ev.kind = FaultEvent::Kind::kPartition;
+      std::string groups_word;
+      if (!(ls >> groups_word)) parse_fail(line_no, "missing groups");
+      ev.groups = parse_groups(groups_word, line_no);
+    } else if (kind_word == "heal") {
+      ev.kind = FaultEvent::Kind::kHeal;
+    } else if (kind_word == "drop" || kind_word == "dup") {
+      ev.kind = kind_word == "drop" ? FaultEvent::Kind::kDropWindow
+                                    : FaultEvent::Kind::kDupBurst;
+      std::string dur_word;
+      std::string prob_word;
+      if (!(ls >> dur_word >> prob_word) || dur_word.empty() ||
+          dur_word[0] != '+') {
+        parse_fail(line_no, "expected '+<duration> <probability>'");
+      }
+      try {
+        ev.duration = std::stoull(dur_word.substr(1));
+        ev.probability = std::stod(prob_word);
+      } catch (const std::exception&) {
+        parse_fail(line_no, "bad duration or probability");
+      }
+    } else {
+      parse_fail(line_no, "unknown event kind '" + kind_word + "'");
+    }
+    plan.events.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+void FaultPlan::schedule(sim::Simulator& sim, SimNetwork& net) const {
+  // Windows restore the pre-plan rates, captured once here — overlapping
+  // windows therefore cannot "restore" each other's elevated values.
+  const double base_drop = net.config().drop_probability;
+  const double base_dup = net.config().duplicate_probability;
+  for (const FaultEvent& ev : events) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrash:
+        sim.schedule_at(ev.at, [&net, p = ev.target] { net.pause(p); });
+        break;
+      case FaultEvent::Kind::kRecover:
+        sim.schedule_at(ev.at, [&net, p = ev.target] { net.resume(p); });
+        break;
+      case FaultEvent::Kind::kPartition:
+        sim.schedule_at(ev.at, [&net, groups = ev.groups] {
+          net.set_partition(groups);
+        });
+        break;
+      case FaultEvent::Kind::kHeal:
+        sim.schedule_at(ev.at, [&net] { net.heal(); });
+        break;
+      case FaultEvent::Kind::kDropWindow:
+        sim.schedule_at(ev.at, [&net, p = ev.probability] {
+          net.set_drop_probability(p);
+        });
+        sim.schedule_at(ev.at + ev.duration, [&net, base_drop] {
+          net.set_drop_probability(base_drop);
+        });
+        break;
+      case FaultEvent::Kind::kDupBurst:
+        sim.schedule_at(ev.at, [&net, p = ev.probability] {
+          net.set_duplicate_probability(p);
+        });
+        sim.schedule_at(ev.at + ev.duration, [&net, base_dup] {
+          net.set_duplicate_probability(base_dup);
+        });
+        break;
+    }
+  }
+}
+
+}  // namespace dvs::net

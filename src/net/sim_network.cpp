@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace dvs::net {
 
@@ -34,6 +35,43 @@ bool SimNetwork::connected(ProcessId a, ProcessId b) const {
   return ga == gb;
 }
 
+void SimNetwork::schedule_delivery(ProcessId from, ProcessId to,
+                                   Bytes payload) {
+  sim::Time delay = config_.base_delay;
+  if (config_.jitter_mean_us > 0.0) {
+    delay += static_cast<sim::Time>(rng_.exponential(config_.jitter_mean_us));
+  }
+  sim::Time at = sim_.now() + delay;
+  if (config_.reorder_probability > 0.0 &&
+      rng_.chance(config_.reorder_probability)) {
+    // Reordered delivery: bypass the link clock entirely — later sends can
+    // overtake this one within the bounded window.
+    if (config_.reorder_window > 0) {
+      at += static_cast<sim::Time>(
+          rng_.below(static_cast<std::size_t>(config_.reorder_window) + 1));
+    }
+    ++stats_.reordered;
+  } else {
+    // FIFO per ordered pair: never deliver before an earlier send on the
+    // link.
+    auto& clock = link_clock_[{from, to}];
+    at = std::max(at, clock + 1);
+    clock = at;
+  }
+  sim_.schedule_at(at, [this, from, to, payload = std::move(payload)] {
+    // Re-check connectivity at delivery: partitions and pauses that
+    // happened in flight lose the message.
+    if (!connected(from, to)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) return;
+    ++stats_.delivered;
+    it->second(from, payload);
+  });
+}
+
 void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
@@ -49,26 +87,25 @@ void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
     ++stats_.dropped_random;
     return;
   }
-  sim::Time delay = config_.base_delay;
-  if (config_.jitter_mean_us > 0.0) {
-    delay += static_cast<sim::Time>(rng_.exponential(config_.jitter_mean_us));
+  if (config_.truncate_probability > 0.0 && !payload.empty() &&
+      rng_.chance(config_.truncate_probability)) {
+    // Corrupt rather than drop: deliver a proper prefix (possibly empty).
+    payload.resize(rng_.below(payload.size()));
+    ++stats_.truncated;
   }
-  // FIFO per ordered pair: never deliver before an earlier send on the link.
-  auto& clock = link_clock_[{from, to}];
-  sim::Time at = std::max(sim_.now() + delay, clock + 1);
-  clock = at;
-  sim_.schedule_at(at, [this, from, to, payload = std::move(payload)] {
-    // Re-check connectivity at delivery: partitions and pauses that
-    // happened in flight lose the message.
-    if (!connected(from, to)) {
-      ++stats_.dropped_partition;
-      return;
-    }
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) return;
-    ++stats_.delivered;
-    it->second(from, payload);
-  });
+  // Extra copies first decide how many, then every copy (original included)
+  // is scheduled through the same delay/reorder machinery.
+  std::size_t extra = 0;
+  while (extra < config_.max_duplicates &&
+         config_.duplicate_probability > 0.0 &&
+         rng_.chance(config_.duplicate_probability)) {
+    ++extra;
+  }
+  stats_.duplicated += extra;
+  for (std::size_t copy = 0; copy < extra; ++copy) {
+    schedule_delivery(from, to, payload);
+  }
+  schedule_delivery(from, to, std::move(payload));
 }
 
 void SimNetwork::multicast(ProcessId from, const ProcessSet& targets,

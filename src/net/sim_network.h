@@ -8,6 +8,21 @@
 // partition event are lost — exactly the behaviour a view-synchronous layer
 // must tolerate.
 //
+// Beyond loss, the network injects the classic message anomalies an
+// adversarial transport can produce, each behind its own NetConfig knob:
+//   * duplication — a message is delivered again, up to max_duplicates
+//     extra copies, each with its own delay;
+//   * bounded reordering — a message bypasses the link's FIFO clock and may
+//     arrive up to reorder_window after its natural slot, overtaken by
+//     later sends (models UDP-style reordering; off by default so links
+//     stay TCP-like);
+//   * payload truncation — the payload is cut to a proper prefix in flight
+//     (models a corrupted frame; receivers must treat it as a decode error,
+//     never crash).
+// The fault knobs can also be flipped mid-run (set_drop_probability /
+// set_duplicate_probability), which net::FaultPlan uses to script
+// drop-windows and dup-bursts.
+//
 // Payloads are encoded byte buffers: every protocol above this layer
 // serializes its messages (common/serialize.h), keeping the stack honest
 // about what crosses the wire.
@@ -34,6 +49,22 @@ struct NetConfig {
   double jitter_mean_us = 500.0;
   /// Probability a message is silently dropped (checked at send time).
   double drop_probability = 0.0;
+  /// Probability each extra copy of a message is delivered, evaluated up to
+  /// max_duplicates times per send (so k extra copies have probability
+  /// duplicate_probability^k). Duplicates respect the same FIFO/reorder
+  /// rules as the original.
+  double duplicate_probability = 0.0;
+  /// Hard cap on extra copies per send.
+  std::size_t max_duplicates = 1;
+  /// Probability a delivery bypasses the link FIFO clock: it is scheduled
+  /// at send-time + delay + uniform(0, reorder_window) without consulting
+  /// or advancing the per-link monotone clock, so later sends can overtake
+  /// it. 0 keeps every link strictly FIFO.
+  double reorder_probability = 0.0;
+  sim::Time reorder_window = 5 * sim::kMillisecond;
+  /// Probability the payload is truncated to a random proper prefix in
+  /// flight (delivered corrupted rather than dropped).
+  double truncate_probability = 0.0;
 };
 
 struct NetStats {
@@ -43,6 +74,13 @@ struct NetStats {
   std::uint64_t dropped_partition = 0;
   std::uint64_t dropped_crash = 0;
   std::uint64_t bytes_sent = 0;
+  /// Extra copies scheduled by duplication (each may still be lost to an
+  /// in-flight partition like any other delivery).
+  std::uint64_t duplicated = 0;
+  /// Deliveries that bypassed the link FIFO clock.
+  std::uint64_t reordered = 0;
+  /// Payloads truncated in flight.
+  std::uint64_t truncated = 0;
 };
 
 class SimNetwork {
@@ -68,7 +106,8 @@ class SimNetwork {
   /// singleton group each.
   void set_partition(const std::vector<ProcessSet>& groups);
 
-  /// Restores full connectivity.
+  /// Restores full connectivity. Pauses are untouched: heal() after pause()
+  /// reconnects exactly the non-paused links.
   void heal();
 
   /// Pauses a process: all traffic to and from it is dropped. Models a
@@ -78,15 +117,24 @@ class SimNetwork {
   void resume(ProcessId p);
   [[nodiscard]] bool paused(ProcessId p) const { return paused_.contains(p); }
 
+  /// Mid-run fault-knob overrides (drop-windows and dup-bursts of a
+  /// FaultPlan flip these and restore the previous value afterwards).
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+  void set_duplicate_probability(double p) {
+    config_.duplicate_probability = p;
+  }
+
   /// True iff a and b are currently in the same connectivity component and
   /// neither is paused.
   [[nodiscard]] bool connected(ProcessId a, ProcessId b) const;
 
+  [[nodiscard]] const NetConfig& config() const { return config_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   [[nodiscard]] const ProcessSet& processes() const { return processes_; }
 
  private:
   [[nodiscard]] int group_of(ProcessId p) const;
+  void schedule_delivery(ProcessId from, ProcessId to, Bytes payload);
 
   sim::Simulator& sim_;
   Rng& rng_;

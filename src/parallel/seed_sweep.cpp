@@ -58,6 +58,50 @@ SeedSweepResult SeedSweep::run(const SeedTask& task) const {
   return result;
 }
 
+ChaosSweepResult run_chaos_sweep(const SeedSweepConfig& config,
+                                 const tosys::ChaosConfig& chaos) {
+  struct ChaosSlot {
+    tosys::ChaosStats stats;
+    bool ok = false;
+    std::string error;
+  };
+  const std::size_t n = static_cast<std::size_t>(config.num_seeds);
+  std::vector<ChaosSlot> slots(n);
+
+  {
+    ThreadPool pool(config.jobs);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&chaos, &slot = slots[i],
+                   seed = config.first_seed + i]() noexcept {
+        try {
+          slot.stats = tosys::run_chaos_seed(seed, chaos);
+          slot.ok = true;
+        } catch (const std::exception& e) {
+          slot.error = e.what();
+        } catch (...) {
+          slot.error = "unknown exception";
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  ChaosSweepResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++result.seeds_run;
+    if (slots[i].ok) {
+      result.total += slots[i].stats;
+    } else {
+      ++result.seeds_failed;
+      if (!result.first_failure.has_value()) {
+        result.first_failure =
+            SeedFailure{config.first_seed + i, std::move(slots[i].error)};
+      }
+    }
+  }
+  return result;
+}
+
 SeedTask vs_spec_task(ProcessSet universe, View v0,
                       explorer::ExplorerConfig config) {
   return [universe = std::move(universe), v0 = std::move(v0),

@@ -26,6 +26,7 @@
 #include "explorer/explorer.h"
 #include "impl/vs_to_dvs.h"
 #include "toimpl/dvs_to_to.h"
+#include "tosys/chaos.h"
 
 namespace dvs::parallel {
 
@@ -84,5 +85,25 @@ class SeedSweep {
 [[nodiscard]] SeedTask to_impl_task(ProcessSet universe, View v0,
                                     explorer::ExplorerConfig config,
                                     toimpl::DvsToToOptions node_options = {});
+
+// ----- chaos sweeps ----------------------------------------------------------
+
+/// Result of fanning tosys::run_chaos_seed over a seed range. Same
+/// determinism contract as SeedSweepResult: `total` is summed in seed
+/// order and `first_failure` is always the LOWEST failing seed, so every
+/// field is byte-identical for any thread count.
+struct ChaosSweepResult {
+  tosys::ChaosStats total;
+  std::size_t seeds_run = 0;
+  std::size_t seeds_failed = 0;
+  std::optional<SeedFailure> first_failure;
+};
+
+/// Runs the FaultPlan-driven full-stack chaos executions (tosys/chaos.h)
+/// for the seeds in `config`, each with the conformance oracles attached.
+/// Never throws for seed failures; the lowest failing seed's ChaosFailure
+/// message (seed + replayable plan + trace tail) lands in first_failure.
+[[nodiscard]] ChaosSweepResult run_chaos_sweep(
+    const SeedSweepConfig& config, const tosys::ChaosConfig& chaos);
 
 }  // namespace dvs::parallel

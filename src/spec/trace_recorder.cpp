@@ -1,0 +1,73 @@
+#include "spec/trace_recorder.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dvs::spec {
+
+TraceRecorder::TraceRecorder(ProcessSet universe, View v0,
+                             TraceRecorderOptions options)
+    : options_(options),
+      vs_acceptor_(universe, v0),
+      dvs_acceptor_(universe, v0),
+      to_acceptor_(std::move(universe)) {}
+
+void TraceRecorder::record(const VsEvent& event) {
+  if (options_.keep_traces) vs_trace_.push_back(event);
+  if (!options_.check_online || violation_.has_value()) return;
+  const std::size_t index = vs_fed_++;
+  ++events_checked_;
+  const AcceptResult r = vs_acceptor_.feed(event);
+  if (!r.ok) violation_ = TraceViolation{"VS", index, r.error};
+}
+
+void TraceRecorder::record(const DvsEvent& event) {
+  if (options_.keep_traces) dvs_trace_.push_back(event);
+  if (!options_.check_online || violation_.has_value()) return;
+  const std::size_t index = dvs_fed_++;
+  ++events_checked_;
+  const AcceptResult r = dvs_acceptor_.feed(event);
+  if (!r.ok) violation_ = TraceViolation{"DVS", index, r.error};
+}
+
+void TraceRecorder::record(const ToEvent& event) {
+  if (options_.keep_traces) to_trace_.push_back(event);
+  if (!options_.check_online || violation_.has_value()) return;
+  const std::size_t index = to_fed_++;
+  ++events_checked_;
+  const AcceptResult r = to_acceptor_.feed(event);
+  if (!r.ok) violation_ = TraceViolation{"TO", index, r.error};
+}
+
+bool TraceRecorder::check_invariants() {
+  if (!options_.check_online || violation_.has_value()) return ok();
+  ++invariant_checks_;
+  try {
+    dvs_acceptor_.spec().check_invariants();
+  } catch (const InvariantViolation& e) {
+    violation_ = TraceViolation{"DVS", dvs_fed_, e.what()};
+  }
+  return ok();
+}
+
+std::string TraceRecorder::tail(std::size_t max_per_layer) const {
+  if (!options_.keep_traces) return {};
+  std::ostringstream os;
+  const auto dump = [&os, max_per_layer](const char* layer, const auto& trace) {
+    os << layer << " trace (" << trace.size() << " events";
+    const std::size_t start =
+        trace.size() > max_per_layer ? trace.size() - max_per_layer : 0;
+    if (start > 0) os << ", last " << (trace.size() - start);
+    os << "):\n";
+    for (std::size_t i = start; i < trace.size(); ++i) {
+      os << "  #" << i << " " << to_string(trace[i]) << "\n";
+    }
+  };
+  dump("VS", vs_trace_);
+  dump("DVS", dvs_trace_);
+  dump("TO", to_trace_);
+  return os.str();
+}
+
+}  // namespace dvs::spec

@@ -1,0 +1,110 @@
+// TraceRecorder: an always-on spec-conformance oracle for simulated runs.
+//
+// The distributed stack reports every externally visible action (VS / DVS /
+// TO events) to a recorder, which feeds each event straight into the
+// corresponding trace acceptor (VsAcceptor / DvsAcceptor / ToAcceptor) as
+// the simulation executes. Any run with a recorder attached — chaos sweep,
+// benchmark, demo — therefore doubles as a check that the execution is a
+// trace of the Figure 1, Figure 2 and Figure 5 specifications; there is no
+// separate "verification mode" to forget to enable.
+//
+// A rejection is sticky: the first violation freezes the oracle (acceptor
+// state is unspecified after a rejection) and is reported with its layer,
+// event index and the acceptor's diagnosis. The recorder can also re-check
+// the DVS state Invariants 4.1/4.2 on demand against the acceptor's
+// resolved spec state — the greedy acceptor maintains a concrete DvsSpec
+// state, so the paper's state invariants are checkable mid-run, not just
+// trace inclusion.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+#include "spec/acceptors.h"
+#include "spec/events.h"
+
+namespace dvs::spec {
+
+/// The first conformance violation a recorder observed.
+struct TraceViolation {
+  std::string layer;  // "VS", "DVS" or "TO"
+  std::size_t index = 0;  // 0-based index in that layer's event stream
+  std::string error;  // acceptor diagnosis (embeds the offending event)
+
+  [[nodiscard]] std::string to_string() const {
+    return layer + " acceptor rejected event #" + std::to_string(index) +
+           ": " + error;
+  }
+};
+
+struct TraceRecorderOptions {
+  /// Store the full event streams (needed for dumps and offline replay;
+  /// costs memory on long runs).
+  bool keep_traces = true;
+  /// Feed the acceptors online. Off = plain recording, no oracle.
+  bool check_online = true;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder(ProcessSet universe, View v0,
+                TraceRecorderOptions options = {});
+
+  /// Record (and, when the oracle is on, check) one external event.
+  void record(const VsEvent& event);
+  void record(const DvsEvent& event);
+  void record(const ToEvent& event);
+
+  /// Re-checks DVS Invariants 4.1/4.2 on the acceptor's current resolved
+  /// state. Returns false (and records the violation) on failure; true
+  /// otherwise. No-op when the oracle is off or already tripped.
+  bool check_invariants();
+
+  [[nodiscard]] bool ok() const { return !violation_.has_value(); }
+  [[nodiscard]] const std::optional<TraceViolation>& violation() const {
+    return violation_;
+  }
+
+  /// Total events fed through the acceptors so far (the oracle's work
+  /// count; deterministic per seed, aggregated by the chaos sweeps).
+  [[nodiscard]] std::size_t events_checked() const { return events_checked_; }
+  /// DVS invariant re-checks performed.
+  [[nodiscard]] std::size_t invariant_checks() const {
+    return invariant_checks_;
+  }
+
+  [[nodiscard]] const std::vector<VsEvent>& vs_trace() const {
+    return vs_trace_;
+  }
+  [[nodiscard]] const std::vector<DvsEvent>& dvs_trace() const {
+    return dvs_trace_;
+  }
+  [[nodiscard]] const std::vector<ToEvent>& to_trace() const {
+    return to_trace_;
+  }
+
+  /// Printable tail (up to `max_per_layer` events per layer) of the stored
+  /// traces, for failure reports. Empty when keep_traces is off.
+  [[nodiscard]] std::string tail(std::size_t max_per_layer = 12) const;
+
+ private:
+  TraceRecorderOptions options_;
+  VsAcceptor vs_acceptor_;
+  DvsAcceptor dvs_acceptor_;
+  ToAcceptor to_acceptor_;
+  std::vector<VsEvent> vs_trace_;
+  std::vector<DvsEvent> dvs_trace_;
+  std::vector<ToEvent> to_trace_;
+  std::size_t vs_fed_ = 0;
+  std::size_t dvs_fed_ = 0;
+  std::size_t to_fed_ = 0;
+  std::size_t events_checked_ = 0;
+  std::size_t invariant_checks_ = 0;
+  std::optional<TraceViolation> violation_;
+};
+
+}  // namespace dvs::spec

@@ -1,0 +1,106 @@
+// Chaos harness: FaultPlan-driven adversarial executions of the full
+// distributed stack (SimNetwork → VsNode → DvsNode → ToNode) with the
+// spec-conformance oracles attached.
+//
+// One chaos run builds a Cluster with every network anomaly armed
+// (loss, duplication, bounded reordering, payload truncation), generates a
+// FaultPlan from the seed, schedules a deterministic client broadcast load
+// across the fault horizon, and lets the stack fight through it. The
+// always-on TraceRecorder oracle checks every externally visible action
+// against the Figure 1/2/5 specifications as it happens, and Invariants
+// 4.1/4.2 are re-checked periodically against the DVS acceptor's resolved
+// state. After the horizon the network heals, everyone resumes, and the run
+// settles — recovery paths are exercised, not just degradation.
+//
+// A violation throws ChaosFailure whose message embeds the seed, the full
+// replayable FaultPlan text (net::FaultPlan::parse round-trips it) and the
+// tail of the recorded traces. Everything is deterministic in the seed:
+// `model_checker --chaos` fans seeds across threads (parallel chaos sweep)
+// and reports the lowest failing seed, which reproduces identically with
+// --jobs 1.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "net/fault_plan.h"
+#include "sim/simulator.h"
+#include "toimpl/dvs_to_to.h"
+
+namespace dvs::tosys {
+
+struct ChaosConfig {
+  std::size_t n_processes = 3;
+  /// Processes in the initial view v0 (0 = all). Fewer than n_processes
+  /// leaves late joiners whose client broadcasts queue up until their
+  /// first view — the join path is part of the adversarial surface (and
+  /// exactly where the printed Figure 5 erratum duplicates deliveries).
+  std::size_t initial_members = 0;
+  /// Scripted faults; `plan.horizon` also bounds the client load and the
+  /// periodic invariant checks.
+  net::FaultPlanConfig plan;
+  /// Steady network anomalies active for the whole run (the plan's
+  /// drop-windows and dup-bursts modulate on top of these).
+  double drop_probability = 0.02;
+  double duplicate_probability = 0.15;
+  std::size_t max_duplicates = 2;
+  double reorder_probability = 0.15;
+  sim::Time reorder_window = 5 * sim::kMillisecond;
+  double truncate_probability = 0.02;
+  /// Client broadcasts injected at seeded times across the horizon.
+  std::size_t broadcasts = 60;
+  /// Run time after the final heal/resume, letting recovery complete
+  /// before the end-of-run invariant check.
+  sim::Time settle = 3 * sim::kSecond;
+  /// Re-check Invariants 4.1/4.2 this often during the horizon (0 = only
+  /// at the end of the run).
+  sim::Time invariant_check_period = 200 * sim::kMillisecond;
+  /// TO-automaton switches; printed_figure_mode re-injects the paper's
+  /// Figure 5 errata so the sweep can prove the oracle catches them.
+  toimpl::DvsToToOptions to_options;
+};
+
+/// Per-run counters. All fields are deterministic functions of the seed and
+/// config; the chaos sweep aggregates them field-wise in seed order, so
+/// totals are thread-count independent.
+struct ChaosStats {
+  std::uint64_t events_checked = 0;      // oracle-fed external events
+  std::uint64_t invariant_checks = 0;    // DVS Invariant 4.1/4.2 re-checks
+  std::uint64_t views_installed = 0;     // VS installs across all nodes
+  std::uint64_t broadcasts = 0;          // client BCASTs injected
+  std::uint64_t deliveries = 0;          // TO BRCVs across all nodes
+  std::uint64_t fault_events = 0;        // scripted FaultPlan events
+  std::uint64_t net_sent = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t duplicated = 0;          // extra copies the network injected
+  std::uint64_t reordered = 0;           // deliveries that bypassed FIFO
+  std::uint64_t truncated = 0;           // payloads cut in flight
+  std::uint64_t decode_errors = 0;       // corrupted datagrams dropped clean
+  std::uint64_t duplicates_suppressed = 0;  // dup-suppression path hits
+
+  friend bool operator==(const ChaosStats&, const ChaosStats&) = default;
+};
+
+ChaosStats& operator+=(ChaosStats& a, const ChaosStats& b);
+
+/// A conformance violation under chaos. what() embeds the seed, the
+/// oracle's diagnosis, the replayable FaultPlan and the trace tail.
+class ChaosFailure : public std::runtime_error {
+ public:
+  ChaosFailure(std::uint64_t seed, const std::string& message)
+      : std::runtime_error(message), seed_(seed) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Runs one seeded chaos execution to completion and returns its counters;
+/// throws ChaosFailure on any oracle rejection or invariant violation.
+[[nodiscard]] ChaosStats run_chaos_seed(std::uint64_t seed,
+                                        const ChaosConfig& config = {});
+
+}  // namespace dvs::tosys

@@ -8,7 +8,11 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
       universe_(make_universe(config.n_processes)),
       v0_{ViewId::initial(),
           make_universe(config.initial_members == 0 ? config.n_processes
-                                                    : config.initial_members)} {
+                                                    : config.initial_members)},
+      recorder_(universe_, v0_,
+                spec::TraceRecorderOptions{
+                    .keep_traces = config.record_traces,
+                    .check_online = config.conformance_oracle}) {
   net_ = std::make_unique<net::SimNetwork>(sim_, rng_, config_.net, universe_);
 
   for (ProcessId p : universe_) {
@@ -23,20 +27,24 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
                               .weights = config_.weights});
     to_[p] = std::make_unique<ToNode>(
         p, v0_, *dvs_[p], ToCallbacks{},
-        ToNodeOptions{.auto_register = config_.registration_enabled});
+        ToNodeOptions{.auto_register = config_.registration_enabled,
+                      .automaton = config_.to_options});
   }
-  // Wire callbacks with trace recording interposed at every layer.
+  // Every layer's external actions are observed; the recorder stores the
+  // traces and/or feeds the spec acceptors online (the conformance oracle),
+  // per its options.
+  const bool observe = config_.record_traces || config_.conformance_oracle;
   for (ProcessId p : universe_) {
     dvsys::DvsNode* dvs_node = dvs_.at(p).get();
     ToNode* to_node = to_.at(p).get();
 
     // TO layer on top of DVS.
     ToCallbacks to_cb;
-    to_cb.on_brcv = [this, p](const AppMsg& a, ProcessId origin) {
+    to_cb.on_brcv = [this, p, observe](const AppMsg& a, ProcessId origin) {
       const Delivery d{p, origin, a, sim_.now()};
       deliveries_.push_back(d);
-      if (config_.record_traces) {
-        to_trace_.push_back(spec::EvBrcv{origin, p, a});
+      if (observe) {
+        recorder_.record(spec::ToEvent{spec::EvBrcv{origin, p, a}});
       }
       if (delivery_hook_) delivery_hook_(d);
     };
@@ -44,53 +52,53 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
 
     // DVS layer on top of VS, forwarding into the TO automaton.
     dvsys::DvsCallbacks dvs_cb = to_node->dvs_callbacks();
-    if (config_.record_traces) {
+    if (observe) {
       auto fwd_newview = std::move(dvs_cb.on_newview);
       dvs_cb.on_newview = [this, p, fwd_newview](const View& v) {
-        dvs_trace_.push_back(spec::EvNewview{p, v});
+        recorder_.record(spec::DvsEvent{spec::EvNewview{p, v}});
         if (fwd_newview) fwd_newview(v);
       };
       auto fwd_gprcv = std::move(dvs_cb.on_gprcv);
       dvs_cb.on_gprcv = [this, p, fwd_gprcv](const ClientMsg& m,
                                              ProcessId from) {
-        dvs_trace_.push_back(spec::EvGprcv<ClientMsg>{from, p, m});
+        recorder_.record(spec::DvsEvent{spec::EvGprcv<ClientMsg>{from, p, m}});
         if (fwd_gprcv) fwd_gprcv(m, from);
       };
       auto fwd_safe = std::move(dvs_cb.on_safe);
       dvs_cb.on_safe = [this, p, fwd_safe](const ClientMsg& m,
                                            ProcessId from) {
-        dvs_trace_.push_back(spec::EvSafe<ClientMsg>{from, p, m});
+        recorder_.record(spec::DvsEvent{spec::EvSafe<ClientMsg>{from, p, m}});
         if (fwd_safe) fwd_safe(m, from);
       };
       dvs_cb.on_gpsnd = [this, p](const ClientMsg& m) {
-        dvs_trace_.push_back(spec::EvGpsnd<ClientMsg>{p, m});
+        recorder_.record(spec::DvsEvent{spec::EvGpsnd<ClientMsg>{p, m}});
       };
       dvs_cb.on_register = [this, p] {
-        dvs_trace_.push_back(spec::EvRegister{p});
+        recorder_.record(spec::DvsEvent{spec::EvRegister{p}});
       };
     }
     dvs_node->set_callbacks(std::move(dvs_cb));
 
     // VS layer, forwarding into the DVS automaton.
     vsys::VsCallbacks vs_cb = dvs_node->vs_callbacks();
-    if (config_.record_traces) {
+    if (observe) {
       auto fwd_newview = std::move(vs_cb.on_newview);
       vs_cb.on_newview = [this, p, fwd_newview](const View& v) {
-        vs_trace_.push_back(spec::EvNewview{p, v});
+        recorder_.record(spec::VsEvent{spec::EvNewview{p, v}});
         if (fwd_newview) fwd_newview(v);
       };
       auto fwd_gprcv = std::move(vs_cb.on_gprcv);
       vs_cb.on_gprcv = [this, p, fwd_gprcv](const Msg& m, ProcessId from) {
-        vs_trace_.push_back(spec::EvGprcv<Msg>{from, p, m});
+        recorder_.record(spec::VsEvent{spec::EvGprcv<Msg>{from, p, m}});
         if (fwd_gprcv) fwd_gprcv(m, from);
       };
       auto fwd_safe = std::move(vs_cb.on_safe);
       vs_cb.on_safe = [this, p, fwd_safe](const Msg& m, ProcessId from) {
-        vs_trace_.push_back(spec::EvSafe<Msg>{from, p, m});
+        recorder_.record(spec::VsEvent{spec::EvSafe<Msg>{from, p, m}});
         if (fwd_safe) fwd_safe(m, from);
       };
       vs_cb.on_gpsnd = [this, p](const Msg& m) {
-        vs_trace_.push_back(spec::EvGpsnd<Msg>{p, m});
+        recorder_.record(spec::VsEvent{spec::EvGpsnd<Msg>{p, m}});
       };
     }
     vs_.at(p)->set_callbacks(std::move(vs_cb));
@@ -102,8 +110,8 @@ void Cluster::start() {
 }
 
 void Cluster::bcast(ProcessId p, AppMsg a) {
-  if (config_.record_traces) {
-    to_trace_.push_back(spec::EvBcast{p, a});
+  if (config_.record_traces || config_.conformance_oracle) {
+    recorder_.record(spec::ToEvent{spec::EvBcast{p, a}});
   }
   to_.at(p)->bcast(a);
 }
@@ -122,17 +130,17 @@ std::vector<Delivery> Cluster::deliveries_at(ProcessId p) const {
 
 spec::AcceptResult Cluster::check_vs_trace() const {
   spec::VsAcceptor acceptor(universe_, v0_);
-  return acceptor.feed_all(vs_trace_);
+  return acceptor.feed_all(recorder_.vs_trace());
 }
 
 spec::AcceptResult Cluster::check_dvs_trace() const {
   spec::DvsAcceptor acceptor(universe_, v0_);
-  return acceptor.feed_all(dvs_trace_);
+  return acceptor.feed_all(recorder_.dvs_trace());
 }
 
 spec::AcceptResult Cluster::check_to_trace() const {
   spec::ToAcceptor acceptor(universe_);
-  return acceptor.feed_all(to_trace_);
+  return acceptor.feed_all(recorder_.to_trace());
 }
 
 double Cluster::primary_fraction() const {

@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 #include "spec/acceptors.h"
 #include "spec/events.h"
+#include "spec/trace_recorder.h"
 #include "tosys/to_node.h"
 #include "vsys/vs_node.h"
 
@@ -32,6 +33,16 @@ struct ClusterConfig {
   vsys::VsConfig vs;
   /// Record per-layer external traces (costs memory on long runs).
   bool record_traces = true;
+  /// Feed every external event through the spec acceptors as it happens
+  /// (spec::TraceRecorder): the run itself is the conformance check, and
+  /// the first violation is available via oracle(). Cheap (E13: acceptance
+  /// replays millions of events/s), so it defaults on; benchmarks that want
+  /// the raw stack can disable it together with record_traces.
+  bool conformance_oracle = true;
+  /// TO-automaton behaviour switches, e.g. printed_figure_mode to
+  /// re-inject the paper's Figure 5 errata (harness self-validation: the
+  /// oracle must reject such runs).
+  toimpl::DvsToToOptions to_options;
   /// Ablation knobs (see bench_ablation): the paper's garbage-collection
   /// and registration mechanisms can be switched off to measure their
   /// contribution to adaptivity.
@@ -83,13 +94,21 @@ class Cluster {
   // ----- recorded traces and checks ------------------------------------------
 
   [[nodiscard]] const std::vector<spec::VsEvent>& vs_trace() const {
-    return vs_trace_;
+    return recorder_.vs_trace();
   }
   [[nodiscard]] const std::vector<spec::DvsEvent>& dvs_trace() const {
-    return dvs_trace_;
+    return recorder_.dvs_trace();
   }
   [[nodiscard]] const std::vector<spec::ToEvent>& to_trace() const {
-    return to_trace_;
+    return recorder_.to_trace();
+  }
+
+  /// The always-on conformance oracle (acceptors fed online). ok() is false
+  /// from the first event the specs cannot match; check_invariants()
+  /// re-checks Invariants 4.1/4.2 on the resolved DVS state.
+  [[nodiscard]] spec::TraceRecorder& oracle() { return recorder_; }
+  [[nodiscard]] const spec::TraceRecorder& oracle() const {
+    return recorder_;
   }
   [[nodiscard]] const std::vector<Delivery>& deliveries() const {
     return deliveries_;
@@ -117,9 +136,7 @@ class Cluster {
   std::map<ProcessId, std::unique_ptr<ToNode>> to_;
 
   std::function<void(const Delivery&)> delivery_hook_;
-  std::vector<spec::VsEvent> vs_trace_;
-  std::vector<spec::DvsEvent> dvs_trace_;
-  std::vector<spec::ToEvent> to_trace_;
+  spec::TraceRecorder recorder_;
   std::vector<Delivery> deliveries_;
 };
 

@@ -4,7 +4,7 @@ namespace dvs::tosys {
 
 ToNode::ToNode(ProcessId self, const View& v0, dvsys::DvsNode& dvs,
                ToCallbacks callbacks, ToNodeOptions options)
-    : automaton_(self, v0),
+    : automaton_(self, v0, options.automaton),
       dvs_(dvs),
       callbacks_(std::move(callbacks)),
       options_(options) {}

@@ -26,6 +26,9 @@ struct ToNodeOptions {
   /// registered, so the dynamic service can never garbage-collect and loses
   /// its adaptivity (see bench_ablation).
   bool auto_register = true;
+  /// Behaviour switches of the underlying Figure 5 automaton (e.g.
+  /// printed_figure_mode for mutation testing).
+  toimpl::DvsToToOptions automaton;
 };
 
 struct ToNodeStats {

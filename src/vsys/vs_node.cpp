@@ -85,8 +85,18 @@ void VsNode::bump_epoch(std::uint64_t epoch) {
 }
 
 void VsNode::on_datagram(ProcessId from, const Bytes& data) {
+  // Receiving bytes is evidence of liveness even when they are garbage.
   last_heard_[from] = sim_.now();
-  const WireMsg m = decode(data);
+  // The network may truncate or corrupt payloads in flight; a datagram
+  // that does not decode is dropped like a lost message (the sender's
+  // retransmission machinery recovers), never a crash.
+  WireMsg m;
+  try {
+    m = decode(data);
+  } catch (const DecodeError&) {
+    ++stats_.decode_errors;
+    return;
+  }
   std::visit([&](const auto& inner) { handle(inner, from); }, m);
 }
 
@@ -288,7 +298,7 @@ void VsNode::handle(const Token& tk, ProcessId /*from*/) {
       last_rotation_seen_ >= forwarded_token_->rotation) {
     forwarded_token_.reset();
   }
-  if (tk.rotation <= last_rotation_processed_) return;  // duplicate
+  if (suppress_duplicate(tk.rotation, last_rotation_processed_)) return;
   last_rotation_processed_ = tk.rotation;
   held_token_ = tk;
   // If there is work, order it immediately; otherwise the token advances at
@@ -324,11 +334,21 @@ void VsNode::service_token() {
 
 void VsNode::handle(const Seq& sq, ProcessId /*from*/) {
   if (!view_.has_value() || sq.view != view_->id()) return;
-  // Ignore retransmitted duplicates (already delivered or already buffered).
-  if (sq.seqno <= delivered_ || recv_buffer_.contains(sq.seqno)) return;
+  if (suppress_duplicate(sq.seqno, delivered_,
+                         recv_buffer_.contains(sq.seqno))) {
+    return;
+  }
   recv_buffer_.emplace(sq.seqno, std::make_pair(sq.origin, sq.payload));
   if (sq.origin == self_) ++own_acked_;
   try_deliver();
+}
+
+bool VsNode::suppress_duplicate(std::uint64_t n,
+                                std::uint64_t processed_watermark,
+                                bool buffered) {
+  if (n > processed_watermark && !buffered) return false;
+  ++stats_.duplicates_suppressed;
+  return true;
 }
 
 void VsNode::try_deliver() {

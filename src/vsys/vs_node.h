@@ -83,6 +83,11 @@ struct VsNodeStats {
   std::uint64_t msgs_sent = 0;
   std::uint64_t msgs_delivered = 0;
   std::uint64_t safes_emitted = 0;
+  /// Datagrams dropped because they failed to decode (truncated or
+  /// corrupted in flight — the network's payload-truncation fault).
+  std::uint64_t decode_errors = 0;
+  /// Redelivered SEQs/tokens discarded by the duplicate-suppression path.
+  std::uint64_t duplicates_suppressed = 0;
 };
 
 class VsNode {
@@ -130,6 +135,15 @@ class VsNode {
   void service_token();
   [[nodiscard]] ProcessId ring_successor() const;
   void issue(const Msg& payload, ProcessId origin, std::uint64_t seqno);
+  /// The single duplicate-suppression predicate for redeliverable wire
+  /// items (SEQs and tokens): item number `n` is a duplicate when it is at
+  /// or below the already-processed watermark, or when it is already
+  /// buffered awaiting contiguous delivery (`buffered`). Both redelivery
+  /// paths route through here so duplicate injection exercises one tested
+  /// code path; a hit is counted in stats().duplicates_suppressed.
+  [[nodiscard]] bool suppress_duplicate(std::uint64_t n,
+                                        std::uint64_t processed_watermark,
+                                        bool buffered = false);
   void try_deliver();
   void try_emit_safe();
   [[nodiscard]] bool suspected(ProcessId q) const;

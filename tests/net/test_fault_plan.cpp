@@ -1,0 +1,123 @@
+// Unit tests for the timed fault-schedule scripts (net::FaultPlan):
+// deterministic generation, exact text round-trips, and schedule()
+// application semantics (including the window restore contract).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/fault_plan.h"
+#include "net/sim_network.h"
+
+namespace dvs::net {
+namespace {
+
+TEST(FaultPlanTest, RandomIsDeterministicInTheSeed) {
+  const ProcessSet universe = make_universe(4);
+  const FaultPlan a = FaultPlan::random(7, universe);
+  const FaultPlan b = FaultPlan::random(7, universe);
+  EXPECT_EQ(a, b);
+  const FaultPlan c = FaultPlan::random(8, universe);
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultPlanTest, RandomRespectsWarmupHorizonAndOrder) {
+  FaultPlanConfig config;
+  config.warmup = 1000;
+  config.horizon = 5000;
+  config.events = 32;
+  const FaultPlan plan = FaultPlan::random(3, make_universe(3), config);
+  ASSERT_EQ(plan.events.size(), 32u);
+  sim::Time prev = 0;
+  for (const FaultEvent& ev : plan.events) {
+    EXPECT_GE(ev.at, config.warmup);
+    EXPECT_LE(ev.at, config.horizon);
+    EXPECT_GE(ev.at, prev);
+    prev = ev.at;
+  }
+}
+
+TEST(FaultPlanTest, ToStringParseRoundTripsExactly) {
+  // Scan a few seeds so every event kind shows up in some plan.
+  bool saw_window = false;
+  bool saw_partition = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, make_universe(4));
+    EXPECT_EQ(FaultPlan::parse(plan.to_string()), plan) << "seed " << seed;
+    for (const FaultEvent& ev : plan.events) {
+      saw_window |= ev.kind == FaultEvent::Kind::kDropWindow ||
+                    ev.kind == FaultEvent::Kind::kDupBurst;
+      saw_partition |= ev.kind == FaultEvent::Kind::kPartition;
+    }
+  }
+  EXPECT_TRUE(saw_window);
+  EXPECT_TRUE(saw_partition);
+}
+
+TEST(FaultPlanTest, ParseAcceptsCommentsAndBlankLines) {
+  const FaultPlan plan = FaultPlan::parse(
+      "# a comment\n"
+      "\n"
+      "crash @400000 2\n"
+      "partition @1200000 0,1|2\n"
+      "drop @2500000 +300000 0.25\n"
+      "heal @3000000\n");
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(plan.events[0].target, ProcessId{2});
+  EXPECT_EQ(plan.events[1].groups.size(), 2u);
+  EXPECT_EQ(plan.events[2].duration, 300000u);
+  EXPECT_DOUBLE_EQ(plan.events[2].probability, 0.25);
+}
+
+TEST(FaultPlanTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)FaultPlan::parse("bogus @12\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("crash 12\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("crash @12\n"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("partition @12 |\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("drop @12 0.5\n"), std::runtime_error);
+}
+
+TEST(FaultPlanTest, ScheduleAppliesEventsAndRestoresWindowRates) {
+  sim::Simulator sim;
+  Rng rng(1);
+  NetConfig config;
+  config.drop_probability = 0.05;
+  SimNetwork net(sim, rng, config, make_universe(3));
+
+  const FaultPlan plan = FaultPlan::parse(
+      "crash @100 2\n"
+      "partition @200 0|1,2\n"
+      "drop @300 +100 0.9\n"
+      "heal @500\n"
+      "recover @600 2\n");
+  plan.schedule(sim, net);
+
+  sim.schedule_at(150, [&] {
+    EXPECT_TRUE(net.paused(ProcessId{2}));
+    EXPECT_FALSE(net.connected(ProcessId{0}, ProcessId{2}));
+  });
+  sim.schedule_at(250, [&] {
+    EXPECT_FALSE(net.connected(ProcessId{0}, ProcessId{1}));
+  });
+  sim.schedule_at(350, [&] {
+    EXPECT_DOUBLE_EQ(net.config().drop_probability, 0.9);
+  });
+  sim.schedule_at(450, [&] {
+    // Window over: the pre-plan rate is restored, not zero.
+    EXPECT_DOUBLE_EQ(net.config().drop_probability, 0.05);
+  });
+  sim.schedule_at(550, [&] {
+    // heal() reconnects the non-paused links only.
+    EXPECT_TRUE(net.connected(ProcessId{0}, ProcessId{1}));
+    EXPECT_FALSE(net.connected(ProcessId{0}, ProcessId{2}));
+  });
+  sim.schedule_at(650, [&] {
+    EXPECT_TRUE(net.connected(ProcessId{0}, ProcessId{2}));
+  });
+  sim.run_all();
+  EXPECT_GE(sim.now(), 650u);
+}
+
+}  // namespace
+}  // namespace dvs::net

@@ -145,5 +145,119 @@ TEST_F(SimNetworkTest, MulticastReachesAllTargets) {
   EXPECT_EQ(received_.size(), 3u);
 }
 
+// ----- fault matrix: duplication / reordering / truncation -------------------
+
+TEST_F(SimNetworkTest, DuplicatesAreCountedAndCapped) {
+  config_.duplicate_probability = 1.0;
+  config_.max_duplicates = 3;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  for (int i = 0; i < 20; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(7));
+  }
+  sim_.run_all();
+  // Probability 1 always hits the hard cap: original + 3 extra copies.
+  EXPECT_EQ(received_.size(), 20u * 4u);
+  EXPECT_EQ(net_->stats().duplicated, 20u * 3u);
+  EXPECT_EQ(net_->stats().sent, 20u);
+  for (const Record& r : received_) EXPECT_EQ(r.data, payload(7));
+}
+
+TEST_F(SimNetworkTest, DuplicationRateBelowOneStaysWithinTheCap) {
+  config_.duplicate_probability = 0.5;
+  config_.max_duplicates = 2;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  for (int i = 0; i < 500; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  }
+  sim_.run_all();
+  EXPECT_GE(received_.size(), 500u);
+  EXPECT_LE(received_.size(), 500u * 3u);
+  EXPECT_EQ(received_.size(), 500u + net_->stats().duplicated);
+  // Geometric-ish extras: ~0.5 + 0.25 per send. Loose statistical bounds.
+  EXPECT_GT(net_->stats().duplicated, 250u);
+  EXPECT_LT(net_->stats().duplicated, 500u);
+}
+
+TEST_F(SimNetworkTest, LinksStayFifoWhileReorderKnobIsOff) {
+  // Duplication and truncation on, reordering off: the per-link
+  // monotonicity contract must hold for every delivered copy.
+  config_.jitter_mean_us = 5000.0;
+  config_.duplicate_probability = 0.5;
+  config_.truncate_probability = 0.3;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, Bytes(2, static_cast<std::byte>(i)));
+  }
+  sim_.run_all();
+  EXPECT_EQ(net_->stats().reordered, 0u);
+  // Sequence numbers of delivered (possibly duplicated, possibly truncated
+  // to 1 byte) copies never go backwards.
+  std::uint8_t prev = 0;
+  for (const Record& r : received_) {
+    if (r.data.empty()) continue;  // truncated to the empty prefix
+    const auto b = static_cast<std::uint8_t>(r.data[0]);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST_F(SimNetworkTest, ReorderingOvertakesOnlyWithTheKnobOn) {
+  config_.reorder_probability = 0.5;
+  config_.reorder_window = 200;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(i));
+  }
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 50u);
+  EXPECT_GT(net_->stats().reordered, 0u);
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < received_.size(); ++i) {
+    if (received_[i].data[0] < received_[i - 1].data[0]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u) << "reordered deliveries never overtook";
+}
+
+TEST_F(SimNetworkTest, TruncationDeliversAProperPrefix) {
+  config_.truncate_probability = 1.0;
+  net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(2));
+  attach_recorder(1);
+  const Bytes full = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+  for (int i = 0; i < 30; ++i) net_->send(ProcessId{0}, ProcessId{1}, full);
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 30u);
+  EXPECT_EQ(net_->stats().truncated, 30u);
+  for (const Record& r : received_) {
+    ASSERT_LT(r.data.size(), full.size());  // proper prefix, never whole
+    for (std::size_t i = 0; i < r.data.size(); ++i) {
+      EXPECT_EQ(r.data[i], full[i]);
+    }
+  }
+}
+
+TEST_F(SimNetworkTest, HealAfterPauseRestoresExactlyTheNonPausedLinks) {
+  attach_recorder(1);
+  attach_recorder(2);
+  net_->pause(ProcessId{1});
+  net_->set_partition({make_process_set({0, 1}), make_process_set({2, 3})});
+  net_->heal();
+  EXPECT_TRUE(net_->connected(ProcessId{0}, ProcessId{2}));
+  EXPECT_FALSE(net_->connected(ProcessId{0}, ProcessId{1}));
+  net_->send(ProcessId{0}, ProcessId{2}, payload(1));  // healed link
+  net_->send(ProcessId{0}, ProcessId{1}, payload(2));  // still paused
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, ProcessId{2});
+  net_->resume(ProcessId{1});
+  EXPECT_TRUE(net_->connected(ProcessId{0}, ProcessId{1}));
+  net_->send(ProcessId{0}, ProcessId{1}, payload(3));
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 2u);
+}
+
 }  // namespace
 }  // namespace dvs::net
