@@ -6,6 +6,7 @@
 #include "common/labels.h"
 #include "common/serialize.h"
 #include "common/view.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "vsys/wire.h"
 
@@ -92,6 +93,51 @@ void BM_Fullorder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fullorder)->Arg(3)->Arg(8);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  // The instrumentation hot path: a relaxed atomic add, no lock.
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench.hits");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("bench.lat", obs::latency_buckets_us());
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    v %= 20'000'000;  // spans the full bucket range incl. overflow
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSnapshotExport(benchmark::State& state) {
+  // Scrape + serialize cost for a registry the size of a chaos cluster's.
+  obs::MetricsRegistry reg;
+  for (int p = 0; p < 4; ++p) {
+    const std::string label = "{process=\"p" + std::to_string(p) + "\"}";
+    for (int m = 0; m < 10; ++m) {
+      reg.counter("layer.metric" + std::to_string(m) + label).set(1000 + m);
+    }
+    obs::Histogram& h =
+        reg.histogram("layer.lat" + label, obs::latency_buckets_us());
+    for (std::uint64_t v = 100; v < 100000; v *= 3) h.observe(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot().to_json());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsSnapshotExport);
 
 }  // namespace
 

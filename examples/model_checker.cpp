@@ -10,6 +10,7 @@
 //   $ ./build/examples/model_checker --chaos [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --smoke
 //   $ ./build/examples/model_checker --chaos --erratum [n] [seeds]
+//   $ ./build/examples/model_checker --chaos --metrics [n] [seeds] --jobs N
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
 // with every checker armed. `--jobs N` fans the seeds across N worker
@@ -118,7 +119,7 @@ int run_sweep(std::size_t n, std::size_t steps, std::uint64_t seeds,
 }
 
 int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
-              bool smoke, bool erratum) {
+              bool smoke, bool erratum, bool metrics) {
   tosys::ChaosConfig chaos;
   chaos.n_processes = n;
   chaos.to_options.printed_figure_mode = erratum;
@@ -173,6 +174,13 @@ int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
   // NOTE: deliberately does not print the worker count — the chaos report
   // is byte-identical across --jobs values, and that property is asserted
   // by tests and scripts/check.sh.
+  if (metrics) {
+    // Pure JSON: the seed-order-merged metric snapshot of the whole sweep
+    // (every layer's counters, latency histograms, span-invariant counts).
+    // Byte-identical for any --jobs value; scripts redirect it to a file.
+    std::fputs(result.total.metrics.to_json().c_str(), stdout);
+    return 0;
+  }
   const tosys::ChaosStats& t = result.total;
   std::printf(
       "chaos-swept %zu seeds at n=%zu: %llu oracle events, %llu invariant "
@@ -205,6 +213,7 @@ int main(int argc, char** argv) {
   bool chaos_mode = false;
   bool smoke = false;
   bool erratum = false;
+  bool metrics = false;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -216,6 +225,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--erratum") == 0) {
       erratum = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -228,7 +239,7 @@ int main(int argc, char** argv) {
       const std::uint64_t seeds =
           args.size() > 1 ? std::strtoull(args[1], nullptr, 10)
                           : (smoke ? 25 : (erratum ? 60 : 500));
-      return run_chaos(n, seeds, jobs, smoke, erratum);
+      return run_chaos(n, seeds, jobs, smoke, erratum, metrics);
     }
     if (!args.empty() && std::strcmp(args[0], "--exhaustive") == 0) {
       const std::size_t n_ex =

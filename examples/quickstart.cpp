@@ -44,5 +44,15 @@ int main() {
               cluster.check_dvs_trace().ok ? "accepted" : "REJECTED");
   std::printf("TO  trace: %s\n",
               cluster.check_to_trace().ok ? "accepted" : "REJECTED");
+
+  // Every layer also publishes counters and latency histograms to the
+  // cluster's metrics registry (docs/OBSERVABILITY.md has the catalogue).
+  const obs::MetricsSnapshot m = cluster.metrics_snapshot();
+  std::printf("metrics: %llu datagrams sent, %llu TO deliveries, "
+              "p95 delivery latency %llu us\n",
+              static_cast<unsigned long long>(m.counter_sum("net.sent")),
+              static_cast<unsigned long long>(m.counter_sum("to.deliveries")),
+              static_cast<unsigned long long>(
+                  m.histograms.at("trace.to_delivery_us").p95()));
   return 0;
 }

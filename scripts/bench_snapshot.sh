@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Snapshot the google-benchmark microbenchmarks to JSON so perf changes
-# diff in review: BENCH_explorer.json and BENCH_micro.json at the repo
-# root. Run on an idle machine; commit the refreshed files alongside any
-# change that claims a speedup.
+# diff in review: BENCH_explorer.json, BENCH_micro.json, and BENCH_obs.json
+# at the repo root. Run on an idle machine; commit the refreshed files
+# alongside any change that claims a speedup.
 #
 #   $ scripts/bench_snapshot.sh [min_time_seconds]
 set -euo pipefail
@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 
 MIN_TIME="${1:-0.2}"
 
-cmake --build build --target bench_explorer bench_micro >/dev/null
+cmake --build build --target bench_explorer bench_micro model_checker >/dev/null
 
 ./build/bench/bench_explorer \
   --benchmark_min_time="${MIN_TIME}" \
@@ -19,4 +19,9 @@ cmake --build build --target bench_explorer bench_micro >/dev/null
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_micro.json
 
-echo "wrote BENCH_explorer.json and BENCH_micro.json (min_time=${MIN_TIME}s)"
+# Aggregated metric snapshot of the chaos smoke sweep (deterministic: the
+# same seeds give the same bytes on every machine), so the stack-level
+# counters and latency histograms diff in review alongside the microbenches.
+./build/examples/model_checker --chaos --smoke --metrics --jobs 4 >BENCH_obs.json
+
+echo "wrote BENCH_explorer.json, BENCH_micro.json, BENCH_obs.json (min_time=${MIN_TIME}s)"

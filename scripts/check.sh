@@ -30,13 +30,25 @@ ctest --test-dir build-asan --output-on-failure
 ./build-asan/examples/model_checker --chaos --smoke --jobs 2
 ./build-asan/examples/model_checker --chaos --smoke --erratum --jobs 2
 
+echo "== obs gate (ASan) =="
+# The observability suites in isolation: metrics/trace unit semantics,
+# per-seed byte-identity, and the chaos metric sanity relations.
+ctest --test-dir build-asan -L obs --output-on-failure
+# The merged metric snapshot must serialize byte-identically no matter how
+# many workers ran the sweep.
+./build/examples/model_checker --chaos --smoke --metrics --jobs 4 | tee /tmp/chaos_metrics_j4.json >/dev/null
+./build/examples/model_checker --chaos --smoke --metrics --jobs 1 | cmp - /tmp/chaos_metrics_j4.json
+
 echo "== TSan build + parallel tests =="
 # The thread sanitizer gate covers the multi-threaded subsystem: the seed
 # sweeps, the sharded parallel BFS, and the thread pool itself.
 configure build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
-cmake --build build-tsan --target parallel_test model_checker
+cmake --build build-tsan --target parallel_test obs_test model_checker
 ./build-tsan/tests/parallel_test
+# Metrics registry under TSan: the concurrent-increment and find-or-create
+# suites hammer the per-metric atomics from many threads.
+./build-tsan/tests/obs_test --gtest_filter='MetricsConcurrencyTest.*'
 ./build-tsan/examples/model_checker --jobs 4 2 500 8
 ./build-tsan/examples/model_checker --exhaustive 2 --jobs 4
 # Chaos smoke under TSan: the chaos sweep shares the thread pool, and the

@@ -41,6 +41,20 @@ vsys::VsCallbacks DvsNode::vs_callbacks() {
   return cb;
 }
 
+void DvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
+  const std::string label = "{process=\"" + self().to_string() + "\"}";
+  metrics.add_collector([this, &metrics, label] {
+    metrics.counter("dvs.views_attempted" + label).set(stats_.views_attempted);
+    metrics.counter("dvs.msgs_sent" + label).set(stats_.msgs_sent);
+    metrics.counter("dvs.msgs_delivered" + label).set(stats_.msgs_delivered);
+    metrics.counter("dvs.safes_delivered" + label)
+        .set(stats_.safes_delivered);
+    metrics.counter("dvs.garbage_collections" + label)
+        .set(stats_.garbage_collections);
+    metrics.gauge("dvs.in_primary" + label).set(in_primary() ? 1 : 0);
+  });
+}
+
 void DvsNode::drain() {
   bool progressed = true;
   while (progressed) {

@@ -87,6 +87,11 @@ class DvsNode {
   [[nodiscard]] const impl::VsToDvs& automaton() const { return automaton_; }
   [[nodiscard]] const DvsNodeStats& stats() const { return stats_; }
 
+  /// Registers a collector that publishes DvsNodeStats as
+  /// dvs.*{process="pN"} counters. The node must outlive the registry's
+  /// last collect().
+  void bind_metrics(obs::MetricsRegistry& metrics);
+
  private:
   /// Fires every enabled output/internal action until quiescent.
   void drain();

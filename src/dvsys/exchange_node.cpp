@@ -37,7 +37,12 @@ void ExchangeDvsNode::on_newview(DvsNode& dvs, const View& v) {
 void ExchangeDvsNode::on_gprcv(DvsNode& dvs, const ClientMsg& m,
                                ProcessId from) {
   if (const auto* st = std::get_if<StateMsg>(&m)) {
-    if (!view_.has_value() || st->view != view_->id()) return;  // stale blob
+    if (!view_.has_value() || st->view != view_->id()) {
+      // A blob for a view the exchange already moved past; count the drop
+      // so chaos runs can see how often exchanges restart mid-flight.
+      ++stats_.stale_blobs;
+      return;
+    }
     blobs_.emplace(from, st->blob);
     ++stats_.blobs_received;
     maybe_establish(dvs);
@@ -70,6 +75,19 @@ void ExchangeDvsNode::maybe_establish(DvsNode& dvs) {
     dvs.gpsnd(outbox_.front());
     outbox_.pop_front();
   }
+}
+
+void ExchangeDvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
+  const std::string label = "{process=\"" + self_.to_string() + "\"}";
+  metrics.add_collector([this, &metrics, label] {
+    metrics.counter("exchange.views_seen" + label).set(stats_.views_seen);
+    metrics.counter("exchange.views_established" + label)
+        .set(stats_.views_established);
+    metrics.counter("exchange.blobs_sent" + label).set(stats_.blobs_sent);
+    metrics.counter("exchange.blobs_received" + label)
+        .set(stats_.blobs_received);
+    metrics.counter("exchange.stale_blobs" + label).set(stats_.stale_blobs);
+  });
 }
 
 void ExchangeDvsNode::gpsnd(DvsNode& dvs, const ClientMsg& m) {

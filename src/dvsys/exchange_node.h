@@ -44,6 +44,9 @@ struct ExchangeNodeStats {
   std::uint64_t views_established = 0;
   std::uint64_t blobs_sent = 0;
   std::uint64_t blobs_received = 0;
+  /// Blobs discarded because they arrived for a view other than the current
+  /// one (the exchange already moved on).
+  std::uint64_t stale_blobs = 0;
 };
 
 class ExchangeDvsNode {
@@ -61,6 +64,11 @@ class ExchangeDvsNode {
   [[nodiscard]] const std::optional<View>& view() const { return view_; }
   [[nodiscard]] bool established() const { return established_; }
   [[nodiscard]] const ExchangeNodeStats& stats() const { return stats_; }
+
+  /// Registers a collector that publishes ExchangeNodeStats as
+  /// exchange.*{process="pN"} counters. The node must outlive the
+  /// registry's last collect().
+  void bind_metrics(obs::MetricsRegistry& metrics);
 
  private:
   void on_newview(DvsNode& dvs, const View& v);

@@ -131,6 +131,25 @@ void SimNetwork::set_partition(const std::vector<ProcessSet>& groups) {
 
 void SimNetwork::heal() { partition_group_.clear(); }
 
+void SimNetwork::bind_metrics(obs::MetricsRegistry& metrics) {
+  metrics.add_collector([this, &metrics] {
+    metrics.counter("net.sent").set(stats_.sent);
+    metrics.counter("net.delivered").set(stats_.delivered);
+    metrics.counter("net.dropped_random").set(stats_.dropped_random);
+    metrics.counter("net.dropped_partition").set(stats_.dropped_partition);
+    metrics.counter("net.dropped_crash").set(stats_.dropped_crash);
+    metrics.counter("net.bytes_sent").set(stats_.bytes_sent);
+    metrics.counter("net.duplicated").set(stats_.duplicated);
+    metrics.counter("net.reordered").set(stats_.reordered);
+    metrics.counter("net.truncated").set(stats_.truncated);
+    metrics.gauge("net.paused").set(
+        static_cast<std::int64_t>(paused_.size()));
+    int groups = 0;
+    for (const auto& [p, g] : partition_group_) groups = std::max(groups, g + 1);
+    metrics.gauge("net.partition_groups").set(groups);
+  });
+}
+
 void SimNetwork::pause(ProcessId p) { paused_.insert(p); }
 
 void SimNetwork::resume(ProcessId p) { paused_.erase(p); }

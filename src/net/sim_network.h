@@ -38,6 +38,7 @@
 #include "common/serialize.h"
 #include "common/types.h"
 #include "common/view.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dvs::net {
@@ -131,6 +132,11 @@ class SimNetwork {
   [[nodiscard]] const NetConfig& config() const { return config_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   [[nodiscard]] const ProcessSet& processes() const { return processes_; }
+
+  /// Registers a collector that publishes NetStats as net.* counters plus
+  /// net.paused / net.partition_groups gauges. The network must outlive the
+  /// registry's last collect().
+  void bind_metrics(obs::MetricsRegistry& metrics);
 
  private:
   [[nodiscard]] int group_of(ProcessId p) const;

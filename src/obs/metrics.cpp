@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dvs::obs {
+
+// ----- HistogramSnapshot -----------------------------------------------------
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target rank in [1, count]: the smallest bucket whose cumulative count
+  // reaches it holds the quantile.
+  const auto rank = static_cast<std::uint64_t>(
+      std::max<double>(1.0, std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) return bounds[i];
+  }
+  return max;  // rank lands in the overflow bucket
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  if (bounds.empty()) {
+    *this = other;
+    return *this;
+  }
+  if (other.bounds.empty()) return *this;
+  if (bounds != other.bounds) {
+    throw std::logic_error("HistogramSnapshot merge: mismatched bounds");
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+  return *this;
+}
+
+// ----- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) throw std::logic_error("Histogram: empty bounds");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::logic_error("Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(std::uint64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    s.counts.push_back(b.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+const std::vector<std::uint64_t>& latency_buckets_us() {
+  static const std::vector<std::uint64_t> buckets{
+      100,     250,     500,     1'000,    2'500,    5'000,
+      10'000,  25'000,  50'000,  100'000,  250'000,  500'000,
+      1'000'000, 2'500'000, 5'000'000, 10'000'000};
+  return buckets;
+}
+
+// ----- MetricsSnapshot -------------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter_sum(const std::string& name) const {
+  std::uint64_t total = 0;
+  // Keys are sorted; every label variant of `name` is `name` + "{...}".
+  for (auto it = counters.lower_bound(name); it != counters.end(); ++it) {
+    const std::string& key = it->first;
+    if (key.compare(0, name.size(), name) != 0) break;
+    if (key.size() == name.size() || key[name.size()] == '{') {
+      total += it->second;
+    }
+  }
+  return total;
+}
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
+  for (const auto& [key, value] : other.counters) counters[key] += value;
+  for (const auto& [key, value] : other.gauges) gauges[key] += value;
+  for (const auto& [key, value] : other.histograms) histograms[key] += value;
+  return *this;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (keys are code-controlled; quotes and
+/// backslashes still must not break the document).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Splits `name{labels}` into the Prometheus metric name (dots become
+/// underscores) and the label block (kept verbatim, braces included).
+std::pair<std::string, std::string> split_key(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  std::string name = key.substr(0, brace);
+  std::replace(name.begin(), name.end(), '.', '_');
+  std::string labels =
+      brace == std::string::npos ? std::string{} : key.substr(brace);
+  return {std::move(name), std::move(labels)};
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [key, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(key) + "\": {\"count\": " +
+           std::to_string(h.count) + ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) +
+           ", \"p50\": " + std::to_string(h.p50()) +
+           ", \"p95\": " + std::to_string(h.p95()) +
+           ", \"p99\": " + std::to_string(h.p99()) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "[";
+      out += i < h.bounds.size() ? "\"" + std::to_string(h.bounds[i]) + "\""
+                                 : std::string{"\"+Inf\""};
+      out += ", " + std::to_string(h.counts[i]) + "]";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [key, value] : counters) {
+    auto [name, labels] = split_key(key);
+    out += "# TYPE " + name + " counter\n";
+    out += name + labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [key, value] : gauges) {
+    auto [name, labels] = split_key(key);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + labels + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [key, h] : histograms) {
+    auto [name, labels] = split_key(key);
+    // Inner labels compose with le="..." per the exposition format.
+    std::string inner =
+        labels.empty() ? std::string{}
+                       : labels.substr(1, labels.size() - 2) + ",";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? std::to_string(h.bounds[i]) : "+Inf";
+      out += name + "_bucket{" + inner + "le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum" + labels + " " + std::to_string(h.sum) + "\n";
+    out += name + "_count" + labels + " " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+// ----- MetricsRegistry -------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[key];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(
+    const std::string& key, const std::vector<std::uint64_t>& bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[key];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+void MetricsRegistry::add_collector(std::function<void()> fn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::collect() {
+  std::vector<std::function<void()>*> fns;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fns.reserve(collectors_.size());
+    for (auto& fn : collectors_) fns.push_back(&fn);
+  }
+  // Run outside the lock: collectors call back into counter()/gauge().
+  for (auto* fn : fns) (*fn)();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  collect();
+  MetricsSnapshot s;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, c] : counters_) s.counters.emplace(key, c->value());
+  for (const auto& [key, g] : gauges_) s.gauges.emplace(key, g->value());
+  for (const auto& [key, h] : histograms_) {
+    s.histograms.emplace(key, h->snapshot());
+  }
+  return s;
+}
+
+}  // namespace dvs::obs

@@ -1,0 +1,174 @@
+// Lock-cheap metrics registry: one export path for every layer's counters.
+//
+// Three instrument kinds, all updated through per-metric atomics (no lock on
+// the hot path; the registry mutex guards only metric *creation* and the
+// collector list):
+//   * Counter   — monotone u64 (plus set(), for collectors that publish a
+//     struct-backed value wholesale);
+//   * Gauge     — i64 point-in-time value;
+//   * Histogram — fixed upper-bound buckets (Prometheus `le` semantics:
+//     a value lands in the first bucket whose bound is >= it) with exact
+//     count / sum / max and integral quantile readout (p50/p95/p99 report
+//     the upper bound of the bucket containing the target rank — exact,
+//     platform-independent integers, never interpolated floats).
+//
+// Metric keys are flat strings with optional Prometheus-style labels baked
+// in: `vs.views_installed{process="2"}`. The registry itself never parses
+// keys; exports split at '{'.
+//
+// Layers that keep ad-hoc stats structs (NetStats, VsNodeStats, ...) join
+// the registry through *collectors*: callbacks registered once, run by
+// collect()/snapshot(), that publish the current struct values under
+// canonical keys. That keeps `stats()` accessors source-of-truth and
+// allocation-free while giving every run a single JSON/Prometheus export —
+// the ddprof/Derecho shape: cheap always-on registry, structured export.
+//
+// Snapshots are plain ordered maps: deterministic to serialize, mergeable
+// across seeds (operator+= sums counters, gauges and buckets in key order),
+// and comparable — which is what lets chaos sweeps assert byte-identical
+// metric reports for any --jobs value.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dvs::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  /// Publish an absolute value (collector path: the backing struct is the
+  /// source of truth and the registry mirrors it at collect time).
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t by) { value_.fetch_add(by, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Exported state of one histogram. `bounds` are the finite bucket upper
+/// bounds; `counts` has bounds.size() + 1 entries, the last being the
+/// overflow (+Inf) bucket.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  /// Upper bound of the bucket holding the rank ceil(q * count); `max` when
+  /// that rank lands in the overflow bucket; 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+  [[nodiscard]] std::uint64_t p50() const { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p95() const { return quantile(0.95); }
+  [[nodiscard]] std::uint64_t p99() const { return quantile(0.99); }
+
+  /// Bucket-wise merge; throws std::logic_error on mismatched bounds.
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+class Histogram {
+ public:
+  /// `bounds` must be nonempty and strictly increasing.
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void observe(std::uint64_t value);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Default latency buckets in simulated microseconds: 100 µs … 10 s, the
+/// range view changes, registrations and TO deliveries actually span.
+[[nodiscard]] const std::vector<std::uint64_t>& latency_buckets_us();
+
+/// Deterministic, mergeable, comparable export of a registry.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Sum of every counter whose key is `name` or starts with `name` + "{"
+  /// (i.e. all label variants of one metric).
+  [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const;
+
+  /// Key-wise merge: counters and gauges add, histograms merge bucket-wise.
+  MetricsSnapshot& operator+=(const MetricsSnapshot& other);
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+
+  /// Canonical JSON (sorted keys, integers only — byte-identical for equal
+  /// snapshots on every platform). Histograms embed count/sum/max and
+  /// p50/p95/p99 alongside the cumulative buckets.
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& key);
+  Gauge& gauge(const std::string& key);
+  /// Find-or-create with the given bounds (defaults to latency buckets);
+  /// re-lookup of an existing histogram ignores `bounds`.
+  Histogram& histogram(const std::string& key,
+                       const std::vector<std::uint64_t>& bounds =
+                           latency_buckets_us());
+
+  /// Registers a callback run by collect(); used by layers that publish
+  /// struct-backed stats. Callbacks must outlive the registry's last
+  /// collect() call.
+  void add_collector(std::function<void()> fn);
+  /// Runs every collector (in registration order).
+  void collect();
+
+  /// collect() + export. The result owns plain values — safe to merge,
+  /// compare and serialize after the registry (or its collectors) is gone.
+  [[nodiscard]] MetricsSnapshot snapshot();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+}  // namespace dvs::obs

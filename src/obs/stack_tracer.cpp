@@ -1,0 +1,170 @@
+#include "obs/stack_tracer.h"
+
+#include <algorithm>
+
+namespace dvs::obs {
+
+namespace {
+
+constexpr const char* kViewChange = "view_change";
+constexpr const char* kViewActive = "view_active";
+constexpr const char* kRegistration = "registration";
+constexpr const char* kToDelivery = "to_delivery";
+
+}  // namespace
+
+SpanInvariantReport check_span_invariants(const TraceLog& log) {
+  SpanInvariantReport report;
+  // Per-process registration intervals for the overlap check, and the
+  // receiver's view_active spans for the nesting check.
+  std::map<ProcessId, std::vector<const Span*>> registrations;
+  std::map<ProcessId, std::vector<const Span*>> actives;
+  for (const Span& s : log.spans()) {
+    if (s.kind == kViewChange && s.open()) ++report.open_view_change;
+    if (s.kind == kRegistration) registrations[s.process].push_back(&s);
+    if (s.kind == kViewActive) actives[s.process].push_back(&s);
+  }
+  for (const Span& s : log.spans()) {
+    if (s.kind != kToDelivery) continue;
+    // A to_delivery span is recorded closed at its delivery instant; it
+    // nests iff that instant lies inside some view_active tenure of the
+    // receiver (the span's process).
+    const sim::Time delivered = s.end.value_or(s.start);
+    bool nested = false;
+    for (const Span* a : actives[s.process]) {
+      if (a->covers(delivered)) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) ++report.non_nested_delivery;
+  }
+  for (auto& [p, spans] : registrations) {
+    std::sort(spans.begin(), spans.end(), [](const Span* a, const Span* b) {
+      return a->start != b->start ? a->start < b->start : a->id < b->id;
+    });
+    for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+      // Overlap = the next registration starts strictly before this one
+      // ended (an open span extends to +Inf). Back-to-back boundaries
+      // (abandon at t, reopen at t) are not overlaps.
+      const Span* cur = spans[i];
+      const Span* next = spans[i + 1];
+      if (!cur->end.has_value() || next->start < *cur->end) {
+        ++report.overlapping_registration;
+      }
+    }
+  }
+  return report;
+}
+
+void publish_span_invariants(const SpanInvariantReport& report,
+                             MetricsRegistry& metrics) {
+  metrics.counter("trace.invariant.open_view_change")
+      .set(report.open_view_change);
+  metrics.counter("trace.invariant.non_nested_delivery")
+      .set(report.non_nested_delivery);
+  metrics.counter("trace.invariant.overlapping_registration")
+      .set(report.overlapping_registration);
+}
+
+StackTracer::StackTracer(MetricsRegistry& metrics, TraceLog& trace)
+    : metrics_(metrics), trace_(trace) {}
+
+SpanId StackTracer::open_of(const std::map<ProcessId, SpanId>& m,
+                            ProcessId p) const {
+  const auto it = m.find(p);
+  return it == m.end() ? kNoSpan : it->second;
+}
+
+void StackTracer::on_start(const View& v0, sim::Time t) {
+  for (ProcessId p : v0.set()) {
+    view_active_[p] = trace_.open(kViewActive, p, t, kNoSpan,
+                                  {{"view", v0.id().to_string()}});
+  }
+}
+
+void StackTracer::on_vs_newview(ProcessId p, const View& v, sim::Time t) {
+  if (const SpanId old = open_of(view_change_, p); old != kNoSpan) {
+    // A newer VS view supersedes the transition in flight: the old target
+    // view never became primary at p.
+    trace_.abandon(old, t);
+    metrics_.counter("trace.view_change.abandoned").inc();
+  }
+  const auto root = episode_root_.find(v.id());
+  const SpanId parent = root == episode_root_.end() ? kNoSpan : root->second;
+  const SpanId id = trace_.open(kViewChange, p, t, parent,
+                                {{"view", v.id().to_string()}});
+  if (root == episode_root_.end()) episode_root_.emplace(v.id(), id);
+  view_change_[p] = id;
+  metrics_.counter("trace.view_change.opened").inc();
+}
+
+void StackTracer::on_dvs_newview(ProcessId p, const View& v, sim::Time t) {
+  SpanId transition = open_of(view_change_, p);
+  if (transition != kNoSpan) {
+    metrics_.histogram("trace.view_change_us")
+        .observe(t - trace_.span(transition).start);
+    trace_.close(transition, t);
+    view_change_.erase(p);
+    metrics_.counter("trace.view_change.completed").inc();
+  }
+  // Client-view tenure rotates: the previous primary stops being the view
+  // the client computes in exactly when the next one is established.
+  if (const SpanId old = open_of(view_active_, p); old != kNoSpan) {
+    trace_.close(old, t);
+  }
+  view_active_[p] = trace_.open(kViewActive, p, t, transition,
+                                {{"view", v.id().to_string()}});
+}
+
+void StackTracer::on_register(ProcessId p, const View& v, sim::Time t) {
+  if (const SpanId old = open_of(registration_, p); old != kNoSpan) {
+    // Registering a newer view while the previous one never reached TotReg.
+    trace_.abandon(old, t);
+    metrics_.counter("trace.registration.abandoned").inc();
+    for (auto& [view_id, spans] : reg_spans_) {
+      std::erase_if(spans, [&](const auto& e) { return e.second == old; });
+    }
+  }
+  const SpanId id = trace_.open(kRegistration, p, t, open_of(view_active_, p),
+                                {{"view", v.id().to_string()}});
+  registration_[p] = id;
+  metrics_.counter("trace.registration.opened").inc();
+  registered_[v.id()].insert(p);
+  reg_view_.emplace(v.id(), v);
+  reg_spans_[v.id()].emplace_back(p, id);
+  // TotReg: every member of v has issued DVS-REGISTER — close the whole
+  // view's registration episode at this instant.
+  const ProcessSet& have = registered_[v.id()];
+  const ProcessSet& need = reg_view_.at(v.id()).set();
+  if (std::includes(have.begin(), have.end(), need.begin(), need.end())) {
+    for (const auto& [q, span] : reg_spans_[v.id()]) {
+      if (trace_.span(span).open()) {
+        metrics_.histogram("trace.registration_us")
+            .observe(t - trace_.span(span).start);
+        trace_.close(span, t);
+        metrics_.counter("trace.registration.completed").inc();
+        if (open_of(registration_, q) == span) registration_.erase(q);
+      }
+    }
+    reg_spans_.erase(v.id());
+  }
+}
+
+void StackTracer::on_bcast(ProcessId /*p*/, std::uint64_t uid, sim::Time t) {
+  bcast_at_.emplace(uid, t);
+}
+
+void StackTracer::on_brcv(ProcessId receiver, ProcessId origin,
+                          std::uint64_t uid, sim::Time t) {
+  const auto sent = bcast_at_.find(uid);
+  const sim::Time start = sent == bcast_at_.end() ? t : sent->second;
+  const SpanId id = trace_.open(
+      kToDelivery, receiver, start, open_of(view_active_, receiver),
+      {{"origin", origin.to_string()}, {"uid", std::to_string(uid)}});
+  trace_.close(id, t);
+  metrics_.counter("trace.to_delivery.count").inc();
+  metrics_.histogram("trace.to_delivery_us").observe(t - start);
+}
+
+}  // namespace dvs::obs

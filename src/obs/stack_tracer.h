@@ -1,0 +1,104 @@
+// StackTracer: turns the stack's externally visible actions into causal
+// spans (obs::TraceLog) and latency histograms (obs::MetricsRegistry).
+//
+// The tracer is driven by the same observation points the conformance
+// oracle uses (tosys::Cluster's callback wrappers), so it sees exactly the
+// paper's external actions:
+//
+//   VS-NEWVIEW(v)_p   → open  view_change(p, v)   [abandons a superseded one]
+//   DVS-NEWVIEW(v)_p  → close view_change(p, v); rotate view_active(p, ·)
+//   DVS-REGISTER_p    → open  registration(p, client-cur); when every member
+//                       of the view has registered — the view entered TotReg,
+//                       the Invariant 4.2 hinge — all its registration spans
+//                       close at that instant.
+//   BCAST(a)_p        → remember the send time of a.uid
+//   BRCV(a)_{q,p}     → emit a completed to_delivery span (BCAST → BRCV)
+//
+// Parenting makes one tree per reconfiguration episode: the first
+// view_change span opened for a view id is the episode root; later
+// view_change spans for the same id parent to it, each view_active span
+// parents to the view_change that produced it, registration spans parent to
+// their view_active tenure, and to_delivery spans parent to the receiver's
+// view_active span at delivery time.
+//
+// Completed spans feed fixed-bucket latency histograms
+// (trace.view_change_us / trace.registration_us / trace.to_delivery_us) and
+// per-kind opened/completed/abandoned counters, all in the registry, so the
+// whole layer exports through one path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace dvs::obs {
+
+/// Span-invariant violations over a finished trace; all-zero on every
+/// conforming run (asserted per seed by tests/sys/test_chaos_metrics.cpp).
+struct SpanInvariantReport {
+  /// view_change spans never closed — a VS install that reached quiescence
+  /// without its view becoming primary (or being superseded).
+  std::uint64_t open_view_change = 0;
+  /// to_delivery spans whose delivery instant lies inside no view_active
+  /// span of the receiver — a delivery outside any client-view tenure.
+  std::uint64_t non_nested_delivery = 0;
+  /// Pairs of registration spans at one process whose intervals overlap —
+  /// a process registering a view while its previous registration episode
+  /// is still live.
+  std::uint64_t overlapping_registration = 0;
+
+  [[nodiscard]] bool all_zero() const {
+    return open_view_change == 0 && non_nested_delivery == 0 &&
+           overlapping_registration == 0;
+  }
+};
+
+[[nodiscard]] SpanInvariantReport check_span_invariants(const TraceLog& log);
+
+/// Publishes a report as trace.invariant.* counters so the violation counts
+/// travel inside metric snapshots (and sum to zero across clean sweeps).
+void publish_span_invariants(const SpanInvariantReport& report,
+                             MetricsRegistry& metrics);
+
+class StackTracer {
+ public:
+  StackTracer(MetricsRegistry& metrics, TraceLog& trace);
+
+  /// Members of v0 start inside an active view without any DVS-NEWVIEW
+  /// event; open their initial view_active spans.
+  void on_start(const View& v0, sim::Time t);
+
+  void on_vs_newview(ProcessId p, const View& v, sim::Time t);
+  void on_dvs_newview(ProcessId p, const View& v, sim::Time t);
+  void on_register(ProcessId p, const View& v, sim::Time t);
+  void on_bcast(ProcessId p, std::uint64_t uid, sim::Time t);
+  void on_brcv(ProcessId receiver, ProcessId origin, std::uint64_t uid,
+               sim::Time t);
+
+ private:
+  [[nodiscard]] SpanId open_of(const std::map<ProcessId, SpanId>& m,
+                               ProcessId p) const;
+
+  MetricsRegistry& metrics_;
+  TraceLog& trace_;
+
+  std::map<ProcessId, SpanId> view_change_;   // open view_change per process
+  std::map<ProcessId, SpanId> view_active_;   // open view_active per process
+  std::map<ProcessId, SpanId> registration_;  // open registration per process
+  std::map<ViewId, SpanId> episode_root_;     // first view_change per view
+  // Registration progress per view: who registered, the membership to
+  // reach, and the still-open registration spans to close at TotReg.
+  std::map<ViewId, ProcessSet> registered_;
+  std::map<ViewId, View> reg_view_;
+  std::map<ViewId, std::vector<std::pair<ProcessId, SpanId>>> reg_spans_;
+  std::map<std::uint64_t, sim::Time> bcast_at_;  // uid → BCAST time
+};
+
+}  // namespace dvs::obs

@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+namespace dvs::obs {
+
+const char* to_string(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kOpen:
+      return "open";
+    case SpanOutcome::kCompleted:
+      return "completed";
+    case SpanOutcome::kAbandoned:
+      return "abandoned";
+  }
+  return "?";
+}
+
+SpanId TraceLog::open(std::string kind, ProcessId process, sim::Time start,
+                      SpanId parent, std::map<std::string, std::string> attrs) {
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.kind = std::move(kind);
+  s.process = process;
+  s.start = start;
+  s.attrs = std::move(attrs);
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void TraceLog::close(SpanId id, sim::Time at) {
+  if (id == kNoSpan) return;
+  Span& s = spans_.at(static_cast<std::size_t>(id - 1));
+  if (!s.open()) return;
+  s.end = at;
+  s.outcome = SpanOutcome::kCompleted;
+}
+
+void TraceLog::abandon(SpanId id, sim::Time at) {
+  if (id == kNoSpan) return;
+  Span& s = spans_.at(static_cast<std::size_t>(id - 1));
+  if (!s.open()) return;
+  s.end = at;
+  s.outcome = SpanOutcome::kAbandoned;
+}
+
+std::size_t TraceLog::open_count(const std::string& kind) const {
+  std::size_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.open() && s.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string TraceLog::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Span& s : spans_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"id\": " + std::to_string(s.id) +
+           ", \"parent\": " + std::to_string(s.parent) + ", \"kind\": \"" +
+           s.kind + "\", \"process\": " + std::to_string(s.process.value()) +
+           ", \"start\": " + std::to_string(s.start) + ", \"end\": " +
+           (s.end.has_value() ? std::to_string(*s.end) : std::string{"null"}) +
+           ", \"outcome\": \"" + to_string(s.outcome) + "\"";
+    if (!s.attrs.empty()) {
+      out += ", \"attrs\": {";
+      bool first_attr = true;
+      for (const auto& [key, value] : s.attrs) {
+        if (!first_attr) out += ", ";
+        first_attr = false;
+        out += "\"" + key + "\": \"" + value + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += first ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace dvs::obs

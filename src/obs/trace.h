@@ -1,0 +1,93 @@
+// TraceLog: structured spans over simulated time, with causal parent ids.
+//
+// A span is a named interval [start, end] at one process, optionally linked
+// to a parent span — so a whole reconfiguration episode (the VS installs of
+// a view at every member, the DVS primary establishments they lead to, the
+// registrations that make the view totally registered, and the TO
+// deliveries that flow inside it) reconstructs as one tree from the log.
+//
+// The span kinds the stack emits (see obs::StackTracer):
+//   * "view_change"  — VS-NEWVIEW(v) at p → DVS primary established at p.
+//     Abandoned (not completed) when a newer VS view supersedes it first.
+//   * "view_active"  — DVS primary established at p → the next DVS primary
+//     at p; the client-view tenure during which p computes. Open at the end
+//     of a run for whichever view is still current.
+//   * "registration" — DVS-REGISTER at p → the view totally registered
+//     (every member's register observed), the Invariant 4.2 hinge.
+//   * "to_delivery"  — BCAST at the origin → BRCV at one member; one span
+//     per (message, receiver).
+//
+// Everything is keyed on simulated time, so for a fixed seed the log —
+// including its JSON serialization — is bit-identical across runs and
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace dvs::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+enum class SpanOutcome : std::uint8_t { kOpen, kCompleted, kAbandoned };
+
+[[nodiscard]] const char* to_string(SpanOutcome outcome);
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string kind;
+  ProcessId process{};
+  sim::Time start = 0;
+  std::optional<sim::Time> end;
+  SpanOutcome outcome = SpanOutcome::kOpen;
+  /// Small structured payload (view id, message uid, origin, ...). Ordered
+  /// map keeps serialization deterministic.
+  std::map<std::string, std::string> attrs;
+
+  [[nodiscard]] bool open() const { return !end.has_value(); }
+  /// Duration of a closed span (0 while open).
+  [[nodiscard]] sim::Time duration() const {
+    return end.has_value() ? *end - start : 0;
+  }
+  /// True iff `t` lies within [start, end] (open spans extend to +Inf).
+  [[nodiscard]] bool covers(sim::Time t) const {
+    return t >= start && (!end.has_value() || t <= *end);
+  }
+};
+
+class TraceLog {
+ public:
+  /// Opens a span starting at `start` (which may lie in the past — a
+  /// to_delivery span starts at its BCAST). Returns its id (ids are
+  /// consecutive from 1).
+  SpanId open(std::string kind, ProcessId process, sim::Time start,
+              SpanId parent = kNoSpan,
+              std::map<std::string, std::string> attrs = {});
+
+  /// Closes an open span as completed; no-op if already closed.
+  void close(SpanId id, sim::Time at);
+  /// Closes an open span as abandoned; no-op if already closed.
+  void abandon(SpanId id, sim::Time at);
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const Span& span(SpanId id) const {
+    return spans_.at(static_cast<std::size_t>(id - 1));
+  }
+  [[nodiscard]] std::size_t open_count(const std::string& kind) const;
+
+  /// Canonical JSON array of spans in id order (deterministic per seed).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace dvs::obs

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/stack_tracer.h"
 #include "tosys/cluster.h"
 
 namespace dvs::tosys {
@@ -21,6 +22,7 @@ ChaosStats& operator+=(ChaosStats& a, const ChaosStats& b) {
   a.truncated += b.truncated;
   a.decode_errors += b.decode_errors;
   a.duplicates_suppressed += b.duplicates_suppressed;
+  a.metrics += b.metrics;
   return a;
 }
 
@@ -120,6 +122,12 @@ ChaosStats run_chaos_seed(std::uint64_t seed, const ChaosConfig& config) {
   s.duplicated = ns.duplicated;
   s.reordered = ns.reordered;
   s.truncated = ns.truncated;
+  // End-of-run span-invariant check travels inside the snapshot (all-zero
+  // on a conforming run) alongside every layer's counters and the tracer's
+  // latency histograms.
+  obs::publish_span_invariants(obs::check_span_invariants(cluster.trace()),
+                               cluster.metrics());
+  s.metrics = cluster.metrics_snapshot();
   return s;
 }
 

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "net/fault_plan.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "toimpl/dvs_to_to.h"
 
@@ -79,6 +80,12 @@ struct ChaosStats {
   std::uint64_t truncated = 0;           // payloads cut in flight
   std::uint64_t decode_errors = 0;       // corrupted datagrams dropped clean
   std::uint64_t duplicates_suppressed = 0;  // dup-suppression path hits
+
+  /// Full end-of-run metric export of the cluster (every layer's counters,
+  /// the tracer's latency histograms and the span-invariant counters).
+  /// Deterministic per seed; operator+= merges key-wise, so sweep totals
+  /// are byte-identical for any --jobs value.
+  obs::MetricsSnapshot metrics;
 
   friend bool operator==(const ChaosStats&, const ChaosStats&) = default;
 };

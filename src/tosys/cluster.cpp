@@ -30,9 +30,21 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
         ToNodeOptions{.auto_register = config_.registration_enabled,
                       .automaton = config_.to_options});
   }
+  // Observability: one registry for every layer's counters plus the causal
+  // span tracer, driven from the same callback wrappers as the oracle.
+  if (config_.observability) {
+    tracer_ = std::make_unique<obs::StackTracer>(metrics_, trace_);
+    net_->bind_metrics(metrics_);
+    for (ProcessId p : universe_) {
+      vs_.at(p)->bind_metrics(metrics_);
+      dvs_.at(p)->bind_metrics(metrics_);
+      to_.at(p)->bind_metrics(metrics_);
+    }
+  }
   // Every layer's external actions are observed; the recorder stores the
   // traces and/or feeds the spec acceptors online (the conformance oracle),
-  // per its options.
+  // and the span tracer turns the same actions into latency spans, per
+  // their options.
   const bool observe = config_.record_traces || config_.conformance_oracle;
   for (ProcessId p : universe_) {
     dvsys::DvsNode* dvs_node = dvs_.at(p).get();
@@ -46,18 +58,30 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
       if (observe) {
         recorder_.record(spec::ToEvent{spec::EvBrcv{origin, p, a}});
       }
+      if (tracer_) tracer_->on_brcv(p, origin, a.uid, sim_.now());
       if (delivery_hook_) delivery_hook_(d);
     };
     to_node->set_callbacks(std::move(to_cb));
 
     // DVS layer on top of VS, forwarding into the TO automaton.
     dvsys::DvsCallbacks dvs_cb = to_node->dvs_callbacks();
-    if (observe) {
+    if (observe || tracer_) {
       auto fwd_newview = std::move(dvs_cb.on_newview);
-      dvs_cb.on_newview = [this, p, fwd_newview](const View& v) {
-        recorder_.record(spec::DvsEvent{spec::EvNewview{p, v}});
+      dvs_cb.on_newview = [this, p, observe, fwd_newview](const View& v) {
+        if (observe) recorder_.record(spec::DvsEvent{spec::EvNewview{p, v}});
+        if (tracer_) tracer_->on_dvs_newview(p, v, sim_.now());
         if (fwd_newview) fwd_newview(v);
       };
+      dvs_cb.on_register = [this, p, observe, dvs_node] {
+        if (observe) recorder_.record(spec::DvsEvent{spec::EvRegister{p}});
+        // on_register fires before the automaton consumes the event, so
+        // client-cur still names the view being registered.
+        if (tracer_ && dvs_node->primary_view().has_value()) {
+          tracer_->on_register(p, *dvs_node->primary_view(), sim_.now());
+        }
+      };
+    }
+    if (observe) {
       auto fwd_gprcv = std::move(dvs_cb.on_gprcv);
       dvs_cb.on_gprcv = [this, p, fwd_gprcv](const ClientMsg& m,
                                              ProcessId from) {
@@ -73,20 +97,20 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
       dvs_cb.on_gpsnd = [this, p](const ClientMsg& m) {
         recorder_.record(spec::DvsEvent{spec::EvGpsnd<ClientMsg>{p, m}});
       };
-      dvs_cb.on_register = [this, p] {
-        recorder_.record(spec::DvsEvent{spec::EvRegister{p}});
-      };
     }
     dvs_node->set_callbacks(std::move(dvs_cb));
 
     // VS layer, forwarding into the DVS automaton.
     vsys::VsCallbacks vs_cb = dvs_node->vs_callbacks();
-    if (observe) {
+    if (observe || tracer_) {
       auto fwd_newview = std::move(vs_cb.on_newview);
-      vs_cb.on_newview = [this, p, fwd_newview](const View& v) {
-        recorder_.record(spec::VsEvent{spec::EvNewview{p, v}});
+      vs_cb.on_newview = [this, p, observe, fwd_newview](const View& v) {
+        if (observe) recorder_.record(spec::VsEvent{spec::EvNewview{p, v}});
+        if (tracer_) tracer_->on_vs_newview(p, v, sim_.now());
         if (fwd_newview) fwd_newview(v);
       };
+    }
+    if (observe) {
       auto fwd_gprcv = std::move(vs_cb.on_gprcv);
       vs_cb.on_gprcv = [this, p, fwd_gprcv](const Msg& m, ProcessId from) {
         recorder_.record(spec::VsEvent{spec::EvGprcv<Msg>{from, p, m}});
@@ -106,6 +130,9 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
 }
 
 void Cluster::start() {
+  // Members of v0 begin inside an active view without any DVS-NEWVIEW
+  // event; open their initial view_active spans.
+  if (tracer_) tracer_->on_start(v0_, sim_.now());
   for (ProcessId p : universe_) vs_.at(p)->start();
 }
 
@@ -113,6 +140,7 @@ void Cluster::bcast(ProcessId p, AppMsg a) {
   if (config_.record_traces || config_.conformance_oracle) {
     recorder_.record(spec::ToEvent{spec::EvBcast{p, a}});
   }
+  if (tracer_) tracer_->on_bcast(p, a.uid, sim_.now());
   to_.at(p)->bcast(a);
 }
 

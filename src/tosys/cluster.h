@@ -15,6 +15,9 @@
 #include "common/view.h"
 #include "dvsys/dvs_node.h"
 #include "net/sim_network.h"
+#include "obs/metrics.h"
+#include "obs/stack_tracer.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "spec/acceptors.h"
 #include "spec/events.h"
@@ -48,6 +51,12 @@ struct ClusterConfig {
   /// contribution to adaptivity.
   bool gc_enabled = true;
   bool registration_enabled = true;
+  /// Always-on observability: every layer's stats publish into one
+  /// obs::MetricsRegistry and the stack's external actions become causal
+  /// spans in an obs::TraceLog (see obs::StackTracer). Cheap — counters are
+  /// struct-backed and scraped only at snapshot time — but benchmarks that
+  /// want the raw stack can disable it.
+  bool observability = true;
   /// Vote weights for weighted dynamic voting (empty = the paper's
   /// unweighted rule).
   WeightMap weights;
@@ -124,6 +133,21 @@ class Cluster {
   /// Fraction of processes currently operating in a primary view.
   [[nodiscard]] double primary_fraction() const;
 
+  // ----- observability -------------------------------------------------------
+
+  /// The cluster-wide metrics registry (layers publish through collectors;
+  /// usable even with observability disabled — it is just empty).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// The causal span log (empty when observability is disabled).
+  [[nodiscard]] const obs::TraceLog& trace() const { return trace_; }
+
+  /// collect() + export of every layer's current counters/gauges plus the
+  /// tracer's histograms. Deterministic per seed.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() {
+    return metrics_.snapshot();
+  }
+  [[nodiscard]] std::string trace_json() const { return trace_.to_json(); }
+
  private:
   ClusterConfig config_;
   Rng rng_;
@@ -138,6 +162,10 @@ class Cluster {
   std::function<void(const Delivery&)> delivery_hook_;
   spec::TraceRecorder recorder_;
   std::vector<Delivery> deliveries_;
+
+  obs::MetricsRegistry metrics_;
+  obs::TraceLog trace_;
+  std::unique_ptr<obs::StackTracer> tracer_;  // null when observability off
 };
 
 }  // namespace dvs::tosys

@@ -32,6 +32,16 @@ dvsys::DvsCallbacks ToNode::dvs_callbacks() {
   return cb;
 }
 
+void ToNode::bind_metrics(obs::MetricsRegistry& metrics) {
+  const std::string label = "{process=\"" + self().to_string() + "\"}";
+  metrics.add_collector([this, &metrics, label] {
+    metrics.counter("to.bcasts" + label).set(stats_.bcasts);
+    metrics.counter("to.deliveries" + label).set(stats_.deliveries);
+    metrics.counter("to.views_established" + label)
+        .set(stats_.views_established);
+  });
+}
+
 void ToNode::drain() {
   bool progressed = true;
   while (progressed) {

@@ -57,6 +57,10 @@ class ToNode {
   [[nodiscard]] const toimpl::DvsToTo& automaton() const { return automaton_; }
   [[nodiscard]] const ToNodeStats& stats() const { return stats_; }
 
+  /// Registers a collector that publishes ToNodeStats as to.*{process="pN"}
+  /// counters. The node must outlive the registry's last collect().
+  void bind_metrics(obs::MetricsRegistry& metrics);
+
  private:
   void drain();
 

@@ -123,8 +123,10 @@ void VsNode::on_tick() {
                                   sent_data_[own_acked_]});
     }
     if (!issued_.empty()) {
+      // Self included: the issuer's own copy of a SEQ travels through the
+      // lossy network like everyone else's, so a dropped self-copy must be
+      // retransmitted too or the issuer's delivery stream wedges forever.
       for (ProcessId q : view_->set()) {
-        if (q == self_) continue;
         auto it = delivered_by_.find(q);
         const std::uint64_t have = it == delivered_by_.end() ? 0 : it->second;
         // Resend up to 8 of my issued SEQs above the member's position.
@@ -263,6 +265,7 @@ void VsNode::install(const View& v) {
   delivered_by_[self_] = 0;
   if (proposal_.has_value() && !(proposal_->view.id() > v.id())) {
     proposal_.reset();
+    ++stats_.proposals_superseded;
   }
   ++stats_.views_installed;
   DVS_LOG_DEBUG("vsys", self_.to_string() << " installs " << v.to_string());
@@ -278,7 +281,16 @@ void VsNode::handle(const Data& da, ProcessId from) {
   // truncates that sender's stream in this view, preserving FIFO.
   auto& expected = expected_data_seq_[from];
   if (expected == 0) expected = 1;
-  if (da.sender_seq != expected) return;
+  if (da.sender_seq != expected) {
+    // Below the admission watermark = a retransmitted or duplicated DATA;
+    // route it through the common suppression predicate so it is counted
+    // like every other discarded redelivery. Above = a gap (lost DATA),
+    // which permanently truncates the sender's stream — not a duplicate.
+    if (da.sender_seq < expected) {
+      (void)suppress_duplicate(da.sender_seq, expected - 1);
+    }
+    return;
+  }
   ++expected;
   issue(da.payload, from, next_seqno_out_++);
 }
@@ -365,6 +377,25 @@ void VsNode::try_deliver() {
     delivered_any = true;
   }
   if (delivered_any) try_emit_safe();
+}
+
+void VsNode::bind_metrics(obs::MetricsRegistry& metrics) {
+  const std::string label = "{process=\"" + self_.to_string() + "\"}";
+  metrics.add_collector([this, &metrics, label] {
+    metrics.counter("vs.proposals_started" + label)
+        .set(stats_.proposals_started);
+    metrics.counter("vs.proposals_aborted" + label)
+        .set(stats_.proposals_aborted);
+    metrics.counter("vs.proposals_superseded" + label)
+        .set(stats_.proposals_superseded);
+    metrics.counter("vs.views_installed" + label).set(stats_.views_installed);
+    metrics.counter("vs.msgs_sent" + label).set(stats_.msgs_sent);
+    metrics.counter("vs.msgs_delivered" + label).set(stats_.msgs_delivered);
+    metrics.counter("vs.safes_emitted" + label).set(stats_.safes_emitted);
+    metrics.counter("vs.decode_errors" + label).set(stats_.decode_errors);
+    metrics.counter("vs.duplicates_suppressed" + label)
+        .set(stats_.duplicates_suppressed);
+  });
 }
 
 void VsNode::try_emit_safe() {

@@ -79,6 +79,9 @@ struct VsCallbacks {
 struct VsNodeStats {
   std::uint64_t proposals_started = 0;
   std::uint64_t proposals_aborted = 0;
+  /// In-flight proposals discarded because a view at or above the proposed
+  /// id was installed first (distinct from timeout aborts).
+  std::uint64_t proposals_superseded = 0;
   std::uint64_t views_installed = 0;
   std::uint64_t msgs_sent = 0;
   std::uint64_t msgs_delivered = 0;
@@ -116,6 +119,11 @@ class VsNode {
 
   /// The node's current connectivity estimate (failure-detector output).
   [[nodiscard]] ProcessSet estimate() const;
+
+  /// Registers a collector that publishes VsNodeStats as
+  /// vs.*{process="pN"} counters. The node must outlive the registry's last
+  /// collect().
+  void bind_metrics(obs::MetricsRegistry& metrics);
 
  private:
   void on_datagram(ProcessId from, const Bytes& data);

@@ -1,0 +1,290 @@
+// Unit tests for the obs metrics registry: counter/gauge/histogram
+// semantics, Prometheus `le` bucket boundaries, integral quantile math on
+// known distributions, golden JSON / Prometheus exports, snapshot merge
+// and comparison, collector scraping, and concurrent-increment correctness
+// (the suite runs under TSan via scripts/check.sh's obs gate).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dvs::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.set(42);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(HistogramTest, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::logic_error);
+  EXPECT_THROW(Histogram({10, 10}), std::logic_error);
+  EXPECT_THROW(Histogram({20, 10}), std::logic_error);
+}
+
+TEST(HistogramTest, BucketBoundariesAreLeSemantics) {
+  // Prometheus `le`: a value lands in the first bucket whose upper bound
+  // is >= it; a value exactly on a bound belongs to that bound's bucket.
+  Histogram h({10, 20});
+  h.observe(0);    // <= 10
+  h.observe(10);   // <= 10 (on the bound)
+  h.observe(11);   // <= 20
+  h.observe(20);   // <= 20 (on the bound)
+  h.observe(21);   // overflow
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 0u + 10 + 11 + 20 + 21);
+  EXPECT_EQ(s.max, 21u);
+}
+
+TEST(HistogramTest, QuantilesOnKnownDistribution) {
+  // 1..100 into decade buckets: quantile(q) is the upper bound of the
+  // bucket holding rank ceil(q*100) — exact integers, no interpolation.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.quantile(0.10), 10u);
+  EXPECT_EQ(s.p50(), 50u);
+  EXPECT_EQ(s.quantile(0.51), 60u);  // rank 51 lands in the (50,60] bucket
+  EXPECT_EQ(s.p95(), 100u);          // rank 95 lands in the (90,100] bucket
+  EXPECT_EQ(s.p99(), 100u);
+  EXPECT_EQ(s.quantile(1.0), 100u);
+  EXPECT_EQ(s.quantile(0.0), 10u);  // rank clamps to 1: the first value
+}
+
+TEST(HistogramTest, QuantileOverflowReportsMax) {
+  Histogram h({10});
+  h.observe(5);
+  h.observe(1000);
+  h.observe(2000);
+  const HistogramSnapshot s = h.snapshot();
+  // Ranks 2 and 3 land in the +Inf bucket, which has no finite upper
+  // bound; the exact observed max is the honest readout.
+  EXPECT_EQ(s.p50(), 2000u);
+  EXPECT_EQ(s.p99(), 2000u);
+  EXPECT_EQ(s.max, 2000u);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h({10});
+  EXPECT_EQ(h.snapshot().p50(), 0u);
+}
+
+TEST(HistogramSnapshotTest, MergeSumsBucketsAndTracksMax) {
+  Histogram a({10, 20});
+  Histogram b({10, 20});
+  a.observe(5);
+  a.observe(15);
+  b.observe(15);
+  b.observe(99);
+  HistogramSnapshot s = a.snapshot();
+  s += b.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 5u + 15 + 15 + 99);
+  EXPECT_EQ(s.max, 99u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+}
+
+TEST(HistogramSnapshotTest, MergeWithEmptyAndMismatch) {
+  Histogram a({10});
+  a.observe(3);
+  HistogramSnapshot empty;
+  HistogramSnapshot s = empty;
+  s += a.snapshot();  // empty += x adopts x
+  EXPECT_EQ(s, a.snapshot());
+  s += empty;  // x += empty is a no-op
+  EXPECT_EQ(s, a.snapshot());
+  HistogramSnapshot other = Histogram({99}).snapshot();
+  EXPECT_THROW(s += other, std::logic_error);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("x");
+  Counter& c2 = reg.counter("x");
+  EXPECT_EQ(&c1, &c2);
+  Histogram& h1 = reg.histogram("h", {1, 2});
+  Histogram& h2 = reg.histogram("h", {3, 4});  // bounds ignored on re-lookup
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(MetricsRegistryTest, CollectorsPublishStructBackedStats) {
+  struct Stats {
+    std::uint64_t hits = 0;
+  } stats;
+  MetricsRegistry reg;
+  reg.add_collector(
+      [&] { reg.counter("layer.hits").set(stats.hits); });
+  stats.hits = 7;
+  EXPECT_EQ(reg.snapshot().counters.at("layer.hits"), 7u);
+  stats.hits = 9;  // the struct stays source of truth between scrapes
+  EXPECT_EQ(reg.snapshot().counters.at("layer.hits"), 9u);
+}
+
+TEST(MetricsSnapshotTest, CounterSumAcrossLabelVariants) {
+  MetricsSnapshot s;
+  s.counters["vs.msgs_sent{process=\"p0\"}"] = 3;
+  s.counters["vs.msgs_sent{process=\"p1\"}"] = 4;
+  s.counters["vs.msgs_sent_total"] = 100;  // different metric, not a variant
+  s.counters["vs.msgs"] = 50;
+  EXPECT_EQ(s.counter_sum("vs.msgs_sent"), 7u);
+  EXPECT_EQ(s.counter_sum("vs.msgs"), 50u);
+  EXPECT_EQ(s.counter_sum("absent"), 0u);
+}
+
+TEST(MetricsSnapshotTest, MergeAndEquality) {
+  MetricsSnapshot a;
+  a.counters["c"] = 1;
+  a.gauges["g"] = -5;
+  MetricsSnapshot b;
+  b.counters["c"] = 2;
+  b.counters["d"] = 7;
+  b.gauges["g"] = 1;
+  MetricsSnapshot m = a;
+  m += b;
+  EXPECT_EQ(m.counters.at("c"), 3u);
+  EXPECT_EQ(m.counters.at("d"), 7u);
+  EXPECT_EQ(m.gauges.at("g"), -4);
+  EXPECT_NE(m, a);
+  MetricsSnapshot m2 = a;
+  m2 += b;
+  EXPECT_EQ(m, m2);
+}
+
+MetricsRegistry& golden_registry(MetricsRegistry& reg) {
+  reg.counter("a.b").set(3);
+  reg.counter("c{process=\"p1\"}").set(1);
+  reg.gauge("g").set(-2);
+  Histogram& h = reg.histogram("h", {10, 20});
+  h.observe(5);
+  h.observe(15);
+  h.observe(100);
+  return reg;
+}
+
+TEST(MetricsSnapshotTest, JsonGolden) {
+  MetricsRegistry reg;
+  const std::string json = golden_registry(reg).snapshot().to_json();
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"a.b\": 3,\n"
+      "    \"c{process=\\\"p1\\\"}\": 1\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g\": -2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h\": {\"count\": 3, \"sum\": 120, \"max\": 100, \"p50\": 20, "
+      "\"p95\": 100, \"p99\": 100, \"buckets\": [[\"10\", 1], [\"20\", 1], "
+      "[\"+Inf\", 1]]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(MetricsSnapshotTest, PrometheusGolden) {
+  MetricsRegistry reg;
+  const std::string text = golden_registry(reg).snapshot().to_prometheus();
+  const std::string expected =
+      "# TYPE a_b counter\n"
+      "a_b 3\n"
+      "# TYPE c counter\n"
+      "c{process=\"p1\"} 1\n"
+      "# TYPE g gauge\n"
+      "g -2\n"
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"10\"} 1\n"
+      "h_bucket{le=\"20\"} 2\n"
+      "h_bucket{le=\"+Inf\"} 3\n"
+      "h_sum 120\n"
+      "h_count 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(MetricsSnapshotTest, PrometheusComposesHistogramLabelsWithLe) {
+  MetricsRegistry reg;
+  reg.histogram("lat{process=\"p1\"}", {10}).observe(4);
+  const std::string text = reg.snapshot().to_prometheus();
+  EXPECT_NE(text.find("lat_bucket{process=\"p1\",le=\"10\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_sum{process=\"p1\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_count{process=\"p1\"} 1"), std::string::npos);
+}
+
+TEST(MetricsConcurrencyTest, ParallelIncrementsAreExact) {
+  // The hot path is per-metric atomics; this is the TSan witness that the
+  // registry is safe to hammer from the sweep's worker threads.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hits");
+  Histogram& h = reg.histogram("lat", {8, 64, 512});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe((i + static_cast<std::uint64_t>(t)) % 1024);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.max, 1023u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : s.counts) total += n;
+  EXPECT_EQ(total, s.count);
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentFindOrCreateIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) {
+        reg.counter("shared." + std::to_string(i % 16)).inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot s = reg.snapshot();
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : s.counters) total += value;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * 200u);
+}
+
+}  // namespace
+}  // namespace dvs::obs
