@@ -59,6 +59,113 @@ void BM_ViewChange(benchmark::State& state) {
 }
 BENCHMARK(BM_ViewChange)->Arg(3)->Arg(5)->Arg(9);
 
+// Hot-path configuration axis for the BM_Stack* benches:
+//   0 = baseline   — eager per-tick retransmission (holdoff 1, the seed
+//                    behaviour) over the unbatched transport;
+//   1 = cursors    — per-destination retransmission cursors (default
+//                    holdoff) skip resends whose covering copy is still in
+//                    flight, unbatched transport;
+//   2 = cursors+batch — cursors plus same-tick BATCH coalescing on the
+//                    wire (`--batch` / NetConfig::batching).
+enum StackMode { kEager = 0, kCursors = 1, kCursorsBatched = 2 };
+
+const char* mode_label(int mode) {
+  switch (mode) {
+    case kEager: return "eager retx, unbatched";
+    case kCursors: return "retx cursors, unbatched";
+    default: return "retx cursors + batching";
+  }
+}
+
+/// Raw-stack config: tracing, oracle and observability off so the
+/// measurement is the protocol + transport hot path alone.
+ClusterConfig raw_stack(std::size_t n, int mode) {
+  ClusterConfig cfg;
+  cfg.n_processes = n;
+  cfg.record_traces = false;
+  cfg.conformance_oracle = false;
+  cfg.observability = false;
+  if (mode == kEager) cfg.vs.retransmit_holdoff_ticks = 1;
+  cfg.net.batching = mode == kCursorsBatched;
+  return cfg;
+}
+
+void BM_StackBurstThroughput(benchmark::State& state) {
+  // Bursty app load over a WAN-ish link — every process broadcasts a
+  // clutch of messages each heartbeat tick while the one-way delay spans
+  // several ticks, so every message stays un-acked (a resend candidate)
+  // for its whole flight. The eager baseline re-sends the un-acked SEQ
+  // window (cap 8 per member) plus the DATA head to every member every
+  // tick; the cursors skip resends whose covering copy is still in
+  // flight, and batching coalesces each tick's clutch (DATA, SEQ,
+  // heartbeat to one destination) into a single datagram.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  constexpr int kBurstsPerRun = 50;
+  constexpr std::uint64_t kMsgsPerProcessPerBurst = 4;
+  std::uint64_t seed = 1;
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg = raw_stack(n, mode);
+    // ~3 ticks one-way: acks lag ~6 ticks, so in-flight copies stay resend
+    // candidates for several ticks in a row — the regime the eager baseline
+    // floods in.
+    cfg.net.base_delay = 55 * kMillisecond;
+    Cluster c(cfg, seed++);
+    c.start();
+    std::uint64_t uid = 1;
+    for (int burst = 0; burst < kBurstsPerRun; ++burst) {
+      for (std::size_t q = 0; q < n; ++q) {
+        const ProcessId p{static_cast<ProcessId::Rep>(q)};
+        for (std::uint64_t k = 0; k < kMsgsPerProcessPerBurst; ++k) {
+          c.bcast(p, AppMsg{uid++, p, ""});
+        }
+      }
+      c.run_for(20 * kMillisecond);
+    }
+    c.run_for(2 * kSecond);
+    delivered = c.deliveries().size();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              kBurstsPerRun * n * kMsgsPerProcessPerBurst));
+  state.SetLabel(std::string(mode_label(mode)) + ", " +
+                 std::to_string(delivered) + " delivered");
+}
+BENCHMARK(BM_StackBurstThroughput)
+    ->Args({3, kEager})
+    ->Args({3, kCursors})
+    ->Args({3, kCursorsBatched})
+    ->Args({5, kEager})
+    ->Args({5, kCursors})
+    ->Args({5, kCursorsBatched})
+    ->Args({9, kEager})
+    ->Args({9, kCursors})
+    ->Args({9, kCursorsBatched});
+
+void BM_StackSteadyState(benchmark::State& state) {
+  // Control-plane-only cost: five simulated seconds of heartbeat / SEQ
+  // background with no app traffic. Nothing to retransmit, so this isolates
+  // the transport overhead batching adds when there is nothing to coalesce
+  // beyond the per-pair heartbeat.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Cluster c(raw_stack(n, mode), seed++);
+    c.start();
+    c.run_for(5 * kSecond);
+    benchmark::DoNotOptimize(c.primary_fraction());
+  }
+  state.SetLabel(mode_label(mode));
+}
+BENCHMARK(BM_StackSteadyState)
+    ->Args({5, kEager})
+    ->Args({5, kCursorsBatched})
+    ->Args({9, kEager})
+    ->Args({9, kCursorsBatched});
+
 void BM_TraceAcceptance(benchmark::State& state) {
   // Cost of replaying a recorded run through all three spec acceptors.
   ClusterConfig cfg;

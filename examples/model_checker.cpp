@@ -11,6 +11,7 @@
 //   $ ./build/examples/model_checker --chaos --smoke
 //   $ ./build/examples/model_checker --chaos --erratum [n] [seeds]
 //   $ ./build/examples/model_checker --chaos --metrics [n] [seeds] --jobs N
+//   $ ./build/examples/model_checker --chaos --batch [n] [seeds] --jobs N
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
 // with every checker armed. `--jobs N` fans the seeds across N worker
@@ -119,9 +120,10 @@ int run_sweep(std::size_t n, std::size_t steps, std::uint64_t seeds,
 }
 
 int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
-              bool smoke, bool erratum, bool metrics) {
+              bool smoke, bool erratum, bool metrics, bool batch) {
   tosys::ChaosConfig chaos;
   chaos.n_processes = n;
+  chaos.batching = batch;
   chaos.to_options.printed_figure_mode = erratum;
   if (erratum) {
     // The reverted corrections misbehave when client messages are queued
@@ -200,6 +202,14 @@ int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
       static_cast<unsigned long long>(t.truncated),
       static_cast<unsigned long long>(t.decode_errors),
       static_cast<unsigned long long>(t.duplicates_suppressed));
+  if (batch) {
+    std::printf("batching: %llu logical messages coalesced into %llu BATCH "
+                "envelopes (%llu datagrams on the wire vs %llu sends).\n",
+                static_cast<unsigned long long>(t.batched_msgs),
+                static_cast<unsigned long long>(t.batches),
+                static_cast<unsigned long long>(t.datagrams),
+                static_cast<unsigned long long>(t.net_sent));
+  }
   return 0;
 }
 
@@ -214,6 +224,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool erratum = false;
   bool metrics = false;
+  bool batch = false;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -227,6 +238,8 @@ int main(int argc, char** argv) {
       erratum = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -239,7 +252,7 @@ int main(int argc, char** argv) {
       const std::uint64_t seeds =
           args.size() > 1 ? std::strtoull(args[1], nullptr, 10)
                           : (smoke ? 25 : (erratum ? 60 : 500));
-      return run_chaos(n, seeds, jobs, smoke, erratum, metrics);
+      return run_chaos(n, seeds, jobs, smoke, erratum, metrics, batch);
     }
     if (!args.empty() && std::strcmp(args[0], "--exhaustive") == 0) {
       const std::size_t n_ex =

@@ -4,13 +4,17 @@
 # at the repo root. Run on an idle machine; commit the refreshed files
 # alongside any change that claims a speedup.
 #
-#   $ scripts/bench_snapshot.sh [min_time_seconds]
+#   $ scripts/bench_snapshot.sh [min_time_seconds] [stack_min_time_seconds]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_TIME="${1:-0.2}"
+# The stack benches run whole simulated episodes (5–50 ms each), so the
+# default min_time yields single-digit rep counts — too few for a stable
+# median. Give them a longer budget.
+STACK_MIN_TIME="${2:-2}"
 
-cmake --build build --target bench_explorer bench_micro model_checker >/dev/null
+cmake --build build --target bench_explorer bench_micro bench_stack model_checker >/dev/null
 
 ./build/bench/bench_explorer \
   --benchmark_min_time="${MIN_TIME}" \
@@ -18,10 +22,23 @@ cmake --build build --target bench_explorer bench_micro model_checker >/dev/null
 ./build/bench/bench_micro \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_micro.json
+# Full-stack throughput with the hot-path mode axis (eager retx baseline /
+# retx cursors / cursors + wire batching) — the batching speedup and its
+# delivered-message counts land in the snapshot for review. Wall-clock on a
+# busy machine is noisy at these run lengths; prefer comparing the
+# "delivered" labels (deterministic) and treat time ratios as indicative.
+./build/bench/bench_stack \
+  --benchmark_filter='BM_Stack' \
+  --benchmark_min_time="${STACK_MIN_TIME}" \
+  --benchmark_format=json >BENCH_stack.json
 
 # Aggregated metric snapshot of the chaos smoke sweep (deterministic: the
 # same seeds give the same bytes on every machine), so the stack-level
 # counters and latency histograms diff in review alongside the microbenches.
 ./build/examples/model_checker --chaos --smoke --metrics --jobs 4 >BENCH_obs.json
+# The same sweep over the batched transport: net.batch_* counters plus the
+# datagram/byte reduction diff in review next to the unbatched snapshot.
+./build/examples/model_checker --chaos --smoke --metrics --batch --jobs 4 >BENCH_obs_batched.json
 
-echo "wrote BENCH_explorer.json, BENCH_micro.json, BENCH_obs.json (min_time=${MIN_TIME}s)"
+echo "wrote BENCH_explorer.json, BENCH_micro.json, BENCH_stack.json," \
+     "BENCH_obs.json, BENCH_obs_batched.json (min_time=${MIN_TIME}s)"

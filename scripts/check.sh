@@ -39,6 +39,16 @@ ctest --test-dir build-asan -L obs --output-on-failure
 ./build/examples/model_checker --chaos --smoke --metrics --jobs 4 | tee /tmp/chaos_metrics_j4.json >/dev/null
 ./build/examples/model_checker --chaos --smoke --metrics --jobs 1 | cmp - /tmp/chaos_metrics_j4.json
 
+echo "== batch gate (ASan) =="
+# The batching/delta suites in isolation: BATCH framing round-trips and
+# corruption fuzz, batched-vs-unbatched cluster equivalence, delta state
+# exchange reconstruction, and the batched soak. ASan catches any buffer
+# mistake in the framing hot path.
+ctest --test-dir build-asan -L batch --output-on-failure
+# Chaos conformance smoke with batching on: same seeds, same oracles, the
+# coalesced wire path underneath.
+./build-asan/examples/model_checker --chaos --smoke --batch --jobs 2
+
 echo "== TSan build + parallel tests =="
 # The thread sanitizer gate covers the multi-threaded subsystem: the seed
 # sweeps, the sharded parallel BFS, and the thread pool itself.
@@ -55,6 +65,14 @@ cmake --build build-tsan --target parallel_test obs_test model_checker
 # report must be byte-identical regardless of worker count.
 ./build-tsan/examples/model_checker --chaos --smoke --jobs 4 | tee /tmp/chaos_tsan_j4.txt
 ./build-tsan/examples/model_checker --chaos --smoke --jobs 1 | cmp - /tmp/chaos_tsan_j4.txt
+# Batched chaos smoke under TSan: per-worker Batcher instances must not
+# share state, and the merged report (incl. batch counters) must not depend
+# on the worker count.
+cmake --build build-tsan --target batch_equivalence_test
+./build-tsan/tests/batch_equivalence_test \
+  --gtest_filter='*Parallel*:*MergesIdentically*'
+./build-tsan/examples/model_checker --chaos --smoke --batch --jobs 4 | tee /tmp/chaos_tsan_batch_j4.txt
+./build-tsan/examples/model_checker --chaos --smoke --batch --jobs 1 | cmp - /tmp/chaos_tsan_batch_j4.txt
 
 echo "== bench smoke =="
 for b in build/bench/*; do

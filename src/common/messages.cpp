@@ -32,7 +32,12 @@ std::string InfoMsg::to_string() const {
 
 std::string StateMsg::to_string() const {
   std::ostringstream os;
-  os << "state{" << view.to_string() << ",|blob|=" << blob.size() << "}";
+  os << "state{" << view.to_string() << ",|blob|=" << blob.size();
+  if (is_delta) {
+    os << ",delta{base=" << base_view.to_string() << ",keep=" << keep_len
+       << "}";
+  }
+  os << "}";
   return os.str();
 }
 

@@ -44,7 +44,18 @@ struct LabeledAppMsg {
 /// supported by the dynamic view service").
 struct StateMsg {
   ViewId view;       // the view whose exchange this blob belongs to
-  std::string blob;  // opaque application bytes
+  std::string blob;  // opaque application bytes (the suffix when is_delta)
+
+  // Delta encoding: instead of the full blob, ship only the bytes past the
+  // longest common prefix with a blob the recipient is known to hold (the
+  // sender's last safely-exchanged blob — VS safe semantics guarantee every
+  // member received it). The full blob reconstructs as
+  //   base.blob.substr(0, keep_len) + blob
+  // where base is the sender's blob from the exchange of `base_view`.
+  // Senders fall back to a full blob whenever the recipient is unknown.
+  bool is_delta = false;
+  ViewId base_view{};          // which earlier exchange the delta builds on
+  std::uint64_t keep_len = 0;  // prefix of the base blob to keep
 
   friend auto operator<=>(const StateMsg&, const StateMsg&) = default;
   [[nodiscard]] std::string to_string() const;

@@ -104,6 +104,11 @@ void Writer::msg(const Msg& m) {
     u8(static_cast<std::uint8_t>(MsgTag::kState));
     view_id(st->view);
     str(st->blob);
+    u8(st->is_delta ? 1 : 0);
+    if (st->is_delta) {
+      view_id(st->base_view);
+      varuint(st->keep_len);
+    }
   } else if (const auto* i = std::get_if<InfoMsg>(&m)) {
     u8(static_cast<std::uint8_t>(MsgTag::kInfo));
     view(i->act);
@@ -269,6 +274,13 @@ Msg Reader::msg() {
       StateMsg st;
       st.view = view_id();
       st.blob = str();
+      const std::uint8_t delta_flag = u8();
+      if (delta_flag > 1) throw DecodeError("bad StateMsg delta flag");
+      st.is_delta = delta_flag == 1;
+      if (st.is_delta) {
+        st.base_view = view_id();
+        st.keep_len = varuint();
+      }
       return st;
     }
   }

@@ -60,8 +60,8 @@ void DvsNode::drain() {
   while (progressed) {
     progressed = false;
     // Forward queued messages into the VS layer.
-    while (automaton_.next_vs_gpsnd().has_value()) {
-      vs_.gpsnd(automaton_.take_vs_gpsnd());
+    while (auto m = automaton_.poll_vs_gpsnd()) {
+      vs_.gpsnd(*m);
       progressed = true;
     }
     // Accept the current VS view as primary when the checks pass.
@@ -72,16 +72,14 @@ void DvsNode::drain() {
       progressed = true;
     }
     // Client-facing deliveries and safe indications.
-    while (automaton_.next_dvs_gprcv().has_value()) {
-      auto [m, from] = automaton_.take_dvs_gprcv();
+    while (auto d = automaton_.poll_dvs_gprcv()) {
       ++stats_.msgs_delivered;
-      if (callbacks_.on_gprcv) callbacks_.on_gprcv(m, from);
+      if (callbacks_.on_gprcv) callbacks_.on_gprcv(d->first, d->second);
       progressed = true;
     }
-    while (automaton_.next_dvs_safe().has_value()) {
-      auto [m, from] = automaton_.take_dvs_safe();
+    while (auto s = automaton_.poll_dvs_safe()) {
       ++stats_.safes_delivered;
-      if (callbacks_.on_safe) callbacks_.on_safe(m, from);
+      if (callbacks_.on_safe) callbacks_.on_safe(s->first, s->second);
       progressed = true;
     }
     // Garbage collection of settled views.

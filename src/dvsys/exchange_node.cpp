@@ -1,5 +1,8 @@
 #include "dvsys/exchange_node.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace dvs::dvsys {
 
 ExchangeDvsNode::ExchangeDvsNode(ProcessId self, ExchangeCallbacks callbacks)
@@ -12,10 +15,14 @@ DvsCallbacks ExchangeDvsNode::dvs_callbacks(DvsNode& dvs) {
     on_gprcv(dvs, m, from);
   };
   cb.on_safe = [this](const ClientMsg& m, ProcessId from) {
-    // State-blob safes complete the exchange stabilization; application
-    // safes are forwarded only in established views (a safe for a deferred
-    // message cannot arrive before the message itself: deliver-before-safe).
-    if (std::holds_alternative<StateMsg>(m)) return;
+    // State-blob safes complete the exchange stabilization (and confirm
+    // delta bases); application safes are forwarded only in established
+    // views (a safe for a deferred message cannot arrive before the message
+    // itself: deliver-before-safe).
+    if (const auto* st = std::get_if<StateMsg>(&m)) {
+      on_safe_state(*st, from);
+      return;
+    }
     if (established_ && callbacks_.on_safe) callbacks_.on_safe(m, from);
   };
   return cb;
@@ -27,23 +34,81 @@ void ExchangeDvsNode::on_newview(DvsNode& dvs, const View& v) {
   blobs_.clear();
   deferred_.clear();
   ++stats_.views_seen;
-  // Multicast this node's state blob for the exchange.
+  // Multicast this node's state blob for the exchange — as a delta against
+  // the last safely-exchanged blob when every recipient is known to hold
+  // that base (safe ⇒ receipt at every member of the base's view), as the
+  // full blob otherwise.
   const std::string blob = callbacks_.make_state ? callbacks_.make_state()
                                                  : std::string{};
-  dvs.gpsnd(ClientMsg{StateMsg{v.id(), blob}});
+  StateMsg st{v.id(), blob};
+  if (confirmed_.has_value() &&
+      std::includes(confirmed_->members.begin(), confirmed_->members.end(),
+                    v.set().begin(), v.set().end())) {
+    const auto [bit, nit] = std::mismatch(
+        confirmed_->blob.begin(), confirmed_->blob.end(), blob.begin(),
+        blob.end());
+    const auto lcp = static_cast<std::uint64_t>(bit - confirmed_->blob.begin());
+    if (lcp > 0) {
+      st.is_delta = true;
+      st.base_view = confirmed_->view;
+      st.keep_len = lcp;
+      st.blob = blob.substr(lcp);
+      ++stats_.delta_blobs_sent;
+      stats_.delta_bytes_saved += lcp;
+    }
+  }
+  last_sent_ = SentExchange{v.id(), v.set(), blob};
+  dvs.gpsnd(ClientMsg{st});
   ++stats_.blobs_sent;
+}
+
+void ExchangeDvsNode::on_safe_state(const StateMsg& st, ProcessId from) {
+  if (from != self_ || !last_sent_.has_value() ||
+      st.view != last_sent_->view) {
+    return;
+  }
+  // My own exchange blob went safe in the view it was sent for: every
+  // member of that view holds the full content, so it is a sound base for
+  // future deltas to any subset membership.
+  confirmed_ = last_sent_;
+}
+
+std::optional<std::string> ExchangeDvsNode::reconstruct_and_store(
+    ProcessId from, const StateMsg& st) {
+  auto& history = peer_blobs_[from];
+  if (!st.is_delta) {
+    history.insert_or_assign(st.view, st.blob);
+    return st.blob;
+  }
+  ++stats_.delta_blobs_received;
+  const auto base = history.find(st.base_view);
+  if (base == history.end() || st.keep_len > base->second.size()) {
+    ++stats_.delta_unreconstructable;
+    return std::nullopt;
+  }
+  std::string full = base->second.substr(0, st.keep_len) + st.blob;
+  // The sender never deltas below this base again (its confirmed base is
+  // monotone), so older history for this peer is dead weight.
+  history.erase(history.begin(), base);
+  history.insert_or_assign(st.view, full);
+  return full;
 }
 
 void ExchangeDvsNode::on_gprcv(DvsNode& dvs, const ClientMsg& m,
                                ProcessId from) {
   if (const auto* st = std::get_if<StateMsg>(&m)) {
+    // Record/reconstruct even when the exchange has moved on: a stale
+    // exchange's content can still be the base of a future delta (the
+    // sender only needs its safe, not our establishment).
+    std::optional<std::string> full = reconstruct_and_store(from, *st);
     if (!view_.has_value() || st->view != view_->id()) {
       // A blob for a view the exchange already moved past; count the drop
       // so chaos runs can see how often exchanges restart mid-flight.
       ++stats_.stale_blobs;
       return;
     }
-    blobs_.emplace(from, st->blob);
+    if (!full.has_value()) return;  // counted as delta_unreconstructable
+    blobs_.emplace(from, std::move(*full));
     ++stats_.blobs_received;
     maybe_establish(dvs);
     return;
@@ -87,6 +152,14 @@ void ExchangeDvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
     metrics.counter("exchange.blobs_received" + label)
         .set(stats_.blobs_received);
     metrics.counter("exchange.stale_blobs" + label).set(stats_.stale_blobs);
+    metrics.counter("exchange.delta_blobs_sent" + label)
+        .set(stats_.delta_blobs_sent);
+    metrics.counter("exchange.delta_bytes_saved" + label)
+        .set(stats_.delta_bytes_saved);
+    metrics.counter("exchange.delta_blobs_received" + label)
+        .set(stats_.delta_blobs_received);
+    metrics.counter("exchange.delta_unreconstructable" + label)
+        .set(stats_.delta_unreconstructable);
   });
 }
 

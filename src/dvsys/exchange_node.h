@@ -47,6 +47,15 @@ struct ExchangeNodeStats {
   /// Blobs discarded because they arrived for a view other than the current
   /// one (the exchange already moved on).
   std::uint64_t stale_blobs = 0;
+  /// Delta encoding: exchanges shipped as a suffix past the recipient-known
+  /// base (vs. full blobs), the base-prefix bytes that stayed off the wire,
+  /// deltas received, and deltas whose base this node did not hold — the
+  /// protocol guarantees the base is always held (safe ⇒ receipt at every
+  /// member), so unreconstructable must stay 0.
+  std::uint64_t delta_blobs_sent = 0;
+  std::uint64_t delta_bytes_saved = 0;
+  std::uint64_t delta_blobs_received = 0;
+  std::uint64_t delta_unreconstructable = 0;
 };
 
 class ExchangeDvsNode {
@@ -73,13 +82,35 @@ class ExchangeDvsNode {
  private:
   void on_newview(DvsNode& dvs, const View& v);
   void on_gprcv(DvsNode& dvs, const ClientMsg& m, ProcessId from);
+  void on_safe_state(const StateMsg& st, ProcessId from);
   void maybe_establish(DvsNode& dvs);
+  /// Resolves a wire StateMsg to the sender's full blob (applying the delta
+  /// against the stored base when needed) and records it in the per-peer
+  /// history. nullopt iff a delta's base is missing (delta_unreconstructable).
+  [[nodiscard]] std::optional<std::string> reconstruct_and_store(
+      ProcessId from, const StateMsg& st);
 
   ProcessId self_;
   ExchangeCallbacks callbacks_;
   std::optional<View> view_;
   bool established_ = false;
   std::map<ProcessId, std::string> blobs_;
+  // Delta state exchange. Sender side: the blob most recently multicast
+  // (last_sent_) becomes the confirmed delta base once its safe indication
+  // arrives in the same view — safe means every member of that view
+  // received it, so any future view whose membership is a subset can be
+  // sent just the suffix past the common prefix. Receiver side: full blob
+  // contents per peer per exchange view, kept across view changes so a
+  // delta's base is always resolvable; entries strictly below an observed
+  // base are pruned (the sender's confirmed base is monotone).
+  struct SentExchange {
+    ViewId view;
+    ProcessSet members;
+    std::string blob;
+  };
+  std::optional<SentExchange> last_sent_;
+  std::optional<SentExchange> confirmed_;
+  std::map<ProcessId, std::map<ViewId, std::string>> peer_blobs_;
   // Deliveries that raced the exchange: replayed right after establishment
   // (the same deferral discipline the corrected Figure 5 uses).
   std::deque<std::pair<ClientMsg, ProcessId>> deferred_;

@@ -184,6 +184,46 @@ std::pair<ClientMsg, ProcessId> VsToDvs::take_dvs_safe() {
   return *m;
 }
 
+std::optional<Msg> VsToDvs::poll_vs_gpsnd() {
+  if (!cur_.has_value()) return std::nullopt;
+  auto it = msgs_to_vs_.find(cur_->id());
+  if (it == msgs_to_vs_.end() || it->second.empty()) return std::nullopt;
+  Msg m = std::move(it->second.front());
+  it->second.pop_front();
+  return m;
+}
+
+std::optional<std::pair<ClientMsg, ProcessId>> VsToDvs::poll_dvs_gprcv() {
+  if (!client_cur_.has_value()) return std::nullopt;
+  auto it = msgs_from_vs_.find(client_cur_->id());
+  if (it == msgs_from_vs_.end() || it->second.empty()) return std::nullopt;
+  std::pair<ClientMsg, ProcessId> m = std::move(it->second.front());
+  it->second.pop_front();
+  ++delivered_count_[client_cur_->id()];
+  return m;
+}
+
+std::optional<std::pair<ClientMsg, ProcessId>> VsToDvs::poll_dvs_safe() {
+  if (!client_cur_.has_value()) return std::nullopt;
+  const ViewId g = client_cur_->id();
+  auto it = safe_from_vs_.find(g);
+  if (it == safe_from_vs_.end() || it->second.empty()) return std::nullopt;
+  if (!options_.printed_figure_mode) {
+    auto count_of = [](const std::map<ViewId, std::size_t>& m,
+                       const ViewId& g2) {
+      auto cit = m.find(g2);
+      return cit == m.end() ? std::size_t{0} : cit->second;
+    };
+    if (count_of(safe_count_, g) >= count_of(delivered_count_, g)) {
+      return std::nullopt;
+    }
+  }
+  std::pair<ClientMsg, ProcessId> m = std::move(it->second.front());
+  it->second.pop_front();
+  ++safe_count_[g];
+  return m;
+}
+
 std::vector<View> VsToDvs::gc_candidates() const {
   std::vector<View> out;
   for (const auto& [g, v] : known_views_) {

@@ -93,6 +93,15 @@ class VsToDvs {
   [[nodiscard]] std::optional<Msg> next_vs_gpsnd() const;
   Msg take_vs_gpsnd();
 
+  // Combined poll-and-take variants for the drain loops: each returns the
+  // enabled output and applies its effect, or nullopt when disabled.
+  // Equivalent to next_X()+take_X() but the message is moved out instead of
+  // built twice — the disabled-precondition check is the hot path of every
+  // event-driven drain.
+  [[nodiscard]] std::optional<Msg> poll_vs_gpsnd();
+  [[nodiscard]] std::optional<std::pair<ClientMsg, ProcessId>> poll_dvs_gprcv();
+  [[nodiscard]] std::optional<std::pair<ClientMsg, ProcessId>> poll_dvs_safe();
+
   /// output DVS-NEWVIEW(v)_p with v = cur. Pre (Figure 3): v = cur,
   /// v.id > client-cur.id, info received from every other member of v, and
   /// ∀w ∈ use: |v.set ∩ w.set| > |w.set| / 2. Corrected (see

@@ -1,0 +1,63 @@
+#include "net/batcher.h"
+
+#include <cstddef>
+
+namespace dvs::net {
+
+namespace {
+
+std::size_t varuint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void encode_batch_into(const std::vector<Bytes>& frames, Writer& w) {
+  w.u8(kBatchTag);
+  w.varuint(frames.size());
+  for (const Bytes& frame : frames) w.bytes_field(frame);
+}
+
+Bytes encode_batch(const std::vector<Bytes>& frames) {
+  std::size_t total = 1 + varuint_size(frames.size());
+  for (const Bytes& frame : frames) {
+    total += varuint_size(frame.size()) + frame.size();
+  }
+  Writer w;
+  w.reserve(total);
+  encode_batch_into(frames, w);
+  return w.take();
+}
+
+bool looks_like_batch(const Bytes& data) {
+  return !data.empty() && static_cast<std::uint8_t>(data[0]) == kBatchTag;
+}
+
+std::vector<Bytes> decode_batch(const Bytes& data) {
+  Reader r(data);
+  if (r.u8() != kBatchTag) throw DecodeError("not a BATCH envelope");
+  // Every frame occupies at least its one-byte length prefix, so a count
+  // that cannot fit the remaining input is rejected before any allocation.
+  const std::uint64_t n = r.count(1);
+  std::vector<Bytes> frames;
+  frames.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) frames.push_back(r.bytes_field());
+  r.expect_exhausted();
+  return frames;
+}
+
+SalvagedBatch salvage_batch(const Bytes& data) {
+  SalvagedBatch out;
+  out.clean =
+      visit_batch_frames(data, [&out](const std::byte* p, std::size_t len) {
+        out.frames.emplace_back(p, p + len);
+      });
+  return out;
+}
+
+}  // namespace dvs::net

@@ -1,0 +1,121 @@
+// BATCH envelope codec.
+//
+// When batching is enabled, SimNetwork coalesces every message a process
+// emits to the same destination within one simulated instant (plus an
+// optional window) into a single framed BATCH envelope, so the per-datagram
+// delay/jitter/FIFO machinery runs once per envelope instead of once per
+// logical message. The envelope is a flat frame list:
+//
+//   u8      kBatchTag        (0xB5 — outside the vsys wire Tag range)
+//   varuint frame count
+//   per frame: varuint length, then that many payload bytes
+//
+// Two decoders share the format:
+//   * decode_batch — strict. Any malformation (bad tag, short frame,
+//     trailing bytes, overlong count) throws DecodeError. This is the codec
+//     contract the property fuzz suite locks down: encode→decode→re-encode
+//     is byte-identical and corrupted envelopes never escape DecodeError.
+//   * salvage_batch — lenient, used on the delivery path. The network can
+//     truncate an envelope in flight; the receiver should still get every
+//     frame that survived intact, with the damaged tail delivered as one
+//     final corrupt frame so the layer above counts a decode error exactly
+//     like it would for an unbatched truncated datagram. Never throws.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+
+namespace dvs::net {
+
+inline constexpr std::uint8_t kBatchTag = 0xB5;
+
+/// Encodes `frames` into one BATCH envelope.
+[[nodiscard]] Bytes encode_batch(const std::vector<Bytes>& frames);
+
+/// Appends the envelope for `frames` to `w` (hot paths reuse one Writer).
+void encode_batch_into(const std::vector<Bytes>& frames, Writer& w);
+
+/// True iff `data` starts with the BATCH tag (cheap dispatch test; says
+/// nothing about whether the rest of the envelope is well-formed).
+[[nodiscard]] bool looks_like_batch(const Bytes& data);
+
+/// Strict decode: the exact inverse of encode_batch. Throws DecodeError on
+/// any malformation, including trailing bytes.
+[[nodiscard]] std::vector<Bytes> decode_batch(const Bytes& data);
+
+struct SalvagedBatch {
+  std::vector<Bytes> frames;
+  /// False iff the envelope was damaged: the final frame (when present) then
+  /// holds the unparseable tail bytes verbatim.
+  bool clean = true;
+};
+
+/// Lenient decode for the delivery path: extracts every intact frame, then
+/// delivers whatever damaged tail remains as one final corrupt frame. A
+/// datagram that does not even carry the BATCH tag comes back whole as a
+/// single (corrupt) frame. Never throws.
+[[nodiscard]] SalvagedBatch salvage_batch(const Bytes& data);
+
+namespace detail {
+
+/// Non-throwing varuint parse over raw bytes; false on truncation/overflow.
+inline bool parse_varuint(const Bytes& data, std::size_t& pos,
+                          std::uint64_t& out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64 || pos >= data.size()) return false;
+    const auto b = static_cast<std::uint8_t>(data[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace detail
+
+/// Allocation-free form of salvage_batch for the hot delivery path: calls
+/// visit(ptr, len) for every intact frame in envelope order, then once more
+/// for the damaged tail if the envelope was corrupted. Returns true iff the
+/// envelope parsed cleanly. The (ptr, len) ranges alias `data` and are only
+/// valid inside the visit call.
+template <typename Visitor>
+bool visit_batch_frames(const Bytes& data, Visitor&& visit) {
+  if (!looks_like_batch(data)) {
+    if (!data.empty()) visit(data.data(), data.size());
+    return false;
+  }
+  std::size_t pos = 1;
+  std::uint64_t count = 0;
+  const bool have_count = detail::parse_varuint(data, pos, count);
+  std::uint64_t parsed = 0;
+  while (have_count && parsed < count) {
+    const std::size_t frame_start = pos;
+    std::uint64_t len = 0;
+    if (!detail::parse_varuint(data, pos, len) || len > data.size() - pos) {
+      // Length prefix damaged or frame cut short: stop at the last intact
+      // frame; the tail (from the damaged prefix on) is delivered below.
+      pos = frame_start;
+      break;
+    }
+    visit(data.data() + pos, static_cast<std::size_t>(len));
+    pos += static_cast<std::size_t>(len);
+    ++parsed;
+  }
+  if (!have_count || parsed < count || pos != data.size()) {
+    // Truncated mid-frame, short of the advertised count, or trailing junk:
+    // surface the damaged tail as one corrupt frame so the layer above sees
+    // exactly one decode error for the damaged region.
+    if (pos < data.size()) visit(data.data() + pos, data.size() - pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dvs::net

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "net/batcher.h"
+
 namespace dvs::net {
 
 SimNetwork::SimNetwork(sim::Simulator& sim, Rng& rng, NetConfig config,
@@ -58,6 +60,8 @@ void SimNetwork::schedule_delivery(ProcessId from, ProcessId to,
     at = std::max(at, clock + 1);
     clock = at;
   }
+  ++stats_.datagrams;
+  stats_.wire_bytes += payload.size();
   sim_.schedule_at(at, [this, from, to, payload = std::move(payload)] {
     // Re-check connectivity at delivery: partitions and pauses that
     // happened in flight lose the message.
@@ -67,9 +71,96 @@ void SimNetwork::schedule_delivery(ProcessId from, ProcessId to,
     }
     auto it = handlers_.find(to);
     if (it == handlers_.end()) return;
-    ++stats_.delivered;
-    it->second(from, payload);
+    // Coalesced flushes travel as BATCH envelopes; single-message flushes
+    // (and all unbatched traffic) travel as the raw frame. The tag byte
+    // (outside the vsys wire Tag range) disambiguates on delivery.
+    if (!config_.batching || !looks_like_batch(payload)) {
+      ++stats_.delivered;
+      it->second(from, payload);
+      return;
+    }
+    // Salvage rather than strict-decode so an envelope truncated in flight
+    // still yields its intact prefix frames; the damaged tail arrives as
+    // one corrupt frame the receiver rejects like any other corrupt
+    // datagram. Frames are handed up through one reused scratch buffer —
+    // handlers decode synchronously and must not retain the reference.
+    const bool clean = visit_batch_frames(
+        payload, [this, from, &it](const std::byte* p, std::size_t len) {
+          frame_scratch_.assign(p, p + len);
+          ++stats_.delivered;
+          it->second(from, frame_scratch_);
+        });
+    if (!clean) ++stats_.batch_salvaged;
   });
+}
+
+void SimNetwork::enqueue_batch(ProcessId from, ProcessId to, Bytes payload) {
+  PendingBatch& batch = pending_[link_key(from, to)];
+  batch.bytes += payload.size();
+  batch.frames.push_back(std::move(payload));
+  if (batch.frames.size() >= config_.batch_max_msgs ||
+      batch.bytes >= config_.batch_max_bytes) {
+    ++stats_.batch_cap_flushes;
+    flush_batch(from, to);
+    return;
+  }
+  if (batch.flush_scheduled) return;
+  batch.flush_scheduled = true;
+  if (config_.batch_window == 0) {
+    // End-of-instant coalescing: one sweep event flushes every dirty link,
+    // in the order their first message arrived (deterministic).
+    dirty_.emplace_back(from, to);
+    if (!sweep_scheduled_) {
+      sweep_scheduled_ = true;
+      sim_.schedule_at(sim_.now(), [this] { flush_all_batches(); });
+    }
+  } else {
+    sim_.schedule_at(sim_.now() + config_.batch_window,
+                     [this, from, to] { flush_batch(from, to); });
+  }
+}
+
+void SimNetwork::flush_all_batches() {
+  sweep_scheduled_ = false;
+  // Index loop: flush_batch never appends to dirty_, but stay safe against
+  // iterator invalidation if that ever changes.
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    flush_batch(dirty_[i].first, dirty_[i].second);
+  }
+  dirty_.clear();
+}
+
+void SimNetwork::flush_batch(ProcessId from, ProcessId to) {
+  auto it = pending_.find(link_key(from, to));
+  if (it == pending_.end()) return;
+  PendingBatch& batch = it->second;
+  batch.flush_scheduled = false;
+  // A cap flush may already have emptied this batch; the sweep (or a
+  // window event) then finds nothing to do.
+  if (batch.frames.empty()) return;
+  if (batch_fill_ != nullptr) batch_fill_->observe(batch.frames.size());
+  // A flush that coalesced nothing goes out as the raw frame — the
+  // envelope framing only pays for itself when it carries several
+  // messages, and the receiver disambiguates by the tag byte.
+  Bytes datagram;
+  if (batch.frames.size() == 1) {
+    datagram = std::move(batch.frames.front());
+  } else {
+    ++stats_.batches;
+    stats_.batched_msgs += batch.frames.size();
+    datagram = encode_batch(batch.frames);
+  }
+  batch.frames.clear();  // keeps the vector's capacity for the next batch
+  batch.bytes = 0;
+  // The in-flight corruption fault applies to the datagram actually on the
+  // wire: one truncation draw per datagram, potentially damaging the tail
+  // of a whole batch.
+  if (config_.truncate_probability > 0.0 && !datagram.empty() &&
+      rng_.chance(config_.truncate_probability)) {
+    datagram.resize(rng_.below(datagram.size()));
+    ++stats_.truncated;
+  }
+  schedule_delivery(from, to, std::move(datagram));
 }
 
 void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
@@ -87,14 +178,17 @@ void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
     ++stats_.dropped_random;
     return;
   }
-  if (config_.truncate_probability > 0.0 && !payload.empty() &&
-      rng_.chance(config_.truncate_probability)) {
+  if (!config_.batching && config_.truncate_probability > 0.0 &&
+      !payload.empty() && rng_.chance(config_.truncate_probability)) {
     // Corrupt rather than drop: deliver a proper prefix (possibly empty).
+    // When batching, the truncation draw happens per envelope at flush
+    // instead (flush_batch).
     payload.resize(rng_.below(payload.size()));
     ++stats_.truncated;
   }
   // Extra copies first decide how many, then every copy (original included)
-  // is scheduled through the same delay/reorder machinery.
+  // is scheduled through the same delay/reorder machinery. Under batching
+  // the copies ride as extra frames of the same envelope.
   std::size_t extra = 0;
   while (extra < config_.max_duplicates &&
          config_.duplicate_probability > 0.0 &&
@@ -102,6 +196,13 @@ void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
     ++extra;
   }
   stats_.duplicated += extra;
+  if (config_.batching) {
+    for (std::size_t copy = 0; copy < extra; ++copy) {
+      enqueue_batch(from, to, payload);
+    }
+    enqueue_batch(from, to, std::move(payload));
+    return;
+  }
   for (std::size_t copy = 0; copy < extra; ++copy) {
     schedule_delivery(from, to, payload);
   }
@@ -142,12 +243,22 @@ void SimNetwork::bind_metrics(obs::MetricsRegistry& metrics) {
     metrics.counter("net.duplicated").set(stats_.duplicated);
     metrics.counter("net.reordered").set(stats_.reordered);
     metrics.counter("net.truncated").set(stats_.truncated);
+    metrics.counter("net.datagrams").set(stats_.datagrams);
+    metrics.counter("net.wire_bytes").set(stats_.wire_bytes);
+    metrics.counter("net.batches").set(stats_.batches);
+    metrics.counter("net.batched_msgs").set(stats_.batched_msgs);
+    metrics.counter("net.batch_cap_flushes").set(stats_.batch_cap_flushes);
+    metrics.counter("net.batch_salvaged").set(stats_.batch_salvaged);
     metrics.gauge("net.paused").set(
         static_cast<std::int64_t>(paused_.size()));
     int groups = 0;
     for (const auto& [p, g] : partition_group_) groups = std::max(groups, g + 1);
     metrics.gauge("net.partition_groups").set(groups);
   });
+  if (config_.batching) {
+    // Frames per flushed envelope: how well the hot paths coalesce.
+    batch_fill_ = &metrics.histogram("net.batch_fill", {1, 2, 4, 8, 16, 32});
+  }
 }
 
 void SimNetwork::pause(ProcessId p) { paused_.insert(p); }

@@ -32,6 +32,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,8 +66,26 @@ struct NetConfig {
   double reorder_probability = 0.0;
   sim::Time reorder_window = 5 * sim::kMillisecond;
   /// Probability the payload is truncated to a random proper prefix in
-  /// flight (delivered corrupted rather than dropped).
+  /// flight (delivered corrupted rather than dropped). With batching on the
+  /// fault applies to the envelope actually on the wire, so a single
+  /// truncation can damage the tail of a whole batch (the receiver salvages
+  /// the intact prefix frames — net/batcher.h).
   double truncate_probability = 0.0;
+
+  // ----- batching ------------------------------------------------------------
+  /// Coalesce every message a process sends to the same destination within
+  /// one flush window into a single framed BATCH envelope (net/batcher.h),
+  /// so delay/jitter/FIFO machinery runs once per envelope instead of once
+  /// per logical message. Decoded transparently on delivery: handlers see
+  /// the same per-message callbacks either way.
+  bool batching = false;
+  /// How long a batch stays open after its first message. 0 flushes at the
+  /// end of the current simulated instant — same-tick coalescing only,
+  /// adding no latency beyond the event queue.
+  sim::Time batch_window = 0;
+  /// A batch reaching either cap is flushed immediately.
+  std::size_t batch_max_msgs = 16;
+  std::size_t batch_max_bytes = 8192;
 };
 
 struct NetStats {
@@ -82,6 +102,20 @@ struct NetStats {
   std::uint64_t reordered = 0;
   /// Payloads truncated in flight.
   std::uint64_t truncated = 0;
+  /// Datagrams actually put on the wire (BATCH envelopes when batching;
+  /// equals the per-copy schedule count otherwise) and their payload bytes.
+  /// `sent`/`bytes_sent` keep logical-message semantics in both modes, so
+  /// datagrams/wire_bytes vs sent/bytes_sent is the batching win.
+  std::uint64_t datagrams = 0;
+  std::uint64_t wire_bytes = 0;
+  /// Batching: multi-frame BATCH envelopes put on the wire and the logical
+  /// frames carried inside them (single-frame flushes travel as the raw
+  /// frame and count in neither), flushes forced by the count/byte caps,
+  /// and damaged envelopes the receiver had to salvage frame-by-frame.
+  std::uint64_t batches = 0;
+  std::uint64_t batched_msgs = 0;
+  std::uint64_t batch_cap_flushes = 0;
+  std::uint64_t batch_salvaged = 0;
 };
 
 class SimNetwork {
@@ -141,6 +175,15 @@ class SimNetwork {
  private:
   [[nodiscard]] int group_of(ProcessId p) const;
   void schedule_delivery(ProcessId from, ProcessId to, Bytes payload);
+  void enqueue_batch(ProcessId from, ProcessId to, Bytes payload);
+  void flush_batch(ProcessId from, ProcessId to);
+  void flush_all_batches();
+
+  /// Packed (from, to) key for the O(1) per-send batch lookup.
+  static std::uint64_t link_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(from.value()) << 32) |
+           static_cast<std::uint64_t>(to.value());
+  }
 
   sim::Simulator& sim_;
   Rng& rng_;
@@ -151,7 +194,28 @@ class SimNetwork {
   ProcessSet paused_;
   // FIFO link enforcement: earliest permissible delivery time per link.
   std::map<std::pair<ProcessId, ProcessId>, sim::Time> link_clock_;
+  // Open batches per (from, to) link; flushed by a scheduled event at the
+  // end of the window or synchronously when a cap is hit. Keyed by the
+  // packed link id (hot path: one hash lookup per logical send); flushed
+  // in-place so the frames vector keeps its capacity across ticks.
+  struct PendingBatch {
+    std::vector<Bytes> frames;
+    std::size_t bytes = 0;
+    bool flush_scheduled = false;
+  };
+  std::unordered_map<std::uint64_t, PendingBatch> pending_;
+  // With batch_window == 0 every dirty link is flushed by one end-of-instant
+  // sweep event (in first-message order, so runs stay deterministic) instead
+  // of one scheduled event per link per instant.
+  std::vector<std::pair<ProcessId, ProcessId>> dirty_;
+  bool sweep_scheduled_ = false;
   NetStats stats_;
+  // Reused buffer for handing envelope frames to handlers without a fresh
+  // allocation per frame (handlers decode synchronously).
+  Bytes frame_scratch_;
+  // Batch fill (frames per flush, single-frame flushes included), published
+  // when batching is on.
+  obs::Histogram* batch_fill_ = nullptr;
 };
 
 }  // namespace dvs::net

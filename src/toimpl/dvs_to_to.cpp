@@ -71,6 +71,7 @@ ClientMsg DvsToTo::take_gpsnd() {
 }
 
 void DvsToTo::on_dvs_gprcv(const ClientMsg& m, ProcessId q) {
+  confirm_check_needed_ = true;
   if (const auto* labeled = std::get_if<LabeledAppMsg>(&m)) {
     content_.emplace(labeled->label, labeled->msg);
     if (status_ == Status::kNormal || options_.printed_figure_mode) {
@@ -111,6 +112,7 @@ void DvsToTo::on_dvs_gprcv(const ClientMsg& m, ProcessId q) {
 }
 
 void DvsToTo::on_dvs_safe(const ClientMsg& m, ProcessId q) {
+  confirm_check_needed_ = true;
   if (const auto* labeled = std::get_if<LabeledAppMsg>(&m)) {
     safe_labels_.insert(labeled->label);
     return;
@@ -125,6 +127,7 @@ void DvsToTo::on_dvs_safe(const ClientMsg& m, ProcessId q) {
 }
 
 void DvsToTo::on_dvs_newview(const View& v) {
+  confirm_check_needed_ = true;
   if (current_.has_value()) {
     past_orders_[current_->id()] = order_;
   }
@@ -139,13 +142,17 @@ void DvsToTo::on_dvs_newview(const View& v) {
 }
 
 bool DvsToTo::can_confirm() const {
-  return nextconfirm_ <= order_.size() &&
-         safe_labels_.contains(order_[nextconfirm_ - 1]);
+  if (!confirm_check_needed_) return false;
+  const bool enabled = nextconfirm_ <= order_.size() &&
+                       safe_labels_.contains(order_[nextconfirm_ - 1]);
+  if (!enabled) confirm_check_needed_ = false;
+  return enabled;
 }
 
 void DvsToTo::apply_confirm() {
   DVS_REQUIRE("CONFIRM", can_confirm(), "at " << self_.to_string());
   ++nextconfirm_;
+  confirm_check_needed_ = true;  // the next order_ slot may be safe already
 }
 
 bool DvsToTo::can_register() const {
@@ -171,6 +178,28 @@ std::pair<AppMsg, ProcessId> DvsToTo::take_brcv() {
   DVS_REQUIRE("BRCV", r.has_value(), "at " << self_.to_string());
   ++nextreport_;
   return *r;
+}
+
+std::optional<ClientMsg> DvsToTo::poll_gpsnd() {
+  if (status_ == Status::kSend) {
+    status_ = Status::kCollect;
+    return ClientMsg{make_summary()};
+  }
+  if (status_ == Status::kNormal && !buffer_.empty()) {
+    auto it = content_.find(buffer_.front());
+    if (it != content_.end()) {
+      const Label l = buffer_.front();
+      buffer_.pop_front();
+      return ClientMsg{LabeledAppMsg{l, it->second}};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<AppMsg, ProcessId>> DvsToTo::poll_brcv() {
+  auto r = next_brcv();
+  if (r.has_value()) ++nextreport_;
+  return r;
 }
 
 Summary DvsToTo::make_summary() const {

@@ -88,6 +88,14 @@ class DvsToTo {
   [[nodiscard]] bool can_confirm() const;
   void apply_confirm();
 
+  /// Combined poll-and-take for the drain loops: returns the enabled
+  /// DVS-GPSND output and applies its effect, or nullopt when disabled.
+  /// Equivalent to next_gpsnd()+take_gpsnd() without building the message
+  /// twice (the precondition check is the hot path of every drain).
+  [[nodiscard]] std::optional<ClientMsg> poll_gpsnd();
+  /// Combined poll-and-take for BRCV, same contract as poll_gpsnd().
+  [[nodiscard]] std::optional<std::pair<AppMsg, ProcessId>> poll_brcv();
+
   // ----- outputs --------------------------------------------------------------
 
   /// output DVS-GPSND(⟨l,a⟩)_p. Pre: status = normal ∧ l head of buffer ∧
@@ -170,6 +178,12 @@ class DvsToTo {
   // Labelled messages received during recovery, to be appended to the
   // adopted fullorder at establishment (correction 2; see header).
   std::vector<Label> deferred_labels_;
+
+  // Memoized negative result for can_confirm(): the drain loops poll it on
+  // every event, but its value can only flip to true when order_,
+  // safe_labels_, or nextconfirm_ change — every such mutation re-arms the
+  // flag. Pure cache: observable behaviour is identical.
+  mutable bool confirm_check_needed_ = true;
 
   // History: order as of leaving each past view (checker support only).
   std::map<ViewId, std::vector<Label>> past_orders_;

@@ -22,6 +22,9 @@ ChaosStats& operator+=(ChaosStats& a, const ChaosStats& b) {
   a.truncated += b.truncated;
   a.decode_errors += b.decode_errors;
   a.duplicates_suppressed += b.duplicates_suppressed;
+  a.datagrams += b.datagrams;
+  a.batches += b.batches;
+  a.batched_msgs += b.batched_msgs;
   a.metrics += b.metrics;
   return a;
 }
@@ -53,6 +56,7 @@ ChaosStats run_chaos_seed(std::uint64_t seed, const ChaosConfig& config) {
   cc.net.reorder_probability = config.reorder_probability;
   cc.net.reorder_window = config.reorder_window;
   cc.net.truncate_probability = config.truncate_probability;
+  cc.net.batching = config.batching;
   cc.record_traces = true;
   cc.conformance_oracle = true;
   cc.to_options = config.to_options;
@@ -122,6 +126,9 @@ ChaosStats run_chaos_seed(std::uint64_t seed, const ChaosConfig& config) {
   s.duplicated = ns.duplicated;
   s.reordered = ns.reordered;
   s.truncated = ns.truncated;
+  s.datagrams = ns.datagrams;
+  s.batches = ns.batches;
+  s.batched_msgs = ns.batched_msgs;
   // End-of-run span-invariant check travels inside the snapshot (all-zero
   // on a conforming run) alongside every layer's counters and the tracer's
   // latency histograms.

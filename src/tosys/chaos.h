@@ -50,6 +50,10 @@ struct ChaosConfig {
   double reorder_probability = 0.15;
   sim::Time reorder_window = 5 * sim::kMillisecond;
   double truncate_probability = 0.02;
+  /// Wire-level batching (NetConfig.batching): coalesce same-destination
+  /// sends into BATCH envelopes. Off by default — the unbatched stack stays
+  /// the reference; test_batch_equivalence proves both conform.
+  bool batching = false;
   /// Client broadcasts injected at seeded times across the horizon.
   std::size_t broadcasts = 60;
   /// Run time after the final heal/resume, letting recovery complete
@@ -80,6 +84,9 @@ struct ChaosStats {
   std::uint64_t truncated = 0;           // payloads cut in flight
   std::uint64_t decode_errors = 0;       // corrupted datagrams dropped clean
   std::uint64_t duplicates_suppressed = 0;  // dup-suppression path hits
+  std::uint64_t datagrams = 0;           // datagrams actually on the wire
+  std::uint64_t batches = 0;             // BATCH envelopes flushed
+  std::uint64_t batched_msgs = 0;        // logical messages carried batched
 
   /// Full end-of-run metric export of the cluster (every layer's counters,
   /// the tracer's latency histograms and the span-invariant counters).

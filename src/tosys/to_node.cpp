@@ -50,8 +50,8 @@ void ToNode::drain() {
       automaton_.apply_label();
       progressed = true;
     }
-    while (automaton_.next_gpsnd().has_value()) {
-      dvs_.gpsnd(automaton_.take_gpsnd());
+    while (auto m = automaton_.poll_gpsnd()) {
+      dvs_.gpsnd(*m);
       progressed = true;
     }
     if (options_.auto_register && automaton_.can_register()) {
@@ -63,10 +63,9 @@ void ToNode::drain() {
       automaton_.apply_confirm();
       progressed = true;
     }
-    while (automaton_.next_brcv().has_value()) {
-      auto [a, origin] = automaton_.take_brcv();
+    while (auto r = automaton_.poll_brcv()) {
       ++stats_.deliveries;
-      if (callbacks_.on_brcv) callbacks_.on_brcv(a, origin);
+      if (callbacks_.on_brcv) callbacks_.on_brcv(r->first, r->second);
       progressed = true;
     }
     if (automaton_.current().has_value() &&

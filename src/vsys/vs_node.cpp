@@ -16,9 +16,19 @@ VsNode::VsNode(ProcessId self, std::optional<View> initial_view,
       callbacks_(std::move(callbacks)),
       ticker_(sim, config.heartbeat_period, [this] { on_tick(); }),
       view_(std::move(initial_view)) {
+  // Size the flat per-process arrays by the largest id in the universe
+  // (ids are dense in practice, so this is ~one slot per process).
+  ProcessId::Rep max_id = 0;
+  for (ProcessId q : net_.processes()) max_id = std::max(max_id, q.value());
+  const std::size_t slots = net_.processes().empty() ? 0 : max_id + 1;
+  last_heard_.assign(slots, kNeverHeard);
+  last_view_of_.assign(slots, PeerReport{});
+  expected_data_seq_.assign(slots, 0);
+  delivered_by_.assign(slots, 0);
+  seq_retx_.assign(slots, RetxCursor{});
   if (view_.has_value()) {
     max_epoch_ = view_->id().epoch();
-    delivered_by_[self_] = 0;
+    view_members_.assign(view_->set().begin(), view_->set().end());
   }
 }
 
@@ -28,7 +38,7 @@ void VsNode::start() {
   });
   // Assume everyone alive at start so the initial view is not immediately
   // reconfigured away.
-  for (ProcessId q : net_.processes()) last_heard_[q] = sim_.now();
+  for (ProcessId q : net_.processes()) last_heard_[ix(q)] = sim_.now();
   // Token mode: the initial view's coordinator mints its token (later views
   // mint theirs in install()).
   if (config_.ordering == OrderingMode::kTokenRing && view_.has_value() &&
@@ -63,9 +73,9 @@ ProcessSet VsNode::estimate() const {
 }
 
 bool VsNode::suspected(ProcessId q) const {
-  auto it = last_heard_.find(q);
-  if (it == last_heard_.end()) return true;
-  return sim_.now() - it->second > config_.suspect_timeout;
+  const sim::Time heard = last_heard_[ix(q)];
+  if (heard == kNeverHeard) return true;
+  return sim_.now() - heard > config_.suspect_timeout;
 }
 
 ProcessId VsNode::sequencer() const { return *view_->set().begin(); }
@@ -86,7 +96,7 @@ void VsNode::bump_epoch(std::uint64_t epoch) {
 
 void VsNode::on_datagram(ProcessId from, const Bytes& data) {
   // Receiving bytes is evidence of liveness even when they are garbage.
-  last_heard_[from] = sim_.now();
+  last_heard_[ix(from)] = sim_.now();
   // The network may truncate or corrupt payloads in flight; a datagram
   // that does not decode is dropped like a lost message (the sender's
   // retransmission machinery recovers), never a crash.
@@ -117,25 +127,61 @@ void VsNode::on_tick() {
   // stream. Both modes: each issuer resends, to every lagging member, the
   // SEQs it issued in the window the member is missing.
   if (view_.has_value()) {
-    if (config_.ordering == OrderingMode::kSequencer &&
-        own_acked_ < sent_data_.size()) {
-      send_wire(sequencer(), Data{view_->id(), own_acked_ + 1,
-                                  sent_data_[own_acked_]});
+    if (config_.ordering == OrderingMode::kSequencer) {
+      if (own_acked_ < sent_data_.size()) {
+        // Head-of-stream DATA retransmission, gated by the holdoff: the
+        // original (or previous resend) may still be in flight, so resend
+        // only after holdoff ticks without admission progress.
+        if (own_acked_ != data_retx_acked_) {
+          data_retx_acked_ = own_acked_;
+          data_retx_idle_ = 0;
+        }
+        if (++data_retx_idle_ >= config_.retransmit_holdoff_ticks) {
+          send_wire(sequencer(), Data{view_->id(), own_acked_ + 1,
+                                      sent_data_[own_acked_]});
+          ++stats_.retransmits_sent;
+          data_retx_idle_ = 0;
+        } else {
+          ++stats_.retransmits_skipped;
+        }
+      } else {
+        data_retx_acked_ = own_acked_;
+        data_retx_idle_ = 0;
+      }
     }
     if (!issued_.empty()) {
       // Self included: the issuer's own copy of a SEQ travels through the
       // lossy network like everyone else's, so a dropped self-copy must be
       // retransmitted too or the issuer's delivery stream wedges forever.
-      for (ProcessId q : view_->set()) {
-        auto it = delivered_by_.find(q);
-        const std::uint64_t have = it == delivered_by_.end() ? 0 : it->second;
+      for (ProcessId q : view_members_) {
+        const std::uint64_t have = delivered_by_[ix(q)];
+        RetxCursor& cur = seq_retx_[ix(q)];
+        if (have > cur.acked) {
+          // The peer advanced since the last look: restart the holdoff, the
+          // in-flight copies are doing their job.
+          cur.acked = have;
+          cur.idle_ticks = 0;
+        }
+        if (issued_.upper_bound(have) == issued_.end()) {
+          // The peer has everything I issued — nothing outstanding.
+          cur.idle_ticks = 0;
+          continue;
+        }
+        if (cur.sent_upto > have &&
+            ++cur.idle_ticks < config_.retransmit_holdoff_ticks) {
+          ++stats_.retransmits_skipped;
+          continue;
+        }
         // Resend up to 8 of my issued SEQs above the member's position.
         std::size_t sent = 0;
         for (auto sit = issued_.upper_bound(have);
              sit != issued_.end() && sent < 8 && sit->first <= have + 8;
              ++sit, ++sent) {
           send_wire(q, sit->second);
+          cur.sent_upto = std::max(cur.sent_upto, sit->first);
+          ++stats_.retransmits_sent;
         }
+        cur.idle_ticks = 0;
       }
     }
     if (config_.ordering == OrderingMode::kTokenRing) {
@@ -167,9 +213,9 @@ void VsNode::maybe_propose() {
     bool peers_aligned = true;
     for (ProcessId q : est) {
       if (q == self_) continue;
-      auto it = last_view_of_.find(q);
-      if (it != last_view_of_.end() &&
-          (!it->second.has_value() || *it->second != view_->id())) {
+      const PeerReport& rec = last_view_of_[ix(q)];
+      if (rec.reported &&
+          (!rec.view.has_value() || *rec.view != view_->id())) {
         peers_aligned = false;
         break;
       }
@@ -194,16 +240,24 @@ void VsNode::maybe_propose() {
 
 void VsNode::handle(const Heartbeat& hb, ProcessId from) {
   bump_epoch(hb.max_epoch);
-  last_view_of_[from] = hb.view;
+  PeerReport& rec = last_view_of_[ix(from)];
+  rec.reported = true;
+  rec.view = hb.view;
   if (view_.has_value() && hb.view.has_value() && *hb.view == view_->id()) {
-    auto& count = delivered_by_[from];
+    auto& count = delivered_by_[ix(from)];
+    const std::uint64_t before = count;
     count = std::max(count, hb.delivered);
     last_rotation_seen_ = std::max(last_rotation_seen_, hb.token_rotation);
     if (forwarded_token_.has_value() &&
         last_rotation_seen_ >= forwarded_token_->rotation) {
       forwarded_token_.reset();
     }
-    try_emit_safe();
+    // Stability can only advance when a peer sitting at the frontier moves:
+    // counts are monotone, so a peer already above safe_emitted_ (== the
+    // stable point of the last scan) was never the binding minimum. Skipping
+    // the scan for those heartbeats takes the O(members) walk off the
+    // common no-progress path.
+    if (count != before && before <= safe_emitted_) try_emit_safe();
   }
 }
 
@@ -239,10 +293,11 @@ void VsNode::handle(const Install& in, ProcessId /*from*/) {
 
 void VsNode::install(const View& v) {
   view_ = v;
+  view_members_.assign(v.set().begin(), v.set().end());
   data_seq_out_ = 1;
   sent_data_.clear();
   own_acked_ = 0;
-  expected_data_seq_.clear();
+  std::fill(expected_data_seq_.begin(), expected_data_seq_.end(), 0);
   next_seqno_out_ = 1;
   issued_.clear();
   token_backlog_.clear();
@@ -261,8 +316,10 @@ void VsNode::install(const View& v) {
   seq_log_.clear();
   delivered_ = 0;
   safe_emitted_ = 0;
-  delivered_by_.clear();
-  delivered_by_[self_] = 0;
+  std::fill(delivered_by_.begin(), delivered_by_.end(), 0);
+  std::fill(seq_retx_.begin(), seq_retx_.end(), RetxCursor{});
+  data_retx_acked_ = 0;
+  data_retx_idle_ = 0;
   if (proposal_.has_value() && !(proposal_->view.id() > v.id())) {
     proposal_.reset();
     ++stats_.proposals_superseded;
@@ -279,7 +336,7 @@ void VsNode::handle(const Data& da, ProcessId from) {
   if (sequencer() != self_) return;
   // Admit each sender's stream contiguously; a gap (lost DATA) permanently
   // truncates that sender's stream in this view, preserving FIFO.
-  auto& expected = expected_data_seq_[from];
+  auto& expected = expected_data_seq_[ix(from)];
   if (expected == 0) expected = 1;
   if (da.sender_seq != expected) {
     // Below the admission watermark = a retransmitted or duplicated DATA;
@@ -299,7 +356,13 @@ void VsNode::issue(const Msg& payload, ProcessId origin, std::uint64_t seqno) {
   Seq sq{view_->id(), seqno, origin, payload};
   issued_.emplace(seqno, sq);
   const Bytes& bytes = encode_reused(WireMsg{sq});
-  for (ProcessId q : view_->set()) net_.send(self_, q, bytes);
+  for (ProcessId q : view_members_) {
+    net_.send(self_, q, bytes);
+    // The fresh multicast copy covers this seqno for every member; the tick
+    // retransmitter holds off until the holdoff expires without progress.
+    auto& cur = seq_retx_[ix(q)];
+    cur.sent_upto = std::max(cur.sent_upto, seqno);
+  }
 }
 
 void VsNode::handle(const Token& tk, ProcessId /*from*/) {
@@ -370,10 +433,14 @@ void VsNode::try_deliver() {
     auto [origin, payload] = std::move(it->second);
     recv_buffer_.erase(it);
     ++delivered_;
-    delivered_by_[self_] = delivered_;
-    seq_log_.emplace_back(origin, payload);
+    delivered_by_[ix(self_)] = delivered_;
+    // Move the payload into the log and deliver from there — the delivered
+    // message is needed again for safe emission, but not twice.
+    seq_log_.emplace_back(origin, std::move(payload));
     ++stats_.msgs_delivered;
-    if (callbacks_.on_gprcv) callbacks_.on_gprcv(payload, origin);
+    if (callbacks_.on_gprcv) {
+      callbacks_.on_gprcv(seq_log_.back().second, origin);
+    }
     delivered_any = true;
   }
   if (delivered_any) try_emit_safe();
@@ -395,16 +462,18 @@ void VsNode::bind_metrics(obs::MetricsRegistry& metrics) {
     metrics.counter("vs.decode_errors" + label).set(stats_.decode_errors);
     metrics.counter("vs.duplicates_suppressed" + label)
         .set(stats_.duplicates_suppressed);
+    metrics.counter("vs.retransmits_sent" + label)
+        .set(stats_.retransmits_sent);
+    metrics.counter("vs.retransmits_skipped" + label)
+        .set(stats_.retransmits_skipped);
   });
 }
 
 void VsNode::try_emit_safe() {
   if (!view_.has_value()) return;
   std::uint64_t stable = delivered_;
-  for (ProcessId q : view_->set()) {
-    auto it = delivered_by_.find(q);
-    const std::uint64_t count = it == delivered_by_.end() ? 0 : it->second;
-    stable = std::min(stable, count);
+  for (ProcessId q : view_members_) {
+    stable = std::min(stable, delivered_by_[ix(q)]);
   }
   while (safe_emitted_ < stable) {
     const auto& [origin, payload] = seq_log_[safe_emitted_];

@@ -65,6 +65,12 @@ struct VsConfig {
   OrderingMode ordering = OrderingMode::kSequencer;
   /// Token mode: max messages a holder issues per rotation (fairness cap).
   std::size_t token_backlog_cap = 16;
+  /// Tick retransmission holdoff: once a copy covering a peer's missing
+  /// suffix is in flight, wait this many ticks without ack progress before
+  /// resending to that peer. 1 restores the old resend-every-tick behavior;
+  /// higher values cut redundant retransmissions while acks propagate (one
+  /// heartbeat round-trip ≈ 2 ticks) at the cost of slower loss recovery.
+  std::size_t retransmit_holdoff_ticks = 2;
 };
 
 struct VsCallbacks {
@@ -91,6 +97,11 @@ struct VsNodeStats {
   std::uint64_t decode_errors = 0;
   /// Redelivered SEQs/tokens discarded by the duplicate-suppression path.
   std::uint64_t duplicates_suppressed = 0;
+  /// Tick retransmissions actually sent (DATA head + SEQ window copies) and
+  /// ones skipped because a covering copy was still in flight within the
+  /// holdoff — the per-destination cursor win shows as skipped >> sent.
+  std::uint64_t retransmits_sent = 0;
+  std::uint64_t retransmits_skipped = 0;
 };
 
 class VsNode {
@@ -154,6 +165,10 @@ class VsNode {
                                         bool buffered = false);
   void try_deliver();
   void try_emit_safe();
+  /// Index of `q` in the flat per-process arrays (ids are dense).
+  [[nodiscard]] std::size_t ix(ProcessId q) const {
+    return static_cast<std::size_t>(q.value());
+  }
   [[nodiscard]] bool suspected(ProcessId q) const;
   [[nodiscard]] ProcessId sequencer() const;  // min member of current view
   void send_wire(ProcessId to, const WireMsg& m);
@@ -173,11 +188,21 @@ class VsNode {
 
   std::optional<View> view_;
   std::uint64_t max_epoch_ = 0;
-  std::map<ProcessId, sim::Time> last_heard_;
+  // Per-process state lives in flat arrays indexed by ProcessId::value()
+  // (process ids are dense in practice; the arrays are sized by the largest
+  // id in the universe at construction). These are touched on every datagram
+  // and every heartbeat, where a std::map's pointer chasing dominated the
+  // whole stack's profile.
+  static constexpr sim::Time kNeverHeard = ~sim::Time{0};
+  std::vector<sim::Time> last_heard_;
   // Last view id each peer reported in a heartbeat (nullopt = peer reported
-  // having no view). Absent key = no report yet. Used to detect stuck
-  // mixed-view states and trigger reconfiguration.
-  std::map<ProcessId, std::optional<ViewId>> last_view_of_;
+  // having no view; reported == false = no report yet). Used to detect
+  // stuck mixed-view states and trigger reconfiguration.
+  struct PeerReport {
+    bool reported = false;
+    std::optional<ViewId> view;
+  };
+  std::vector<PeerReport> last_view_of_;
 
   // Coordinator-side proposal in flight.
   struct Proposal {
@@ -193,7 +218,7 @@ class VsNode {
   std::uint64_t data_seq_out_ = 1;    // sender-side per-view DATA counter
   std::vector<Msg> sent_data_;        // my sends this view (for retransmit)
   std::uint64_t own_acked_ = 0;       // my messages the sequencer admitted
-  std::map<ProcessId, std::uint64_t> expected_data_seq_;  // sequencer role
+  std::vector<std::uint64_t> expected_data_seq_;  // sequencer role
   std::uint64_t next_seqno_out_ = 1;  // sequencer role
   // SEQs this node issued in the current view (sequencer: all of them;
   // token mode: the ones issued while holding the token), keyed by seqno,
@@ -209,7 +234,25 @@ class VsNode {
   std::vector<std::pair<ProcessId, Msg>> seq_log_;  // delivered, in order
   std::uint64_t delivered_ = 0;
   std::uint64_t safe_emitted_ = 0;
-  std::map<ProcessId, std::uint64_t> delivered_by_;
+  std::vector<std::uint64_t> delivered_by_;
+  // The current view's members as a contiguous list (mirrors view_->set()),
+  // so the per-heartbeat stability scan walks a flat array instead of a
+  // node-based set.
+  std::vector<ProcessId> view_members_;
+  // Per-destination retransmission cursors (reset on install): tick
+  // retransmission resends only the suffix past the peer's acked position,
+  // and only after retransmit_holdoff_ticks without progress while a
+  // covering copy is in flight. Liveness is preserved: an outstanding
+  // suffix is always resent once the holdoff expires, no matter how many
+  // copies were lost before.
+  struct RetxCursor {
+    std::uint64_t acked = 0;      // peer ack position at the last progress
+    std::uint64_t sent_upto = 0;  // highest seqno a sent copy covers
+    std::size_t idle_ticks = 0;   // ticks since progress or resend
+  };
+  std::vector<RetxCursor> seq_retx_;
+  std::uint64_t data_retx_acked_ = 0;  // own_acked_ at the last head change
+  std::size_t data_retx_idle_ = 0;
 
   VsNodeStats stats_;
 };

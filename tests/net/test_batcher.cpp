@@ -1,0 +1,342 @@
+// BATCH envelope codec and SimNetwork batching tests.
+//
+// Codec contract (property-based): encode→decode→re-encode is
+// byte-identical for random frame mixes; every truncated or corrupted
+// envelope is rejected via DecodeError (strict decode) and never crashes or
+// leaks a foreign exception; the lenient salvage decoder recovers exactly
+// the frames that survived intact and flags the damage.
+//
+// Network contract: with batching on, same-instant sends to one destination
+// arrive as the same per-message handler calls, in order, carried by a
+// single wire datagram (or more when a cap flushes early).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/batcher.h"
+#include "net/sim_network.h"
+
+namespace dvs::net {
+namespace {
+
+Bytes random_frame(Rng& rng, std::size_t max_len) {
+  Bytes frame(rng.below(max_len + 1));
+  for (std::byte& b : frame) b = static_cast<std::byte>(rng.below(256));
+  return frame;
+}
+
+std::vector<Bytes> random_frames(Rng& rng, std::size_t max_count,
+                                 std::size_t max_len) {
+  std::vector<Bytes> frames(rng.below(max_count + 1));
+  for (Bytes& f : frames) f = random_frame(rng, max_len);
+  return frames;
+}
+
+/// decode_batch must either succeed or throw DecodeError; anything else is
+/// a bounds gap. salvage_batch must never throw at all.
+void expect_clean(const Bytes& envelope) {
+  try {
+    (void)decode_batch(envelope);
+  } catch (const DecodeError&) {
+    // The one acceptable failure mode.
+  } catch (const std::exception& e) {
+    FAIL() << "decode_batch leaked a foreign exception: " << e.what();
+  }
+  EXPECT_NO_THROW((void)salvage_batch(envelope));
+}
+
+TEST(BatcherCodecTest, RandomMixesRoundTripByteIdentical) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<Bytes> frames = random_frames(rng, 12, 48);
+    const Bytes envelope = encode_batch(frames);
+    ASSERT_TRUE(looks_like_batch(envelope));
+    const std::vector<Bytes> back = decode_batch(envelope);
+    EXPECT_EQ(back, frames);
+    EXPECT_EQ(encode_batch(back), envelope);
+    // The lenient decoder agrees exactly on undamaged envelopes.
+    const SalvagedBatch salvaged = salvage_batch(envelope);
+    EXPECT_TRUE(salvaged.clean);
+    EXPECT_EQ(salvaged.frames, frames);
+  }
+}
+
+TEST(BatcherCodecTest, EveryTruncationRaisesDecodeError) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes envelope = encode_batch(random_frames(rng, 8, 24));
+    for (std::size_t len = 0; len < envelope.size(); ++len) {
+      const Bytes cut(envelope.begin(),
+                      envelope.begin() + static_cast<std::ptrdiff_t>(len));
+      // The frame count is fixed up front, so no strict prefix can parse
+      // to completion.
+      EXPECT_THROW((void)decode_batch(cut), DecodeError)
+          << "envelope truncated to " << len << " of " << envelope.size();
+      EXPECT_NO_THROW((void)salvage_batch(cut));
+    }
+  }
+}
+
+TEST(BatcherCodecTest, BitFlipsAndGarbageNeverEscapeDecodeError) {
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes envelope = encode_batch(random_frames(rng, 6, 16));
+    for (std::size_t byte = 0; byte < envelope.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes flipped = envelope;
+        flipped[byte] ^= static_cast<std::byte>(1u << bit);
+        expect_clean(flipped);
+      }
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    Bytes junk(rng.below(96));
+    for (std::byte& b : junk) b = static_cast<std::byte>(rng.below(256));
+    expect_clean(junk);
+  }
+}
+
+TEST(BatcherCodecTest, CorruptedCountIsRejectedBeforeAllocation) {
+  const Bytes envelope = encode_batch({Bytes{std::byte{1}, std::byte{2}}});
+  for (std::size_t byte = 0; byte < envelope.size(); ++byte) {
+    Bytes evil = envelope;
+    evil[byte] = std::byte{0xff};  // maximal varuint fragment
+    expect_clean(evil);
+  }
+}
+
+TEST(BatcherCodecTest, SalvageRecoversIntactPrefixFrames) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Bytes> frames = random_frames(rng, 8, 24);
+    if (frames.empty()) frames.push_back(random_frame(rng, 24));
+    const Bytes envelope = encode_batch(frames);
+    const std::size_t cut_at = rng.below(envelope.size());
+    const Bytes cut(envelope.begin(),
+                    envelope.begin() + static_cast<std::ptrdiff_t>(cut_at));
+    const SalvagedBatch salvaged = salvage_batch(cut);
+    EXPECT_FALSE(salvaged.clean);
+    // Every recovered frame except a final damaged tail must be one of the
+    // original frames, in order from the front.
+    const std::size_t intact = salvaged.frames.empty()
+                                   ? 0
+                                   : salvaged.frames.size() - 1;
+    for (std::size_t k = 0; k < intact; ++k) {
+      ASSERT_LT(k, frames.size());
+      EXPECT_EQ(salvaged.frames[k], frames[k]) << "frame " << k;
+    }
+  }
+}
+
+// ----- SimNetwork integration ----------------------------------------------
+
+class BatchedNetworkTest : public ::testing::Test {
+ protected:
+  BatchedNetworkTest() : rng_(42) {
+    config_.base_delay = 10;
+    config_.jitter_mean_us = 0.0;
+    config_.batching = true;
+    remake();
+  }
+
+  void remake() {
+    net_ = std::make_unique<SimNetwork>(sim_, rng_, config_, make_universe(3));
+  }
+
+  void attach_recorder(unsigned p) {
+    net_->attach(ProcessId{p}, [this, p](ProcessId from, const Bytes& data) {
+      received_.push_back({ProcessId{p}, from, data});
+    });
+  }
+
+  static Bytes payload(std::uint8_t b) {
+    return Bytes{static_cast<std::byte>(b)};
+  }
+
+  struct Record {
+    ProcessId at;
+    ProcessId from;
+    Bytes data;
+  };
+
+  sim::Simulator sim_;
+  Rng rng_;
+  NetConfig config_;
+  std::unique_ptr<SimNetwork> net_;
+  std::vector<Record> received_;
+};
+
+TEST_F(BatchedNetworkTest, SameInstantSendsShareOneDatagram) {
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(i));
+  }
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(received_[i].data, payload(i));
+    EXPECT_EQ(received_[i].from, ProcessId{0});
+  }
+  const NetStats& s = net_->stats();
+  EXPECT_EQ(s.sent, 5u);
+  EXPECT_EQ(s.delivered, 5u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.batched_msgs, 5u);
+  EXPECT_EQ(s.datagrams, 1u);
+}
+
+TEST_F(BatchedNetworkTest, DistinctDestinationsGetDistinctEnvelopes) {
+  attach_recorder(1);
+  attach_recorder(2);
+  net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  net_->send(ProcessId{0}, ProcessId{2}, payload(2));
+  net_->send(ProcessId{0}, ProcessId{1}, payload(3));
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 3u);
+  // p0→p1 coalesced two frames into one envelope; the lone p0→p2 message
+  // travelled as its raw frame.
+  EXPECT_EQ(net_->stats().batches, 1u);
+  EXPECT_EQ(net_->stats().batched_msgs, 2u);
+  EXPECT_EQ(net_->stats().datagrams, 2u);
+}
+
+TEST_F(BatchedNetworkTest, SingleMessageFlushTravelsAsTheRawFrame) {
+  // A flush that coalesced nothing must not pay (or count) the envelope:
+  // the datagram on the wire is byte-identical to the unbatched send.
+  attach_recorder(1);
+  net_->send(ProcessId{0}, ProcessId{1}, payload(9));
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].data, payload(9));
+  const NetStats& s = net_->stats();
+  EXPECT_EQ(s.datagrams, 1u);
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.batched_msgs, 0u);
+  EXPECT_EQ(s.wire_bytes, payload(9).size());
+}
+
+TEST_F(BatchedNetworkTest, CountCapFlushesEarly) {
+  config_.batch_max_msgs = 4;
+  remake();
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(i));
+  }
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(received_[i].data, payload(i));
+  }
+  const NetStats& s = net_->stats();
+  EXPECT_EQ(s.batched_msgs, 10u);
+  EXPECT_EQ(s.batches, 3u);  // 4 + 4 + 2
+  EXPECT_EQ(s.batch_cap_flushes, 2u);
+}
+
+TEST_F(BatchedNetworkTest, ByteCapFlushesEarly) {
+  config_.batch_max_bytes = 8;
+  remake();
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    Bytes big(8, static_cast<std::byte>(i));
+    net_->send(ProcessId{0}, ProcessId{1}, std::move(big));
+  }
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 4u);
+  // Each payload alone hits the byte cap, so each flush carries one frame —
+  // which then travels raw, no envelope framing to pay.
+  EXPECT_EQ(net_->stats().batches, 0u);
+  EXPECT_EQ(net_->stats().datagrams, 4u);
+  EXPECT_EQ(net_->stats().batch_cap_flushes, 4u);
+}
+
+TEST_F(BatchedNetworkTest, LaterInstantsOpenFreshBatches) {
+  attach_recorder(1);
+  net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  net_->send(ProcessId{0}, ProcessId{1}, payload(2));
+  sim_.schedule_at(5, [this] {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(3));
+    net_->send(ProcessId{0}, ProcessId{1}, payload(4));
+  });
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 4u);
+  // Same-instant pairs coalesce; the later instant opens a fresh envelope
+  // rather than riding the earlier (already flushed) one.
+  EXPECT_EQ(net_->stats().batches, 2u);
+  EXPECT_EQ(net_->stats().batched_msgs, 4u);
+  EXPECT_EQ(net_->stats().datagrams, 2u);
+}
+
+TEST_F(BatchedNetworkTest, FifoOrderHoldsAcrossEnvelopes) {
+  config_.jitter_mean_us = 5000.0;
+  remake();
+  attach_recorder(1);
+  for (std::uint8_t t = 0; t < 20; ++t) {
+    sim_.schedule_at(t * 3 + 1, [this, t] {
+      net_->send(ProcessId{0}, ProcessId{1}, payload(t));
+      net_->send(ProcessId{0}, ProcessId{1},
+                 payload(static_cast<std::uint8_t>(100 + t)));
+    });
+  }
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 40u);
+  for (std::uint8_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(received_[2 * t].data, payload(t));
+    EXPECT_EQ(received_[2 * t + 1].data,
+              payload(static_cast<std::uint8_t>(100 + t)));
+  }
+}
+
+TEST_F(BatchedNetworkTest, PartitionAtDeliveryLosesTheWholeEnvelope) {
+  attach_recorder(1);
+  net_->send(ProcessId{0}, ProcessId{1}, payload(1));
+  net_->send(ProcessId{0}, ProcessId{1}, payload(2));
+  sim_.schedule_at(1, [this] {
+    net_->set_partition({make_process_set({0}), make_process_set({1, 2})});
+  });
+  sim_.run_all();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_->stats().dropped_partition, 1u);  // one envelope, one drop
+}
+
+TEST_F(BatchedNetworkTest, TruncatedEnvelopeSalvagesIntactPrefix) {
+  // Force truncation of every envelope: the trailing frames are damaged but
+  // the handler still runs for whatever survived, and the salvage counter
+  // records the damage.
+  config_.truncate_probability = 1.0;
+  remake();
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 8; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(i));
+  }
+  sim_.run_all();
+  const NetStats& s = net_->stats();
+  EXPECT_EQ(s.truncated, 1u);
+  EXPECT_EQ(s.batch_salvaged, 1u);
+  EXPECT_LE(received_.size(), 8u);
+  // Whatever arrived before the damaged tail is the original prefix.
+  for (std::size_t i = 0; i + 1 < received_.size(); ++i) {
+    EXPECT_EQ(received_[i].data, payload(static_cast<std::uint8_t>(i)));
+  }
+}
+
+TEST_F(BatchedNetworkTest, BatchingOffLeavesCountersUntouched) {
+  config_.batching = false;
+  remake();
+  attach_recorder(1);
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    net_->send(ProcessId{0}, ProcessId{1}, payload(i));
+  }
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 5u);
+  const NetStats& s = net_->stats();
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.batched_msgs, 0u);
+  EXPECT_EQ(s.datagrams, 5u);
+}
+
+}  // namespace
+}  // namespace dvs::net

@@ -211,5 +211,53 @@ TEST(ExchangeNodeTest, BlobsReachEveryMemberExactlyOncePerView) {
   EXPECT_TRUE(lb.exchange(ProcessId{0}).established());
 }
 
+TEST(ExchangeNodeTest, DeltaExchangeAcrossRepeatedReconfigurations) {
+  // Exercises the delta path end-to-end: once a node's exchange blob goes
+  // safe, later exchanges with subset memberships ship only the suffix past
+  // the common prefix. Loads share the prefix "10", so a load change
+  // between views produces a partial (non-empty-suffix) delta.
+  LbCluster lb(3, 6, 35);
+  lb.balancer(ProcessId{0}).set_load(100);
+  lb.balancer(ProcessId{1}).set_load(101);
+  lb.balancer(ProcessId{2}).set_load(105);
+  lb.start();
+  lb.run_for(2 * kSecond);  // v0 established, blobs safe → confirmed bases
+
+  // Shrink {0,1,2} → {0,1}: a subset of the confirmed base's membership, so
+  // the survivors delta against their v0 blobs.
+  lb.balancer(ProcessId{0}).set_load(104);  // blob "100" → "104": lcp = 2
+  lb.net().pause(ProcessId{2});
+  lb.run_for(2 * kSecond);
+  for (unsigned i : {0u, 1u}) {
+    const auto& st = lb.exchange(ProcessId{i}).stats();
+    EXPECT_TRUE(lb.exchange(ProcessId{i}).established()) << i;
+    EXPECT_GE(st.delta_blobs_sent, 1u) << i;
+    EXPECT_GE(st.delta_blobs_received, 1u) << i;
+    EXPECT_GT(st.delta_bytes_saved, 0u) << i;
+  }
+
+  // Regrow {0,1} → {0,1,2}: not a subset of any confirmed base (p2 missed
+  // the shrunken exchange), so full blobs go out — and p2, whose history
+  // predates the deltas, must still end established with agreed state.
+  lb.net().resume(ProcessId{2});
+  lb.run_for(3 * kSecond);
+  // Shrink again on the other side: {0,2} ⊆ {0,1,2}, deltas fire again.
+  lb.net().pause(ProcessId{1});
+  lb.run_for(2 * kSecond);
+
+  for (ProcessId p : lb.universe()) {
+    const auto& st = lb.exchange(p).stats();
+    // The load-bearing guarantee: no delta ever arrived whose base the
+    // receiver did not hold (safe ⇒ receipt at every member of the base's
+    // view), so every exchange reconstructed.
+    EXPECT_EQ(st.delta_unreconstructable, 0u) << p.to_string();
+  }
+  // The agreed outcome survived the delta plumbing: both live members hold
+  // identical fresh assignments.
+  ASSERT_TRUE(lb.balancer(ProcessId{0}).assignment_fresh());
+  EXPECT_EQ(lb.balancer(ProcessId{0}).assignment(),
+            lb.balancer(ProcessId{2}).assignment());
+}
+
 }  // namespace
 }  // namespace dvs::apps

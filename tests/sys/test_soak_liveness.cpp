@@ -1,0 +1,123 @@
+// Long-run soak/liveness: a 10,000-tick (200 simulated seconds at the 20ms
+// heartbeat) chaos schedule of partitions that always heal, with client
+// broadcasts spread across the whole horizon. At quiescence:
+//   * the conformance oracle accepted the entire execution;
+//   * every broadcast was delivered at every process (total liveness — the
+//     spec only promises this in a totally-registered view, which the
+//     healed, settled cluster reaches);
+//   * every process holds the same TO order (not just prefixes: quiescence
+//     means everyone caught up);
+//   * no causal span is still open (open view changes / registrations
+//     would mean a recovery that never completed).
+// Runs the batched and unbatched stacks through the identical schedule.
+// ctest label: slow.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/stack_tracer.h"
+#include "tosys/cluster.h"
+
+namespace dvs::tosys {
+namespace {
+
+constexpr sim::Time kTick = 20 * sim::kMillisecond;
+constexpr sim::Time kHorizon = 10000 * kTick;  // 200 s
+constexpr std::size_t kBroadcasts = 400;
+
+void run_soak(bool batching) {
+  ClusterConfig cc;
+  cc.n_processes = 3;
+  cc.net.batching = batching;
+  // Mild steady anomalies on top of the partition schedule.
+  cc.net.drop_probability = 0.01;
+  cc.net.duplicate_probability = 0.05;
+  Cluster cluster(cc, /*seed=*/2026);
+
+  // Healing partition schedule: every 4 s one process is isolated for
+  // 1.6 s, rotating through the membership; every 10th cycle pauses the
+  // victim instead (crash + recovery). Every fault heals well before the
+  // horizon ends.
+  const std::vector<ProcessId> procs(cluster.universe().begin(),
+                                     cluster.universe().end());
+  std::size_t cycle = 0;
+  for (sim::Time t = 2 * sim::kSecond; t + 2 * sim::kSecond < kHorizon;
+       t += 4 * sim::kSecond, ++cycle) {
+    const ProcessId victim = procs[cycle % procs.size()];
+    if (cycle % 10 == 9) {
+      cluster.sim().schedule_at(
+          t, [&cluster, victim] { cluster.net().pause(victim); });
+      cluster.sim().schedule_at(t + 1600 * sim::kMillisecond,
+                                [&cluster, victim] {
+                                  cluster.net().resume(victim);
+                                });
+    } else {
+      cluster.sim().schedule_at(t, [&cluster, victim, &procs] {
+        ProcessSet rest;
+        for (ProcessId p : procs) {
+          if (p != victim) rest.insert(p);
+        }
+        cluster.net().set_partition({ProcessSet{victim}, rest});
+      });
+      cluster.sim().schedule_at(t + 1600 * sim::kMillisecond,
+                                [&cluster] { cluster.net().heal(); });
+    }
+  }
+
+  // Client load across the whole horizon, round-robin over the processes —
+  // many broadcasts land mid-partition and must survive the reconfiguration
+  // traffic to be delivered after the heal.
+  std::uint64_t uid = 1;
+  for (std::size_t i = 0; i < kBroadcasts; ++i) {
+    const sim::Time at = 1 + (kHorizon - 2 * sim::kSecond) * i / kBroadcasts;
+    const ProcessId p = procs[i % procs.size()];
+    cluster.sim().schedule_at(
+        at, [&cluster, p, m = AppMsg{uid++, p, "soak"}] {
+          cluster.bcast(p, m);
+        });
+  }
+
+  cluster.start();
+  cluster.run_for(kHorizon);
+  // Quiescence: everything healed (the schedule guarantees it), settle out.
+  cluster.net().heal();
+  for (ProcessId p : cluster.universe()) cluster.net().resume(p);
+  cluster.run_for(5 * sim::kSecond);
+
+  ASSERT_TRUE(cluster.oracle().ok())
+      << cluster.oracle().violation()->to_string();
+  EXPECT_TRUE(cluster.oracle().check_invariants());
+
+  // Total liveness: every broadcast delivered everywhere.
+  EXPECT_EQ(cluster.deliveries().size(), kBroadcasts * procs.size());
+  // And in one agreed order: at quiescence every process's TO sequence is
+  // identical, not merely a common prefix.
+  std::vector<std::uint64_t> reference;
+  for (const Delivery& d : cluster.deliveries_at(procs[0])) {
+    reference.push_back(d.msg.uid);
+  }
+  EXPECT_EQ(reference.size(), kBroadcasts);
+  for (ProcessId p : procs) {
+    std::vector<std::uint64_t> order;
+    for (const Delivery& d : cluster.deliveries_at(p)) {
+      order.push_back(d.msg.uid);
+    }
+    EXPECT_EQ(order, reference) << p.to_string();
+  }
+
+  // No span still open at quiescence: every view change resolved, every
+  // registration episode closed, every delivery inside a view tenure.
+  const obs::SpanInvariantReport spans =
+      obs::check_span_invariants(cluster.trace());
+  EXPECT_TRUE(spans.all_zero())
+      << "open_view_change=" << spans.open_view_change
+      << " non_nested_delivery=" << spans.non_nested_delivery
+      << " overlapping_registration=" << spans.overlapping_registration;
+}
+
+TEST(SoakLivenessTest, TenThousandTicksUnbatched) { run_soak(false); }
+
+TEST(SoakLivenessTest, TenThousandTicksBatched) { run_soak(true); }
+
+}  // namespace
+}  // namespace dvs::tosys

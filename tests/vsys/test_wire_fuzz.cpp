@@ -50,6 +50,13 @@ std::vector<WireMsg> samples() {
                     Msg{LabeledAppMsg{l, a}}});
   out.push_back(Seq{ViewId{3, ProcessId{1}}, 9, ProcessId{2},
                     Msg{StateMsg{ViewId{3, ProcessId{1}}, "blob"}}});
+  // Delta-encoded state exchange: the flag byte plus the conditional
+  // base_view/keep_len tail are new attack surface.
+  StateMsg delta{ViewId{4, ProcessId{1}}, "suffix"};
+  delta.is_delta = true;
+  delta.base_view = ViewId{3, ProcessId{1}};
+  delta.keep_len = 12;
+  out.push_back(Seq{ViewId{4, ProcessId{1}}, 10, ProcessId{0}, Msg{delta}});
   out.push_back(Token{ViewId{3, ProcessId{1}}, 11, 12});
   return out;
 }
@@ -93,6 +100,35 @@ TEST(WireFuzzTest, EverySingleBitFlipDecodesCleanlyOrRejects) {
       }
     }
   }
+}
+
+TEST(WireFuzzTest, DeltaStateMsgRoundTripsExactly) {
+  StateMsg delta{ViewId{9, ProcessId{2}}, "tail-bytes"};
+  delta.is_delta = true;
+  delta.base_view = ViewId{7, ProcessId{0}};
+  delta.keep_len = 1234;
+  const WireMsg m = Seq{ViewId{9, ProcessId{2}}, 3, ProcessId{1}, Msg{delta}};
+  const Bytes wire = encode(m);
+  const WireMsg back = decode(wire);
+  const auto& sq = std::get<Seq>(back);
+  const auto& st = std::get<StateMsg>(sq.payload);
+  EXPECT_TRUE(st.is_delta);
+  EXPECT_EQ(st.base_view, delta.base_view);
+  EXPECT_EQ(st.keep_len, delta.keep_len);
+  EXPECT_EQ(st.blob, delta.blob);
+  // Re-encode is byte-identical: the delta fields have one canonical form.
+  EXPECT_EQ(encode(back), wire);
+}
+
+TEST(WireFuzzTest, StateMsgDeltaFlagAboveOneIsRejected) {
+  StateMsg st{ViewId{9, ProcessId{2}}, "blob"};
+  const WireMsg m = Seq{ViewId{9, ProcessId{2}}, 3, ProcessId{1}, Msg{st}};
+  Bytes wire = encode(m);
+  // The flag byte is the last byte of a non-delta StateMsg encoding (it is
+  // the final field and the blob length precedes the blob bytes).
+  ASSERT_EQ(static_cast<std::uint8_t>(wire.back()), 0u);
+  wire.back() = std::byte{2};
+  EXPECT_THROW((void)decode(wire), DecodeError);
 }
 
 TEST(WireFuzzTest, RandomGarbageNeverEscapesDecodeError) {
