@@ -3,6 +3,11 @@
 // message, with and without trace recording.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "storage/file_store.h"
 #include "tosys/cluster.h"
 
 namespace {
@@ -165,6 +170,79 @@ BENCHMARK(BM_StackSteadyState)
     ->Args({5, kCursorsBatched})
     ->Args({9, kEager})
     ->Args({9, kCursorsBatched});
+
+void BM_StackRestart(benchmark::State& state) {
+  // Crash-restart cost of the persistent stack (experiment E19). One
+  // episode = 10 simulated seconds (10k 1 ms heartbeat ticks) of steady
+  // client load on n=3 with write-ahead persistence on; the restart-rate
+  // axis injects {0, 1, 10} crash-restarts per episode, evenly spaced,
+  // alternating victims. The label carries the deterministic outcome
+  // counters: recovery latency (restart → first post-recovery delivery at
+  // the restarted node, from the tracer's trace.recovery_us histogram),
+  // total WAL bytes written, and deliveries. The second axis swaps the
+  // deterministic in-memory store for the file-backed store, so the same
+  // journal traffic is measured against a real filesystem.
+  const int restarts = static_cast<int>(state.range(0));
+  const bool file_backed = state.range(1) != 0;
+  constexpr sim::Time kEpisode = 10 * kSecond;
+  std::uint64_t seed = 1;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t recovery_p50 = 0;
+  std::uint64_t recoveries = 0;
+  std::size_t delivered = 0;
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "dvs_bench_recovery_store")
+          .string();
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n_processes = 3;
+    cfg.record_traces = false;
+    cfg.conformance_oracle = false;
+    cfg.persistence = true;  // observability stays on: it times recovery
+    std::unique_ptr<storage::FileStableStore> disk;
+    if (file_backed) {
+      disk = std::make_unique<storage::FileStableStore>(root);
+      disk->wipe();
+      cfg.store = disk.get();
+    }
+    Cluster c(cfg, seed++);
+    c.start();
+    for (int i = 0; i < restarts; ++i) {
+      const ProcessId victim{static_cast<ProcessId::Rep>(1 + i % 2)};
+      const sim::Time at =
+          kSecond + static_cast<sim::Time>(i + 1) * (8 * kSecond) /
+                        static_cast<sim::Time>(restarts + 1);
+      c.sim().schedule_at(at, [&c, victim] { c.restart(victim); });
+    }
+    std::uint64_t uid = 1;
+    for (sim::Time t = 0; t < kEpisode; t += 20 * kMillisecond) {
+      const ProcessId p{static_cast<ProcessId::Rep>(uid % 3)};
+      c.bcast(p, AppMsg{uid++, p, ""});
+      c.run_for(20 * kMillisecond);
+    }
+    c.run_for(2 * kSecond);  // let the last recovery complete
+    delivered = c.deliveries().size();
+    wal_bytes = c.store()->stats().bytes_written();
+    const obs::HistogramSnapshot h =
+        c.metrics().histogram("trace.recovery_us").snapshot();
+    recoveries = h.count;
+    recovery_p50 = h.p50();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(delivered));
+  state.SetLabel(std::to_string(restarts) + " restarts/10k ticks, " +
+                 (file_backed ? "file store" : "mem store") + ", " +
+                 std::to_string(recoveries) + " recoveries p50=" +
+                 std::to_string(recovery_p50) + "us, wal=" +
+                 std::to_string(wal_bytes) + "B, " +
+                 std::to_string(delivered) + " delivered");
+}
+BENCHMARK(BM_StackRestart)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({10, 0})
+    ->Args({10, 1});
 
 void BM_TraceAcceptance(benchmark::State& state) {
   // Cost of replaying a recorded run through all three spec acceptors.

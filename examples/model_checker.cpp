@@ -12,6 +12,7 @@
 //   $ ./build/examples/model_checker --chaos --erratum [n] [seeds]
 //   $ ./build/examples/model_checker --chaos --metrics [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --batch [n] [seeds] --jobs N
+//   $ ./build/examples/model_checker --chaos --restart [n] [seeds] --jobs N
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
 // with every checker armed. `--jobs N` fans the seeds across N worker
@@ -27,7 +28,11 @@
 // byte-identical for any --jobs value. --smoke shrinks the sweep for CI
 // sanitizer gates. --erratum re-injects the paper's Figure 5 errata
 // (printed_figure_mode) and *expects* the oracle to reject — a self-test
-// that the harness detects real specification violations.
+// that the harness detects real specification violations. --restart arms
+// the crash-restart adversary: per-node write-ahead persistence on,
+// scripted kRestart faults in the plan, and kCrash upgraded to real
+// crashes (volatile state wiped, node rebuilt from its journal) — the
+// oracles keep checking across every restart.
 //
 // Exit code 0 = no violation found (or, under --erratum, the expected
 // violation was found). On failure, the counterexample's seed, replayable
@@ -120,11 +125,17 @@ int run_sweep(std::size_t n, std::size_t steps, std::uint64_t seeds,
 }
 
 int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
-              bool smoke, bool erratum, bool metrics, bool batch) {
+              bool smoke, bool erratum, bool metrics, bool batch,
+              bool restart) {
   tosys::ChaosConfig chaos;
   chaos.n_processes = n;
   chaos.batching = batch;
   chaos.to_options.printed_figure_mode = erratum;
+  if (restart) {
+    chaos.persistence = true;
+    chaos.crashes_restart = true;
+    chaos.plan.w_restart = 0.15;
+  }
   if (erratum) {
     // The reverted corrections misbehave when client messages are queued
     // while a node has no established view — most robustly at a late
@@ -210,6 +221,14 @@ int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
                 static_cast<unsigned long long>(t.datagrams),
                 static_cast<unsigned long long>(t.net_sent));
   }
+  if (restart) {
+    std::printf("crash-restart: %llu restarts recovered from stable storage "
+                "(%llu WAL records, %llu bytes written) — every node came "
+                "back from its journal alone.\n",
+                static_cast<unsigned long long>(t.restarts),
+                static_cast<unsigned long long>(t.wal_appends),
+                static_cast<unsigned long long>(t.wal_bytes));
+  }
   return 0;
 }
 
@@ -225,6 +244,7 @@ int main(int argc, char** argv) {
   bool erratum = false;
   bool metrics = false;
   bool batch = false;
+  bool restart = false;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
@@ -240,6 +260,8 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = true;
+    } else if (std::strcmp(argv[i], "--restart") == 0) {
+      restart = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -252,7 +274,8 @@ int main(int argc, char** argv) {
       const std::uint64_t seeds =
           args.size() > 1 ? std::strtoull(args[1], nullptr, 10)
                           : (smoke ? 25 : (erratum ? 60 : 500));
-      return run_chaos(n, seeds, jobs, smoke, erratum, metrics, batch);
+      return run_chaos(n, seeds, jobs, smoke, erratum, metrics, batch,
+                       restart);
     }
     if (!args.empty() && std::strcmp(args[0], "--exhaustive") == 0) {
       const std::size_t n_ex =

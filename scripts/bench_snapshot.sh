@@ -32,6 +32,15 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
   --benchmark_min_time="${STACK_MIN_TIME}" \
   --benchmark_format=json >BENCH_stack.json
 
+# Crash-restart cost axis (E19): restart rate {0,1,10}/10k-tick episode on
+# the persistent stack, mem- and file-backed. The deterministic labels
+# (recoveries, recovery p50, WAL bytes, deliveries) are the review surface;
+# wall-clock ratios are indicative only.
+./build/bench/bench_stack \
+  --benchmark_filter='BM_StackRestart' \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json >BENCH_recovery.json
+
 # Aggregated metric snapshot of the chaos smoke sweep (deterministic: the
 # same seeds give the same bytes on every machine), so the stack-level
 # counters and latency histograms diff in review alongside the microbenches.

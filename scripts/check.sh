@@ -49,6 +49,17 @@ ctest --test-dir build-asan -L batch --output-on-failure
 # coalesced wire path underneath.
 ./build-asan/examples/model_checker --chaos --smoke --batch --jobs 2
 
+echo "== recovery gate (ASan) =="
+# Crash-restart persistence under ASan: the WAL corruption fuzz (bit flips,
+# truncation at every byte, duplicated records) and the crash-point sweep
+# (a restart injected at every persistence barrier) are exactly where a
+# framing bounds mistake or a teardown use-after-free would hide.
+ctest --test-dir build-asan -R 'WalFormatTest|WalFuzzTest|StableStoreTest|LayerJournalTest|ExchangeJournalTest|CrashPointSweepTest' \
+  --output-on-failure
+# Chaos conformance smoke with the restart adversary: kCrash upgraded to
+# genuine crash-restart plus scripted kRestart events, oracles online.
+./build-asan/examples/model_checker --chaos --smoke --restart --jobs 2
+
 echo "== TSan build + parallel tests =="
 # The thread sanitizer gate covers the multi-threaded subsystem: the seed
 # sweeps, the sharded parallel BFS, and the thread pool itself.
@@ -73,6 +84,14 @@ cmake --build build-tsan --target batch_equivalence_test
   --gtest_filter='*Parallel*:*MergesIdentically*'
 ./build-tsan/examples/model_checker --chaos --smoke --batch --jobs 4 | tee /tmp/chaos_tsan_batch_j4.txt
 ./build-tsan/examples/model_checker --chaos --smoke --batch --jobs 1 | cmp - /tmp/chaos_tsan_batch_j4.txt
+# Restart differential under TSan: pause-vs-restart semantics on the same
+# seeds across worker counts, and the restart chaos report must stay
+# byte-identical at any --jobs (per-seed MemStableStores must not share).
+cmake --build build-tsan --target restart_differential_test
+./build-tsan/tests/restart_differential_test \
+  --gtest_filter='*ThreadCountIndependent*:*ScriptedRestart*'
+./build-tsan/examples/model_checker --chaos --smoke --restart --jobs 4 | tee /tmp/chaos_tsan_restart_j4.txt
+./build-tsan/examples/model_checker --chaos --smoke --restart --jobs 1 | cmp - /tmp/chaos_tsan_restart_j4.txt
 
 echo "== bench smoke =="
 for b in build/bench/*; do

@@ -41,9 +41,125 @@ vsys::VsCallbacks DvsNode::vs_callbacks() {
   return cb;
 }
 
-void DvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
+namespace {
+
+// DVS journal record types. Replay is idempotent: act records max-merge,
+// the rest set-insert — duplicates (possible when a crash lands between an
+// append and the action it logs being re-derived) are harmless.
+constexpr std::uint8_t kDvsSnapshot = 1;  // full DvsDurableState
+constexpr std::uint8_t kDvsAct = 2;       // act := view
+constexpr std::uint8_t kDvsAmb = 3;       // amb ∪= {view}
+constexpr std::uint8_t kDvsAttempt = 4;   // attempted ∪= {view}
+constexpr std::uint8_t kDvsReg = 5;       // reg ∪= {view id}
+constexpr std::size_t kDvsCompactEvery = 64;
+
+void encode_snapshot(Writer& w, const impl::DvsDurableState& s) {
+  w.view(s.act);
+  w.varuint(s.amb.size());
+  for (const auto& [g, v] : s.amb) w.view(v);
+  w.varuint(s.attempted.size());
+  for (const auto& [g, v] : s.attempted) w.view(v);
+  w.varuint(s.reg.size());
+  for (const ViewId& g : s.reg) w.view_id(g);
+}
+
+impl::DvsDurableState decode_snapshot(Reader& r) {
+  impl::DvsDurableState s;
+  s.act = r.view();
+  for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+    View v = r.view();
+    s.amb.emplace(v.id(), std::move(v));
+  }
+  for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+    View v = r.view();
+    s.attempted.emplace(v.id(), std::move(v));
+  }
+  for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+    s.reg.insert(r.view_id());
+  }
+  return s;
+}
+
+}  // namespace
+
+void DvsNode::snapshot_state() {
+  const impl::DvsDurableState s = automaton_.durable_state();
+  wal_->snapshot(kDvsSnapshot, [&](Writer& w) { encode_snapshot(w, s); });
+}
+
+void DvsNode::attach_storage(storage::StableStore& store,
+                             const std::string& key) {
+  wal_.emplace(store, key);
+  snapshot_state();
+  impl::DvsDurabilityHooks hooks;
+  hooks.on_act = [this](const View& v) {
+    wal_->append(kDvsAct, [&](Writer& w) { w.view(v); });
+    if (wal_->records_since_snapshot() >= kDvsCompactEvery) snapshot_state();
+  };
+  hooks.on_amb_add = [this](const View& v) {
+    wal_->append(kDvsAmb, [&](Writer& w) { w.view(v); });
+    if (wal_->records_since_snapshot() >= kDvsCompactEvery) snapshot_state();
+  };
+  hooks.on_attempt = [this](const View& v) {
+    wal_->append(kDvsAttempt, [&](Writer& w) { w.view(v); });
+    if (wal_->records_since_snapshot() >= kDvsCompactEvery) snapshot_state();
+  };
+  hooks.on_register = [this](const ViewId& g) {
+    wal_->append(kDvsReg, [&](Writer& w) { w.view_id(g); });
+    if (wal_->records_since_snapshot() >= kDvsCompactEvery) snapshot_state();
+  };
+  automaton_.set_durability_hooks(std::move(hooks));
+}
+
+impl::DvsDurableState DvsNode::recover(const storage::StableStore& store,
+                                       const std::string& key, ProcessId self,
+                                       const View& v0) {
+  // Empty-log fallback: the durable state a fresh node would start with
+  // (mirrors the impl::VsToDvs constructor).
+  impl::DvsDurableState s;
+  s.act = v0;
+  if (v0.contains(self)) {
+    s.attempted.emplace(v0.id(), v0);
+    s.reg.insert(v0.id());
+  }
+  for (const storage::WalRecord& rec : storage::read_wal(store, key).records) {
+    try {
+      Reader r(rec.payload);
+      switch (rec.type) {
+        case kDvsSnapshot:
+          s = decode_snapshot(r);
+          break;
+        case kDvsAct: {
+          View v = r.view();
+          if (v.id() > s.act.id()) s.act = std::move(v);
+          break;
+        }
+        case kDvsAmb: {
+          View v = r.view();
+          s.amb.emplace(v.id(), std::move(v));
+          break;
+        }
+        case kDvsAttempt: {
+          View v = r.view();
+          s.attempted.emplace(v.id(), std::move(v));
+          break;
+        }
+        case kDvsReg:
+          s.reg.insert(r.view_id());
+          break;
+        default:
+          break;  // unknown record type: ignore (forward compatibility)
+      }
+    } catch (const DecodeError&) {
+      break;  // undecodable payload ends the usable prefix
+    }
+  }
+  return s;
+}
+
+std::size_t DvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
   const std::string label = "{process=\"" + self().to_string() + "\"}";
-  metrics.add_collector([this, &metrics, label] {
+  return metrics.add_collector([this, &metrics, label] {
     metrics.counter("dvs.views_attempted" + label).set(stats_.views_attempted);
     metrics.counter("dvs.msgs_sent" + label).set(stats_.msgs_sent);
     metrics.counter("dvs.msgs_delivered" + label).set(stats_.msgs_delivered);

@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "common/view.h"
 #include "impl/vs_to_dvs.h"
+#include "storage/wal.h"
 #include "vsys/vs_node.h"
 
 namespace dvs::dvsys {
@@ -88,19 +89,46 @@ class DvsNode {
   [[nodiscard]] const DvsNodeStats& stats() const { return stats_; }
 
   /// Registers a collector that publishes DvsNodeStats as
-  /// dvs.*{process="pN"} counters. The node must outlive the registry's
-  /// last collect().
-  void bind_metrics(obs::MetricsRegistry& metrics);
+  /// dvs.*{process="pN"} counters. Returns the collector id so an owner
+  /// that rebuilds the node (crash-restart) can remove the stale collector.
+  std::size_t bind_metrics(obs::MetricsRegistry& metrics);
+
+  // ----- durability (crash-restart recovery) -------------------------------
+
+  /// Starts journaling the automaton's durable transitions (act advances,
+  /// amb additions, attempts, registrations — see impl::DvsDurableState)
+  /// into `store` at `key`, writing the current durable state as the
+  /// baseline snapshot. Call before any traffic (and after restore()).
+  void attach_storage(storage::StableStore& store, const std::string& key);
+
+  /// Reinstates recovered durable state after a crash-restart; forwards to
+  /// impl::VsToDvs::restore. Call before any traffic.
+  void restore(const impl::DvsDurableState& recovered) {
+    automaton_.restore(recovered);
+  }
+
+  /// Replays the journal at `key`. An empty/absent log yields the fresh
+  /// state a new node with membership `v0` would have; corrupt tails are
+  /// discarded (replay is idempotent max-merge/set-insert, so a clean
+  /// prefix is always a valid — possibly older — durable state).
+  [[nodiscard]] static impl::DvsDurableState recover(
+      const storage::StableStore& store, const std::string& key,
+      ProcessId self, const View& v0);
 
  private:
   /// Fires every enabled output/internal action until quiescent.
   void drain();
+
+  /// Writes one WAL snapshot record of the current durable state (also the
+  /// compaction step — snapshots replace the whole log).
+  void snapshot_state();
 
   impl::VsToDvs automaton_;
   vsys::VsNode& vs_;
   DvsCallbacks callbacks_;
   DvsNodeOptions options_;
   DvsNodeStats stats_;
+  std::optional<storage::Wal> wal_;  // durable-state journal, when attached
 };
 
 }  // namespace dvs::dvsys

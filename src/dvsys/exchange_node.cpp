@@ -5,6 +5,63 @@
 
 namespace dvs::dvsys {
 
+namespace {
+
+// Exchange journal record types. Replay is idempotent: peer records
+// insert-or-assign (last writer wins per ⟨peer, view⟩), sent/confirmed
+// records overwrite the single optional slot.
+constexpr std::uint8_t kExSnapshot = 1;   // full ExchangeDurableState
+constexpr std::uint8_t kExPeer = 2;       // peer_blobs[p][view] := blob
+constexpr std::uint8_t kExSent = 3;       // last_sent := record
+constexpr std::uint8_t kExConfirmed = 4;  // confirmed := record
+constexpr std::size_t kExCompactEvery = 32;
+
+void encode_sent(Writer& w, const ExchangeDurableState::SentRecord& s) {
+  w.view_id(s.view);
+  w.process_set(s.members);
+  w.str(s.blob);
+}
+
+ExchangeDurableState::SentRecord decode_sent(Reader& r) {
+  ExchangeDurableState::SentRecord s;
+  s.view = r.view_id();
+  s.members = r.process_set();
+  s.blob = r.str();
+  return s;
+}
+
+void encode_snapshot(Writer& w, const ExchangeDurableState& s) {
+  w.varuint(s.peer_blobs.size());
+  for (const auto& [p, history] : s.peer_blobs) {
+    w.process_id(p);
+    w.varuint(history.size());
+    for (const auto& [g, blob] : history) {
+      w.view_id(g);
+      w.str(blob);
+    }
+  }
+  w.u8(s.last_sent.has_value() ? 1 : 0);
+  if (s.last_sent.has_value()) encode_sent(w, *s.last_sent);
+  w.u8(s.confirmed.has_value() ? 1 : 0);
+  if (s.confirmed.has_value()) encode_sent(w, *s.confirmed);
+}
+
+ExchangeDurableState decode_snapshot(Reader& r) {
+  ExchangeDurableState s;
+  for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+    auto& history = s.peer_blobs[r.process_id()];
+    for (std::size_t j = 0, m = r.count(2); j < m; ++j) {
+      ViewId g = r.view_id();
+      history.insert_or_assign(g, r.str());
+    }
+  }
+  if (r.u8() != 0) s.last_sent = decode_sent(r);
+  if (r.u8() != 0) s.confirmed = decode_sent(r);
+  return s;
+}
+
+}  // namespace
+
 ExchangeDvsNode::ExchangeDvsNode(ProcessId self, ExchangeCallbacks callbacks)
     : self_(self), callbacks_(std::move(callbacks)) {}
 
@@ -58,6 +115,10 @@ void ExchangeDvsNode::on_newview(DvsNode& dvs, const View& v) {
     }
   }
   last_sent_ = SentExchange{v.id(), v.set(), blob};
+  if (wal_.has_value()) {
+    wal_->append(kExSent, [&](Writer& w) { encode_sent(w, *last_sent_); });
+    maybe_compact();
+  }
   dvs.gpsnd(ClientMsg{st});
   ++stats_.blobs_sent;
 }
@@ -71,6 +132,11 @@ void ExchangeDvsNode::on_safe_state(const StateMsg& st, ProcessId from) {
   // member of that view holds the full content, so it is a sound base for
   // future deltas to any subset membership.
   confirmed_ = last_sent_;
+  if (wal_.has_value()) {
+    wal_->append(kExConfirmed,
+                 [&](Writer& w) { encode_sent(w, *confirmed_); });
+    maybe_compact();
+  }
 }
 
 std::optional<std::string> ExchangeDvsNode::reconstruct_and_store(
@@ -78,6 +144,7 @@ std::optional<std::string> ExchangeDvsNode::reconstruct_and_store(
   auto& history = peer_blobs_[from];
   if (!st.is_delta) {
     history.insert_or_assign(st.view, st.blob);
+    log_peer_blob(from, st.view, st.blob);
     return st.blob;
   }
   ++stats_.delta_blobs_received;
@@ -91,7 +158,22 @@ std::optional<std::string> ExchangeDvsNode::reconstruct_and_store(
   // monotone), so older history for this peer is dead weight.
   history.erase(history.begin(), base);
   history.insert_or_assign(st.view, full);
+  // The journal gets the *reconstructed* full blob, before the exchange
+  // acts on it: recovery must never have to re-resolve a delta whose base
+  // only existed in volatile memory.
+  log_peer_blob(from, st.view, full);
   return full;
+}
+
+void ExchangeDvsNode::log_peer_blob(ProcessId from, const ViewId& view,
+                                    const std::string& blob) {
+  if (!wal_.has_value()) return;
+  wal_->append(kExPeer, [&](Writer& w) {
+    w.process_id(from);
+    w.view_id(view);
+    w.str(blob);
+  });
+  maybe_compact();
 }
 
 void ExchangeDvsNode::on_gprcv(DvsNode& dvs, const ClientMsg& m,
@@ -142,9 +224,9 @@ void ExchangeDvsNode::maybe_establish(DvsNode& dvs) {
   }
 }
 
-void ExchangeDvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
+std::size_t ExchangeDvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
   const std::string label = "{process=\"" + self_.to_string() + "\"}";
-  metrics.add_collector([this, &metrics, label] {
+  return metrics.add_collector([this, &metrics, label] {
     metrics.counter("exchange.views_seen" + label).set(stats_.views_seen);
     metrics.counter("exchange.views_established" + label)
         .set(stats_.views_established);
@@ -161,6 +243,72 @@ void ExchangeDvsNode::bind_metrics(obs::MetricsRegistry& metrics) {
     metrics.counter("exchange.delta_unreconstructable" + label)
         .set(stats_.delta_unreconstructable);
   });
+}
+
+ExchangeDurableState ExchangeDvsNode::durable_state() const {
+  ExchangeDurableState s;
+  s.peer_blobs = peer_blobs_;
+  s.last_sent = last_sent_;
+  s.confirmed = confirmed_;
+  return s;
+}
+
+void ExchangeDvsNode::snapshot_state() {
+  const ExchangeDurableState s = durable_state();
+  wal_->snapshot(kExSnapshot, [&](Writer& w) { encode_snapshot(w, s); });
+}
+
+void ExchangeDvsNode::maybe_compact() {
+  if (wal_->records_since_snapshot() >= kExCompactEvery) snapshot_state();
+}
+
+void ExchangeDvsNode::attach_storage(storage::StableStore& store,
+                                     const std::string& key) {
+  wal_.emplace(store, key);
+  snapshot_state();
+}
+
+void ExchangeDvsNode::restore(const ExchangeDurableState& recovered) {
+  peer_blobs_ = recovered.peer_blobs;
+  last_sent_ = recovered.last_sent;
+  confirmed_ = recovered.confirmed;
+  view_ = std::nullopt;
+  established_ = false;
+  blobs_.clear();
+  deferred_.clear();
+  outbox_.clear();
+}
+
+ExchangeDurableState ExchangeDvsNode::recover(
+    const storage::StableStore& store, const std::string& key) {
+  ExchangeDurableState s;
+  for (const storage::WalRecord& rec : storage::read_wal(store, key).records) {
+    try {
+      Reader r(rec.payload);
+      switch (rec.type) {
+        case kExSnapshot:
+          s = decode_snapshot(r);
+          break;
+        case kExPeer: {
+          ProcessId p = r.process_id();
+          ViewId g = r.view_id();
+          s.peer_blobs[p].insert_or_assign(g, r.str());
+          break;
+        }
+        case kExSent:
+          s.last_sent = decode_sent(r);
+          break;
+        case kExConfirmed:
+          s.confirmed = decode_sent(r);
+          break;
+        default:
+          break;  // unknown record type: ignore (forward compatibility)
+      }
+    } catch (const DecodeError&) {
+      break;  // undecodable payload ends the usable prefix
+    }
+  }
+  return s;
 }
 
 void ExchangeDvsNode::gpsnd(DvsNode& dvs, const ClientMsg& m) {

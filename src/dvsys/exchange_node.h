@@ -25,6 +25,7 @@
 #include <string>
 
 #include "dvsys/dvs_node.h"
+#include "storage/wal.h"
 
 namespace dvs::dvsys {
 
@@ -58,6 +59,28 @@ struct ExchangeNodeStats {
   std::uint64_t delta_unreconstructable = 0;
 };
 
+/// The exchange state that must survive a crash: every peer blob this node
+/// has reconstructed (a delta's base must be resolvable after a restart —
+/// the sender's confirmed-base monotonicity argument assumes receivers
+/// never forget a safely-exchanged blob), plus this node's own sent/
+/// confirmed exchanges (so it keeps delta-encoding instead of regressing
+/// to full blobs, and never deltas against a base the peers don't hold).
+struct ExchangeDurableState {
+  struct SentRecord {
+    ViewId view;
+    ProcessSet members;
+    std::string blob;
+
+    friend bool operator==(const SentRecord&, const SentRecord&) = default;
+  };
+  std::map<ProcessId, std::map<ViewId, std::string>> peer_blobs;
+  std::optional<SentRecord> last_sent;
+  std::optional<SentRecord> confirmed;
+
+  friend bool operator==(const ExchangeDurableState&,
+                         const ExchangeDurableState&) = default;
+};
+
 class ExchangeDvsNode {
  public:
   ExchangeDvsNode(ProcessId self, ExchangeCallbacks callbacks);
@@ -77,7 +100,31 @@ class ExchangeDvsNode {
   /// Registers a collector that publishes ExchangeNodeStats as
   /// exchange.*{process="pN"} counters. The node must outlive the
   /// registry's last collect().
-  void bind_metrics(obs::MetricsRegistry& metrics);
+  std::size_t bind_metrics(obs::MetricsRegistry& metrics);
+
+  // ----- durability (crash-restart recovery) -------------------------------
+
+  /// Starts journaling into `store` at `key`: every reconstructed peer blob
+  /// is logged *before* the exchange acts on it, and the node's own
+  /// sent/confirmed exchanges are logged as they change. Writes the current
+  /// durable state as the baseline snapshot. Call before any traffic (and
+  /// after restore()).
+  void attach_storage(storage::StableStore& store, const std::string& key);
+
+  /// Reinstates recovered durable state after a crash-restart. The view/
+  /// establishment progress resets (⊥ / not established) — the node
+  /// re-enters at the next DVS-NEWVIEW's exchange with its blob histories
+  /// intact. Call before any traffic.
+  void restore(const ExchangeDurableState& recovered);
+
+  /// Replays the journal at `key`; empty/absent logs yield a fresh state,
+  /// corrupt tails are discarded (replay is last-writer-wins per key, so a
+  /// clean prefix is always a valid — possibly older — durable state).
+  [[nodiscard]] static ExchangeDurableState recover(
+      const storage::StableStore& store, const std::string& key);
+
+  /// Snapshot of the durable variables (journal compaction, tests).
+  [[nodiscard]] ExchangeDurableState durable_state() const;
 
  private:
   void on_newview(DvsNode& dvs, const View& v);
@@ -89,6 +136,13 @@ class ExchangeDvsNode {
   /// history. nullopt iff a delta's base is missing (delta_unreconstructable).
   [[nodiscard]] std::optional<std::string> reconstruct_and_store(
       ProcessId from, const StateMsg& st);
+  /// Journals one reconstructed peer blob (no-op when storage is detached).
+  void log_peer_blob(ProcessId from, const ViewId& view,
+                     const std::string& blob);
+  /// Writes one WAL snapshot record of the current durable state (also the
+  /// compaction step — snapshots replace the whole log).
+  void snapshot_state();
+  void maybe_compact();
 
   ProcessId self_;
   ExchangeCallbacks callbacks_;
@@ -103,11 +157,7 @@ class ExchangeDvsNode {
   // contents per peer per exchange view, kept across view changes so a
   // delta's base is always resolvable; entries strictly below an observed
   // base are pruned (the sender's confirmed base is monotone).
-  struct SentExchange {
-    ViewId view;
-    ProcessSet members;
-    std::string blob;
-  };
+  using SentExchange = ExchangeDurableState::SentRecord;
   std::optional<SentExchange> last_sent_;
   std::optional<SentExchange> confirmed_;
   std::map<ProcessId, std::map<ViewId, std::string>> peer_blobs_;
@@ -117,6 +167,7 @@ class ExchangeDvsNode {
   // Client sends issued before establishment, flushed on establishment.
   std::deque<ClientMsg> outbox_;
   ExchangeNodeStats stats_;
+  std::optional<storage::Wal> wal_;  // durable-state journal, when attached
 };
 
 }  // namespace dvs::dvsys

@@ -52,9 +52,16 @@ void VsToDvs::on_vs_gprcv(const Msg& m, ProcessId q) {
     learn_view(info->act);
     for (const View& w : info->amb) learn_view(w);
     // if v.id > act.id then act := v
-    if (info->act.id() > act_.id()) act_ = info->act;
+    if (info->act.id() > act_.id()) {
+      act_ = info->act;
+      if (durability_.on_act) durability_.on_act(act_);
+    }
     // amb := {w ∈ amb ∪ V | w.id > act.id}
-    for (const View& w : info->amb) amb_.emplace(w.id(), w);
+    for (const View& w : info->amb) {
+      if (amb_.emplace(w.id(), w).second && durability_.on_amb_add) {
+        durability_.on_amb_add(w);
+      }
+    }
     std::erase_if(amb_, [&](const auto& entry) {
       return !(entry.first > act_.id());
     });
@@ -83,7 +90,9 @@ void VsToDvs::on_dvs_gpsnd(const ClientMsg& m) {
 
 void VsToDvs::on_dvs_register() {
   if (client_cur_.has_value()) {
-    reg_.insert(client_cur_->id());
+    if (reg_.insert(client_cur_->id()).second && durability_.on_register) {
+      durability_.on_register(client_cur_->id());
+    }
     msgs_to_vs_[client_cur_->id()].push_back(Msg{RegisteredMsg{}});
   }
 }
@@ -136,8 +145,12 @@ bool VsToDvs::can_dvs_newview() const {
 View VsToDvs::apply_dvs_newview() {
   DVS_REQUIRE("DVS-NEWVIEW", can_dvs_newview(), "at " << self_.to_string());
   const View v = *cur_;
-  amb_.emplace(v.id(), v);
-  attempted_.emplace(v.id(), v);
+  if (amb_.emplace(v.id(), v).second && durability_.on_amb_add) {
+    durability_.on_amb_add(v);
+  }
+  if (attempted_.emplace(v.id(), v).second && durability_.on_attempt) {
+    durability_.on_attempt(v);
+  }
   client_cur_ = v;
   return v;
 }
@@ -243,8 +256,33 @@ void VsToDvs::apply_garbage_collect(const View& v) {
   DVS_REQUIRE("DVS-GARBAGE-COLLECT", can_garbage_collect(v),
               v.to_string() << " at " << self_.to_string());
   act_ = v;
+  if (durability_.on_act) durability_.on_act(act_);
   std::erase_if(amb_,
                 [&](const auto& entry) { return !(entry.first > act_.id()); });
+}
+
+void VsToDvs::set_durability_hooks(DvsDurabilityHooks hooks) {
+  durability_ = std::move(hooks);
+}
+
+void VsToDvs::restore(const DvsDurableState& recovered) {
+  act_ = recovered.act;
+  amb_ = recovered.amb;
+  attempted_ = recovered.attempted;
+  reg_ = recovered.reg;
+  // amb only keeps views above act (replay may have interleaved adds and
+  // act advances; the prune is derived state, never journaled).
+  std::erase_if(amb_,
+                [&](const auto& entry) { return !(entry.first > act_.id()); });
+  cur_ = std::nullopt;
+  client_cur_ = std::nullopt;
+  learn_view(act_);
+  for (const auto& [g, w] : amb_) learn_view(w);
+  for (const auto& [g, w] : attempted_) learn_view(w);
+}
+
+DvsDurableState VsToDvs::durable_state() const {
+  return DvsDurableState{act_, amb_, attempted_, reg_};
 }
 
 std::vector<View> VsToDvs::use() const {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -53,6 +54,36 @@ struct VsToDvsOptions {
   /// the refinement continue to hold (tests/explorer sweeps run with random
   /// weights).
   WeightMap weights;
+};
+
+/// The part of VS-TO-DVS_p state the paper requires to survive a crash
+/// (Section 4: dynamic voting is only safe if a process remembers what it
+/// attempted and registered). `act`, `amb` and `reg` are exactly the
+/// variables the refinement ℱ of Figure 4 projects onto the DVS spec's
+/// attempted/registered/TotReg history; `attempted` is kept for the
+/// invariant checkers. Everything else (cur, client-cur, the per-view
+/// buffers, info bookkeeping) is per-incarnation and may be forgotten: a
+/// restarted process rejoins through a fresh view with a higher id.
+struct DvsDurableState {
+  View act;
+  std::map<ViewId, View> amb;
+  std::map<ViewId, View> attempted;
+  std::set<ViewId> reg;
+
+  friend bool operator==(const DvsDurableState&,
+                         const DvsDurableState&) = default;
+};
+
+/// Write-ahead observers, invoked synchronously *as* each durable variable
+/// changes (before the automaton acts on the new value from the caller's
+/// perspective — the whole transition is one simulator event, so log+act is
+/// atomic with event-boundary crashes). The journal in dvsys::DvsNode
+/// appends one WAL record per call.
+struct DvsDurabilityHooks {
+  std::function<void(const View&)> on_act;       // act := v
+  std::function<void(const View&)> on_amb_add;   // amb ∪= {v}
+  std::function<void(const View&)> on_attempt;   // attempted ∪= {v}
+  std::function<void(const ViewId&)> on_register;  // reg[g] := true
 };
 
 /// The VS-TO-DVS_p automaton of Figure 3.
@@ -134,6 +165,23 @@ class VsToDvs {
   [[nodiscard]] bool can_garbage_collect(const View& v) const;
   void apply_garbage_collect(const View& v);
 
+  // ----- durability (crash-restart recovery) --------------------------------
+
+  /// Installs write-ahead observers for the durable transitions. The ctor's
+  /// own initial assignments (v0 membership) fire no hooks; the journal
+  /// snapshots the full durable_state() when it attaches instead.
+  void set_durability_hooks(DvsDurabilityHooks hooks);
+
+  /// Reinstates recovered durable state after a crash-restart. Must be
+  /// called before any input events. cur/client-cur become ⊥ — the process
+  /// has no view until VS installs a fresh one (with an id above anything it
+  /// saw before; the VS layer's epoch floor guarantees that), so the
+  /// volatile per-view buffers stay empty and consistent.
+  void restore(const DvsDurableState& recovered);
+
+  /// Snapshot of the durable variables (journal compaction, checkers).
+  [[nodiscard]] DvsDurableState durable_state() const;
+
   // ----- observers (paper state variables) ----------------------------------
 
   [[nodiscard]] ProcessId self() const { return self_; }
@@ -168,6 +216,7 @@ class VsToDvs {
 
   ProcessId self_;
   VsToDvsOptions options_;
+  DvsDurabilityHooks durability_;
 
   std::optional<View> cur_;         // cur ∈ V⊥
   std::optional<View> client_cur_;  // client-cur ∈ V⊥

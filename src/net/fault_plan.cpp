@@ -87,6 +87,8 @@ std::string to_string(FaultEvent::Kind kind) {
       return "drop";
     case FaultEvent::Kind::kDupBurst:
       return "dup";
+    case FaultEvent::Kind::kRestart:
+      return "restart";
   }
   return "?";
 }
@@ -115,7 +117,7 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ProcessSet& universe,
 
   const double total = config.w_partition + config.w_heal + config.w_crash +
                        config.w_recover + config.w_drop_window +
-                       config.w_dup_burst;
+                       config.w_dup_burst + config.w_restart;
   // Generator-side model of who is paused, so crash/recover picks stay
   // meaningful (pause an alive process, resume a paused one).
   ProcessSet paused;
@@ -140,6 +142,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ProcessSet& universe,
       kind = FaultEvent::Kind::kRecover;
     } else if (take(config.w_drop_window)) {
       kind = FaultEvent::Kind::kDropWindow;
+    } else if (config.w_restart > 0 && !take(config.w_dup_burst)) {
+      // The explicit dup-burst take only happens when a restart weight is
+      // in play: legacy configs (w_restart == 0) keep the final-else draw
+      // and generate byte-identical plans.
+      kind = FaultEvent::Kind::kRestart;
     } else {
       kind = FaultEvent::Kind::kDupBurst;
     }
@@ -167,6 +174,12 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ProcessSet& universe,
       }
       case FaultEvent::Kind::kRecover:
         ev.target = rng.pick(paused);
+        paused.erase(ev.target);
+        break;
+      case FaultEvent::Kind::kRestart:
+        // Any process can restart; a paused target comes back up (the
+        // rebuild resumes its network endpoint).
+        ev.target = rng.pick(universe);
         paused.erase(ev.target);
         break;
       case FaultEvent::Kind::kPartition:
@@ -198,6 +211,7 @@ std::string FaultPlan::to_string() const {
     switch (ev.kind) {
       case FaultEvent::Kind::kCrash:
       case FaultEvent::Kind::kRecover:
+      case FaultEvent::Kind::kRestart:
         os << ' ' << ev.target.value();
         break;
       case FaultEvent::Kind::kPartition:
@@ -237,9 +251,11 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     } catch (const std::exception&) {
       parse_fail(line_no, "bad time '" + at_word + "'");
     }
-    if (kind_word == "crash" || kind_word == "recover") {
-      ev.kind = kind_word == "crash" ? FaultEvent::Kind::kCrash
-                                     : FaultEvent::Kind::kRecover;
+    if (kind_word == "crash" || kind_word == "recover" ||
+        kind_word == "restart") {
+      ev.kind = kind_word == "crash"     ? FaultEvent::Kind::kCrash
+                : kind_word == "recover" ? FaultEvent::Kind::kRecover
+                                         : FaultEvent::Kind::kRestart;
       std::string id_word;
       if (!(ls >> id_word)) parse_fail(line_no, "missing process id");
       try {
@@ -279,6 +295,11 @@ FaultPlan FaultPlan::parse(const std::string& text) {
 }
 
 void FaultPlan::schedule(sim::Simulator& sim, SimNetwork& net) const {
+  schedule(sim, net, ScheduleHooks{});
+}
+
+void FaultPlan::schedule(sim::Simulator& sim, SimNetwork& net,
+                         ScheduleHooks hooks) const {
   // Windows restore the pre-plan rates, captured once here — overlapping
   // windows therefore cannot "restore" each other's elevated values.
   const double base_drop = net.config().drop_probability;
@@ -286,7 +307,23 @@ void FaultPlan::schedule(sim::Simulator& sim, SimNetwork& net) const {
   for (const FaultEvent& ev : events) {
     switch (ev.kind) {
       case FaultEvent::Kind::kCrash:
-        sim.schedule_at(ev.at, [&net, p = ev.target] { net.pause(p); });
+        sim.schedule_at(ev.at, [&net, hooks, p = ev.target] {
+          net.pause(p);
+          // Upgraded crash: the volatile state dies at the crash instant.
+          // The rebuild happens now, while the endpoint is paused, so the
+          // node sits silent (recovered, but unreachable) until kRecover.
+          if (hooks.crashes_restart && hooks.restart) hooks.restart(p);
+        });
+        break;
+      case FaultEvent::Kind::kRestart:
+        sim.schedule_at(ev.at, [&net, hooks, p = ev.target] {
+          if (!hooks.restart) return;  // documented no-op without the hook
+          hooks.restart(p);
+          // A restarted node is up: if it was paused, the rebuild brings
+          // its endpoint back (the hook itself never touches pause state,
+          // so upgraded kCrash events can rebuild while staying silent).
+          net.resume(p);
+        });
         break;
       case FaultEvent::Kind::kRecover:
         sim.schedule_at(ev.at, [&net, p = ev.target] { net.resume(p); });

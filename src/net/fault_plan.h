@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,13 @@
 namespace dvs::net {
 
 /// One timed fault. Which fields are meaningful depends on `kind`:
-///   kCrash/kRecover — `target`;
+///   kCrash/kRecover — `target`. NOTE: kCrash is *pause* semantics — the
+///                     process goes silent but keeps its volatile state,
+///                     and kRecover resumes it intact (SimNetwork::pause);
+///   kRestart        — `target`. A genuine crash-restart: the process
+///                     loses all volatile state and is rebuilt from its
+///                     stable storage (needs a ScheduleHooks::restart
+///                     implementation; a no-op without one);
 ///   kPartition      — `groups`;
 ///   kHeal           — nothing beyond `at`;
 ///   kDropWindow     — `duration`, `probability` (random-drop rate inside
@@ -41,6 +48,7 @@ struct FaultEvent {
     kHeal,
     kDropWindow,
     kDupBurst,
+    kRestart,
   };
 
   Kind kind = Kind::kHeal;
@@ -71,6 +79,10 @@ struct FaultPlanConfig {
   double w_recover = 0.15;
   double w_drop_window = 0.10;
   double w_dup_burst = 0.10;
+  /// Crash-restart weight. Defaults to 0 so existing seeds generate
+  /// byte-identical plans; chaos configs that exercise persistence turn it
+  /// up explicitly.
+  double w_restart = 0.0;
   /// At most this many processes paused at once (0 = n - 1, keeping one
   /// process alive so the run is never fully dark).
   std::size_t max_paused = 0;
@@ -100,12 +112,28 @@ struct FaultPlan {
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] static FaultPlan parse(const std::string& text);
 
+  /// Out-of-band actions a plan needs from the layer that owns the nodes
+  /// (the network can pause a process but cannot rebuild one).
+  struct ScheduleHooks {
+    /// Tear the process down and rebuild it from stable storage
+    /// (tosys::Cluster::restart). kRestart events are no-ops without it.
+    std::function<void(ProcessId)> restart;
+    /// Upgrade kCrash events to real crashes: the process still pauses for
+    /// the kCrash..kRecover window, but its volatile state is wiped at the
+    /// crash instant (restart hook fires while paused), so the kRecover
+    /// brings back a node that only remembers what it persisted. Lets one
+    /// plan run under both pause and crash-restart semantics.
+    bool crashes_restart = false;
+  };
+
   /// Schedules every event into `sim` against `net`. The baseline drop and
   /// duplicate probabilities restored at the end of a window are captured
   /// from `net.config()` at this call, so overlapping windows still restore
   /// the pre-plan rates. Call before the simulation passes the first
   /// event's time.
   void schedule(sim::Simulator& sim, SimNetwork& net) const;
+  void schedule(sim::Simulator& sim, SimNetwork& net,
+                ScheduleHooks hooks) const;
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };

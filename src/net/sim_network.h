@@ -145,9 +145,13 @@ class SimNetwork {
   /// reconnects exactly the non-paused links.
   void heal();
 
-  /// Pauses a process: all traffic to and from it is dropped. Models a
-  /// crash in the asynchronous sense (indistinguishable from a very slow
-  /// process); recovery resumes with state intact.
+  /// Pauses a process: all traffic to and from it is dropped. This is what
+  /// FaultPlan's kCrash injects — *pause* semantics: a crash in the
+  /// asynchronous sense (indistinguishable from a very slow process), whose
+  /// resume() comes back with volatile state intact. A genuine
+  /// crash-restart — volatile state lost, the node rebuilt from stable
+  /// storage — is the separate kRestart fault, handled above the network
+  /// (tosys::Cluster::restart via FaultPlan::ScheduleHooks).
   void pause(ProcessId p);
   void resume(ProcessId p);
   [[nodiscard]] bool paused(ProcessId p) const { return paused_.contains(p); }

@@ -231,9 +231,16 @@ Histogram& MetricsRegistry::histogram(
   return *slot;
 }
 
-void MetricsRegistry::add_collector(std::function<void()> fn) {
+std::size_t MetricsRegistry::add_collector(std::function<void()> fn) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  collectors_.push_back(std::move(fn));
+  const std::size_t id = next_collector_id_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(std::size_t id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.erase(id);
 }
 
 void MetricsRegistry::collect() {
@@ -241,7 +248,7 @@ void MetricsRegistry::collect() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     fns.reserve(collectors_.size());
-    for (auto& fn : collectors_) fns.push_back(&fn);
+    for (auto& [id, fn] : collectors_) fns.push_back(&fn);
   }
   // Run outside the lock: collectors call back into counter()/gauge().
   for (auto* fn : fns) (*fn)();

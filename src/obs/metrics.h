@@ -154,8 +154,13 @@ class MetricsRegistry {
 
   /// Registers a callback run by collect(); used by layers that publish
   /// struct-backed stats. Callbacks must outlive the registry's last
-  /// collect() call.
-  void add_collector(std::function<void()> fn);
+  /// collect() call. Returns an id for remove_collector — owners that tear
+  /// a layer down (crash-restart rebuilds) must remove its collector first,
+  /// or collect() would call into the destroyed object.
+  std::size_t add_collector(std::function<void()> fn);
+  /// Unregisters a collector by the id add_collector returned. Must not
+  /// race a concurrent collect().
+  void remove_collector(std::size_t id);
   /// Runs every collector (in registration order).
   void collect();
 
@@ -168,7 +173,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::vector<std::function<void()>> collectors_;
+  // Keyed by registration id: ascending iteration preserves registration
+  // order, and erasure (layer teardown on restart) is O(log n).
+  std::map<std::size_t, std::function<void()>> collectors_;
+  std::size_t next_collector_id_ = 0;
 };
 
 }  // namespace dvs::obs

@@ -10,6 +10,7 @@ constexpr const char* kViewChange = "view_change";
 constexpr const char* kViewActive = "view_active";
 constexpr const char* kRegistration = "registration";
 constexpr const char* kToDelivery = "to_delivery";
+constexpr const char* kRecovery = "recovery";
 
 }  // namespace
 
@@ -22,7 +23,12 @@ SpanInvariantReport check_span_invariants(const TraceLog& log) {
   for (const Span& s : log.spans()) {
     if (s.kind == kViewChange && s.open()) ++report.open_view_change;
     if (s.kind == kRegistration) registrations[s.process].push_back(&s);
-    if (s.kind == kViewActive) actives[s.process].push_back(&s);
+    // A post-restart recovery window counts as tenure for the nesting
+    // check: the client view is ⊥ until the next establishment, yet the
+    // recovered TO backlog legally drains inside the window.
+    if (s.kind == kViewActive || s.kind == kRecovery) {
+      actives[s.process].push_back(&s);
+    }
   }
   for (const Span& s : log.spans()) {
     if (s.kind != kToDelivery) continue;
@@ -159,12 +165,53 @@ void StackTracer::on_brcv(ProcessId receiver, ProcessId origin,
                           std::uint64_t uid, sim::Time t) {
   const auto sent = bcast_at_.find(uid);
   const sim::Time start = sent == bcast_at_.end() ? t : sent->second;
+  SpanId parent = open_of(view_active_, receiver);
+  if (parent == kNoSpan) parent = open_of(recovery_, receiver);
   const SpanId id = trace_.open(
-      kToDelivery, receiver, start, open_of(view_active_, receiver),
+      kToDelivery, receiver, start, parent,
       {{"origin", origin.to_string()}, {"uid", std::to_string(uid)}});
   trace_.close(id, t);
   metrics_.counter("trace.to_delivery.count").inc();
   metrics_.histogram("trace.to_delivery_us").observe(t - start);
+  // First delivery after a restart closes the recovery span: the node is
+  // observably back in the total order.
+  if (const SpanId rec = open_of(recovery_, receiver); rec != kNoSpan) {
+    metrics_.histogram("trace.recovery_us").observe(t -
+                                                    trace_.span(rec).start);
+    trace_.close(rec, t);
+    recovery_.erase(receiver);
+    metrics_.counter("trace.recovery.completed").inc();
+  }
+}
+
+void StackTracer::on_restart(ProcessId p, sim::Time t) {
+  if (const SpanId old = open_of(view_change_, p); old != kNoSpan) {
+    trace_.abandon(old, t);
+    metrics_.counter("trace.view_change.abandoned").inc();
+    view_change_.erase(p);
+  }
+  if (const SpanId old = open_of(registration_, p); old != kNoSpan) {
+    trace_.abandon(old, t);
+    metrics_.counter("trace.registration.abandoned").inc();
+    for (auto& [view_id, spans] : reg_spans_) {
+      std::erase_if(spans, [&](const auto& e) { return e.second == old; });
+    }
+    registration_.erase(p);
+  }
+  // registered_ stays: DVS-REGISTER is durable (reg survives the restart),
+  // so the view's TotReg progress is not undone by the crash.
+  if (const SpanId old = open_of(view_active_, p); old != kNoSpan) {
+    trace_.close(old, t);
+    view_active_.erase(p);
+  }
+  if (const SpanId old = open_of(recovery_, p); old != kNoSpan) {
+    // Restarted again before ever delivering: the previous recovery never
+    // completed.
+    trace_.abandon(old, t);
+    metrics_.counter("trace.recovery.abandoned").inc();
+  }
+  recovery_[p] = trace_.open(kRecovery, p, t, kNoSpan, {});
+  metrics_.counter("trace.recovery.opened").inc();
 }
 
 }  // namespace dvs::obs

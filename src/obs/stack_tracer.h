@@ -82,6 +82,15 @@ class StackTracer {
   void on_brcv(ProcessId receiver, ProcessId origin, std::uint64_t uid,
                sim::Time t);
 
+  /// p crash-restarts: the incarnation's in-flight spans die (view_change /
+  /// registration abandoned, view_active closed — the client view is ⊥
+  /// until the next establishment) and a recovery span opens. It closes at
+  /// p's first post-restart BRCV — the paper-level "back in business"
+  /// instant — feeding the trace.recovery_us histogram; deliveries inside
+  /// the window nest in it (the recovered TO backlog can drain before any
+  /// new view is established).
+  void on_restart(ProcessId p, sim::Time t);
+
  private:
   [[nodiscard]] SpanId open_of(const std::map<ProcessId, SpanId>& m,
                                ProcessId p) const;
@@ -92,6 +101,7 @@ class StackTracer {
   std::map<ProcessId, SpanId> view_change_;   // open view_change per process
   std::map<ProcessId, SpanId> view_active_;   // open view_active per process
   std::map<ProcessId, SpanId> registration_;  // open registration per process
+  std::map<ProcessId, SpanId> recovery_;      // open recovery per process
   std::map<ViewId, SpanId> episode_root_;     // first view_change per view
   // Registration progress per view: who registered, the membership to
   // reach, and the still-open registration spans to close at TotReg.

@@ -217,19 +217,28 @@ AcceptResult ToAcceptor::feed(const ToEvent& event) {
         if constexpr (std::is_same_v<E, EvBcast>) {
           spec_.apply_bcast(ev.a, ev.p);
           return AcceptResult::accepted();
+        } else if constexpr (std::is_same_v<E, EvCrash>) {
+          spec_.apply_crash(ev.p);
+          return AcceptResult::accepted();
         } else {
           const std::size_t idx = spec_.next(ev.receiver);
           if (idx > spec_.queue().size()) {
-            if (!spec_.can_order(ev.sender)) {
+            // Ordinary path: the delivery commits the sender's pending
+            // head (FIFO). A broadcast stranded by a crash of its sender
+            // (loose) may instead be ordered in any position — or never.
+            if (spec_.can_order(ev.sender) &&
+                spec_.pending(ev.sender).front() == ev.a) {
+              spec_.apply_order(ev.sender);
+            } else if (spec_.can_order_loose(ev.sender, ev.a)) {
+              spec_.apply_order_loose(ev.sender, ev.a);
+            } else if (!spec_.can_order(ev.sender)) {
               return AcceptResult::rejected(
                   "BRCV of a message never broadcast by the claimed sender");
-            }
-            const AppMsg& head = spec_.pending(ev.sender).front();
-            if (head != ev.a) {
+            } else {
               return AcceptResult::rejected(
-                  "BRCV violates sender FIFO: expected " + head.to_string());
+                  "BRCV violates sender FIFO: expected " +
+                  spec_.pending(ev.sender).front().to_string());
             }
-            spec_.apply_order(ev.sender);
           }
           const auto& entry = spec_.queue()[idx - 1];
           if (entry.second != ev.sender || entry.first != ev.a) {
@@ -268,6 +277,9 @@ std::string to_string(const ToEvent& e) {
     std::string operator()(const EvBrcv& ev) const {
       return "brcv(" + ev.a.to_string() + ")_" + ev.sender.to_string() + "," +
              ev.receiver.to_string();
+    }
+    std::string operator()(const EvCrash& ev) const {
+      return "crash_" + ev.p.to_string();
     }
   };
   return std::visit(Visitor{}, e);

@@ -96,7 +96,17 @@ struct EvBrcv {
   AppMsg a;
 };
 
-using ToEvent = std::variant<EvBcast, EvBrcv>;
+/// CRASH_p — p crash-restarts, losing its volatile state. Messages p had
+/// broadcast that were not yet ordered leave the sender-FIFO obligation:
+/// each may be lost outright or resurface later (a peer or p's own
+/// write-ahead log carried it), but deliveries of p's *subsequent*
+/// broadcasts no longer wait behind them. FIFO among the survivors of one
+/// incarnation, and within every later incarnation, still holds.
+struct EvCrash {
+  ProcessId p;
+};
+
+using ToEvent = std::variant<EvBcast, EvBrcv, EvCrash>;
 
 [[nodiscard]] std::string to_string(const ToEvent& e);
 

@@ -5,6 +5,7 @@
 namespace dvs::spec {
 namespace {
 const std::deque<AppMsg> kEmptyPending;
+const std::vector<AppMsg> kEmptyLoose;
 }  // namespace
 
 ToSpec::ToSpec(ProcessSet universe) : universe_(std::move(universe)) {}
@@ -36,9 +37,42 @@ std::pair<AppMsg, ProcessId> ToSpec::apply_brcv(ProcessId q) {
   return *delivery;
 }
 
+void ToSpec::apply_crash(ProcessId p) {
+  auto it = pending_.find(p);
+  if (it == pending_.end()) return;
+  auto& loose = loose_[p];
+  loose.insert(loose.end(), it->second.begin(), it->second.end());
+  it->second.clear();
+}
+
+bool ToSpec::can_order_loose(ProcessId p, const AppMsg& a) const {
+  const std::vector<AppMsg>& loose = this->loose(p);
+  for (const AppMsg& m : loose) {
+    if (m == a) return true;
+  }
+  return false;
+}
+
+void ToSpec::apply_order_loose(ProcessId p, const AppMsg& a) {
+  DVS_REQUIRE("TO-ORDER-LOOSE", can_order_loose(p, a), p.to_string());
+  auto& loose = loose_[p];
+  for (auto it = loose.begin(); it != loose.end(); ++it) {
+    if (*it == a) {
+      loose.erase(it);
+      break;
+    }
+  }
+  queue_.emplace_back(a, p);
+}
+
 const std::deque<AppMsg>& ToSpec::pending(ProcessId p) const {
   auto it = pending_.find(p);
   return it == pending_.end() ? kEmptyPending : it->second;
+}
+
+const std::vector<AppMsg>& ToSpec::loose(ProcessId p) const {
+  auto it = loose_.find(p);
+  return it == loose_.end() ? kEmptyLoose : it->second;
 }
 
 std::size_t ToSpec::next(ProcessId q) const {

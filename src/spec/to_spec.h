@@ -32,6 +32,17 @@ class ToSpec {
   [[nodiscard]] bool can_order(ProcessId p) const;
   void apply_order(ProcessId p);
 
+  /// input CRASH_p — p crash-restarts. Eff: pending[p] moves to loose[p]:
+  /// those messages lose their FIFO position (the crash may have dropped
+  /// them before ordering, or a surviving replica may order them at any
+  /// later point) but remain orderable exactly once.
+  void apply_crash(ProcessId p);
+
+  /// internal TO-ORDER-LOOSE(a, p): orders a message from a previous
+  /// incarnation of p, in any position. Pre: a ∈ loose[p].
+  [[nodiscard]] bool can_order_loose(ProcessId p, const AppMsg& a) const;
+  void apply_order_loose(ProcessId p, const AppMsg& a);
+
   /// output BRCV(a)_{p,q}: pre queue(next[q]) = (a, p). Returns (a, p).
   [[nodiscard]] std::optional<std::pair<AppMsg, ProcessId>> next_brcv(
       ProcessId q) const;
@@ -43,12 +54,15 @@ class ToSpec {
     return queue_;
   }
   [[nodiscard]] const std::deque<AppMsg>& pending(ProcessId p) const;
+  [[nodiscard]] const std::vector<AppMsg>& loose(ProcessId p) const;
   [[nodiscard]] std::size_t next(ProcessId q) const;
 
  private:
   ProcessSet universe_;
   std::vector<std::pair<AppMsg, ProcessId>> queue_;
   std::map<ProcessId, std::deque<AppMsg>> pending_;
+  /// Unordered broadcasts of crashed incarnations of p (see apply_crash).
+  std::map<ProcessId, std::vector<AppMsg>> loose_;
   std::map<ProcessId, std::size_t> next_;  // init 1
 };
 

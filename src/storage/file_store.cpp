@@ -1,0 +1,67 @@
+#include "storage/file_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dvs::storage {
+
+namespace fs = std::filesystem;
+
+FileStableStore::FileStableStore(std::string root) : root_(std::move(root)) {
+  fs::create_directories(root_);
+}
+
+std::string FileStableStore::path_for(const std::string& key) const {
+  std::string flat = key;
+  for (char& c : flat) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return root_ + "/" + flat + "_.wal";
+}
+
+void FileStableStore::wipe() {
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".wal") {
+      fs::remove(entry.path());
+    }
+  }
+}
+
+void FileStableStore::do_append(const std::string& key, const Bytes& data) {
+  std::ofstream out(path_for(key), std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("FileStableStore: cannot open " + key);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("FileStableStore: append failed " + key);
+}
+
+void FileStableStore::do_replace(const std::string& key, const Bytes& data) {
+  const std::string final_path = path_for(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("FileStableStore: cannot open " + key);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("FileStableStore: replace failed " + key);
+    }
+  }
+  fs::rename(tmp_path, final_path);
+}
+
+std::optional<Bytes> FileStableStore::do_load(const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw std::runtime_error("FileStableStore: load failed " + key);
+  return data;
+}
+
+}  // namespace dvs::storage

@@ -1,0 +1,40 @@
+// FileStableStore: a directory-backed StableStore for benches and manual
+// experiments. Each key maps to one file under the root directory (path
+// separators in keys are flattened, so "p0/dvs" becomes "p0__dvs"); append
+// is an O_APPEND-style write, replace goes through a temp file + rename so
+// a snapshot is either the old bytes or the new bytes, never a torn mix.
+//
+// Simulation never uses this class (determinism across --jobs requires the
+// in-memory store); it exists so the recovery benches can measure the same
+// WAL traffic against a real filesystem.
+#pragma once
+
+#include <string>
+
+#include "storage/stable_store.h"
+
+namespace dvs::storage {
+
+class FileStableStore final : public StableStore {
+ public:
+  /// Creates `root` (and parents) if needed.
+  explicit FileStableStore(std::string root);
+
+  /// Deletes every key file under the root (fresh-disk reset for benches).
+  void wipe();
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+ protected:
+  void do_append(const std::string& key, const Bytes& data) override;
+  void do_replace(const std::string& key, const Bytes& data) override;
+  [[nodiscard]] std::optional<Bytes> do_load(
+      const std::string& key) const override;
+
+ private:
+  [[nodiscard]] std::string path_for(const std::string& key) const;
+
+  std::string root_;
+};
+
+}  // namespace dvs::storage

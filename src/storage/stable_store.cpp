@@ -1,0 +1,39 @@
+#include "storage/stable_store.h"
+
+namespace dvs::storage {
+
+void StableStore::append(const std::string& key, const Bytes& data) {
+  do_append(key, data);
+  ++stats_.appends;
+  stats_.bytes_appended += data.size();
+  if (barrier_hook_) barrier_hook_(key);
+}
+
+void StableStore::replace(const std::string& key, const Bytes& data) {
+  do_replace(key, data);
+  ++stats_.replaces;
+  stats_.bytes_replaced += data.size();
+  if (barrier_hook_) barrier_hook_(key);
+}
+
+std::optional<Bytes> StableStore::load(const std::string& key) const {
+  ++stats_.loads;
+  return do_load(key);
+}
+
+void MemStableStore::do_append(const std::string& key, const Bytes& data) {
+  Bytes& log = data_[key];
+  log.insert(log.end(), data.begin(), data.end());
+}
+
+void MemStableStore::do_replace(const std::string& key, const Bytes& data) {
+  data_[key] = data;
+}
+
+std::optional<Bytes> MemStableStore::do_load(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace dvs::storage

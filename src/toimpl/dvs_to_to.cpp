@@ -40,7 +40,9 @@ void DvsToTo::apply_label() {
   const AppMsg a = delay_.front();
   delay_.pop_front();
   const Label l{current_->id(), nextseqno_, self_};
-  content_.emplace(l, a);
+  if (content_.emplace(l, a).second && durability_.on_content) {
+    durability_.on_content(l, a);
+  }
   buffer_.push_back(l);
   ++nextseqno_;
 }
@@ -73,11 +75,20 @@ ClientMsg DvsToTo::take_gpsnd() {
 void DvsToTo::on_dvs_gprcv(const ClientMsg& m, ProcessId q) {
   confirm_check_needed_ = true;
   if (const auto* labeled = std::get_if<LabeledAppMsg>(&m)) {
-    content_.emplace(labeled->label, labeled->msg);
+    if (content_.emplace(labeled->label, labeled->msg).second &&
+        durability_.on_content) {
+      durability_.on_content(labeled->label, labeled->msg);
+    }
     if (status_ == Status::kNormal || options_.printed_figure_mode) {
       order_.push_back(labeled->label);
+      if (durability_.on_order_append) {
+        durability_.on_order_append(labeled->label);
+      }
     } else {
-      // Defer the order append until establishment (correction 2).
+      // Defer the order append until establishment (correction 2). Deferred
+      // labels are volatile: a crash before establishment loses them from
+      // this replica, but they stay in content (journaled above) and are
+      // recovered through the next state exchange.
       deferred_labels_.push_back(labeled->label);
     }
     return;
@@ -86,7 +97,11 @@ void DvsToTo::on_dvs_gprcv(const ClientMsg& m, ProcessId q) {
   if (x == nullptr) {
     throw PreconditionViolation("DVS-TO-TO received an opaque client message");
   }
-  content_.insert(x->con.begin(), x->con.end());
+  for (const auto& [l, a] : x->con) {
+    if (content_.emplace(l, a).second && durability_.on_content) {
+      durability_.on_content(l, a);
+    }
+  }
   gotstate_[q] = *x;
   if (!current_.has_value()) return;
   const bool complete =
@@ -106,6 +121,9 @@ void DvsToTo::on_dvs_gprcv(const ClientMsg& m, ProcessId q) {
     }
     deferred_labels_.clear();
     highprimary_ = current_->id();
+    if (durability_.on_establish) {
+      durability_.on_establish(order_, nextconfirm_, highprimary_);
+    }
     status_ = Status::kNormal;
     established_.insert(current_->id());
   }
@@ -152,6 +170,7 @@ bool DvsToTo::can_confirm() const {
 void DvsToTo::apply_confirm() {
   DVS_REQUIRE("CONFIRM", can_confirm(), "at " << self_.to_string());
   ++nextconfirm_;
+  if (durability_.on_confirm) durability_.on_confirm(nextconfirm_);
   confirm_check_needed_ = true;  // the next order_ slot may be safe already
 }
 
@@ -177,6 +196,7 @@ std::pair<AppMsg, ProcessId> DvsToTo::take_brcv() {
   auto r = next_brcv();
   DVS_REQUIRE("BRCV", r.has_value(), "at " << self_.to_string());
   ++nextreport_;
+  if (durability_.on_report) durability_.on_report(nextreport_);
   return *r;
 }
 
@@ -198,8 +218,46 @@ std::optional<ClientMsg> DvsToTo::poll_gpsnd() {
 
 std::optional<std::pair<AppMsg, ProcessId>> DvsToTo::poll_brcv() {
   auto r = next_brcv();
-  if (r.has_value()) ++nextreport_;
+  if (r.has_value()) {
+    ++nextreport_;
+    if (durability_.on_report) durability_.on_report(nextreport_);
+  }
   return r;
+}
+
+void DvsToTo::set_durability_hooks(ToDurabilityHooks hooks) {
+  durability_ = std::move(hooks);
+}
+
+void DvsToTo::restore(const ToDurableState& recovered) {
+  content_ = recovered.content;
+  order_ = recovered.order;
+  nextconfirm_ = recovered.nextconfirm;
+  nextreport_ = recovered.nextreport;
+  highprimary_ = recovered.highprimary;
+  // Per-incarnation state resets: no current view until the next
+  // DVS-NEWVIEW, nothing buffered, nothing safe, nothing registered or
+  // established (old views never become current again — the VS epoch floor
+  // guarantees fresh, higher ids — so those sets are only ever consulted
+  // for views this incarnation has seen).
+  current_ = std::nullopt;
+  status_ = Status::kNormal;
+  nextseqno_ = 1;
+  buffer_.clear();
+  safe_labels_.clear();
+  gotstate_.clear();
+  safe_exch_.clear();
+  registered_.clear();
+  delay_.clear();
+  established_.clear();
+  deferred_labels_.clear();
+  past_orders_.clear();
+  confirm_check_needed_ = true;
+}
+
+ToDurableState DvsToTo::durable_state() const {
+  return ToDurableState{content_, order_, nextconfirm_, nextreport_,
+                        highprimary_};
 }
 
 Summary DvsToTo::make_summary() const {

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -55,6 +56,44 @@ struct DvsToToOptions {
   /// comment). Unsafe: exists so the test suite can demonstrate that the
   /// TO acceptance harness detects the paper's errata.
   bool printed_figure_mode = false;
+};
+
+/// The part of DVS-TO-TO_p state that must survive a crash for the TO
+/// service to stay prefix-consistent: the confirmed/reported prefix
+/// bookkeeping. `order`/`nextconfirm`/`highprimary` are what this node
+/// contributes to the next state exchange (losing them when this node is
+/// the only holder of a confirmed label would lose a confirmed delivery);
+/// `nextreport` is the BRCV cursor (forgetting it re-delivers); `content`
+/// maps the ordered labels back to payloads. Everything else — buffers,
+/// gotstate, safe sets, registered/established, nextseqno — is
+/// per-view/per-incarnation: a restarted process only ever acts in fresh
+/// views with higher ids, so those reset cleanly (labels stay unique
+/// because they are keyed by (viewid, seqno, origin) and view ids never
+/// repeat across incarnations).
+struct ToDurableState {
+  ContentMap content;
+  std::vector<Label> order;
+  std::uint64_t nextconfirm = 1;
+  std::uint64_t nextreport = 1;
+  ViewId highprimary{};  // init g0
+
+  friend bool operator==(const ToDurableState&,
+                         const ToDurableState&) = default;
+};
+
+/// Write-ahead observers for the durable transitions, invoked synchronously
+/// as the state changes (one simulator event = one atomic log+act unit).
+/// The journal in tosys::ToNode appends one WAL record per call.
+struct ToDurabilityHooks {
+  std::function<void(const Label&, const AppMsg&)> on_content;  // content ∪=
+  std::function<void(const Label&)> on_order_append;  // order := order + l
+  // Establishment: order wholesale-replaced by fullorder(gotstate) (plus
+  // deferred replays), nextconfirm and highprimary jump.
+  std::function<void(const std::vector<Label>& order, std::uint64_t nextconfirm,
+                     const ViewId& highprimary)>
+      on_establish;
+  std::function<void(std::uint64_t)> on_confirm;  // new nextconfirm
+  std::function<void(std::uint64_t)> on_report;   // new nextreport
 };
 
 /// The DVS-TO-TO_p automaton of Figure 5.
@@ -114,6 +153,21 @@ class DvsToTo {
   [[nodiscard]] std::optional<std::pair<AppMsg, ProcessId>> next_brcv() const;
   std::pair<AppMsg, ProcessId> take_brcv();
 
+  // ----- durability (crash-restart recovery) ---------------------------------
+
+  /// Installs write-ahead observers for the durable transitions. The ctor
+  /// fires no hooks; the journal snapshots durable_state() when it attaches.
+  void set_durability_hooks(ToDurabilityHooks hooks);
+
+  /// Reinstates recovered durable state after a crash-restart. Must be
+  /// called before any input events. current becomes ⊥ and all volatile
+  /// state resets; the node re-enters service at the next DVS-NEWVIEW,
+  /// contributing its recovered order/content to that state exchange.
+  void restore(const ToDurableState& recovered);
+
+  /// Snapshot of the durable variables (journal compaction, checkers).
+  [[nodiscard]] ToDurableState durable_state() const;
+
   // ----- observers (Figure 5 state + history variables) ----------------------
 
   [[nodiscard]] ProcessId self() const { return self_; }
@@ -158,6 +212,7 @@ class DvsToTo {
  private:
   ProcessId self_;
   DvsToToOptions options_;
+  ToDurabilityHooks durability_;
 
   std::optional<View> current_;
   Status status_ = Status::kNormal;

@@ -25,6 +25,9 @@ ChaosStats& operator+=(ChaosStats& a, const ChaosStats& b) {
   a.datagrams += b.datagrams;
   a.batches += b.batches;
   a.batched_msgs += b.batched_msgs;
+  a.restarts += b.restarts;
+  a.wal_appends += b.wal_appends;
+  a.wal_bytes += b.wal_bytes;
   a.metrics += b.metrics;
   return a;
 }
@@ -60,11 +63,19 @@ ChaosStats run_chaos_seed(std::uint64_t seed, const ChaosConfig& config) {
   cc.record_traces = true;
   cc.conformance_oracle = true;
   cc.to_options = config.to_options;
+  // Restart adversaries need somewhere to recover from.
+  cc.persistence = config.persistence || config.crashes_restart ||
+                   config.plan.w_restart > 0;
   Cluster cluster(cc, seed);
 
   const net::FaultPlan plan =
       net::FaultPlan::random(seed, cluster.universe(), config.plan);
-  plan.schedule(cluster.sim(), cluster.net());
+  net::FaultPlan::ScheduleHooks hooks;
+  hooks.crashes_restart = config.crashes_restart;
+  if (cc.persistence) {
+    hooks.restart = [&cluster](ProcessId p) { cluster.restart(p); };
+  }
+  plan.schedule(cluster.sim(), cluster.net(), hooks);
 
   // Client load at seeded times across the horizon, decorrelated from both
   // the cluster's network rng and the plan generator so the three sources
@@ -129,6 +140,12 @@ ChaosStats run_chaos_seed(std::uint64_t seed, const ChaosConfig& config) {
   s.datagrams = ns.datagrams;
   s.batches = ns.batches;
   s.batched_msgs = ns.batched_msgs;
+  s.restarts = cluster.restarts();
+  if (cluster.store() != nullptr) {
+    const storage::StorageStats& ss = cluster.store()->stats();
+    s.wal_appends = ss.appends;
+    s.wal_bytes = ss.bytes_written();
+  }
   // End-of-run span-invariant check travels inside the snapshot (all-zero
   // on a conforming run) alongside every layer's counters and the tracer's
   // latency histograms.

@@ -65,6 +65,18 @@ struct ChaosConfig {
   /// TO-automaton switches; printed_figure_mode re-injects the paper's
   /// Figure 5 errata so the sweep can prove the oracle catches them.
   toimpl::DvsToToOptions to_options;
+  /// Crash-restart adversary. Note the terminology: a plan's kCrash is
+  /// *pause* semantics (the node goes silent, volatile state intact —
+  /// SimNetwork::pause); genuine crash-restarts are either scripted
+  /// kRestart events (give `plan.w_restart` a weight) or kCrash events
+  /// upgraded via `crashes_restart` — the node still pauses for the
+  /// crash..recover window but its volatile state is wiped at the crash
+  /// instant and rebuilt from stable storage (Cluster::restart), so the
+  /// same seed's plan runs under both semantics. Either knob implies
+  /// `persistence`; it can also be set alone to measure journaling with no
+  /// restarts.
+  bool persistence = false;
+  bool crashes_restart = false;
 };
 
 /// Per-run counters. All fields are deterministic functions of the seed and
@@ -87,6 +99,9 @@ struct ChaosStats {
   std::uint64_t datagrams = 0;           // datagrams actually on the wire
   std::uint64_t batches = 0;             // BATCH envelopes flushed
   std::uint64_t batched_msgs = 0;        // logical messages carried batched
+  std::uint64_t restarts = 0;            // crash-restarts executed
+  std::uint64_t wal_appends = 0;         // journal records appended
+  std::uint64_t wal_bytes = 0;           // bytes written to stable storage
 
   /// Full end-of-run metric export of the cluster (every layer's counters,
   /// the tracer's latency histograms and the span-invariant counters).

@@ -1,5 +1,7 @@
 #include "tosys/cluster.h"
 
+#include <stdexcept>
+
 namespace dvs::tosys {
 
 Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
@@ -14,6 +16,12 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
                     .keep_traces = config.record_traces,
                     .check_online = config.conformance_oracle}) {
   net_ = std::make_unique<net::SimNetwork>(sim_, rng_, config_.net, universe_);
+  if (config_.persistence) {
+    if (config_.store == nullptr) {
+      owned_store_ = std::make_unique<storage::MemStableStore>();
+    }
+    store_ = config_.store != nullptr ? config_.store : owned_store_.get();
+  }
 
   for (ProcessId p : universe_) {
     const bool member = v0_.contains(p);
@@ -35,18 +43,52 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
   if (config_.observability) {
     tracer_ = std::make_unique<obs::StackTracer>(metrics_, trace_);
     net_->bind_metrics(metrics_);
-    for (ProcessId p : universe_) {
-      vs_.at(p)->bind_metrics(metrics_);
-      dvs_.at(p)->bind_metrics(metrics_);
-      to_.at(p)->bind_metrics(metrics_);
+    for (ProcessId p : universe_) bind_process_metrics(p);
+    if (store_ != nullptr) {
+      // Cluster-wide persistence counters; this collector references the
+      // store and the cluster, never a node, so it survives restarts.
+      metrics_.add_collector([this] {
+        const storage::StorageStats& s = store_->stats();
+        metrics_.counter("storage.appends").set(s.appends);
+        metrics_.counter("storage.bytes_appended").set(s.bytes_appended);
+        metrics_.counter("storage.replaces").set(s.replaces);
+        metrics_.counter("storage.bytes_replaced").set(s.bytes_replaced);
+        metrics_.counter("storage.loads").set(s.loads);
+        metrics_.counter("storage.bytes_written").set(s.bytes_written());
+        metrics_.counter("storage.restarts").set(restarts_);
+      });
     }
   }
+  for (ProcessId p : universe_) wire_process(p);
+  if (store_ != nullptr) {
+    for (ProcessId p : universe_) attach_process_storage(p);
+  }
+}
+
+std::string Cluster::storage_key(ProcessId p, const char* layer) {
+  return p.to_string() + "/" + layer;
+}
+
+void Cluster::attach_process_storage(ProcessId p) {
+  vs_.at(p)->attach_storage(*store_, storage_key(p, "vs"));
+  dvs_.at(p)->attach_storage(*store_, storage_key(p, "dvs"));
+  to_.at(p)->attach_storage(*store_, storage_key(p, "to"));
+}
+
+void Cluster::bind_process_metrics(ProcessId p) {
+  auto& ids = collector_ids_[p];
+  ids.push_back(vs_.at(p)->bind_metrics(metrics_));
+  ids.push_back(dvs_.at(p)->bind_metrics(metrics_));
+  ids.push_back(to_.at(p)->bind_metrics(metrics_));
+}
+
+void Cluster::wire_process(ProcessId p) {
   // Every layer's external actions are observed; the recorder stores the
   // traces and/or feeds the spec acceptors online (the conformance oracle),
   // and the span tracer turns the same actions into latency spans, per
   // their options.
   const bool observe = config_.record_traces || config_.conformance_oracle;
-  for (ProcessId p : universe_) {
+  {
     dvsys::DvsNode* dvs_node = dvs_.at(p).get();
     ToNode* to_node = to_.at(p).get();
 
@@ -134,6 +176,57 @@ void Cluster::start() {
   // event; open their initial view_active spans.
   if (tracer_) tracer_->on_start(v0_, sim_.now());
   for (ProcessId p : universe_) vs_.at(p)->start();
+}
+
+void Cluster::restart(ProcessId p) {
+  if (store_ == nullptr) {
+    throw std::logic_error("Cluster::restart requires persistence");
+  }
+  ++restarts_;
+  if (tracer_) tracer_->on_restart(p, sim_.now());
+  // Tell the TO oracle: broadcasts p accepted but had not yet ordered lose
+  // their FIFO position — the crash may drop them, or a surviving replica
+  // may order them late (spec::EvCrash).
+  recorder_.record(spec::ToEvent{spec::EvCrash{p}});
+  // The stale collectors hold raw pointers into the dying incarnation.
+  for (std::size_t id : collector_ids_[p]) metrics_.remove_collector(id);
+  collector_ids_[p].clear();
+  // Tear down top-down (TO references DVS references VS). The old ticker's
+  // in-flight events no-op (PeriodicTimer liveness flag); in-flight
+  // datagrams resolve the handler at delivery time, so they arrive at the
+  // new incarnation — where the epoch floor makes stale view traffic
+  // harmless.
+  to_.erase(p);
+  dvs_.erase(p);
+  vs_.erase(p);
+  // Recover the durable state from stable storage...
+  const std::uint64_t epoch =
+      vsys::VsNode::recover_epoch(*store_, storage_key(p, "vs"));
+  const impl::DvsDurableState dvs_state =
+      dvsys::DvsNode::recover(*store_, storage_key(p, "dvs"), p, v0_);
+  const toimpl::ToDurableState to_state =
+      ToNode::recover(*store_, storage_key(p, "to"));
+  // ...and rebuild bottom-up. The new incarnation has no view (it rejoins
+  // through the membership protocol) but remembers everything it persisted.
+  vs_[p] = std::make_unique<vsys::VsNode>(p, std::nullopt, *net_, sim_,
+                                          config_.vs, vsys::VsCallbacks{});
+  vs_.at(p)->restore_epoch(epoch);
+  dvs_[p] = std::make_unique<dvsys::DvsNode>(
+      p, v0_, *vs_[p], dvsys::DvsCallbacks{},
+      dvsys::DvsNodeOptions{.auto_gc = config_.gc_enabled,
+                            .weights = config_.weights});
+  dvs_.at(p)->restore(dvs_state);
+  to_[p] = std::make_unique<ToNode>(
+      p, v0_, *dvs_[p], ToCallbacks{},
+      ToNodeOptions{.auto_register = config_.registration_enabled,
+                    .automaton = config_.to_options});
+  to_.at(p)->restore(to_state);
+  wire_process(p);
+  // Re-attach the journals: the baseline snapshots double as compaction of
+  // whatever the previous incarnation left behind.
+  attach_process_storage(p);
+  if (config_.observability) bind_process_metrics(p);
+  vs_.at(p)->start();  // re-attaches the net handler, arms a fresh ticker
 }
 
 void Cluster::bcast(ProcessId p, AppMsg a) {

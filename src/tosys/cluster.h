@@ -22,6 +22,7 @@
 #include "spec/acceptors.h"
 #include "spec/events.h"
 #include "spec/trace_recorder.h"
+#include "storage/stable_store.h"
 #include "tosys/to_node.h"
 #include "vsys/vs_node.h"
 
@@ -60,6 +61,18 @@ struct ClusterConfig {
   /// Vote weights for weighted dynamic voting (empty = the paper's
   /// unweighted rule).
   WeightMap weights;
+  /// Crash-restart persistence: every layer journals its durable state
+  /// (write-ahead, synchronous within the simulator event) into a stable
+  /// store, and Cluster::restart(p) can tear a process down and rebuild it
+  /// from that store alone — the kRestart fault. Off by default: the
+  /// journaling hooks are never installed and the stack is byte-identical
+  /// to the pre-persistence build.
+  bool persistence = false;
+  /// Where the journals live when persistence is on. Null = the cluster
+  /// owns a deterministic in-memory store (simulation default); benches
+  /// point this at a storage::FileStableStore to measure real WAL I/O. Must
+  /// outlive the cluster.
+  storage::StableStore* store = nullptr;
 };
 
 /// One delivered (BRCV) record.
@@ -99,6 +112,25 @@ class Cluster {
 
   /// Convenience: run the simulation for `duration` of simulated time.
   void run_for(sim::Time duration);
+
+  // ----- crash-restart recovery ----------------------------------------------
+
+  /// Crash-restarts p (FaultPlan kRestart): the whole per-process stack is
+  /// destroyed and rebuilt from its stable storage only — VS keeps nothing
+  /// but its epoch floor, DVS its att/reg knowledge (Invariants 4.1/4.2
+  /// survive the crash), TO its content/order/confirm cursors. The new
+  /// incarnation starts with no view and rejoins through the normal
+  /// membership protocol; spec acceptors and the span tracer keep checking
+  /// across the boundary. Requires persistence (throws otherwise). Safe to
+  /// call from a scheduled simulator event — teardown and rebuild are
+  /// synchronous, and in-flight datagrams simply arrive at the new
+  /// incarnation (the epoch floor makes stale proposals harmless).
+  void restart(ProcessId p);
+
+  /// The stable store backing persistence (null when persistence is off).
+  /// Tests install barrier hooks on it to enumerate crash points.
+  [[nodiscard]] storage::StableStore* store() { return store_; }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
 
   // ----- recorded traces and checks ------------------------------------------
 
@@ -149,15 +181,32 @@ class Cluster {
   [[nodiscard]] std::string trace_json() const { return trace_.to_json(); }
 
  private:
+  /// Installs the callback wrappers (oracle + tracer + layer forwarding)
+  /// on p's freshly built node stack. Shared between construction and
+  /// restart().
+  void wire_process(ProcessId p);
+  /// Attaches every layer's journal for p (baseline snapshots double as
+  /// compaction after a restart).
+  void attach_process_storage(ProcessId p);
+  /// bind_metrics for p's three nodes, remembering the collector ids so
+  /// restart() can drop the stale collectors.
+  void bind_process_metrics(ProcessId p);
+  [[nodiscard]] static std::string storage_key(ProcessId p,
+                                               const char* layer);
+
   ClusterConfig config_;
   Rng rng_;
   ProcessSet universe_;
   View v0_;
   sim::Simulator sim_;
   std::unique_ptr<net::SimNetwork> net_;
+  std::unique_ptr<storage::MemStableStore> owned_store_;
+  storage::StableStore* store_ = nullptr;  // null = persistence off
   std::map<ProcessId, std::unique_ptr<vsys::VsNode>> vs_;
   std::map<ProcessId, std::unique_ptr<dvsys::DvsNode>> dvs_;
   std::map<ProcessId, std::unique_ptr<ToNode>> to_;
+  std::map<ProcessId, std::vector<std::size_t>> collector_ids_;
+  std::uint64_t restarts_ = 0;
 
   std::function<void(const Delivery&)> delivery_hook_;
   spec::TraceRecorder recorder_;

@@ -1,6 +1,51 @@
 #include "tosys/to_node.h"
 
+#include <algorithm>
+
 namespace dvs::tosys {
+
+namespace {
+
+// TO journal record types. Replay is idempotent: content/order records
+// re-apply harmlessly against a snapshot that already contains them
+// (map-emplace / establishment-reset), confirm/report records max-merge.
+constexpr std::uint8_t kToSnapshot = 1;   // full ToDurableState
+constexpr std::uint8_t kToContent = 2;    // content ∪= {⟨label, msg⟩}
+constexpr std::uint8_t kToOrder = 3;      // order := order + label
+constexpr std::uint8_t kToEstablish = 4;  // order/nextconfirm/highprimary :=
+constexpr std::uint8_t kToConfirm = 5;    // nextconfirm := max(·, value)
+constexpr std::uint8_t kToReport = 6;     // nextreport := max(·, value)
+constexpr std::size_t kToCompactEvery = 64;
+
+void encode_snapshot(Writer& w, const toimpl::ToDurableState& s) {
+  w.varuint(s.content.size());
+  for (const auto& [l, a] : s.content) {
+    w.label(l);
+    w.app_msg(a);
+  }
+  w.varuint(s.order.size());
+  for (const Label& l : s.order) w.label(l);
+  w.varuint(s.nextconfirm);
+  w.varuint(s.nextreport);
+  w.view_id(s.highprimary);
+}
+
+toimpl::ToDurableState decode_snapshot(Reader& r) {
+  toimpl::ToDurableState s;
+  for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+    Label l = r.label();
+    s.content.emplace(l, r.app_msg());
+  }
+  for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+    s.order.push_back(r.label());
+  }
+  s.nextconfirm = r.varuint();
+  s.nextreport = r.varuint();
+  s.highprimary = r.view_id();
+  return s;
+}
+
+}  // namespace
 
 ToNode::ToNode(ProcessId self, const View& v0, dvsys::DvsNode& dvs,
                ToCallbacks callbacks, ToNodeOptions options)
@@ -32,9 +77,104 @@ dvsys::DvsCallbacks ToNode::dvs_callbacks() {
   return cb;
 }
 
-void ToNode::bind_metrics(obs::MetricsRegistry& metrics) {
+void ToNode::snapshot_state() {
+  const toimpl::ToDurableState s = automaton_.durable_state();
+  wal_->snapshot(kToSnapshot, [&](Writer& w) { encode_snapshot(w, s); });
+}
+
+void ToNode::attach_storage(storage::StableStore& store,
+                            const std::string& key) {
+  wal_.emplace(store, key);
+  snapshot_state();
+  toimpl::ToDurabilityHooks hooks;
+  auto maybe_compact = [this] {
+    if (wal_->records_since_snapshot() >= kToCompactEvery) snapshot_state();
+  };
+  hooks.on_content = [this, maybe_compact](const Label& l, const AppMsg& a) {
+    wal_->append(kToContent, [&](Writer& w) {
+      w.label(l);
+      w.app_msg(a);
+    });
+    maybe_compact();
+  };
+  hooks.on_order_append = [this, maybe_compact](const Label& l) {
+    wal_->append(kToOrder, [&](Writer& w) { w.label(l); });
+    maybe_compact();
+  };
+  hooks.on_establish = [this, maybe_compact](const std::vector<Label>& order,
+                                             std::uint64_t nextconfirm,
+                                             const ViewId& highprimary) {
+    wal_->append(kToEstablish, [&](Writer& w) {
+      w.varuint(order.size());
+      for (const Label& l : order) w.label(l);
+      w.varuint(nextconfirm);
+      w.view_id(highprimary);
+    });
+    maybe_compact();
+  };
+  hooks.on_confirm = [this, maybe_compact](std::uint64_t nextconfirm) {
+    wal_->append(kToConfirm, [&](Writer& w) { w.varuint(nextconfirm); });
+    maybe_compact();
+  };
+  hooks.on_report = [this, maybe_compact](std::uint64_t nextreport) {
+    wal_->append(kToReport, [&](Writer& w) { w.varuint(nextreport); });
+    maybe_compact();
+  };
+  automaton_.set_durability_hooks(std::move(hooks));
+}
+
+toimpl::ToDurableState ToNode::recover(const storage::StableStore& store,
+                                       const std::string& key) {
+  toimpl::ToDurableState s;
+  for (const storage::WalRecord& rec : storage::read_wal(store, key).records) {
+    try {
+      Reader r(rec.payload);
+      switch (rec.type) {
+        case kToSnapshot:
+          s = decode_snapshot(r);
+          break;
+        case kToContent: {
+          Label l = r.label();
+          s.content.emplace(l, r.app_msg());
+          break;
+        }
+        case kToOrder: {
+          // Adjacent-duplicate suppression keeps replay idempotent when an
+          // append is doubled (the automaton never appends the same label
+          // twice in a row, so a repeat can only be a duplicated record).
+          Label l = r.label();
+          if (s.order.empty() || s.order.back() != l) s.order.push_back(l);
+          break;
+        }
+        case kToEstablish: {
+          std::vector<Label> order;
+          for (std::size_t i = 0, n = r.count(2); i < n; ++i) {
+            order.push_back(r.label());
+          }
+          s.order = std::move(order);
+          s.nextconfirm = std::max(s.nextconfirm, r.varuint());
+          s.highprimary = r.view_id();
+          break;
+        }
+        case kToConfirm:
+          s.nextconfirm = std::max(s.nextconfirm, r.varuint());
+          break;
+        case kToReport:
+          s.nextreport = std::max(s.nextreport, r.varuint());
+          break;
+        default:
+          break;  // unknown record type: ignore (forward compatibility)
+      }
+    } catch (const DecodeError&) {
+      break;  // undecodable payload ends the usable prefix
+    }
+  }
+  return s;
+}
+
+std::size_t ToNode::bind_metrics(obs::MetricsRegistry& metrics) {
   const std::string label = "{process=\"" + self().to_string() + "\"}";
-  metrics.add_collector([this, &metrics, label] {
+  return metrics.add_collector([this, &metrics, label] {
     metrics.counter("to.bcasts" + label).set(stats_.bcasts);
     metrics.counter("to.deliveries" + label).set(stats_.deliveries);
     metrics.counter("to.views_established" + label)

@@ -11,6 +11,7 @@
 
 #include "common/labels.h"
 #include "dvsys/dvs_node.h"
+#include "storage/wal.h"
 #include "toimpl/dvs_to_to.h"
 
 namespace dvs::tosys {
@@ -58,11 +59,36 @@ class ToNode {
   [[nodiscard]] const ToNodeStats& stats() const { return stats_; }
 
   /// Registers a collector that publishes ToNodeStats as to.*{process="pN"}
-  /// counters. The node must outlive the registry's last collect().
-  void bind_metrics(obs::MetricsRegistry& metrics);
+  /// counters. Returns the collector id so an owner that rebuilds the node
+  /// (crash-restart) can remove the stale collector.
+  std::size_t bind_metrics(obs::MetricsRegistry& metrics);
+
+  // ----- durability (crash-restart recovery) -------------------------------
+
+  /// Starts journaling the automaton's durable transitions (content
+  /// inserts, order appends, establishments, confirm/report advances — see
+  /// toimpl::ToDurableState) into `store` at `key`, writing the current
+  /// durable state as the baseline snapshot. Call before any traffic (and
+  /// after restore()).
+  void attach_storage(storage::StableStore& store, const std::string& key);
+
+  /// Reinstates recovered durable state after a crash-restart; forwards to
+  /// toimpl::DvsToTo::restore. Call before any traffic.
+  void restore(const toimpl::ToDurableState& recovered) {
+    automaton_.restore(recovered);
+  }
+
+  /// Replays the journal at `key`. An empty/absent log yields a fresh
+  /// state; corrupt tails are discarded (replay is idempotent, so a clean
+  /// prefix is always a valid — possibly older — durable state).
+  [[nodiscard]] static toimpl::ToDurableState recover(
+      const storage::StableStore& store, const std::string& key);
 
  private:
   void drain();
+  /// Writes one WAL snapshot record of the current durable state (also the
+  /// compaction step — snapshots replace the whole log).
+  void snapshot_state();
 
   toimpl::DvsToTo automaton_;
   dvsys::DvsNode& dvs_;
@@ -70,6 +96,7 @@ class ToNode {
   ToNodeOptions options_;
   ToNodeStats stats_;
   std::set<ViewId> counted_established_;
+  std::optional<storage::Wal> wal_;  // durable-state journal, when attached
 };
 
 }  // namespace dvs::tosys

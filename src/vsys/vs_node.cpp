@@ -90,8 +90,52 @@ const Bytes& VsNode::encode_reused(const WireMsg& m) {
   return wire_writer_.buffer();
 }
 
+namespace {
+// Epoch journal record type: a u64 epoch, max-merged on replay (so
+// duplicate records and snapshot/append interleavings are all idempotent).
+constexpr std::uint8_t kEpochRecord = 1;
+constexpr std::size_t kEpochCompactEvery = 32;
+}  // namespace
+
 void VsNode::bump_epoch(std::uint64_t epoch) {
+  if (epoch <= max_epoch_) return;
+  max_epoch_ = epoch;
+  if (wal_.has_value()) {
+    // Write-ahead: the epoch is durable before anything this event does
+    // with it (ack, install) reaches the wire — restarts happen at event
+    // boundaries, so log+act is atomic anyway, but the ordering keeps the
+    // discipline explicit.
+    wal_->append(kEpochRecord, [&](Writer& w) { w.u64(max_epoch_); });
+    if (wal_->records_since_snapshot() >= kEpochCompactEvery) {
+      wal_->snapshot(kEpochRecord, [&](Writer& w) { w.u64(max_epoch_); });
+    }
+  }
+}
+
+void VsNode::attach_storage(storage::StableStore& store,
+                            const std::string& key) {
+  wal_.emplace(store, key);
+  wal_->snapshot(kEpochRecord, [&](Writer& w) { w.u64(max_epoch_); });
+}
+
+void VsNode::restore_epoch(std::uint64_t epoch) {
   max_epoch_ = std::max(max_epoch_, epoch);
+  epoch_floor_ = epoch;
+}
+
+std::uint64_t VsNode::recover_epoch(const storage::StableStore& store,
+                                    const std::string& key) {
+  std::uint64_t epoch = 0;
+  for (const storage::WalRecord& rec : storage::read_wal(store, key).records) {
+    if (rec.type != kEpochRecord) continue;
+    try {
+      Reader r(rec.payload);
+      epoch = std::max(epoch, r.u64());
+    } catch (const DecodeError&) {
+      break;  // treat an undecodable record as the end of the clean prefix
+    }
+  }
+  return epoch;
 }
 
 void VsNode::on_datagram(ProcessId from, const Bytes& data) {
@@ -263,6 +307,9 @@ void VsNode::handle(const Heartbeat& hb, ProcessId from) {
 
 void VsNode::handle(const Propose& pr, ProcessId from) {
   bump_epoch(pr.view.id().epoch());
+  // Recovery floor: a previous incarnation may have acked a proposal at or
+  // below the recovered epoch; never ack in that range again.
+  if (pr.view.id().epoch() <= epoch_floor_) return;
   if (!pr.view.contains(self_)) return;
   if (view_.has_value() && !(pr.view.id() > view_->id())) return;
   if (max_acked_.has_value() && !(pr.view.id() > *max_acked_)) return;
@@ -286,6 +333,10 @@ void VsNode::handle(const FlushAck& fa, ProcessId from) {
 
 void VsNode::handle(const Install& in, ProcessId /*from*/) {
   bump_epoch(in.view.id().epoch());
+  // Recovery floor: with view_ = ⊥ after a restart, a stale duplicated
+  // Install from the crashed incarnation's era would otherwise be accepted,
+  // breaking install monotonicity across incarnations.
+  if (in.view.id().epoch() <= epoch_floor_) return;
   if (!in.view.contains(self_)) return;
   if (view_.has_value() && !(in.view.id() > view_->id())) return;
   install(in.view);
@@ -446,9 +497,9 @@ void VsNode::try_deliver() {
   if (delivered_any) try_emit_safe();
 }
 
-void VsNode::bind_metrics(obs::MetricsRegistry& metrics) {
+std::size_t VsNode::bind_metrics(obs::MetricsRegistry& metrics) {
   const std::string label = "{process=\"" + self_.to_string() + "\"}";
-  metrics.add_collector([this, &metrics, label] {
+  return metrics.add_collector([this, &metrics, label] {
     metrics.counter("vs.proposals_started" + label)
         .set(stats_.proposals_started);
     metrics.counter("vs.proposals_aborted" + label)

@@ -25,9 +25,18 @@
 // prefix of one per-view total order, and safe indications imply receipt at
 // every member. tests/vsys replay recorded traces through the VS acceptor.
 //
-// Crash/recovery is modelled as pause/resume with state intact (in the
-// asynchronous model a crashed process is indistinguishable from a very
-// slow one); see net::SimNetwork.
+// Failure models: a *pause* (net::SimNetwork::pause, FaultPlan kCrash)
+// silences a node with state intact — in the asynchronous model that is
+// indistinguishable from a very slow process. A *restart* (FaultPlan
+// kRestart, tosys::Cluster::restart) tears the node down and rebuilds it
+// from stable storage: only max_epoch survives (attach_storage journals
+// every epoch bump). A restarted node rejoins with no view; the recovered
+// epoch doubles as a floor below which Propose/Install are refused, so the
+// node can never re-ack a proposal it may have acked in a previous
+// incarnation or re-install a stale duplicated view — installs stay
+// monotone across incarnations, and every post-restart view id is fresh
+// ("incarnation-tagged" by an epoch above everything the crashed
+// incarnation saw).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,7 @@
 #include "common/view.h"
 #include "net/sim_network.h"
 #include "sim/simulator.h"
+#include "storage/wal.h"
 #include "vsys/wire.h"
 
 namespace dvs::vsys {
@@ -132,9 +142,26 @@ class VsNode {
   [[nodiscard]] ProcessSet estimate() const;
 
   /// Registers a collector that publishes VsNodeStats as
-  /// vs.*{process="pN"} counters. The node must outlive the registry's last
-  /// collect().
-  void bind_metrics(obs::MetricsRegistry& metrics);
+  /// vs.*{process="pN"} counters. Returns the collector id so an owner that
+  /// rebuilds the node (crash-restart) can remove the stale collector.
+  std::size_t bind_metrics(obs::MetricsRegistry& metrics);
+
+  // ----- durability (crash-restart recovery) -------------------------------
+
+  /// Starts journaling epoch bumps into `store` at `key` (and writes the
+  /// current epoch as the baseline snapshot). Call before start().
+  void attach_storage(storage::StableStore& store, const std::string& key);
+
+  /// Reinstates a recovered epoch after a crash-restart: max_epoch is
+  /// raised to `epoch`, and `epoch` becomes a floor — Propose/Install with
+  /// view ids at or below it are refused (see the header comment). Call
+  /// before start(), on a node constructed with no initial view.
+  void restore_epoch(std::uint64_t epoch);
+
+  /// Replays the epoch journal at `key`; 0 if absent/empty (corrupt tails
+  /// are discarded — the clean prefix is enough, appends are max-merges).
+  [[nodiscard]] static std::uint64_t recover_epoch(
+      const storage::StableStore& store, const std::string& key);
 
  private:
   void on_datagram(ProcessId from, const Bytes& data);
@@ -188,6 +215,10 @@ class VsNode {
 
   std::optional<View> view_;
   std::uint64_t max_epoch_ = 0;
+  // Recovery floor: view ids with epoch ≤ epoch_floor_ are refused in
+  // Propose/Install (0 for fresh nodes — live epochs start at 1).
+  std::uint64_t epoch_floor_ = 0;
+  std::optional<storage::Wal> wal_;  // epoch journal, when attached
   // Per-process state lives in flat arrays indexed by ProcessId::value()
   // (process ids are dense in practice; the arrays are sized by the largest
   // id in the universe at construction). These are touched on every datagram
