@@ -3,7 +3,12 @@
 // recovery functions.
 #include <benchmark/benchmark.h>
 
+#include <deque>
+#include <map>
+
+#include "common/arena.h"
 #include "common/labels.h"
+#include "common/ring.h"
 #include "common/serialize.h"
 #include "common/view.h"
 #include "obs/metrics.h"
@@ -93,6 +98,125 @@ void BM_Fullorder(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fullorder)->Arg(3)->Arg(8);
+
+// Arena/ring primitives (ISSUE 6): the steady-state cost of the recycled
+// containers vs the std containers they replaced on the hot path.
+
+void BM_ArenaAcquireRelease(benchmark::State& state) {
+  MsgArena arena(64);
+  const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const MsgArena::Handle h = arena.acquire();
+    arena.at(h).resize(payload);
+    benchmark::DoNotOptimize(arena.at(h).data());
+    arena.release(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArenaAcquireRelease)->Arg(64)->Arg(1024);
+
+void BM_HeapBytesAllocFree(benchmark::State& state) {
+  // The baseline the arena replaces: a fresh Bytes per in-flight payload.
+  const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Bytes b(payload);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapBytesAllocFree)->Arg(64)->Arg(1024);
+
+void BM_RingBufferChurn(benchmark::State& state) {
+  // Steady-state FIFO churn at a fixed backlog: the retransmit/order-queue
+  // access pattern.
+  RingBuffer<std::uint64_t> rb;
+  for (std::uint64_t i = 0; i < 32; ++i) rb.push_back(i);
+  std::uint64_t next = 32;
+  for (auto _ : state) {
+    rb.push_back(next++);
+    benchmark::DoNotOptimize(rb.front());
+    rb.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingBufferChurn);
+
+void BM_DequeChurn(benchmark::State& state) {
+  std::deque<std::uint64_t> dq;
+  for (std::uint64_t i = 0; i < 32; ++i) dq.push_back(i);
+  std::uint64_t next = 32;
+  for (auto _ : state) {
+    dq.push_back(next++);
+    benchmark::DoNotOptimize(dq.front());
+    dq.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequeChurn);
+
+void BM_RingBufferPayloadChurn(benchmark::State& state) {
+  // The stack's actual queue elements carry heap payloads. append_slot
+  // hands back the recycled slot, so the payload's capacity survives the
+  // pop/push lap and the assign below never allocates.
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(bytes, std::byte{0x5a});
+  RingBuffer<Bytes> rb;
+  for (int i = 0; i < 32; ++i) rb.append_slot() = payload;
+  for (auto _ : state) {
+    Bytes& slot = rb.append_slot();
+    slot.assign(payload.begin(), payload.end());
+    benchmark::DoNotOptimize(rb.front().data());
+    rb.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingBufferPayloadChurn)->Arg(64)->Arg(1024);
+
+void BM_DequePayloadChurn(benchmark::State& state) {
+  // std::deque destroys the popped element, so every push re-allocates the
+  // payload buffer it just freed.
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(bytes, std::byte{0x5a});
+  std::deque<Bytes> dq;
+  for (int i = 0; i < 32; ++i) dq.push_back(payload);
+  for (auto _ : state) {
+    dq.emplace_back(payload.begin(), payload.end());
+    benchmark::DoNotOptimize(dq.front().data());
+    dq.pop_front();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequePayloadChurn)->Arg(64)->Arg(1024);
+
+void BM_SeqWindowChurn(benchmark::State& state) {
+  // Sliding issued-window churn: insert at hi, probe, GC below — the
+  // sequencer's per-message bookkeeping.
+  SeqWindow<std::uint64_t> w;
+  for (std::uint64_t k = 1; k <= 32; ++k) w.insert(k) = k;
+  std::uint64_t hi = 32;
+  for (auto _ : state) {
+    ++hi;
+    w.insert(hi) = hi;
+    benchmark::DoNotOptimize(w.find(hi - 16));
+    w.erase_below(hi - 31);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqWindowChurn);
+
+void BM_MapChurn(benchmark::State& state) {
+  std::map<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 1; k <= 32; ++k) m.emplace(k, k);
+  std::uint64_t hi = 32;
+  for (auto _ : state) {
+    ++hi;
+    m.emplace(hi, hi);
+    benchmark::DoNotOptimize(m.find(hi - 16));
+    m.erase(m.begin(), m.lower_bound(hi - 31));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapChurn);
 
 void BM_ObsCounterInc(benchmark::State& state) {
   // The instrumentation hot path: a relaxed atomic add, no lock.

@@ -71,14 +71,25 @@ BENCHMARK(BM_ViewChange)->Arg(3)->Arg(5)->Arg(9);
 //                    holdoff) skip resends whose covering copy is still in
 //                    flight, unbatched transport;
 //   2 = cursors+batch — cursors plus same-tick BATCH coalescing on the
-//                    wire (`--batch` / NetConfig::batching).
-enum StackMode { kEager = 0, kCursors = 1, kCursorsBatched = 2 };
+//                    wire (`--batch` / NetConfig::batching);
+//   3 = watermark+arena — cursors and batching plus SST-style watermark
+//                    stability (VsConfig::stability) and the allocation-free
+//                    data path (NetConfig::payload_arena + ring buffers).
+// Modes 0–2 pin explicit-ack stability and the heap payload path, so mode 0
+// stays an honest seed baseline and 2→3 isolates this round's work.
+enum StackMode {
+  kEager = 0,
+  kCursors = 1,
+  kCursorsBatched = 2,
+  kWatermarkArena = 3,
+};
 
 const char* mode_label(int mode) {
   switch (mode) {
     case kEager: return "eager retx, unbatched";
     case kCursors: return "retx cursors, unbatched";
-    default: return "retx cursors + batching";
+    case kCursorsBatched: return "retx cursors + batching";
+    default: return "watermarks + arena + batching";
   }
 }
 
@@ -91,7 +102,11 @@ ClusterConfig raw_stack(std::size_t n, int mode) {
   cfg.conformance_oracle = false;
   cfg.observability = false;
   if (mode == kEager) cfg.vs.retransmit_holdoff_ticks = 1;
-  cfg.net.batching = mode == kCursorsBatched;
+  cfg.net.batching = mode == kCursorsBatched || mode == kWatermarkArena;
+  cfg.vs.stability = mode == kWatermarkArena
+                         ? vsys::StabilityMode::kWatermark
+                         : vsys::StabilityMode::kExplicitAck;
+  cfg.net.payload_arena = mode == kWatermarkArena;
   return cfg;
 }
 
@@ -142,34 +157,60 @@ BENCHMARK(BM_StackBurstThroughput)
     ->Args({3, kEager})
     ->Args({3, kCursors})
     ->Args({3, kCursorsBatched})
+    ->Args({3, kWatermarkArena})
     ->Args({5, kEager})
     ->Args({5, kCursors})
     ->Args({5, kCursorsBatched})
+    ->Args({5, kWatermarkArena})
     ->Args({9, kEager})
     ->Args({9, kCursors})
-    ->Args({9, kCursorsBatched});
+    ->Args({9, kCursorsBatched})
+    ->Args({9, kWatermarkArena});
 
 void BM_StackSteadyState(benchmark::State& state) {
-  // Control-plane-only cost: five simulated seconds of heartbeat / SEQ
-  // background with no app traffic. Nothing to retransmit, so this isolates
-  // the transport overhead batching adds when there is nothing to coalesce
-  // beyond the per-pair heartbeat.
+  // Long stable-view run: five simulated seconds of one broadcast per 20 ms
+  // heartbeat tick, no faults, no view changes — the regime the watermark
+  // table and the recycled containers are built for. The two boolean axes
+  // split this round's work: stability mode {explicit ack, watermark} ×
+  // payload path {heap, arena}, all over the cursors+batching transport, so
+  // each axis' contribution is measurable on its own.
   const auto n = static_cast<std::size_t>(state.range(0));
-  const int mode = static_cast<int>(state.range(1));
+  const bool watermarks = state.range(1) != 0;
+  const bool arena = state.range(2) != 0;
+  constexpr sim::Time kRun = 5 * kSecond;
+  constexpr sim::Time kTick = 20 * kMillisecond;
   std::uint64_t seed = 1;
+  std::size_t delivered = 0;
   for (auto _ : state) {
-    Cluster c(raw_stack(n, mode), seed++);
+    ClusterConfig cfg = raw_stack(n, kCursorsBatched);
+    cfg.vs.stability = watermarks ? vsys::StabilityMode::kWatermark
+                                  : vsys::StabilityMode::kExplicitAck;
+    cfg.net.payload_arena = arena;
+    Cluster c(cfg, seed++);
     c.start();
-    c.run_for(5 * kSecond);
-    benchmark::DoNotOptimize(c.primary_fraction());
+    std::uint64_t uid = 1;
+    for (sim::Time t = 0; t < kRun; t += kTick) {
+      const ProcessId p{static_cast<ProcessId::Rep>(uid % n)};
+      c.bcast(p, AppMsg{uid++, p, ""});
+      c.run_for(kTick);
+    }
+    c.run_for(1 * kSecond);
+    delivered = c.deliveries().size();
+    benchmark::DoNotOptimize(delivered);
   }
-  state.SetLabel(mode_label(mode));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRun / kTick));
+  state.SetLabel(std::string(watermarks ? "watermark" : "explicit ack") +
+                 ", " + (arena ? "arena" : "heap") + ", " +
+                 std::to_string(delivered) + " delivered");
 }
 BENCHMARK(BM_StackSteadyState)
-    ->Args({5, kEager})
-    ->Args({5, kCursorsBatched})
-    ->Args({9, kEager})
-    ->Args({9, kCursorsBatched});
+    ->Args({5, 0, 0})
+    ->Args({5, 0, 1})
+    ->Args({5, 1, 0})
+    ->Args({5, 1, 1})
+    ->Args({9, 0, 0})
+    ->Args({9, 1, 1});
 
 void BM_StackRestart(benchmark::State& state) {
   // Crash-restart cost of the persistent stack (experiment E19). One

@@ -14,12 +14,37 @@ MIN_TIME="${1:-0.2}"
 # median. Give them a longer budget.
 STACK_MIN_TIME="${2:-2}"
 
+# Refuse to snapshot an unoptimized build: committed BENCH_*.json from a
+# Debug tree would make every perf claim in review meaningless. An empty
+# cache entry means the top-level CMakeLists default (RelWithDebInfo)
+# applied, which is -O2 -DNDEBUG and fine; anything else needs the
+# explicit escape hatch, and the snapshot is tagged with the build type
+# either way via --benchmark_context.
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:STRING=//p' build/CMakeCache.txt)"
+BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}"
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    if [[ "${DVS_BENCH_ALLOW_NONRELEASE:-0}" != "1" ]]; then
+      echo "bench_snapshot.sh: refusing to snapshot a '$BUILD_TYPE' build;" \
+           "reconfigure with -DCMAKE_BUILD_TYPE=Release (or set" \
+           "DVS_BENCH_ALLOW_NONRELEASE=1 to tag-and-proceed)" >&2
+      exit 1
+    fi
+    echo "bench_snapshot.sh: WARNING: snapshotting a '$BUILD_TYPE' build —" \
+         "numbers are not comparable to Release snapshots" >&2
+    ;;
+esac
+BENCH_CONTEXT="--benchmark_context=build_type=${BUILD_TYPE}"
+
 cmake --build build --target bench_explorer bench_micro bench_stack model_checker >/dev/null
 
 ./build/bench/bench_explorer \
+  "${BENCH_CONTEXT}" \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_explorer.json
 ./build/bench/bench_micro \
+  "${BENCH_CONTEXT}" \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_micro.json
 # Full-stack throughput with the hot-path mode axis (eager retx baseline /
@@ -28,6 +53,7 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
 # busy machine is noisy at these run lengths; prefer comparing the
 # "delivered" labels (deterministic) and treat time ratios as indicative.
 ./build/bench/bench_stack \
+  "${BENCH_CONTEXT}" \
   --benchmark_filter='BM_Stack' \
   --benchmark_min_time="${STACK_MIN_TIME}" \
   --benchmark_format=json >BENCH_stack.json
@@ -37,6 +63,7 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
 # (recoveries, recovery p50, WAL bytes, deliveries) are the review surface;
 # wall-clock ratios are indicative only.
 ./build/bench/bench_stack \
+  "${BENCH_CONTEXT}" \
   --benchmark_filter='BM_StackRestart' \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_recovery.json

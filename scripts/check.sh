@@ -60,7 +60,18 @@ ctest --test-dir build-asan -R 'WalFormatTest|WalFuzzTest|StableStoreTest|LayerJ
 # genuine crash-restart plus scripted kRestart events, oracles online.
 ./build-asan/examples/model_checker --chaos --smoke --restart --jobs 2
 
-echo "== TSan build + parallel tests =="
+echo "== perf gate (ASan) =="
+# The allocation-free hot path and watermark stability suites under ASan:
+# the arena/ring/pool containers hand out recycled storage, which is
+# exactly where a stale handle, a wrapped index, or a use-after-release
+# would hide. (The exact-zero allocation assertion self-relaxes under
+# sanitizers — instrumentation allocates; the plain build above enforces
+# the strict zero.)
+ctest --test-dir build-asan -L perf --output-on-failure
+# Watermark-mode chaos smoke under ASan: the piggyback fill/apply path on
+# every Data/Seq frame, oracles online. (Watermark stability is the
+# default; this pins it explicitly next to the explicit-ack runs above.)
+./build-asan/examples/model_checker --chaos --smoke --jobs 2
 # The thread sanitizer gate covers the multi-threaded subsystem: the seed
 # sweeps, the sharded parallel BFS, and the thread pool itself.
 configure build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -84,6 +95,14 @@ cmake --build build-tsan --target batch_equivalence_test
   --gtest_filter='*Parallel*:*MergesIdentically*'
 ./build-tsan/examples/model_checker --chaos --smoke --batch --jobs 4 | tee /tmp/chaos_tsan_batch_j4.txt
 ./build-tsan/examples/model_checker --chaos --smoke --batch --jobs 1 | cmp - /tmp/chaos_tsan_batch_j4.txt
+# Watermark equivalence under TSan: the watermark/ack sweeps share the
+# thread pool, and the merged verdicts + metric snapshot must not depend
+# on the worker count. alloc_free_test rides along for the recycled
+# containers under TSan's allocator.
+cmake --build build-tsan --target watermark_equivalence_test alloc_free_test
+./build-tsan/tests/watermark_equivalence_test \
+  --gtest_filter='*ParallelSweep*:*ChaosVerdictsMatchAtN3*'
+./build-tsan/tests/alloc_free_test
 # Restart differential under TSan: pause-vs-restart semantics on the same
 # seeds across worker counts, and the restart chaos report must stay
 # byte-identical at any --jobs (per-seed MemStableStores must not share).

@@ -1,0 +1,210 @@
+// Slab recycling for the wire data path.
+//
+// Every datagram used to heap-allocate its payload buffer on send (the
+// network copies the caller's bytes into the in-flight closure) and every
+// map/set node in the upper layers paid a malloc per message. The two
+// allocators here close those holes:
+//
+//  * MsgArena — a slab of recycled `Bytes` buffers addressed by small
+//    integer handles. Acquire pops a free slot (keeping its heap capacity,
+//    so copying a payload into it stops allocating once the slot has grown
+//    to the working payload size); release parks it again. The arena
+//    retains at most `max_retained` buffers' capacity: a release beyond
+//    that cap frees the slot's heap memory but keeps the slot, so bursts
+//    degrade to plain malloc/free (counted in stats().exhausted_acquires)
+//    instead of failing or growing without bound.
+//  * NodePool / PoolAllocator<T> — a size-classed free list for container
+//    nodes (std::map/std::set in the TO layer's content tables). Freed
+//    nodes return to the class's list and are handed back verbatim, so a
+//    steady-state insert/erase workload allocates only when the pool grows
+//    its high-water mark (one chunked malloc per 64 nodes). The pool is
+//    mutex-guarded: chaos sweeps run whole clusters on worker threads and
+//    every cluster shares the process-wide pool.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dvs {
+
+/// Wire byte buffer (same alias as common/serialize.h, restated here so the
+/// arena does not need the full serialization surface).
+using Bytes = std::vector<std::byte>;
+
+/// Recycled wire-payload slab. Handles are indices into a stable slot
+/// table, and references returned by at() are stable for the arena's
+/// lifetime (deque storage — growth never moves existing slots). That
+/// stability is load-bearing: a delivery reads its slot while the
+/// receiver's handlers acquire fresh slots for their own sends, and a
+/// batch flush reads frame slots while acquiring the envelope slot.
+class MsgArena {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNullHandle = ~Handle{0};
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t reuses = 0;  // acquires served from the free list
+    /// Acquires that had to grow the slab past max_retained (the burst
+    /// fallback: still served, from plain heap memory).
+    std::uint64_t exhausted_acquires = 0;
+    /// Releases that dropped the slot's buffer because the retained
+    /// capacity budget was full.
+    std::uint64_t trimmed_releases = 0;
+    std::size_t live = 0;       // currently acquired slots
+    std::size_t peak_live = 0;  // high-water mark of live
+    std::size_t slots = 0;      // total slots ever created
+  };
+
+  explicit MsgArena(std::size_t max_retained = 1024)
+      : max_retained_(max_retained == 0 ? 1 : max_retained) {}
+
+  /// Pops a recycled buffer (cleared, capacity kept) or creates a fresh
+  /// slot. Never fails: past max_retained it degrades to plain allocation.
+  [[nodiscard]] Handle acquire() {
+    ++stats_.acquires;
+    Handle h;
+    if (!free_.empty()) {
+      h = free_.back();
+      free_.pop_back();
+      slots_[h].clear();
+      ++stats_.reuses;
+    } else {
+      if (slots_.size() >= max_retained_) ++stats_.exhausted_acquires;
+      h = static_cast<Handle>(slots_.size());
+      slots_.emplace_back();
+      stats_.slots = slots_.size();
+    }
+    ++stats_.live;
+    stats_.peak_live = std::max(stats_.peak_live, stats_.live);
+    return h;
+  }
+
+  [[nodiscard]] Bytes& at(Handle h) { return slots_[h]; }
+  [[nodiscard]] const Bytes& at(Handle h) const { return slots_[h]; }
+
+  /// Parks the slot for reuse. Beyond the retained-capacity budget the
+  /// slot's heap buffer is freed (burst memory is returned), but the slot
+  /// itself stays on the free list.
+  void release(Handle h) {
+    --stats_.live;
+    if (free_.size() >= max_retained_) {
+      Bytes().swap(slots_[h]);
+      ++stats_.trimmed_releases;
+    }
+    free_.push_back(h);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t max_retained() const { return max_retained_; }
+
+ private:
+  std::size_t max_retained_;
+  std::deque<Bytes> slots_;  // deque: references survive growth
+  std::vector<Handle> free_;
+  Stats stats_;
+};
+
+/// Process-wide size-classed node pool. Classes are 16-byte granules up to
+/// 512 bytes; larger requests pass through to operator new. Chunks are
+/// never returned to the OS — the pool's footprint is the high-water mark
+/// of simultaneously live nodes, which for the per-view container churn it
+/// backs is small and bounded.
+class NodePool {
+ public:
+  static NodePool& global() {
+    static NodePool pool;
+    return pool;
+  }
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= kClasses) return ::operator new(bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    FreeNode*& head = free_[cls];
+    if (head == nullptr) refill(cls);
+    FreeNode* node = head;
+    head = node->next;
+    return node;
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = size_class(bytes);
+    if (cls >= kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[cls];
+    free_[cls] = node;
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kGranule = 16;
+  static constexpr std::size_t kClasses = 32;  // up to 512 bytes
+  static constexpr std::size_t kChunkNodes = 64;
+
+  static std::size_t size_class(std::size_t bytes) {
+    return (bytes + kGranule - 1) / kGranule;  // class i serves i*16 bytes
+  }
+
+  void refill(std::size_t cls) {
+    const std::size_t node_bytes = cls * kGranule;
+    auto* chunk =
+        static_cast<std::byte*>(::operator new(node_bytes * kChunkNodes));
+    chunks_.push_back(chunk);
+    for (std::size_t i = 0; i < kChunkNodes; ++i) {
+      auto* node = reinterpret_cast<FreeNode*>(chunk + i * node_bytes);
+      node->next = free_[cls];
+      free_[cls] = node;
+    }
+  }
+
+  NodePool() = default;
+  ~NodePool() {
+    for (std::byte* c : chunks_) ::operator delete(c);
+  }
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  std::mutex mu_;
+  FreeNode* free_[kClasses] = {};
+  std::vector<std::byte*> chunks_;
+};
+
+/// std-compatible allocator backed by NodePool::global(). Containers using
+/// it recycle their nodes through the pool: steady-state insert/erase
+/// cycles stop hitting operator new once the pool is warm.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-*)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(NodePool::global().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    NodePool::global().deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace dvs

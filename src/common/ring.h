@@ -1,0 +1,293 @@
+// Allocation-free queue containers for the steady-state delivery path.
+//
+// The distributed stack's hot loops used std::deque/std::map for the
+// per-view queues (send backlogs, reorder buffers, issued-SEQ logs). Those
+// containers allocate a node or block per element, so every delivered
+// message paid several mallocs even in a stable view. The two containers
+// here keep their storage across pushes and pops (the ddprof
+// producer_linearizer idiom: a power-of-two circular slot array indexed by
+// a monotone counter), so once a run reaches its high-water mark the queues
+// recycle slots and the data path stops allocating entirely.
+//
+//  * RingBuffer<T>  — a deque replacement: contiguous FIFO with O(1)
+//    push_back/pop_front, relative operator[] and an *absolute* index view
+//    (base() = count of elements ever popped), so logs that used to be
+//    append-only vectors can garbage-collect their prefix without
+//    renumbering (`log.at_abs(n)` keeps meaning "the n-th element ever
+//    pushed").
+//  * SeqWindow<V>   — a map<uint64_t, V> replacement for sequence-number
+//    keyed windows (reorder buffers, issued-SEQ retransmit logs): open
+//    addressing by `key & (capacity-1)` with per-slot key tags. Keys live
+//    in a bounded moving window in practice, so collisions only occur when
+//    the window outgrows the table, which doubles. Popped slots keep their
+//    value's heap capacity (payload buffers are recycled on reuse).
+//
+// Both grow (double) when full — "fixed-capacity" is a steady-state
+// property, not a hard limit, so correctness never depends on sizing.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace dvs {
+
+/// Growable circular FIFO with stable absolute indexing. Requires T to be
+/// default-constructible and assignable (slots are recycled by assignment,
+/// which lets payload heap capacity survive pop/push cycles).
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Absolute index of the front element == number of elements ever popped
+  /// (until clear(), which rewinds it to 0).
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  /// Absolute index one past the back element.
+  [[nodiscard]] std::uint64_t end_index() const { return base_ + size_; }
+
+  void push_back(const T& v) { slot_for_push() = v; }
+  void push_back(T&& v) { slot_for_push() = std::move(v); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    T& slot = slot_for_push();
+    slot = T(std::forward<Args>(args)...);
+    return slot;
+  }
+
+  /// Appends one element and returns the slot *without* clearing it: the
+  /// caller assigns over the recycled previous content, so payload heap
+  /// capacity (strings, vectors) survives pop/push cycles.
+  T& append_slot() { return slot_for_push(); }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = next(head_);
+    --size_;
+    ++base_;
+  }
+
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] const T& front() const { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Relative indexing: [0, size()).
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask()];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) & mask()];
+  }
+
+  /// Absolute indexing: [base(), end_index()). The n-th element ever pushed
+  /// keeps index n across pop_front garbage collection.
+  [[nodiscard]] T& at_abs(std::uint64_t n) {
+    assert(n >= base_);
+    return (*this)[static_cast<std::size_t>(n - base_)];
+  }
+  [[nodiscard]] const T& at_abs(std::uint64_t n) const {
+    assert(n >= base_);
+    return (*this)[static_cast<std::size_t>(n - base_)];
+  }
+
+  /// Empties the queue and rewinds base() to 0. Capacity (and the heap
+  /// buffers held by the parked slots) is retained for reuse.
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    base_ = 0;
+  }
+
+  /// Forward const iteration (range-for over front..back).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    const_iterator() = default;
+    const_iterator(const RingBuffer* rb, std::size_t i) : rb_(rb), i_(i) {}
+    reference operator*() const { return (*rb_)[i_]; }
+    pointer operator->() const { return &(*rb_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++i_;
+      return old;
+    }
+    friend bool operator==(const const_iterator&, const const_iterator&) =
+        default;
+
+   private:
+    const RingBuffer* rb_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size_}; }
+
+  friend bool operator==(const RingBuffer& a, const RingBuffer& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::size_t mask() const { return slots_.size() - 1; }
+  [[nodiscard]] std::size_t next(std::size_t i) const {
+    return (i + 1) & mask();
+  }
+
+  T& slot_for_push() {
+    if (size_ == slots_.size()) grow();
+    T& slot = slots_[(head_ + size_) & mask()];
+    ++size_;
+    return slot;
+  }
+
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<T> bigger(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move((*this)[i]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // power-of-two capacity (or empty)
+  std::size_t head_ = 0;  // slot index of the front element
+  std::size_t size_ = 0;
+  std::uint64_t base_ = 0;  // absolute index of the front element
+};
+
+/// Sparse uint64-keyed window map (reorder buffers, retransmit logs):
+/// open-addressed circular table with per-slot key tags, no probing — keys
+/// are sequence numbers in a bounded moving window, so `key mod capacity`
+/// collides only when the live window outgrows the table (which doubles).
+/// Erased slots keep their value's heap capacity for recycling.
+template <typename V>
+class SeqWindow {
+ public:
+  SeqWindow() = default;
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Highest key ever inserted since the last clear() (0 when none); not
+  /// lowered by erase — callers use it as "nothing above k was ever issued".
+  [[nodiscard]] std::uint64_t hi() const { return hi_; }
+
+  [[nodiscard]] bool contains(std::uint64_t k) const {
+    return !slots_.empty() && slots_[slot(k)].occupied &&
+           slots_[slot(k)].key == k;
+  }
+
+  [[nodiscard]] V* find(std::uint64_t k) {
+    if (!contains(k)) return nullptr;
+    return &slots_[slot(k)].value;
+  }
+  [[nodiscard]] const V* find(std::uint64_t k) const {
+    if (!contains(k)) return nullptr;
+    return &slots_[slot(k)].value;
+  }
+
+  /// Inserts key `k` (must not be present) and returns the slot's recycled
+  /// value for the caller to assign into.
+  V& insert(std::uint64_t k) {
+    assert(!contains(k));
+    if (slots_.empty()) rehash(16);
+    while (slots_[slot(k)].occupied) rehash(slots_.size() * 2);
+    Slot& s = slots_[slot(k)];
+    s.occupied = true;
+    s.key = k;
+    ++count_;
+    if (count_ == 1 || k < lo_) lo_ = k;
+    if (k > hi_) hi_ = k;
+    return s.value;
+  }
+
+  /// Erases key `k` if present; the value's heap capacity is retained in
+  /// the slot for recycling.
+  void erase(std::uint64_t k) {
+    if (!contains(k)) return;
+    slots_[slot(k)].occupied = false;
+    --count_;
+  }
+
+  /// Erases every key < k (prefix garbage collection). Cost is bounded by
+  /// the window span, not the table size.
+  void erase_below(std::uint64_t k) {
+    for (std::uint64_t x = lo_; x < k && count_ > 0; ++x) erase(x);
+    if (k > lo_) lo_ = k;
+  }
+
+  /// Empties the window. Slot values (and their heap capacity) survive.
+  void clear() {
+    for (Slot& s : slots_) s.occupied = false;
+    count_ = 0;
+    lo_ = 0;
+    hi_ = 0;
+  }
+
+ private:
+  struct Slot {
+    V value{};
+    std::uint64_t key = 0;
+    bool occupied = false;
+  };
+
+  [[nodiscard]] std::size_t slot(std::uint64_t k) const {
+    return static_cast<std::size_t>(k & (slots_.size() - 1));
+  }
+
+  void rehash(std::size_t min_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    // A power-of-two capacity strictly greater than the live key span makes
+    // every live residue distinct (two keys collide iff their difference is
+    // a multiple of the capacity).
+    std::uint64_t min_k = 0;
+    std::uint64_t max_k = 0;
+    bool any = false;
+    for (const Slot& s : old) {
+      if (!s.occupied) continue;
+      min_k = any ? std::min(min_k, s.key) : s.key;
+      max_k = any ? std::max(max_k, s.key) : s.key;
+      any = true;
+    }
+    std::size_t cap = min_cap < 16 ? 16 : min_cap;
+    while (any && cap <= max_k - min_k) cap *= 2;
+    slots_.assign(cap, Slot{});
+    for (Slot& s : old) {
+      if (!s.occupied) continue;
+      Slot& fresh = slots_[slot(s.key)];
+      assert(!fresh.occupied);
+      fresh.value = std::move(s.value);
+      fresh.key = s.key;
+      fresh.occupied = true;
+    }
+  }
+
+  std::vector<Slot> slots_;  // power-of-two capacity (or empty)
+  std::size_t count_ = 0;
+  std::uint64_t lo_ = 0;  // lower bound on live keys (exact after insert)
+  std::uint64_t hi_ = 0;  // highest key ever inserted
+};
+
+}  // namespace dvs

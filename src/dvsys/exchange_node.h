@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "common/ring.h"
 #include "dvsys/dvs_node.h"
 #include "storage/wal.h"
 
@@ -163,9 +163,9 @@ class ExchangeDvsNode {
   std::map<ProcessId, std::map<ViewId, std::string>> peer_blobs_;
   // Deliveries that raced the exchange: replayed right after establishment
   // (the same deferral discipline the corrected Figure 5 uses).
-  std::deque<std::pair<ClientMsg, ProcessId>> deferred_;
+  RingBuffer<std::pair<ClientMsg, ProcessId>> deferred_;
   // Client sends issued before establishment, flushed on establishment.
-  std::deque<ClientMsg> outbox_;
+  RingBuffer<ClientMsg> outbox_;
   ExchangeNodeStats stats_;
   std::optional<storage::Wal> wal_;  // durable-state journal, when attached
 };

@@ -7,8 +7,11 @@
 namespace dvs::impl {
 namespace {
 
-/// purge: client messages of a mixed queue, in order.
-std::vector<ClientMsg> purge(const std::deque<Msg>& msgs) {
+/// purge: client messages of a mixed queue, in order. Generic over the
+/// queue type: the automaton's per-view queues are RingBuffers, the VS
+/// spec's pending queues are still deques.
+template <typename Queue>
+std::vector<ClientMsg> purge(const Queue& msgs) {
   std::vector<ClientMsg> out;
   for (const Msg& m : msgs) {
     if (is_client(m)) out.push_back(to_client(m));

@@ -6,8 +6,8 @@
 
 namespace dvs::impl {
 namespace {
-const std::deque<Msg> kEmptyMsgs;
-const std::deque<std::pair<ClientMsg, ProcessId>> kEmptyClientMsgs;
+const RingBuffer<Msg> kEmptyMsgs;
+const RingBuffer<std::pair<ClientMsg, ProcessId>> kEmptyClientMsgs;
 }  // namespace
 
 VsToDvs::VsToDvs(ProcessId self, const View& v0, VsToDvsOptions options)
@@ -309,18 +309,18 @@ bool VsToDvs::rcvd_rgst(const ViewId& g, ProcessId q) const {
   return rcvd_rgst_.contains({g, q});
 }
 
-const std::deque<Msg>& VsToDvs::msgs_to_vs(const ViewId& g) const {
+const RingBuffer<Msg>& VsToDvs::msgs_to_vs(const ViewId& g) const {
   auto it = msgs_to_vs_.find(g);
   return it == msgs_to_vs_.end() ? kEmptyMsgs : it->second;
 }
 
-const std::deque<std::pair<ClientMsg, ProcessId>>& VsToDvs::msgs_from_vs(
+const RingBuffer<std::pair<ClientMsg, ProcessId>>& VsToDvs::msgs_from_vs(
     const ViewId& g) const {
   auto it = msgs_from_vs_.find(g);
   return it == msgs_from_vs_.end() ? kEmptyClientMsgs : it->second;
 }
 
-const std::deque<std::pair<ClientMsg, ProcessId>>& VsToDvs::safe_from_vs(
+const RingBuffer<std::pair<ClientMsg, ProcessId>>& VsToDvs::safe_from_vs(
     const ViewId& g) const {
   auto it = safe_from_vs_.find(g);
   return it == safe_from_vs_.end() ? kEmptyClientMsgs : it->second;

@@ -14,7 +14,6 @@
 // invariant checkers (Invariants 5.1–5.6).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -23,6 +22,7 @@
 #include <vector>
 
 #include "common/messages.h"
+#include "common/ring.h"
 #include "common/types.h"
 #include "common/view.h"
 
@@ -205,10 +205,10 @@ class VsToDvs {
   [[nodiscard]] std::optional<InfoRecord> info_rcvd(ProcessId q,
                                                     const ViewId& g) const;
   [[nodiscard]] bool rcvd_rgst(const ViewId& g, ProcessId q) const;
-  [[nodiscard]] const std::deque<Msg>& msgs_to_vs(const ViewId& g) const;
-  [[nodiscard]] const std::deque<std::pair<ClientMsg, ProcessId>>&
+  [[nodiscard]] const RingBuffer<Msg>& msgs_to_vs(const ViewId& g) const;
+  [[nodiscard]] const RingBuffer<std::pair<ClientMsg, ProcessId>>&
   msgs_from_vs(const ViewId& g) const;
-  [[nodiscard]] const std::deque<std::pair<ClientMsg, ProcessId>>&
+  [[nodiscard]] const RingBuffer<std::pair<ClientMsg, ProcessId>>&
   safe_from_vs(const ViewId& g) const;
 
  private:
@@ -225,9 +225,12 @@ class VsToDvs {
   std::map<ViewId, View> attempted_;
   std::map<std::pair<ViewId, ProcessId>, InfoRecord> info_rcvd_;
   std::set<std::pair<ViewId, ProcessId>> rcvd_rgst_;
-  std::map<ViewId, std::deque<Msg>> msgs_to_vs_;
-  std::map<ViewId, std::deque<std::pair<ClientMsg, ProcessId>>> msgs_from_vs_;
-  std::map<ViewId, std::deque<std::pair<ClientMsg, ProcessId>>> safe_from_vs_;
+  // Per-view queues are ring buffers (common/ring.h): in a stable view the
+  // automaton pushes and pops the same few queues forever, and the rings
+  // recycle their slots instead of allocating a deque block per message.
+  std::map<ViewId, RingBuffer<Msg>> msgs_to_vs_;
+  std::map<ViewId, RingBuffer<std::pair<ClientMsg, ProcessId>>> msgs_from_vs_;
+  std::map<ViewId, RingBuffer<std::pair<ClientMsg, ProcessId>>> safe_from_vs_;
   std::set<ViewId> reg_;  // reg[g] booleans, stored as the true-set
   std::map<ViewId, InfoRecord> info_sent_;
 

@@ -13,7 +13,8 @@ SimNetwork::SimNetwork(sim::Simulator& sim, Rng& rng, NetConfig config,
     : sim_(sim),
       rng_(rng),
       config_(config),
-      processes_(std::move(processes)) {}
+      processes_(std::move(processes)),
+      arena_(config.arena_max_retained) {}
 
 void SimNetwork::attach(ProcessId p, Handler handler) {
   if (!processes_.contains(p)) {
@@ -38,7 +39,7 @@ bool SimNetwork::connected(ProcessId a, ProcessId b) const {
 }
 
 void SimNetwork::schedule_delivery(ProcessId from, ProcessId to,
-                                   Bytes payload) {
+                                   const Bytes& payload) {
   sim::Time delay = config_.base_delay;
   if (config_.jitter_mean_us > 0.0) {
     delay += static_cast<sim::Time>(rng_.exponential(config_.jitter_mean_us));
@@ -62,43 +63,67 @@ void SimNetwork::schedule_delivery(ProcessId from, ProcessId to,
   }
   ++stats_.datagrams;
   stats_.wire_bytes += payload.size();
-  sim_.schedule_at(at, [this, from, to, payload = std::move(payload)] {
-    // Re-check connectivity at delivery: partitions and pauses that
-    // happened in flight lose the message.
-    if (!connected(from, to)) {
-      ++stats_.dropped_partition;
-      return;
-    }
-    auto it = handlers_.find(to);
-    if (it == handlers_.end()) return;
-    // Coalesced flushes travel as BATCH envelopes; single-message flushes
-    // (and all unbatched traffic) travel as the raw frame. The tag byte
-    // (outside the vsys wire Tag range) disambiguates on delivery.
-    if (!config_.batching || !looks_like_batch(payload)) {
-      ++stats_.delivered;
-      it->second(from, payload);
-      return;
-    }
-    // Salvage rather than strict-decode so an envelope truncated in flight
-    // still yields its intact prefix frames; the damaged tail arrives as
-    // one corrupt frame the receiver rejects like any other corrupt
-    // datagram. Frames are handed up through one reused scratch buffer —
-    // handlers decode synchronously and must not retain the reference.
-    const bool clean = visit_batch_frames(
-        payload, [this, from, &it](const std::byte* p, std::size_t len) {
-          frame_scratch_.assign(p, p + len);
-          ++stats_.delivered;
-          it->second(from, frame_scratch_);
-        });
-    if (!clean) ++stats_.batch_salvaged;
-  });
+  if (config_.payload_arena) {
+    // The in-flight bytes ride in a recycled arena slot; the closure
+    // carries only the handle (fits the simulator's inline callback
+    // storage), so a steady-state send performs no heap allocation.
+    const MsgArena::Handle h = arena_.acquire();
+    arena_.at(h) = payload;
+    sim_.schedule_at(at, [this, from, to, h] {
+      deliver_payload(from, to, arena_.at(h));
+      arena_.release(h);
+    });
+  } else {
+    sim_.schedule_at(at, [this, from, to, payload] {
+      deliver_payload(from, to, payload);
+    });
+  }
 }
 
-void SimNetwork::enqueue_batch(ProcessId from, ProcessId to, Bytes payload) {
+void SimNetwork::deliver_payload(ProcessId from, ProcessId to,
+                                 const Bytes& payload) {
+  // Re-check connectivity at delivery: partitions and pauses that
+  // happened in flight lose the message.
+  if (!connected(from, to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  auto it = handlers_.find(to);
+  if (it == handlers_.end()) return;
+  // Coalesced flushes travel as BATCH envelopes; single-message flushes
+  // (and all unbatched traffic) travel as the raw frame. The tag byte
+  // (outside the vsys wire Tag range) disambiguates on delivery.
+  if (!config_.batching || !looks_like_batch(payload)) {
+    ++stats_.delivered;
+    it->second(from, payload);
+    return;
+  }
+  // Salvage rather than strict-decode so an envelope truncated in flight
+  // still yields its intact prefix frames; the damaged tail arrives as
+  // one corrupt frame the receiver rejects like any other corrupt
+  // datagram. Frames are handed up through one reused scratch buffer —
+  // handlers decode synchronously and must not retain the reference.
+  const bool clean = visit_batch_frames(
+      payload, [this, from, &it](const std::byte* p, std::size_t len) {
+        frame_scratch_.assign(p, p + len);
+        ++stats_.delivered;
+        it->second(from, frame_scratch_);
+      });
+  if (!clean) ++stats_.batch_salvaged;
+}
+
+void SimNetwork::enqueue_batch(ProcessId from, ProcessId to,
+                               const Bytes& payload) {
   PendingBatch& batch = pending_[link_key(from, to)];
   batch.bytes += payload.size();
-  batch.frames.push_back(std::move(payload));
-  if (batch.frames.size() >= config_.batch_max_msgs ||
+  if (config_.payload_arena) {
+    const MsgArena::Handle h = arena_.acquire();
+    arena_.at(h) = payload;
+    batch.handles.push_back(h);
+  } else {
+    batch.frames.push_back(payload);
+  }
+  if (batch.frame_count() >= config_.batch_max_msgs ||
       batch.bytes >= config_.batch_max_bytes) {
     ++stats_.batch_cap_flushes;
     flush_batch(from, to);
@@ -137,17 +162,53 @@ void SimNetwork::flush_batch(ProcessId from, ProcessId to) {
   batch.flush_scheduled = false;
   // A cap flush may already have emptied this batch; the sweep (or a
   // window event) then finds nothing to do.
-  if (batch.frames.empty()) return;
-  if (batch_fill_ != nullptr) batch_fill_->observe(batch.frames.size());
-  // A flush that coalesced nothing goes out as the raw frame — the
-  // envelope framing only pays for itself when it carries several
-  // messages, and the receiver disambiguates by the tag byte.
+  const std::size_t n = batch.frame_count();
+  if (n == 0) return;
+  if (batch_fill_ != nullptr) batch_fill_->observe(n);
+  if (config_.payload_arena) {
+    // A flush that coalesced nothing goes out as the raw frame — the
+    // envelope framing only pays for itself when it carries several
+    // messages, and the receiver disambiguates by the tag byte. Multi-frame
+    // envelopes are encoded into one reused Writer straight from the arena
+    // slots, so flushing allocates nothing in steady state.
+    const Bytes* datagram;
+    if (n == 1) {
+      datagram = &arena_.at(batch.handles.front());
+    } else {
+      ++stats_.batches;
+      stats_.batched_msgs += n;
+      batch_writer_.clear();
+      batch_writer_.u8(kBatchTag);
+      batch_writer_.varuint(n);
+      for (MsgArena::Handle h : batch.handles) {
+        batch_writer_.bytes_field(arena_.at(h));
+      }
+      datagram = &batch_writer_.buffer();
+    }
+    // The in-flight corruption fault applies to the datagram actually on
+    // the wire: one truncation draw per datagram, potentially damaging the
+    // tail of a whole batch. The mutation lands in a scratch copy so the
+    // writer / arena slot stays intact.
+    if (config_.truncate_probability > 0.0 && !datagram->empty() &&
+        rng_.chance(config_.truncate_probability)) {
+      const auto keep =
+          static_cast<std::ptrdiff_t>(rng_.below(datagram->size()));
+      trunc_scratch_.assign(datagram->begin(), datagram->begin() + keep);
+      datagram = &trunc_scratch_;
+      ++stats_.truncated;
+    }
+    schedule_delivery(from, to, *datagram);
+    for (MsgArena::Handle h : batch.handles) arena_.release(h);
+    batch.handles.clear();  // keeps the vector's capacity for the next batch
+    batch.bytes = 0;
+    return;
+  }
   Bytes datagram;
-  if (batch.frames.size() == 1) {
+  if (n == 1) {
     datagram = std::move(batch.frames.front());
   } else {
     ++stats_.batches;
-    stats_.batched_msgs += batch.frames.size();
+    stats_.batched_msgs += n;
     datagram = encode_batch(batch.frames);
   }
   batch.frames.clear();  // keeps the vector's capacity for the next batch
@@ -160,10 +221,10 @@ void SimNetwork::flush_batch(ProcessId from, ProcessId to) {
     datagram.resize(rng_.below(datagram.size()));
     ++stats_.truncated;
   }
-  schedule_delivery(from, to, std::move(datagram));
+  schedule_delivery(from, to, datagram);
 }
 
-void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
+void SimNetwork::send(ProcessId from, ProcessId to, const Bytes& payload) {
   ++stats_.sent;
   stats_.bytes_sent += payload.size();
   if (paused_.contains(from) || paused_.contains(to)) {
@@ -178,12 +239,16 @@ void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
     ++stats_.dropped_random;
     return;
   }
+  const Bytes* wire = &payload;
   if (!config_.batching && config_.truncate_probability > 0.0 &&
       !payload.empty() && rng_.chance(config_.truncate_probability)) {
     // Corrupt rather than drop: deliver a proper prefix (possibly empty).
     // When batching, the truncation draw happens per envelope at flush
-    // instead (flush_batch).
-    payload.resize(rng_.below(payload.size()));
+    // instead (flush_batch). The caller's buffer is const, so the mutated
+    // copy lands in reused scratch.
+    const auto keep = static_cast<std::ptrdiff_t>(rng_.below(payload.size()));
+    trunc_scratch_.assign(payload.begin(), payload.begin() + keep);
+    wire = &trunc_scratch_;
     ++stats_.truncated;
   }
   // Extra copies first decide how many, then every copy (original included)
@@ -198,19 +263,19 @@ void SimNetwork::send(ProcessId from, ProcessId to, Bytes payload) {
   stats_.duplicated += extra;
   if (config_.batching) {
     for (std::size_t copy = 0; copy < extra; ++copy) {
-      enqueue_batch(from, to, payload);
+      enqueue_batch(from, to, *wire);
     }
-    enqueue_batch(from, to, std::move(payload));
+    enqueue_batch(from, to, *wire);
     return;
   }
   for (std::size_t copy = 0; copy < extra; ++copy) {
-    schedule_delivery(from, to, payload);
+    schedule_delivery(from, to, *wire);
   }
-  schedule_delivery(from, to, std::move(payload));
+  schedule_delivery(from, to, *wire);
 }
 
 void SimNetwork::multicast(ProcessId from, const ProcessSet& targets,
-                           Bytes payload) {
+                           const Bytes& payload) {
   for (ProcessId to : targets) {
     send(from, to, payload);
   }
@@ -249,6 +314,15 @@ void SimNetwork::bind_metrics(obs::MetricsRegistry& metrics) {
     metrics.counter("net.batched_msgs").set(stats_.batched_msgs);
     metrics.counter("net.batch_cap_flushes").set(stats_.batch_cap_flushes);
     metrics.counter("net.batch_salvaged").set(stats_.batch_salvaged);
+    const MsgArena::Stats& a = arena_.stats();
+    metrics.counter("arena.acquires").set(a.acquires);
+    metrics.counter("arena.reuses").set(a.reuses);
+    metrics.counter("arena.exhausted_acquires").set(a.exhausted_acquires);
+    metrics.counter("arena.trimmed_releases").set(a.trimmed_releases);
+    metrics.gauge("arena.live").set(static_cast<std::int64_t>(a.live));
+    metrics.gauge("arena.peak_live").set(
+        static_cast<std::int64_t>(a.peak_live));
+    metrics.gauge("arena.slots").set(static_cast<std::int64_t>(a.slots));
     metrics.gauge("net.paused").set(
         static_cast<std::int64_t>(paused_.size()));
     int groups = 0;

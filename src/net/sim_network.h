@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "common/types.h"
@@ -86,6 +87,17 @@ struct NetConfig {
   /// A batch reaching either cap is flushed immediately.
   std::size_t batch_max_msgs = 16;
   std::size_t batch_max_bytes = 8192;
+
+  // ----- payload slab --------------------------------------------------------
+  /// Carry in-flight payloads in recycled MsgArena slots instead of a fresh
+  /// heap buffer per send. The observable behaviour is identical (the
+  /// receiver sees the same bytes); the win is that steady-state traffic
+  /// stops allocating. Off = the legacy copy-per-send path (the bench's
+  /// heap axis).
+  bool payload_arena = true;
+  /// Buffer capacity the arena may retain across releases; bursts beyond it
+  /// degrade to plain malloc/free (counted, never refused).
+  std::size_t arena_max_retained = 1024;
 };
 
 struct NetStats {
@@ -128,11 +140,15 @@ class SimNetwork {
   /// Registers the receive handler for `p`. Must be called before traffic.
   void attach(ProcessId p, Handler handler);
 
-  /// Sends a datagram; self-sends are delivered (with delay) too.
-  void send(ProcessId from, ProcessId to, Bytes payload);
+  /// Sends a datagram; self-sends are delivered (with delay) too. The bytes
+  /// are copied out (into a recycled arena slot by default), so the caller
+  /// may reuse its buffer immediately — the broadcast hot paths hand the
+  /// same scratch encoding to every destination.
+  void send(ProcessId from, ProcessId to, const Bytes& payload);
 
   /// Sends to every process in `targets` (including `from` if present).
-  void multicast(ProcessId from, const ProcessSet& targets, Bytes payload);
+  void multicast(ProcessId from, const ProcessSet& targets,
+                 const Bytes& payload);
 
   // ----- fault injection -----------------------------------------------------
 
@@ -170,6 +186,8 @@ class SimNetwork {
   [[nodiscard]] const NetConfig& config() const { return config_; }
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   [[nodiscard]] const ProcessSet& processes() const { return processes_; }
+  /// The in-flight payload slab (recycling stats; see common/arena.h).
+  [[nodiscard]] const MsgArena& arena() const { return arena_; }
 
   /// Registers a collector that publishes NetStats as net.* counters plus
   /// net.paused / net.partition_groups gauges. The network must outlive the
@@ -178,8 +196,12 @@ class SimNetwork {
 
  private:
   [[nodiscard]] int group_of(ProcessId p) const;
-  void schedule_delivery(ProcessId from, ProcessId to, Bytes payload);
-  void enqueue_batch(ProcessId from, ProcessId to, Bytes payload);
+  void schedule_delivery(ProcessId from, ProcessId to, const Bytes& payload);
+  /// The delivery-time half of schedule_delivery: connectivity re-check,
+  /// handler dispatch, envelope salvage. Shared by the arena-handle and
+  /// legacy heap closures.
+  void deliver_payload(ProcessId from, ProcessId to, const Bytes& payload);
+  void enqueue_batch(ProcessId from, ProcessId to, const Bytes& payload);
   void flush_batch(ProcessId from, ProcessId to);
   void flush_all_batches();
 
@@ -203,9 +225,17 @@ class SimNetwork {
   // packed link id (hot path: one hash lookup per logical send); flushed
   // in-place so the frames vector keeps its capacity across ticks.
   struct PendingBatch {
+    // Exactly one of the two frame stores is used, per config_.payload_arena:
+    // arena handles (recycled slots, no per-frame allocation) or owned
+    // buffers (the legacy heap axis).
+    std::vector<MsgArena::Handle> handles;
     std::vector<Bytes> frames;
     std::size_t bytes = 0;
     bool flush_scheduled = false;
+
+    [[nodiscard]] std::size_t frame_count() const {
+      return handles.size() + frames.size();
+    }
   };
   std::unordered_map<std::uint64_t, PendingBatch> pending_;
   // With batch_window == 0 every dirty link is flushed by one end-of-instant
@@ -214,9 +244,16 @@ class SimNetwork {
   std::vector<std::pair<ProcessId, ProcessId>> dirty_;
   bool sweep_scheduled_ = false;
   NetStats stats_;
+  // Recycled in-flight payload slab (and the batch frames' store when
+  // payload_arena is on).
+  MsgArena arena_;
   // Reused buffer for handing envelope frames to handlers without a fresh
   // allocation per frame (handlers decode synchronously).
   Bytes frame_scratch_;
+  // Reused encoder for multi-frame envelopes (arena mode) and scratch for
+  // the rare in-flight truncation mutation.
+  Writer batch_writer_;
+  Bytes trunc_scratch_;
   // Batch fill (frames per flush, single-frame flushes included), published
   // when batching is on.
   obs::Histogram* batch_fill_ = nullptr;

@@ -230,7 +230,8 @@ void DvsToTo::set_durability_hooks(ToDurabilityHooks hooks) {
 }
 
 void DvsToTo::restore(const ToDurableState& recovered) {
-  content_ = recovered.content;
+  content_.clear();
+  content_.insert(recovered.content.begin(), recovered.content.end());
   order_ = recovered.order;
   nextconfirm_ = recovered.nextconfirm;
   nextreport_ = recovered.nextreport;
@@ -256,13 +257,18 @@ void DvsToTo::restore(const ToDurableState& recovered) {
 }
 
 ToDurableState DvsToTo::durable_state() const {
-  return ToDurableState{content_, order_, nextconfirm_, nextreport_,
-                        highprimary_};
+  ToDurableState s;
+  s.content.insert(content_.begin(), content_.end());
+  s.order = order_;
+  s.nextconfirm = nextconfirm_;
+  s.nextreport = nextreport_;
+  s.highprimary = highprimary_;
+  return s;
 }
 
 Summary DvsToTo::make_summary() const {
   Summary x;
-  x.con = content_;
+  x.con.insert(content_.begin(), content_.end());
   x.ord = order_;
   x.next = nextconfirm_;
   x.high = highprimary_;

@@ -30,19 +30,31 @@
 //     are recovered through the state exchange).
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/labels.h"
 #include "common/messages.h"
+#include "common/ring.h"
 #include "common/types.h"
 #include "common/view.h"
 
 namespace dvs::toimpl {
+
+/// Internal content/safe-label tables, backed by the process-wide node pool
+/// (common/arena.h): `content` grows by one map node per delivered message,
+/// so pooling turns the steady-state insert stream into recycled-node
+/// handouts (one chunked allocation per 64 nodes at the high-water mark).
+/// The durable snapshots (Summary, ToDurableState) keep the plain map types
+/// — conversion happens only at view changes and crash recovery.
+using PooledContentMap =
+    std::map<Label, AppMsg, std::less<Label>,
+             PoolAllocator<std::pair<const Label, AppMsg>>>;
+using PooledLabelSet = std::set<Label, std::less<Label>, PoolAllocator<Label>>;
 
 enum class Status { kNormal, kSend, kCollect };
 
@@ -173,10 +185,10 @@ class DvsToTo {
   [[nodiscard]] ProcessId self() const { return self_; }
   [[nodiscard]] const std::optional<View>& current() const { return current_; }
   [[nodiscard]] Status status() const { return status_; }
-  [[nodiscard]] const ContentMap& content() const { return content_; }
+  [[nodiscard]] const PooledContentMap& content() const { return content_; }
   [[nodiscard]] std::uint64_t nextseqno() const { return nextseqno_; }
-  [[nodiscard]] const std::deque<Label>& buffer() const { return buffer_; }
-  [[nodiscard]] const std::set<Label>& safe_labels() const {
+  [[nodiscard]] const RingBuffer<Label>& buffer() const { return buffer_; }
+  [[nodiscard]] const PooledLabelSet& safe_labels() const {
     return safe_labels_;
   }
   [[nodiscard]] const std::vector<Label>& order() const { return order_; }
@@ -190,7 +202,7 @@ class DvsToTo {
   [[nodiscard]] const std::set<ViewId>& registered() const {
     return registered_;
   }
-  [[nodiscard]] const std::deque<AppMsg>& delay() const { return delay_; }
+  [[nodiscard]] const RingBuffer<AppMsg>& delay() const { return delay_; }
   [[nodiscard]] bool established(const ViewId& g) const {
     return established_.contains(g);
   }
@@ -216,10 +228,10 @@ class DvsToTo {
 
   std::optional<View> current_;
   Status status_ = Status::kNormal;
-  ContentMap content_;
+  PooledContentMap content_;
   std::uint64_t nextseqno_ = 1;
-  std::deque<Label> buffer_;
-  std::set<Label> safe_labels_;
+  RingBuffer<Label> buffer_;
+  PooledLabelSet safe_labels_;
   std::vector<Label> order_;
   std::uint64_t nextconfirm_ = 1;
   std::uint64_t nextreport_ = 1;
@@ -227,7 +239,7 @@ class DvsToTo {
   std::map<ProcessId, Summary> gotstate_;
   ProcessSet safe_exch_;
   std::set<ViewId> registered_;
-  std::deque<AppMsg> delay_;
+  RingBuffer<AppMsg> delay_;
   std::set<ViewId> established_;
 
   // Labelled messages received during recovery, to be appended to the

@@ -60,6 +60,9 @@ ChaosStats run_chaos_seed(std::uint64_t seed, const ChaosConfig& config) {
   cc.net.reorder_window = config.reorder_window;
   cc.net.truncate_probability = config.truncate_probability;
   cc.net.batching = config.batching;
+  cc.net.payload_arena = config.payload_arena;
+  cc.vs.stability = config.watermarks ? vsys::StabilityMode::kWatermark
+                                      : vsys::StabilityMode::kExplicitAck;
   cc.record_traces = true;
   cc.conformance_oracle = true;
   cc.to_options = config.to_options;

@@ -54,6 +54,16 @@ struct ChaosConfig {
   /// sends into BATCH envelopes. Off by default — the unbatched stack stays
   /// the reference; test_batch_equivalence proves both conform.
   bool batching = false;
+  /// Stability detection inside installed views (VsConfig.stability): true
+  /// runs the SST-style watermark table, false the explicit per-message ack
+  /// protocol. On by default — watermarks are the production path;
+  /// test_watermark_equivalence proves both conform and deliver identically.
+  bool watermarks = true;
+  /// Carry in-flight payloads in the network's recycled arena slots
+  /// (NetConfig.payload_arena). Behaviour-invariant by construction (same
+  /// bytes, same RNG draw order); the knob exists so the differential suite
+  /// can pin both axes.
+  bool payload_arena = true;
   /// Client broadcasts injected at seeded times across the horizon.
   std::size_t broadcasts = 60;
   /// Run time after the final heal/resume, letting recovery complete

@@ -24,11 +24,12 @@ VsNode::VsNode(ProcessId self, std::optional<View> initial_view,
   last_heard_.assign(slots, kNeverHeard);
   last_view_of_.assign(slots, PeerReport{});
   expected_data_seq_.assign(slots, 0);
-  delivered_by_.assign(slots, 0);
+  wm_.resize(slots);
   seq_retx_.assign(slots, RetxCursor{});
   if (view_.has_value()) {
     max_epoch_ = view_->id().epoch();
     view_members_.assign(view_->set().begin(), view_->set().end());
+    reset_watermarks();
   }
 }
 
@@ -60,7 +61,12 @@ void VsNode::gpsnd(const Msg& m) {
     return;
   }
   sent_data_.push_back(m);
-  send_wire(sequencer(), Data{view_->id(), data_seq_out_++, m});
+  Data da{view_->id(), data_seq_out_++, m};
+  if (config_.stability == StabilityMode::kWatermark) {
+    da.wm_delivered = delivered_;
+    da.wm_safe = safe_emitted_;
+  }
+  send_wire(sequencer(), da);
 }
 
 ProcessSet VsNode::estimate() const {
@@ -161,6 +167,7 @@ void VsNode::on_tick() {
     hb.view = view_->id();
     hb.delivered = delivered_;
     hb.token_rotation = last_rotation_seen_;
+    hb.safe = safe_emitted_;
   }
   const Bytes& payload = encode_reused(WireMsg{hb});
   for (ProcessId q : net_.processes()) {
@@ -169,10 +176,13 @@ void VsNode::on_tick() {
   // Within-view reliability: the network may lose messages (short-lived
   // partitions). Sequencer mode: retransmit the head of my unadmitted DATA
   // stream. Both modes: each issuer resends, to every lagging member, the
-  // SEQs it issued in the window the member is missing.
+  // SEQs it issued in the window the member is missing. The lag signal is
+  // the watermark table — stalled rows (a peer whose published watermark
+  // stopped advancing, whatever the transport) trip the holdoff cursor and
+  // get the suffix re-fed, so kWatermark mode keeps explicit-ack liveness.
   if (view_.has_value()) {
     if (config_.ordering == OrderingMode::kSequencer) {
-      if (own_acked_ < sent_data_.size()) {
+      if (own_acked_ < sent_data_.end_index()) {
         // Head-of-stream DATA retransmission, gated by the holdoff: the
         // original (or previous resend) may still be in flight, so resend
         // only after holdoff ticks without admission progress.
@@ -181,8 +191,12 @@ void VsNode::on_tick() {
           data_retx_idle_ = 0;
         }
         if (++data_retx_idle_ >= config_.retransmit_holdoff_ticks) {
-          send_wire(sequencer(), Data{view_->id(), own_acked_ + 1,
-                                      sent_data_[own_acked_]});
+          Data da{view_->id(), own_acked_ + 1, sent_data_.at_abs(own_acked_)};
+          if (config_.stability == StabilityMode::kWatermark) {
+            da.wm_delivered = delivered_;
+            da.wm_safe = safe_emitted_;
+          }
+          send_wire(sequencer(), da);
           ++stats_.retransmits_sent;
           data_retx_idle_ = 0;
         } else {
@@ -198,7 +212,7 @@ void VsNode::on_tick() {
       // lossy network like everyone else's, so a dropped self-copy must be
       // retransmitted too or the issuer's delivery stream wedges forever.
       for (ProcessId q : view_members_) {
-        const std::uint64_t have = delivered_by_[ix(q)];
+        const std::uint64_t have = wm_.delivered(ix(q));
         RetxCursor& cur = seq_retx_[ix(q)];
         if (have > cur.acked) {
           // The peer advanced since the last look: restart the holdoff, the
@@ -206,7 +220,7 @@ void VsNode::on_tick() {
           cur.acked = have;
           cur.idle_ticks = 0;
         }
-        if (issued_.upper_bound(have) == issued_.end()) {
+        if (issued_.hi() <= have) {
           // The peer has everything I issued — nothing outstanding.
           cur.idle_ticks = 0;
           continue;
@@ -216,13 +230,20 @@ void VsNode::on_tick() {
           ++stats_.retransmits_skipped;
           continue;
         }
-        // Resend up to 8 of my issued SEQs above the member's position.
-        std::size_t sent = 0;
-        for (auto sit = issued_.upper_bound(have);
-             sit != issued_.end() && sent < 8 && sit->first <= have + 8;
-             ++sit, ++sent) {
-          send_wire(q, sit->second);
-          cur.sent_upto = std::max(cur.sent_upto, sit->first);
+        // Resend up to 8 of my issued SEQs above the member's position
+        // (the GC'd prefix is below every member's watermark, so the probe
+        // window only ever misses seqnos another node issued).
+        for (std::uint64_t s = have + 1; s <= have + 8; ++s) {
+          Seq* sq = issued_.find(s);
+          if (sq == nullptr) continue;
+          if (config_.stability == StabilityMode::kWatermark) {
+            // Refresh the stored piggyback: retransmits carry the issuer's
+            // current watermarks, not the ones at first issue.
+            sq->wm_delivered = delivered_;
+            sq->wm_safe = safe_emitted_;
+          }
+          send_wire(q, *sq);
+          cur.sent_upto = std::max(cur.sent_upto, s);
           ++stats_.retransmits_sent;
         }
         cur.idle_ticks = 0;
@@ -249,23 +270,36 @@ void VsNode::on_tick() {
 }
 
 void VsNode::maybe_propose() {
-  const ProcessSet est = estimate();
   // Happy state: the view matches connectivity AND every connected peer
-  // reports the same view. A lost INSTALL can leave peers behind in an
-  // older view; only a fresh proposal can unstick them.
-  if (view_.has_value() && view_->set() == est) {
-    bool peers_aligned = true;
-    for (ProcessId q : est) {
-      if (q == self_) continue;
-      const PeerReport& rec = last_view_of_[ix(q)];
-      if (rec.reported &&
-          (!rec.view.has_value() || *rec.view != view_->id())) {
-        peers_aligned = false;
+  // reports the same view. Checked without building the estimate set (this
+  // runs every tick on every node): the view matches connectivity iff each
+  // universe process's suspicion status matches its membership.
+  if (view_.has_value()) {
+    bool matches = true;
+    for (ProcessId q : net_.processes()) {
+      const bool alive = q == self_ || !suspected(q);
+      if (alive != view_->contains(q)) {
+        matches = false;
         break;
       }
     }
-    if (peers_aligned) return;
+    if (matches) {
+      bool peers_aligned = true;
+      for (ProcessId q : view_members_) {
+        if (q == self_) continue;
+        const PeerReport& rec = last_view_of_[ix(q)];
+        if (rec.reported &&
+            (!rec.view.has_value() || *rec.view != view_->id())) {
+          peers_aligned = false;
+          break;
+        }
+      }
+      if (peers_aligned) return;
+    }
   }
+  // A lost INSTALL can leave peers behind in an older view; only a fresh
+  // proposal can unstick them.
+  const ProcessSet est = estimate();
   if (est.empty() || *est.begin() != self_) return;      // not coordinator
   if (proposal_.has_value()) return;                     // already in flight
   if (sim_.now() < cooldown_until_) return;
@@ -288,20 +322,17 @@ void VsNode::handle(const Heartbeat& hb, ProcessId from) {
   rec.reported = true;
   rec.view = hb.view;
   if (view_.has_value() && hb.view.has_value() && *hb.view == view_->id()) {
-    auto& count = delivered_by_[ix(from)];
-    const std::uint64_t before = count;
-    count = std::max(count, hb.delivered);
     last_rotation_seen_ = std::max(last_rotation_seen_, hb.token_rotation);
     if (forwarded_token_.has_value() &&
         last_rotation_seen_ >= forwarded_token_->rotation) {
       forwarded_token_.reset();
     }
-    // Stability can only advance when a peer sitting at the frontier moves:
-    // counts are monotone, so a peer already above safe_emitted_ (== the
-    // stable point of the last scan) was never the binding minimum. Skipping
-    // the scan for those heartbeats takes the O(members) walk off the
-    // common no-progress path.
-    if (count != before && before <= safe_emitted_) try_emit_safe();
+    // Raise the sender's watermark rows. The table's incremental minimum
+    // makes the common no-progress heartbeat O(1): only a raise that moved
+    // the binding minimum (the frontier) can advance stability.
+    const bool advanced = wm_.raise_delivered(ix(from), hb.delivered);
+    wm_.raise_safe(ix(from), hb.safe);
+    if (advanced) try_emit_safe();
   }
 }
 
@@ -342,6 +373,12 @@ void VsNode::handle(const Install& in, ProcessId /*from*/) {
   install(in.view);
 }
 
+void VsNode::reset_watermarks() {
+  member_rows_.clear();
+  for (ProcessId q : view_members_) member_rows_.push_back(ix(q));
+  wm_.reset(member_rows_);
+}
+
 void VsNode::install(const View& v) {
   view_ = v;
   view_members_.assign(v.set().begin(), v.set().end());
@@ -367,7 +404,7 @@ void VsNode::install(const View& v) {
   seq_log_.clear();
   delivered_ = 0;
   safe_emitted_ = 0;
-  std::fill(delivered_by_.begin(), delivered_by_.end(), 0);
+  reset_watermarks();
   std::fill(seq_retx_.begin(), seq_retx_.end(), RetxCursor{});
   data_retx_acked_ = 0;
   data_retx_idle_ = 0;
@@ -380,10 +417,25 @@ void VsNode::install(const View& v) {
   if (callbacks_.on_newview) callbacks_.on_newview(v);
 }
 
+void VsNode::apply_watermarks(ProcessId from, const ViewId& view,
+                              std::uint64_t delivered, std::uint64_t safe) {
+  if (config_.stability != StabilityMode::kWatermark) return;
+  if (!view_.has_value() || view != view_->id()) return;
+  const std::size_t row = ix(from);
+  const std::uint64_t before = wm_.delivered(row);
+  const bool advanced = wm_.raise_delivered(row, delivered);
+  wm_.raise_safe(row, safe);
+  if (wm_.delivered(row) != before) ++stats_.watermark_updates;
+  if (advanced) try_emit_safe();
+}
+
 void VsNode::handle(const Data& da, ProcessId from) {
   // Sequencer role: order client payloads of the current view.
   if (config_.ordering != OrderingMode::kSequencer) return;
   if (!view_.has_value() || da.view != view_->id()) return;
+  // Any same-view DATA frame carries the sender's current watermarks, even
+  // one that loses the admission race below.
+  apply_watermarks(from, da.view, da.wm_delivered, da.wm_safe);
   if (sequencer() != self_) return;
   // Admit each sender's stream contiguously; a gap (lost DATA) permanently
   // truncates that sender's stream in this view, preserving FIFO.
@@ -404,8 +456,20 @@ void VsNode::handle(const Data& da, ProcessId from) {
 }
 
 void VsNode::issue(const Msg& payload, ProcessId origin, std::uint64_t seqno) {
-  Seq sq{view_->id(), seqno, origin, payload};
-  issued_.emplace(seqno, sq);
+  // Build the SEQ in its recycled retransmit-log slot and multicast from
+  // there (one copy of the payload, no transient allocation).
+  Seq& sq = issued_.insert(seqno);
+  sq.view = view_->id();
+  sq.seqno = seqno;
+  sq.origin = origin;
+  sq.payload = payload;
+  if (config_.stability == StabilityMode::kWatermark) {
+    sq.wm_delivered = delivered_;
+    sq.wm_safe = safe_emitted_;
+  } else {
+    sq.wm_delivered = 0;
+    sq.wm_safe = 0;
+  }
   const Bytes& bytes = encode_reused(WireMsg{sq});
   for (ProcessId q : view_members_) {
     net_.send(self_, q, bytes);
@@ -458,14 +522,25 @@ void VsNode::service_token() {
   send_wire(ring_successor(), next);
 }
 
-void VsNode::handle(const Seq& sq, ProcessId /*from*/) {
+void VsNode::handle(const Seq& sq, ProcessId from) {
   if (!view_.has_value() || sq.view != view_->id()) return;
+  // The frame carries the issuer's watermarks whether or not the SEQ
+  // itself is a duplicate.
+  apply_watermarks(from, sq.view, sq.wm_delivered, sq.wm_safe);
   if (suppress_duplicate(sq.seqno, delivered_,
                          recv_buffer_.contains(sq.seqno))) {
     return;
   }
-  recv_buffer_.emplace(sq.seqno, std::make_pair(sq.origin, sq.payload));
-  if (sq.origin == self_) ++own_acked_;
+  auto& slot = recv_buffer_.insert(sq.seqno);
+  slot.first = sq.origin;
+  slot.second = sq.payload;
+  if (sq.origin == self_) {
+    ++own_acked_;
+    // The admitted prefix of my send log is never retransmitted again.
+    while (sent_data_.base() < own_acked_ && !sent_data_.empty()) {
+      sent_data_.pop_front();
+    }
+  }
   try_deliver();
 }
 
@@ -479,18 +554,20 @@ bool VsNode::suppress_duplicate(std::uint64_t n,
 
 void VsNode::try_deliver() {
   bool delivered_any = false;
-  for (auto it = recv_buffer_.find(delivered_ + 1); it != recv_buffer_.end();
-       it = recv_buffer_.find(delivered_ + 1)) {
-    auto [origin, payload] = std::move(it->second);
-    recv_buffer_.erase(it);
+  for (auto* slot = recv_buffer_.find(delivered_ + 1); slot != nullptr;
+       slot = recv_buffer_.find(delivered_ + 1)) {
     ++delivered_;
-    delivered_by_[ix(self_)] = delivered_;
     // Move the payload into the log and deliver from there — the delivered
-    // message is needed again for safe emission, but not twice.
-    seq_log_.emplace_back(origin, std::move(payload));
+    // message is needed again for safe emission, but not twice. The log
+    // slot is recycled (assigned over), not rebuilt.
+    auto& entry = seq_log_.append_slot();
+    entry.first = slot->first;
+    entry.second = std::move(slot->second);
+    recv_buffer_.erase(delivered_);
+    wm_.raise_delivered(ix(self_), delivered_);
     ++stats_.msgs_delivered;
     if (callbacks_.on_gprcv) {
-      callbacks_.on_gprcv(seq_log_.back().second, origin);
+      callbacks_.on_gprcv(entry.second, entry.first);
     }
     delivered_any = true;
   }
@@ -517,20 +594,38 @@ std::size_t VsNode::bind_metrics(obs::MetricsRegistry& metrics) {
         .set(stats_.retransmits_sent);
     metrics.counter("vs.retransmits_skipped" + label)
         .set(stats_.retransmits_skipped);
+    metrics.counter("vs.watermark_updates" + label)
+        .set(stats_.watermark_updates);
+    metrics.counter("vs.watermark_gc" + label).set(stats_.watermark_gc);
+    metrics.counter("vs.watermark_min_delivered" + label)
+        .set(wm_.min_delivered());
+    metrics.counter("vs.watermark_min_safe" + label).set(wm_.min_safe());
   });
 }
 
 void VsNode::try_emit_safe() {
   if (!view_.has_value()) return;
-  std::uint64_t stable = delivered_;
-  for (ProcessId q : view_members_) {
-    stable = std::min(stable, delivered_by_[ix(q)]);
-  }
+  // Stability = the watermark table's delivered minimum over the view's
+  // members (self included — its row is raised in try_deliver).
+  const std::uint64_t stable = wm_.min_delivered();
   while (safe_emitted_ < stable) {
-    const auto& [origin, payload] = seq_log_[safe_emitted_];
+    const auto& [origin, payload] = seq_log_.at_abs(safe_emitted_);
     ++safe_emitted_;
     ++stats_.safes_emitted;
     if (callbacks_.on_safe) callbacks_.on_safe(payload, origin);
+  }
+  // Publish my safe watermark and garbage-collect what stability covers:
+  // the delivered log below my safe point (only safe emission reads it)
+  // and my issued-SEQ log below every member's delivered row (no member
+  // can need those retransmitted again).
+  wm_.raise_safe(ix(self_), safe_emitted_);
+  while (seq_log_.base() < safe_emitted_ && !seq_log_.empty()) {
+    seq_log_.pop_front();
+  }
+  if (!issued_.empty()) {
+    const std::size_t before = issued_.size();
+    issued_.erase_below(stable + 1);
+    stats_.watermark_gc += before - issued_.size();
   }
 }
 

@@ -15,9 +15,15 @@
 //    senders unicast DATA to it, it assigns consecutive sequence numbers
 //    and multicasts SEQ; members deliver contiguously. Links are FIFO, so
 //    per-sender FIFO is preserved.
-//  * Safe — heartbeats carry the sender's contiguously-delivered count for
-//    its current view; a message is safe at q once every member's count
-//    reaches it.
+//  * Safe — each member publishes its contiguously-delivered count and its
+//    safe watermark for the current view in a per-member watermark table
+//    (SST style); a message is safe at q once the table's delivered
+//    minimum reaches it. Rows are raised from heartbeats in both stability
+//    modes; in kWatermark mode (the default) DATA/SEQ frames additionally
+//    piggyback the sender's watermarks, so stability advances at data rate
+//    instead of heartbeat rate. Reconfiguration (the PROPOSE/FLUSH_ACK/
+//    INSTALL agreement) always uses explicit acks — the watermark table is
+//    a within-view optimization only and is reset on install.
 //
 // Safety matches the VS specification (Figure 1): view ids are unique with
 // consistent memberships, installs are monotone per process, messages are
@@ -37,21 +43,29 @@
 // monotone across incarnations, and every post-restart view id is fresh
 // ("incarnation-tagged" by an epoch above everything the crashed
 // incarnation saw).
+//
+// Steady-state allocation discipline: the per-view queues are ring buffers
+// and sequence-number windows (common/ring.h) whose slots are recycled, the
+// delivered log and the issued-SEQ log garbage-collect the prefix covered
+// by the watermark table, and wire encoding reuses one scratch Writer — so
+// a stable view's delivery path performs no heap allocation once the rings
+// reach their high-water marks (tests/perf/test_alloc_free.cpp holds the
+// line).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/messages.h"
+#include "common/ring.h"
 #include "common/types.h"
 #include "common/view.h"
 #include "net/sim_network.h"
 #include "sim/simulator.h"
 #include "storage/wal.h"
+#include "vsys/watermarks.h"
 #include "vsys/wire.h"
 
 namespace dvs::vsys {
@@ -67,12 +81,26 @@ enum class OrderingMode {
   kTokenRing,
 };
 
+/// Within-view stability (safe-indication) strategy. Reconfiguration is
+/// explicit-ack in both modes; this only selects how delivery watermarks
+/// propagate inside an installed view.
+enum class StabilityMode {
+  /// Watermarks travel on heartbeats only (the pre-watermark behavior —
+  /// kept as the differential baseline; see test_watermark_equivalence).
+  kExplicitAck,
+  /// Heartbeats plus watermark piggybacks on every DATA/SEQ frame: the
+  /// per-member table advances at data rate, cutting safe latency and
+  /// letting retransmission cursors see peer progress sooner.
+  kWatermark,
+};
+
 struct VsConfig {
   sim::Time heartbeat_period = 20 * sim::kMillisecond;
   sim::Time suspect_timeout = 100 * sim::kMillisecond;
   sim::Time propose_timeout = 250 * sim::kMillisecond;
   sim::Time propose_cooldown = 50 * sim::kMillisecond;
   OrderingMode ordering = OrderingMode::kSequencer;
+  StabilityMode stability = StabilityMode::kWatermark;
   /// Token mode: max messages a holder issues per rotation (fairness cap).
   std::size_t token_backlog_cap = 16;
   /// Tick retransmission holdoff: once a copy covering a peer's missing
@@ -112,6 +140,12 @@ struct VsNodeStats {
   /// holdoff — the per-destination cursor win shows as skipped >> sent.
   std::uint64_t retransmits_sent = 0;
   std::uint64_t retransmits_skipped = 0;
+  /// Watermark-table rows raised by DATA/SEQ piggybacks (kWatermark mode
+  /// only; heartbeat-driven raises are the baseline and are not counted).
+  std::uint64_t watermark_updates = 0;
+  /// Issued-SEQ log entries garbage-collected once the table's delivered
+  /// minimum covered them (no member can need a retransmission below it).
+  std::uint64_t watermark_gc = 0;
 };
 
 class VsNode {
@@ -137,6 +171,9 @@ class VsNode {
   [[nodiscard]] ProcessId self() const { return self_; }
   [[nodiscard]] const std::optional<View>& view() const { return view_; }
   [[nodiscard]] const VsNodeStats& stats() const { return stats_; }
+  /// The per-member stability table of the current view (rows indexed by
+  /// dense ProcessId). Exposed for tests and metrics.
+  [[nodiscard]] const WatermarkTable& watermarks() const { return wm_; }
 
   /// The node's current connectivity estimate (failure-detector output).
   [[nodiscard]] ProcessSet estimate() const;
@@ -177,6 +214,12 @@ class VsNode {
 
   void maybe_propose();
   void install(const View& v);
+  /// Rebuilds the watermark table's member rows for the current view.
+  void reset_watermarks();
+  /// Applies a piggybacked (delivered, safe) pair published by `from` for
+  /// `view` (kWatermark mode; no-op otherwise or across views).
+  void apply_watermarks(ProcessId from, const ViewId& view,
+                        std::uint64_t delivered, std::uint64_t safe);
   /// Token mode: issue up to the backlog cap and forward the token.
   void service_token();
   [[nodiscard]] ProcessId ring_successor() const;
@@ -245,37 +288,47 @@ class VsNode {
   std::optional<ViewId> max_acked_;  // highest proposal this node accepted
   sim::Time cooldown_until_ = 0;
 
-  // Per-view ordering state (reset on install).
-  std::uint64_t data_seq_out_ = 1;    // sender-side per-view DATA counter
-  std::vector<Msg> sent_data_;        // my sends this view (for retransmit)
-  std::uint64_t own_acked_ = 0;       // my messages the sequencer admitted
+  // Per-view ordering state (reset on install). The queues are recycled
+  // rings/windows (common/ring.h): clear() parks their slots, so across
+  // views and in steady state they stop allocating.
+  std::uint64_t data_seq_out_ = 1;  // sender-side per-view DATA counter
+  // My sends this view, for head-of-stream retransmission; absolute index
+  // n holds my (n+1)-th send, and the admitted prefix is GC'd.
+  RingBuffer<Msg> sent_data_;
+  std::uint64_t own_acked_ = 0;  // my messages the sequencer admitted
   std::vector<std::uint64_t> expected_data_seq_;  // sequencer role
-  std::uint64_t next_seqno_out_ = 1;  // sequencer role
+  std::uint64_t next_seqno_out_ = 1;              // sequencer role
   // SEQs this node issued in the current view (sequencer: all of them;
   // token mode: the ones issued while holding the token), keyed by seqno,
-  // for per-issuer retransmission to lagging members.
-  std::map<std::uint64_t, Seq> issued_;
+  // for per-issuer retransmission to lagging members. The prefix below the
+  // watermark table's delivered minimum is GC'd.
+  SeqWindow<Seq> issued_;
   // Token-ring state (reset on install).
-  std::deque<Msg> token_backlog_;          // my unsent client payloads
+  RingBuffer<Msg> token_backlog_;          // my unsent client payloads
   std::optional<Token> held_token_;        // the token, while holding it
   std::optional<Token> forwarded_token_;   // awaiting evidence of arrival
   std::uint64_t last_rotation_seen_ = 0;   // highest rotation observed
   std::uint64_t last_rotation_processed_ = 0;
-  std::map<std::uint64_t, std::pair<ProcessId, Msg>> recv_buffer_;
-  std::vector<std::pair<ProcessId, Msg>> seq_log_;  // delivered, in order
+  SeqWindow<std::pair<ProcessId, Msg>> recv_buffer_;
+  // Delivered messages in order (absolute index n = seqno n+1); the prefix
+  // below safe_emitted_ is GC'd as safes are emitted.
+  RingBuffer<std::pair<ProcessId, Msg>> seq_log_;
   std::uint64_t delivered_ = 0;
   std::uint64_t safe_emitted_ = 0;
-  std::vector<std::uint64_t> delivered_by_;
+  // Per-member stability table of the current view (replaces the flat
+  // delivered_by_ array + O(members) min scan of the ack-only design).
+  WatermarkTable wm_;
   // The current view's members as a contiguous list (mirrors view_->set()),
-  // so the per-heartbeat stability scan walks a flat array instead of a
-  // node-based set.
+  // and their dense row indices for the watermark table.
   std::vector<ProcessId> view_members_;
+  std::vector<std::size_t> member_rows_;
   // Per-destination retransmission cursors (reset on install): tick
   // retransmission resends only the suffix past the peer's acked position,
   // and only after retransmit_holdoff_ticks without progress while a
   // covering copy is in flight. Liveness is preserved: an outstanding
   // suffix is always resent once the holdoff expires, no matter how many
-  // copies were lost before.
+  // copies were lost before — in kWatermark mode a peer whose published
+  // watermark stalls is therefore re-fed exactly like a silent acker.
   struct RetxCursor {
     std::uint64_t acked = 0;      // peer ack position at the last progress
     std::uint64_t sent_upto = 0;  // highest seqno a sent copy covers

@@ -31,6 +31,7 @@ void encode_into(const WireMsg& m, Writer& w) {
     if (hb->view.has_value()) w.view_id(*hb->view);
     w.u64(hb->delivered);
     w.u64(hb->token_rotation);
+    w.varuint(hb->safe);
   } else if (const auto* pr = std::get_if<Propose>(&m)) {
     w.u8(static_cast<std::uint8_t>(Tag::kPropose));
     w.view(pr->view);
@@ -44,12 +45,16 @@ void encode_into(const WireMsg& m, Writer& w) {
     w.u8(static_cast<std::uint8_t>(Tag::kData));
     w.view_id(da->view);
     w.u64(da->sender_seq);
+    w.varuint(da->wm_delivered);
+    w.varuint(da->wm_safe);
     w.msg(da->payload);
   } else if (const auto* sq = std::get_if<Seq>(&m)) {
     w.u8(static_cast<std::uint8_t>(Tag::kSeq));
     w.view_id(sq->view);
     w.u64(sq->seqno);
     w.process_id(sq->origin);
+    w.varuint(sq->wm_delivered);
+    w.varuint(sq->wm_safe);
     w.msg(sq->payload);
   } else {
     const auto& tk = std::get<Token>(m);
@@ -70,6 +75,7 @@ WireMsg decode(const Bytes& data) {
         if (r.u8() != 0) hb.view = r.view_id();
         hb.delivered = r.u64();
         hb.token_rotation = r.u64();
+        hb.safe = r.varuint();
         return hb;
       }
       case Tag::kPropose:
@@ -82,6 +88,8 @@ WireMsg decode(const Bytes& data) {
         Data da;
         da.view = r.view_id();
         da.sender_seq = r.u64();
+        da.wm_delivered = r.varuint();
+        da.wm_safe = r.varuint();
         da.payload = r.msg();
         return da;
       }
@@ -90,6 +98,8 @@ WireMsg decode(const Bytes& data) {
         sq.view = r.view_id();
         sq.seqno = r.u64();
         sq.origin = r.process_id();
+        sq.wm_delivered = r.varuint();
+        sq.wm_safe = r.varuint();
         sq.payload = r.msg();
         return sq;
       }

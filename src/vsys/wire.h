@@ -31,6 +31,10 @@ struct Heartbeat {
   /// observed in its current view (0 in sequencer mode). Lets the previous
   /// holder stop retransmitting the token.
   std::uint64_t token_rotation = 0;
+  /// The sender's safe watermark in its current view (the prefix it has
+  /// emitted safe indications for). Feeds the per-member watermark table's
+  /// safe column; purely observational for the protocol itself.
+  std::uint64_t safe = 0;
 
   friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
 };
@@ -62,6 +66,12 @@ struct Data {
   /// hole in the view's total order.
   std::uint64_t sender_seq = 0;
   Msg payload;
+  /// Watermark piggyback (stability mode kWatermark): the sender's
+  /// delivered and safe counters in `view` at send time, so stability
+  /// information travels at data rate instead of heartbeat rate. Zero (and
+  /// ignored) in explicit-ack mode.
+  std::uint64_t wm_delivered = 0;
+  std::uint64_t wm_safe = 0;
 
   friend bool operator==(const Data&, const Data&) = default;
 };
@@ -71,6 +81,11 @@ struct Seq {
   std::uint64_t seqno = 0;  // 1-based position in the view's total order
   ProcessId origin;
   Msg payload;
+  /// Watermark piggyback (stability mode kWatermark): the issuer's
+  /// delivered and safe counters at issue/retransmit time. Zero (and
+  /// ignored) in explicit-ack mode.
+  std::uint64_t wm_delivered = 0;
+  std::uint64_t wm_safe = 0;
 
   friend bool operator==(const Seq&, const Seq&) = default;
 };

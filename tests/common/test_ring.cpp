@@ -1,0 +1,213 @@
+// RingBuffer / SeqWindow: the allocation-free queue containers behind the
+// vsys/dvsys hot paths (common/ring.h). These are drop-in replacements for
+// std::deque and std::map<uint64_t, V>, so the tests pin the container
+// semantics the protocol code relies on: FIFO order, stable absolute
+// indexing across garbage collection, slot recycling, and growth under
+// arbitrary push/pop interleavings (differential-tested against the std
+// containers they replaced).
+#include "common/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dvs {
+namespace {
+
+TEST(RingBufferTest, FifoPushPop) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  for (int i = 0; i < 100; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, AbsoluteIndexingSurvivesGarbageCollection) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 40; ++i) rb.push_back(i);
+  // Pop a prefix: the n-th element ever pushed keeps absolute index n.
+  for (int i = 0; i < 25; ++i) rb.pop_front();
+  EXPECT_EQ(rb.base(), 25u);
+  EXPECT_EQ(rb.end_index(), 40u);
+  for (std::uint64_t n = rb.base(); n < rb.end_index(); ++n) {
+    EXPECT_EQ(rb.at_abs(n), static_cast<int>(n));
+  }
+  // Wrap around the internal slot array several times.
+  for (int i = 40; i < 400; ++i) {
+    rb.push_back(i);
+    rb.pop_front();
+  }
+  EXPECT_EQ(rb.base(), 385u);
+  EXPECT_EQ(rb.at_abs(390), 390);
+}
+
+TEST(RingBufferTest, RelativeIndexingAndIteration) {
+  RingBuffer<std::string> rb;
+  rb.push_back("a");
+  rb.push_back("b");
+  rb.push_back("c");
+  rb.pop_front();
+  EXPECT_EQ(rb[0], "b");
+  EXPECT_EQ(rb[1], "c");
+  EXPECT_EQ(rb.back(), "c");
+  std::string joined;
+  for (const std::string& s : rb) joined += s;
+  EXPECT_EQ(joined, "bc");
+}
+
+TEST(RingBufferTest, ClearRewindsBaseAndKeepsWorking) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 10; ++i) rb.push_back(i);
+  for (int i = 0; i < 5; ++i) rb.pop_front();
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.base(), 0u);
+  rb.push_back(7);
+  EXPECT_EQ(rb.at_abs(0), 7);
+}
+
+TEST(RingBufferTest, AppendSlotRecyclesCapacity) {
+  RingBuffer<std::string> rb;
+  rb.push_back(std::string(100, 'x'));
+  rb.pop_front();
+  // The popped slot parked its heap buffer. In steady-state churn the head
+  // chases the tail, so after one full lap around the slot array the
+  // parked slot comes up for reuse; append_slot hands it back without
+  // clearing, and assignment recycles the capacity.
+  std::string* recycled = nullptr;
+  for (int lap = 0; lap < 64 && recycled == nullptr; ++lap) {
+    std::string& slot = rb.append_slot();
+    if (slot.capacity() >= 100) recycled = &slot;
+    rb.pop_front();
+  }
+  ASSERT_NE(recycled, nullptr) << "parked capacity never came back around";
+  recycled->assign(50, 'y');
+  EXPECT_EQ(recycled->size(), 50u);
+}
+
+TEST(RingBufferTest, DifferentialAgainstDeque) {
+  RingBuffer<int> rb;
+  std::deque<int> dq;
+  Rng rng(42);
+  int next = 0;
+  for (int step = 0; step < 10000; ++step) {
+    if (dq.empty() || rng.below(3) != 0) {
+      rb.push_back(next);
+      dq.push_back(next);
+      ++next;
+    } else {
+      EXPECT_EQ(rb.front(), dq.front());
+      rb.pop_front();
+      dq.pop_front();
+    }
+    ASSERT_EQ(rb.size(), dq.size());
+    if (!dq.empty()) {
+      const std::size_t probe = rng.below(dq.size());
+      ASSERT_EQ(rb[probe], dq[probe]);
+    }
+  }
+}
+
+TEST(SeqWindowTest, InsertFindErase) {
+  SeqWindow<std::string> w;
+  EXPECT_TRUE(w.empty());
+  w.insert(5) = "five";
+  w.insert(7) = "seven";
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_TRUE(w.contains(5));
+  EXPECT_FALSE(w.contains(6));
+  ASSERT_NE(w.find(7), nullptr);
+  EXPECT_EQ(*w.find(7), "seven");
+  EXPECT_EQ(w.find(6), nullptr);
+  w.erase(5);
+  EXPECT_FALSE(w.contains(5));
+  EXPECT_EQ(w.size(), 1u);
+  w.erase(5);  // erase of absent key is a no-op
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SeqWindowTest, HiIsHighWaterMark) {
+  SeqWindow<int> w;
+  EXPECT_EQ(w.hi(), 0u);
+  w.insert(10) = 1;
+  w.insert(3) = 2;
+  EXPECT_EQ(w.hi(), 10u);
+  w.erase(10);
+  // hi is "highest ever issued", not lowered by erase.
+  EXPECT_EQ(w.hi(), 10u);
+  w.clear();
+  EXPECT_EQ(w.hi(), 0u);
+}
+
+TEST(SeqWindowTest, EraseBelowGarbageCollectsPrefix) {
+  SeqWindow<int> w;
+  for (std::uint64_t k = 1; k <= 50; ++k) w.insert(k) = static_cast<int>(k);
+  w.erase_below(31);
+  EXPECT_EQ(w.size(), 20u);
+  EXPECT_FALSE(w.contains(30));
+  EXPECT_TRUE(w.contains(31));
+  // A second, overlapping GC is cheap and correct.
+  w.erase_below(31);
+  EXPECT_EQ(w.size(), 20u);
+}
+
+TEST(SeqWindowTest, WideKeySpanForcesCollisionFreeRehash) {
+  // Two keys with equal residue mod any small power of two: the rehash must
+  // keep growing until the span fits (capacity > max-min guarantees
+  // distinct residues).
+  SeqWindow<int> w;
+  w.insert(1) = 1;
+  w.insert(1 + (1ull << 14)) = 2;
+  EXPECT_EQ(*w.find(1), 1);
+  EXPECT_EQ(*w.find(1 + (1ull << 14)), 2);
+  w.insert(1 + (1ull << 15)) = 3;
+  EXPECT_EQ(*w.find(1), 1);
+  EXPECT_EQ(*w.find(1 + (1ull << 14)), 2);
+  EXPECT_EQ(*w.find(1 + (1ull << 15)), 3);
+}
+
+TEST(SeqWindowTest, DifferentialAgainstMap) {
+  SeqWindow<int> w;
+  std::map<std::uint64_t, int> m;
+  Rng rng(7);
+  std::uint64_t next_key = 1;
+  for (int step = 0; step < 20000; ++step) {
+    const std::size_t op = rng.below(4);
+    if (op < 2) {
+      w.insert(next_key) = static_cast<int>(next_key);
+      m.emplace(next_key, static_cast<int>(next_key));
+      ++next_key;
+    } else if (op == 2 && !m.empty()) {
+      const std::uint64_t k = m.begin()->first + rng.below(m.size());
+      w.erase(k);
+      m.erase(k);
+    } else if (!m.empty()) {
+      // Prefix GC to a random point in the live window.
+      const std::uint64_t cut = m.begin()->first + rng.below(m.size());
+      w.erase_below(cut);
+      m.erase(m.begin(), m.lower_bound(cut));
+    }
+    ASSERT_EQ(w.size(), m.size());
+    if (!m.empty()) {
+      const std::uint64_t lo = m.begin()->first;
+      const std::uint64_t hi = m.rbegin()->first;
+      for (std::uint64_t k = lo; k <= hi && k < lo + 8; ++k) {
+        ASSERT_EQ(w.contains(k), m.contains(k)) << "key " << k;
+        if (m.contains(k)) {
+          ASSERT_EQ(*w.find(k), m.at(k));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvs

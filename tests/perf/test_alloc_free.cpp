@@ -1,0 +1,225 @@
+// Allocation-free hot path (ISSUE 6 tentpole lock): a global counting
+// operator new proves that once a 3-node stack reaches steady state —
+// ring buffers grown, arena slots parked, simulator slots recycled,
+// scratch writers at capacity — delivering messages performs ZERO heap
+// allocations. Also pins graceful degradation when the arena's retention
+// budget is exhausted, and that the arena path is behaviour-invariant
+// against the plain-heap path.
+//
+// This file must be its own test binary: it replaces the global
+// operator new/delete.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "net/sim_network.h"
+#include "vsys/vs_node.h"
+
+// Sanitizer builds wrap the allocator and may allocate internally; the
+// exact-zero assertion only holds in plain builds. Under a sanitizer the
+// same tests still run (that's the point of the ASan perf gate — recycled
+// arena/ring storage is where a stale handle would hide) with the bound
+// relaxed to "well under one allocation per delivery".
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DVS_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DVS_SANITIZED 1
+#endif
+#endif
+#ifndef DVS_SANITIZED
+#define DVS_SANITIZED 0
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+// Global replacements: every heap allocation in the binary goes through
+// the counter (sized/aligned deletes forward to free).
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t) {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, std::align_val_t) {
+  return counted_alloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dvs::vsys {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+Msg opaque(std::uint64_t uid, unsigned sender) {
+  return Msg{OpaqueMsg{uid, ProcessId{sender}}};
+}
+
+/// Minimal 3-node VS cluster whose callbacks only bump counters — the
+/// harness itself must not allocate inside the measurement window.
+class QuietStack {
+ public:
+  QuietStack(net::NetConfig net_config, VsConfig vs_config, std::uint64_t seed)
+      : rng_(seed),
+        universe_(make_universe(3)),
+        v0_{ViewId::initial(), make_universe(3)},
+        net_(sim_, rng_, net_config, universe_) {
+    for (ProcessId p : universe_) {
+      VsCallbacks cb;
+      cb.on_gprcv = [this](const Msg&, ProcessId) { ++delivered_; };
+      cb.on_safe = [this](const Msg&, ProcessId) { ++safes_; };
+      nodes_[p] = std::make_unique<VsNode>(p, std::optional<View>{v0_}, net_,
+                                           sim_, vs_config, std::move(cb));
+    }
+    for (auto& [p, node] : nodes_) node->start();
+  }
+
+  /// Runs `seconds` of one-broadcast-per-20ms round-robin traffic.
+  void pump(unsigned seconds) {
+    const sim::Time end = sim_.now() + seconds * kSecond;
+    unsigned turn = 0;
+    while (sim_.now() < end) {
+      nodes_.at(ProcessId{turn % 3})->gpsnd(opaque(++uid_, turn % 3));
+      ++turn;
+      sim_.run_until(sim_.now() + 20 * kMillisecond);
+    }
+  }
+
+  void settle(unsigned ms) { sim_.run_until(sim_.now() + ms * kMillisecond); }
+
+  VsNode& node(unsigned p) { return *nodes_.at(ProcessId{p}); }
+  net::SimNetwork& net() { return net_; }
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t safes_ = 0;
+
+ private:
+  Rng rng_;
+  ProcessSet universe_;
+  View v0_;
+  sim::Simulator sim_;
+  net::SimNetwork net_;
+  std::map<ProcessId, std::unique_ptr<VsNode>> nodes_;
+  std::uint64_t uid_ = 0;
+};
+
+TEST(AllocFreeTest, SteadyStateDeliveryAllocatesNothing) {
+  net::NetConfig nc;  // payload_arena defaults on
+  VsConfig vc;        // watermark stability defaults on
+  QuietStack stack(nc, vc, 11);
+
+  // Warmup: grow every ring/arena/scratch buffer to its high-water mark.
+  stack.pump(3);
+  stack.settle(500);
+
+  const std::uint64_t allocs_before = alloc_count();
+  const std::uint64_t delivered_before = stack.delivered_;
+  const std::uint64_t safes_before = stack.safes_;
+  stack.pump(3);
+  const std::uint64_t window_allocs = alloc_count() - allocs_before;
+  const std::uint64_t window_delivered = stack.delivered_ - delivered_before;
+
+  // ~150 broadcasts → ~450 deliveries in the window, with heartbeats,
+  // watermark piggybacks and stability GC all running — and not one
+  // trip to the heap.
+  EXPECT_GT(window_delivered, 300u);
+  EXPECT_GT(stack.safes_ - safes_before, 300u);
+  if (DVS_SANITIZED) {
+    EXPECT_LT(static_cast<double>(window_allocs),
+              0.25 * static_cast<double>(window_delivered));
+  } else {
+    EXPECT_EQ(window_allocs, 0u)
+        << window_allocs << " allocations for " << window_delivered
+        << " deliveries ("
+        << static_cast<double>(window_allocs) /
+               static_cast<double>(window_delivered)
+        << " per delivery)";
+  }
+}
+
+TEST(AllocFreeTest, ExplicitAckModeStaysCheapButIsNotRequiredToBeZero) {
+  // The fallback protocol may allocate (per-message ack bookkeeping), but
+  // the containers still amortize: well under one allocation per delivery.
+  net::NetConfig nc;
+  VsConfig vc;
+  vc.stability = StabilityMode::kExplicitAck;
+  QuietStack stack(nc, vc, 12);
+  stack.pump(3);
+  stack.settle(500);
+
+  const std::uint64_t allocs_before = alloc_count();
+  const std::uint64_t delivered_before = stack.delivered_;
+  stack.pump(3);
+  const std::uint64_t window_allocs = alloc_count() - allocs_before;
+  const std::uint64_t window_delivered = stack.delivered_ - delivered_before;
+  ASSERT_GT(window_delivered, 300u);
+  EXPECT_LT(static_cast<double>(window_allocs),
+            0.25 * static_cast<double>(window_delivered));
+}
+
+TEST(AllocFreeTest, ArenaExhaustionDegradesGracefully) {
+  // A retention budget far below the in-flight population: the arena must
+  // fall back to plain allocation (counted, never refused) and the
+  // protocol must stay fully live.
+  net::NetConfig nc;
+  nc.arena_max_retained = 2;
+  VsConfig vc;
+  QuietStack stack(nc, vc, 13);
+  stack.pump(2);
+  stack.settle(1000);
+  EXPECT_GT(stack.delivered_, 200u);
+  EXPECT_GT(stack.safes_, 200u);
+  EXPECT_GT(stack.net().arena().stats().exhausted_acquires, 0u);
+  for (unsigned i = 0; i < 3; ++i) {
+    EXPECT_EQ(stack.node(i).stats().decode_errors, 0u) << "p" << i;
+  }
+}
+
+TEST(AllocFreeTest, ArenaPathIsBehaviourInvariant) {
+  // Same seed, arena on vs off: identical delivery and safe counts — the
+  // arena only changes where bytes live, never what happens.
+  net::NetConfig with_arena;
+  with_arena.payload_arena = true;
+  net::NetConfig heap_only;
+  heap_only.payload_arena = false;
+  VsConfig vc;
+  QuietStack a(with_arena, vc, 14);
+  QuietStack b(heap_only, vc, 14);
+  a.pump(3);
+  a.settle(500);
+  b.pump(3);
+  b.settle(500);
+  EXPECT_EQ(a.delivered_, b.delivered_);
+  EXPECT_EQ(a.safes_, b.safes_);
+}
+
+}  // namespace
+}  // namespace dvs::vsys

@@ -39,6 +39,38 @@ TEST(WireTest, DataAndSeqRoundTrip) {
   EXPECT_EQ(decode(encode(WireMsg{sq})), WireMsg{sq});
 }
 
+TEST(WireTest, WatermarkPiggybacksRoundTrip) {
+  // Stability-mode kWatermark rides delivered/safe counters on every Data
+  // and Seq frame; a decode that dropped or reordered them would silently
+  // stall (or falsely advance) stability.
+  Data da{ViewId{2, ProcessId{0}}, 5, Msg{RegisteredMsg{}}};
+  da.wm_delivered = 17;
+  da.wm_safe = 13;
+  EXPECT_EQ(decode(encode(WireMsg{da})), WireMsg{da});
+
+  Seq sq{ViewId{2, ProcessId{0}}, 9, ProcessId{1}, Msg{RegisteredMsg{}}};
+  sq.wm_delivered = 21;
+  sq.wm_safe = 18;
+  EXPECT_EQ(decode(encode(WireMsg{sq})), WireMsg{sq});
+  // Distinct fields: a swap would still round-trip, so pin inequality.
+  Seq swapped = sq;
+  std::swap(swapped.wm_delivered, swapped.wm_safe);
+  EXPECT_NE(WireMsg{swapped}, WireMsg{sq});
+}
+
+TEST(WireTest, HeartbeatCarriesSafeWatermark) {
+  Heartbeat hb;
+  hb.max_epoch = 4;
+  hb.view = ViewId{2, ProcessId{1}};
+  hb.delivered = 12;
+  hb.safe = 9;
+  const WireMsg m{hb};
+  EXPECT_EQ(decode(encode(m)), m);
+  Heartbeat zero = hb;
+  zero.safe = 0;
+  EXPECT_NE(WireMsg{zero}, m);
+}
+
 TEST(WireTest, TokenRoundTrip) {
   const Token tk{ViewId{4, ProcessId{2}}, 17, 42};
   EXPECT_EQ(decode(encode(WireMsg{tk})), WireMsg{tk});
