@@ -3,10 +3,17 @@
 // message, with and without trace recording.
 #include <benchmark/benchmark.h>
 
+#include <time.h>
+
+#include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "daemon/runtime.h"
+#include "net/udp_transport.h"
 #include "storage/file_store.h"
 #include "tosys/cluster.h"
 
@@ -309,6 +316,163 @@ void BM_TraceAcceptance(benchmark::State& state) {
                           static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_TraceAcceptance);
+
+// ----- real-transport axis (E21) ---------------------------------------------
+// The same NodeRuntime stack the sim benchmarks exercise, but over real UDP
+// sockets on loopback: n transports + n runtimes in one process, the timer
+// queue slaved to the wall clock exactly like dvsd's event loop. Measures
+// end-to-end replicated-command cost over real sockets — syscalls, kernel
+// queues and heartbeat-paced stability included, which is why these numbers
+// are wall-clock honest rather than simulated. Skipped under DVS_NO_NET=1.
+
+std::uint64_t bench_monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+struct UdpLoopbackStack {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<net::UdpTransport>> nets;
+  std::vector<std::unique_ptr<daemon::NodeRuntime>> nodes;
+  std::uint64_t start_us = 0;
+
+  explicit UdpLoopbackStack(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      net::UdpConfig cfg;
+      cfg.self = ProcessId{static_cast<std::uint32_t>(i)};
+      cfg.bind_port = 0;
+      nets.push_back(
+          std::make_unique<net::UdpTransport>(cfg, make_universe(n)));
+    }
+    for (auto& t : nets) {
+      for (std::size_t j = 0; j < n; ++j) {
+        t->set_peer(ProcessId{static_cast<std::uint32_t>(j)},
+                    {"127.0.0.1", nets[j]->local_port()});
+      }
+    }
+    start_us = bench_monotonic_us();
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<daemon::NodeRuntime>(
+          ProcessId{static_cast<std::uint32_t>(i)}, n, n, *nets[i], sim,
+          daemon::RuntimeOptions{}, nullptr, nullptr,
+          [this] { return bench_monotonic_us() - start_us; }));
+    }
+    for (auto& rt : nodes) rt->start();
+  }
+
+  /// One event-loop step for every node (busy loop — latency benchmark).
+  void step() {
+    sim.run_until(bench_monotonic_us() - start_us);
+    for (auto& t : nets) t->flush();
+    for (auto& t : nets) t->drain();
+  }
+
+  bool run_until(const std::function<bool()>& pred, std::uint64_t limit_us) {
+    const std::uint64_t deadline = bench_monotonic_us() + limit_us;
+    while (!pred()) {
+      step();
+      if (bench_monotonic_us() > deadline) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool all_applied(std::uint64_t want) const {
+    for (const auto& rt : nodes) {
+      if (rt->kv().applied() < want) return false;
+    }
+    return true;
+  }
+};
+
+bool bench_no_net() {
+  const char* env = std::getenv("DVS_NO_NET");
+  return env != nullptr && env[0] == '1';
+}
+
+void BM_UdpLoopbackCommand(benchmark::State& state) {
+  // Latency axis: one replicated put at a time, timed until EVERY replica
+  // has applied it (total-order delivery + stability over real sockets).
+  if (bench_no_net()) {
+    state.SkipWithError("DVS_NO_NET=1");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  UdpLoopbackStack stack(n);
+  if (!stack.run_until(
+          [&] {
+            for (const auto& rt : stack.nodes) {
+              if (!rt->vs().view() || rt->vs().view()->size() != n)
+                return false;
+            }
+            return true;
+          },
+          5'000'000)) {
+    state.SkipWithError("initial view never formed");
+    return;
+  }
+  std::uint64_t want = 0;
+  for (auto _ : state) {
+    stack.nodes[0]->bcast_command("put k v");
+    ++want;
+    if (!stack.run_until([&] { return stack.all_applied(want); },
+                         5'000'000)) {
+      state.SkipWithError("command never applied everywhere");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("udp loopback, applied on all " + std::to_string(n));
+}
+BENCHMARK(BM_UdpLoopbackCommand)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_UdpLoopbackBurst(benchmark::State& state) {
+  // Throughput axis: 50 pipelined puts round-robin across members, timed
+  // until every replica applied all of them. Batching coalesces the burst
+  // into few datagrams; items/s is replicated commands per wall second.
+  if (bench_no_net()) {
+    state.SkipWithError("DVS_NO_NET=1");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kBurst = 50;
+  UdpLoopbackStack stack(n);
+  if (!stack.run_until(
+          [&] {
+            for (const auto& rt : stack.nodes) {
+              if (!rt->vs().view() || rt->vs().view()->size() != n)
+                return false;
+            }
+            return true;
+          },
+          5'000'000)) {
+    state.SkipWithError("initial view never formed");
+    return;
+  }
+  std::uint64_t want = 0;
+  for (auto _ : state) {
+    for (std::uint64_t x = 0; x < kBurst; ++x) {
+      stack.nodes[x % n]->bcast_command("put k" + std::to_string(x) + " v");
+      stack.step();
+    }
+    want += kBurst;
+    if (!stack.run_until([&] { return stack.all_applied(want); },
+                         10'000'000)) {
+      state.SkipWithError("burst never applied everywhere");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBurst));
+  state.SetLabel("udp loopback, " + std::to_string(kBurst) +
+                 " cmds/burst, n=" + std::to_string(n));
+}
+BENCHMARK(BM_UdpLoopbackBurst)->Arg(3)->UseRealTime();
 
 }  // namespace
 

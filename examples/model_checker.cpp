@@ -13,6 +13,7 @@
 //   $ ./build/examples/model_checker --chaos --metrics [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --batch [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --restart [n] [seeds] --jobs N
+//   $ ./build/examples/model_checker --audit <trace-dir>
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
 // with every checker armed. `--jobs N` fans the seeds across N worker
@@ -33,6 +34,11 @@
 // scripted kRestart faults in the plan, and kCrash upgraded to real
 // crashes (volatile state wiped, node rebuilt from its journal) — the
 // oracles keep checking across every restart.
+// --audit replays a real deployment's on-disk spec-event traces (recorded
+// by dvsd processes) through the same acceptors: per-process local order
+// is preserved, the cross-process interleaving is merged by timestamp
+// with deferral, and DVS Invariants 4.1/4.2 are re-checked on the merged
+// state. The report is byte-identical regardless of --jobs.
 //
 // Exit code 0 = no violation found (or, under --erratum, the expected
 // violation was found). On failure, the counterexample's seed, replayable
@@ -43,6 +49,7 @@
 #include <exception>
 #include <vector>
 
+#include "daemon/audit.h"
 #include "explorer/exhaustive.h"
 #include "explorer/explorer.h"
 #include "explorer/to_explorer.h"
@@ -240,6 +247,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = 1;
   bool sweep_mode = false;
   bool chaos_mode = false;
+  const char* audit_dir = nullptr;
   bool smoke = false;
   bool erratum = false;
   bool metrics = false;
@@ -250,6 +258,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::strtoul(argv[++i], nullptr, 10);
       sweep_mode = true;
+    } else if (std::strcmp(argv[i], "--audit") == 0 && i + 1 < argc) {
+      audit_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos_mode = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -268,6 +278,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (audit_dir != nullptr) {
+      // Offline audit of a real deployment's on-disk spec-event traces
+      // (written by dvsd; see docs/DEPLOYMENT.md). Single-threaded and
+      // deterministic: the report is byte-identical for any --jobs value.
+      const daemon::AuditReport report = daemon::audit_dir(audit_dir);
+      std::fputs(report.to_string().c_str(), stdout);
+      return report.ok ? 0 : 1;
+    }
     if (chaos_mode) {
       const std::size_t n =
           !args.empty() ? std::strtoul(args[0], nullptr, 10) : 3;

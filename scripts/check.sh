@@ -112,6 +112,25 @@ cmake --build build-tsan --target restart_differential_test
 ./build-tsan/examples/model_checker --chaos --smoke --restart --jobs 4 | tee /tmp/chaos_tsan_restart_j4.txt
 ./build-tsan/examples/model_checker --chaos --smoke --restart --jobs 1 | cmp - /tmp/chaos_tsan_restart_j4.txt
 
+echo "== transport gate (ASan) =="
+# The real-transport suites under ASan: the Sim-vs-UDP backend conformance
+# contract, the byte-order golden vectors every wire/disk format depends
+# on, the in-process sim-vs-real differential, and the forked 3-process
+# dvsd crash/rejoin/audit test — real sockets, real processes, real
+# SIGKILL. The localhost test forks the ASan-instrumented dvsd binary, so
+# the daemon's socket/WAL/trace paths run instrumented too.
+ctest --test-dir build-asan -L transport --output-on-failure
+# The DVS_NO_NET=1 escape hatch must cleanly skip every real-socket test
+# (sandboxes without loopback still get the sim half of the label).
+DVS_NO_NET=1 ctest --test-dir build -L transport --output-on-failure
+# End-to-end deployment smoke: a real 3-node cluster via the launcher —
+# workload, SIGKILL, WAL restart, rejoin, offline audit must say PASS.
+CLUSTER_DIR=/tmp/dvs-check-cluster CLUSTER_PORT=9400 ./scripts/cluster.sh demo
+# The offline auditor is deterministic: re-auditing the same trace dir
+# must produce a byte-identical report.
+./build/examples/model_checker --audit /tmp/dvs-check-cluster/traces | tee /tmp/dvs_audit_1.txt >/dev/null
+./build/examples/model_checker --audit /tmp/dvs-check-cluster/traces | cmp - /tmp/dvs_audit_1.txt
+
 echo "== bench smoke =="
 for b in build/bench/*; do
   if [[ -x "$b" && -f "$b" ]]; then

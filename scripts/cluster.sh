@@ -1,0 +1,216 @@
+#!/usr/bin/env bash
+# cluster.sh — launch and drive a real n-process dvsd cluster on localhost.
+#
+# Every node is one OS process running the full VS/DVS/TO stack over real
+# UDP sockets (examples/dvsd.cpp), with a write-ahead log and an on-disk
+# spec-event trace. This script is the deployment harness: it generates the
+# per-node config files, forks the daemons, speaks their UDP control
+# protocol, injects process-level faults, and hands the traces to the
+# offline auditor.
+#
+#   scripts/cluster.sh up [n]          start an n-node cluster (default 3)
+#   scripts/cluster.sh status          ping every node
+#   scripts/cluster.sh cmd <i> <...>   raw control command to node i
+#                                      (put/get/del/dump/digest/view/stats)
+#   scripts/cluster.sh workload [k]    k round-robin puts (default 30)
+#   scripts/cluster.sh kill <i>        SIGKILL node i (genuine crash)
+#   scripts/cluster.sh stop <i>        SIGSTOP node i (pause, state intact)
+#   scripts/cluster.sh cont <i>        SIGCONT a stopped node
+#   scripts/cluster.sh restart <i>     relaunch node i (recovers from WAL)
+#   scripts/cluster.sh drop <i> <p>    set node i's send-drop probability
+#   scripts/cluster.sh audit           offline trace audit (model_checker)
+#   scripts/cluster.sh down            graceful shutdown + reap
+#   scripts/cluster.sh demo            scripted kill/rejoin/audit tour
+#
+# Environment: BUILD_DIR (default: build), CLUSTER_DIR (default:
+# /tmp/dvs-cluster), CLUSTER_PORT (default: 9100 — peers at PORT+i, control
+# at PORT+100+i).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+CLUSTER_DIR="${CLUSTER_DIR:-/tmp/dvs-cluster}"
+CLUSTER_PORT="${CLUSTER_PORT:-9100}"
+DVSD="$BUILD_DIR/examples/dvsd"
+MODEL_CHECKER="$BUILD_DIR/examples/model_checker"
+
+die() { echo "cluster.sh: $*" >&2; exit 1; }
+
+need_binaries() {
+  [[ -x "$DVSD" ]] || die "$DVSD not built (cmake --build $BUILD_DIR --target dvsd)"
+}
+
+nodes() { cat "$CLUSTER_DIR/n" 2>/dev/null || die "no cluster at $CLUSTER_DIR (run 'up' first)"; }
+peer_port() { echo $((CLUSTER_PORT + $1)); }
+ctl_port() { echo $((CLUSTER_PORT + 100 + $1)); }
+
+ctl() { # ctl <i> <command...>
+  local i="$1"; shift
+  "$DVSD" --ctl "127.0.0.1:$(ctl_port "$i")" --timeout-ms 500 --retries 6 "$@"
+}
+
+probe() { # probe <i> — one quick ping, no retries
+  "$DVSD" --ctl "127.0.0.1:$(ctl_port "$1")" --timeout-ms 200 --retries 1 \
+    ping >/dev/null 2>&1
+}
+
+write_config() { # write_config <i> <n>
+  local i="$1" n="$2"
+  {
+    echo "node $i"
+    echo "n $n"
+    echo "initial $n"
+    for ((j = 0; j < n; j++)); do
+      echo "peer $j 127.0.0.1:$(peer_port "$j")"
+    done
+    echo "control 127.0.0.1:$(ctl_port "$i")"
+    echo "wal_dir $CLUSTER_DIR/p$i/wal"
+    echo "trace_dir $CLUSTER_DIR/traces"
+  } > "$CLUSTER_DIR/p$i.conf"
+}
+
+launch() { # launch <i> — fork one daemon, record its pid
+  local i="$1"
+  "$DVSD" --config "$CLUSTER_DIR/p$i.conf" >> "$CLUSTER_DIR/p$i.log" 2>&1 &
+  echo $! > "$CLUSTER_DIR/p$i.pid"
+}
+
+pid_of() { cat "$CLUSTER_DIR/p$1.pid" 2>/dev/null || true; }
+
+await_ping() { # await_ping <i> [tries]
+  local i="$1" tries="${2:-40}"
+  for ((t = 0; t < tries; t++)); do
+    if ctl "$i" ping >/dev/null 2>&1; then return 0; fi
+    sleep 0.25
+  done
+  die "node $i never answered ping (see $CLUSTER_DIR/p$i.log)"
+}
+
+cmd_up() {
+  local n="${1:-3}"
+  need_binaries
+  [[ -f "$CLUSTER_DIR/n" ]] && die "cluster already up at $CLUSTER_DIR ('down' first)"
+  # A daemon from an earlier (crashed or aborted) run still answering on our
+  # control ports would silently mix two cluster generations — its traces
+  # would go to deleted files and the audit would see garbage. Refuse.
+  for ((i = 0; i < n; i++)); do
+    if probe "$i"; then
+      die "something already answers on control port $(ctl_port "$i") — stale cluster? (try 'down' or change CLUSTER_PORT)"
+    fi
+  done
+  mkdir -p "$CLUSTER_DIR"
+  echo "$n" > "$CLUSTER_DIR/n"
+  for ((i = 0; i < n; i++)); do
+    write_config "$i" "$n"
+    launch "$i"
+  done
+  for ((i = 0; i < n; i++)); do await_ping "$i"; done
+  echo "cluster up: $n nodes, dir $CLUSTER_DIR, control ports $(ctl_port 0)-$(ctl_port $((n - 1)))"
+}
+
+cmd_status() {
+  local n; n=$(nodes)
+  for ((i = 0; i < n; i++)); do
+    local reply
+    reply=$(ctl "$i" ping 2>/dev/null) || reply="DOWN"
+    echo "p$i: $reply"
+  done
+}
+
+cmd_workload() {
+  # Round-robin puts; a down node just misses its turn (UDP client times
+  # out) — the cluster-level fate of each accepted put is what the dumps
+  # and the audit check.
+  local k="${1:-30}" n ok=0; n=$(nodes)
+  for ((x = 0; x < k; x++)); do
+    if ctl $((x % n)) put "key$x" "val$x" >/dev/null 2>&1; then
+      ok=$((ok + 1))
+    fi
+  done
+  echo "issued $k puts round-robin across $n nodes ($ok accepted)"
+}
+
+cmd_kill() {
+  local i="$1" pid; pid=$(pid_of "$i")
+  [[ -n "$pid" ]] || die "no pid for node $i"
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  echo "p$i SIGKILLed (pid $pid)"
+}
+
+cmd_restart() {
+  local i="$1"
+  launch "$i"
+  await_ping "$i"
+  ctl "$i" ping
+}
+
+cmd_down() {
+  local n; n=$(nodes)
+  for ((i = 0; i < n; i++)); do
+    local pid; pid=$(pid_of "$i")
+    [[ -n "$pid" ]] || continue
+    kill -CONT "$pid" 2>/dev/null || true  # a SIGSTOPped node cannot quit
+    ctl "$i" quit >/dev/null 2>&1 || kill -TERM "$pid" 2>/dev/null || true
+  done
+  for ((i = 0; i < n; i++)); do
+    local pid; pid=$(pid_of "$i")
+    [[ -n "$pid" ]] || continue
+    for ((t = 0; t < 20; t++)); do
+      kill -0 "$pid" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -f "$CLUSTER_DIR/n"
+  echo "cluster down (logs, WALs and traces kept at $CLUSTER_DIR)"
+}
+
+cmd_audit() {
+  [[ -x "$MODEL_CHECKER" ]] || die "$MODEL_CHECKER not built"
+  "$MODEL_CHECKER" --audit "$CLUSTER_DIR/traces"
+}
+
+cmd_demo() {
+  # Tear down any previous cluster BEFORE deleting its directory: leaked
+  # daemons keep their ports and trace-file handles, and a fresh cluster on
+  # the same ports would interleave with them.
+  [[ -f "$CLUSTER_DIR/n" ]] && cmd_down
+  rm -rf "$CLUSTER_DIR"
+  cmd_up 3
+  echo "-- seeding workload"
+  cmd_workload 12
+  sleep 1
+  echo "-- state at p0: $(ctl 0 dump)"
+  echo "-- SIGKILL p1 mid-stream"
+  cmd_kill 1
+  cmd_workload 6
+  sleep 1
+  echo "-- survivors: p0 $(ctl 0 digest) / p2 $(ctl 2 digest)"
+  echo "-- restarting p1 from its WAL"
+  cmd_restart 1
+  ctl 0 put rejoin-probe ok >/dev/null
+  sleep 1
+  echo "-- p1 after rejoin: $(ctl 1 get rejoin-probe) (view $(ctl 1 view))"
+  cmd_down
+  echo "-- offline audit of the merged traces"
+  cmd_audit
+}
+
+case "${1:-}" in
+  up)       shift; cmd_up "$@" ;;
+  status)   cmd_status ;;
+  cmd)      shift; i="$1"; shift; ctl "$i" "$@" ;;
+  workload) shift; cmd_workload "$@" ;;
+  kill)     shift; cmd_kill "$1" ;;
+  stop)     shift; kill -STOP "$(pid_of "$1")" && echo "p$1 SIGSTOPped" ;;
+  cont)     shift; kill -CONT "$(pid_of "$1")" && echo "p$1 resumed" ;;
+  restart)  shift; cmd_restart "$1" ;;
+  drop)     shift; ctl "$1" drop "$2" ;;
+  audit)    cmd_audit ;;
+  down)     cmd_down ;;
+  demo)     cmd_demo ;;
+  *)
+    sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
+    exit 1
+    ;;
+esac

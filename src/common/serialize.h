@@ -40,6 +40,11 @@ class Writer {
   void varuint(std::uint64_t v);
   void str(const std::string& s);
   void bytes_field(const Bytes& b);
+  /// Appends `n` bytes verbatim — no length prefix (datagram framing where
+  /// the record boundary is the datagram itself).
+  void raw(const std::byte* p, std::size_t n) {
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
 
   void process_id(ProcessId p);
   void view_id(const ViewId& g);

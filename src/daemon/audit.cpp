@@ -1,0 +1,226 @@
+#include "daemon/audit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "spec/acceptors.h"
+
+namespace dvs::daemon {
+
+namespace {
+
+template <typename EventT>
+struct Stream {
+  std::size_t process = 0;  // index into the traces vector (tie-break key)
+  std::vector<std::pair<std::uint64_t, EventT>> events;
+  std::size_t next = 0;
+
+  [[nodiscard]] bool done() const { return next >= events.size(); }
+  [[nodiscard]] std::uint64_t head_ts() const { return events[next].first; }
+  [[nodiscard]] const EventT& head() const { return events[next].second; }
+};
+
+struct MergeOutcome {
+  bool ok = true;
+  std::string error;
+  std::size_t accepted = 0;
+  std::size_t deferrals = 0;
+};
+
+/// Timestamp-greedy merge with deferral; clone-try-commit acceptance. The
+/// accepted prefix is committed into `acceptor` (callers inspect its final
+/// state, e.g. for the DVS invariant check).
+template <typename EventT, typename AcceptorT>
+MergeOutcome merge_accept(std::vector<Stream<EventT>> streams,
+                          AcceptorT& acceptor, const char* layer) {
+  MergeOutcome out;
+  std::vector<std::size_t> order;  // stream indices, resorted per step
+  for (;;) {
+    order.clear();
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (!streams[i].done()) order.push_back(i);
+    }
+    if (order.empty()) return out;
+    std::sort(order.begin(), order.end(),
+              [&streams](std::size_t a, std::size_t b) {
+                if (streams[a].head_ts() != streams[b].head_ts()) {
+                  return streams[a].head_ts() < streams[b].head_ts();
+                }
+                return streams[a].process < streams[b].process;
+              });
+    bool advanced = false;
+    std::string diagnoses;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      Stream<EventT>& s = streams[order[k]];
+      AcceptorT trial = acceptor;  // probe a copy; commit only on accept
+      const spec::AcceptResult r = trial.feed(s.head());
+      if (r.ok) {
+        acceptor = std::move(trial);
+        ++s.next;
+        ++out.accepted;
+        if (k != 0) ++out.deferrals;
+        advanced = true;
+        break;
+      }
+      diagnoses += "\n  head of process index " + std::to_string(s.process) +
+                   " (ts " + std::to_string(s.head_ts()) + "): " + r.error;
+    }
+    if (!advanced) {
+      out.ok = false;
+      out.error = std::string(layer) + ": no process head acceptable after " +
+                  std::to_string(out.accepted) + " events;" + diagnoses;
+      return out;
+    }
+  }
+}
+
+}  // namespace
+
+AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
+  AuditReport report;
+  report.processes = traces.size();
+  if (traces.empty()) {
+    report.ok = false;
+    report.error = "no traces to audit";
+    return report;
+  }
+  // Universe and v0 come from the metas, which every incarnation of every
+  // process wrote; they must agree.
+  std::size_t n = 0;
+  std::size_t initial = 0;
+  for (const ProcessTrace& t : traces) {
+    if (t.metas.empty()) {
+      report.ok = false;
+      report.error = "trace " + t.path + " has no META record";
+      return report;
+    }
+    report.incarnations += t.metas.size();
+    report.undecodable += t.undecodable;
+    report.corrupt_tail = report.corrupt_tail || t.corrupt_tail;
+    for (const TraceMeta& m : t.metas) {
+      if (n == 0) {
+        n = m.n;
+        initial = m.initial_members;
+      } else if (m.n != n || m.initial_members != initial) {
+        report.ok = false;
+        report.error =
+            "trace " + t.path + " disagrees on cluster shape (n=" +
+            std::to_string(m.n) + " initial=" +
+            std::to_string(m.initial_members) + " vs n=" + std::to_string(n) +
+            " initial=" + std::to_string(initial) + ")";
+        return report;
+      }
+    }
+  }
+  const ProcessSet universe = make_universe(n);
+  const View v0{ViewId::initial(), make_universe(initial == 0 ? n : initial)};
+
+  // Split each file into per-layer timestamped streams (local order kept).
+  std::vector<Stream<spec::VsEvent>> vs_streams(traces.size());
+  std::vector<Stream<spec::DvsEvent>> dvs_streams(traces.size());
+  std::vector<Stream<spec::ToEvent>> to_streams(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    vs_streams[i].process = i;
+    dvs_streams[i].process = i;
+    to_streams[i].process = i;
+    for (const TracedEvent& ev : traces[i].events) {
+      switch (ev.layer) {
+        case kTraceVs:
+          vs_streams[i].events.emplace_back(ev.ts_us,
+                                            std::get<spec::VsEvent>(ev.event));
+          break;
+        case kTraceDvs:
+          dvs_streams[i].events.emplace_back(
+              ev.ts_us, std::get<spec::DvsEvent>(ev.event));
+          break;
+        case kTraceTo:
+          to_streams[i].events.emplace_back(ev.ts_us,
+                                            std::get<spec::ToEvent>(ev.event));
+          break;
+        default:
+          break;
+      }
+    }
+    report.vs_events += vs_streams[i].events.size();
+    report.dvs_events += dvs_streams[i].events.size();
+    report.to_events += to_streams[i].events.size();
+  }
+
+  spec::VsAcceptor vs_acceptor(universe, v0);
+  const MergeOutcome vs =
+      merge_accept(std::move(vs_streams), vs_acceptor, "VS");
+  report.deferrals += vs.deferrals;
+  if (!vs.ok) {
+    report.ok = false;
+    report.error = vs.error;
+    return report;
+  }
+
+  spec::DvsAcceptor dvs_acceptor(universe, v0);
+  const MergeOutcome dvs =
+      merge_accept(std::move(dvs_streams), dvs_acceptor, "DVS");
+  report.deferrals += dvs.deferrals;
+  if (!dvs.ok) {
+    report.ok = false;
+    report.error = dvs.error;
+    return report;
+  }
+  // The acceptor keeps a concrete resolved DvsSpec state, so the paper's
+  // state Invariants 4.1/4.2 are checkable on the merged trace, not just
+  // trace inclusion.
+  try {
+    dvs_acceptor.spec().check_invariants();
+  } catch (const InvariantViolation& e) {
+    report.ok = false;
+    report.error = std::string("DVS invariants: ") + e.what();
+    return report;
+  }
+
+  spec::ToAcceptor to_acceptor(universe);
+  const MergeOutcome to =
+      merge_accept(std::move(to_streams), to_acceptor, "TO");
+  report.deferrals += to.deferrals;
+  if (!to.ok) {
+    report.ok = false;
+    report.error = to.error;
+    return report;
+  }
+  return report;
+}
+
+AuditReport audit_dir(const std::string& trace_dir) {
+  std::vector<ProcessTrace> traces;
+  try {
+    traces = load_trace_dir(trace_dir);
+  } catch (const std::exception& e) {
+    AuditReport report;
+    report.ok = false;
+    report.error = std::string("cannot load traces: ") + e.what();
+    return report;
+  }
+  return audit_traces(traces);
+}
+
+std::string AuditReport::to_string() const {
+  std::ostringstream os;
+  os << "audit: " << processes << " process traces, " << incarnations
+     << " incarnations ("
+     << (incarnations - std::min(incarnations, processes)) << " restarts)\n";
+  os << "  events: vs=" << vs_events << " dvs=" << dvs_events
+     << " to=" << to_events << " deferrals=" << deferrals << "\n";
+  if (corrupt_tail) os << "  note: torn tail trimmed in at least one file\n";
+  if (undecodable != 0) {
+    os << "  note: " << undecodable << " undecodable records skipped\n";
+  }
+  if (ok) {
+    os << "VERDICT: PASS\n";
+  } else {
+    os << "  violation: " << error << "\n";
+    os << "VERDICT: FAIL\n";
+  }
+  return os.str();
+}
+
+}  // namespace dvs::daemon

@@ -1,0 +1,64 @@
+// Offline trace auditor for real deployments (`model_checker --audit`).
+//
+// A simulated run checks itself online (spec::TraceRecorder sees a global
+// event order). A real cluster has no global order: each dvsd process
+// records only its own externally visible actions, timestamped with the
+// shared host clock. The auditor reconstructs a global trace per layer by
+// merging the per-process sequences — local order is preserved, and the
+// cross-process interleaving is chosen greedily by timestamp, with
+// deferral as the escape hatch: when the earliest head event is not yet
+// acceptable to the spec (clock skew, or an ordering the specs constrain
+// more tightly than the clock), the auditor tries the other processes'
+// heads before declaring a violation. Acceptance uses clone-try-commit —
+// acceptors are value types, so a rejected probe never corrupts the
+// committed state.
+//
+// A violation is reported only when NO process's head event is acceptable,
+// i.e. when no interleaving extension exists under the greedy strategy —
+// the same completeness argument as the acceptors themselves: an internal
+// spec choice only becomes observable at its first external use, and
+// per-process local order pins every per-process constraint.
+//
+// The audit is single-threaded and deterministic in its input bytes: the
+// same trace directory produces byte-identical reports regardless of
+// --jobs or load order (files sort by path; ties break by process index).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "daemon/trace_io.h"
+
+namespace dvs::daemon {
+
+struct AuditReport {
+  bool ok = true;
+  std::string error;  // first violation, with per-head diagnoses
+
+  std::size_t processes = 0;
+  std::size_t incarnations = 0;  // metas across all files (restarts visible)
+  std::size_t vs_events = 0;
+  std::size_t dvs_events = 0;
+  std::size_t to_events = 0;
+  /// Times the merge committed a head that was not the globally earliest
+  /// timestamp (clock skew absorbed by deferral).
+  std::size_t deferrals = 0;
+  std::size_t undecodable = 0;  // CRC-clean records that failed decoding
+  bool corrupt_tail = false;    // some file ended in a torn record
+
+  /// Deterministic multi-line report ending in "VERDICT: PASS" or
+  /// "VERDICT: FAIL".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Audits already-loaded traces (in-process tests hand NodeRuntime event
+/// logs straight in). Universe and v0 come from the trace metas, which
+/// must agree across files.
+[[nodiscard]] AuditReport audit_traces(const std::vector<ProcessTrace>& traces);
+
+/// Loads every *.trace under `trace_dir` and audits. Errors on an empty or
+/// missing directory.
+[[nodiscard]] AuditReport audit_dir(const std::string& trace_dir);
+
+}  // namespace dvs::daemon

@@ -1,0 +1,180 @@
+#include "daemon/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvs::daemon {
+
+namespace {
+
+[[noreturn]] void bad_line(std::size_t lineno, const std::string& line,
+                           const std::string& why) {
+  throw std::runtime_error("config line " + std::to_string(lineno) + " (" +
+                           line + "): " + why);
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::size_t pos = 0;
+  const std::uint64_t v = std::stoull(s, &pos);
+  if (pos != s.size()) throw std::runtime_error("trailing garbage in '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+net::UdpEndpoint parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    throw std::runtime_error("endpoint '" + text + "' is not host:port");
+  }
+  const std::uint64_t port = parse_u64(text.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    throw std::runtime_error("endpoint '" + text + "': port out of range");
+  }
+  return net::UdpEndpoint{text.substr(0, colon),
+                          static_cast<std::uint16_t>(port)};
+}
+
+vsys::VsConfig DaemonConfig::vs_config() const {
+  vsys::VsConfig vs;
+  vs.heartbeat_period = heartbeat_ms * sim::kMillisecond;
+  vs.suspect_timeout = suspect_ms * sim::kMillisecond;
+  vs.propose_timeout = propose_ms * sim::kMillisecond;
+  return vs;
+}
+
+DaemonConfig DaemonConfig::parse(const std::string& text) {
+  DaemonConfig config;
+  bool saw_node = false;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    try {
+      if (key == "node") {
+        std::string v;
+        ls >> v;
+        config.node = ProcessId{static_cast<std::uint32_t>(parse_u64(v))};
+        saw_node = true;
+      } else if (key == "n") {
+        std::string v;
+        ls >> v;
+        config.n = parse_u64(v);
+      } else if (key == "initial") {
+        std::string v;
+        ls >> v;
+        config.initial = parse_u64(v);
+      } else if (key == "peer") {
+        std::string id, ep;
+        if (!(ls >> id >> ep)) bad_line(lineno, line, "want: peer <id> <host:port>");
+        config.peers[ProcessId{static_cast<std::uint32_t>(parse_u64(id))}] =
+            parse_endpoint(ep);
+      } else if (key == "control") {
+        std::string ep;
+        ls >> ep;
+        config.control = parse_endpoint(ep);
+      } else if (key == "wal_dir") {
+        ls >> config.wal_dir;
+      } else if (key == "trace_dir") {
+        ls >> config.trace_dir;
+      } else if (key == "drop") {
+        ls >> config.drop;
+        if (ls.fail() || config.drop < 0.0 || config.drop > 1.0) {
+          bad_line(lineno, line, "drop must be in [0,1]");
+        }
+      } else if (key == "seed") {
+        std::string v;
+        ls >> v;
+        config.seed = parse_u64(v);
+      } else if (key == "heartbeat_ms") {
+        std::string v;
+        ls >> v;
+        config.heartbeat_ms = parse_u64(v);
+      } else if (key == "suspect_ms") {
+        std::string v;
+        ls >> v;
+        config.suspect_ms = parse_u64(v);
+      } else if (key == "propose_ms") {
+        std::string v;
+        ls >> v;
+        config.propose_ms = parse_u64(v);
+      } else if (key == "max_datagram") {
+        std::string v;
+        ls >> v;
+        config.max_datagram = parse_u64(v);
+      } else {
+        bad_line(lineno, line, "unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      bad_line(lineno, line, "malformed number");
+    } catch (const std::out_of_range&) {
+      bad_line(lineno, line, "number out of range");
+    }
+  }
+  if (!saw_node) throw std::runtime_error("config: missing 'node'");
+  if (config.n == 0) config.n = config.peers.size();
+  config.validate();
+  return config;
+}
+
+DaemonConfig DaemonConfig::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void DaemonConfig::validate() const {
+  if (n == 0) throw std::runtime_error("config: n is 0 and no peers given");
+  if (!peers.contains(node)) {
+    throw std::runtime_error("config: node " + node.to_string() +
+                             " has no peer mapping (its bind address)");
+  }
+  if (node.value() >= n) {
+    throw std::runtime_error("config: node id " + node.to_string() +
+                             " outside universe of " + std::to_string(n));
+  }
+  if (initial > n) {
+    throw std::runtime_error("config: initial > n");
+  }
+  for (const auto& [p, ep] : peers) {
+    if (p.value() >= n) {
+      throw std::runtime_error("config: peer " + p.to_string() +
+                               " outside universe of " + std::to_string(n));
+    }
+    (void)ep;
+  }
+  if (control.port == 0) {
+    throw std::runtime_error("config: missing 'control' endpoint");
+  }
+}
+
+std::string DaemonConfig::to_string() const {
+  std::ostringstream os;
+  os << "node " << node.value() << "\n";
+  os << "n " << n << "\n";
+  if (initial != 0) os << "initial " << initial << "\n";
+  for (const auto& [p, ep] : peers) {
+    os << "peer " << p.value() << " " << ep.to_string() << "\n";
+  }
+  os << "control " << control.to_string() << "\n";
+  if (!wal_dir.empty()) os << "wal_dir " << wal_dir << "\n";
+  if (!trace_dir.empty()) os << "trace_dir " << trace_dir << "\n";
+  if (drop != 0.0) os << "drop " << drop << "\n";
+  os << "seed " << seed << "\n";
+  os << "heartbeat_ms " << heartbeat_ms << "\n";
+  os << "suspect_ms " << suspect_ms << "\n";
+  os << "propose_ms " << propose_ms << "\n";
+  os << "max_datagram " << max_datagram << "\n";
+  return os.str();
+}
+
+}  // namespace dvs::daemon

@@ -1,0 +1,89 @@
+// dvsd configuration: one node of a real multi-process deployment.
+//
+// A deployment is n OS processes, each running the full VS/DVS/TO stack
+// over a UdpTransport (src/net/udp_transport.h). Every process reads the
+// same logical cluster description — node count, initial membership, the
+// peer address map — plus its own identity and local paths. The format is
+// a line-oriented key/value file so scripts/cluster.sh can generate it
+// with a heredoc:
+//
+//   # dvsd config
+//   node 0
+//   n 3
+//   initial 3
+//   peer 0 127.0.0.1:9100
+//   peer 1 127.0.0.1:9101
+//   peer 2 127.0.0.1:9102
+//   control 127.0.0.1:9200
+//   wal_dir /tmp/cluster/p0/wal
+//   trace_dir /tmp/cluster/traces
+//   drop 0.0
+//   seed 1
+//
+// '#' starts a comment; unknown keys are an error (a typo must not
+// silently change a deployment). parse() throws std::runtime_error with
+// the offending line on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+#include "net/udp_transport.h"
+#include "vsys/vs_node.h"
+
+namespace dvs::daemon {
+
+struct DaemonConfig {
+  /// This process's id (must appear in `peers`).
+  ProcessId node{};
+  /// Universe size; ids are 0..n-1 (make_universe).
+  std::size_t n = 0;
+  /// Size of the initial view v0 (the first `initial` ids); 0 = all n.
+  std::size_t initial = 0;
+  /// UDP address of every node, including this one (its bind address).
+  std::map<ProcessId, net::UdpEndpoint> peers;
+  /// Local control socket (text commands from cluster.sh / tests).
+  net::UdpEndpoint control;
+  /// Write-ahead-log directory (FileStableStore root). Empty = run without
+  /// persistence: a SIGKILL then loses this node's durable state.
+  std::string wal_dir;
+  /// Directory for the on-disk spec-event trace (one file per node, shared
+  /// directory). Empty = no trace recording, nothing to audit.
+  std::string trace_dir;
+  /// Send-side random drop probability (fault-injection knob).
+  double drop = 0.0;
+  /// Seed for the drop RNG (reproducible lossy runs).
+  std::uint64_t seed = 1;
+  /// Protocol timers, in wall-clock milliseconds.
+  std::uint64_t heartbeat_ms = 20;
+  std::uint64_t suspect_ms = 150;
+  std::uint64_t propose_ms = 400;
+  /// Largest UDP payload (see UdpConfig::max_datagram).
+  std::size_t max_datagram = 60 * 1024;
+
+  [[nodiscard]] std::size_t initial_members() const {
+    return initial == 0 ? n : initial;
+  }
+
+  /// The VsConfig these timers translate to (simulated time = microseconds
+  /// of wall clock; the daemon drives the simulator from CLOCK_MONOTONIC).
+  [[nodiscard]] vsys::VsConfig vs_config() const;
+
+  /// Parses the file format above; throws std::runtime_error on bad input.
+  [[nodiscard]] static DaemonConfig parse(const std::string& text);
+  [[nodiscard]] static DaemonConfig parse_file(const std::string& path);
+
+  /// Round-trips through parse() (used by tests and `dvsd --print-config`).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Sanity checks (node mapped, n consistent with peers, ...); throws
+  /// std::runtime_error with a diagnosis.
+  void validate() const;
+};
+
+/// Parses "host:port" into an endpoint; throws on malformed input.
+[[nodiscard]] net::UdpEndpoint parse_endpoint(const std::string& text);
+
+}  // namespace dvs::daemon

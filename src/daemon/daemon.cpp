@@ -1,0 +1,236 @@
+#include "daemon/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <sstream>
+#include <stdexcept>
+
+namespace dvs::daemon {
+
+namespace {
+
+sockaddr_in make_addr(const net::UdpEndpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("daemon: bad IPv4 address '" + ep.host + "'");
+  }
+  return addr;
+}
+
+std::uint64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+std::uint64_t realtime_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000ULL;
+}
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
+  config_.validate();
+  if (!config_.wal_dir.empty()) {
+    store_ = std::make_unique<storage::FileStableStore>(config_.wal_dir);
+  }
+  if (!config_.trace_dir.empty()) {
+    sink_ = std::make_unique<TraceSink>(
+        TraceSink::path_for(config_.trace_dir, config_.node),
+        TraceMeta{realtime_us(), config_.n, config_.initial_members(),
+                  config_.node});
+  }
+  const net::UdpEndpoint& self_ep = config_.peers.at(config_.node);
+  net::UdpConfig udp;
+  udp.self = config_.node;
+  udp.bind_host = self_ep.host;
+  udp.bind_port = self_ep.port;
+  udp.max_datagram = config_.max_datagram;
+  udp.drop_probability = config_.drop;
+  udp.drop_seed = config_.seed;
+  transport_ =
+      std::make_unique<net::UdpTransport>(udp, make_universe(config_.n));
+  for (const auto& [p, ep] : config_.peers) transport_->set_peer(p, ep);
+
+  // Control socket: same epoll instance, so one wait serves both.
+  ctl_fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ctl_fd_ < 0) {
+    throw std::runtime_error(std::string("daemon: control socket(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in ctl_addr = make_addr(config_.control);
+  if (::bind(ctl_fd_, reinterpret_cast<const sockaddr*>(&ctl_addr),
+             sizeof(ctl_addr)) != 0) {
+    const int err = errno;
+    ::close(ctl_fd_);
+    ctl_fd_ = -1;
+    throw std::runtime_error("daemon: control bind(" +
+                             config_.control.to_string() +
+                             "): " + std::strerror(err));
+  }
+  socklen_t len = sizeof(ctl_addr);
+  ::getsockname(ctl_fd_, reinterpret_cast<sockaddr*>(&ctl_addr), &len);
+  control_port_ = ntohs(ctl_addr.sin_port);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = ctl_fd_;
+  if (::epoll_ctl(transport_->epoll_fd(), EPOLL_CTL_ADD, ctl_fd_, &ev) != 0) {
+    const int err = errno;
+    ::close(ctl_fd_);
+    ctl_fd_ = -1;
+    throw std::runtime_error(std::string("daemon: epoll_ctl(control): ") +
+                             std::strerror(err));
+  }
+
+  RuntimeOptions options;
+  options.vs = config_.vs_config();
+  runtime_ = std::make_unique<NodeRuntime>(
+      config_.node, config_.n, config_.initial_members(), *transport_, sim_,
+      options, store_.get(), sink_.get(), &realtime_us);
+  transport_->bind_metrics(metrics_);
+  runtime_->bind_metrics(metrics_);
+  t0_ns_ = monotonic_ns();
+}
+
+Daemon::~Daemon() {
+  if (ctl_fd_ >= 0) ::close(ctl_fd_);
+}
+
+std::uint64_t Daemon::elapsed_us() const {
+  return (monotonic_ns() - t0_ns_) / 1000ULL;
+}
+
+int Daemon::run(const volatile std::sig_atomic_t* stop) {
+  runtime_->start();
+  epoll_event events[8];
+  while (!quit_ && (stop == nullptr || *stop == 0)) {
+    // Fire every timer due by now; the callbacks may send.
+    sim_.run_until(elapsed_us());
+    transport_->flush();
+    // Sleep until the next timer or the next datagram, whichever first.
+    // The 50ms cap bounds the reaction time to signals.
+    int timeout_ms = 50;
+    if (const auto next = sim_.next_event_time(); next.has_value()) {
+      const sim::Time now = sim_.now();
+      const sim::Time wait = *next > now ? *next - now : 0;
+      timeout_ms = static_cast<int>(
+          std::min<sim::Time>((wait + 999) / 1000, 50));
+    }
+    const int n = ::epoll_wait(transport_->epoll_fd(), events, 8, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks *stop
+      return 1;
+    }
+    // Advance simulated time to the arrival instant before dispatching, so
+    // handlers scheduling relative timers see the true now().
+    sim_.run_until(elapsed_us());
+    for (int i = 0; i < n; ++i) {
+      if (events[i].data.fd == transport_->socket_fd()) {
+        transport_->drain();
+      } else if (events[i].data.fd == ctl_fd_) {
+        handle_control();
+      }
+    }
+    transport_->flush();
+  }
+  transport_->flush();
+  return 0;
+}
+
+void Daemon::handle_control() {
+  char buf[4096];
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n =
+        ::recvfrom(ctl_fd_, buf, sizeof(buf) - 1, 0,
+                   reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: queue drained
+    }
+    std::string command(buf, static_cast<std::size_t>(n));
+    while (!command.empty() &&
+           (command.back() == '\n' || command.back() == '\r' ||
+            command.back() == ' ')) {
+      command.pop_back();
+    }
+    const std::string reply = execute(command);
+    (void)::sendto(ctl_fd_, reply.data(), reply.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&src), src_len);
+  }
+}
+
+std::string Daemon::execute(const std::string& command) {
+  std::istringstream is(command);
+  std::string op;
+  is >> op;
+  if (op == "ping") {
+    return "pong " + config_.node.to_string() +
+           " pid=" + std::to_string(::getpid()) +
+           " recovered=" + (runtime_->recovered() ? "1" : "0");
+  }
+  if (op == "put") {
+    std::string key, value;
+    if (!(is >> key >> value)) return "err usage: put <key> <value>";
+    const std::uint64_t uid =
+        runtime_->bcast_command("put " + key + " " + value);
+    return "ok uid=" + std::to_string(uid);
+  }
+  if (op == "del") {
+    std::string key;
+    if (!(is >> key)) return "err usage: del <key>";
+    const std::uint64_t uid = runtime_->bcast_command("del " + key);
+    return "ok uid=" + std::to_string(uid);
+  }
+  if (op == "get") {
+    std::string key;
+    if (!(is >> key)) return "err usage: get <key>";
+    if (!runtime_->kv().data().contains(key)) return "(nil)";
+    return runtime_->kv().get(key);
+  }
+  if (op == "dump") return runtime_->kv().snapshot();
+  if (op == "digest") {
+    std::ostringstream os;
+    os << "digest=" << std::hex << runtime_->kv().digest() << std::dec
+       << " applied=" << runtime_->kv().applied();
+    return os.str();
+  }
+  if (op == "applied") return std::to_string(runtime_->kv().applied());
+  if (op == "view") {
+    const std::optional<View>& v = runtime_->vs().view();
+    if (!v.has_value()) return "no-view";
+    return "view=" + v->to_string() +
+           " primary=" + (runtime_->dvs().in_primary() ? "1" : "0");
+  }
+  if (op == "stats") return metrics_.snapshot().to_prometheus();
+  if (op == "drop") {
+    double p = 0.0;
+    if (!(is >> p) || p < 0.0 || p > 1.0) {
+      return "err usage: drop <probability in [0,1]>";
+    }
+    transport_->set_drop_probability(p);
+    return "ok";
+  }
+  if (op == "quit") {
+    quit_ = true;
+    return "ok";
+  }
+  return "err unknown command '" + op + "'";
+}
+
+}  // namespace dvs::daemon

@@ -1,0 +1,88 @@
+// Daemon: one dvsd OS process — a full VS/DVS/TO node over real UDP.
+//
+// The protocol stack was written against sim::Simulator's virtual clock;
+// the daemon reuses it unmodified by driving the simulator from the wall
+// clock: simulated time is defined as "microseconds since daemon start"
+// (CLOCK_MONOTONIC), the event loop advances the simulator to the current
+// elapsed time before and after every socket wait, and the epoll timeout
+// is bounded by the next pending timer so heartbeats fire on schedule.
+// Everything stays single-threaded: timer callbacks, datagram handlers
+// and control commands all run on the loop thread, exactly like in the
+// simulator.
+//
+// A UDP control socket accepts one-datagram text commands (cluster.sh and
+// the system tests drive workloads through it):
+//
+//   ping                 -> "pong <self> pid=<pid>"
+//   put <key> <value...> -> broadcasts "put k v", replies "ok uid=<uid>"
+//   del <key>            -> broadcasts "del k",   replies "ok uid=<uid>"
+//   get <key>            -> the local replica's value, or "(nil)"
+//   dump                 -> KvStateMachine::snapshot()
+//   digest               -> "digest=<hex> applied=<n>"
+//   view                 -> "view=<id> members=<k> primary=<0|1>" | "no-view"
+//   stats                -> metrics snapshot (Prometheus-style text)
+//   drop <probability>   -> sets the UDP send-drop knob, replies "ok"
+//   quit                 -> replies "ok", exits the loop gracefully
+//
+// Shutdown: `quit`, SIGTERM or SIGINT end the loop after the current
+// iteration; traces and WALs are already on the kernel side at every
+// point (the sink flushes per record), so SIGKILL loses at most the one
+// record being written — which the CRC framing turns into a clean torn
+// tail for the next incarnation and the auditor.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+
+#include "daemon/config.h"
+#include "daemon/runtime.h"
+#include "net/udp_transport.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "storage/file_store.h"
+
+namespace dvs::daemon {
+
+class Daemon {
+ public:
+  /// Opens sockets, storage and trace sink; builds (and, when the WAL dir
+  /// already holds journals, recovers) the node. Throws on setup errors.
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Runs the event loop until `quit` or until *stop becomes nonzero
+  /// (signal handlers set it). Returns the process exit code.
+  int run(const volatile std::sig_atomic_t* stop = nullptr);
+
+  [[nodiscard]] NodeRuntime& runtime() { return *runtime_; }
+  [[nodiscard]] net::UdpTransport& transport() { return *transport_; }
+  /// The control socket's bound port (the config may say port 0 in tests).
+  [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
+
+ private:
+  void handle_control();
+  [[nodiscard]] std::string execute(const std::string& command);
+  [[nodiscard]] std::uint64_t elapsed_us() const;
+
+  DaemonConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::UdpTransport> transport_;
+  std::unique_ptr<storage::FileStableStore> store_;
+  std::unique_ptr<TraceSink> sink_;
+  std::unique_ptr<NodeRuntime> runtime_;
+  obs::MetricsRegistry metrics_;
+  int ctl_fd_ = -1;
+  std::uint16_t control_port_ = 0;
+  std::uint64_t t0_ns_ = 0;
+  bool quit_ = false;
+};
+
+/// Wall-clock microseconds (CLOCK_REALTIME) — the trace timestamp domain
+/// shared by every process on the host.
+[[nodiscard]] std::uint64_t realtime_us();
+
+}  // namespace dvs::daemon

@@ -1,0 +1,132 @@
+// NodeRuntime: one process's full VS/DVS/TO stack over an abstract
+// Transport, with a replicated key-value state machine on top.
+//
+// This is the single-process counterpart of tosys::Cluster: the same
+// bottom-up construction, the same callback wrapping for spec-event
+// observation, the same crash-restart recovery sequence — but for exactly
+// one ProcessId, over any Transport (a UdpTransport in dvsd, a shared
+// SimNetwork in the sim-vs-real differential tests). Spec events go to an
+// on-disk TraceSink (real deployments; the offline auditor replays them)
+// and/or an in-memory log (in-process tests feed it to the same auditor
+// without touching the filesystem).
+//
+// Recovery is automatic: if the stable store already holds journals for
+// this process, the constructor rebuilds from them exactly like
+// Cluster::restart — the node starts with no view and rejoins through the
+// membership protocol — and records the spec::EvCrash that relaxes the TO
+// sender-FIFO obligation for the lost incarnation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/state_machine.h"
+#include "common/types.h"
+#include "common/view.h"
+#include "daemon/trace_io.h"
+#include "dvsys/dvs_node.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "storage/stable_store.h"
+#include "tosys/to_node.h"
+#include "vsys/vs_node.h"
+
+namespace dvs::daemon {
+
+struct RuntimeOptions {
+  vsys::VsConfig vs;
+  bool gc_enabled = true;
+  bool registration_enabled = true;
+  toimpl::DvsToToOptions to_options;
+  WeightMap weights;
+  /// Keep every spec event in memory (events()); in-process tests audit
+  /// these directly. dvsd turns it off — its events go to the TraceSink.
+  bool record_in_memory = false;
+};
+
+/// One BRCV delivery applied to the local state machine.
+struct RuntimeDelivery {
+  ProcessId origin{};
+  AppMsg msg;
+  std::uint64_t ts_us = 0;
+};
+
+class NodeRuntime {
+ public:
+  /// `store` (nullable) enables persistence; `sink` (nullable) enables
+  /// on-disk traces; `now_us` supplies event timestamps (CLOCK_REALTIME in
+  /// dvsd, sim time in tests). Both pointers must outlive the runtime.
+  NodeRuntime(ProcessId self, std::size_t n, std::size_t initial_members,
+              net::Transport& net, sim::Simulator& sim, RuntimeOptions options,
+              storage::StableStore* store, TraceSink* sink,
+              std::function<std::uint64_t()> now_us);
+
+  /// Attaches the net handler and arms the timers (VsNode::start).
+  void start();
+
+  /// True when the constructor found prior journals and rebuilt from them
+  /// (this run is a crash-restart incarnation).
+  [[nodiscard]] bool recovered() const { return recovered_; }
+
+  /// Client broadcast of one state-machine command; returns the uid the
+  /// command travels under (unique per origin across incarnations).
+  std::uint64_t bcast_command(const std::string& command);
+
+  [[nodiscard]] ProcessId self() const { return self_; }
+  [[nodiscard]] const ProcessSet& universe() const { return universe_; }
+  [[nodiscard]] const View& v0() const { return v0_; }
+  [[nodiscard]] vsys::VsNode& vs() { return *vs_; }
+  [[nodiscard]] dvsys::DvsNode& dvs() { return *dvs_; }
+  [[nodiscard]] tosys::ToNode& to() { return *to_; }
+  [[nodiscard]] const apps::KvStateMachine& kv() const { return kv_; }
+
+  [[nodiscard]] const std::vector<RuntimeDelivery>& deliveries() const {
+    return deliveries_;
+  }
+  /// The in-memory spec-event log (empty unless record_in_memory).
+  [[nodiscard]] const std::vector<TracedEvent>& events() const {
+    return events_;
+  }
+
+  void set_delivery_hook(std::function<void(const RuntimeDelivery&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  /// vs/dvs/to counters plus app.applied.
+  void bind_metrics(obs::MetricsRegistry& metrics);
+
+  /// Stable-store key for one layer's journal — same scheme as
+  /// tosys::Cluster ("pN/vs" etc.), so sim- and real-written WALs line up.
+  [[nodiscard]] static std::string storage_key(ProcessId p, const char* layer);
+
+ private:
+  void wire();
+  void note(const spec::VsEvent& event);
+  void note(const spec::DvsEvent& event);
+  void note(const spec::ToEvent& event);
+
+  ProcessId self_;
+  ProcessSet universe_;
+  View v0_;
+  RuntimeOptions options_;
+  storage::StableStore* store_;
+  TraceSink* sink_;
+  std::function<std::uint64_t()> now_us_;
+  bool recovered_ = false;
+
+  std::unique_ptr<vsys::VsNode> vs_;
+  std::unique_ptr<dvsys::DvsNode> dvs_;
+  std::unique_ptr<tosys::ToNode> to_;
+
+  apps::KvStateMachine kv_;
+  std::vector<RuntimeDelivery> deliveries_;
+  std::vector<TracedEvent> events_;
+  std::function<void(const RuntimeDelivery&)> delivery_hook_;
+  std::uint64_t uid_salt_ = 0;
+};
+
+}  // namespace dvs::daemon

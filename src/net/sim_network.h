@@ -41,6 +41,7 @@
 #include "common/serialize.h"
 #include "common/types.h"
 #include "common/view.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "sim/simulator.h"
 
@@ -100,55 +101,28 @@ struct NetConfig {
   std::size_t arena_max_retained = 1024;
 };
 
-struct NetStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t dropped_random = 0;
-  std::uint64_t dropped_partition = 0;
-  std::uint64_t dropped_crash = 0;
-  std::uint64_t bytes_sent = 0;
-  /// Extra copies scheduled by duplication (each may still be lost to an
-  /// in-flight partition like any other delivery).
-  std::uint64_t duplicated = 0;
-  /// Deliveries that bypassed the link FIFO clock.
-  std::uint64_t reordered = 0;
-  /// Payloads truncated in flight.
-  std::uint64_t truncated = 0;
-  /// Datagrams actually put on the wire (BATCH envelopes when batching;
-  /// equals the per-copy schedule count otherwise) and their payload bytes.
-  /// `sent`/`bytes_sent` keep logical-message semantics in both modes, so
-  /// datagrams/wire_bytes vs sent/bytes_sent is the batching win.
-  std::uint64_t datagrams = 0;
-  std::uint64_t wire_bytes = 0;
-  /// Batching: multi-frame BATCH envelopes put on the wire and the logical
-  /// frames carried inside them (single-frame flushes travel as the raw
-  /// frame and count in neither), flushes forced by the count/byte caps,
-  /// and damaged envelopes the receiver had to salvage frame-by-frame.
-  std::uint64_t batches = 0;
-  std::uint64_t batched_msgs = 0;
-  std::uint64_t batch_cap_flushes = 0;
-  std::uint64_t batch_salvaged = 0;
-};
+// NetStats lives in net/transport.h — it is the stats contract every
+// Transport backend shares.
 
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
-  using Handler = std::function<void(ProcessId from, const Bytes& payload)>;
+  using Handler = Transport::Handler;
 
   SimNetwork(sim::Simulator& sim, Rng& rng, NetConfig config,
              ProcessSet processes);
 
   /// Registers the receive handler for `p`. Must be called before traffic.
-  void attach(ProcessId p, Handler handler);
+  void attach(ProcessId p, Handler handler) override;
 
   /// Sends a datagram; self-sends are delivered (with delay) too. The bytes
   /// are copied out (into a recycled arena slot by default), so the caller
   /// may reuse its buffer immediately — the broadcast hot paths hand the
   /// same scratch encoding to every destination.
-  void send(ProcessId from, ProcessId to, const Bytes& payload);
+  void send(ProcessId from, ProcessId to, const Bytes& payload) override;
 
   /// Sends to every process in `targets` (including `from` if present).
   void multicast(ProcessId from, const ProcessSet& targets,
-                 const Bytes& payload);
+                 const Bytes& payload) override;
 
   // ----- fault injection -----------------------------------------------------
 
@@ -184,8 +158,10 @@ class SimNetwork {
   [[nodiscard]] bool connected(ProcessId a, ProcessId b) const;
 
   [[nodiscard]] const NetConfig& config() const { return config_; }
-  [[nodiscard]] const NetStats& stats() const { return stats_; }
-  [[nodiscard]] const ProcessSet& processes() const { return processes_; }
+  [[nodiscard]] const NetStats& stats() const override { return stats_; }
+  [[nodiscard]] const ProcessSet& processes() const override {
+    return processes_;
+  }
   /// The in-flight payload slab (recycling stats; see common/arena.h).
   [[nodiscard]] const MsgArena& arena() const { return arena_; }
 

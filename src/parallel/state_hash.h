@@ -15,7 +15,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <functional>
 
 namespace dvs::parallel {
@@ -50,8 +49,15 @@ inline std::uint64_t fmix64(std::uint64_t k) {
 }
 
 inline std::uint64_t load64(const std::byte* p) {
-  std::uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
+  // Explicit little-endian assembly, matching the tail path below: a raw
+  // memcpy would read host order, making the "byte-order independent"
+  // promise above false on big-endian targets (the tail bytes and the
+  // block bytes of one logical value would combine differently). GCC and
+  // Clang fold this to the same single load on little-endian machines.
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= std::uint64_t(std::to_integer<std::uint8_t>(p[i])) << (8 * i);
+  }
   return v;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -54,6 +55,14 @@ class Simulator {
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
+
+  /// Timestamp of the earliest pending event, if any. A wall-clock driver
+  /// (the dvsd daemon) uses this to bound its poll timeout: sleep until the
+  /// next timer is due or a datagram arrives, then run_until(elapsed).
+  [[nodiscard]] std::optional<Time> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.top().at;
+  }
 
  private:
   // The heap holds only POD tickets; callbacks live in a slot pool indexed

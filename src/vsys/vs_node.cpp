@@ -7,7 +7,7 @@
 namespace dvs::vsys {
 
 VsNode::VsNode(ProcessId self, std::optional<View> initial_view,
-               net::SimNetwork& net, sim::Simulator& sim, VsConfig config,
+               net::Transport& net, sim::Simulator& sim, VsConfig config,
                VsCallbacks callbacks)
     : self_(self),
       net_(net),

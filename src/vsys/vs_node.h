@@ -62,7 +62,8 @@
 #include "common/ring.h"
 #include "common/types.h"
 #include "common/view.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "storage/wal.h"
 #include "vsys/watermarks.h"
@@ -153,7 +154,7 @@ class VsNode {
   /// `initial_view` is v0 for members of the initial membership, nullopt
   /// for processes that join later.
   VsNode(ProcessId self, std::optional<View> initial_view,
-         net::SimNetwork& net, sim::Simulator& sim, VsConfig config,
+         net::Transport& net, sim::Simulator& sim, VsConfig config,
          VsCallbacks callbacks);
 
   /// Replaces the callbacks; must be called before start().
@@ -249,7 +250,7 @@ class VsNode {
   void bump_epoch(std::uint64_t epoch);
 
   ProcessId self_;
-  net::SimNetwork& net_;
+  net::Transport& net_;
   sim::Simulator& sim_;
   VsConfig config_;
   VsCallbacks callbacks_;

@@ -1,0 +1,246 @@
+// Real-deployment system test: three dvsd OS processes on loopback.
+//
+// This is the end-to-end proof that the stack survives outside the
+// simulator: the test forks the actual dvsd binary (path baked in via
+// DVSD_BIN_PATH) three times with generated config files, drives the
+// cluster through its UDP control sockets, SIGKILLs one member mid-stream
+// (a genuine crash — no destructors, a torn trace tail on disk), relaunches
+// it, and finally audits the merged on-disk traces with the same offline
+// auditor `model_checker --audit` uses.
+//
+// What must hold at the end:
+//   * the two survivors converge to identical KV state containing every
+//     command, including those issued while the third was dead;
+//   * the relaunched process reports recovered=1 and applies commands
+//     issued after its rejoin;
+//   * daemon::audit_dir over the trace directory — 3 processes, 4
+//     incarnations — ends in VERDICT: PASS.
+//
+// Set DVS_NO_NET=1 to skip (no loopback sockets available).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "daemon/audit.h"
+
+namespace dvs {
+namespace {
+
+constexpr int kNodes = 3;
+
+bool no_net() {
+  const char* env = std::getenv("DVS_NO_NET");
+  return env != nullptr && env[0] == '1';
+}
+
+/// One UDP control round-trip; "" on timeout/error (callers retry via
+/// await()).
+std::string ctl(std::uint16_t port, const std::string& command,
+                int timeout_ms = 300) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string reply;
+  if (::sendto(fd, command.data(), command.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) >= 0) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) > 0) {
+      char buf[65536];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) reply.assign(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return reply;
+}
+
+bool await(const std::function<bool()>& pred, int deadline_ms,
+           int poll_ms = 50) {
+  for (int waited = 0;; waited += poll_ms) {
+    if (pred()) return true;
+    if (waited >= deadline_ms) return false;
+    ::usleep(static_cast<useconds_t>(poll_ms) * 1000);
+  }
+}
+
+class DvsdLocalhostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (no_net()) GTEST_SKIP() << "DVS_NO_NET=1: skipping localhost cluster";
+    char tmpl[] = "/tmp/dvsd_localhost_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    // Spread port ranges across concurrent test runs; a collision shows up
+    // as a bind failure in the child's log and a ping timeout here.
+    base_port_ =
+        static_cast<std::uint16_t>(22000 + (::getpid() * 17) % 30000);
+    for (int i = 0; i < kNodes; ++i) write_config(i);
+  }
+
+  void TearDown() override {
+    for (int i = 0; i < kNodes; ++i) {
+      if (pids_[i] > 0) {
+        ::kill(pids_[i], SIGKILL);
+        reap(i, 5000);
+      }
+    }
+    if (!HasFailure() && !dir_.empty()) {
+      std::filesystem::remove_all(dir_);
+    } else if (!dir_.empty()) {
+      // Keep configs, daemon logs and traces for the post-mortem.
+      std::fprintf(stderr, "dvsd test artifacts kept at %s\n", dir_.c_str());
+    }
+  }
+
+  [[nodiscard]] std::uint16_t peer_port(int i) const {
+    return static_cast<std::uint16_t>(base_port_ + i);
+  }
+  [[nodiscard]] std::uint16_t ctl_port(int i) const {
+    return static_cast<std::uint16_t>(base_port_ + kNodes + i);
+  }
+
+  void write_config(int i) {
+    std::ofstream out(dir_ + "/p" + std::to_string(i) + ".conf");
+    out << "node " << i << "\n"
+        << "n " << kNodes << "\n"
+        << "initial " << kNodes << "\n";
+    for (int j = 0; j < kNodes; ++j) {
+      out << "peer " << j << " 127.0.0.1:" << peer_port(j) << "\n";
+    }
+    out << "control 127.0.0.1:" << ctl_port(i) << "\n"
+        << "wal_dir " << dir_ << "/p" << i << "/wal\n"
+        << "trace_dir " << dir_ << "/traces\n";
+    ASSERT_TRUE(out.good());
+  }
+
+  void spawn(int i) {
+    const std::string config = dir_ + "/p" + std::to_string(i) + ".conf";
+    const std::string log = dir_ + "/p" + std::to_string(i) + ".log";
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+      const int fd = ::open(log.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+      ::execl(DVSD_BIN_PATH, "dvsd", "--config", config.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);  // exec failed
+    }
+    pids_[i] = pid;
+  }
+
+  void kill_hard(int i) {
+    ASSERT_EQ(::kill(pids_[i], SIGKILL), 0);
+    ASSERT_TRUE(reap(i, 5000));
+  }
+
+  /// waitpid with a deadline; clears the pid slot on success.
+  bool reap(int i, int deadline_ms) {
+    const bool gone = await(
+        [&] {
+          return ::waitpid(pids_[i], nullptr, WNOHANG) == pids_[i];
+        },
+        deadline_ms, 20);
+    if (gone) pids_[i] = -1;
+    return gone;
+  }
+
+  [[nodiscard]] bool pingable(int i) {
+    return ctl(ctl_port(i), "ping").rfind("pong", 0) == 0;
+  }
+
+  [[nodiscard]] bool dumps_equal(std::initializer_list<int> nodes,
+                                 const std::string& want) {
+    for (int i : nodes) {
+      if (ctl(ctl_port(i), "dump") != want) return false;
+    }
+    return true;
+  }
+
+  std::string dir_;
+  std::uint16_t base_port_ = 0;
+  std::array<pid_t, kNodes> pids_{-1, -1, -1};
+};
+
+TEST_F(DvsdLocalhostTest, KillRejoinAndAuditPasses) {
+  for (int i = 0; i < kNodes; ++i) spawn(i);
+  for (int i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(await([&] { return pingable(i); }, 15000))
+        << "node " << i << " never answered ping";
+  }
+
+  // Seed data from two different origins and wait for full convergence.
+  ASSERT_EQ(ctl(ctl_port(0), "put color red").rfind("ok", 0), 0u);
+  ASSERT_EQ(ctl(ctl_port(2), "put shape circle").rfind("ok", 0), 0u);
+  const std::string seeded = "color=red;shape=circle;";
+  ASSERT_TRUE(await([&] { return dumps_equal({0, 1, 2}, seeded); }, 15000))
+      << "cluster never converged on the seed data";
+
+  // A genuine crash: SIGKILL gives p1 no chance to flush or deregister.
+  kill_hard(1);
+
+  // The survivors form a new primary view and keep accepting commands.
+  ASSERT_EQ(ctl(ctl_port(0), "put size large").rfind("ok", 0), 0u);
+  const std::string after_kill = "color=red;shape=circle;size=large;";
+  ASSERT_TRUE(await([&] { return dumps_equal({0, 2}, after_kill); }, 20000))
+      << "survivors never converged after the kill";
+
+  // Crash-restart: same config, fresh process, recovery from the WAL.
+  spawn(1);
+  ASSERT_TRUE(await(
+      [&] {
+        const std::string pong = ctl(ctl_port(1), "ping");
+        return pong.find("recovered=1") != std::string::npos;
+      },
+      15000))
+      << "restarted node never reported recovered=1";
+
+  // Commands issued after the rejoin reach the restarted replica.
+  ASSERT_EQ(ctl(ctl_port(0), "put rejoin yes").rfind("ok", 0), 0u);
+  ASSERT_TRUE(await(
+      [&] { return ctl(ctl_port(1), "get rejoin") == "yes"; }, 20000))
+      << "restarted node never applied a post-rejoin command";
+
+  // Survivors agree on the full history (the restarted node's volatile KV
+  // only holds post-rejoin commands — durable TO cursors dedup the rest —
+  // so it is checked via `get`, not full-dump equality).
+  const std::string dump0 = ctl(ctl_port(0), "dump");
+  const std::string dump2 = ctl(ctl_port(2), "dump");
+  EXPECT_FALSE(dump0.empty());
+  EXPECT_EQ(dump0, dump2);
+  EXPECT_NE(dump0.find("rejoin=yes"), std::string::npos);
+
+  // Graceful shutdown, then the offline audit over the merged traces.
+  for (int i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(ctl(ctl_port(i), "quit"), "ok");
+    EXPECT_TRUE(reap(i, 5000)) << "node " << i << " did not exit on quit";
+  }
+  const daemon::AuditReport report = daemon::audit_dir(dir_ + "/traces");
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.processes, 3u);
+  EXPECT_EQ(report.incarnations, 4u);  // one restart
+  EXPECT_GT(report.to_events, 0u);
+}
+
+}  // namespace
+}  // namespace dvs
