@@ -16,6 +16,8 @@
 #include "net/udp_transport.h"
 #include "storage/file_store.h"
 #include "tosys/cluster.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
 
 namespace {
 
@@ -316,6 +318,47 @@ void BM_TraceAcceptance(benchmark::State& state) {
                           static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_TraceAcceptance);
+
+void BM_Scenario(benchmark::State& state) {
+  // One full scenario seed per iteration: client swarm + compiled fault
+  // plan + online oracle + SLO accounting, i.e. the whole workload-engine
+  // path over the stack. Axis 0 is the faultless closed-loop baseline;
+  // axis 1 adds crash-restart churn with persistence underneath. The
+  // label counters (completed ops, views, restarts, availability) are
+  // deterministic — the review surface; wall clock is indicative.
+  const bool churny = state.range(0) != 0;
+  workload::Scenario sc;
+  sc.name = churny ? "bench-churn" : "bench-steady";
+  sc.n = 3;
+  sc.seeds = 1;
+  sc.seed = 7;
+  sc.warmup = 200 * kMillisecond;
+  sc.horizon = 2 * kSecond;
+  sc.settle = 1 * kSecond;
+  sc.clients = 2;
+  sc.think = 5 * kMillisecond;
+  sc.mix.keys = 100;
+  if (churny) {
+    sc.churn = workload::ChurnSpec{1.0, true, 200 * kMillisecond,
+                                   600 * kMillisecond};
+  }
+  sc.validate();
+
+  workload::SeedOutcome out;
+  for (auto _ : state) {
+    out = workload::run_scenario_seed(sc, sc.seed);
+    benchmark::DoNotOptimize(out.slo.completed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.slo.completed));
+  state.counters["completed"] = static_cast<double>(out.slo.completed);
+  state.counters["commits"] = static_cast<double>(out.slo.commits);
+  state.counters["views"] = static_cast<double>(out.slo.views_installed);
+  state.counters["restarts"] = static_cast<double>(out.slo.restarts);
+  state.counters["avail_ppm"] = static_cast<double>(out.slo.availability_ppm());
+  state.SetLabel(churny ? "churn-restart" : "faultless");
+}
+BENCHMARK(BM_Scenario)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // ----- real-transport axis (E21) ---------------------------------------------
 // The same NodeRuntime stack the sim benchmarks exercise, but over real UDP

@@ -14,6 +14,7 @@
 //   $ ./build/examples/model_checker --chaos --batch [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --restart [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --audit <trace-dir>
+//   $ ./build/examples/model_checker --scenario <file.scn> --jobs N
 //
 // The default mode runs seeded random exploration of DVS-IMPL and TO-IMPL
 // with every checker armed. `--jobs N` fans the seeds across N worker
@@ -34,6 +35,11 @@
 // scripted kRestart faults in the plan, and kCrash upgraded to real
 // crashes (volatile state wiped, node rebuilt from its journal) — the
 // oracles keep checking across every restart.
+// --scenario runs a declarative .scn workload/topology/fault scenario
+// (src/workload) over its seed range with the conformance oracle and span
+// invariants always on, and prints the SLO report as pure JSON on stdout —
+// byte-identical for any --jobs value. Exit 0 = every seed passed the
+// oracle AND the report meets the scenario's declared SLOs.
 // --audit replays a real deployment's on-disk spec-event traces (recorded
 // by dvsd processes) through the same acceptors: per-process local order
 // is preserved, the cross-process interleaving is merged by timestamp
@@ -56,6 +62,8 @@
 #include "parallel/seed_sweep.h"
 #include "parallel/thread_pool.h"
 #include "tosys/chaos.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
 
 using namespace dvs;  // NOLINT
 
@@ -248,6 +256,7 @@ int main(int argc, char** argv) {
   bool sweep_mode = false;
   bool chaos_mode = false;
   const char* audit_dir = nullptr;
+  const char* scenario_file = nullptr;
   bool smoke = false;
   bool erratum = false;
   bool metrics = false;
@@ -260,6 +269,8 @@ int main(int argc, char** argv) {
       sweep_mode = true;
     } else if (std::strcmp(argv[i], "--audit") == 0 && i + 1 < argc) {
       audit_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario_file = argv[++i];
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos_mode = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -285,6 +296,30 @@ int main(int argc, char** argv) {
       const daemon::AuditReport report = daemon::audit_dir(audit_dir);
       std::fputs(report.to_string().c_str(), stdout);
       return report.ok ? 0 : 1;
+    }
+    if (scenario_file != nullptr) {
+      // Declarative workload/topology/fault scenario. stdout is PURE JSON
+      // (the SLO report) so scripts can byte-compare across --jobs values;
+      // diagnostics go to stderr.
+      const workload::Scenario sc = workload::Scenario::parse_file(
+          scenario_file);
+      const workload::ScenarioSweepResult result =
+          workload::run_scenario(sc, jobs);
+      if (!result.ok()) {
+        std::fprintf(stderr,
+                     "SCENARIO FAILURE (lowest failing seed %llu of %zu "
+                     "failing):\n%s\n",
+                     static_cast<unsigned long long>(result.first_failing_seed),
+                     result.seeds_failed, result.first_failure.c_str());
+        return 1;
+      }
+      std::fputs(result.slo.to_json().c_str(), stdout);
+      if (!result.slo.slo_pass()) {
+        std::fprintf(stderr, "\nDECLARED SLO NOT MET for scenario '%s'.\n",
+                     result.slo.scenario.c_str());
+        return 1;
+      }
+      return 0;
     }
     if (chaos_mode) {
       const std::size_t n =

@@ -1,0 +1,314 @@
+// scenario_runner — run a declarative .scn scenario and report its SLOs.
+//
+// Simulated mode (default) executes the scenario end to end on the
+// deterministic in-process stack, exactly like `model_checker --scenario`,
+// but prints a human-readable SLO summary (use --json for the raw report):
+//
+//   $ scenario_runner scenarios/steady.scn
+//   $ scenario_runner scenarios/churn-storm.scn --jobs 4 --seeds 8 --json
+//
+// Real mode (--real) drives the scenario's YCSB-style operation mix against
+// a LIVE dvsd cluster through the daemons' UDP control sockets — the same
+// wire path `dvsd --ctl` uses — with closed-loop clients round-robined over
+// the endpoints and wall-clock latency percentiles on the replies:
+//
+//   $ scenario_runner scenarios/steady.scn --duration-ms 5000
+//       --real 127.0.0.1:9300,127.0.0.1:9301,127.0.0.1:9302
+//
+// Real mode generates the IDENTICAL deterministic per-client operation
+// streams (same seed → same keys/values), so a simulated and a real run of
+// one scenario exercise the same workload. The fault script is not applied
+// in real mode — process lifecycle belongs to scripts/cluster.sh, whose
+// `scenario` subcommand runs this driver and then audits the daemons'
+// on-disk traces. Scans map to a get of the scan's start key over the
+// control protocol. Exit 0 = every issued op got a reply and, in simulated
+// mode, the oracle and declared SLOs held.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "workload/runner.h"
+#include "workload/scenario.h"
+
+using namespace dvs;  // NOLINT
+
+namespace {
+
+void print_histogram(const char* label, const obs::HistogramSnapshot& h) {
+  std::printf("  %-9s p50 %6llu us   p95 %6llu us   p99 %6llu us   "
+              "max %6llu us   (%llu samples)\n",
+              label, static_cast<unsigned long long>(h.p50()),
+              static_cast<unsigned long long>(h.p95()),
+              static_cast<unsigned long long>(h.p99()),
+              static_cast<unsigned long long>(h.max),
+              static_cast<unsigned long long>(h.count));
+}
+
+int run_simulated(const workload::Scenario& sc, std::size_t jobs, bool json) {
+  const workload::ScenarioSweepResult result = workload::run_scenario(sc, jobs);
+  if (!result.ok()) {
+    std::fprintf(stderr,
+                 "SCENARIO FAILURE (lowest failing seed %llu of %zu "
+                 "failing):\n%s\n",
+                 static_cast<unsigned long long>(result.first_failing_seed),
+                 result.seeds_failed, result.first_failure.c_str());
+    return 1;
+  }
+  const workload::SloReport& r = result.slo;
+  if (json) {
+    std::fputs(r.to_json().c_str(), stdout);
+    std::fputc('\n', stdout);
+    return r.slo_pass() ? 0 : 1;
+  }
+  std::printf("scenario '%s': n=%llu, %llu seed(s) from %llu — "
+              "zero oracle violations\n",
+              r.scenario.c_str(), static_cast<unsigned long long>(r.n),
+              static_cast<unsigned long long>(r.seeds),
+              static_cast<unsigned long long>(r.first_seed));
+  std::printf("  ops: %llu issued (%llu reads / %llu writes / %llu scans), "
+              "%llu completed, %llu commits, %llu client timeouts\n",
+              static_cast<unsigned long long>(r.issued),
+              static_cast<unsigned long long>(r.reads),
+              static_cast<unsigned long long>(r.writes),
+              static_cast<unsigned long long>(r.scans),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.commits),
+              static_cast<unsigned long long>(r.timeouts));
+  std::printf("  throughput: %llu ops/s of simulated time\n",
+              static_cast<unsigned long long>(r.throughput_ops_per_sec()));
+  print_histogram("commit", r.commit_latency);
+  print_histogram("delivery", r.delivery_latency);
+  std::printf("  availability: %llu/%llu samples primary-available "
+              "(%llu ppm)\n",
+              static_cast<unsigned long long>(r.available_samples),
+              static_cast<unsigned long long>(r.samples),
+              static_cast<unsigned long long>(r.availability_ppm()));
+  for (const workload::PhaseSlo& ph : r.phases) {
+    std::printf("  phase %-12s %6llu ops, commit p99 %6llu us, "
+                "availability %llu ppm\n",
+                ph.name.c_str(), static_cast<unsigned long long>(ph.issued),
+                static_cast<unsigned long long>(ph.commit_latency.p99()),
+                static_cast<unsigned long long>(ph.availability_ppm()));
+  }
+  std::printf("  stack: %llu views installed, %llu fault events, %llu "
+              "restarts, %llu/%llu seeds converged, span violations %llu\n",
+              static_cast<unsigned long long>(r.views_installed),
+              static_cast<unsigned long long>(r.fault_events),
+              static_cast<unsigned long long>(r.restarts),
+              static_cast<unsigned long long>(r.converged_seeds),
+              static_cast<unsigned long long>(r.seeds),
+              static_cast<unsigned long long>(r.span_violations));
+  if (r.slo_availability_ppm != 0 || r.slo_p99_commit_ms != 0) {
+    std::printf("  declared SLOs: %s\n", r.slo_pass() ? "PASS" : "FAIL");
+  }
+  return r.slo_pass() ? 0 : 1;
+}
+
+// ----- real mode: the same op streams over dvsd control sockets -------------
+
+struct Endpoint {
+  sockaddr_in addr{};
+  std::string text;
+};
+
+bool parse_endpoint_list(const std::string& list, std::vector<Endpoint>& out) {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      const std::size_t colon = item.rfind(':');
+      if (colon == std::string::npos) return false;
+      Endpoint ep;
+      ep.text = item;
+      ep.addr.sin_family = AF_INET;
+      ep.addr.sin_port =
+          htons(static_cast<std::uint16_t>(std::atoi(item.c_str() + colon + 1)));
+      const std::string host = item.substr(0, colon);
+      if (inet_pton(AF_INET, host.c_str(), &ep.addr.sin_addr) != 1) {
+        return false;
+      }
+      out.push_back(ep);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+/// One UDP request/reply round-trip with resend-on-timeout (the dvsd --ctl
+/// contract: queries are idempotent, puts are last-write-wins).
+bool ctl_roundtrip(int fd, const Endpoint& ep, const std::string& command,
+                   int timeout_ms, int retries) {
+  char reply[65536];
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    if (::sendto(fd, command.data(), command.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&ep.addr),
+                 sizeof(ep.addr)) < 0) {
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) continue;
+    if (::recv(fd, reply, sizeof(reply), 0) >= 0) return true;
+  }
+  return false;
+}
+
+int run_real(const workload::Scenario& sc, const std::string& targets,
+             std::uint64_t duration_ms, int timeout_ms, int retries) {
+  std::vector<Endpoint> endpoints;
+  if (!parse_endpoint_list(targets, endpoints)) {
+    std::fprintf(stderr, "scenario_runner --real: bad endpoint list '%s'\n",
+                 targets.c_str());
+    return 1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::perror("scenario_runner --real: socket");
+    return 1;
+  }
+
+  // The identical deterministic streams the simulated run uses.
+  std::vector<workload::OpGenerator> gens;
+  for (std::size_t i = 0; i < sc.clients; ++i) {
+    gens.emplace_back(sc.mix, workload::client_stream_seed(sc.seed, i));
+  }
+
+  obs::Histogram latency(obs::latency_buckets_us());
+  std::uint64_t issued = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t scans = 0;
+
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(duration_ms);
+  while (Clock::now() < deadline) {
+    for (std::size_t ci = 0; ci < gens.size() && Clock::now() < deadline;
+         ++ci) {
+      const workload::Op op = gens[ci].next();
+      const Endpoint& ep = endpoints[ci % endpoints.size()];
+      const std::string key = "k" + std::to_string(op.key);
+      std::string command;
+      switch (op.kind) {
+        case workload::OpKind::kRead:
+          ++reads;
+          command = "get " + key;
+          break;
+        case workload::OpKind::kScan:
+          // The control protocol has no range read; a scan probes its
+          // start key (documented in docs/WORKLOADS.md).
+          ++scans;
+          command = "get " + key;
+          break;
+        case workload::OpKind::kWrite:
+          ++writes;
+          command = "put " + key + " " + op.value;
+          break;
+      }
+      ++issued;
+      const auto start = Clock::now();
+      const bool ok = ctl_roundtrip(fd, ep, command, timeout_ms, retries);
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          Clock::now() - start)
+                          .count();
+      if (ok) {
+        latency.observe(static_cast<std::uint64_t>(us));
+      } else {
+        ++failed;
+      }
+    }
+  }
+  ::close(fd);
+
+  const obs::HistogramSnapshot h = latency.snapshot();
+  std::printf("scenario '%s' against %zu live daemon(s) for %llu ms: "
+              "%llu ops issued (%llu reads / %llu writes / %llu scans), "
+              "%llu replied, %llu failed\n",
+              sc.name.c_str(), endpoints.size(),
+              static_cast<unsigned long long>(duration_ms),
+              static_cast<unsigned long long>(issued),
+              static_cast<unsigned long long>(reads),
+              static_cast<unsigned long long>(writes),
+              static_cast<unsigned long long>(scans),
+              static_cast<unsigned long long>(h.count),
+              static_cast<unsigned long long>(failed));
+  print_histogram("ctl rtt", h);
+  return failed == 0 ? 0 : 1;
+}
+
+void usage() {
+  std::fputs(
+      "usage: scenario_runner <file.scn> [--jobs N] [--seed S] [--seeds K] "
+      "[--json]\n"
+      "       scenario_runner <file.scn> --real host:port[,host:port...]\n"
+      "                       [--duration-ms N] [--timeout-ms N] "
+      "[--retries N]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::size_t jobs = 1;
+  bool json = false;
+  std::string real_targets;
+  std::uint64_t duration_ms = 5000;
+  int timeout_ms = 1000;
+  int retries = 3;
+  std::uint64_t seed_override = 0;
+  std::uint64_t seeds_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--real") == 0 && i + 1 < argc) {
+      real_targets = argv[++i];
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      timeout_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds_override = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      usage();
+      return 1;
+    }
+  }
+  if (path == nullptr) {
+    usage();
+    return 1;
+  }
+  try {
+    workload::Scenario sc = workload::Scenario::parse_file(path);
+    if (seed_override != 0) sc.seed = seed_override;
+    if (seeds_override != 0) sc.seeds = seeds_override;
+    if (!real_targets.empty()) {
+      return run_real(sc, real_targets, duration_ms, timeout_ms, retries);
+    }
+    return run_simulated(sc, jobs, json);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+}

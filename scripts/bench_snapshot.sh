@@ -68,6 +68,16 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_recovery.json
 
+# Scenario-engine axis (E22): one full scenario seed per iteration,
+# faultless closed loop vs crash-restart churn. The deterministic label
+# counters (completed, commits, views, restarts, avail_ppm) are the review
+# surface; wall-clock ratios are indicative only.
+./build/bench/bench_stack \
+  "${BENCH_CONTEXT}" \
+  --benchmark_filter='BM_Scenario' \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json >BENCH_scenario.json
+
 # Aggregated metric snapshot of the chaos smoke sweep (deterministic: the
 # same seeds give the same bytes on every machine), so the stack-level
 # counters and latency histograms diff in review alongside the microbenches.
@@ -77,4 +87,5 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
 ./build/examples/model_checker --chaos --smoke --metrics --batch --jobs 4 >BENCH_obs_batched.json
 
 echo "wrote BENCH_explorer.json, BENCH_micro.json, BENCH_stack.json," \
-     "BENCH_obs.json, BENCH_obs_batched.json (min_time=${MIN_TIME}s)"
+     "BENCH_recovery.json, BENCH_scenario.json, BENCH_obs.json," \
+     "BENCH_obs_batched.json (min_time=${MIN_TIME}s)"

@@ -131,6 +131,28 @@ CLUSTER_DIR=/tmp/dvs-check-cluster CLUSTER_PORT=9400 ./scripts/cluster.sh demo
 ./build/examples/model_checker --audit /tmp/dvs-check-cluster/traces | tee /tmp/dvs_audit_1.txt >/dev/null
 ./build/examples/model_checker --audit /tmp/dvs-check-cluster/traces | cmp - /tmp/dvs_audit_1.txt
 
+echo "== workload gate (ASan) =="
+# The scenario engine suites under ASan: generator laws, .scn round-trip
+# and rejection, the churn-vs-hand-built FaultPlan differential, the
+# golden determinism tests, and the churn+WAN soak at reduced scale (the
+# full 50k-tick run is the plain-build ctest registration).
+DVS_SOAK_SCALE=10 ctest --test-dir build-asan -L workload --output-on-failure
+# The soak's multi-threaded sweep under TSan: two seeds share the thread
+# pool, per-seed clusters/stores must not share state.
+cmake --build build-tsan --target scenario_soak_test workload_test
+./build-tsan/tests/workload_test
+DVS_SOAK_SCALE=20 ./build-tsan/tests/scenario_soak_test
+# The SLO report is byte-identical at any worker count for every canonical
+# scenario — the determinism contract the golden tests pin, re-checked on
+# the real CLI surface.
+for scn in scenarios/steady.scn scenarios/diurnal-burst.scn scenarios/churn-storm.scn; do
+  ./build/examples/model_checker --scenario "$scn" --jobs 4 | tee /tmp/scn_j4.json >/dev/null
+  ./build/examples/model_checker --scenario "$scn" --jobs 1 | cmp - /tmp/scn_j4.json
+done
+# The steady swarm against a real 3-node dvsd cluster: deterministic client
+# streams over the control sockets, digest agreement, audit PASS.
+CLUSTER_DIR=/tmp/dvs-check-scenario CLUSTER_PORT=9500 ./scripts/cluster.sh scenario 5
+
 echo "== bench smoke =="
 for b in build/bench/*; do
   if [[ -x "$b" && -f "$b" ]]; then

@@ -13,6 +13,10 @@
 #   scripts/cluster.sh cmd <i> <...>   raw control command to node i
 #                                      (put/get/del/dump/digest/view/stats)
 #   scripts/cluster.sh workload [k]    k round-robin puts (default 30)
+#   scripts/cluster.sh scenario [s]    s seconds of the steady .scn swarm
+#                                      (scenario_runner --real) + digest
+#                                      agreement + trace audit
+#                                      (SCENARIO_FILE overrides the .scn)
 #   scripts/cluster.sh kill <i>        SIGKILL node i (genuine crash)
 #   scripts/cluster.sh stop <i>        SIGSTOP node i (pause, state intact)
 #   scripts/cluster.sh cont <i>        SIGCONT a stopped node
@@ -32,6 +36,8 @@ CLUSTER_DIR="${CLUSTER_DIR:-/tmp/dvs-cluster}"
 CLUSTER_PORT="${CLUSTER_PORT:-9100}"
 DVSD="$BUILD_DIR/examples/dvsd"
 MODEL_CHECKER="$BUILD_DIR/examples/model_checker"
+SCENARIO_RUNNER="$BUILD_DIR/examples/scenario_runner"
+SCENARIO_FILE="${SCENARIO_FILE:-scenarios/steady.scn}"
 
 die() { echo "cluster.sh: $*" >&2; exit 1; }
 
@@ -170,6 +176,32 @@ cmd_audit() {
   "$MODEL_CHECKER" --audit "$CLUSTER_DIR/traces"
 }
 
+cmd_scenario() {
+  # The acceptance loop for the workload engine against real processes:
+  # fresh 3-node cluster, the steady scenario's deterministic client swarm
+  # over the control sockets, then digest agreement across every replica
+  # and an offline audit of the traces. Any failed op, digest split, or
+  # audit verdict other than PASS fails the script.
+  local secs="${1:-15}"
+  [[ -x "$SCENARIO_RUNNER" ]] || die "$SCENARIO_RUNNER not built (cmake --build $BUILD_DIR --target scenario_runner)"
+  [[ -f "$SCENARIO_FILE" ]] || die "no scenario file at $SCENARIO_FILE (run from the repo root or set SCENARIO_FILE)"
+  [[ -f "$CLUSTER_DIR/n" ]] && cmd_down
+  rm -rf "$CLUSTER_DIR"
+  cmd_up 3
+  echo "-- driving $SCENARIO_FILE for ${secs}s against the live cluster"
+  "$SCENARIO_RUNNER" "$SCENARIO_FILE" --real \
+    "127.0.0.1:$(ctl_port 0),127.0.0.1:$(ctl_port 1),127.0.0.1:$(ctl_port 2)" \
+    --duration-ms $((secs * 1000))
+  sleep 1  # let the tail of the write stream reach stability everywhere
+  local d0 d1 d2
+  d0=$(ctl 0 digest); d1=$(ctl 1 digest); d2=$(ctl 2 digest)
+  echo "-- digests: p0 $d0 / p1 $d1 / p2 $d2"
+  [[ "$d0" == "$d1" && "$d1" == "$d2" ]] || die "replica digests diverge"
+  cmd_down
+  echo "-- offline audit of the scenario traces"
+  cmd_audit
+}
+
 cmd_demo() {
   # Tear down any previous cluster BEFORE deleting its directory: leaked
   # daemons keep their ports and trace-file handles, and a fresh cluster on
@@ -201,6 +233,7 @@ case "${1:-}" in
   status)   cmd_status ;;
   cmd)      shift; i="$1"; shift; ctl "$i" "$@" ;;
   workload) shift; cmd_workload "$@" ;;
+  scenario) shift; cmd_scenario "$@" ;;
   kill)     shift; cmd_kill "$1" ;;
   stop)     shift; kill -STOP "$(pid_of "$1")" && echo "p$1 SIGSTOPped" ;;
   cont)     shift; kill -CONT "$(pid_of "$1")" && echo "p$1 resumed" ;;
@@ -210,7 +243,7 @@ case "${1:-}" in
   down)     cmd_down ;;
   demo)     cmd_demo ;;
   *)
-    sed -n '2,30p' "$0" | sed 's/^# \{0,1\}//'
+    sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'
     exit 1
     ;;
 esac

@@ -14,7 +14,22 @@ SimNetwork::SimNetwork(sim::Simulator& sim, Rng& rng, NetConfig config,
       rng_(rng),
       config_(config),
       processes_(std::move(processes)),
-      arena_(config.arena_max_retained) {}
+      arena_(config.arena_max_retained) {
+  if (!config_.region_delay.empty()) {
+    const std::size_t regions = config_.region_delay.size();
+    for (const auto& row : config_.region_delay) {
+      if (row.size() != regions) {
+        throw std::logic_error("SimNetwork: region_delay matrix not square");
+      }
+    }
+    for (ProcessId p : processes_) {
+      if (region_of(p) >= regions) {
+        throw std::logic_error("SimNetwork: process " + p.to_string() +
+                               " assigned to region outside the delay matrix");
+      }
+    }
+  }
+}
 
 void SimNetwork::attach(ProcessId p, Handler handler) {
   if (!processes_.contains(p)) {
@@ -38,9 +53,19 @@ bool SimNetwork::connected(ProcessId a, ProcessId b) const {
   return ga == gb;
 }
 
+std::size_t SimNetwork::region_of(ProcessId p) const {
+  const std::size_t i = p.value();
+  return i < config_.process_region.size() ? config_.process_region[i] : 0;
+}
+
+sim::Time SimNetwork::link_base_delay(ProcessId from, ProcessId to) const {
+  if (config_.region_delay.empty()) return config_.base_delay;
+  return config_.region_delay[region_of(from)][region_of(to)];
+}
+
 void SimNetwork::schedule_delivery(ProcessId from, ProcessId to,
                                    const Bytes& payload) {
-  sim::Time delay = config_.base_delay;
+  sim::Time delay = link_base_delay(from, to);
   if (config_.jitter_mean_us > 0.0) {
     delay += static_cast<sim::Time>(rng_.exponential(config_.jitter_mean_us));
   }

@@ -74,6 +74,17 @@ struct NetConfig {
   /// the intact prefix frames — net/batcher.h).
   double truncate_probability = 0.0;
 
+  // ----- WAN topology --------------------------------------------------------
+  /// Region of each process, indexed by ProcessId::value() (processes past
+  /// the end of the vector live in region 0), and the inter-region one-way
+  /// base-delay matrix in simulated microseconds. When `region_delay` is
+  /// nonempty it replaces base_delay on every link — the WAN latency matrix
+  /// of a workload scenario (src/workload/scenario.h) — and the exponential
+  /// jitter still adds on top. The matrix must be square and cover every
+  /// assigned region (checked at construction).
+  std::vector<std::size_t> process_region;
+  std::vector<std::vector<sim::Time>> region_delay;
+
   // ----- batching ------------------------------------------------------------
   /// Coalesce every message a process sends to the same destination within
   /// one flush window into a single framed BATCH envelope (net/batcher.h),
@@ -172,6 +183,11 @@ class SimNetwork : public Transport {
 
  private:
   [[nodiscard]] int group_of(ProcessId p) const;
+  /// WAN region of p per config_.process_region (region 0 when unmapped).
+  [[nodiscard]] std::size_t region_of(ProcessId p) const;
+  /// Base propagation delay for the (from, to) link: the region matrix when
+  /// configured, base_delay otherwise.
+  [[nodiscard]] sim::Time link_base_delay(ProcessId from, ProcessId to) const;
   void schedule_delivery(ProcessId from, ProcessId to, const Bytes& payload);
   /// The delivery-time half of schedule_delivery: connectivity re-check,
   /// handler dispatch, envelope salvage. Shared by the arena-handle and

@@ -1,0 +1,137 @@
+#include "workload/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dvs::workload {
+
+const char* to_string(KeyDist dist) {
+  switch (dist) {
+    case KeyDist::kUniform:
+      return "uniform";
+    case KeyDist::kZipfian:
+      return "zipfian";
+    case KeyDist::kLatest:
+      return "latest";
+  }
+  return "?";
+}
+
+KeyDist parse_key_dist(const std::string& text) {
+  if (text == "uniform") return KeyDist::kUniform;
+  if (text == "zipfian") return KeyDist::kZipfian;
+  if (text == "latest") return KeyDist::kLatest;
+  throw std::runtime_error("unknown key distribution '" + text +
+                           "' (want uniform|zipfian|latest)");
+}
+
+void MixConfig::validate() const {
+  if (keys == 0) throw std::runtime_error("mix: keys must be > 0");
+  if (reads + writes + scans != 100) {
+    throw std::runtime_error("mix: reads + writes + scans must be 100, got " +
+                             std::to_string(reads + writes + scans));
+  }
+  if (dist != KeyDist::kUniform && (theta <= 0.0 || theta >= 1.0)) {
+    throw std::runtime_error("mix: theta must be in (0, 1)");
+  }
+  if (scans > 0 && scan_len == 0) {
+    throw std::runtime_error("mix: scans need scan_len > 0");
+  }
+}
+
+ZipfianGenerator::ZipfianGenerator(std::size_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (n == 0) throw std::logic_error("ZipfianGenerator: n == 0");
+  if (theta <= 0.0 || theta >= 1.0) {
+    throw std::logic_error("ZipfianGenerator: theta outside (0, 1)");
+  }
+  zeta_n_ = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    zeta_n_ += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  alpha_ = 1.0 / (1.0 - theta);
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zeta_n_);
+}
+
+std::uint64_t ZipfianGenerator::next(Rng& rng) const {
+  const double u = rng.uniform();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+double ZipfianGenerator::probability(std::uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  return 1.0 / (std::pow(static_cast<double>(rank + 1), theta_) * zeta_n_);
+}
+
+std::uint64_t client_stream_seed(std::uint64_t scenario_seed,
+                                 std::uint64_t client_id) {
+  // splitmix64 finalizer over the packed pair: adjacent (seed, client)
+  // inputs land in unrelated stream seeds.
+  std::uint64_t z = scenario_seed + 0x9e3779b97f4a7c15ULL * (client_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+OpGenerator::OpGenerator(const MixConfig& mix, std::uint64_t seed)
+    : mix_(mix),
+      rng_(seed),
+      zipf_(mix.keys, mix.dist == KeyDist::kUniform ? 0.99 : mix.theta) {
+  mix_.validate();
+}
+
+std::uint64_t OpGenerator::draw_key() {
+  switch (mix_.dist) {
+    case KeyDist::kUniform:
+      return rng_.below(mix_.keys);
+    case KeyDist::kZipfian:
+      return zipf_.next(rng_);
+    case KeyDist::kLatest: {
+      // Rank 0 = the most recently written key; the head advances with
+      // every write (YCSB's "latest" over a bounded keyspace).
+      const std::uint64_t rank = zipf_.next(rng_);
+      return (head_ + mix_.keys - rank % mix_.keys) % mix_.keys;
+    }
+  }
+  return 0;
+}
+
+Op OpGenerator::next() {
+  ++ops_;
+  Op op;
+  const std::uint64_t roll = rng_.below(100);
+  if (roll < mix_.reads) {
+    op.kind = OpKind::kRead;
+    op.key = draw_key();
+  } else if (roll < mix_.reads + mix_.writes) {
+    op.kind = OpKind::kWrite;
+    op.key = draw_key();
+    op.value = make_value(op.key, mix_.value_len);
+    if (mix_.dist == KeyDist::kLatest) head_ = (head_ + 1) % mix_.keys;
+  } else {
+    op.kind = OpKind::kScan;
+    op.key = draw_key();
+    op.scan_len = mix_.scan_len;
+  }
+  return op;
+}
+
+std::uint64_t OpGenerator::arrival_gap_us(double mean_us) {
+  const double gap = rng_.exponential(mean_us);
+  return gap < 1.0 ? 1 : static_cast<std::uint64_t>(gap);
+}
+
+std::string make_value(std::uint64_t key, std::size_t value_len) {
+  std::string v = "v" + std::to_string(key) + ".";
+  while (v.size() < value_len) v.push_back('x');
+  return v;
+}
+
+}  // namespace dvs::workload

@@ -1,0 +1,124 @@
+// YCSB-style deterministic load generation: key-popularity distributions
+// (uniform / zipfian / latest), read/write/scan operation mixes, and
+// per-client operation streams with independent RNG state.
+//
+// Every client owns its own Rng, seeded by a splitmix64 hash of
+// (scenario seed, client id) — so client c's operation stream is a pure
+// function of (seed, c, mix) and never shifts when other clients are added,
+// removed, or interleaved differently (tests/workload/test_generator.cpp
+// asserts this stream independence, plus closed-form frequency bounds for
+// each distribution and byte-exact seed replay).
+//
+// The zipfian generator is the Gray et al. algorithm YCSB uses
+// (ZipfianGenerator): O(1) per draw after an O(n) zeta precomputation,
+// rank 0 the hottest key. "latest" composes it with a moving head that
+// advances on every write, skewing popularity toward recently written keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dvs::workload {
+
+/// Key-popularity distribution of a mix.
+enum class KeyDist : std::uint8_t { kUniform, kZipfian, kLatest };
+
+[[nodiscard]] const char* to_string(KeyDist dist);
+/// Parses "uniform" / "zipfian" / "latest"; throws std::runtime_error.
+[[nodiscard]] KeyDist parse_key_dist(const std::string& text);
+
+enum class OpKind : std::uint8_t { kRead, kWrite, kScan };
+
+/// One generated client operation. `key` is a rank in [0, keys); writes
+/// carry a deterministic value, scans a run length.
+struct Op {
+  OpKind kind = OpKind::kRead;
+  std::uint64_t key = 0;
+  std::size_t scan_len = 0;
+  std::string value;  // writes only
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// A YCSB-like operation mix over a bounded keyspace.
+struct MixConfig {
+  std::size_t keys = 1000;
+  KeyDist dist = KeyDist::kZipfian;
+  /// Zipfian skew parameter (YCSB default 0.99); also used by kLatest.
+  double theta = 0.99;
+  /// Operation percentages; must sum to 100.
+  std::uint32_t reads = 50;
+  std::uint32_t writes = 45;
+  std::uint32_t scans = 5;
+  std::size_t scan_len = 10;
+  /// Minimum length writes' values are padded to.
+  std::size_t value_len = 8;
+
+  friend bool operator==(const MixConfig&, const MixConfig&) = default;
+
+  /// Throws std::runtime_error on an inconsistent mix (percentages not
+  /// summing to 100, empty keyspace, theta outside (0, 1)).
+  void validate() const;
+};
+
+/// Gray et al. bounded zipfian: ranks 0..n-1 with P(rank r) proportional to
+/// 1/(r+1)^theta. Deterministic given the caller's Rng.
+class ZipfianGenerator {
+ public:
+  /// Precomputes zeta(n, theta); theta in (0, 1), n >= 1.
+  ZipfianGenerator(std::size_t n, double theta);
+
+  /// Draws one rank in [0, n) using two uniform() draws at most.
+  [[nodiscard]] std::uint64_t next(Rng& rng) const;
+
+  /// Closed-form P(rank r) — the expectation the frequency tests check
+  /// empirical counts against.
+  [[nodiscard]] double probability(std::uint64_t rank) const;
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double zeta_n_;   // sum_{i=1..n} 1/i^theta
+  double alpha_;    // 1 / (1 - theta)
+  double eta_;
+};
+
+/// Splitmix64-mixed per-client stream seed: decorrelates client streams
+/// from each other and from the scenario's network/fault RNGs.
+[[nodiscard]] std::uint64_t client_stream_seed(std::uint64_t scenario_seed,
+                                               std::uint64_t client_id);
+
+/// One client's deterministic operation stream.
+class OpGenerator {
+ public:
+  /// `seed` should be client_stream_seed(scenario_seed, client_id).
+  OpGenerator(const MixConfig& mix, std::uint64_t seed);
+
+  /// The next operation of this client's stream.
+  [[nodiscard]] Op next();
+
+  /// Draws per exponential inter-arrival gap for open-loop pacing, from the
+  /// same client stream (mean in simulated microseconds, >= 1).
+  [[nodiscard]] std::uint64_t arrival_gap_us(double mean_us);
+
+  [[nodiscard]] std::uint64_t ops_generated() const { return ops_; }
+
+ private:
+  [[nodiscard]] std::uint64_t draw_key();
+
+  MixConfig mix_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  std::uint64_t head_ = 0;  // kLatest: advances on every write
+  std::uint64_t ops_ = 0;
+};
+
+/// Renders a write's deterministic value: "v<key>." padded to value_len.
+[[nodiscard]] std::string make_value(std::uint64_t key, std::size_t value_len);
+
+}  // namespace dvs::workload

@@ -1,0 +1,166 @@
+#include "workload/slo.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dvs::workload {
+
+namespace {
+
+void merge_histogram(obs::HistogramSnapshot& into,
+                     const obs::HistogramSnapshot& from) {
+  if (from.bounds.empty()) return;
+  if (into.bounds.empty()) {
+    into = from;
+  } else {
+    into += from;
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void emit_histogram(std::ostream& os, const obs::HistogramSnapshot& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"max\":" << h.max
+     << ",\"p50\":" << h.p50() << ",\"p95\":" << h.p95()
+     << ",\"p99\":" << h.p99() << "}";
+}
+
+std::uint64_t ppm(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return 1'000'000;  // nothing sampled = no downtime observed
+  return part * 1'000'000 / whole;
+}
+
+}  // namespace
+
+std::uint64_t PhaseSlo::availability_ppm() const {
+  return ppm(available_samples, samples);
+}
+
+PhaseSlo& PhaseSlo::operator+=(const PhaseSlo& other) {
+  if (name != other.name) {
+    throw std::logic_error("PhaseSlo merge: '" + name + "' vs '" + other.name +
+                           "'");
+  }
+  duration_us += other.duration_us;
+  issued += other.issued;
+  completed += other.completed;
+  reads += other.reads;
+  writes += other.writes;
+  scans += other.scans;
+  merge_histogram(commit_latency, other.commit_latency);
+  samples += other.samples;
+  available_samples += other.available_samples;
+  return *this;
+}
+
+std::uint64_t SloReport::availability_ppm() const {
+  return ppm(available_samples, samples);
+}
+
+std::uint64_t SloReport::throughput_ops_per_sec() const {
+  if (measured_us == 0) return 0;
+  return completed * 1'000'000 / measured_us;
+}
+
+bool SloReport::slo_pass() const {
+  if (oracle_violations != 0 || span_violations != 0) return false;
+  if (slo_availability_ppm != 0 && availability_ppm() < slo_availability_ppm) {
+    return false;
+  }
+  if (slo_p99_commit_ms != 0 &&
+      commit_latency.p99() > slo_p99_commit_ms * 1000) {
+    return false;
+  }
+  return true;
+}
+
+SloReport& SloReport::operator+=(const SloReport& other) {
+  if (scenario != other.scenario) {
+    throw std::logic_error("SloReport merge: scenario '" + scenario +
+                           "' vs '" + other.scenario + "'");
+  }
+  if (phases.size() != other.phases.size()) {
+    throw std::logic_error("SloReport merge: phase structure differs");
+  }
+  seeds += other.seeds;
+  measured_us += other.measured_us;
+  issued += other.issued;
+  completed += other.completed;
+  reads += other.reads;
+  writes += other.writes;
+  scans += other.scans;
+  commits += other.commits;
+  timeouts += other.timeouts;
+  merge_histogram(commit_latency, other.commit_latency);
+  merge_histogram(delivery_latency, other.delivery_latency);
+  samples += other.samples;
+  available_samples += other.available_samples;
+  oracle_violations += other.oracle_violations;
+  span_violations += other.span_violations;
+  converged_seeds += other.converged_seeds;
+  restarts += other.restarts;
+  fault_events += other.fault_events;
+  views_installed += other.views_installed;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    phases[i] += other.phases[i];
+  }
+  return *this;
+}
+
+std::string SloReport::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"scenario\":\"" << json_escape(scenario) << "\"";
+  os << ",\"n\":" << n;
+  os << ",\"seeds\":" << seeds;
+  os << ",\"first_seed\":" << first_seed;
+  os << ",\"measured_us\":" << measured_us;
+  os << ",\"ops\":{\"issued\":" << issued << ",\"completed\":" << completed
+     << ",\"reads\":" << reads << ",\"writes\":" << writes
+     << ",\"scans\":" << scans << ",\"commits\":" << commits
+     << ",\"timeouts\":" << timeouts << "}";
+  os << ",\"throughput_ops_per_sec\":" << throughput_ops_per_sec();
+  os << ",\"latency_us\":{\"commit\":";
+  emit_histogram(os, commit_latency);
+  os << ",\"delivery\":";
+  emit_histogram(os, delivery_latency);
+  os << "}";
+  os << ",\"availability\":{\"samples\":" << samples
+     << ",\"available\":" << available_samples
+     << ",\"ppm\":" << availability_ppm() << "}";
+  os << ",\"phases\":[";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseSlo& ph = phases[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":\"" << json_escape(ph.name) << "\"";
+    os << ",\"duration_us\":" << ph.duration_us;
+    os << ",\"issued\":" << ph.issued << ",\"completed\":" << ph.completed
+       << ",\"reads\":" << ph.reads << ",\"writes\":" << ph.writes
+       << ",\"scans\":" << ph.scans;
+    os << ",\"commit\":";
+    emit_histogram(os, ph.commit_latency);
+    os << ",\"availability_ppm\":" << ph.availability_ppm();
+    os << "}";
+  }
+  os << "]";
+  os << ",\"stack\":{\"views_installed\":" << views_installed
+     << ",\"fault_events\":" << fault_events << ",\"restarts\":" << restarts
+     << ",\"converged_seeds\":" << converged_seeds << "}";
+  os << ",\"violations\":{\"oracle\":" << oracle_violations
+     << ",\"spans\":" << span_violations << "}";
+  os << ",\"slo\":{\"availability_ppm\":" << slo_availability_ppm
+     << ",\"p99_commit_ms\":" << slo_p99_commit_ms
+     << ",\"pass\":" << (slo_pass() ? 1 : 0) << "}";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dvs::workload

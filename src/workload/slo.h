@@ -1,0 +1,103 @@
+// SLO reports: the stable, integer-only summary a scenario run produces.
+//
+// A report aggregates what the workload layer measured (throughput,
+// write-commit and delivery latency percentiles, availability windows,
+// per-phase breakdown) together with the conformance verdict (oracle and
+// span-invariant violation counts). Reports merge across seeds in seed
+// order (operator+=), and to_json() is canonical — sorted structure,
+// integers only (latencies in simulated microseconds, availability in parts
+// per million) — so a scenario's report is byte-identical for any --jobs
+// value and across platforms (tests/workload/test_scenario.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dvs::workload {
+
+/// Per-phase slice of a report. Histograms use obs::latency_buckets_us():
+/// quantiles are exact bucket upper bounds, never interpolated floats.
+struct PhaseSlo {
+  std::string name;
+  std::uint64_t duration_us = 0;  // summed across merged seeds
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t scans = 0;
+  obs::HistogramSnapshot commit_latency;
+  std::uint64_t samples = 0;
+  std::uint64_t available_samples = 0;
+
+  [[nodiscard]] std::uint64_t availability_ppm() const;
+
+  PhaseSlo& operator+=(const PhaseSlo& other);
+  friend bool operator==(const PhaseSlo&, const PhaseSlo&) = default;
+};
+
+struct SloReport {
+  std::string scenario;
+  std::uint64_t n = 0;
+  std::uint64_t seeds = 0;
+  std::uint64_t first_seed = 0;
+
+  /// Measured interval (horizon - warmup), summed across merged seeds.
+  std::uint64_t measured_us = 0;
+
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t scans = 0;
+  /// Writes delivered back at their origin (committed), and writes whose
+  /// closed-loop client gave up waiting (the op may still commit later —
+  /// timeouts and commits are not exclusive).
+  std::uint64_t commits = 0;
+  std::uint64_t timeouts = 0;
+
+  /// Write submit → BRCV at the origin (the client-visible commit latency).
+  obs::HistogramSnapshot commit_latency;
+  /// Write submit → BRCV at each replica (the replication-lag spread).
+  obs::HistogramSnapshot delivery_latency;
+
+  /// Availability sampling: an instant is available when at least one
+  /// process is operating in a primary view (Cluster::primary_fraction).
+  std::uint64_t samples = 0;
+  std::uint64_t available_samples = 0;
+
+  /// Conformance verdict: oracle violations abort the run (they never reach
+  /// a report from run_scenario), span violations are counted here.
+  std::uint64_t oracle_violations = 0;
+  std::uint64_t span_violations = 0;
+  /// Seeds whose replicas all agreed on the KV digest after settle.
+  std::uint64_t converged_seeds = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t fault_events = 0;
+  std::uint64_t views_installed = 0;
+
+  std::vector<PhaseSlo> phases;
+
+  /// Declared SLOs copied from the scenario (0 = undeclared).
+  std::uint64_t slo_availability_ppm = 0;
+  std::uint64_t slo_p99_commit_ms = 0;
+
+  [[nodiscard]] std::uint64_t availability_ppm() const;
+  /// Completed ops per simulated second (integer floor).
+  [[nodiscard]] std::uint64_t throughput_ops_per_sec() const;
+  /// True iff every declared SLO holds and no invariant was violated.
+  [[nodiscard]] bool slo_pass() const;
+
+  /// Seed-order merge; throws std::logic_error on mismatched shape
+  /// (different scenario name or phase structure).
+  SloReport& operator+=(const SloReport& other);
+  friend bool operator==(const SloReport&, const SloReport&) = default;
+
+  /// Canonical JSON: fixed key order, integers only — byte-identical for
+  /// equal reports on every platform.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace dvs::workload

@@ -1,0 +1,233 @@
+// Generator laws: closed-form frequency bounds for every key distribution,
+// byte-exact seed replay, per-client stream independence, mix ratios, and
+// the stream-seed mixing function.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+
+namespace dvs::workload {
+namespace {
+
+TEST(ZipfianGenerator, MatchesClosedFormFrequencies) {
+  const std::size_t n = 100;
+  const double theta = 0.99;
+  const ZipfianGenerator zipf(n, theta);
+
+  // The pmf is a pmf.
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) total += zipf.probability(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.probability(n), 0.0);
+
+  Rng rng(42);
+  const std::size_t draws = 200000;
+  std::vector<std::size_t> counts(n, 0);
+  for (std::size_t i = 0; i < draws; ++i) ++counts[zipf.next(rng)];
+
+  // Head ranks carry enough mass for tight relative bounds; the tail is
+  // checked in aggregate.
+  for (std::size_t r = 0; r < 5; ++r) {
+    const double expected = zipf.probability(r) * draws;
+    EXPECT_NEAR(counts[r], expected, 0.15 * expected)
+        << "rank " << r << " empirical " << counts[r] << " expected "
+        << expected;
+  }
+  double tail_expected = 0.0;
+  std::size_t tail_count = 0;
+  for (std::size_t r = 50; r < n; ++r) {
+    tail_expected += zipf.probability(r) * draws;
+    tail_count += counts[r];
+  }
+  EXPECT_NEAR(tail_count, tail_expected, 0.15 * tail_expected);
+
+  // Rank 0 is the hottest key, and monotonically more popular than rank 10.
+  EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(ZipfianGenerator, UniformDistributionIsFlat) {
+  MixConfig mix;
+  mix.keys = 50;
+  mix.dist = KeyDist::kUniform;
+  mix.reads = 100;
+  mix.writes = 0;
+  mix.scans = 0;
+  OpGenerator gen(mix, 7);
+  const std::size_t draws = 100000;
+  std::vector<std::size_t> counts(mix.keys, 0);
+  for (std::size_t i = 0; i < draws; ++i) ++counts[gen.next().key];
+  const double expected = static_cast<double>(draws) / mix.keys;
+  for (std::size_t k = 0; k < mix.keys; ++k) {
+    EXPECT_NEAR(counts[k], expected, 0.15 * expected) << "key " << k;
+  }
+}
+
+TEST(ZipfianGenerator, RejectsDegenerateParameters) {
+  EXPECT_THROW(ZipfianGenerator(0, 0.99), std::logic_error);
+  EXPECT_THROW(ZipfianGenerator(10, 0.0), std::logic_error);
+  EXPECT_THROW(ZipfianGenerator(10, 1.0), std::logic_error);
+}
+
+TEST(LatestDistribution, SkewsTowardTheMovingHead) {
+  MixConfig mix;
+  mix.keys = 100;
+  mix.dist = KeyDist::kLatest;
+  mix.theta = 0.99;
+  mix.reads = 0;
+  mix.writes = 100;  // every op writes, so the head advances each op
+  mix.scans = 0;
+  OpGenerator gen(mix, 11);
+  const std::size_t draws = 20000;
+  std::size_t near_head = 0;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::uint64_t head = i % mix.keys;  // head before this op's write
+    const Op op = gen.next();
+    ASSERT_EQ(op.kind, OpKind::kWrite);
+    const std::uint64_t distance = (head + mix.keys - op.key) % mix.keys;
+    if (distance < 10) ++near_head;
+  }
+  // Closed form: P(rank < 10) = (sum_{i=1..10} i^-0.99) / zeta(100, 0.99)
+  // ≈ 0.57. Assert well above what a uniform spread (0.10) would give.
+  EXPECT_GT(static_cast<double>(near_head) / draws, 0.45);
+}
+
+TEST(OpGenerator, SeedReplayIsByteExact) {
+  MixConfig mix;
+  OpGenerator a(mix, client_stream_seed(99, 3));
+  OpGenerator b(mix, client_stream_seed(99, 3));
+  for (std::size_t i = 0; i < 5000; ++i) {
+    ASSERT_EQ(a.next(), b.next()) << "stream diverged at op " << i;
+  }
+  EXPECT_EQ(a.ops_generated(), 5000u);
+}
+
+TEST(OpGenerator, ClientStreamsAreIndependent) {
+  // Client 2's stream must not shift when other clients generate — the
+  // whole point of per-client Rngs keyed by client_stream_seed.
+  MixConfig mix;
+  OpGenerator alone(mix, client_stream_seed(5, 2));
+  std::vector<Op> expected;
+  for (std::size_t i = 0; i < 1000; ++i) expected.push_back(alone.next());
+
+  std::vector<OpGenerator> swarm;
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    swarm.emplace_back(mix, client_stream_seed(5, c));
+  }
+  // Interleave the swarm in a scrambled order; client 2 must reproduce
+  // `expected` exactly.
+  std::vector<Op> interleaved;
+  for (std::size_t round = 0; round < 1000; ++round) {
+    for (std::uint64_t c : {3u, 0u, 2u, 1u}) {
+      const Op op = swarm[c].next();
+      if (c == 2) interleaved.push_back(op);
+    }
+  }
+  EXPECT_EQ(interleaved, expected);
+}
+
+TEST(OpGenerator, MixRatiosConverge) {
+  MixConfig mix;
+  mix.reads = 50;
+  mix.writes = 45;
+  mix.scans = 5;
+  OpGenerator gen(mix, 123);
+  std::size_t reads = 0, writes = 0, scans = 0;
+  const std::size_t draws = 100000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    switch (gen.next().kind) {
+      case OpKind::kRead: ++reads; break;
+      case OpKind::kWrite: ++writes; break;
+      case OpKind::kScan: ++scans; break;
+    }
+  }
+  EXPECT_NEAR(reads, draws * 0.50, draws * 0.02);
+  EXPECT_NEAR(writes, draws * 0.45, draws * 0.02);
+  EXPECT_NEAR(scans, draws * 0.05, draws * 0.01);
+}
+
+TEST(OpGenerator, WritesCarryDeterministicValuesAndScansALength) {
+  MixConfig mix;
+  mix.value_len = 12;
+  mix.scan_len = 7;
+  OpGenerator gen(mix, 1);
+  bool saw_write = false, saw_scan = false;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const Op op = gen.next();
+    if (op.kind == OpKind::kWrite) {
+      saw_write = true;
+      EXPECT_EQ(op.value, make_value(op.key, 12));
+      EXPECT_GE(op.value.size(), 12u);
+    }
+    if (op.kind == OpKind::kScan) {
+      saw_scan = true;
+      EXPECT_EQ(op.scan_len, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_scan);
+}
+
+TEST(OpGenerator, ArrivalGapsAreExponentialWithTheRequestedMean) {
+  MixConfig mix;
+  OpGenerator gen(mix, 77);
+  const double mean = 1000.0;
+  double total = 0.0;
+  const std::size_t draws = 100000;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const std::uint64_t gap = gen.arrival_gap_us(mean);
+    EXPECT_GE(gap, 1u);
+    total += static_cast<double>(gap);
+  }
+  EXPECT_NEAR(total / draws, mean, 0.05 * mean);
+}
+
+TEST(ClientStreamSeed, MixesSeedAndClientWithoutCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    for (std::uint64_t client = 0; client < 20; ++client) {
+      seen.insert(client_stream_seed(seed, client));
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  // Adjacent inputs land far apart (the splitmix64 avalanche).
+  EXPECT_NE(client_stream_seed(1, 0) ^ client_stream_seed(1, 1),
+            client_stream_seed(2, 0) ^ client_stream_seed(2, 1));
+}
+
+TEST(MixConfig, ValidateRejectsInconsistentMixes) {
+  MixConfig bad;
+  bad.reads = 50;
+  bad.writes = 50;
+  bad.scans = 5;
+  EXPECT_THROW(bad.validate(), std::runtime_error);
+
+  MixConfig zero_keys;
+  zero_keys.keys = 0;
+  EXPECT_THROW(zero_keys.validate(), std::runtime_error);
+
+  MixConfig bad_theta;
+  bad_theta.theta = 1.5;
+  EXPECT_THROW(bad_theta.validate(), std::runtime_error);
+
+  MixConfig no_scan_len;
+  no_scan_len.scan_len = 0;
+  EXPECT_THROW(no_scan_len.validate(), std::runtime_error);
+
+  MixConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(KeyDist, ParseAndToStringRoundTrip) {
+  for (KeyDist d : {KeyDist::kUniform, KeyDist::kZipfian, KeyDist::kLatest}) {
+    EXPECT_EQ(parse_key_dist(to_string(d)), d);
+  }
+  EXPECT_THROW((void)parse_key_dist("pareto"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dvs::workload
