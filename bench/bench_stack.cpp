@@ -14,6 +14,7 @@
 
 #include "daemon/runtime.h"
 #include "net/udp_transport.h"
+#include "shard/shard_cluster.h"
 #include "storage/file_store.h"
 #include "tosys/cluster.h"
 #include "workload/runner.h"
@@ -428,6 +429,63 @@ struct UdpLoopbackStack {
     return true;
   }
 };
+
+void BM_ShardedThroughput(benchmark::State& state) {
+  // Multi-group scaling axis (experiment E23): K independent shard columns
+  // over ONE fixed 8-node pool at replication 2, all multiplexed on one
+  // simulator and one network. Offered load is one broadcast per shard per
+  // 20 ms tick for 2 simulated seconds, so the aggregate committed load
+  // grows with K while the per-column load stays constant. The label's
+  // commit counts are deterministic (the review surface); wall time is the
+  // cost of multiplexing K columns through one event loop.
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPool = 8;
+  constexpr std::size_t kReplication = 2;
+  constexpr sim::Time kRun = 2 * kSecond;
+  constexpr sim::Time kTick = 20 * kMillisecond;
+  std::uint64_t seed = 1;
+  std::uint64_t committed = 0;
+  for (auto _ : state) {
+    shard::ShardClusterConfig cfg;
+    cfg.shards = shards;
+    cfg.replication = kReplication;
+    cfg.base.n_processes = kPool;
+    cfg.base.record_traces = false;
+    cfg.base.conformance_oracle = false;
+    cfg.base.observability = false;
+    shard::ShardCluster c(cfg, seed++);
+    c.start();
+    std::uint64_t uid = 1;
+    for (sim::Time t = 0; t < kRun; t += kTick) {
+      for (std::size_t k = 1; k <= shards; ++k) {
+        const ProcessId local{static_cast<ProcessId::Rep>(uid % kReplication)};
+        c.bcast(static_cast<std::uint32_t>(k), local, AppMsg{uid++, local, ""});
+      }
+      c.run_for(kTick);
+    }
+    c.run_for(1 * kSecond);  // settle: drain in-flight commits
+    committed = 0;
+    for (std::size_t k = 1; k <= shards; ++k) {
+      committed += c.shard(static_cast<std::uint32_t>(k)).deliveries().size() /
+                   kReplication;
+    }
+    benchmark::DoNotOptimize(committed);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(committed));
+  const std::uint64_t per_sim_s = committed / (kRun / kSecond);
+  state.counters["commits"] = static_cast<double>(committed);
+  state.counters["commits_per_sim_s"] = static_cast<double>(per_sim_s);
+  state.SetLabel("K=" + std::to_string(shards) + ", pool 8 r=2, " +
+                 std::to_string(committed) + " commits, " +
+                 std::to_string(per_sim_s) + "/sim-s");
+}
+BENCHMARK(BM_ShardedThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 bool bench_no_net() {
   const char* env = std::getenv("DVS_NO_NET");

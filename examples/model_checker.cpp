@@ -13,6 +13,7 @@
 //   $ ./build/examples/model_checker --chaos --metrics [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --batch [n] [seeds] --jobs N
 //   $ ./build/examples/model_checker --chaos --restart [n] [seeds] --jobs N
+//   $ ./build/examples/model_checker --chaos --shards K [--replication r] [n] [seeds]
 //   $ ./build/examples/model_checker --audit <trace-dir>
 //   $ ./build/examples/model_checker --scenario <file.scn> --jobs N
 //
@@ -35,6 +36,11 @@
 // scripted kRestart faults in the plan, and kCrash upgraded to real
 // crashes (volatile state wiped, node rebuilt from its journal) — the
 // oracles keep checking across every restart.
+// --shards K multiplexes K independent DVS/TO shard columns over ONE
+// shared pool and network (src/shard) and chaos-sweeps the whole sharded
+// cluster with every shard's conformance oracle attached — a violation
+// names its shard. --replication r bounds each shard to r round-robin
+// replicas (0 = every pool member hosts every shard).
 // --scenario runs a declarative .scn workload/topology/fault scenario
 // (src/workload) over its seed range with the conformance oracle and span
 // invariants always on, and prints the SLO report as pure JSON on stdout —
@@ -49,13 +55,17 @@
 // Exit code 0 = no violation found (or, under --erratum, the expected
 // violation was found). On failure, the counterexample's seed, replayable
 // fault plan and action/trace tail are printed for deterministic replay.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "daemon/audit.h"
+#include "shard/shard_chaos.h"
 #include "explorer/exhaustive.h"
 #include "explorer/explorer.h"
 #include "explorer/to_explorer.h"
@@ -247,6 +257,78 @@ int run_chaos(std::size_t n, std::uint64_t seeds, std::size_t jobs,
   return 0;
 }
 
+int run_shard_chaos(std::size_t n, std::size_t shards, std::size_t replication,
+                    std::uint64_t seeds, std::size_t jobs, bool smoke) {
+  shard::ShardChaosConfig config;
+  config.shards = shards;
+  config.replication = replication;
+  config.chaos.n_processes = n;
+  if (smoke) {
+    config.chaos.plan.horizon = 2 * sim::kSecond;
+    config.chaos.plan.events = 8;
+    config.chaos.broadcasts = 30;
+    config.chaos.settle = 2 * sim::kSecond;
+  }
+
+  // Seed-indexed results → deterministic aggregation at any --jobs.
+  std::vector<shard::ShardChaosResult> results(seeds);
+  std::atomic<std::uint64_t> next{0};
+  const std::size_t workers = parallel::resolve_jobs(jobs);
+  const auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1);
+      if (i >= seeds) return;
+      results[i] = shard::run_shard_chaos_seed(1 + i, config);
+    }
+  };
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    for (std::size_t j = 0; j < workers; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::uint64_t failed = 0;
+  const shard::ShardChaosResult* first_failure = nullptr;
+  tosys::ChaosStats total;
+  for (const shard::ShardChaosResult& r : results) {
+    if (!r.ok) {
+      ++failed;
+      if (first_failure == nullptr) first_failure = &r;
+    }
+    total.events_checked += r.stats.events_checked;
+    total.invariant_checks += r.stats.invariant_checks;
+    total.views_installed += r.stats.views_installed;
+    total.broadcasts += r.stats.broadcasts;
+    total.deliveries += r.stats.deliveries;
+    total.fault_events += r.stats.fault_events;
+  }
+  if (first_failure != nullptr) {
+    std::printf("COUNTEREXAMPLE FOUND (%llu of %llu seeds failing):\n%s\n"
+                "replayable fault plan:\n%s\n",
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(seeds),
+                first_failure->failure.c_str(),
+                first_failure->plan_text.c_str());
+    return 1;
+  }
+  const std::string r_text =
+      replication == 0 ? "all" : std::to_string(replication);
+  std::printf(
+      "sharded chaos-swept %llu seeds at n=%zu K=%zu r=%s: %llu oracle "
+      "events, %llu invariant checks, %llu views, %llu broadcasts, %llu TO "
+      "deliveries, %llu scripted faults — every shard's oracle clean.\n",
+      static_cast<unsigned long long>(seeds), n, shards, r_text.c_str(),
+      static_cast<unsigned long long>(total.events_checked),
+      static_cast<unsigned long long>(total.invariant_checks),
+      static_cast<unsigned long long>(total.views_installed),
+      static_cast<unsigned long long>(total.broadcasts),
+      static_cast<unsigned long long>(total.deliveries),
+      static_cast<unsigned long long>(total.fault_events));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,11 +344,17 @@ int main(int argc, char** argv) {
   bool metrics = false;
   bool batch = false;
   bool restart = false;
+  std::size_t shards = 0;
+  std::size_t replication = 0;
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::strtoul(argv[++i], nullptr, 10);
       sweep_mode = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--replication") == 0 && i + 1 < argc) {
+      replication = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--audit") == 0 && i + 1 < argc) {
       audit_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
@@ -327,6 +415,9 @@ int main(int argc, char** argv) {
       const std::uint64_t seeds =
           args.size() > 1 ? std::strtoull(args[1], nullptr, 10)
                           : (smoke ? 25 : (erratum ? 60 : 500));
+      if (shards > 0) {
+        return run_shard_chaos(n, shards, replication, seeds, jobs, smoke);
+      }
       return run_chaos(n, seeds, jobs, smoke, erratum, metrics, batch,
                        restart);
     }

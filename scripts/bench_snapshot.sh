@@ -78,6 +78,17 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_scenario.json
 
+# Multi-group scaling axis (E23): K∈{1,4,16,64} shard columns over one
+# fixed 8-node pool at replication 2. The deterministic commit counters
+# (commits, commits_per_sim_s — aggregate committed load must grow
+# monotonically with K) are the review surface; wall-clock per commit is
+# the honest multiplexing cost and indicative only.
+./build/bench/bench_stack \
+  "${BENCH_CONTEXT}" \
+  --benchmark_filter='BM_Sharded' \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json >BENCH_shard.json
+
 # Aggregated metric snapshot of the chaos smoke sweep (deterministic: the
 # same seeds give the same bytes on every machine), so the stack-level
 # counters and latency histograms diff in review alongside the microbenches.
@@ -87,5 +98,5 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
 ./build/examples/model_checker --chaos --smoke --metrics --batch --jobs 4 >BENCH_obs_batched.json
 
 echo "wrote BENCH_explorer.json, BENCH_micro.json, BENCH_stack.json," \
-     "BENCH_recovery.json, BENCH_scenario.json, BENCH_obs.json," \
-     "BENCH_obs_batched.json (min_time=${MIN_TIME}s)"
+     "BENCH_recovery.json, BENCH_scenario.json, BENCH_shard.json," \
+     "BENCH_obs.json, BENCH_obs_batched.json (min_time=${MIN_TIME}s)"

@@ -153,6 +153,32 @@ done
 # streams over the control sockets, digest agreement, audit PASS.
 CLUSTER_DIR=/tmp/dvs-check-scenario CLUSTER_PORT=9500 ./scripts/cluster.sh scenario 5
 
+echo "== shard gate (ASan) =="
+# The sharded-subgroup suites under ASan: provisioning laws, group-frame
+# round-trips, router laws, the K=1 unsharded-vs-sharded byte-identity
+# differential (seed count shrunk here; the full 200-seed sweep is the
+# plain-build ctest registration above) and the targeted-fault isolation
+# suite. ASan watches the GroupMux framing and the per-column teardown.
+DVS_SHARD_EQ_SEEDS=25 ctest --test-dir build-asan -L shard --output-on-failure
+# Sharded chaos smoke under ASan: K columns over one 5-node pool, faults on
+# the shared network, every shard's oracle online.
+./build-asan/examples/model_checker --chaos --smoke --shards 3 --replication 2 --jobs 2 5 15
+# Isolation soak + sweep determinism under TSan: the equivalence sweep's
+# worker pool must keep per-seed clusters fully private, and the sharded
+# verdicts must not depend on the worker count.
+cmake --build build-tsan --target shard_isolation_test shard_equivalence_test
+./build-tsan/tests/shard_isolation_test
+DVS_SHARD_EQ_SEEDS=10 ./build-tsan/tests/shard_equivalence_test \
+  --gtest_filter='*JobsInvariant*'
+# The sharded scenario's SLO report is byte-identical at any worker count —
+# the same determinism contract the unsharded scenarios pin above.
+./build/examples/model_checker --scenario scenarios/sharded-steady.scn --jobs 4 | tee /tmp/scn_shard_j4.json >/dev/null
+./build/examples/model_checker --scenario scenarios/sharded-steady.scn --jobs 1 | cmp - /tmp/scn_shard_j4.json
+# The sharded swarm against a real dvsd cluster: multi-column daemons (the
+# .scn's shard topology mirrored into the node configs), per-shard digest
+# agreement across every replica, and a per-group trace audit PASS.
+SCENARIO_FILE=scenarios/sharded-steady.scn CLUSTER_DIR=/tmp/dvs-check-shard CLUSTER_PORT=9600 ./scripts/cluster.sh scenario 5
+
 echo "== bench smoke =="
 for b in build/bench/*; do
   if [[ -x "$b" && -f "$b" ]]; then

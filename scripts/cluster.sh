@@ -28,7 +28,9 @@
 #
 # Environment: BUILD_DIR (default: build), CLUSTER_DIR (default:
 # /tmp/dvs-cluster), CLUSTER_PORT (default: 9100 — peers at PORT+i, control
-# at PORT+100+i).
+# at PORT+100+i), CLUSTER_SHARDS / CLUSTER_REPLICATION (default unsharded —
+# when set, 'up' writes K shard groups into every node config; 'scenario'
+# sets them automatically from the .scn's own shards/replication keys).
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -60,11 +62,21 @@ probe() { # probe <i> — one quick ping, no retries
 }
 
 write_config() { # write_config <i> <n>
+  # CLUSTER_SHARDS / CLUSTER_REPLICATION (env, default unsharded) switch
+  # the daemons into multi-column mode: K shard groups provisioned
+  # round-robin over the pool. `initial` is only meaningful unsharded —
+  # with shards every provisioned replica is an initial member of its
+  # shard group (daemon/config.cpp validates the combination).
   local i="$1" n="$2"
   {
     echo "node $i"
     echo "n $n"
-    echo "initial $n"
+    if [[ "${CLUSTER_SHARDS:-0}" != 0 ]]; then
+      echo "shards $CLUSTER_SHARDS"
+      [[ "${CLUSTER_REPLICATION:-0}" != 0 ]] && echo "replication $CLUSTER_REPLICATION"
+    else
+      echo "initial $n"
+    fi
     for ((j = 0; j < n; j++)); do
       echo "peer $j 127.0.0.1:$(peer_port "$j")"
     done
@@ -187,7 +199,15 @@ cmd_scenario() {
   [[ -f "$SCENARIO_FILE" ]] || die "no scenario file at $SCENARIO_FILE (run from the repo root or set SCENARIO_FILE)"
   [[ -f "$CLUSTER_DIR/n" ]] && cmd_down
   rm -rf "$CLUSTER_DIR"
-  cmd_up 3
+  # A sharded scenario (scenarios/sharded-steady.scn) carries its shard
+  # topology in the .scn itself; mirror it into the daemon configs so the
+  # real cluster runs the same K columns the simulation did. The replica-
+  # to-replica digest comparison below relies on replication 0 (every node
+  # hosts every shard) — which is what the committed sharded scenario uses.
+  local scn_shards scn_repl
+  scn_shards=$(awk '$1 == "shards" {print $2}' "$SCENARIO_FILE")
+  scn_repl=$(awk '$1 == "replication" {print $2}' "$SCENARIO_FILE")
+  CLUSTER_SHARDS="${scn_shards:-0}" CLUSTER_REPLICATION="${scn_repl:-0}" cmd_up 3
   echo "-- driving $SCENARIO_FILE for ${secs}s against the live cluster"
   "$SCENARIO_RUNNER" "$SCENARIO_FILE" --real \
     "127.0.0.1:$(ctl_port 0),127.0.0.1:$(ctl_port 1),127.0.0.1:$(ctl_port 2)" \

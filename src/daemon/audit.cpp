@@ -1,6 +1,7 @@
 #include "daemon/audit.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
@@ -76,41 +77,34 @@ MergeOutcome merge_accept(std::vector<Stream<EventT>> streams,
   }
 }
 
-}  // namespace
-
-AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
-  AuditReport report;
-  report.processes = traces.size();
-  if (traces.empty()) {
-    report.ok = false;
-    report.error = "no traces to audit";
-    return report;
-  }
+/// Audits the files of ONE shard group (or the whole deployment when
+/// unsharded) through its own acceptors; merges counters into `report` and
+/// returns false after recording the group's violation.
+bool audit_group(const std::vector<const ProcessTrace*>& traces,
+                 std::uint32_t group, AuditReport& report) {
+  // "shard <k>: " prefix so a sharded audit's violation names its group.
+  const std::string who =
+      group == 0 ? std::string() : "shard " + std::to_string(group) + ": ";
   // Universe and v0 come from the metas, which every incarnation of every
-  // process wrote; they must agree.
+  // process wrote; they must agree within the group.
   std::size_t n = 0;
   std::size_t initial = 0;
-  for (const ProcessTrace& t : traces) {
-    if (t.metas.empty()) {
-      report.ok = false;
-      report.error = "trace " + t.path + " has no META record";
-      return report;
-    }
-    report.incarnations += t.metas.size();
-    report.undecodable += t.undecodable;
-    report.corrupt_tail = report.corrupt_tail || t.corrupt_tail;
-    for (const TraceMeta& m : t.metas) {
+  for (const ProcessTrace* t : traces) {
+    report.incarnations += t->metas.size();
+    report.undecodable += t->undecodable;
+    report.corrupt_tail = report.corrupt_tail || t->corrupt_tail;
+    for (const TraceMeta& m : t->metas) {
       if (n == 0) {
         n = m.n;
         initial = m.initial_members;
       } else if (m.n != n || m.initial_members != initial) {
         report.ok = false;
         report.error =
-            "trace " + t.path + " disagrees on cluster shape (n=" +
+            who + "trace " + t->path + " disagrees on cluster shape (n=" +
             std::to_string(m.n) + " initial=" +
             std::to_string(m.initial_members) + " vs n=" + std::to_string(n) +
             " initial=" + std::to_string(initial) + ")";
-        return report;
+        return false;
       }
     }
   }
@@ -125,7 +119,7 @@ AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
     vs_streams[i].process = i;
     dvs_streams[i].process = i;
     to_streams[i].process = i;
-    for (const TracedEvent& ev : traces[i].events) {
+    for (const TracedEvent& ev : traces[i]->events) {
       switch (ev.layer) {
         case kTraceVs:
           vs_streams[i].events.emplace_back(ev.ts_us,
@@ -154,8 +148,8 @@ AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
   report.deferrals += vs.deferrals;
   if (!vs.ok) {
     report.ok = false;
-    report.error = vs.error;
-    return report;
+    report.error = who + vs.error;
+    return false;
   }
 
   spec::DvsAcceptor dvs_acceptor(universe, v0);
@@ -164,8 +158,8 @@ AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
   report.deferrals += dvs.deferrals;
   if (!dvs.ok) {
     report.ok = false;
-    report.error = dvs.error;
-    return report;
+    report.error = who + dvs.error;
+    return false;
   }
   // The acceptor keeps a concrete resolved DvsSpec state, so the paper's
   // state Invariants 4.1/4.2 are checkable on the merged trace, not just
@@ -174,8 +168,8 @@ AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
     dvs_acceptor.spec().check_invariants();
   } catch (const InvariantViolation& e) {
     report.ok = false;
-    report.error = std::string("DVS invariants: ") + e.what();
-    return report;
+    report.error = who + "DVS invariants: " + e.what();
+    return false;
   }
 
   spec::ToAcceptor to_acceptor(universe);
@@ -184,8 +178,37 @@ AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
   report.deferrals += to.deferrals;
   if (!to.ok) {
     report.ok = false;
-    report.error = to.error;
+    report.error = who + to.error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AuditReport audit_traces(const std::vector<ProcessTrace>& traces) {
+  AuditReport report;
+  report.processes = traces.size();
+  if (traces.empty()) {
+    report.ok = false;
+    report.error = "no traces to audit";
     return report;
+  }
+  for (const ProcessTrace& t : traces) {
+    if (t.metas.empty()) {
+      report.ok = false;
+      report.error = "trace " + t.path + " has no META record";
+      return report;
+    }
+  }
+  // Partition by shard group (an unsharded deployment is the single group
+  // 0) and audit every group through its own acceptors: conformance is a
+  // per-group property, exactly like the in-process ShardedTraceRecorder.
+  std::map<std::uint32_t, std::vector<const ProcessTrace*>> by_group;
+  for (const ProcessTrace& t : traces) by_group[t.group()].push_back(&t);
+  report.groups = by_group.size();
+  for (const auto& [group, members] : by_group) {
+    if (!audit_group(members, group, report)) return report;
   }
   return report;
 }
@@ -208,6 +231,9 @@ std::string AuditReport::to_string() const {
   os << "audit: " << processes << " process traces, " << incarnations
      << " incarnations ("
      << (incarnations - std::min(incarnations, processes)) << " restarts)\n";
+  // Only sharded deployments mention groups — unsharded reports keep the
+  // pre-shard text byte for byte.
+  if (groups > 1) os << "  shard groups: " << groups << "\n";
   os << "  events: vs=" << vs_events << " dvs=" << dvs_events
      << " to=" << to_events << " deferrals=" << deferrals << "\n";
   if (corrupt_tail) os << "  note: torn tail trimmed in at least one file\n";

@@ -34,9 +34,14 @@ namespace dvs::daemon {
 
 struct AuditReport {
   bool ok = true;
-  std::string error;  // first violation, with per-head diagnoses
+  std::string error;  // first violation, with per-head diagnoses; in a
+                      // sharded audit it is prefixed "shard <k>: "
 
   std::size_t processes = 0;
+  /// Distinct shard groups audited (1 for an unsharded deployment). Each
+  /// group's files are merged and replayed through their own acceptors —
+  /// per-group conformance, independent of every sibling.
+  std::size_t groups = 0;
   std::size_t incarnations = 0;  // metas across all files (restarts visible)
   std::size_t vs_events = 0;
   std::size_t dvs_events = 0;
@@ -53,8 +58,10 @@ struct AuditReport {
 };
 
 /// Audits already-loaded traces (in-process tests hand NodeRuntime event
-/// logs straight in). Universe and v0 come from the trace metas, which
-/// must agree across files.
+/// logs straight in). Files are partitioned by their meta group id and each
+/// shard group is audited independently; universe and v0 come from the
+/// group's metas, which must agree within the group. A violation names its
+/// shard.
 [[nodiscard]] AuditReport audit_traces(const std::vector<ProcessTrace>& traces);
 
 /// Loads every *.trace under `trace_dir` and audits. Errors on an empty or

@@ -109,6 +109,14 @@ DaemonConfig DaemonConfig::parse(const std::string& text) {
         std::string v;
         ls >> v;
         config.max_datagram = parse_u64(v);
+      } else if (key == "shards") {
+        std::string v;
+        ls >> v;
+        config.shards = parse_u64(v);
+      } else if (key == "replication") {
+        std::string v;
+        ls >> v;
+        config.replication = parse_u64(v);
       } else {
         bad_line(lineno, line, "unknown key '" + key + "'");
       }
@@ -155,6 +163,17 @@ void DaemonConfig::validate() const {
   if (control.port == 0) {
     throw std::runtime_error("config: missing 'control' endpoint");
   }
+  if (replication > n) {
+    throw std::runtime_error("config: replication > n");
+  }
+  if (replication != 0 && shards == 0) {
+    throw std::runtime_error("config: replication without shards");
+  }
+  if (shards != 0 && initial != 0) {
+    throw std::runtime_error(
+        "config: 'initial' only applies to the unsharded deployment "
+        "(provisioned replicas all start as members of their shard)");
+  }
 }
 
 std::string DaemonConfig::to_string() const {
@@ -174,6 +193,8 @@ std::string DaemonConfig::to_string() const {
   os << "suspect_ms " << suspect_ms << "\n";
   os << "propose_ms " << propose_ms << "\n";
   os << "max_datagram " << max_datagram << "\n";
+  if (shards != 0) os << "shards " << shards << "\n";
+  if (replication != 0) os << "replication " << replication << "\n";
   return os.str();
 }
 

@@ -62,6 +62,14 @@ struct DaemonConfig {
   std::uint64_t propose_ms = 400;
   /// Largest UDP payload (see UdpConfig::max_datagram).
   std::size_t max_datagram = 60 * 1024;
+  /// Sharded deployment: K > 0 runs K subgroup columns over one socket
+  /// (group-framed datagrams, shard::GroupMux); 0 = the legacy single
+  /// group. Every process of a deployment must agree on both values — the
+  /// provisioning function is a pure function of (universe, shards,
+  /// replication).
+  std::size_t shards = 0;
+  /// Replicas per shard (0 = every node hosts every shard).
+  std::size_t replication = 0;
 
   [[nodiscard]] std::size_t initial_members() const {
     return initial == 0 ? n : initial;

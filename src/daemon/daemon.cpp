@@ -45,10 +45,11 @@ std::uint64_t realtime_us() {
 
 Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
   config_.validate();
-  if (!config_.wal_dir.empty()) {
+  const bool sharded = config_.shards > 0;
+  if (!sharded && !config_.wal_dir.empty()) {
     store_ = std::make_unique<storage::FileStableStore>(config_.wal_dir);
   }
-  if (!config_.trace_dir.empty()) {
+  if (!sharded && !config_.trace_dir.empty()) {
     sink_ = std::make_unique<TraceSink>(
         TraceSink::path_for(config_.trace_dir, config_.node),
         TraceMeta{realtime_us(), config_.n, config_.initial_members(),
@@ -96,14 +97,62 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
                              std::strerror(err));
   }
 
-  RuntimeOptions options;
-  options.vs = config_.vs_config();
-  runtime_ = std::make_unique<NodeRuntime>(
-      config_.node, config_.n, config_.initial_members(), *transport_, sim_,
-      options, store_.get(), sink_.get(), &realtime_us);
+  if (sharded) {
+    build_columns();
+  } else {
+    RuntimeOptions options;
+    options.vs = config_.vs_config();
+    runtime_ = std::make_unique<NodeRuntime>(
+        config_.node, config_.n, config_.initial_members(), *transport_, sim_,
+        options, store_.get(), sink_.get(), &realtime_us);
+    runtime_->bind_metrics(metrics_);
+  }
   transport_->bind_metrics(metrics_);
-  runtime_->bind_metrics(metrics_);
   t0_ns_ = monotonic_ns();
+}
+
+void Daemon::build_columns() {
+  // One column per shard whose provisioned replica set contains this node.
+  // All columns share the one UDP socket: GroupMux prefixes every datagram
+  // with the vsys::GroupFrame header and demuxes on receive.
+  mux_ = std::make_unique<shard::GroupMux>(*transport_);
+  const std::vector<shard::ShardAssignment> assignments = shard::provision(
+      make_universe(config_.n), config_.shards, config_.replication);
+  router_ = shard::ShardRouter(config_.shards);
+  router_.set_assignments(assignments);
+  for (const shard::ShardAssignment& a : assignments) {
+    if (!router_.hosts(a.group, config_.node)) continue;
+    auto col = std::make_unique<Column>();
+    col->group = a.group;
+    col->port = &mux_->open(a.group, a.replicas);
+    col->local = col->port->to_local(config_.node);
+    const std::size_t r = a.replicas.size();
+    if (!config_.wal_dir.empty()) {
+      // Per-column WAL root: shard-local ids repeat across groups, so the
+      // columns must not share one journal namespace.
+      col->store = std::make_unique<storage::FileStableStore>(
+          config_.wal_dir + "/g" + std::to_string(a.group));
+    }
+    if (!config_.trace_dir.empty()) {
+      col->sink = std::make_unique<TraceSink>(
+          TraceSink::path_for(config_.trace_dir, config_.node, a.group),
+          TraceMeta{realtime_us(), r, r, col->local, a.group});
+    }
+    RuntimeOptions options;
+    options.vs = config_.vs_config();
+    col->runtime = std::make_unique<NodeRuntime>(
+        col->local, r, r, *col->port, sim_, options, col->store.get(),
+        col->sink.get(), &realtime_us);
+    col->runtime->bind_metrics(col->metrics);
+    columns_.push_back(std::move(col));
+  }
+}
+
+Daemon::Column* Daemon::column_for(std::uint32_t group) {
+  for (const std::unique_ptr<Column>& c : columns_) {
+    if (c->group == group) return c.get();
+  }
+  return nullptr;
 }
 
 Daemon::~Daemon() {
@@ -115,7 +164,8 @@ std::uint64_t Daemon::elapsed_us() const {
 }
 
 int Daemon::run(const volatile std::sig_atomic_t* stop) {
-  runtime_->start();
+  if (runtime_ != nullptr) runtime_->start();
+  for (const std::unique_ptr<Column>& c : columns_) c->runtime->start();
   epoll_event events[8];
   while (!quit_ && (stop == nullptr || *stop == 0)) {
     // Fire every timer due by now; the callbacks may send.
@@ -176,17 +226,43 @@ void Daemon::handle_control() {
 }
 
 std::string Daemon::execute(const std::string& command) {
+  const bool sharded = !columns_.empty();
   std::istringstream is(command);
   std::string op;
   is >> op;
   if (op == "ping") {
+    bool recovered = runtime_ != nullptr && runtime_->recovered();
+    for (const std::unique_ptr<Column>& c : columns_) {
+      recovered = recovered || c->runtime->recovered();
+    }
     return "pong " + config_.node.to_string() +
            " pid=" + std::to_string(::getpid()) +
-           " recovered=" + (runtime_->recovered() ? "1" : "0");
+           " recovered=" + (recovered ? "1" : "0");
   }
+  // In a sharded deployment every keyed op routes through the ShardRouter;
+  // a node that does not host the key's shard answers with a redirect the
+  // client (cluster.sh) can follow instead of silently writing into the
+  // wrong totally-ordered stream.
+  const auto route = [&](const std::string& key) -> std::pair<Column*, std::string> {
+    if (!sharded) return {nullptr, ""};
+    const std::uint32_t k = router_.shard_of(key);
+    Column* col = column_for(k);
+    if (col != nullptr) return {col, ""};
+    const ProcessId contact = router_.contact(k, config_.node);
+    return {nullptr, "moved shard=" + std::to_string(k) +
+                         " node=" + std::to_string(contact.value())};
+  };
   if (op == "put") {
     std::string key, value;
     if (!(is >> key >> value)) return "err usage: put <key> <value>";
+    if (sharded) {
+      const auto [col, moved] = route(key);
+      if (col == nullptr) return moved;
+      const std::uint64_t uid =
+          col->runtime->bcast_command("put " + key + " " + value);
+      return "ok uid=" + std::to_string(uid) +
+             " shard=" + std::to_string(col->group);
+    }
     const std::uint64_t uid =
         runtime_->bcast_command("put " + key + " " + value);
     return "ok uid=" + std::to_string(uid);
@@ -194,30 +270,94 @@ std::string Daemon::execute(const std::string& command) {
   if (op == "del") {
     std::string key;
     if (!(is >> key)) return "err usage: del <key>";
+    if (sharded) {
+      const auto [col, moved] = route(key);
+      if (col == nullptr) return moved;
+      const std::uint64_t uid = col->runtime->bcast_command("del " + key);
+      return "ok uid=" + std::to_string(uid) +
+             " shard=" + std::to_string(col->group);
+    }
     const std::uint64_t uid = runtime_->bcast_command("del " + key);
     return "ok uid=" + std::to_string(uid);
   }
   if (op == "get") {
     std::string key;
     if (!(is >> key)) return "err usage: get <key>";
+    if (sharded) {
+      const auto [col, moved] = route(key);
+      if (col == nullptr) return moved;
+      if (!col->runtime->kv().data().contains(key)) return "(nil)";
+      return col->runtime->kv().get(key);
+    }
     if (!runtime_->kv().data().contains(key)) return "(nil)";
     return runtime_->kv().get(key);
   }
-  if (op == "dump") return runtime_->kv().snapshot();
+  if (op == "dump") {
+    if (!sharded) return runtime_->kv().snapshot();
+    std::string out;
+    for (const std::unique_ptr<Column>& c : columns_) {
+      out += "g" + std::to_string(c->group) + "\n" + c->runtime->kv().snapshot();
+    }
+    return out;
+  }
   if (op == "digest") {
     std::ostringstream os;
+    if (sharded) {
+      for (const std::unique_ptr<Column>& c : columns_) {
+        os << "g" << c->group << " digest=" << std::hex
+           << c->runtime->kv().digest() << std::dec
+           << " applied=" << c->runtime->kv().applied() << "\n";
+      }
+      return os.str();
+    }
     os << "digest=" << std::hex << runtime_->kv().digest() << std::dec
        << " applied=" << runtime_->kv().applied();
     return os.str();
   }
-  if (op == "applied") return std::to_string(runtime_->kv().applied());
-  if (op == "view") {
-    const std::optional<View>& v = runtime_->vs().view();
-    if (!v.has_value()) return "no-view";
-    return "view=" + v->to_string() +
-           " primary=" + (runtime_->dvs().in_primary() ? "1" : "0");
+  if (op == "applied") {
+    if (!sharded) return std::to_string(runtime_->kv().applied());
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<Column>& c : columns_) {
+      total += c->runtime->kv().applied();
+    }
+    return std::to_string(total);
   }
-  if (op == "stats") return metrics_.snapshot().to_prometheus();
+  if (op == "view") {
+    const auto one = [](NodeRuntime& rt) -> std::string {
+      const std::optional<View>& v = rt.vs().view();
+      if (!v.has_value()) return "no-view";
+      return "view=" + v->to_string() +
+             " primary=" + (rt.dvs().in_primary() ? "1" : "0");
+    };
+    if (!sharded) return one(*runtime_);
+    std::string out;
+    for (const std::unique_ptr<Column>& c : columns_) {
+      out += "g" + std::to_string(c->group) + " " + one(*c->runtime) + "\n";
+    }
+    return out;
+  }
+  if (op == "stats") {
+    obs::MetricsSnapshot out = metrics_.snapshot();
+    // Same shape as ShardCluster::metrics_snapshot(): per-column metrics
+    // under shard.<k>.*, pool-level counter/gauge rollups under pool.*.
+    // Frames for groups nobody here opened mean the peers disagree about
+    // the shard topology — surfaced as its own counter.
+    if (mux_) out.counters["shard.unroutable"] = mux_->unroutable();
+    for (const std::unique_ptr<Column>& c : columns_) {
+      const std::string prefix = "shard." + std::to_string(c->group) + ".";
+      const obs::MetricsSnapshot s = c->metrics.snapshot();
+      for (const auto& [key, v] : s.counters) {
+        out.counters[prefix + key] = v;
+        out.counters["pool." + key] += v;
+      }
+      for (const auto& [key, v] : s.gauges) {
+        out.gauges[prefix + key] = v;
+        out.gauges["pool." + key] += v;
+      }
+      for (const auto& [key, v] : s.histograms) out.histograms[prefix + key] = v;
+    }
+    return out.to_prometheus();
+  }
   if (op == "drop") {
     double p = 0.0;
     if (!(is >> p) || p < 0.0 || p > 1.0) {

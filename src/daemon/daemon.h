@@ -34,11 +34,15 @@
 #include <csignal>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "daemon/config.h"
 #include "daemon/runtime.h"
 #include "net/udp_transport.h"
 #include "obs/metrics.h"
+#include "shard/group_mux.h"
+#include "shard/provision.h"
+#include "shard/router.h"
 #include "sim/simulator.h"
 #include "storage/file_store.h"
 
@@ -58,12 +62,31 @@ class Daemon {
   /// (signal handlers set it). Returns the process exit code.
   int run(const volatile std::sig_atomic_t* stop = nullptr);
 
+  /// The unsharded deployment's single column (throws when shards > 0 —
+  /// use column()/columns() then).
   [[nodiscard]] NodeRuntime& runtime() { return *runtime_; }
   [[nodiscard]] net::UdpTransport& transport() { return *transport_; }
   /// The control socket's bound port (the config may say port 0 in tests).
   [[nodiscard]] std::uint16_t control_port() const { return control_port_; }
 
+  /// One shard column this daemon hosts (shards > 0 only). A node hosts a
+  /// column for every shard whose provisioned replica set contains it.
+  struct Column {
+    std::uint32_t group = 0;
+    ProcessId local{};  // shard-local id of this node within the column
+    shard::GroupMux::Port* port = nullptr;
+    std::unique_ptr<storage::FileStableStore> store;
+    std::unique_ptr<TraceSink> sink;
+    std::unique_ptr<NodeRuntime> runtime;
+    obs::MetricsRegistry metrics;
+  };
+  [[nodiscard]] const std::vector<std::unique_ptr<Column>>& columns() const {
+    return columns_;
+  }
+
  private:
+  void build_columns();
+  [[nodiscard]] Column* column_for(std::uint32_t group);
   void handle_control();
   [[nodiscard]] std::string execute(const std::string& command);
   [[nodiscard]] std::uint64_t elapsed_us() const;
@@ -74,6 +97,9 @@ class Daemon {
   std::unique_ptr<storage::FileStableStore> store_;
   std::unique_ptr<TraceSink> sink_;
   std::unique_ptr<NodeRuntime> runtime_;
+  std::unique_ptr<shard::GroupMux> mux_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  shard::ShardRouter router_{1};  // rebuilt with K in build_columns()
   obs::MetricsRegistry metrics_;
   int ctl_fd_ = -1;
   std::uint16_t control_port_ = 0;

@@ -115,6 +115,8 @@ TraceMeta decode_meta(Reader& r) {
   meta.n = static_cast<std::size_t>(r.varuint());
   meta.initial_members = static_cast<std::size_t>(r.varuint());
   meta.self = r.process_id();
+  // Pre-shard metas end here; sharded ones append the group id.
+  if (!r.exhausted()) meta.group = static_cast<std::uint32_t>(r.varuint());
   return meta;
 }
 
@@ -179,6 +181,13 @@ std::string TraceSink::path_for(const std::string& trace_dir, ProcessId p) {
   return trace_dir + "/" + p.to_string() + ".trace";
 }
 
+std::string TraceSink::path_for(const std::string& trace_dir, ProcessId p,
+                                std::uint32_t group) {
+  if (group == 0) return path_for(trace_dir, p);
+  return trace_dir + "/" + p.to_string() + ".g" + std::to_string(group) +
+         ".trace";
+}
+
 TraceSink::TraceSink(std::string path, const TraceMeta& meta)
     : path_(std::move(path)) {
   namespace fs = std::filesystem;
@@ -203,6 +212,9 @@ TraceSink::TraceSink(std::string path, const TraceMeta& meta)
     w.varuint(m.n);
     w.varuint(m.initial_members);
     w.process_id(m.self);
+    // Trailing group id only when sharded: unsharded files stay
+    // byte-identical to the pre-shard format.
+    if (m.group != 0) w.varuint(m.group);
   });
 }
 

@@ -46,6 +46,11 @@ struct TraceMeta {
   std::size_t n = 0;
   std::size_t initial_members = 0;
   ProcessId self{};
+  /// Shard group this file's column belongs to; 0 = the legacy unsharded
+  /// deployment. Encoded as a trailing varuint only when nonzero, so
+  /// unsharded traces are byte-identical to the pre-shard format and old
+  /// files decode as group 0.
+  std::uint32_t group = 0;
 };
 
 // ----- event codec (exposed for tests) --------------------------------------
@@ -81,6 +86,11 @@ class TraceSink {
   /// Conventional file name for a process's trace within a shared dir.
   [[nodiscard]] static std::string path_for(const std::string& trace_dir,
                                             ProcessId p);
+  /// Sharded variant: one file per (pool process, shard group) column,
+  /// "p<N>.g<K>.trace". `p` is the POOL id (shard-local ids repeat across
+  /// groups and would collide).
+  [[nodiscard]] static std::string path_for(const std::string& trace_dir,
+                                            ProcessId p, std::uint32_t group);
 
  private:
   void append(std::uint8_t type, const std::function<void(Writer&)>& encode);
@@ -109,6 +119,10 @@ struct ProcessTrace {
 
   [[nodiscard]] ProcessId self() const {
     return metas.empty() ? ProcessId{} : metas.front().self;
+  }
+  /// Shard group of this file's column (0 = unsharded).
+  [[nodiscard]] std::uint32_t group() const {
+    return metas.empty() ? 0 : metas.front().group;
   }
 };
 

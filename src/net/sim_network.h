@@ -135,6 +135,33 @@ class SimNetwork : public Transport {
   void multicast(ProcessId from, const ProcessSet& targets,
                  const Bytes& payload) override;
 
+  // ----- group channels (sharded clusters) -----------------------------------
+  //
+  // A sharded cluster (src/shard) runs many independent protocol columns
+  // over one simulated network. Each column gets its own *channel*: its own
+  // handlers, FIFO link clocks, batch state and — crucially — its own Rng
+  // seeded per group, so the fault-draw sequence one shard observes never
+  // depends on sibling traffic. The group tag travels out-of-band here
+  // (structural demux, unlike the in-band wire.h GroupFrame the real
+  // transports use) because an in-band prefix would change simulated
+  // payload sizes and thereby truncation offsets and batch byte caps —
+  // breaking the K=1 byte-identity differential. Faults stay process-level
+  // and shared: pause/partition affect every channel of a process, exactly
+  // like unplugging a machine. Channel 0 is the legacy/default channel that
+  // attach()/send() address; stats_ aggregates all channels (pool-level).
+
+  /// Creates channel `group` with its own fault Rng. Must precede any
+  /// attach_group/send_group for it; group 0 and re-opening are errors.
+  void open_group(std::uint32_t group, std::uint64_t seed);
+  void attach_group(std::uint32_t group, ProcessId p, Handler handler);
+  void send_group(std::uint32_t group, ProcessId from, ProcessId to,
+                  const Bytes& payload);
+  void multicast_group(std::uint32_t group, ProcessId from,
+                       const ProcessSet& targets, const Bytes& payload);
+  [[nodiscard]] bool has_group(std::uint32_t group) const {
+    return groups_.contains(group);
+  }
+
   // ----- fault injection -----------------------------------------------------
 
   /// Splits connectivity into the given groups; processes in different
@@ -182,36 +209,6 @@ class SimNetwork : public Transport {
   void bind_metrics(obs::MetricsRegistry& metrics);
 
  private:
-  [[nodiscard]] int group_of(ProcessId p) const;
-  /// WAN region of p per config_.process_region (region 0 when unmapped).
-  [[nodiscard]] std::size_t region_of(ProcessId p) const;
-  /// Base propagation delay for the (from, to) link: the region matrix when
-  /// configured, base_delay otherwise.
-  [[nodiscard]] sim::Time link_base_delay(ProcessId from, ProcessId to) const;
-  void schedule_delivery(ProcessId from, ProcessId to, const Bytes& payload);
-  /// The delivery-time half of schedule_delivery: connectivity re-check,
-  /// handler dispatch, envelope salvage. Shared by the arena-handle and
-  /// legacy heap closures.
-  void deliver_payload(ProcessId from, ProcessId to, const Bytes& payload);
-  void enqueue_batch(ProcessId from, ProcessId to, const Bytes& payload);
-  void flush_batch(ProcessId from, ProcessId to);
-  void flush_all_batches();
-
-  /// Packed (from, to) key for the O(1) per-send batch lookup.
-  static std::uint64_t link_key(ProcessId from, ProcessId to) {
-    return (static_cast<std::uint64_t>(from.value()) << 32) |
-           static_cast<std::uint64_t>(to.value());
-  }
-
-  sim::Simulator& sim_;
-  Rng& rng_;
-  NetConfig config_;
-  ProcessSet processes_;
-  std::map<ProcessId, Handler> handlers_;
-  std::map<ProcessId, int> partition_group_;  // empty = fully connected
-  ProcessSet paused_;
-  // FIFO link enforcement: earliest permissible delivery time per link.
-  std::map<std::pair<ProcessId, ProcessId>, sim::Time> link_clock_;
   // Open batches per (from, to) link; flushed by a scheduled event at the
   // end of the window or synchronously when a cap is hit. Keyed by the
   // packed link id (hot path: one hash lookup per logical send); flushed
@@ -229,23 +226,81 @@ class SimNetwork : public Transport {
       return handles.size() + frames.size();
     }
   };
-  std::unordered_map<std::uint64_t, PendingBatch> pending_;
-  // With batch_window == 0 every dirty link is flushed by one end-of-instant
-  // sweep event (in first-message order, so runs stay deterministic) instead
-  // of one scheduled event per link per instant.
-  std::vector<std::pair<ProcessId, ProcessId>> dirty_;
-  bool sweep_scheduled_ = false;
+
+  /// Everything that must be independent per group so channels cannot
+  /// perturb each other: handlers, FIFO clocks, batch state, scratch, and
+  /// (for non-default channels) a dedicated fault Rng. Faults (pause /
+  /// partition), stats and the payload arena stay process- / network-global.
+  struct Channel {
+    // Engaged on group channels; the default channel draws from the
+    // injected rng_ so pre-sharding behaviour is bit-for-bit unchanged.
+    std::optional<Rng> rng;
+    std::map<ProcessId, Handler> handlers;
+    // FIFO link enforcement: earliest permissible delivery time per link.
+    std::map<std::pair<ProcessId, ProcessId>, sim::Time> link_clock;
+    std::unordered_map<std::uint64_t, PendingBatch> pending;
+    // With batch_window == 0 every dirty link is flushed by one
+    // end-of-instant sweep event (in first-message order, so runs stay
+    // deterministic) instead of one scheduled event per link per instant.
+    std::vector<std::pair<ProcessId, ProcessId>> dirty;
+    bool sweep_scheduled = false;
+    // Reused buffer for handing envelope frames to handlers without a fresh
+    // allocation per frame (handlers decode synchronously).
+    Bytes frame_scratch;
+    // Reused encoder for multi-frame envelopes (arena mode) and scratch for
+    // the rare in-flight truncation mutation.
+    Writer batch_writer;
+    Bytes trunc_scratch;
+  };
+
+  [[nodiscard]] int group_of(ProcessId p) const;
+  /// WAN region of p per config_.process_region (region 0 when unmapped).
+  [[nodiscard]] std::size_t region_of(ProcessId p) const;
+  /// Base propagation delay for the (from, to) link: the region matrix when
+  /// configured, base_delay otherwise.
+  [[nodiscard]] sim::Time link_base_delay(ProcessId from, ProcessId to) const;
+  /// The channel's fault Rng (the injected rng_ on the default channel).
+  [[nodiscard]] Rng& chan_rng(Channel& ch) {
+    return ch.rng.has_value() ? *ch.rng : rng_;
+  }
+  [[nodiscard]] Channel& group_channel(std::uint32_t group);
+  void send_on(Channel& ch, ProcessId from, ProcessId to,
+               const Bytes& payload);
+  void schedule_delivery(Channel& ch, ProcessId from, ProcessId to,
+                         const Bytes& payload);
+  /// The delivery-time half of schedule_delivery: connectivity re-check,
+  /// handler dispatch, envelope salvage. Shared by the arena-handle and
+  /// legacy heap closures.
+  void deliver_payload(Channel& ch, ProcessId from, ProcessId to,
+                       const Bytes& payload);
+  void enqueue_batch(Channel& ch, ProcessId from, ProcessId to,
+                     const Bytes& payload);
+  void flush_batch(Channel& ch, ProcessId from, ProcessId to);
+  void flush_all_batches(Channel& ch);
+
+  /// Packed (from, to) key for the O(1) per-send batch lookup.
+  static std::uint64_t link_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(from.value()) << 32) |
+           static_cast<std::uint64_t>(to.value());
+  }
+
+  sim::Simulator& sim_;
+  Rng& rng_;
+  NetConfig config_;
+  ProcessSet processes_;
+  std::map<ProcessId, int> partition_group_;  // empty = fully connected
+  ProcessSet paused_;
+  // The legacy/unsharded channel (attach/send/multicast) plus one channel
+  // per opened group. node-based map: scheduled closures hold Channel*
+  // across inserts, so addresses must be stable.
+  Channel default_;
+  std::map<std::uint32_t, Channel> groups_;
   NetStats stats_;
   // Recycled in-flight payload slab (and the batch frames' store when
-  // payload_arena is on).
+  // payload_arena is on). Shared by all channels — slot handles are
+  // channel-agnostic and acquisition order cannot leak across channels'
+  // observable behaviour (the bytes delivered are identical either way).
   MsgArena arena_;
-  // Reused buffer for handing envelope frames to handlers without a fresh
-  // allocation per frame (handlers decode synchronously).
-  Bytes frame_scratch_;
-  // Reused encoder for multi-frame envelopes (arena mode) and scratch for
-  // the rare in-flight truncation mutation.
-  Writer batch_writer_;
-  Bytes trunc_scratch_;
   // Batch fill (frames per flush, single-frame flushes included), published
   // when batching is on.
   obs::Histogram* batch_fill_ = nullptr;

@@ -1,0 +1,36 @@
+#include "shard/provision.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dvs::shard {
+
+std::vector<ShardAssignment> provision(const ProcessSet& members,
+                                       std::size_t shards,
+                                       std::size_t replication) {
+  if (shards == 0) throw std::logic_error("provision: zero shards");
+  if (members.empty()) throw std::logic_error("provision: empty pool");
+  const std::vector<ProcessId> pool(members.begin(), members.end());
+  const std::size_t r = replication == 0 ? pool.size() : replication;
+  if (r > pool.size()) {
+    throw std::logic_error("provision: replication exceeds the pool");
+  }
+  std::vector<ShardAssignment> out;
+  out.reserve(shards);
+  for (std::size_t k = 1; k <= shards; ++k) {
+    ShardAssignment a;
+    a.group = static_cast<std::uint32_t>(k);
+    a.replicas.reserve(r);
+    for (std::size_t j = 0; j < r; ++j) {
+      a.replicas.push_back(pool[(k - 1 + j) % pool.size()]);
+    }
+    // Ascending replica order: the index in `replicas` is the shard-local
+    // ProcessId, and keeping the map monotone means local iteration order
+    // (multicasts, watermark rows) matches pool iteration order.
+    std::sort(a.replicas.begin(), a.replicas.end());
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace dvs::shard

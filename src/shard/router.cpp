@@ -1,0 +1,50 @@
+#include "shard/router.h"
+
+#include <stdexcept>
+
+namespace dvs::shard {
+
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void ShardRouter::set_assignments(std::vector<ShardAssignment> assignments) {
+  if (assignments != assignments_) ++re_resolutions_;
+  assignments_ = std::move(assignments);
+}
+
+void ShardRouter::set_pool_view(const ProcessSet& members) {
+  if (members != pool_view_) ++re_resolutions_;
+  pool_view_ = members;
+}
+
+const ShardAssignment& ShardRouter::assignment(std::uint32_t group) const {
+  for (const ShardAssignment& a : assignments_) {
+    if (a.group == group) return a;
+  }
+  throw std::logic_error("ShardRouter: no assignment for group " +
+                         std::to_string(group));
+}
+
+bool ShardRouter::hosts(std::uint32_t group, ProcessId p) const {
+  for (const ProcessId r : assignment(group).replicas) {
+    if (r == p) return true;
+  }
+  return false;
+}
+
+ProcessId ShardRouter::contact(std::uint32_t group, ProcessId home) const {
+  const ShardAssignment& a = assignment(group);
+  if (hosts(group, home)) return home;
+  for (const ProcessId r : a.replicas) {
+    if (pool_view_.contains(r)) return r;
+  }
+  return a.replicas.front();
+}
+
+}  // namespace dvs::shard

@@ -1,0 +1,70 @@
+// ShardRouter: the client-side library that partitions the replicated_kv
+// keyspace across shards and resolves which replica to contact.
+//
+// Key placement is a stable FNV-1a hash of the key string modulo K — a
+// pure function, identical on every client, never dependent on membership
+// (so a view change migrates no keys, only contacts). Contact resolution
+// IS membership-dependent: the router tracks the current provisioning
+// (assignments derived from the pool view) and, per operation, prefers the
+// client's home process when it hosts the shard, then the first provisioned
+// replica the current pool view still contains, then the first provisioned
+// replica (it may be rejoining; the op will time out and retry above us).
+// Every provisioning change bumps a re-resolution counter the workload
+// layer publishes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+#include "shard/provision.h"
+
+namespace dvs::shard {
+
+/// Stable 64-bit FNV-1a over the key bytes — the keyspace partition point.
+[[nodiscard]] std::uint64_t key_hash(const std::string& key);
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards) : shards_(shards) {}
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  /// group id (1..K) owning `key`.
+  [[nodiscard]] std::uint32_t shard_of(const std::string& key) const {
+    return static_cast<std::uint32_t>(key_hash(key) % shards_) + 1;
+  }
+
+  /// Installs a new provisioning (sorted by group). Counted as one
+  /// re-resolution when it differs from the current table.
+  void set_assignments(std::vector<ShardAssignment> assignments);
+  /// Installs the pool view contact resolution filters live replicas by.
+  /// Counted as a re-resolution when membership actually changed.
+  void set_pool_view(const ProcessSet& members);
+
+  [[nodiscard]] const std::vector<ShardAssignment>& assignments() const {
+    return assignments_;
+  }
+  [[nodiscard]] const ShardAssignment& assignment(std::uint32_t group) const;
+
+  /// True iff `p` hosts `group` under the current provisioning.
+  [[nodiscard]] bool hosts(std::uint32_t group, ProcessId p) const;
+
+  /// The replica a client homed at `home` should contact for `group`.
+  [[nodiscard]] ProcessId contact(std::uint32_t group, ProcessId home) const;
+
+  /// Provisioning/membership changes observed (routing re-resolutions).
+  [[nodiscard]] std::uint64_t re_resolutions() const {
+    return re_resolutions_;
+  }
+
+ private:
+  std::size_t shards_;
+  std::vector<ShardAssignment> assignments_;
+  ProcessSet pool_view_;
+  std::uint64_t re_resolutions_ = 0;
+};
+
+}  // namespace dvs::shard

@@ -1,0 +1,66 @@
+// Sharded chaos harness: FaultPlan-driven adversarial executions of a
+// ShardCluster (or, with shards == 0, the legacy unsharded Cluster driven
+// by the *same* schedule code) with every shard's conformance oracle
+// attached.
+//
+// The driver reproduces tosys::run_chaos_seed's deterministic structure —
+// same plan generator, same client-load Rng and draw sequence, same
+// heal/resume/settle epilogue — and extracts a comparable verdict: pass /
+// fail plus the per-receiver delivery orders of every shard. That verdict
+// is the byte-compare artifact of the K=1 equivalence differential
+// (tests/shard/test_single_shard_equivalence.cpp): shards=0 (unsharded
+// tosys::Cluster) and shards=1 (full-replication ShardCluster) must agree
+// exactly, seed for seed. NetStats-derived counters are pool-wide in the
+// sharded runs (they include top-level VS traffic), so they are reported
+// but are NOT part of the equivalence verdict.
+//
+// Fault targeting: `fault_targets` restricts the generated FaultPlan to a
+// subset of the pool — the isolation test aims the adversary at exactly
+// shard k's replicas and checks the siblings never miss a beat.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/view.h"
+#include "tosys/chaos.h"
+
+namespace dvs::shard {
+
+struct ShardChaosConfig {
+  /// 0 = run the legacy unsharded tosys::Cluster (the differential
+  /// baseline); K >= 1 = a ShardCluster with K shards.
+  std::size_t shards = 1;
+  /// Replicas per shard (0 = whole pool). Ignored when shards == 0.
+  std::size_t replication = 0;
+  /// Everything else: pool size, fault mix, anomaly rates, load, settle.
+  tosys::ChaosConfig chaos;
+  /// Restrict the generated FaultPlan to these pool processes (empty = the
+  /// whole pool). The plan is generated over this sub-universe, so the
+  /// adversary never touches anyone else.
+  ProcessSet fault_targets;
+};
+
+struct ShardChaosResult {
+  bool ok = true;
+  /// Oracle diagnosis naming the violated shard; empty on a clean run.
+  std::string failure;
+  /// Replayable fault plan text (empty only if construction failed early).
+  std::string plan_text;
+  /// orders[k-1][local receiver] = sequence of delivered AppMsg uids, in
+  /// delivery order. For shards == 0 there is exactly one entry (the
+  /// unsharded cluster as "shard 1"). This is the equivalence artifact.
+  std::vector<std::vector<std::vector<std::uint64_t>>> orders;
+  /// Aggregated counters (pool-wide net numbers in sharded mode).
+  tosys::ChaosStats stats;
+};
+
+/// Runs one seeded sharded chaos execution to completion. Unlike
+/// tosys::run_chaos_seed it reports violations in the result rather than
+/// throwing, so sweeps can compare verdicts byte-for-byte.
+[[nodiscard]] ShardChaosResult run_shard_chaos_seed(
+    std::uint64_t seed, const ShardChaosConfig& config);
+
+}  // namespace dvs::shard

@@ -1,6 +1,7 @@
 #include "spec/trace_recorder.h"
 
 #include <sstream>
+#include <stdexcept>
 
 #include "common/check.h"
 
@@ -49,6 +50,53 @@ bool TraceRecorder::check_invariants() {
     violation_ = TraceViolation{"DVS", dvs_fed_, e.what()};
   }
   return ok();
+}
+
+void ShardedTraceRecorder::add_group(std::uint32_t g, ProcessSet universe,
+                                     View v0, TraceRecorderOptions options) {
+  const auto [it, inserted] = recorders_.try_emplace(
+      g, std::move(universe), std::move(v0), options);
+  if (!inserted) {
+    throw std::logic_error("ShardedTraceRecorder: group " + std::to_string(g) +
+                           " registered twice");
+  }
+}
+
+bool ShardedTraceRecorder::check_invariants() {
+  bool all_ok = true;
+  for (auto& [g, rec] : recorders_) {
+    if (!rec.check_invariants()) all_ok = false;
+  }
+  return all_ok;
+}
+
+bool ShardedTraceRecorder::ok() const {
+  for (const auto& [g, rec] : recorders_) {
+    if (!rec.ok()) return false;
+  }
+  return true;
+}
+
+std::optional<TraceViolation> ShardedTraceRecorder::violation() const {
+  for (const auto& [g, rec] : recorders_) {
+    if (rec.ok()) continue;
+    TraceViolation v = *rec.violation();
+    v.layer = "shard " + std::to_string(g) + " " + v.layer;
+    return v;
+  }
+  return std::nullopt;
+}
+
+std::size_t ShardedTraceRecorder::events_checked() const {
+  std::size_t total = 0;
+  for (const auto& [g, rec] : recorders_) total += rec.events_checked();
+  return total;
+}
+
+std::size_t ShardedTraceRecorder::invariant_checks() const {
+  std::size_t total = 0;
+  for (const auto& [g, rec] : recorders_) total += rec.invariant_checks();
+  return total;
 }
 
 std::string TraceRecorder::tail(std::size_t max_per_layer) const {

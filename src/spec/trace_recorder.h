@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -105,6 +107,55 @@ class TraceRecorder {
   std::size_t events_checked_ = 0;
   std::size_t invariant_checks_ = 0;
   std::optional<TraceViolation> violation_;
+};
+
+/// Per-group conformance for sharded runs: one independent TraceRecorder
+/// (acceptor triple + Invariant 4.1/4.2 checks) per `group_id`, so events
+/// of shard k are checked against shard k's own spec state and a violation
+/// names its shard. Groups are registered up front (each may have its own
+/// universe/v0 — the shard's provisioned replica set).
+class ShardedTraceRecorder {
+ public:
+  /// Registers group `g`. Each group must be added exactly once before any
+  /// record() for it.
+  void add_group(std::uint32_t g, ProcessSet universe, View v0,
+                 TraceRecorderOptions options = {});
+
+  [[nodiscard]] bool has_group(std::uint32_t g) const {
+    return recorders_.contains(g);
+  }
+  [[nodiscard]] TraceRecorder& group(std::uint32_t g) {
+    return recorders_.at(g);
+  }
+  [[nodiscard]] const TraceRecorder& group(std::uint32_t g) const {
+    return recorders_.at(g);
+  }
+
+  void record(std::uint32_t g, const VsEvent& event) {
+    recorders_.at(g).record(event);
+  }
+  void record(std::uint32_t g, const DvsEvent& event) {
+    recorders_.at(g).record(event);
+  }
+  void record(std::uint32_t g, const ToEvent& event) {
+    recorders_.at(g).record(event);
+  }
+
+  /// Re-checks every group's DVS invariants; false if any group is (or
+  /// becomes) violated.
+  bool check_invariants();
+
+  /// True iff every group's oracle is still clean.
+  [[nodiscard]] bool ok() const;
+  /// The first tripped group (lowest group id) and its violation, with the
+  /// shard named in the message; nullopt when all clean.
+  [[nodiscard]] std::optional<TraceViolation> violation() const;
+
+  [[nodiscard]] std::size_t events_checked() const;
+  [[nodiscard]] std::size_t invariant_checks() const;
+
+ private:
+  std::map<std::uint32_t, TraceRecorder> recorders_;
 };
 
 }  // namespace dvs::spec

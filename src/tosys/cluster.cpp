@@ -11,11 +11,24 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
       v0_{ViewId::initial(),
           make_universe(config.initial_members == 0 ? config.n_processes
                                                     : config.initial_members)},
+      owned_sim_(config.sim == nullptr ? std::make_unique<sim::Simulator>()
+                                       : nullptr),
+      sim_(config.sim != nullptr ? *config.sim : *owned_sim_),
       recorder_(universe_, v0_,
                 spec::TraceRecorderOptions{
                     .keep_traces = config.record_traces,
                     .check_online = config.conformance_oracle}) {
-  net_ = std::make_unique<net::SimNetwork>(sim_, rng_, config_.net, universe_);
+  if (config_.transport != nullptr) {
+    if (config_.sim == nullptr) {
+      throw std::logic_error(
+          "Cluster: an injected transport requires an injected simulator");
+    }
+    transport_ = config_.transport;
+  } else {
+    net_ =
+        std::make_unique<net::SimNetwork>(sim_, rng_, config_.net, universe_);
+    transport_ = net_.get();
+  }
   if (config_.persistence) {
     if (config_.store == nullptr) {
       owned_store_ = std::make_unique<storage::MemStableStore>();
@@ -27,8 +40,8 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
     const bool member = v0_.contains(p);
     // Build bottom-up; callbacks are wired after all layers exist.
     vs_[p] = std::make_unique<vsys::VsNode>(
-        p, member ? std::optional<View>{v0_} : std::nullopt, *net_, sim_,
-        config_.vs, vsys::VsCallbacks{});
+        p, member ? std::optional<View>{v0_} : std::nullopt, *transport_,
+        sim_, config_.vs, vsys::VsCallbacks{});
     dvs_[p] = std::make_unique<dvsys::DvsNode>(
         p, v0_, *vs_[p], dvsys::DvsCallbacks{},
         dvsys::DvsNodeOptions{.auto_gc = config_.gc_enabled,
@@ -42,7 +55,9 @@ Cluster::Cluster(ClusterConfig config, std::uint64_t seed)
   // span tracer, driven from the same callback wrappers as the oracle.
   if (config_.observability) {
     tracer_ = std::make_unique<obs::StackTracer>(metrics_, trace_);
-    net_->bind_metrics(metrics_);
+    // An injected transport belongs to the host, which binds its metrics
+    // once at pool level (per-column net.* counters would double-count).
+    if (net_ != nullptr) net_->bind_metrics(metrics_);
     for (ProcessId p : universe_) bind_process_metrics(p);
     if (store_ != nullptr) {
       // Cluster-wide persistence counters; this collector references the
@@ -208,7 +223,7 @@ void Cluster::restart(ProcessId p) {
       ToNode::recover(*store_, storage_key(p, "to"));
   // ...and rebuild bottom-up. The new incarnation has no view (it rejoins
   // through the membership protocol) but remembers everything it persisted.
-  vs_[p] = std::make_unique<vsys::VsNode>(p, std::nullopt, *net_, sim_,
+  vs_[p] = std::make_unique<vsys::VsNode>(p, std::nullopt, *transport_, sim_,
                                           config_.vs, vsys::VsCallbacks{});
   vs_.at(p)->restore_epoch(epoch);
   dvs_[p] = std::make_unique<dvsys::DvsNode>(
@@ -264,10 +279,21 @@ spec::AcceptResult Cluster::check_to_trace() const {
   return acceptor.feed_all(recorder_.to_trace());
 }
 
+net::SimNetwork& Cluster::net() {
+  if (net_ == nullptr) {
+    throw std::logic_error(
+        "Cluster::net: cluster runs on an injected transport");
+  }
+  return *net_;
+}
+
 double Cluster::primary_fraction() const {
   std::size_t in_primary = 0;
   for (const auto& [p, node] : dvs_) {
-    if (node->in_primary() && !net_->paused(p)) ++in_primary;
+    const bool paused = net_ != nullptr ? net_->paused(p)
+                        : config_.paused_probe ? config_.paused_probe(p)
+                                               : false;
+    if (node->in_primary() && !paused) ++in_primary;
   }
   return static_cast<double>(in_primary) /
          static_cast<double>(universe_.size());

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -73,6 +74,23 @@ struct ClusterConfig {
   /// point this at a storage::FileStableStore to measure real WAL I/O. Must
   /// outlive the cluster.
   storage::StableStore* store = nullptr;
+
+  // ----- host injection (sharded pools) --------------------------------------
+  /// Run this cluster on an externally owned event loop / transport instead
+  /// of building its own. A sharded pool (src/shard) hosts many protocol
+  /// columns over ONE Simulator and ONE network; each column is a full
+  /// Cluster with these two set. Both null (the default) keeps the legacy
+  /// standalone behaviour: the cluster owns its Simulator and SimNetwork and
+  /// is bit-for-bit identical to the pre-injection build. When `transport`
+  /// is set, `sim` must be set too; both must outlive the cluster, and
+  /// net() (the owned SimNetwork's fault surface) becomes unavailable —
+  /// faults are injected on the shared substrate instead.
+  sim::Simulator* sim = nullptr;
+  net::Transport* transport = nullptr;
+  /// With an injected transport: how primary_fraction() asks whether a
+  /// process is currently fault-paused (the owned SimNetwork answers
+  /// directly in standalone mode). Null = nobody is ever paused.
+  std::function<bool(ProcessId)> paused_probe;
 };
 
 /// One delivered (BRCV) record.
@@ -91,7 +109,11 @@ class Cluster {
   void start();
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
-  [[nodiscard]] net::SimNetwork& net() { return *net_; }
+  /// The owned simulated network's fault surface. Throws when the cluster
+  /// runs on an injected transport (faults then belong to the host).
+  [[nodiscard]] net::SimNetwork& net();
+  /// The transport every node sends through (owned SimNetwork or injected).
+  [[nodiscard]] net::Transport& transport() { return *transport_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const ProcessSet& universe() const { return universe_; }
   [[nodiscard]] const View& v0() const { return v0_; }
@@ -198,8 +220,13 @@ class Cluster {
   Rng rng_;
   ProcessSet universe_;
   View v0_;
-  sim::Simulator sim_;
-  std::unique_ptr<net::SimNetwork> net_;
+  // Owned in standalone mode, absent with host injection; sim_ names
+  // whichever Simulator the cluster actually runs on (declared after
+  // owned_sim_ so the reference can bind to it).
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator& sim_;
+  std::unique_ptr<net::SimNetwork> net_;  // null with an injected transport
+  net::Transport* transport_ = nullptr;   // = net_.get() when owned
   std::unique_ptr<storage::MemStableStore> owned_store_;
   storage::StableStore* store_ = nullptr;  // null = persistence off
   std::map<ProcessId, std::unique_ptr<vsys::VsNode>> vs_;

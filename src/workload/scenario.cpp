@@ -108,6 +108,10 @@ Scenario Scenario::parse(const std::string& text) {
         s.n = parse_u64(word());
       } else if (key == "initial") {
         s.initial = parse_u64(word());
+      } else if (key == "shards") {
+        s.shards = parse_u64(word());
+      } else if (key == "replication") {
+        s.replication = parse_u64(word());
       } else if (key == "seeds") {
         s.seeds = parse_u64(word());
       } else if (key == "seed") {
@@ -269,6 +273,8 @@ std::string Scenario::to_string() const {
   os << "name " << name << "\n";
   os << "n " << n << "\n";
   if (initial != 0) os << "initial " << initial << "\n";
+  if (shards != 0) os << "shards " << shards << "\n";
+  if (replication != 0) os << "replication " << replication << "\n";
   os << "seeds " << seeds << "\n";
   os << "seed " << seed << "\n";
   os << "warmup_ms " << to_ms(warmup) << "\n";
@@ -352,6 +358,13 @@ void Scenario::validate() const {
   };
   if (n == 0) fail("n must be > 0");
   if (initial > n) fail("initial > n");
+  if (replication != 0 && shards == 0) {
+    fail("replication needs shards >= 1");
+  }
+  if (replication > n) fail("replication > n");
+  if (shards > 1 && initial != 0) {
+    fail("initial members are only meaningful with shards 0|1");
+  }
   if (seeds == 0) fail("seeds must be >= 1");
   if (horizon == 0) fail("horizon_ms must be > 0");
   if (warmup >= horizon) fail("warmup must be shorter than the horizon");

@@ -115,6 +115,15 @@ struct Scenario {
   std::size_t n = 3;
   /// Initial view size (0 = all n; fewer leaves late joiners).
   std::size_t initial = 0;
+  /// 0 = the legacy unsharded stack (one tosys::Cluster). K >= 1 runs a
+  /// shard::ShardCluster with K subgroups over the n-process pool; clients
+  /// route every operation by key hash (shard::ShardRouter). shards=1 with
+  /// replication 0 is the equivalence configuration — byte-identical SLO
+  /// reports to shards=0.
+  std::size_t shards = 0;
+  /// Replicas per shard (0 = every pool member hosts every shard). Only
+  /// meaningful with shards >= 1.
+  std::size_t replication = 0;
   /// Seeds swept per report: seeds [seed, seed + seeds) run independently
   /// and their SLO reports merge in seed order (byte-identical across
   /// --jobs values).

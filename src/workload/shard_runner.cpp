@@ -1,11 +1,9 @@
-#include "workload/runner.h"
+#include "workload/shard_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
 #include <memory>
-#include <optional>
-#include <thread>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -13,16 +11,15 @@
 #include "common/labels.h"
 #include "net/fault_plan.h"
 #include "obs/stack_tracer.h"
+#include "shard/shard_cluster.h"
 #include "tosys/cluster.h"
-#include "workload/shard_runner.h"
 
-namespace dvs::workload {
+namespace dvs::workload::detail {
 
 namespace {
 
 constexpr sim::Time kInvariantCheckPeriod = 100 * sim::kMillisecond;
 
-/// A write in flight: who issued it, when, and in which phase.
 struct PendingWrite {
   std::size_t client = 0;
   sim::Time submitted = 0;
@@ -33,12 +30,9 @@ struct PendingWrite {
 struct ClientState {
   OpGenerator gen;
   ProcessId home{};
-  std::uint64_t waiting_uid = 0;  // closed loop: the outstanding write
+  std::uint64_t waiting_uid = 0;
 };
 
-/// Skeleton report: scenario identity, declared SLOs and the phase
-/// structure with all measurements zero. Sweeps merge every passing seed
-/// into this, so even an all-failed sweep serializes coherently.
 SloReport skeleton_report(const Scenario& sc) {
   SloReport r;
   r.scenario = sc.name;
@@ -57,24 +51,29 @@ SloReport skeleton_report(const Scenario& sc) {
 
 std::string failure_message(std::uint64_t seed, const Scenario& sc,
                             const net::FaultPlan& plan,
-                            const spec::TraceRecorder& oracle) {
+                            const std::string& violation) {
   std::string out = "scenario '" + sc.name + "' seed " + std::to_string(seed) +
-                    " (n=" + std::to_string(sc.n) +
-                    "): " + oracle.violation()->to_string();
+                    " (n=" + std::to_string(sc.n) + "): " + violation;
   out += "\nfault plan (replay with net::FaultPlan::parse):\n";
   out += plan.to_string();
-  const std::string tail = oracle.tail();
-  if (!tail.empty()) out += "trace tail:\n" + tail;
   return out;
 }
 
 }  // namespace
 
-SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
+// Structurally a mirror of run_scenario_seed (workload/runner.cpp): the
+// client swarm performs the SAME Rng draws in the SAME order, so at K=1 the
+// two runners produce byte-identical reports. The differences are exactly
+// the routing seams: key -> shard via ShardRouter, contact -> shard-local
+// replica via the shard's GroupPort map, and per-shard KV replicas,
+// delivery hooks, oracles and span checks.
+SeedOutcome run_sharded_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   sc.validate();
-  if (sc.shards > 0) return detail::run_sharded_scenario_seed(sc, seed);
 
-  tosys::ClusterConfig cc;
+  shard::ShardClusterConfig scc;
+  scc.shards = sc.shards;
+  scc.replication = sc.replication;
+  tosys::ClusterConfig& cc = scc.base;
   cc.n_processes = sc.n;
   cc.initial_members = sc.initial;
   cc.net = sc.net_config();
@@ -89,15 +88,11 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   }
   cc.vs.stability = sc.watermarks ? vsys::StabilityMode::kWatermark
                                   : vsys::StabilityMode::kExplicitAck;
-  // The oracle checks every event ONLINE; storing the full event streams as
-  // well would hold a copy of every TO summary exchanged at every primary
-  // establishment — O(history x views) memory on long churny horizons — so
-  // trace retention stays off. A failing seed is replayed from its embedded
-  // fault plan instead of a stored tail.
   cc.record_traces = false;
   cc.conformance_oracle = true;
   cc.persistence = sc.needs_persistence();
-  tosys::Cluster cluster(cc, seed);
+  shard::ShardCluster cluster(scc, seed);
+  const std::size_t shard_count = cluster.shard_count();
 
   const net::FaultPlan plan = sc.compile_faults(seed);
   net::FaultPlan::ScheduleHooks hooks;
@@ -114,7 +109,7 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   report.measured_us = sc.horizon - sc.warmup;
 
   const std::vector<Phase> phases = sc.effective_phases();
-  std::vector<sim::Time> phase_edge;  // cumulative end times over [0, horizon)
+  std::vector<sim::Time> phase_edge;
   {
     sim::Time edge = 0;
     for (const Phase& ph : phases) {
@@ -142,7 +137,14 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   }
 
   // ----- replicated application ---------------------------------------------
-  std::vector<apps::KvStateMachine> replicas(sc.n);
+  // One KV replica per (shard, shard-local process): each shard's column
+  // replicates exactly its own key partition.
+  std::vector<std::vector<apps::KvStateMachine>> kv;
+  kv.reserve(shard_count);
+  for (std::size_t k = 1; k <= shard_count; ++k) {
+    kv.emplace_back(
+        cluster.assignment(static_cast<std::uint32_t>(k)).replicas.size());
+  }
   std::unordered_map<std::uint64_t, PendingWrite> pending;
   std::uint64_t next_uid = 1;
 
@@ -154,16 +156,11 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
         ProcessId{static_cast<ProcessId::Rep>(i % sc.n)}, 0});
   }
 
-  // A write that cannot commit (home crashed mid-protocol) must not wedge
-  // its closed-loop client: give the stack ample time to change views and
-  // recover, then abandon the wait.
   const sim::Time op_timeout =
       std::max<sim::Time>(2 * sim::kSecond, 10 * cc.vs.suspect_timeout);
 
   sim::Simulator& sim = cluster.sim();
 
-  // Continuation cycles (closed-loop think chains, open-loop arrival
-  // chains); function-scope so scheduled events can reference them safely.
   std::function<void(std::size_t)> issue_op;
   std::function<void(std::size_t)> arm_open;
   auto schedule_next = [&](std::size_t ci) {
@@ -177,26 +174,39 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
     sim.schedule_at(at, [&issue_op, ci] { issue_op(ci); });
   };
 
-  cluster.set_delivery_hook([&](const tosys::Delivery& d) {
-    replicas[d.receiver.value()].apply(d.msg.payload);
-    auto it = pending.find(d.msg.uid);
-    if (it == pending.end()) return;
-    PendingWrite& w = it->second;
-    const sim::Time lat = d.at - w.submitted;
-    delivery_hist.observe(lat);
-    if (d.receiver != d.msg.origin || w.committed) return;
-    w.committed = true;
-    commit_hist.observe(lat);
-    phase_hist[w.phase]->observe(lat);
-    ++report.commits;
-    ++report.completed;
-    ++report.phases[w.phase].completed;
-    ClientState& c = clients[w.client];
-    if (sc.closed_loop && c.waiting_uid == d.msg.uid) {
-      c.waiting_uid = 0;
-      schedule_next(w.client);
-    }
-  });
+  for (std::size_t k = 1; k <= shard_count; ++k) {
+    const auto g = static_cast<std::uint32_t>(k);
+    cluster.shard(g).set_delivery_hook([&, k](const tosys::Delivery& d) {
+      kv[k - 1][d.receiver.value()].apply(d.msg.payload);
+      auto it = pending.find(d.msg.uid);
+      if (it == pending.end()) return;
+      PendingWrite& w = it->second;
+      const sim::Time lat = d.at - w.submitted;
+      delivery_hist.observe(lat);
+      if (d.receiver != d.msg.origin || w.committed) return;
+      w.committed = true;
+      commit_hist.observe(lat);
+      phase_hist[w.phase]->observe(lat);
+      ++report.commits;
+      ++report.completed;
+      ++report.phases[w.phase].completed;
+      ClientState& c = clients[w.client];
+      if (sc.closed_loop && c.waiting_uid == d.msg.uid) {
+        c.waiting_uid = 0;
+        schedule_next(w.client);
+      }
+    });
+  }
+
+  // key -> (shard, shard-local replica the client talks to). The router
+  // resolves the contact from the live pool view; the port map translates
+  // it into the column's local id space.
+  auto route = [&](const std::string& key, ProcessId home) {
+    const std::uint32_t g = cluster.router().shard_of(key);
+    const ProcessId contact = cluster.router().contact(g, home);
+    return std::pair<std::uint32_t, ProcessId>(g,
+                                               cluster.local_id(g, contact));
+  };
 
   issue_op = [&](std::size_t ci) {
     const sim::Time now = sim.now();
@@ -211,7 +221,8 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
       case OpKind::kRead: {
         ++report.reads;
         ++report.phases[ph].reads;
-        (void)replicas[c.home.value()].get(key);
+        const auto [g, local] = route(key, c.home);
+        (void)kv[g - 1][local.value()].get(key);
         ++report.completed;
         ++report.phases[ph].completed;
         if (sc.closed_loop) schedule_next(ci);
@@ -220,7 +231,10 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
       case OpKind::kScan: {
         ++report.scans;
         ++report.phases[ph].scans;
-        const auto& data = replicas[c.home.value()].data();
+        // Scans read the contact replica of the key's home shard; keys
+        // hashing to sibling shards are out of partition by design.
+        const auto [g, local] = route(key, c.home);
+        const auto& data = kv[g - 1][local.value()].data();
         auto it = data.lower_bound(key);
         for (std::size_t k = 0; k < op.scan_len && it != data.end();
              ++k, ++it) {
@@ -244,22 +258,20 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
             schedule_next(ci);
           });
         }
-        cluster.bcast(c.home, AppMsg{uid, c.home, "put " + key + " " +
-                                                      op.value});
+        const auto [g, local] = route(key, c.home);
+        cluster.bcast(g, local, AppMsg{uid, local, "put " + key + " " +
+                                                       op.value});
         break;
       }
     }
   };
 
   if (sc.closed_loop) {
-    // Stagger the first operations so clients never lock step at warmup.
     for (std::size_t i = 0; i < sc.clients; ++i) {
       sim.schedule_at(sc.warmup + static_cast<sim::Time>(i + 1) * 100,
                       [&issue_op, i] { issue_op(i); });
     }
   } else {
-    // Open loop: per-client Poisson arrival chains targeting the aggregate
-    // rate, scaled by the phase/burst multiplier at arming time.
     arm_open = [&](std::size_t ci) {
       const sim::Time now = std::max(sim.now(), sc.warmup);
       const double per_client =
@@ -276,48 +288,48 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   }
 
   // ----- availability sampling and mid-run invariant checks ------------------
+  // "Available" = every shard has a primary-capable member (the pool serves
+  // its whole keyspace); at K=1 this is exactly the unsharded sample.
   for (sim::Time t = sc.warmup; t < sc.horizon; t += sc.sample_period) {
     sim.schedule_at(t, [&, t] {
       const std::size_t ph = phase_index(t);
       ++report.samples;
       ++report.phases[ph].samples;
-      if (cluster.primary_fraction() > 0.0) {
+      if (cluster.min_primary_fraction() > 0.0) {
         ++report.available_samples;
         ++report.phases[ph].available_samples;
       }
     });
   }
-  // Mid-run state-invariant checks (Invariants 4.1/4.2): every 100ms on
-  // short runs, stretched to ~200 checks total on long soaks.
   const sim::Time check_period =
       std::max(kInvariantCheckPeriod, sc.horizon / 200);
   for (sim::Time t = check_period; t < sc.horizon; t += check_period) {
-    sim.schedule_at(t, [&cluster] { (void)cluster.oracle().check_invariants(); });
+    sim.schedule_at(t, [&cluster] { (void)cluster.check_invariants(); });
   }
 
   // ----- run -----------------------------------------------------------------
   cluster.start();
   cluster.run_for(sc.horizon);
 
-  // Recovery epilogue, as in the chaos harness: heal, resume everyone, let
-  // the stack converge, and keep the oracle watching the repair traffic.
   cluster.net().heal();
-  for (ProcessId p : cluster.universe()) cluster.net().resume(p);
+  for (ProcessId p : cluster.pool()) cluster.net().resume(p);
   cluster.run_for(sc.settle);
-  // A churny plan can leave the last rejoin's view change mid-flight at the
-  // settle deadline; give the membership layer bounded extra rounds to
-  // quiesce (a genuinely wedged stack still fails the span check below).
-  for (int round = 0;
-       round < 8 &&
-       obs::check_span_invariants(cluster.trace()).open_view_change > 0;
-       ++round) {
+  auto open_view_changes = [&] {
+    std::size_t open = 0;
+    for (std::size_t k = 1; k <= shard_count; ++k) {
+      const auto& column = cluster.shard(static_cast<std::uint32_t>(k));
+      open += obs::check_span_invariants(column.trace()).open_view_change;
+    }
+    return open;
+  };
+  for (int round = 0; round < 8 && open_view_changes() > 0; ++round) {
     cluster.run_for(sc.settle);
   }
-  (void)cluster.oracle().check_invariants();
+  (void)cluster.check_invariants();
 
-  if (!cluster.oracle().ok()) {
-    throw ScenarioFailure(seed,
-                          failure_message(seed, sc, plan, cluster.oracle()));
+  if (!cluster.oracle_ok()) {
+    throw ScenarioFailure(
+        seed, failure_message(seed, sc, plan, cluster.violation_message()));
   }
 
   // ----- report assembly -----------------------------------------------------
@@ -328,20 +340,25 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   }
   report.fault_events = plan.events.size();
   report.restarts = cluster.restarts();
-  for (ProcessId p : cluster.universe()) {
-    report.views_installed += cluster.vs_node(p).stats().views_installed;
-  }
   bool converged = true;
-  for (std::size_t i = 1; i < sc.n; ++i) {
-    if (replicas[i].digest() != replicas[0].digest()) converged = false;
+  std::size_t span_violations = 0;
+  for (std::size_t k = 1; k <= shard_count; ++k) {
+    const auto g = static_cast<std::uint32_t>(k);
+    tosys::Cluster& column = cluster.shard(g);
+    for (ProcessId local : column.universe()) {
+      report.views_installed += column.vs_node(local).stats().views_installed;
+    }
+    for (std::size_t i = 1; i < kv[k - 1].size(); ++i) {
+      if (kv[k - 1][i].digest() != kv[k - 1][0].digest()) converged = false;
+    }
+    const obs::SpanInvariantReport spans =
+        obs::check_span_invariants(column.trace());
+    obs::publish_span_invariants(spans, column.metrics());
+    span_violations += spans.open_view_change + spans.non_nested_delivery +
+                       spans.overlapping_registration;
   }
   report.converged_seeds = converged ? 1 : 0;
-
-  const obs::SpanInvariantReport spans =
-      obs::check_span_invariants(cluster.trace());
-  obs::publish_span_invariants(spans, cluster.metrics());
-  report.span_violations = spans.open_view_change + spans.non_nested_delivery +
-                           spans.overlapping_registration;
+  report.span_violations = span_violations;
 
   SeedOutcome out;
   out.slo = std::move(report);
@@ -349,56 +366,4 @@ SeedOutcome run_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   return out;
 }
 
-ScenarioSweepResult run_scenario(const Scenario& sc, std::size_t jobs) {
-  sc.validate();
-  const std::size_t count = sc.seeds;
-  if (jobs == 0) {
-    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
-  jobs = std::min(jobs, count);
-
-  // One slot per seed, indexed by seed offset — never by worker — so the
-  // merge below is independent of scheduling (the SeedSweep contract).
-  std::vector<std::optional<SeedOutcome>> outcomes(count);
-  std::vector<std::string> errors(count);
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) return;
-      try {
-        outcomes[i] = run_scenario_seed(sc, sc.seed + i);
-      } catch (const std::exception& e) {
-        errors[i] = e.what();
-        if (errors[i].empty()) errors[i] = "unknown failure";
-      }
-    }
-  };
-  if (jobs <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
-  ScenarioSweepResult result;
-  result.slo = skeleton_report(sc);
-  for (std::size_t i = 0; i < count; ++i) {
-    if (outcomes[i].has_value()) {
-      result.slo += outcomes[i]->slo;
-      result.metrics += outcomes[i]->metrics;
-      ++result.seeds_run;
-    } else {
-      if (result.first_failure.empty()) {
-        result.first_failing_seed = sc.seed + i;
-        result.first_failure = errors[i];
-      }
-      ++result.seeds_failed;
-    }
-  }
-  return result;
-}
-
-}  // namespace dvs::workload
+}  // namespace dvs::workload::detail

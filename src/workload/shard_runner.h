@@ -1,0 +1,18 @@
+// Internal: the sharded half of the scenario runner (scenario.shards >= 1).
+// run_scenario_seed dispatches here; everything public stays in runner.h.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/runner.h"
+
+namespace dvs::workload::detail {
+
+/// Mirrors run_scenario_seed over a shard::ShardCluster: same client swarm
+/// and Rng draw sequences, operations routed per key by shard::ShardRouter.
+/// At shards=1 / replication=0 the SLO report is byte-identical to the
+/// unsharded runner's (the K=1 equivalence differential).
+[[nodiscard]] SeedOutcome run_sharded_scenario_seed(const Scenario& scenario,
+                                                    std::uint64_t seed);
+
+}  // namespace dvs::workload::detail

@@ -1,0 +1,216 @@
+// The sharded offline-audit path: per-(pool process, group) trace files
+// with group-tagged METAs, partitioned per-group replay through the spec
+// acceptors, and violations that name their shard.
+//
+// The end-to-end test runs a real two-group deployment in-process — K=2
+// shard columns of daemon::NodeRuntime over a GroupMux on one SimNetwork
+// (exactly the sharded dvsd wiring, minus the sockets), writing genuine
+// trace files — then audits the directory. The violation tests feed the
+// auditor hand-built traces, because a protocol violation should be
+// impossible to produce with the real stack.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/view.h"
+#include "daemon/audit.h"
+#include "daemon/runtime.h"
+#include "daemon/trace_io.h"
+#include "net/sim_network.h"
+#include "shard/group_mux.h"
+#include "shard/provision.h"
+#include "sim/simulator.h"
+
+namespace dvs {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kPool = 3;
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kReplication = 2;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("dvs-sharded-audit-" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+TEST(ShardedAudit, TwoGroupDeploymentWritesGroupFilesAndAuditsPerGroup) {
+  TempDir dir;
+  sim::Simulator sim;
+  Rng rng(11);
+  net::SimNetwork net(sim, rng, net::NetConfig{}, make_universe(kPool));
+  shard::GroupMux mux(net);
+
+  const std::vector<shard::ShardAssignment> assignments =
+      shard::provision(make_universe(kPool), kShards, kReplication);
+
+  // One column = one NodeRuntime + one trace sink per (pool process, group),
+  // the same shape a sharded dvsd builds. Sinks outlive the runtimes.
+  std::vector<std::unique_ptr<daemon::TraceSink>> sinks;
+  std::vector<std::unique_ptr<daemon::NodeRuntime>> columns;
+  std::vector<std::size_t> group_of;  // parallel to `columns`
+  for (const shard::ShardAssignment& a : assignments) {
+    shard::GroupMux::Port& port = mux.open(a.group, a.replicas);
+    for (ProcessId pool_p : a.replicas) {
+      const ProcessId local = port.to_local(pool_p);
+      daemon::TraceMeta meta;
+      meta.n = kReplication;
+      meta.initial_members = kReplication;
+      meta.self = local;
+      meta.group = a.group;
+      sinks.push_back(std::make_unique<daemon::TraceSink>(
+          daemon::TraceSink::path_for(dir.path.string(), pool_p, a.group),
+          meta));
+      columns.push_back(std::make_unique<daemon::NodeRuntime>(
+          local, kReplication, kReplication, port, sim,
+          daemon::RuntimeOptions{}, nullptr, sinks.back().get(),
+          [&sim] { return sim.now(); }));
+      group_of.push_back(a.group);
+    }
+  }
+  for (auto& rt : columns) rt->start();
+
+  const auto run_until = [&](const std::function<bool()>& pred) {
+    const sim::Time deadline = sim.now() + 30 * sim::kSecond;
+    while (!pred() && sim.now() < deadline) {
+      sim.run_until(sim.now() + 100 * sim::kMillisecond);
+    }
+    return pred();
+  };
+
+  ASSERT_TRUE(run_until([&] {
+    for (const auto& rt : columns) {
+      if (!rt->vs().view() || rt->vs().view()->size() != kReplication) {
+        return false;
+      }
+    }
+    return true;
+  })) << "initial views never formed in every group";
+
+  // One distinct put into each group, via each group's first column.
+  for (std::size_t g = 1; g <= kShards; ++g) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (group_of[i] == g) {
+        columns[i]->bcast_command("put g" + std::to_string(g) + " v");
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(run_until([&] {
+    for (const auto& rt : columns) {
+      if (rt->kv().applied() < 1) return false;
+    }
+    return true;
+  })) << "puts never applied in every group";
+
+  columns.clear();  // flush order: runtimes first, then the sinks
+  sinks.clear();
+
+  // One file per (pool process, group) column under the sharded names.
+  EXPECT_TRUE(fs::exists(dir.path / "p0.g1.trace"));
+  EXPECT_TRUE(fs::exists(dir.path / "p1.g1.trace"));
+  EXPECT_TRUE(fs::exists(dir.path / "p1.g2.trace"));
+  EXPECT_TRUE(fs::exists(dir.path / "p2.g2.trace"));
+
+  const daemon::AuditReport report = daemon::audit_dir(dir.path.string());
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.groups, kShards);
+  EXPECT_EQ(report.processes, kShards * kReplication);
+  EXPECT_GT(report.to_events, 0u);
+  EXPECT_NE(report.to_string().find("shard groups: 2"), std::string::npos);
+  EXPECT_NE(report.to_string().find("VERDICT: PASS"), std::string::npos);
+}
+
+daemon::ProcessTrace meta_only_trace(const std::string& path, std::size_t n,
+                                     ProcessId self, std::uint32_t group) {
+  daemon::ProcessTrace t;
+  t.path = path;
+  daemon::TraceMeta meta;
+  meta.n = n;
+  meta.initial_members = n;
+  meta.self = self;
+  meta.group = group;
+  t.metas.push_back(meta);
+  return t;
+}
+
+TEST(ShardedAudit, ViolationNamesItsShard) {
+  // Group 1 is clean; group 2's second file disagrees on the cluster shape.
+  std::vector<daemon::ProcessTrace> traces;
+  traces.push_back(meta_only_trace("p0.g1.trace", 2, ProcessId{0}, 1));
+  traces.push_back(meta_only_trace("p1.g1.trace", 2, ProcessId{1}, 1));
+  traces.push_back(meta_only_trace("p1.g2.trace", 2, ProcessId{0}, 2));
+  traces.push_back(meta_only_trace("p2.g2.trace", 3, ProcessId{1}, 2));
+
+  const daemon::AuditReport report = daemon::audit_traces(traces);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.groups, 2u);
+  EXPECT_EQ(report.error.rfind("shard 2: ", 0), 0u) << report.error;
+  EXPECT_NE(report.error.find("disagrees on cluster shape"),
+            std::string::npos);
+}
+
+TEST(ShardedAudit, UnshardedViolationKeepsLegacyMessage) {
+  std::vector<daemon::ProcessTrace> traces;
+  traces.push_back(meta_only_trace("p0.trace", 2, ProcessId{0}, 0));
+  traces.push_back(meta_only_trace("p1.trace", 3, ProcessId{1}, 0));
+
+  const daemon::AuditReport report = daemon::audit_traces(traces);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.groups, 1u);
+  EXPECT_EQ(report.error.rfind("trace ", 0), 0u) << report.error;
+  EXPECT_EQ(report.to_string().find("shard groups"), std::string::npos);
+}
+
+TEST(ShardedAudit, GroupMetaRoundTripsThroughTheFileFormat) {
+  TempDir dir;
+  // Legacy name for group 0; "p<N>.g<K>.trace" for a shard column.
+  EXPECT_EQ(daemon::TraceSink::path_for(dir.path.string(), ProcessId{4}),
+            dir.path.string() + "/p4.trace");
+  EXPECT_EQ(daemon::TraceSink::path_for(dir.path.string(), ProcessId{4}, 0),
+            dir.path.string() + "/p4.trace");
+  EXPECT_EQ(daemon::TraceSink::path_for(dir.path.string(), ProcessId{4}, 7),
+            dir.path.string() + "/p4.g7.trace");
+
+  daemon::TraceMeta meta;
+  meta.ts_us = 123;
+  meta.n = 2;
+  meta.initial_members = 2;
+  meta.self = ProcessId{1};
+  meta.group = 7;
+  const std::string path =
+      daemon::TraceSink::path_for(dir.path.string(), ProcessId{4}, 7);
+  { daemon::TraceSink sink(path, meta); }
+  const daemon::ProcessTrace loaded = daemon::load_trace_file(path);
+  ASSERT_EQ(loaded.metas.size(), 1u);
+  EXPECT_EQ(loaded.metas[0].group, 7u);
+  EXPECT_EQ(loaded.group(), 7u);
+  EXPECT_EQ(loaded.metas[0].self, ProcessId{1});
+
+  // An unsharded META stays byte-compatible: group 0 encodes nothing and
+  // decodes as group 0.
+  daemon::TraceMeta legacy = meta;
+  legacy.group = 0;
+  const std::string legacy_path =
+      daemon::TraceSink::path_for(dir.path.string(), ProcessId{4});
+  { daemon::TraceSink sink(legacy_path, legacy); }
+  const daemon::ProcessTrace old = daemon::load_trace_file(legacy_path);
+  ASSERT_EQ(old.metas.size(), 1u);
+  EXPECT_EQ(old.group(), 0u);
+}
+
+}  // namespace
+}  // namespace dvs

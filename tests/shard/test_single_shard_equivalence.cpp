@@ -1,0 +1,207 @@
+// The K=1 single-shard equivalence differential: a ShardCluster with one
+// full-replication shard must be BYTE-IDENTICAL to the unsharded stack —
+// same delivery orders at every receiver, same chaos verdicts, same oracle
+// work counts, same SLO reports — seed for seed, across pool sizes, at any
+// thread count.
+//
+// This is the lock on the tentpole's determinism contract: shard 1's
+// channel Rng is seeded exactly like the unsharded network's Rng, group
+// tags travel out-of-band in the simulator, the K=1 GroupPort id map is the
+// identity, and pool-level traffic draws from its own salted Rng — so
+// adding the whole subgroup layer changes nothing a K=1 column can observe.
+// Any future change that breaks one of those properties shows up here as a
+// byte diff with the seed that reproduces it.
+//
+// DVS_SHARD_EQ_SEEDS overrides the per-n seed count (sanitizer gates shrink
+// it; the default suite runs the full 200).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/shard_chaos.h"
+#include "workload/runner.h"
+
+namespace dvs {
+namespace {
+
+std::size_t seeds_per_n() {
+  if (const char* env = std::getenv("DVS_SHARD_EQ_SEEDS")) {
+    const std::size_t v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return 200;
+}
+
+tosys::ChaosConfig chaos_config(std::size_t n) {
+  tosys::ChaosConfig c;
+  c.n_processes = n;
+  // Shortened adversarial run — enough for crashes, partitions, dup bursts
+  // and a recovery epilogue per seed while keeping 200 x 3 x 2 runs cheap.
+  c.plan.horizon = 2 * sim::kSecond;
+  c.plan.events = 10;
+  c.broadcasts = 40;
+  c.settle = 1500 * sim::kMillisecond;
+  return c;
+}
+
+/// Canonical text form of the per-shard / per-receiver delivery orders —
+/// the byte-compare artifact.
+std::string orders_text(
+    const std::vector<std::vector<std::vector<std::uint64_t>>>& orders) {
+  std::string out;
+  for (std::size_t s = 0; s < orders.size(); ++s) {
+    out += "shard " + std::to_string(s + 1) + "\n";
+    for (std::size_t r = 0; r < orders[s].size(); ++r) {
+      out += "  p" + std::to_string(r) + ":";
+      for (const std::uint64_t uid : orders[s][r]) {
+        out += " " + std::to_string(uid);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+/// Runs one seed both ways and returns a diagnosis ("" = equivalent).
+std::string compare_seed(std::uint64_t seed, std::size_t n) {
+  shard::ShardChaosConfig unsharded;
+  unsharded.shards = 0;
+  unsharded.chaos = chaos_config(n);
+  shard::ShardChaosConfig sharded;
+  sharded.shards = 1;
+  sharded.replication = 0;
+  sharded.chaos = chaos_config(n);
+
+  const shard::ShardChaosResult a = run_shard_chaos_seed(seed, unsharded);
+  const shard::ShardChaosResult b = run_shard_chaos_seed(seed, sharded);
+
+  auto ctx = [&](const std::string& what) {
+    return "seed " + std::to_string(seed) + " n=" + std::to_string(n) + ": " +
+           what;
+  };
+  if (a.plan_text != b.plan_text) return ctx("fault plans diverge");
+  if (a.ok != b.ok) {
+    return ctx("verdicts diverge: unsharded " +
+               std::string(a.ok ? "ok" : ("FAIL (" + a.failure + ")")) +
+               ", sharded " +
+               std::string(b.ok ? "ok" : ("FAIL (" + b.failure + ")")));
+  }
+  if (!a.ok) return ctx("both modes violated the spec: " + a.failure);
+  if (orders_text(a.orders) != orders_text(b.orders)) {
+    return ctx("delivery orders diverge:\nunsharded:\n" +
+               orders_text(a.orders) + "sharded:\n" + orders_text(b.orders));
+  }
+  // Column-level counters must agree exactly (pool-wide NetStats are
+  // excluded by design — the sharded run's include top-level VS traffic).
+  const tosys::ChaosStats& sa = a.stats;
+  const tosys::ChaosStats& sb = b.stats;
+  if (sa.events_checked != sb.events_checked) {
+    return ctx("oracle work diverges: " + std::to_string(sa.events_checked) +
+               " vs " + std::to_string(sb.events_checked));
+  }
+  if (sa.views_installed != sb.views_installed) {
+    return ctx("views_installed diverges: " +
+               std::to_string(sa.views_installed) + " vs " +
+               std::to_string(sb.views_installed));
+  }
+  if (sa.deliveries != sb.deliveries) {
+    return ctx("deliveries diverge: " + std::to_string(sa.deliveries) +
+               " vs " + std::to_string(sb.deliveries));
+  }
+  if (sa.duplicates_suppressed != sb.duplicates_suppressed ||
+      sa.decode_errors != sb.decode_errors) {
+    return ctx("vs-layer anomaly counters diverge");
+  }
+  return {};
+}
+
+/// Fans `count` seeds over `jobs` threads; results indexed by seed so the
+/// output is scheduling-independent.
+std::vector<std::string> sweep(std::size_t count, std::size_t n,
+                               std::size_t jobs) {
+  std::vector<std::string> diags(count);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      diags[i] = compare_seed(/*seed=*/1 + i, n);
+    }
+  };
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return diags;
+}
+
+class SingleShardEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SingleShardEquivalence, ChaosSweepIsByteIdentical) {
+  const std::size_t n = GetParam();
+  const std::size_t count = seeds_per_n();
+  const std::size_t jobs =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::vector<std::string> diags = sweep(count, n, jobs);
+  std::size_t failures = 0;
+  for (const std::string& d : diags) {
+    if (d.empty()) continue;
+    ++failures;
+    ADD_FAILURE() << d;
+    if (failures >= 3) break;  // first seeds are enough to debug
+  }
+  EXPECT_EQ(failures, 0u) << count << " seeds at n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, SingleShardEquivalence,
+                         ::testing::Values(2, 3, 4));
+
+TEST(SingleShardEquivalence, SweepIsJobsInvariant) {
+  // The differential artifact itself must not depend on the thread count:
+  // seed-indexed results at --jobs 1 and --jobs 4 are identical.
+  const std::size_t count = 12;
+  EXPECT_EQ(sweep(count, 3, 1), sweep(count, 3, 4));
+}
+
+TEST(SingleShardEquivalence, SloReportsAreByteIdentical) {
+  // The full workload runner through the router: shards=1 must reproduce
+  // the unsharded SLO report byte for byte (canonical JSON).
+  for (const std::size_t n : {2, 3, 4}) {
+    workload::Scenario sc;
+    sc.name = "eq";
+    sc.n = n;
+    sc.clients = 3;
+    sc.horizon = 2 * sim::kSecond;
+    sc.warmup = 300 * sim::kMillisecond;
+    sc.settle = 1 * sim::kSecond;
+    sc.drop = 0.01;
+    if (n >= 3) {
+      workload::FlapSpec flap;
+      flap.target = ProcessId(0);
+      flap.first = 600 * sim::kMillisecond;
+      flap.period = 700 * sim::kMillisecond;
+      flap.down = 200 * sim::kMillisecond;
+      flap.count = 2;
+      sc.flaps.push_back(flap);
+    }
+    const std::size_t slo_seeds = std::min<std::size_t>(seeds_per_n(), 25);
+    for (std::uint64_t seed = 1; seed <= slo_seeds; ++seed) {
+      sc.shards = 0;
+      const workload::SeedOutcome a = workload::run_scenario_seed(sc, seed);
+      sc.shards = 1;
+      const workload::SeedOutcome b = workload::run_scenario_seed(sc, seed);
+      ASSERT_EQ(a.slo.to_json(), b.slo.to_json())
+          << "n=" << n << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvs
