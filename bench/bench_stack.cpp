@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -485,6 +486,69 @@ BENCHMARK(BM_ShardedThroughput)
     ->Arg(4)
     ->Arg(16)
     ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardMigration(benchmark::State& state) {
+  // Migration cost vs column state size (experiment E24): a K=4 r=2
+  // dynamic pool of 4, shard g3 pre-loaded with S committed commands, then
+  // its co-host (process 3, also on g4) drops off the network. The timed
+  // region spans suspicion, the pool view change and BOTH state-transfer
+  // episodes — journal snapshot, chunked 0x48 transfer, replay and cutover
+  // — until the cluster reports the two slots migrated. The preload and
+  // teardown run outside the timer, so the axis isolates how episode cost
+  // grows with the transferred journal prefix.
+  const auto preload = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::size_t kPool = 4;
+  constexpr sim::Time kTick = 20 * kMillisecond;
+  std::uint64_t seed = 1;
+  std::optional<shard::ShardCluster> c;
+  for (auto _ : state) {
+    state.PauseTiming();
+    shard::ShardClusterConfig cfg;
+    cfg.shards = 4;
+    cfg.replication = 2;
+    cfg.dynamic = true;
+    cfg.base.n_processes = kPool;
+    cfg.base.persistence = true;
+    cfg.base.record_traces = false;
+    cfg.base.conformance_oracle = false;
+    cfg.base.observability = false;
+    c.emplace(cfg, seed++);
+    c->start();
+    // Commit S commands into g3 (hosts {2,3}) — the journal prefix the
+    // donor must snapshot and the joiner must replay.
+    std::uint64_t uid = 1;
+    while (uid <= preload) {
+      for (int burst = 0; burst < 8 && uid <= preload; ++burst) {
+        const ProcessId local{static_cast<ProcessId::Rep>(uid % 2)};
+        c->bcast(3, local, AppMsg{uid, local, "put k" + std::to_string(uid)});
+        ++uid;
+      }
+      c->run_for(kTick);
+    }
+    for (int guard = 0; guard < 200 && c->shard(3).deliveries().size() <
+                                           2 * preload;
+         ++guard) {
+      c->run_for(100 * kMillisecond);
+    }
+    state.ResumeTiming();
+    c->net().pause(ProcessId{3});
+    while (c->migrations() < 2) c->run_for(50 * kMillisecond);
+    state.PauseTiming();
+    benchmark::DoNotOptimize(c->migrations());
+    c.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(preload));
+  state.counters["preloaded_cmds"] = static_cast<double>(preload);
+  state.SetLabel("pool 4 K=4 r=2, " + std::to_string(preload) +
+                 " cmds transferred across 2 slot migrations");
+}
+BENCHMARK(BM_ShardMigration)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(1024)
     ->Unit(benchmark::kMillisecond);
 
 bool bench_no_net() {

@@ -78,14 +78,16 @@ cmake --build build --target bench_explorer bench_micro bench_stack model_checke
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_scenario.json
 
-# Multi-group scaling axis (E23): K∈{1,4,16,64} shard columns over one
-# fixed 8-node pool at replication 2. The deterministic commit counters
-# (commits, commits_per_sim_s — aggregate committed load must grow
-# monotonically with K) are the review surface; wall-clock per commit is
-# the honest multiplexing cost and indicative only.
+# Sharding axes: multi-group scaling (E23 — K∈{1,4,16,64} columns over one
+# fixed 8-node pool at replication 2; aggregate commit counters must grow
+# monotonically with K) and migration cost vs column state size (E24 —
+# S∈{16,128,1024} pre-loaded commands journal-snapshotted, transferred and
+# replayed when a host departs a dynamic pool). 'BM_Shard' deliberately
+# matches both BM_ShardedThroughput and BM_ShardMigration; deterministic
+# counters are the review surface, wall-clock ratios indicative only.
 ./build/bench/bench_stack \
   "${BENCH_CONTEXT}" \
-  --benchmark_filter='BM_Sharded' \
+  --benchmark_filter='BM_Shard' \
   --benchmark_min_time="${MIN_TIME}" \
   --benchmark_format=json >BENCH_shard.json
 

@@ -179,6 +179,29 @@ DVS_SHARD_EQ_SEEDS=10 ./build-tsan/tests/shard_equivalence_test \
 # agreement across every replica, and a per-group trace audit PASS.
 SCENARIO_FILE=scenarios/sharded-steady.scn CLUSTER_DIR=/tmp/dvs-check-shard CLUSTER_PORT=9600 ./scripts/cluster.sh scenario 5
 
+echo "== reprovision gate (ASan) =="
+# The dynamic re-provisioning suites under ASan: plan and transfer-codec
+# laws, the router pool-view regression, the stable-pool byte-inertness
+# differential (seed count shrunk here; the full 200-seed sweep is the
+# plain-build ctest registration above), migration safety under a killed
+# replica, and the crash-point sweep over every state-transfer persistence
+# barrier. ASan watches snapshot chunking, reassembly and column cutover.
+DVS_REPROVISION_SEEDS=25 ctest --test-dir build-asan -L reprovision --output-on-failure
+# Migration differential determinism under TSan: the sweep's worker pool
+# must keep per-seed ShardClusters fully private, and the stable-pool
+# verdicts must not depend on the worker count.
+cmake --build build-tsan --target reprovision_test
+DVS_REPROVISION_SEEDS=10 ./build-tsan/tests/reprovision_test \
+  --gtest_filter='*SweepIsJobsInvariant*:*StablePoolIsByteInert*'
+# The dynamic churn scenario's SLO report — migrations included — is
+# byte-identical at any worker count.
+./build/examples/model_checker --scenario scenarios/reprovision-churn.scn --jobs 4 | tee /tmp/scn_reprov_j4.json >/dev/null
+./build/examples/model_checker --scenario scenarios/reprovision-churn.scn --jobs 1 | cmp - /tmp/scn_reprov_j4.json
+# Real-cluster migration demo: a 4-node K=4 r=2 dynamic pool, one host
+# SIGKILLed, its column slots re-provisioned onto survivors with state
+# transfer, workload against the refreshed map, per-group audit PASS.
+CLUSTER_DIR=/tmp/dvs-check-migrate CLUSTER_PORT=9700 ./scripts/cluster.sh migrate
+
 echo "== bench smoke =="
 for b in build/bench/*; do
   if [[ -x "$b" && -f "$b" ]]; then

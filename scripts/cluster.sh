@@ -25,12 +25,20 @@
 #   scripts/cluster.sh audit           offline trace audit (model_checker)
 #   scripts/cluster.sh down            graceful shutdown + reap
 #   scripts/cluster.sh demo            scripted kill/rejoin/audit tour
+#   scripts/cluster.sh migrate         dynamic re-provisioning tour: 4-node
+#                                      K=4 r=2 pool, SIGKILL one host, wait
+#                                      for its column slots to migrate onto
+#                                      survivors (state transfer), workload
+#                                      against the refreshed map, audit
 #
 # Environment: BUILD_DIR (default: build), CLUSTER_DIR (default:
 # /tmp/dvs-cluster), CLUSTER_PORT (default: 9100 — peers at PORT+i, control
 # at PORT+100+i), CLUSTER_SHARDS / CLUSTER_REPLICATION (default unsharded —
 # when set, 'up' writes K shard groups into every node config; 'scenario'
-# sets them automatically from the .scn's own shards/replication keys).
+# sets them automatically from the .scn's own shards/replication keys),
+# CLUSTER_DYNAMIC (default off — when 1, sharded daemons run a pool
+# membership group and re-provision departed hosts' column slots onto
+# survivors; timers are widened so startup never looks like a departure).
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
@@ -74,6 +82,16 @@ write_config() { # write_config <i> <n>
     if [[ "${CLUSTER_SHARDS:-0}" != 0 ]]; then
       echo "shards $CLUSTER_SHARDS"
       [[ "${CLUSTER_REPLICATION:-0}" != 0 ]] && echo "replication $CLUSTER_REPLICATION"
+      if [[ "${CLUSTER_DYNAMIC:-0}" != 0 ]]; then
+        # Dynamic re-provisioning: the pool membership group plans slot
+        # migrations off every pool view. The suspect timeout is widened
+        # past the launch window so the first view every daemon acts on
+        # still contains the whole pool (no spurious startup migration).
+        echo "dynamic 1"
+        echo "heartbeat_ms 100"
+        echo "suspect_ms 1500"
+        echo "propose_ms 750"
+      fi
     else
       echo "initial $n"
     fi
@@ -134,13 +152,27 @@ cmd_status() {
   done
 }
 
+routed_put() { # routed_put <i> <key> <value> — chases `moved shard=` redirects
+  local i="$1" key="$2" value="$3" reply hop
+  for ((hop = 0; hop < 4; hop++)); do
+    reply=$(ctl "$i" put "$key" "$value" 2>/dev/null) || return 1
+    case "$reply" in
+      ok*) return 0 ;;
+      moved*) i="${reply##*node=}" ;;
+      *) return 1 ;;
+    esac
+  done
+  return 1
+}
+
 cmd_workload() {
   # Round-robin puts; a down node just misses its turn (UDP client times
   # out) — the cluster-level fate of each accepted put is what the dumps
-  # and the audit check.
-  local k="${1:-30}" n ok=0; n=$(nodes)
+  # and the audit check. In a replicated sharded cluster a contacted node
+  # may not host the key's shard; routed_put follows its redirect.
+  local k="${1:-30}" prefix="${2:-key}" n ok=0; n=$(nodes)
   for ((x = 0; x < k; x++)); do
-    if ctl $((x % n)) put "key$x" "val$x" >/dev/null 2>&1; then
+    if routed_put $((x % n)) "$prefix$x" "val$x"; then
       ok=$((ok + 1))
     fi
   done
@@ -248,6 +280,47 @@ cmd_demo() {
   cmd_audit
 }
 
+cmd_migrate() {
+  # The dynamic re-provisioning acceptance loop against real processes: a
+  # 4-node pool hosting K=4 doubly-replicated columns, one host SIGKILLed
+  # mid-stream. Node 3 hosts g3-slot1 and g4-slot1 (ascending provision
+  # order); the pool view must evict it and every survivor must converge on
+  # the same re-plan — g3 {2,3}->{2,0}, g4 {0,3}->{0,1} — with the dead
+  # host's journal state transferred to the joiners. Workload before AND
+  # after proves the refreshed map serves; the offline audit must PASS over
+  # the merged traces including the dead host's torn files.
+  [[ -f "$CLUSTER_DIR/n" ]] && cmd_down
+  rm -rf "$CLUSTER_DIR"
+  CLUSTER_SHARDS=4 CLUSTER_REPLICATION=2 CLUSTER_DYNAMIC=1 cmd_up 4
+  echo "-- seeding workload across the shards"
+  cmd_workload 16 premig
+  sleep 1
+  echo "-- shard map before (p0):"
+  ctl 0 shardmap
+  echo "-- SIGKILL p3 (hosts two column slots)"
+  cmd_kill 3
+  echo "-- waiting for the survivors to re-provision"
+  local i t m
+  for i in 0 1 2; do
+    for ((t = 0; t < 120; t++)); do
+      m=$(ctl "$i" shardmap 2>/dev/null) || m=""
+      [[ "$m" == *"g3 2 0"* && "$m" == *"g4 0 1"* ]] && break
+      sleep 0.25
+    done
+    [[ "$m" == *"g3 2 0"* && "$m" == *"g4 0 1"* ]] \
+      || die "p$i never converged on the migrated shard map:
+$m"
+  done
+  echo "-- shard map after (p0):"
+  ctl 0 shardmap
+  echo "-- post-migration workload against the refreshed map"
+  cmd_workload 8 postmig
+  sleep 1
+  cmd_down
+  echo "-- offline audit of the migrated columns' merged traces"
+  cmd_audit
+}
+
 case "${1:-}" in
   up)       shift; cmd_up "$@" ;;
   status)   cmd_status ;;
@@ -262,8 +335,9 @@ case "${1:-}" in
   audit)    cmd_audit ;;
   down)     cmd_down ;;
   demo)     cmd_demo ;;
+  migrate)  cmd_migrate ;;
   *)
-    sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'
+    sed -n '2,42p' "$0" | sed 's/^# \{0,1\}//'
     exit 1
     ;;
 esac

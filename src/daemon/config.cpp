@@ -117,6 +117,10 @@ DaemonConfig DaemonConfig::parse(const std::string& text) {
         std::string v;
         ls >> v;
         config.replication = parse_u64(v);
+      } else if (key == "dynamic") {
+        std::string v;
+        ls >> v;
+        config.dynamic = parse_u64(v) != 0;
       } else {
         bad_line(lineno, line, "unknown key '" + key + "'");
       }
@@ -174,6 +178,14 @@ void DaemonConfig::validate() const {
         "config: 'initial' only applies to the unsharded deployment "
         "(provisioned replicas all start as members of their shard)");
   }
+  if (dynamic && shards == 0) {
+    throw std::runtime_error("config: dynamic without shards");
+  }
+  if (dynamic && wal_dir.empty()) {
+    throw std::runtime_error(
+        "config: dynamic re-provisioning requires wal_dir (journals are "
+        "the transferable state)");
+  }
 }
 
 std::string DaemonConfig::to_string() const {
@@ -195,6 +207,7 @@ std::string DaemonConfig::to_string() const {
   os << "max_datagram " << max_datagram << "\n";
   if (shards != 0) os << "shards " << shards << "\n";
   if (replication != 0) os << "replication " << replication << "\n";
+  if (dynamic) os << "dynamic 1\n";
   return os.str();
 }
 

@@ -70,6 +70,12 @@ struct DaemonConfig {
   std::size_t shards = 0;
   /// Replicas per shard (0 = every node hosts every shard).
   std::size_t replication = 0;
+  /// Dynamic shard re-provisioning (shard/reprovision.h): the daemons run a
+  /// pool-level VS membership group over the same socket (untagged
+  /// datagrams); a pool view change migrates every column slot whose host
+  /// departed onto a surviving node, with the column journals shipped as
+  /// 0x48 transfer frames. Requires shards > 0 and a wal_dir.
+  bool dynamic = false;
 
   [[nodiscard]] std::size_t initial_members() const {
     return initial == 0 ? n : initial;

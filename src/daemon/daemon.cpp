@@ -10,12 +10,51 @@
 #include <cerrno>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
 namespace dvs::daemon {
 
 namespace {
+
+/// Joiner-side retry period for the state-transfer request (the donor may
+/// itself still be installing the new pool view when the first one lands).
+constexpr sim::Time kJoinRetryPeriod = 500 * sim::kMillisecond;
+
+/// Snapshot chunk ceiling: comfortably under the default max_datagram with
+/// room for the transfer header.
+constexpr std::size_t kTransferChunk = 32 * 1024;
+
+Bytes load_or_empty(const storage::StableStore& store,
+                    const std::string& key) {
+  std::optional<Bytes> v = store.load(key);
+  return v.has_value() ? std::move(*v) : Bytes{};
+}
+
+/// assignments := varuint count | (varuint group, varuint r, process_id*r)*
+Bytes encode_assignments(const std::vector<shard::ShardAssignment>& as) {
+  Writer w;
+  w.varuint(as.size());
+  for (const shard::ShardAssignment& a : as) {
+    w.varuint(a.group);
+    w.varuint(a.replicas.size());
+    for (const ProcessId p : a.replicas) w.process_id(p);
+  }
+  return w.take();
+}
+
+std::vector<shard::ShardAssignment> decode_assignments(const Bytes& data) {
+  Reader r(data);
+  std::vector<shard::ShardAssignment> as(r.varuint());
+  for (shard::ShardAssignment& a : as) {
+    a.group = static_cast<std::uint32_t>(r.varuint());
+    a.replicas.resize(r.varuint());
+    for (ProcessId& p : a.replicas) p = r.process_id();
+  }
+  r.expect_exhausted();
+  return as;
+}
 
 sockaddr_in make_addr(const net::UdpEndpoint& ep) {
   sockaddr_in addr{};
@@ -42,6 +81,35 @@ std::uint64_t realtime_us() {
   return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ULL +
          static_cast<std::uint64_t>(ts.tv_nsec) / 1000ULL;
 }
+
+// The pool membership group's Transport: untagged datagrams on the shared
+// socket (column traffic is group-framed, transfer frames are 0x48-tagged,
+// so the default-handler channel is exclusively the pool VS protocol's).
+class Daemon::PoolTransport : public net::Transport {
+ public:
+  PoolTransport(shard::GroupMux& mux, std::size_t n)
+      : mux_(mux), procs_(make_universe(n)) {}
+
+  void attach(ProcessId p, Handler handler) override {
+    mux_.attach_default(p, std::move(handler));
+  }
+  void send(ProcessId from, ProcessId to, const Bytes& payload) override {
+    mux_.base().send(from, to, payload);
+  }
+  [[nodiscard]] std::size_t max_datagram_size() const override {
+    return mux_.base().max_datagram_size();
+  }
+  [[nodiscard]] const net::NetStats& stats() const override {
+    return mux_.base().stats();
+  }
+  [[nodiscard]] const ProcessSet& processes() const override {
+    return procs_;
+  }
+
+ private:
+  shard::GroupMux& mux_;
+  ProcessSet procs_;
+};
 
 Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
   config_.validate();
@@ -116,35 +184,224 @@ void Daemon::build_columns() {
   // All columns share the one UDP socket: GroupMux prefixes every datagram
   // with the vsys::GroupFrame header and demuxes on receive.
   mux_ = std::make_unique<shard::GroupMux>(*transport_);
-  const std::vector<shard::ShardAssignment> assignments = shard::provision(
-      make_universe(config_.n), config_.shards, config_.replication);
+  assignments_ = shard::provision(make_universe(config_.n), config_.shards,
+                                  config_.replication);
+  if (config_.dynamic) {
+    pool_store_ =
+        std::make_unique<storage::FileStableStore>(config_.wal_dir + "/pool");
+    // A restarted daemon must rejoin under the topology it last applied,
+    // not the initial provisioning — migrated columns would otherwise be
+    // misrouted until the next view change.
+    const std::optional<Bytes> stored = pool_store_->load("assignments");
+    if (stored.has_value() && !stored->empty()) {
+      assignments_ = decode_assignments(*stored);
+    }
+  }
   router_ = shard::ShardRouter(config_.shards);
-  router_.set_assignments(assignments);
-  for (const shard::ShardAssignment& a : assignments) {
+  router_.set_assignments(assignments_);
+  // Contact resolution starts from the full universe; with a pool
+  // membership group it is refreshed from every live view installed
+  // (apply_pool_view), so clients chase replicas that actually answer.
+  router_.set_pool_view(make_universe(config_.n));
+  for (const shard::ShardAssignment& a : assignments_) {
     if (!router_.hosts(a.group, config_.node)) continue;
-    auto col = std::make_unique<Column>();
-    col->group = a.group;
-    col->port = &mux_->open(a.group, a.replicas);
-    col->local = col->port->to_local(config_.node);
-    const std::size_t r = a.replicas.size();
-    if (!config_.wal_dir.empty()) {
-      // Per-column WAL root: shard-local ids repeat across groups, so the
-      // columns must not share one journal namespace.
-      col->store = std::make_unique<storage::FileStableStore>(
-          config_.wal_dir + "/g" + std::to_string(a.group));
+    open_column(a, /*handoff_next=*/0);
+  }
+  if (config_.dynamic) {
+    mux_->set_transfer_handler(
+        config_.node, [this](ProcessId from, const shard::TransferFrame& f) {
+          handle_transfer(from, f);
+        });
+    build_pool_group();
+  }
+}
+
+Daemon::Column& Daemon::open_column(const shard::ShardAssignment& a,
+                                    std::uint64_t handoff_next) {
+  auto col = std::make_unique<Column>();
+  col->group = a.group;
+  col->port = &mux_->open(a.group, a.replicas);
+  col->local = col->port->to_local(config_.node);
+  const std::size_t r = a.replicas.size();
+  if (!config_.wal_dir.empty()) {
+    // Per-column WAL root: shard-local ids repeat across groups, so the
+    // columns must not share one journal namespace.
+    col->store = std::make_unique<storage::FileStableStore>(
+        config_.wal_dir + "/g" + std::to_string(a.group));
+  }
+  if (!config_.trace_dir.empty()) {
+    col->sink = std::make_unique<TraceSink>(
+        TraceSink::path_for(config_.trace_dir, config_.node, a.group),
+        TraceMeta{realtime_us(), r, r, col->local, a.group});
+  }
+  RuntimeOptions options;
+  options.vs = config_.vs_config();
+  col->runtime = std::make_unique<NodeRuntime>(
+      col->local, r, r, *col->port, sim_, options, col->store.get(),
+      col->sink.get(), &realtime_us);
+  // A column opened over transferred journals adopts the donor's delivery
+  // cursor: CRASH (recorded by the recovering constructor) then HANDOFF
+  // tell the offline auditor the new incarnation may re-deliver the
+  // donor's tail but can never invent order.
+  if (handoff_next != 0) col->runtime->note_handoff(handoff_next);
+  col->runtime->bind_metrics(col->metrics);
+  columns_.push_back(std::move(col));
+  return *columns_.back();
+}
+
+void Daemon::build_pool_group() {
+  pool_net_ = std::make_unique<PoolTransport>(*mux_, config_.n);
+  const std::string key = "pool/" + config_.node.to_string() + "/vs";
+  const bool recovered = pool_store_->load(key).has_value();
+  vsys::VsCallbacks cb;
+  cb.on_newview = [this](const View& v) { apply_pool_view(v); };
+  const View pool_v0{ViewId::initial(), make_universe(config_.n)};
+  pool_vs_ = std::make_unique<vsys::VsNode>(
+      config_.node,
+      recovered ? std::nullopt : std::optional<View>{pool_v0}, *pool_net_,
+      sim_, config_.vs_config(), std::move(cb));
+  if (recovered) {
+    pool_vs_->restore_epoch(vsys::VsNode::recover_epoch(*pool_store_, key));
+  }
+  pool_vs_->attach_storage(*pool_store_, key);
+}
+
+void Daemon::apply_pool_view(const View& view) {
+  router_.set_pool_view(view.set());
+  // Same planning function as the simulated ShardCluster: every daemon sees
+  // the same totally-ordered sequence of pool views (that is what the
+  // membership service provides), computes the same diff and converges on
+  // the same map without any coordinator.
+  const shard::ReprovisionPlan plan =
+      shard::plan_reprovision(assignments_, view.set());
+  if (plan.empty()) return;
+  assignments_ = shard::apply_plan(assignments_, plan);
+  persist_assignments();
+  router_.set_assignments(assignments_);
+  for (const shard::GroupMigration& gm : plan.migrations) {
+    for (const shard::SlotMove& mv : gm.moves) {
+      ++migrations_;
+      Column* col = column_for(gm.group);
+      if (mv.to == config_.node) {
+        // We are the joiner: bootstrap the column from the donor replica.
+        const ProcessId donor =
+            assignments_[gm.group - 1].replicas[gm.source_slot.value()];
+        start_join(gm.group, mv.slot, donor);
+      } else if (col != nullptr) {
+        if (col->local == mv.slot) {
+          // The slot WE host migrated away: the pool view declared us dead
+          // (we were partitioned or slow) and a survivor re-homed it. Our
+          // incarnation is superseded — tear the column down.
+          teardown_column(gm.group);
+        } else {
+          // Survivor: re-point the departed slot at its new host.
+          col->port->remap(mv.slot, mv.to);
+        }
+      }
     }
-    if (!config_.trace_dir.empty()) {
-      col->sink = std::make_unique<TraceSink>(
-          TraceSink::path_for(config_.trace_dir, config_.node, a.group),
-          TraceMeta{realtime_us(), r, r, col->local, a.group});
+  }
+}
+
+void Daemon::start_join(std::uint32_t group, ProcessId slot,
+                        ProcessId donor) {
+  PendingJoin join;
+  join.slot = slot;
+  join.donor = donor;
+  joins_[group] = std::move(join);
+  request_join(group);
+}
+
+void Daemon::request_join(std::uint32_t group) {
+  const auto it = joins_.find(group);
+  if (it == joins_.end()) return;  // completed (or superseded) — stop retrying
+  shard::TransferFrame req;
+  req.kind = shard::TransferKind::kRequest;
+  req.group = group;
+  req.slot = it->second.slot.value();
+  mux_->send_transfer(config_.node, it->second.donor, req);
+  sim_.schedule_at(sim_.now() + kJoinRetryPeriod,
+                   [this, group] { request_join(group); });
+}
+
+void Daemon::handle_transfer(ProcessId from,
+                             const shard::TransferFrame& frame) {
+  if (frame.kind == shard::TransferKind::kRequest) {
+    // Donor side: serve our own column journals. The departed slot's disk
+    // is unreachable, so the joiner adopts the requested slot with OUR
+    // prefix of the total order — exactly the EvHandoff contract (it may
+    // re-deliver the departed replica's tail, it cannot invent order).
+    Column* col = column_for(frame.group);
+    if (col == nullptr || col->store == nullptr) return;
+    shard::SlotSnapshot snap;
+    snap.vs =
+        load_or_empty(*col->store, NodeRuntime::storage_key(col->local, "vs"));
+    snap.dvs = load_or_empty(*col->store,
+                             NodeRuntime::storage_key(col->local, "dvs"));
+    snap.to =
+        load_or_empty(*col->store, NodeRuntime::storage_key(col->local, "to"));
+    snap.next = col->runtime->to().automaton().nextreport();
+    const Bytes encoded = shard::encode_snapshot(snap);
+    for (const shard::TransferFrame& chunk : shard::chunk_snapshot(
+             frame.group, frame.slot, encoded, kTransferChunk)) {
+      mux_->send_transfer(config_.node, from, chunk);
     }
-    RuntimeOptions options;
-    options.vs = config_.vs_config();
-    col->runtime = std::make_unique<NodeRuntime>(
-        col->local, r, r, *col->port, sim_, options, col->store.get(),
-        col->sink.get(), &realtime_us);
-    col->runtime->bind_metrics(col->metrics);
-    columns_.push_back(std::move(col));
+    return;
+  }
+  // Snapshot chunk: only meaningful while this group's join is in flight.
+  const auto it = joins_.find(frame.group);
+  if (it == joins_.end()) return;
+  if (it->second.assembler.add(frame)) {
+    finish_join(frame.group, it->second.assembler.take());
+  }
+}
+
+void Daemon::finish_join(std::uint32_t group, const Bytes& encoded) {
+  const ProcessId slot = joins_.at(group).slot;
+  joins_.erase(group);
+  shard::SlotSnapshot snap;
+  try {
+    snap = shard::decode_snapshot(encoded);
+  } catch (const DecodeError&) {
+    return;  // corrupt snapshot: the retry timer has stopped; the next pool
+             // view re-plans the move
+  }
+  // Install the journals under the adopted slot's keys, then open the
+  // column over them: NodeRuntime's recovery path rebuilds the stack (and
+  // records EvCrash), replay_kv rebuilds the application state, and
+  // open_column records the HANDOFF.
+  storage::FileStableStore store(config_.wal_dir + "/g" +
+                                 std::to_string(group));
+  if (!snap.vs.empty()) {
+    store.replace(NodeRuntime::storage_key(slot, "vs"), snap.vs);
+  }
+  if (!snap.dvs.empty()) {
+    store.replace(NodeRuntime::storage_key(slot, "dvs"), snap.dvs);
+  }
+  if (!snap.to.empty()) {
+    store.replace(NodeRuntime::storage_key(slot, "to"), snap.to);
+  }
+  Column& col = open_column(assignments_[group - 1], snap.next);
+  col.runtime->start();
+}
+
+void Daemon::teardown_column(std::uint32_t group) {
+  for (auto it = columns_.begin(); it != columns_.end(); ++it) {
+    if ((*it)->group != group) continue;
+    // Close + fsync the trace sink BEFORE dropping the column: the sink
+    // holds one descriptor per column, and a daemon that cycles through
+    // many false-suspicion teardowns must not accumulate them. The fsync
+    // makes the final records durable before the slot's new host writes
+    // its own incarnation of the history.
+    if ((*it)->sink != nullptr) (*it)->sink->close();
+    columns_.erase(it);  // destroys the runtime before its port goes away
+    mux_->close(group);
+    return;
+  }
+}
+
+void Daemon::persist_assignments() {
+  if (pool_store_ != nullptr) {
+    pool_store_->replace("assignments", encode_assignments(assignments_));
   }
 }
 
@@ -166,6 +423,7 @@ std::uint64_t Daemon::elapsed_us() const {
 int Daemon::run(const volatile std::sig_atomic_t* stop) {
   if (runtime_ != nullptr) runtime_->start();
   for (const std::unique_ptr<Column>& c : columns_) c->runtime->start();
+  if (pool_vs_ != nullptr) pool_vs_->start();
   epoll_event events[8];
   while (!quit_ && (stop == nullptr || *stop == 0)) {
     // Fire every timer due by now; the callbacks may send.
@@ -343,6 +601,10 @@ std::string Daemon::execute(const std::string& command) {
     // Frames for groups nobody here opened mean the peers disagree about
     // the shard topology — surfaced as its own counter.
     if (mux_) out.counters["shard.unroutable"] = mux_->unroutable();
+    if (sharded) {
+      out.counters["pool.migrations"] = migrations_;
+      out.counters["pool.router_re_resolutions"] = router_.re_resolutions();
+    }
     for (const std::unique_ptr<Column>& c : columns_) {
       const std::string prefix = "shard." + std::to_string(c->group) + ".";
       const obs::MetricsSnapshot s = c->metrics.snapshot();
@@ -365,6 +627,30 @@ std::string Daemon::execute(const std::string& command) {
     }
     transport_->set_drop_probability(p);
     return "ok";
+  }
+  if (op == "fds") {
+    // Open-descriptor count straight from the kernel; the dvsd system test
+    // asserts column teardown does not leak trace/WAL descriptors.
+    std::size_t count = 0;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator("/proc/self/fd", ec)) {
+      (void)entry;
+      ++count;
+    }
+    if (ec) return "err cannot read /proc/self/fd";
+    return std::to_string(count);
+  }
+  if (op == "shardmap") {
+    if (!sharded) return "err unsharded deployment";
+    std::ostringstream os;
+    for (const shard::ShardAssignment& a : assignments_) {
+      os << "g" << a.group;
+      for (const ProcessId p : a.replicas) os << " " << p.value();
+      os << "\n";
+    }
+    os << "migrations=" << migrations_ << "\n";
+    return os.str();
   }
   if (op == "quit") {
     quit_ = true;

@@ -22,6 +22,9 @@
 //   view                 -> "view=<id> members=<k> primary=<0|1>" | "no-view"
 //   stats                -> metrics snapshot (Prometheus-style text)
 //   drop <probability>   -> sets the UDP send-drop knob, replies "ok"
+//   fds                  -> open file descriptor count (fd-leak checks)
+//   shardmap             -> current assignments: "g<k> <pool ids...>" per
+//                           shard plus "migrations=<n>" (dynamic mode)
 //   quit                 -> replies "ok", exits the loop gracefully
 //
 // Shutdown: `quit`, SIGTERM or SIGINT end the loop after the current
@@ -33,6 +36,7 @@
 
 #include <csignal>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -42,9 +46,11 @@
 #include "obs/metrics.h"
 #include "shard/group_mux.h"
 #include "shard/provision.h"
+#include "shard/reprovision.h"
 #include "shard/router.h"
 #include "sim/simulator.h"
 #include "storage/file_store.h"
+#include "vsys/vs_node.h"
 
 namespace dvs::daemon {
 
@@ -84,8 +90,39 @@ class Daemon {
     return columns_;
   }
 
+  /// The current shard map (initial provisioning plus every migration this
+  /// daemon has applied from pool view changes).
+  [[nodiscard]] const std::vector<shard::ShardAssignment>& assignments()
+      const {
+    return assignments_;
+  }
+  /// Column slot migrations this daemon has observed (dynamic mode).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
  private:
+  /// Untagged-datagram Transport view of the shared socket — the pool
+  /// membership group's wire (defined in daemon.cpp).
+  class PoolTransport;
+
+  /// One joiner bootstrap in flight: the transfer request retries until the
+  /// donor's snapshot chunks assemble, then the column opens over them.
+  struct PendingJoin {
+    ProcessId slot{};   // shard-local id we are adopting
+    ProcessId donor{};  // pool id serving the snapshot
+    shard::SnapshotAssembler assembler;
+  };
+
   void build_columns();
+  Column& open_column(const shard::ShardAssignment& a,
+                      std::uint64_t handoff_next);
+  void build_pool_group();
+  void apply_pool_view(const View& view);
+  void start_join(std::uint32_t group, ProcessId slot, ProcessId donor);
+  void request_join(std::uint32_t group);
+  void finish_join(std::uint32_t group, const Bytes& encoded);
+  void handle_transfer(ProcessId from, const shard::TransferFrame& frame);
+  void teardown_column(std::uint32_t group);
+  void persist_assignments();
   [[nodiscard]] Column* column_for(std::uint32_t group);
   void handle_control();
   [[nodiscard]] std::string execute(const std::string& command);
@@ -99,7 +136,15 @@ class Daemon {
   std::unique_ptr<NodeRuntime> runtime_;
   std::unique_ptr<shard::GroupMux> mux_;
   std::vector<std::unique_ptr<Column>> columns_;
+  std::vector<shard::ShardAssignment> assignments_;
   shard::ShardRouter router_{1};  // rebuilt with K in build_columns()
+  // Dynamic re-provisioning (config.dynamic): the pool membership group and
+  // the in-flight joiner bootstraps.
+  std::unique_ptr<PoolTransport> pool_net_;
+  std::unique_ptr<storage::FileStableStore> pool_store_;
+  std::unique_ptr<vsys::VsNode> pool_vs_;
+  std::map<std::uint32_t, PendingJoin> joins_;
+  std::uint64_t migrations_ = 0;
   obs::MetricsRegistry metrics_;
   int ctl_fd_ = -1;
   std::uint16_t control_port_ = 0;

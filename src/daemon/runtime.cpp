@@ -48,6 +48,18 @@ NodeRuntime::NodeRuntime(ProcessId self, std::size_t n,
     to_ = std::make_unique<tosys::ToNode>(self_, v0_, *dvs_,
                                           tosys::ToCallbacks{}, to_opts);
     to_->restore(to_state);
+    if (options_.replay_kv) {
+      // The restored cursor (nextreport) suppresses re-delivery of the
+      // already-reported prefix, so the application must be rebuilt from
+      // the durable order directly. deliveries_/hooks see only live
+      // deliveries — replay is application state reconstruction, not a
+      // re-observation of the protocol.
+      for (std::uint64_t i = 1;
+           i < to_state.nextreport && i <= to_state.order.size(); ++i) {
+        auto it = to_state.content.find(to_state.order[i - 1]);
+        if (it != to_state.content.end()) kv_.apply(it->second.payload);
+      }
+    }
   } else {
     const bool member = v0_.contains(self_);
     vs_ = std::make_unique<vsys::VsNode>(

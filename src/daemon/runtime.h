@@ -46,6 +46,11 @@ struct RuntimeOptions {
   /// Keep every spec event in memory (events()); in-process tests audit
   /// these directly. dvsd turns it off — its events go to the TraceSink.
   bool record_in_memory = false;
+  /// On crash-restart recovery, rebuild the KV state machine by replaying
+  /// the recovered TO order prefix up to nextreport. Without it a restarted
+  /// node's application state stays empty forever: the restored delivery
+  /// cursor suppresses re-delivery of everything already reported.
+  bool replay_kv = true;
 };
 
 /// One BRCV delivery applied to the local state machine.
@@ -94,6 +99,14 @@ class NodeRuntime {
 
   void set_delivery_hook(std::function<void(const RuntimeDelivery&)> hook) {
     delivery_hook_ = std::move(hook);
+  }
+
+  /// Records spec::EvHandoff: this incarnation adopted a migration donor's
+  /// delivery cursor (shard re-provisioning). Call once, right after
+  /// constructing a runtime over transferred journals — the constructor's
+  /// EvCrash must precede it in the trace.
+  void note_handoff(std::uint64_t next) {
+    note(spec::ToEvent{spec::EvHandoff{self_, next}});
   }
 
   /// vs/dvs/to counters plus app.applied.

@@ -1,5 +1,8 @@
 #include "daemon/trace_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <stdexcept>
@@ -22,6 +25,7 @@ constexpr std::uint8_t kTagRegister = 5;
 constexpr std::uint8_t kTagBcast = 1;
 constexpr std::uint8_t kTagBrcv = 2;
 constexpr std::uint8_t kTagCrash = 3;
+constexpr std::uint8_t kTagHandoff = 4;
 
 void put_msg(Writer& w, const Msg& m) { w.msg(m); }
 void put_msg(Writer& w, const ClientMsg& m) { w.client_msg(m); }
@@ -147,6 +151,11 @@ void encode_event(Writer& w, const spec::ToEvent& event) {
       w.u8(kTagCrash);
       w.process_id(ev.p);
     }
+    void operator()(const spec::EvHandoff& ev) const {
+      w.u8(kTagHandoff);
+      w.process_id(ev.p);
+      w.varuint(ev.next);
+    }
   };
   std::visit(Visitor{w}, event);
 }
@@ -170,6 +179,10 @@ spec::ToEvent decode_to_event(Reader& r) {
     }
     case kTagCrash:
       return spec::EvCrash{r.process_id()};
+    case kTagHandoff: {
+      const ProcessId p = r.process_id();
+      return spec::EvHandoff{p, r.varuint()};
+    }
     default:
       throw DecodeError("unknown TO-event tag " + std::to_string(tag));
   }
@@ -218,8 +231,22 @@ TraceSink::TraceSink(std::string path, const TraceMeta& meta)
   });
 }
 
+void TraceSink::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  out_.close();
+  // std::ofstream exposes no descriptor; reopen read-only purely to fsync
+  // the data out of the page cache before the slot's new host takes over.
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
+}
+
 void TraceSink::append(std::uint8_t type,
                        const std::function<void(Writer&)>& encode) {
+  if (!out_.is_open()) return;
   const Bytes frame = storage::Wal::frame(type, encode);
   out_.write(reinterpret_cast<const char*>(frame.data()),
              static_cast<std::streamsize>(frame.size()));

@@ -80,6 +80,14 @@ class TraceSink {
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+  /// Flushes, fsyncs and closes the file. Idempotent; further record()
+  /// calls are silently dropped. Column teardown during dynamic
+  /// re-provisioning MUST call this — holding the descriptor open leaks one
+  /// fd per migrated column for the life of the daemon, and the handed-off
+  /// trace must be durable before the slot's new host starts writing its
+  /// own incarnation of the history.
+  void close();
   /// True when opening found (and trimmed) a torn tail.
   [[nodiscard]] bool trimmed_torn_tail() const { return trimmed_; }
 

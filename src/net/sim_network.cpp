@@ -65,6 +65,10 @@ void SimNetwork::attach_group(std::uint32_t group, ProcessId p,
   group_channel(group).handlers[p] = std::move(handler);
 }
 
+void SimNetwork::detach_group(std::uint32_t group, ProcessId p) {
+  group_channel(group).handlers.erase(p);
+}
+
 int SimNetwork::group_of(ProcessId p) const {
   auto it = partition_group_.find(p);
   return it == partition_group_.end() ? -1 : it->second;

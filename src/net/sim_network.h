@@ -154,6 +154,10 @@ class SimNetwork : public Transport {
   /// attach_group/send_group for it; group 0 and re-opening are errors.
   void open_group(std::uint32_t group, std::uint64_t seed);
   void attach_group(std::uint32_t group, ProcessId p, Handler handler);
+  /// Removes p's handler on channel `group` (no-op if absent). Used by shard
+  /// re-provisioning: when a column migrates off a departed process, its old
+  /// handler would otherwise dangle once the column's node objects die.
+  void detach_group(std::uint32_t group, ProcessId p);
   void send_group(std::uint32_t group, ProcessId from, ProcessId to,
                   const Bytes& payload);
   void multicast_group(std::uint32_t group, ProcessId from,

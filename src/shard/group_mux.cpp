@@ -26,6 +26,28 @@ void GroupMux::attach_default(ProcessId pool_p,
   ensure_attached(pool_p);
 }
 
+void GroupMux::close(std::uint32_t group) {
+  ports_.erase(group);
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if (it->first.first == group) {
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GroupMux::set_transfer_handler(ProcessId pool_p,
+                                    TransferHandler handler) {
+  transfer_handlers_[pool_p] = std::move(handler);
+  ensure_attached(pool_p);
+}
+
+void GroupMux::send_transfer(ProcessId pool_from, ProcessId pool_to,
+                             const TransferFrame& frame) {
+  base_.send(pool_from, pool_to, encode_transfer(frame));
+}
+
 void GroupMux::ensure_attached(ProcessId pool_p) {
   if (attached_.contains(pool_p)) return;
   attached_.insert(pool_p);
@@ -36,6 +58,25 @@ void GroupMux::ensure_attached(ProcessId pool_p) {
 
 void GroupMux::dispatch(ProcessId pool_to, ProcessId pool_from,
                         const Bytes& payload) {
+  // Transfer frames (0x48) first: their tag sits outside both the group
+  // frame tag (0x47) and the vsys/batch tag ranges, and a joiner must be
+  // reachable before any port for the migrating group exists on this node.
+  if (looks_like_transfer_frame(payload)) {
+    auto it = transfer_handlers_.find(pool_to);
+    if (it == transfer_handlers_.end()) {
+      ++unroutable_;
+      return;
+    }
+    TransferFrame frame;
+    try {
+      frame = decode_transfer(payload);
+    } catch (const DecodeError&) {
+      ++unroutable_;
+      return;
+    }
+    it->second(pool_from, frame);
+    return;
+  }
   if (!vsys::looks_like_group_frame(payload)) {
     auto it = default_handlers_.find(pool_to);
     if (it != default_handlers_.end()) {

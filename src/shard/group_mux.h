@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -24,6 +25,7 @@
 #include "common/types.h"
 #include "common/view.h"
 #include "net/transport.h"
+#include "shard/reprovision.h"
 
 namespace dvs::shard {
 
@@ -43,6 +45,23 @@ class GroupMux {
 
   /// Handler for datagrams addressed to `pool_p` that carry no group frame.
   void attach_default(ProcessId pool_p, net::Transport::Handler handler);
+
+  /// Closes the port for `group`: the port object is destroyed and every
+  /// handler it installed is removed (subsequent frames for the group count
+  /// as unroutable). No-op on an unknown group. Used by dynamic
+  /// re-provisioning when a column this node hosted migrates away.
+  void close(std::uint32_t group);
+
+  /// State-transfer frames (shard/reprovision.h, tag 0x48) ride the same
+  /// socket but OUTSIDE the group framing — a joiner needs them before its
+  /// column (and hence its port) exists. The per-destination handler
+  /// receives the decoded frame; malformed transfer datagrams are dropped
+  /// and counted as unroutable.
+  using TransferHandler =
+      std::function<void(ProcessId from, const TransferFrame&)>;
+  void set_transfer_handler(ProcessId pool_p, TransferHandler handler);
+  void send_transfer(ProcessId pool_from, ProcessId pool_to,
+                     const TransferFrame& frame);
 
   [[nodiscard]] net::Transport& base() { return base_; }
   /// Datagrams whose group frame named a group with no open port (or no
@@ -64,6 +83,7 @@ class GroupMux {
   std::map<std::pair<std::uint32_t, ProcessId>, net::Transport::Handler>
       handlers_;
   std::map<ProcessId, net::Transport::Handler> default_handlers_;
+  std::map<ProcessId, TransferHandler> transfer_handlers_;
   ProcessSet attached_;
   std::uint64_t unroutable_ = 0;
 };
@@ -81,6 +101,17 @@ class GroupMux::Port : public net::Transport {
     return pool_.at(local.value());
   }
   [[nodiscard]] ProcessId to_local(ProcessId pool) const;
+  /// Re-points shard-local id `local` at a different pool process — the
+  /// volatile half of a slot migration. Post-remap the pool list may be
+  /// non-ascending; to_local's linear scan stays correct. This node's own
+  /// slot never moves while it is alive, so the installed receive handler
+  /// (keyed by this node's pool id) is untouched.
+  void remap(ProcessId local, ProcessId pool) {
+    pool_.at(local.value()) = pool;
+  }
+  [[nodiscard]] const std::vector<ProcessId>& pool_map() const {
+    return pool_;
+  }
 
   void attach(ProcessId local, Handler handler) override;
   void send(ProcessId from, ProcessId to, const Bytes& payload) override;

@@ -83,6 +83,24 @@ class GroupPort : public net::Transport {
     return net_.paused(to_pool(local));
   }
 
+  /// Re-provisioning: re-points local slot `local` at a new pool process.
+  /// The departed process's group-channel handler is detached (its column
+  /// node objects are about to be destroyed); the joiner attaches its own
+  /// handler when its column restarts. After a remap the pool list may be
+  /// non-ascending — to_local stays correct (linear scan) but the ascending
+  /// K=1 identity only ever held for never-migrated columns.
+  void remap(ProcessId local, ProcessId pool) {
+    ProcessId& slot = pool_.at(local.value());
+    if (slot == pool) return;
+    net_.detach_group(group_, slot);
+    slot = pool;
+  }
+
+  /// The current local→pool slot map (index = local id).
+  [[nodiscard]] const std::vector<ProcessId>& pool_map() const {
+    return pool_;
+  }
+
  private:
   net::SimNetwork& net_;
   std::uint32_t group_;

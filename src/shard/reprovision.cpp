@@ -1,0 +1,200 @@
+#include "shard/reprovision.h"
+
+#include <algorithm>
+
+namespace dvs::shard {
+
+ReprovisionPlan plan_reprovision(
+    const std::vector<ShardAssignment>& installed, const ProcessSet& live) {
+  ReprovisionPlan plan;
+  if (installed.empty()) return plan;
+  if (live.empty()) {
+    // Nobody survives: every column with state is unreachable until a host
+    // returns through the ordinary crash-restart path.
+    plan.lost = installed.size();
+    return plan;
+  }
+  const std::size_t r_installed = installed.front().replicas.size();
+  const std::size_t r = std::min(r_installed, live.size());
+  // The agreed-upon target: the same pure function the initial provisioning
+  // used, re-evaluated over the survivors. Only *which processes* join comes
+  // from here — surviving slots never move (slot-stable minimal diff).
+  const std::vector<ShardAssignment> target =
+      provision(live, installed.size(), r);
+  for (const ShardAssignment& a : installed) {
+    std::vector<std::size_t> departed;
+    for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+      if (!live.contains(a.replicas[i])) departed.push_back(i);
+    }
+    if (departed.empty()) continue;
+    if (departed.size() == a.replicas.size()) {
+      ++plan.lost;
+      continue;
+    }
+    // Donor: the surviving slot with the lowest pool id — every node that
+    // agrees on the pool view picks the same one without coordination.
+    std::size_t src = a.replicas.size();
+    for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+      if (!live.contains(a.replicas[i])) continue;
+      if (src == a.replicas.size() || a.replicas[i] < a.replicas[src]) {
+        src = i;
+      }
+    }
+    // Fresh candidates: target members not already hosting this column,
+    // ascending (provision sorts). Departed processes can never reappear
+    // here (target ⊆ live).
+    std::vector<ProcessId> cands;
+    for (ProcessId c : target[a.group - 1].replicas) {
+      if (std::find(a.replicas.begin(), a.replicas.end(), c) ==
+          a.replicas.end()) {
+        cands.push_back(c);
+      }
+    }
+    GroupMigration gm;
+    gm.group = a.group;
+    gm.source_slot = ProcessId(static_cast<std::uint32_t>(src));
+    std::size_t j = 0;
+    for (std::size_t i : departed) {
+      if (j >= cands.size()) {
+        ++plan.stalled;  // pool below replication: refill on a later view
+        continue;
+      }
+      gm.moves.push_back(SlotMove{ProcessId(static_cast<std::uint32_t>(i)),
+                                  a.replicas[i], cands[j++]});
+    }
+    if (!gm.moves.empty()) plan.migrations.push_back(std::move(gm));
+  }
+  return plan;
+}
+
+std::vector<ShardAssignment> apply_plan(std::vector<ShardAssignment> installed,
+                                        const ReprovisionPlan& plan) {
+  for (const GroupMigration& gm : plan.migrations) {
+    for (const SlotMove& m : gm.moves) {
+      installed.at(gm.group - 1).replicas.at(m.slot.value()) = m.to;
+    }
+  }
+  return installed;
+}
+
+// ----- transfer frames -------------------------------------------------------
+
+Bytes encode_transfer(const TransferFrame& f) {
+  Writer w;
+  w.u8(kTransferTag);
+  w.u8(kTransferVersion);
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.varuint(f.group);
+  w.varuint(f.slot);
+  w.varuint(f.seq);
+  w.varuint(f.total);
+  w.bytes_field(f.payload);
+  return w.take();
+}
+
+bool looks_like_transfer_frame(const Bytes& payload) {
+  return payload.size() >= 2 &&
+         static_cast<std::uint8_t>(payload[0]) == kTransferTag &&
+         static_cast<std::uint8_t>(payload[1]) == kTransferVersion;
+}
+
+TransferFrame decode_transfer(const Bytes& payload) {
+  Reader r(payload);
+  if (r.u8() != kTransferTag) throw DecodeError("transfer: bad tag");
+  if (r.u8() != kTransferVersion) throw DecodeError("transfer: bad version");
+  TransferFrame f;
+  const std::uint8_t kind = r.u8();
+  if (kind != static_cast<std::uint8_t>(TransferKind::kRequest) &&
+      kind != static_cast<std::uint8_t>(TransferKind::kSnapshot)) {
+    throw DecodeError("transfer: unknown kind " + std::to_string(kind));
+  }
+  f.kind = static_cast<TransferKind>(kind);
+  f.group = static_cast<std::uint32_t>(r.varuint());
+  f.slot = static_cast<std::uint32_t>(r.varuint());
+  f.seq = static_cast<std::uint32_t>(r.varuint());
+  f.total = static_cast<std::uint32_t>(r.varuint());
+  f.payload = r.bytes_field();
+  r.expect_exhausted();
+  if (f.kind == TransferKind::kSnapshot) {
+    if (f.total == 0) throw DecodeError("transfer: snapshot with zero total");
+    if (f.seq >= f.total) throw DecodeError("transfer: seq beyond total");
+  }
+  return f;
+}
+
+// ----- slot snapshots --------------------------------------------------------
+
+Bytes encode_snapshot(const SlotSnapshot& s) {
+  Writer w;
+  w.bytes_field(s.vs);
+  w.bytes_field(s.dvs);
+  w.bytes_field(s.to);
+  w.varuint(s.next);
+  return w.take();
+}
+
+SlotSnapshot decode_snapshot(const Bytes& payload) {
+  Reader r(payload);
+  SlotSnapshot s;
+  s.vs = r.bytes_field();
+  s.dvs = r.bytes_field();
+  s.to = r.bytes_field();
+  s.next = r.varuint();
+  r.expect_exhausted();
+  return s;
+}
+
+std::vector<TransferFrame> chunk_snapshot(std::uint32_t group,
+                                          std::uint32_t slot,
+                                          const Bytes& encoded,
+                                          std::size_t max_chunk) {
+  if (max_chunk == 0) max_chunk = 1;
+  const std::uint32_t total = static_cast<std::uint32_t>(
+      encoded.empty() ? 1 : (encoded.size() + max_chunk - 1) / max_chunk);
+  std::vector<TransferFrame> out;
+  out.reserve(total);
+  for (std::uint32_t seq = 0; seq < total; ++seq) {
+    TransferFrame f;
+    f.kind = TransferKind::kSnapshot;
+    f.group = group;
+    f.slot = slot;
+    f.seq = seq;
+    f.total = total;
+    const std::size_t begin = static_cast<std::size_t>(seq) * max_chunk;
+    const std::size_t end = std::min(encoded.size(), begin + max_chunk);
+    f.payload.assign(encoded.begin() + static_cast<std::ptrdiff_t>(begin),
+                     encoded.begin() + static_cast<std::ptrdiff_t>(end));
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+bool SnapshotAssembler::add(const TransferFrame& f) {
+  if (f.kind != TransferKind::kSnapshot || f.total == 0) return false;
+  if (total_ == 0) {
+    total_ = f.total;
+    chunks_.resize(total_);
+    seen_.assign(total_, false);
+  }
+  if (f.total != total_ || f.seq >= total_) return false;  // stale episode
+  if (seen_[f.seq]) return false;                          // duplicate
+  seen_[f.seq] = true;
+  chunks_[f.seq] = f.payload;
+  ++have_;
+  return complete();
+}
+
+Bytes SnapshotAssembler::take() {
+  Bytes out;
+  std::size_t n = 0;
+  for (const Bytes& c : chunks_) n += c.size();
+  out.reserve(n);
+  for (const Bytes& c : chunks_) out.insert(out.end(), c.begin(), c.end());
+  chunks_.clear();
+  seen_.clear();
+  total_ = 0;
+  have_ = 0;
+  return out;
+}
+
+}  // namespace dvs::shard

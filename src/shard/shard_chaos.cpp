@@ -144,7 +144,9 @@ ShardChaosResult run_sharded(std::uint64_t seed,
   ShardClusterConfig scc;
   scc.shards = config.shards;
   scc.replication = config.replication;
+  scc.dynamic = config.dynamic;
   scc.base = make_base(c);
+  if (scc.dynamic) scc.base.persistence = true;
   ShardCluster sc(scc, seed);
 
   const net::FaultPlan plan = net::FaultPlan::random(seed, targets, c.plan);
@@ -234,6 +236,9 @@ ShardChaosResult run_sharded(std::uint64_t seed,
   s.batches = ns.batches;
   s.batched_msgs = ns.batched_msgs;
   s.metrics = sc.metrics_snapshot();
+  out.migrations = sc.migrations();
+  out.migration_stalls = sc.migration_stalls();
+  out.migrations_lost = sc.migrations_lost();
   return out;
 }
 

@@ -35,6 +35,10 @@ struct ShardChaosConfig {
   std::size_t shards = 1;
   /// Replicas per shard (0 = whole pool). Ignored when shards == 0.
   std::size_t replication = 0;
+  /// Dynamic re-provisioning (ShardClusterConfig::dynamic): pool view
+  /// changes migrate departed slots onto survivors. Forces persistence.
+  /// Ignored when shards == 0.
+  bool dynamic = false;
   /// Everything else: pool size, fault mix, anomaly rates, load, settle.
   tosys::ChaosConfig chaos;
   /// Restrict the generated FaultPlan to these pool processes (empty = the
@@ -55,6 +59,12 @@ struct ShardChaosResult {
   std::vector<std::vector<std::vector<std::uint64_t>>> orders;
   /// Aggregated counters (pool-wide net numbers in sharded mode).
   tosys::ChaosStats stats;
+  /// Dynamic re-provisioning counters (zero unless config.dynamic):
+  /// completed slot migrations, refills blocked by a too-small pool, and
+  /// columns whose every replica departed.
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_stalls = 0;
+  std::uint64_t migrations_lost = 0;
 };
 
 /// Runs one seeded sharded chaos execution to completion. Unlike

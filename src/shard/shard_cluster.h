@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -43,6 +44,7 @@
 #include "obs/metrics.h"
 #include "shard/group_port.h"
 #include "shard/provision.h"
+#include "shard/reprovision.h"
 #include "shard/router.h"
 #include "sim/simulator.h"
 #include "storage/stable_store.h"
@@ -56,6 +58,15 @@ struct ShardClusterConfig {
   std::size_t shards = 1;
   /// Replicas per shard (0 = every pool member hosts every shard).
   std::size_t replication = 0;
+  /// Dynamic re-provisioning (shard/reprovision.h): on every pool VS
+  /// NEWVIEW, diff the installed shard→replica map against the round-robin
+  /// target recomputed from the surviving members and migrate each departed
+  /// slot onto a joiner by shipping the donor's journals and
+  /// crash-restarting the slot there. Requires base.persistence (journals
+  /// are the transferable state). With a stable pool the diff is empty on
+  /// every view, so dynamic mode is byte-inert — pinned by
+  /// tests/shard/test_reprovision.cpp's differential.
+  bool dynamic = false;
   /// Template for the pool and every shard column: n_processes is the POOL
   /// size; net/vs/to/persistence/observability knobs apply to each shard
   /// column (and base.net to the shared network). initial_members is
@@ -130,6 +141,34 @@ class ShardCluster {
   }
   [[nodiscard]] ShardRouter& router() { return router_; }
 
+  // ----- dynamic re-provisioning ---------------------------------------------
+
+  /// Completed slot migrations / departed slots left unfilled (pool below
+  /// replication; retried on later views) / columns with every replica
+  /// departed. All zero unless config.dynamic.
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  [[nodiscard]] std::uint64_t migration_stalls() const { return stalls_; }
+  [[nodiscard]] std::uint64_t migrations_lost() const { return lost_; }
+
+  /// Crash-point sweep instrumentation: invoked with a run-global ordinal
+  /// before every persistence barrier and the volatile cutover of each
+  /// migration episode; throwing shard::MigrationCrash simulates a crash
+  /// mid-episode. recover_migrations() then rolls every column forward
+  /// (committed meta marker present) or back (absent — the move is simply
+  /// re-planned from the live pool view).
+  void set_migration_crash_hook(std::function<void(std::size_t)> hook) {
+    migration_crash_hook_ = std::move(hook);
+  }
+  void recover_migrations();
+
+  /// Invoked after a slot's cutover completes (journals installed, column
+  /// replica restarted, HANDOFF recorded) — the workload harness rebuilds
+  /// its application mirror for that slot here.
+  void set_handoff_hook(
+      std::function<void(std::uint32_t group, ProcessId slot)> hook) {
+    handoff_hook_ = std::move(hook);
+  }
+
   /// Per-shard snapshots with `shard.<k>.` key prefixes, pool-level
   /// `pool.<key>` counter/gauge rollups (summed across shards), and the
   /// shared network's own net.*/arena.* counters once at pool level.
@@ -143,6 +182,16 @@ class ShardCluster {
 
   [[nodiscard]] static std::string pool_storage_key(ProcessId p);
   void build_pool_node(ProcessId p, bool initial);
+
+  // Dynamic re-provisioning (all no-ops unless config.dynamic).
+  void maybe_reprovision();
+  void migrate_slot(std::uint32_t group, ProcessId source_slot,
+                    const SlotMove& m);
+  /// The roll-forward half of an episode: staged journals → live keys,
+  /// port remap, column restart, HANDOFF record, meta clear. Idempotent —
+  /// recovery re-runs it when the commit marker is present.
+  void install_slot(std::uint32_t group, ProcessId slot, ProcessId to_pool);
+  void migration_barrier();
 
   ShardClusterConfig config_;
   std::uint64_t seed_;
@@ -159,6 +208,16 @@ class ShardCluster {
   ShardRouter router_;
   obs::MetricsRegistry pool_metrics_;
   std::uint64_t restarts_ = 0;
+
+  // Dynamic re-provisioning state.
+  ProcessSet live_pool_;  // latest pool view set (= pool_ while stable)
+  bool migrating_ = false;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t lost_ = 0;
+  std::size_t migration_barriers_ = 0;  // run-global episode barrier ordinal
+  std::function<void(std::size_t)> migration_crash_hook_;
+  std::function<void(std::uint32_t, ProcessId)> handoff_hook_;
 };
 
 }  // namespace dvs::shard

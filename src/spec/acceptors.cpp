@@ -220,6 +220,18 @@ AcceptResult ToAcceptor::feed(const ToEvent& event) {
         } else if constexpr (std::is_same_v<E, EvCrash>) {
           spec_.apply_crash(ev.p);
           return AcceptResult::accepted();
+        } else if constexpr (std::is_same_v<E, EvHandoff>) {
+          // A migrated slot may only claim deliveries the global order has
+          // already established; claiming beyond it would be fabricated
+          // state that no incarnation performed (split-brain evidence).
+          if (!spec_.can_handoff(ev.next)) {
+            return AcceptResult::rejected(
+                "HANDOFF claims deliveries beyond the established total "
+                "order (next=" + std::to_string(ev.next) + ", |queue|=" +
+                std::to_string(spec_.queue().size()) + ")");
+          }
+          spec_.apply_handoff(ev.p, ev.next);
+          return AcceptResult::accepted();
         } else {
           const std::size_t idx = spec_.next(ev.receiver);
           if (idx > spec_.queue().size()) {
@@ -280,6 +292,10 @@ std::string to_string(const ToEvent& e) {
     }
     std::string operator()(const EvCrash& ev) const {
       return "crash_" + ev.p.to_string();
+    }
+    std::string operator()(const EvHandoff& ev) const {
+      return "handoff(next=" + std::to_string(ev.next) + ")_" +
+             ev.p.to_string();
     }
   };
   return std::visit(Visitor{}, e);

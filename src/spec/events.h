@@ -106,7 +106,22 @@ struct EvCrash {
   ProcessId p;
 };
 
-using ToEvent = std::variant<EvBcast, EvBrcv, EvCrash>;
+/// HANDOFF(next)_p — p's slot is re-provisioned onto a new host that
+/// adopted a surviving replica's durable state (shard migration). The new
+/// incarnation inherits the donor's delivered cursor exactly: positions up
+/// to next-1 of the total order count as received by p, and p's subsequent
+/// BRCVs continue contiguously from `next`. The cursor may move backward —
+/// the donor lagged the departed replica, so those positions re-deliver at
+/// the new host — or jump forward past positions the lost incarnation
+/// delivered; unlike EvCrash it may never claim positions the global order
+/// has not yet established — that would be fabricated state (split-brain
+/// evidence) and is rejected.
+struct EvHandoff {
+  ProcessId p;
+  std::uint64_t next = 1;  // 1-based index of p's next expected delivery
+};
+
+using ToEvent = std::variant<EvBcast, EvBrcv, EvCrash, EvHandoff>;
 
 [[nodiscard]] std::string to_string(const ToEvent& e);
 

@@ -45,6 +45,17 @@ void ToSpec::apply_crash(ProcessId p) {
   it->second.clear();
 }
 
+bool ToSpec::can_handoff(std::uint64_t next) const {
+  return next >= 1 && next <= queue_.size() + 1;
+}
+
+void ToSpec::apply_handoff(ProcessId p, std::uint64_t next) {
+  DVS_REQUIRE("HANDOFF", can_handoff(next),
+              p.to_string() << " next=" << next << " |queue|=" << queue_.size());
+  apply_crash(p);  // the lost incarnation's unordered broadcasts go loose
+  next_[p] = next;
+}
+
 bool ToSpec::can_order_loose(ProcessId p, const AppMsg& a) const {
   const std::vector<AppMsg>& loose = this->loose(p);
   for (const AppMsg& m : loose) {

@@ -7,6 +7,7 @@
 // prefix of that order, and each delivery reports the original sender.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
@@ -42,6 +43,18 @@ class ToSpec {
   /// incarnation of p, in any position. Pre: a ∈ loose[p].
   [[nodiscard]] bool can_order_loose(ProcessId p, const AppMsg& a) const;
   void apply_order_loose(ProcessId p, const AppMsg& a);
+
+  /// input HANDOFF(next)_p — p's slot was re-provisioned onto a host that
+  /// adopted a survivor's durable state (see spec::EvHandoff). Pre:
+  /// 1 <= next <= |queue| + 1 (only established positions may be claimed).
+  /// Eff: next[p] := next — the adopted cursor, exactly. It may move
+  /// *backward* (the donor lagged the departed replica's deliveries: those
+  /// positions are re-delivered at the new host, the honest observable of a
+  /// migration) but never beyond the established order. Like CRASH,
+  /// pending[p] moves to loose[p] (the lost incarnation's unordered
+  /// broadcasts).
+  [[nodiscard]] bool can_handoff(std::uint64_t next) const;
+  void apply_handoff(ProcessId p, std::uint64_t next);
 
   /// output BRCV(a)_{p,q}: pre queue(next[q]) = (a, p). Returns (a, p).
   [[nodiscard]] std::optional<std::pair<AppMsg, ProcessId>> next_brcv(

@@ -244,6 +244,10 @@ void Cluster::restart(ProcessId p) {
   vs_.at(p)->start();  // re-attaches the net handler, arms a fresh ticker
 }
 
+void Cluster::record_handoff(ProcessId p, std::uint64_t next) {
+  recorder_.record(spec::ToEvent{spec::EvHandoff{p, next}});
+}
+
 void Cluster::bcast(ProcessId p, AppMsg a) {
   if (config_.record_traces || config_.conformance_oracle) {
     recorder_.record(spec::ToEvent{spec::EvBcast{p, a}});

@@ -154,6 +154,19 @@ class Cluster {
   [[nodiscard]] storage::StableStore* store() { return store_; }
   [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
 
+  /// Journal key of p's `layer` record ("vs" | "dvs" | "to") in the stable
+  /// store. Public so shard re-provisioning (src/shard/reprovision.h) can
+  /// copy a column's durable state between slots with the same encodings
+  /// Cluster itself journals and recovers.
+  [[nodiscard]] static std::string storage_key(ProcessId p,
+                                               const char* layer);
+
+  /// Records HANDOFF(next)_p in the TO trace / oracle: p's slot has been
+  /// re-provisioned onto a host that adopted a survivor's durable state
+  /// (see spec::EvHandoff). Call right after restart(p) completes the
+  /// rebuild from the transferred journals.
+  void record_handoff(ProcessId p, std::uint64_t next);
+
   // ----- recorded traces and checks ------------------------------------------
 
   [[nodiscard]] const std::vector<spec::VsEvent>& vs_trace() const {
@@ -213,8 +226,6 @@ class Cluster {
   /// bind_metrics for p's three nodes, remembering the collector ids so
   /// restart() can drop the stale collectors.
   void bind_process_metrics(ProcessId p);
-  [[nodiscard]] static std::string storage_key(ProcessId p,
-                                               const char* layer);
 
   ClusterConfig config_;
   Rng rng_;

@@ -112,6 +112,8 @@ Scenario Scenario::parse(const std::string& text) {
         s.shards = parse_u64(word());
       } else if (key == "replication") {
         s.replication = parse_u64(word());
+      } else if (key == "dynamic") {
+        s.dynamic = parse_on_off(word());
       } else if (key == "seeds") {
         s.seeds = parse_u64(word());
       } else if (key == "seed") {
@@ -275,6 +277,7 @@ std::string Scenario::to_string() const {
   if (initial != 0) os << "initial " << initial << "\n";
   if (shards != 0) os << "shards " << shards << "\n";
   if (replication != 0) os << "replication " << replication << "\n";
+  if (dynamic) os << "dynamic on\n";
   os << "seeds " << seeds << "\n";
   os << "seed " << seed << "\n";
   os << "warmup_ms " << to_ms(warmup) << "\n";
@@ -365,6 +368,7 @@ void Scenario::validate() const {
   if (shards > 1 && initial != 0) {
     fail("initial members are only meaningful with shards 0|1");
   }
+  if (dynamic && shards == 0) fail("dynamic needs shards >= 1");
   if (seeds == 0) fail("seeds must be >= 1");
   if (horizon == 0) fail("horizon_ms must be > 0");
   if (warmup >= horizon) fail("warmup must be shorter than the horizon");
@@ -490,7 +494,7 @@ void Scenario::validate() const {
 }
 
 bool Scenario::needs_persistence() const {
-  return persistence || rolling_restart.has_value() ||
+  return persistence || dynamic || rolling_restart.has_value() ||
          (churn.has_value() && churn->restart_semantics);
 }
 

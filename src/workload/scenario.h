@@ -124,6 +124,12 @@ struct Scenario {
   /// Replicas per shard (0 = every pool member hosts every shard). Only
   /// meaningful with shards >= 1.
   std::size_t replication = 0;
+  /// Dynamic shard re-provisioning (shard/reprovision.h): pool view changes
+  /// migrate departed slots onto surviving members with state transfer.
+  /// Requires shards >= 1; implies persistence (journals are the
+  /// transferable state). With a stable pool this is byte-inert — the
+  /// reprovision differential pins it.
+  bool dynamic = false;
   /// Seeds swept per report: seeds [seed, seed + seeds) run independently
   /// and their SLO reports merge in seed order (byte-identical across
   /// --jobs values).

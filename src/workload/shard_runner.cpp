@@ -73,6 +73,7 @@ SeedOutcome run_sharded_scenario_seed(const Scenario& sc, std::uint64_t seed) {
   shard::ShardClusterConfig scc;
   scc.shards = sc.shards;
   scc.replication = sc.replication;
+  scc.dynamic = sc.dynamic;
   tosys::ClusterConfig& cc = scc.base;
   cc.n_processes = sc.n;
   cc.initial_members = sc.initial;
@@ -195,6 +196,25 @@ SeedOutcome run_sharded_scenario_seed(const Scenario& sc, std::uint64_t seed) {
         c.waiting_uid = 0;
         schedule_next(w.client);
       }
+    });
+  }
+
+  // After a migration the slot's new incarnation owns the donor's delivered
+  // prefix — positions the old KV mirror may never have applied (the donor
+  // was ahead) or has already applied (the donor lagged; re-deliveries
+  // re-apply idempotently through the delivery hook). Rebuild the mirror
+  // from the column's recovered order so the digest-convergence check stays
+  // meaningful across re-provisioning.
+  if (scc.dynamic) {
+    cluster.set_handoff_hook([&](std::uint32_t g, ProcessId slot) {
+      const auto& at = cluster.shard(g).to_node(slot).automaton();
+      apps::KvStateMachine fresh;
+      const std::uint64_t next = at.nextreport();
+      for (std::uint64_t i = 1; i < next && i <= at.order().size(); ++i) {
+        auto it = at.content().find(at.order()[i - 1]);
+        if (it != at.content().end()) fresh.apply(it->second.payload);
+      }
+      kv[g - 1][slot.value()] = std::move(fresh);
     });
   }
 

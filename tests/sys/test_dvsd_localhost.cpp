@@ -1,20 +1,27 @@
-// Real-deployment system test: three dvsd OS processes on loopback.
+// Real-deployment system tests: dvsd OS processes on loopback.
 //
-// This is the end-to-end proof that the stack survives outside the
-// simulator: the test forks the actual dvsd binary (path baked in via
-// DVSD_BIN_PATH) three times with generated config files, drives the
-// cluster through its UDP control sockets, SIGKILLs one member mid-stream
-// (a genuine crash — no destructors, a torn trace tail on disk), relaunches
-// it, and finally audits the merged on-disk traces with the same offline
-// auditor `model_checker --audit` uses.
+// These are the end-to-end proofs that the stack survives outside the
+// simulator: each test forks the actual dvsd binary (path baked in via
+// DVSD_BIN_PATH) with generated config files, drives the cluster through
+// its UDP control sockets, SIGKILLs members mid-stream (a genuine crash —
+// no destructors, a torn trace tail on disk), and finally audits the
+// merged on-disk traces with the same offline auditor `model_checker
+// --audit` uses.
 //
-// What must hold at the end:
-//   * the two survivors converge to identical KV state containing every
-//     command, including those issued while the third was dead;
-//   * the relaunched process reports recovered=1 and applies commands
-//     issued after its rejoin;
-//   * daemon::audit_dir over the trace directory — 3 processes, 4
-//     incarnations — ends in VERDICT: PASS.
+// Two deployments are exercised:
+//   * DvsdLocalhostTest — the classic 3-node unsharded cluster:
+//     kill / rejoin / recover, survivors converge, audit passes with 3
+//     processes and 4 incarnations. Also asserts the daemon holds a
+//     constant descriptor count across the whole workload (fd-leak guard).
+//   * DvsdDynamicTest — a 4-node sharded deployment (K=4, r=2,
+//     dynamic re-provisioning on): killing one host must migrate its two
+//     column slots onto fresh survivors WITH their replicated state
+//     (journal snapshot over the transfer protocol), new writes into the
+//     migrated shards must commit under the refreshed map, a pure
+//     survivor's descriptor count must not change (column teardown /
+//     migration leaks nothing), and the per-group partitioned audit over
+//     every trace — donors', joiners' and the dead host's torn files —
+//     must end in VERDICT: PASS.
 //
 // Set DVS_NO_NET=1 to skip (no loopback sockets available).
 #include <gtest/gtest.h>
@@ -28,19 +35,18 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <array>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "daemon/audit.h"
+#include "shard/router.h"
 
 namespace dvs {
 namespace {
-
-constexpr int kNodes = 3;
 
 bool no_net() {
   const char* env = std::getenv("DVS_NO_NET");
@@ -80,8 +86,13 @@ bool await(const std::function<bool()>& pred, int deadline_ms,
   }
 }
 
-class DvsdLocalhostTest : public ::testing::Test {
+/// Shared scaffolding: temp dir, generated configs, fork/exec of dvsd with
+/// per-process logs, SIGKILL + reap, and the control-socket helpers.
+/// Derived fixtures pick the node count and the config file contents.
+class DvsdClusterTest : public ::testing::Test {
  protected:
+  explicit DvsdClusterTest(int nodes) : nodes_(nodes), pids_(nodes, -1) {}
+
   void SetUp() override {
     if (no_net()) GTEST_SKIP() << "DVS_NO_NET=1: skipping localhost cluster";
     char tmpl[] = "/tmp/dvsd_localhost_XXXXXX";
@@ -91,11 +102,11 @@ class DvsdLocalhostTest : public ::testing::Test {
     // as a bind failure in the child's log and a ping timeout here.
     base_port_ =
         static_cast<std::uint16_t>(22000 + (::getpid() * 17) % 30000);
-    for (int i = 0; i < kNodes; ++i) write_config(i);
+    for (int i = 0; i < nodes_; ++i) write_config(i);
   }
 
   void TearDown() override {
-    for (int i = 0; i < kNodes; ++i) {
+    for (int i = 0; i < nodes_; ++i) {
       if (pids_[i] > 0) {
         ::kill(pids_[i], SIGKILL);
         reap(i, 5000);
@@ -109,25 +120,25 @@ class DvsdLocalhostTest : public ::testing::Test {
     }
   }
 
+  virtual void write_config(int i) = 0;
+
   [[nodiscard]] std::uint16_t peer_port(int i) const {
     return static_cast<std::uint16_t>(base_port_ + i);
   }
   [[nodiscard]] std::uint16_t ctl_port(int i) const {
-    return static_cast<std::uint16_t>(base_port_ + kNodes + i);
+    return static_cast<std::uint16_t>(base_port_ + nodes_ + i);
   }
 
-  void write_config(int i) {
-    std::ofstream out(dir_ + "/p" + std::to_string(i) + ".conf");
+  /// The config prologue every deployment shares.
+  void write_common(std::ofstream& out, int i) {
     out << "node " << i << "\n"
-        << "n " << kNodes << "\n"
-        << "initial " << kNodes << "\n";
-    for (int j = 0; j < kNodes; ++j) {
+        << "n " << nodes_ << "\n";
+    for (int j = 0; j < nodes_; ++j) {
       out << "peer " << j << " 127.0.0.1:" << peer_port(j) << "\n";
     }
     out << "control 127.0.0.1:" << ctl_port(i) << "\n"
         << "wal_dir " << dir_ << "/p" << i << "/wal\n"
         << "trace_dir " << dir_ << "/traces\n";
-    ASSERT_TRUE(out.good());
   }
 
   void spawn(int i) {
@@ -177,14 +188,29 @@ class DvsdLocalhostTest : public ::testing::Test {
     return true;
   }
 
+  int nodes_;
   std::string dir_;
   std::uint16_t base_port_ = 0;
-  std::array<pid_t, kNodes> pids_{-1, -1, -1};
+  std::vector<pid_t> pids_;
+};
+
+// ----- unsharded 3-node cluster ---------------------------------------------
+
+class DvsdLocalhostTest : public DvsdClusterTest {
+ protected:
+  DvsdLocalhostTest() : DvsdClusterTest(3) {}
+
+  void write_config(int i) override {
+    std::ofstream out(dir_ + "/p" + std::to_string(i) + ".conf");
+    write_common(out, i);
+    out << "initial " << nodes_ << "\n";
+    ASSERT_TRUE(out.good());
+  }
 };
 
 TEST_F(DvsdLocalhostTest, KillRejoinAndAuditPasses) {
-  for (int i = 0; i < kNodes; ++i) spawn(i);
-  for (int i = 0; i < kNodes; ++i) {
+  for (int i = 0; i < nodes_; ++i) spawn(i);
+  for (int i = 0; i < nodes_; ++i) {
     ASSERT_TRUE(await([&] { return pingable(i); }, 15000))
         << "node " << i << " never answered ping";
   }
@@ -195,6 +221,13 @@ TEST_F(DvsdLocalhostTest, KillRejoinAndAuditPasses) {
   const std::string seeded = "color=red;shape=circle;";
   ASSERT_TRUE(await([&] { return dumps_equal({0, 1, 2}, seeded); }, 15000))
       << "cluster never converged on the seed data";
+
+  // Steady-state descriptor count at a node the rest of the test only
+  // talks to — must be unchanged at the end (no leak per command, per
+  // view change, or per peer restart).
+  const std::string fds_before = ctl(ctl_port(0), "fds");
+  ASSERT_FALSE(fds_before.empty());
+  ASSERT_NE(fds_before.rfind("err", 0), 0u) << fds_before;
 
   // A genuine crash: SIGKILL gives p1 no chance to flush or deregister.
   kill_hard(1);
@@ -230,8 +263,11 @@ TEST_F(DvsdLocalhostTest, KillRejoinAndAuditPasses) {
   EXPECT_EQ(dump0, dump2);
   EXPECT_NE(dump0.find("rejoin=yes"), std::string::npos);
 
+  EXPECT_EQ(ctl(ctl_port(0), "fds"), fds_before)
+      << "node 0 leaked or dropped descriptors across the workload";
+
   // Graceful shutdown, then the offline audit over the merged traces.
-  for (int i = 0; i < kNodes; ++i) {
+  for (int i = 0; i < nodes_; ++i) {
     EXPECT_EQ(ctl(ctl_port(i), "quit"), "ok");
     EXPECT_TRUE(reap(i, 5000)) << "node " << i << " did not exit on quit";
   }
@@ -239,6 +275,176 @@ TEST_F(DvsdLocalhostTest, KillRejoinAndAuditPasses) {
   EXPECT_TRUE(report.ok) << report.to_string();
   EXPECT_EQ(report.processes, 3u);
   EXPECT_EQ(report.incarnations, 4u);  // one restart
+  EXPECT_GT(report.to_events, 0u);
+}
+
+// ----- dynamic sharded 4-node cluster ---------------------------------------
+
+constexpr int kPool = 4;
+constexpr std::uint32_t kShards = 4;
+
+/// The smallest key with the given tag prefix that FNV-routes to `group`
+/// under K=4 — the same hash the daemons' routers use.
+std::string key_for_shard(std::uint32_t group, const std::string& tag) {
+  const shard::ShardRouter router(kShards);
+  for (int i = 0;; ++i) {
+    std::string key = tag + std::to_string(i);
+    if (router.shard_of(key) == group) return key;
+  }
+}
+
+class DvsdDynamicTest : public DvsdClusterTest {
+ protected:
+  DvsdDynamicTest() : DvsdClusterTest(kPool) {}
+
+  void write_config(int i) override {
+    std::ofstream out(dir_ + "/p" + std::to_string(i) + ".conf");
+    write_common(out, i);
+    // Rotating-window provisioning over the 4-node pool:
+    //   g1={0,1} g2={1,2} g3={2,3} g4={3,0}
+    // The suspect timeout is raised well past the spawn window so the
+    // first pool view every daemon acts on still contains all four hosts
+    // (a daemon that comes up last must not get planned away spuriously).
+    out << "shards " << kShards << "\n"
+        << "replication 2\n"
+        << "dynamic 1\n"
+        << "heartbeat_ms 100\n"
+        << "suspect_ms 1500\n"
+        << "propose_ms 750\n";
+    ASSERT_TRUE(out.good());
+  }
+
+  /// Issues a routed command starting at `node`, chasing `moved shard=<k>
+  /// node=<x>` redirects. Returns the first non-redirect reply ("" on
+  /// timeout or a redirect loop — callers retry via await()).
+  std::string routed(int node, const std::string& command) {
+    for (int hop = 0; hop < kPool; ++hop) {
+      const std::string reply = ctl(ctl_port(node), command);
+      if (reply.rfind("moved ", 0) != 0) return reply;
+      const std::size_t pos = reply.rfind("node=");
+      if (pos == std::string::npos) return "";
+      node = std::atoi(reply.c_str() + pos + 5);
+      if (node < 0 || node >= nodes_) return "";
+    }
+    return "";
+  }
+
+  [[nodiscard]] std::uint64_t migrations_at(int i) {
+    const std::string map = ctl(ctl_port(i), "shardmap");
+    const std::size_t pos = map.find("migrations=");
+    if (pos == std::string::npos) return ~0ULL;
+    return std::strtoull(map.c_str() + pos + 11, nullptr, 10);
+  }
+};
+
+TEST_F(DvsdDynamicTest, KilledHostsColumnsMigrateWithTheirState) {
+  for (int i = 0; i < nodes_; ++i) spawn(i);
+  for (int i = 0; i < nodes_; ++i) {
+    ASSERT_TRUE(await([&] { return pingable(i); }, 15000))
+        << "node " << i << " never answered ping";
+  }
+
+  // One key per shard; the redirect protocol routes each to a host.
+  const std::string k1 = key_for_shard(1, "a");
+  const std::string k2 = key_for_shard(2, "b");
+  const std::string k3 = key_for_shard(3, "c");
+  const std::string k4 = key_for_shard(4, "d");
+  for (const auto& [key, value] :
+       {std::pair{k1, std::string("v1")}, {k2, "v2"}, {k3, "v3"}, {k4, "v4"}}) {
+    const std::string put = "put " + key + " " + value;
+    ASSERT_TRUE(await(
+        [&] { return routed(0, put).rfind("ok", 0) == 0; }, 20000))
+        << "seed " << put << " never committed";
+  }
+
+  // Replication convergence at the replicas the kill will orphan: node 2
+  // holds g3 (with node 3), node 0 holds g4 (with node 3).
+  ASSERT_TRUE(await([&] { return ctl(ctl_port(2), "get " + k3) == "v3"; },
+                    20000))
+      << "g3 seed never replicated to node 2";
+  ASSERT_TRUE(await([&] { return ctl(ctl_port(0), "get " + k4) == "v4"; },
+                    20000))
+      << "g4 seed never replicated to node 0";
+
+  // The raised suspect timeout kept startup quiet: nothing migrated yet.
+  for (int i = 0; i < nodes_; ++i) {
+    EXPECT_EQ(migrations_at(i), 0ULL) << "spurious startup migration at "
+                                      << i;
+  }
+
+  // Node 2 is the pure survivor of the coming kill: it donates g3's
+  // snapshot and remaps ports but neither gains nor loses a column, so
+  // its descriptor count must come out unchanged.
+  const std::string fds_survivor = ctl(ctl_port(2), "fds");
+  ASSERT_FALSE(fds_survivor.empty());
+  ASSERT_NE(fds_survivor.rfind("err", 0), 0u) << fds_survivor;
+
+  // Kill the host of g3-slot1 and g4-slot1 (replicas are provisioned in
+  // ascending order). The pool view must evict it and every daemon must
+  // converge on the same re-plan:
+  //   g3: {2,3} -> {2,0}   (node 0 adopts slot1, donor node 2)
+  //   g4: {0,3} -> {0,1}   (node 1 adopts slot1, donor node 0)
+  kill_hard(3);
+  const auto migrated = [&](int i) {
+    const std::string map = ctl(ctl_port(i), "shardmap");
+    return map.find("g3 2 0") != std::string::npos &&
+           map.find("g4 0 1") != std::string::npos;
+  };
+  ASSERT_TRUE(await(
+      [&] { return migrated(0) && migrated(1) && migrated(2); }, 45000))
+      << "survivors never converged on the migrated shard map; maps:\n"
+      << ctl(ctl_port(0), "shardmap") << ctl(ctl_port(1), "shardmap")
+      << ctl(ctl_port(2), "shardmap");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(migrations_at(i), 2ULL) << "node " << i;
+  }
+
+  // State transfer proof: the pre-kill values are readable AT THE JOINERS
+  // — node 0 never hosted g3 and node 1 never hosted g4, so these can only
+  // come from the transferred journal snapshots.
+  ASSERT_TRUE(await([&] { return ctl(ctl_port(0), "get " + k3) == "v3"; },
+                    20000))
+      << "joiner node 0 never served g3's transferred state";
+  ASSERT_TRUE(await([&] { return ctl(ctl_port(1), "get " + k4) == "v4"; },
+                    20000))
+      << "joiner node 1 never served g4's transferred state";
+
+  // The migrated columns accept and replicate NEW writes under the
+  // refreshed map (joiner and surviving replica agree).
+  const std::string k3b = key_for_shard(3, "post");
+  const std::string k4b = key_for_shard(4, "post");
+  ASSERT_TRUE(await(
+      [&] { return routed(1, "put " + k3b + " w3").rfind("ok", 0) == 0; },
+      20000));
+  ASSERT_TRUE(await(
+      [&] { return routed(2, "put " + k4b + " w4").rfind("ok", 0) == 0; },
+      20000));
+  ASSERT_TRUE(await([&] { return ctl(ctl_port(2), "get " + k3b) == "w3"; },
+                    20000))
+      << "post-migration g3 write never reached the surviving replica";
+  ASSERT_TRUE(await([&] { return ctl(ctl_port(0), "get " + k4b) == "w4"; },
+                    20000))
+      << "post-migration g4 write never reached the surviving replica";
+
+  // Shards whose hosts all survived are untouched by the episode.
+  EXPECT_EQ(routed(0, "get " + k1), "v1");
+  EXPECT_EQ(routed(0, "get " + k2), "v2");
+
+  EXPECT_EQ(ctl(ctl_port(2), "fds"), fds_survivor)
+      << "survivor node 2 leaked descriptors across the migration";
+
+  // Graceful shutdown of the survivors, then the partitioned audit: every
+  // group — including the two with a torn dead-host file and a joiner
+  // incarnation continuing the order — must replay cleanly.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ctl(ctl_port(i), "quit"), "ok");
+    EXPECT_TRUE(reap(i, 5000)) << "node " << i << " did not exit on quit";
+  }
+  const daemon::AuditReport report = daemon::audit_dir(dir_ + "/traces");
+  EXPECT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.groups, 4u);
+  // 8 initial column incarnations (4 shards x r=2) plus one per joiner.
+  EXPECT_GE(report.incarnations, 10u);
   EXPECT_GT(report.to_events, 0u);
 }
 

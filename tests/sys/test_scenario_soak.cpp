@@ -1,12 +1,20 @@
-// Long-horizon scenario soak: membership churn under genuine crash-restart
-// semantics, a two-region WAN latency matrix, link flaps and a drop window,
-// sustained for 50k heartbeat ticks (1000 simulated seconds at the 20ms
-// heartbeat) with the conformance oracle and span invariants on the whole
-// way. The run must finish with zero violations, every seed's replicas
-// converged, and availability within the scenario's declared SLO.
+// Long-horizon scenario soaks with the conformance oracle and span
+// invariants on the whole way:
 //
-// DVS_SOAK_SCALE=<k> divides the horizon by k (sanitizer/CI runs); the
-// default is the full 50k ticks.
+//   * ChurnPlusWan — membership churn under genuine crash-restart
+//     semantics, a two-region WAN latency matrix, link flaps and a drop
+//     window, sustained for 50k heartbeat ticks (1000 simulated seconds at
+//     the 20ms heartbeat). Zero violations, every seed's replicas
+//     converged, availability within the declared SLO.
+//   * ReprovisionChurn — the committed scenarios/reprovision-churn.scn
+//     (path baked in via DVS_SCENARIO_DIR): a dynamically re-provisioned
+//     K=4 sharded pool under crash-restart churn. Every outage that
+//     outlives the suspect timeout migrates the dead host's column slots
+//     onto survivors with state transfer; the soak demands actual
+//     migrations, zero oracle/span violations, and the declared SLOs.
+//
+// DVS_SOAK_SCALE=<k> divides the horizons by k (sanitizer/CI runs); the
+// default is the full length.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -109,6 +117,49 @@ TEST(ScenarioSoak, ChurnPlusWanHolds50kTicksWithinDeclaredSlos) {
 
   // Abandoned writes stay a small minority of issued operations even under
   // sustained churn (clients never wedge on a crashed home replica).
+  EXPECT_LT(result.slo.timeouts * 10, result.slo.issued);
+}
+
+TEST(ScenarioSoak, ReprovisionChurnMigratesColumnsWithinDeclaredSlos) {
+  const std::uint64_t scale = soak_scale();
+
+  Scenario s = Scenario::parse_file(std::string(DVS_SCENARIO_DIR) +
+                                    "/reprovision-churn.scn");
+  ASSERT_EQ(s.name, "reprovision-churn");
+  ASSERT_TRUE(s.dynamic);
+  ASSERT_EQ(s.shards, 4u);
+  ASSERT_EQ(s.replication, 2u);
+  ASSERT_TRUE(s.crashes_restart());
+  ASSERT_TRUE(s.needs_persistence());
+  if (scale > 1) {
+    s.horizon = std::max<sim::Time>(s.warmup + 2 * sim::kSecond,
+                                    s.horizon / scale);
+    s.seeds = 2;
+  }
+  s.validate();
+
+  const ScenarioSweepResult result = run_scenario(s, 2);
+
+  ASSERT_TRUE(result.ok()) << "seed " << result.first_failing_seed << ": "
+                           << result.first_failure;
+  EXPECT_EQ(result.seeds_run, s.seeds);
+  EXPECT_EQ(result.slo.oracle_violations, 0u);
+  EXPECT_EQ(result.slo.span_violations, 0u);
+  EXPECT_EQ(result.slo.converged_seeds, s.seeds);
+
+  // The churn produced genuine crash-restart cycles AND the outages that
+  // outlived the suspect timeout re-provisioned columns (state transfer +
+  // cutover) rather than stranding them on the dead host.
+  EXPECT_GT(result.slo.restarts, 0u);
+  EXPECT_GT(result.metrics.counter_sum("pool.migrations"), 0u)
+      << "churn at this rate must trigger at least one slot migration";
+  EXPECT_GT(result.slo.commits, 0u);
+  EXPECT_GT(result.slo.samples, 0u);
+
+  // The service stayed within the .scn's declared SLOs through the
+  // migrations.
+  EXPECT_GE(result.slo.availability_ppm(), s.slo_availability_ppm);
+  EXPECT_TRUE(result.slo.slo_pass());
   EXPECT_LT(result.slo.timeouts * 10, result.slo.issued);
 }
 
