@@ -186,16 +186,45 @@ void Daemon::build_columns() {
   mux_ = std::make_unique<shard::GroupMux>(*transport_);
   assignments_ = shard::provision(make_universe(config_.n), config_.shards,
                                   config_.replication);
+  // group -> (adopted slot, handoff cursor) recovered from commit markers.
+  std::map<std::uint32_t, std::pair<ProcessId, std::uint64_t>> rolled;
   if (config_.dynamic) {
     pool_store_ =
         std::make_unique<storage::FileStableStore>(config_.wal_dir + "/pool");
     // A restarted daemon must rejoin under the topology it last applied,
     // not the initial provisioning — migrated columns would otherwise be
-    // misrouted until the next view change.
+    // misrouted until the next view change. Groups this daemon was still
+    // JOINING at crash time are persisted with their pre-join row (see
+    // persist_assignments), so a crash mid-transfer restarts without the
+    // slot and the next pool view re-plans the move — half-written journals
+    // can never masquerade as the column's established state.
     const std::optional<Bytes> stored = pool_store_->load("assignments");
     if (stored.has_value() && !stored->empty()) {
       assignments_ = decode_assignments(*stored);
     }
+    // Roll-forward sweep, mirroring ShardCluster::recover_migrations: a
+    // nonempty commit marker means the transferred journals were complete
+    // when we crashed — adopt the slot (idempotently) instead of repeating
+    // the transfer. The marker is only cleared after the column opens.
+    for (shard::ShardAssignment& a : assignments_) {
+      const std::string root =
+          config_.wal_dir + "/g" + std::to_string(a.group);
+      std::error_code ec;
+      if (!std::filesystem::is_directory(root, ec)) continue;
+      storage::FileStableStore gstore(root);
+      for (std::size_t i = 0; i < a.replicas.size(); ++i) {
+        const ProcessId slot(static_cast<std::uint32_t>(i));
+        const std::optional<Bytes> meta =
+            gstore.load(shard::transfer_stage_key(slot, "meta"));
+        if (!meta.has_value() || meta->empty()) continue;
+        Reader r(*meta);
+        const std::uint64_t next = r.varuint();
+        r.expect_exhausted();
+        a.replicas[i] = config_.node;
+        rolled[a.group] = {slot, next};
+      }
+    }
+    if (!rolled.empty()) persist_assignments();
   }
   router_ = shard::ShardRouter(config_.shards);
   router_.set_assignments(assignments_);
@@ -205,7 +234,15 @@ void Daemon::build_columns() {
   router_.set_pool_view(make_universe(config_.n));
   for (const shard::ShardAssignment& a : assignments_) {
     if (!router_.hosts(a.group, config_.node)) continue;
-    open_column(a, /*handoff_next=*/0);
+    const auto it = rolled.find(a.group);
+    open_column(a, it == rolled.end() ? 0 : it->second.second);
+  }
+  // Markers clear only after their columns opened: a crash anywhere above
+  // re-runs the (idempotent) roll-forward.
+  for (const auto& [group, h] : rolled) {
+    storage::FileStableStore gstore(config_.wal_dir + "/g" +
+                                    std::to_string(group));
+    gstore.replace(shard::transfer_stage_key(h.first, "meta"), Bytes{});
   }
   if (config_.dynamic) {
     mux_->set_transfer_handler(
@@ -274,41 +311,72 @@ void Daemon::apply_pool_view(const View& view) {
   // the same map without any coordinator.
   const shard::ReprovisionPlan plan =
       shard::plan_reprovision(assignments_, view.set());
-  if (plan.empty()) return;
-  assignments_ = shard::apply_plan(assignments_, plan);
-  persist_assignments();
-  router_.set_assignments(assignments_);
-  for (const shard::GroupMigration& gm : plan.migrations) {
-    for (const shard::SlotMove& mv : gm.moves) {
-      ++migrations_;
-      Column* col = column_for(gm.group);
-      if (mv.to == config_.node) {
-        // We are the joiner: bootstrap the column from the donor replica.
-        const ProcessId donor =
-            assignments_[gm.group - 1].replicas[gm.source_slot.value()];
-        start_join(gm.group, mv.slot, donor);
-      } else if (col != nullptr) {
-        if (col->local == mv.slot) {
-          // The slot WE host migrated away: the pool view declared us dead
-          // (we were partitioned or slow) and a survivor re-homed it. Our
-          // incarnation is superseded — tear the column down.
-          teardown_column(gm.group);
-        } else {
-          // Survivor: re-point the departed slot at its new host.
-          col->port->remap(mv.slot, mv.to);
+  if (!plan.empty()) {
+    const std::vector<shard::ShardAssignment> installed = assignments_;
+    assignments_ = shard::apply_plan(assignments_, plan);
+    router_.set_assignments(assignments_);
+    for (const shard::GroupMigration& gm : plan.migrations) {
+      for (const shard::SlotMove& mv : gm.moves) {
+        ++migrations_;
+        Column* col = column_for(gm.group);
+        if (mv.to == config_.node) {
+          // We are the joiner: bootstrap the column from the donor replica.
+          const ProcessId donor =
+              assignments_[gm.group - 1].replicas[gm.source_slot.value()];
+          start_join(gm.group, mv.slot, donor, installed[gm.group - 1]);
+        } else if (col != nullptr) {
+          if (col->local == mv.slot) {
+            // The slot WE host migrated away: the pool view declared us dead
+            // (we were partitioned or slow) and a survivor re-homed it. Our
+            // incarnation is superseded — tear the column down.
+            teardown_column(gm.group);
+          } else {
+            // Survivor: re-point the departed slot at its new host.
+            col->port->remap(mv.slot, mv.to);
+          }
         }
       }
     }
+    // Persist AFTER the joins are recorded: persist_assignments masks every
+    // group whose transfer is still in flight with its pre-plan row, so a
+    // joiner crash before the install commits rolls the slot back.
+    persist_assignments();
+  }
+  // Joins stranded by this view: a donor that departed mid-transfer will
+  // never answer, and the slot would stay unhosted forever (we ARE its
+  // recorded host, so no later plan re-homes it). Adopt the lowest-id
+  // surviving replica as the new donor; the retry timer re-requests with a
+  // fresh episode. With no survivor left, keep the old donor — it may
+  // crash-restart with its journals intact (the `lost` column case).
+  for (auto& [group, join] : joins_) {
+    if (view.set().contains(join.donor)) continue;
+    bool found = false;
+    ProcessId best{};
+    for (const ProcessId p : assignments_[group - 1].replicas) {
+      if (p == config_.node || !view.set().contains(p)) continue;
+      if (!found || p < best) {
+        best = p;
+        found = true;
+      }
+    }
+    if (found) join.donor = best;
   }
 }
 
-void Daemon::start_join(std::uint32_t group, ProcessId slot,
-                        ProcessId donor) {
-  PendingJoin join;
-  join.slot = slot;
-  join.donor = donor;
-  joins_[group] = std::move(join);
-  request_join(group);
+void Daemon::start_join(std::uint32_t group, ProcessId slot, ProcessId donor,
+                        const shard::ShardAssignment& prior) {
+  const auto [it, inserted] = joins_.try_emplace(group);
+  // On an overwrite (the group's join superseded by a newer plan) the
+  // original pre-join row stays: it is the last state that durably
+  // committed, and the superseded episode's chunks are quarantined so they
+  // can never complete the new assembly.
+  if (inserted) it->second.prior = prior;
+  it->second.slot = slot;
+  it->second.donor = donor;
+  it->second.assembler.expect(xfer_episode_ + 1);
+  // The retry timer of a superseded join is still armed and picks up the
+  // new donor/slot; only a fresh join needs one started.
+  if (inserted) request_join(group);
 }
 
 void Daemon::request_join(std::uint32_t group) {
@@ -318,6 +386,7 @@ void Daemon::request_join(std::uint32_t group) {
   req.kind = shard::TransferKind::kRequest;
   req.group = group;
   req.slot = it->second.slot.value();
+  req.episode = ++xfer_episode_;
   mux_->send_transfer(config_.node, it->second.donor, req);
   sim_.schedule_at(sim_.now() + kJoinRetryPeriod,
                    [this, group] { request_join(group); });
@@ -341,47 +410,66 @@ void Daemon::handle_transfer(ProcessId from,
         load_or_empty(*col->store, NodeRuntime::storage_key(col->local, "to"));
     snap.next = col->runtime->to().automaton().nextreport();
     const Bytes encoded = shard::encode_snapshot(snap);
-    for (const shard::TransferFrame& chunk : shard::chunk_snapshot(
-             frame.group, frame.slot, encoded, kTransferChunk)) {
+    for (const shard::TransferFrame& chunk :
+         shard::chunk_snapshot(frame.group, frame.slot, frame.episode,
+                               encoded, kTransferChunk)) {
       mux_->send_transfer(config_.node, from, chunk);
     }
     return;
   }
-  // Snapshot chunk: only meaningful while this group's join is in flight.
+  // Snapshot chunk: only meaningful while this group's join is in flight,
+  // and only from the donor we asked, for the slot we are adopting — a
+  // superseded episode's chunks (or a confused peer's) must never complete
+  // the assembly under the wrong slot's keys.
   const auto it = joins_.find(frame.group);
   if (it == joins_.end()) return;
+  if (frame.slot != it->second.slot.value() || from != it->second.donor) {
+    return;
+  }
   if (it->second.assembler.add(frame)) {
     finish_join(frame.group, it->second.assembler.take());
   }
 }
 
 void Daemon::finish_join(std::uint32_t group, const Bytes& encoded) {
-  const ProcessId slot = joins_.at(group).slot;
-  joins_.erase(group);
+  const auto it = joins_.find(group);
+  const ProcessId slot = it->second.slot;
   shard::SlotSnapshot snap;
   try {
     snap = shard::decode_snapshot(encoded);
   } catch (const DecodeError&) {
-    return;  // corrupt snapshot: the retry timer has stopped; the next pool
-             // view re-plans the move
+    // Corrupt assembly: quarantine every episode requested so far (its
+    // duplicates must not re-complete) and keep the join alive — the retry
+    // timer asks the donor again with a fresh episode. Erasing the entry
+    // here would strand the slot: we are already its recorded host, so no
+    // later pool view would re-plan the move.
+    it->second.assembler.expect(xfer_episode_ + 1);
+    return;
   }
-  // Install the journals under the adopted slot's keys, then open the
-  // column over them: NodeRuntime's recovery path rebuilds the stack (and
-  // records EvCrash), replay_kv rebuilds the application state, and
-  // open_column records the HANDOFF.
+  // Install mirrors ShardCluster::migrate_slot's episode discipline. All
+  // three journals are written unconditionally — if this host ever held
+  // this slot before, a stale journal for a layer the donor never wrote
+  // must not leak into the adopted state. The commit marker (with the
+  // donor's handoff cursor) then flips a crash from roll-back (re-plan and
+  // re-transfer) to roll-forward (build_columns adopts the slot from the
+  // completed journals); only after it do the durable assignments commit.
   storage::FileStableStore store(config_.wal_dir + "/g" +
                                  std::to_string(group));
-  if (!snap.vs.empty()) {
-    store.replace(NodeRuntime::storage_key(slot, "vs"), snap.vs);
-  }
-  if (!snap.dvs.empty()) {
-    store.replace(NodeRuntime::storage_key(slot, "dvs"), snap.dvs);
-  }
-  if (!snap.to.empty()) {
-    store.replace(NodeRuntime::storage_key(slot, "to"), snap.to);
-  }
+  store.replace(NodeRuntime::storage_key(slot, "vs"), snap.vs);
+  store.replace(NodeRuntime::storage_key(slot, "dvs"), snap.dvs);
+  store.replace(NodeRuntime::storage_key(slot, "to"), snap.to);
+  Writer w;
+  w.varuint(snap.next);
+  store.replace(shard::transfer_stage_key(slot, "meta"), w.take());
+  joins_.erase(group);
+  persist_assignments();  // unmasked now: this group's row is durable
+  // Open the column over the installed journals: NodeRuntime's recovery
+  // path rebuilds the stack (and records EvCrash), replay_kv rebuilds the
+  // application state, and open_column records the HANDOFF.
   Column& col = open_column(assignments_[group - 1], snap.next);
   col.runtime->start();
+  // Episode complete: clearing the marker is LAST (ShardCluster order).
+  store.replace(shard::transfer_stage_key(slot, "meta"), Bytes{});
 }
 
 void Daemon::teardown_column(std::uint32_t group) {
@@ -400,9 +488,16 @@ void Daemon::teardown_column(std::uint32_t group) {
 }
 
 void Daemon::persist_assignments() {
-  if (pool_store_ != nullptr) {
-    pool_store_->replace("assignments", encode_assignments(assignments_));
-  }
+  if (pool_store_ == nullptr) return;
+  // Groups whose state transfer is still in flight are masked with their
+  // pre-join row: until the journals and the commit marker are durable, a
+  // restart must NOT believe this node hosts the slot (build_columns would
+  // open the column over empty journals and silently restart the shard's
+  // history). The masked row names a departed host, so the next pool view
+  // re-plans the move and the transfer simply runs again.
+  std::vector<shard::ShardAssignment> durable = assignments_;
+  for (const auto& [group, join] : joins_) durable[group - 1] = join.prior;
+  pool_store_->replace("assignments", encode_assignments(durable));
 }
 
 Daemon::Column* Daemon::column_for(std::uint32_t group) {

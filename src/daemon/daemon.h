@@ -105,10 +105,17 @@ class Daemon {
   class PoolTransport;
 
   /// One joiner bootstrap in flight: the transfer request retries until the
-  /// donor's snapshot chunks assemble, then the column opens over them.
+  /// donor's snapshot chunks assemble, then the column opens over them. The
+  /// entry survives a failed install (the retry timer re-requests) and is
+  /// only erased once the transferred journals are durably committed.
   struct PendingJoin {
     ProcessId slot{};   // shard-local id we are adopting
     ProcessId donor{};  // pool id serving the snapshot
+    /// The group's assignment row BEFORE the plan adopted us: persisted in
+    /// place of the live row until the transfer commits, so a joiner that
+    /// crashes mid-transfer restarts without the slot (and the next pool
+    /// view re-plans the move) instead of serving an empty column.
+    shard::ShardAssignment prior;
     shard::SnapshotAssembler assembler;
   };
 
@@ -117,7 +124,8 @@ class Daemon {
                       std::uint64_t handoff_next);
   void build_pool_group();
   void apply_pool_view(const View& view);
-  void start_join(std::uint32_t group, ProcessId slot, ProcessId donor);
+  void start_join(std::uint32_t group, ProcessId slot, ProcessId donor,
+                  const shard::ShardAssignment& prior);
   void request_join(std::uint32_t group);
   void finish_join(std::uint32_t group, const Bytes& encoded);
   void handle_transfer(ProcessId from, const shard::TransferFrame& frame);
@@ -144,6 +152,10 @@ class Daemon {
   std::unique_ptr<storage::FileStableStore> pool_store_;
   std::unique_ptr<vsys::VsNode> pool_vs_;
   std::map<std::uint32_t, PendingJoin> joins_;
+  /// Transfer-request nonce, monotone across every join this daemon runs:
+  /// each kRequest gets a fresh episode so the assembler can tell two donor
+  /// answers apart (and discard superseded ones).
+  std::uint32_t xfer_episode_ = 0;
   std::uint64_t migrations_ = 0;
   obs::MetricsRegistry metrics_;
   int ctl_fd_ = -1;

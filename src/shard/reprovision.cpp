@@ -86,6 +86,7 @@ Bytes encode_transfer(const TransferFrame& f) {
   w.u8(static_cast<std::uint8_t>(f.kind));
   w.varuint(f.group);
   w.varuint(f.slot);
+  w.varuint(f.episode);
   w.varuint(f.seq);
   w.varuint(f.total);
   w.bytes_field(f.payload);
@@ -111,6 +112,7 @@ TransferFrame decode_transfer(const Bytes& payload) {
   f.kind = static_cast<TransferKind>(kind);
   f.group = static_cast<std::uint32_t>(r.varuint());
   f.slot = static_cast<std::uint32_t>(r.varuint());
+  f.episode = static_cast<std::uint32_t>(r.varuint());
   f.seq = static_cast<std::uint32_t>(r.varuint());
   f.total = static_cast<std::uint32_t>(r.varuint());
   f.payload = r.bytes_field();
@@ -146,6 +148,7 @@ SlotSnapshot decode_snapshot(const Bytes& payload) {
 
 std::vector<TransferFrame> chunk_snapshot(std::uint32_t group,
                                           std::uint32_t slot,
+                                          std::uint32_t episode,
                                           const Bytes& encoded,
                                           std::size_t max_chunk) {
   if (max_chunk == 0) max_chunk = 1;
@@ -158,6 +161,7 @@ std::vector<TransferFrame> chunk_snapshot(std::uint32_t group,
     f.kind = TransferKind::kSnapshot;
     f.group = group;
     f.slot = slot;
+    f.episode = episode;
     f.seq = seq;
     f.total = total;
     const std::size_t begin = static_cast<std::size_t>(seq) * max_chunk;
@@ -171,17 +175,35 @@ std::vector<TransferFrame> chunk_snapshot(std::uint32_t group,
 
 bool SnapshotAssembler::add(const TransferFrame& f) {
   if (f.kind != TransferKind::kSnapshot || f.total == 0) return false;
-  if (total_ == 0) {
+  if (f.episode < episode_) return false;  // stale episode: never mix it in
+  if (f.episode > episode_ || total_ == 0) {
+    // First frame of a newer episode: whatever was partially assembled came
+    // from an answer that is now superseded — discard it wholesale.
+    reset(f.episode);
     total_ = f.total;
-    chunks_.resize(total_);
+    chunks_.assign(total_, {});
     seen_.assign(total_, false);
   }
-  if (f.total != total_ || f.seq >= total_) return false;  // stale episode
-  if (seen_[f.seq]) return false;                          // duplicate
+  // Same episode, inconsistent geometry: an honest donor sends one answer
+  // per episode, so this is corruption — drop the frame.
+  if (f.total != total_ || f.seq >= total_) return false;
+  if (seen_[f.seq]) return false;  // duplicate
   seen_[f.seq] = true;
   chunks_[f.seq] = f.payload;
   ++have_;
   return complete();
+}
+
+void SnapshotAssembler::expect(std::uint32_t episode) {
+  if (episode > episode_) reset(episode);
+}
+
+void SnapshotAssembler::reset(std::uint32_t episode) {
+  episode_ = episode;
+  chunks_.clear();
+  seen_.clear();
+  total_ = 0;
+  have_ = 0;
 }
 
 Bytes SnapshotAssembler::take() {
@@ -190,11 +212,14 @@ Bytes SnapshotAssembler::take() {
   for (const Bytes& c : chunks_) n += c.size();
   out.reserve(n);
   for (const Bytes& c : chunks_) out.insert(out.end(), c.begin(), c.end());
-  chunks_.clear();
-  seen_.clear();
-  total_ = 0;
-  have_ = 0;
+  // The floor moves PAST the episode just taken: duplicates of its chunks
+  // must not start a second assembly of the same answer.
+  reset(episode_ + 1);
   return out;
+}
+
+std::string transfer_stage_key(ProcessId slot, const char* leaf) {
+  return "xfer/" + slot.to_string() + "/" + leaf;
 }
 
 }  // namespace dvs::shard

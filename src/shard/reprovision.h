@@ -101,7 +101,7 @@ struct ReprovisionPlan {
 // collide with vsys::GroupFrame (0x47) or any bare protocol frame.
 
 constexpr std::uint8_t kTransferTag = 0x48;
-constexpr std::uint8_t kTransferVersion = 1;
+constexpr std::uint8_t kTransferVersion = 2;  // v2 added the episode nonce
 
 enum class TransferKind : std::uint8_t {
   kRequest = 1,   // joiner → survivor: send me (group, slot)'s snapshot
@@ -111,7 +111,15 @@ enum class TransferKind : std::uint8_t {
 struct TransferFrame {
   TransferKind kind = TransferKind::kRequest;
   std::uint32_t group = 0;
-  std::uint32_t slot = 0;   // shard-local id being re-provisioned
+  std::uint32_t slot = 0;  // shard-local id being re-provisioned
+  /// Request nonce: the joiner stamps every kRequest with a fresh,
+  /// monotonically increasing episode and the donor echoes it into every
+  /// chunk of its answer. The joiner retries requests on a timer while the
+  /// donor keeps serving writes, so two answers can carry legitimately
+  /// different chunk counts AND different content — without the nonce their
+  /// chunks interleave into a decodable but internally inconsistent
+  /// snapshot. SnapshotAssembler only ever assembles one episode.
+  std::uint32_t episode = 0;
   std::uint32_t seq = 0;    // chunk index (kSnapshot; 0 for kRequest)
   std::uint32_t total = 0;  // chunk count (kSnapshot; 0 for kRequest)
   Bytes payload;            // chunk bytes (kSnapshot only)
@@ -149,29 +157,50 @@ struct SlotSnapshot {
 
 /// Splits an encoded snapshot into kSnapshot frames of at most `max_chunk`
 /// payload bytes (≥1 frame even when empty, so the joiner always gets a
-/// terminating total).
+/// terminating total). `episode` is the request nonce being answered —
+/// every chunk echoes it.
 [[nodiscard]] std::vector<TransferFrame> chunk_snapshot(
-    std::uint32_t group, std::uint32_t slot, const Bytes& encoded,
-    std::size_t max_chunk);
+    std::uint32_t group, std::uint32_t slot, std::uint32_t episode,
+    const Bytes& encoded, std::size_t max_chunk);
 
-/// Reassembles chunks (any arrival order, duplicates ignored); returns the
-/// payload once every seq in [0, total) is present, nullopt-style via the
-/// bool. Used by the daemon's transfer client.
+/// Reassembles the chunks of ONE episode (any arrival order, duplicates
+/// ignored); returns the payload once every seq in [0, total) is present,
+/// nullopt-style via the bool. Frames older than the episode in progress
+/// are dropped; a frame from a NEWER episode discards the partial assembly
+/// and starts over — so an assembly only ever mixes chunks of a single
+/// donor answer. Used by the daemon's transfer client.
 class SnapshotAssembler {
  public:
   /// Returns true when the snapshot just became complete.
   bool add(const TransferFrame& f);
+  /// Quarantines everything below `episode`: clears any partial assembly
+  /// and drops future frames with a smaller nonce. Used after a failed
+  /// install so duplicates of the poisoned episode can never re-complete.
+  void expect(std::uint32_t episode);
   [[nodiscard]] bool complete() const {
     return total_ != 0 && have_ == total_;
   }
   [[nodiscard]] Bytes take();
 
  private:
+  void reset(std::uint32_t episode);
+
   std::vector<Bytes> chunks_;
   std::vector<bool> seen_;  // empty chunks are legal, so presence is explicit
+  std::uint32_t episode_ = 0;  // episode being assembled (floor for frames)
   std::uint32_t total_ = 0;
   std::uint32_t have_ = 0;
 };
+
+/// Staging namespace of a migration episode inside a column's store: the
+/// snapshot is staged here and the commit marker lives at leaf "meta". A
+/// nonempty marker flips the episode from roll-back (staged bytes are
+/// scratch, the move re-plans from the next pool view) to roll-forward
+/// (the install is idempotent and recovery re-runs it). Shared by the
+/// simulated ShardCluster and the real-transport daemon so both sides run
+/// the same cutover-atomicity discipline.
+[[nodiscard]] std::string transfer_stage_key(ProcessId slot,
+                                             const char* leaf);
 
 // ----- crash-point injection -------------------------------------------------
 

@@ -14,12 +14,12 @@ constexpr std::uint64_t kPoolRngSalt = 0x706f6f6c00005eedULL;
 /// seed (the unsharded network's), shard k gets seed ^ ((k-1) * stride).
 constexpr std::uint64_t kShardSeedStride = 0x9E3779B97F4A7C15ULL;
 
-/// Staging namespace of a migration episode inside a column's store: the
-/// snapshot is staged here, the commit marker lives at leaf "meta", and the
-/// installed journals (tosys::Cluster::storage_key) are only touched after
-/// the marker commits.
+/// Episode staging keys (see shard::transfer_stage_key): the snapshot is
+/// staged here, the commit marker lives at leaf "meta", and the installed
+/// journals (tosys::Cluster::storage_key) are only touched after the
+/// marker commits.
 std::string xfer_key(ProcessId slot, const char* leaf) {
-  return "xfer/" + slot.to_string() + "/" + leaf;
+  return transfer_stage_key(slot, leaf);
 }
 
 Bytes load_or_empty(storage::StableStore& store, const std::string& key) {

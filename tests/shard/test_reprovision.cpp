@@ -153,6 +153,7 @@ TEST(TransferCodec, FramesRoundTrip) {
   req.kind = shard::TransferKind::kRequest;
   req.group = 3;
   req.slot = 1;
+  req.episode = 17;
   const Bytes enc = shard::encode_transfer(req);
   EXPECT_TRUE(shard::looks_like_transfer_frame(enc));
   EXPECT_EQ(shard::decode_transfer(enc), req);
@@ -161,6 +162,7 @@ TEST(TransferCodec, FramesRoundTrip) {
   snap.kind = shard::TransferKind::kSnapshot;
   snap.group = 2;
   snap.slot = 0;
+  snap.episode = 17;
   snap.seq = 4;
   snap.total = 9;
   snap.payload = bytes_of({1, 2, 3, 0, 255});
@@ -170,8 +172,8 @@ TEST(TransferCodec, FramesRoundTrip) {
 TEST(TransferCodec, SniffRejectsForeignPayloads) {
   EXPECT_FALSE(shard::looks_like_transfer_frame({}));
   EXPECT_FALSE(shard::looks_like_transfer_frame(bytes_of({0x48})));
-  // Right tag, wrong version.
-  EXPECT_FALSE(shard::looks_like_transfer_frame(bytes_of({0x48, 2})));
+  // Right tag, wrong version (v1 frames had no episode nonce).
+  EXPECT_FALSE(shard::looks_like_transfer_frame(bytes_of({0x48, 1})));
   // The group-frame tag (0x47) and bare protocol frames never collide.
   EXPECT_FALSE(shard::looks_like_transfer_frame(bytes_of({0x47, 1, 0})));
 }
@@ -183,12 +185,18 @@ TEST(TransferCodec, DecodeRejectsMalformedFrames) {
   f.total = 1;
   Bytes good = shard::encode_transfer(f);
 
-  EXPECT_THROW(shard::decode_transfer(bytes_of({0x49, 1, 1, 0, 0, 0, 0, 0})),
-               DecodeError);  // bad tag
-  EXPECT_THROW(shard::decode_transfer(bytes_of({0x48, 9, 1, 0, 0, 0, 0, 0})),
-               DecodeError);  // bad version
-  EXPECT_THROW(shard::decode_transfer(bytes_of({0x48, 1, 7, 0, 0, 0, 0, 0})),
-               DecodeError);  // unknown kind
+  EXPECT_THROW(
+      shard::decode_transfer(bytes_of({0x49, 2, 1, 0, 0, 0, 0, 0, 0})),
+      DecodeError);  // bad tag
+  EXPECT_THROW(
+      shard::decode_transfer(bytes_of({0x48, 9, 1, 0, 0, 0, 0, 0, 0})),
+      DecodeError);  // bad version
+  EXPECT_THROW(
+      shard::decode_transfer(bytes_of({0x48, 1, 1, 0, 0, 0, 0, 0})),
+      DecodeError);  // v1 frame (no episode field) rejected at the version
+  EXPECT_THROW(
+      shard::decode_transfer(bytes_of({0x48, 2, 7, 0, 0, 0, 0, 0, 0})),
+      DecodeError);  // unknown kind
   Bytes trailing = good;
   trailing.push_back(std::byte{0});
   EXPECT_THROW(shard::decode_transfer(trailing), DecodeError);
@@ -218,14 +226,15 @@ TEST(TransferCodec, SnapshotRoundTripsIncludingEmptyJournals) {
 TEST(TransferCodec, ChunkingCoversEveryByteAndEmptySnapshots) {
   Bytes enc;
   for (int i = 0; i < 1000; ++i) enc.push_back(static_cast<std::byte>(i));
-  const auto frames = shard::chunk_snapshot(1, 0, enc, 64);
+  const auto frames = shard::chunk_snapshot(1, 0, /*episode=*/7, enc, 64);
   ASSERT_EQ(frames.size(), (enc.size() + 63) / 64);
   for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].episode, 7u);  // every chunk echoes the request
     EXPECT_EQ(frames[i].seq, i);
     EXPECT_EQ(frames[i].total, frames.size());
   }
   // An empty snapshot still produces one (empty) terminating frame.
-  const auto empty = shard::chunk_snapshot(1, 0, {}, 64);
+  const auto empty = shard::chunk_snapshot(1, 0, 1, {}, 64);
   ASSERT_EQ(empty.size(), 1u);
   EXPECT_TRUE(empty.front().payload.empty());
 }
@@ -233,7 +242,7 @@ TEST(TransferCodec, ChunkingCoversEveryByteAndEmptySnapshots) {
 TEST(TransferCodec, AssemblerReassemblesOutOfOrderWithDuplicates) {
   Bytes enc;
   for (int i = 0; i < 300; ++i) enc.push_back(static_cast<std::byte>(i * 7));
-  const auto frames = shard::chunk_snapshot(2, 1, enc, 32);
+  const auto frames = shard::chunk_snapshot(2, 1, /*episode=*/1, enc, 32);
   shard::SnapshotAssembler asm_;
   // Reverse arrival order, every frame delivered twice.
   for (std::size_t i = frames.size(); i-- > 0;) {
@@ -244,19 +253,66 @@ TEST(TransferCodec, AssemblerReassemblesOutOfOrderWithDuplicates) {
   EXPECT_TRUE(asm_.complete());
   EXPECT_EQ(asm_.take(), enc);
   EXPECT_FALSE(asm_.complete());  // take() resets for the next episode
+  // Late duplicates of the taken episode never start a second assembly.
+  EXPECT_FALSE(asm_.add(frames[0]));
+  EXPECT_FALSE(asm_.complete());
 }
 
-TEST(TransferCodec, AssemblerIgnoresStaleEpisodes) {
-  const auto a = shard::chunk_snapshot(1, 0, bytes_of({1, 2, 3, 4}), 2);
-  ASSERT_EQ(a.size(), 2u);
+TEST(TransferCodec, AssemblerNeverMixesEpisodes) {
+  // Two answers to retried requests: same geometry, different content —
+  // exactly the interleaving that used to assemble a decodable but
+  // internally inconsistent snapshot.
+  const auto ep1 = shard::chunk_snapshot(1, 0, 1, bytes_of({1, 2, 3, 4}), 2);
+  const auto ep2 = shard::chunk_snapshot(1, 0, 2, bytes_of({5, 6, 7, 8}), 2);
+  ASSERT_EQ(ep1.size(), 2u);
   shard::SnapshotAssembler asm_;
-  EXPECT_FALSE(asm_.add(a[0]));
-  // A frame from a different episode (different total) must not corrupt the
-  // assembly in flight.
-  const auto other = shard::chunk_snapshot(1, 0, bytes_of({9}), 1);
-  EXPECT_FALSE(asm_.add(other[0]));
-  EXPECT_TRUE(asm_.add(a[1]));
+  EXPECT_FALSE(asm_.add(ep1[0]));
+  // A frame from a NEWER episode supersedes the partial assembly...
+  EXPECT_FALSE(asm_.add(ep2[1]));
+  // ...so the older episode's chunks are dropped, not mixed in.
+  EXPECT_FALSE(asm_.add(ep1[1]));
+  EXPECT_FALSE(asm_.complete());
+  EXPECT_TRUE(asm_.add(ep2[0]));
+  EXPECT_EQ(asm_.take(), bytes_of({5, 6, 7, 8}));
+
+  // A donor whose state grew between answers ships a different chunk count:
+  // the new episode replaces the old assembly wholesale.
+  const auto small = shard::chunk_snapshot(1, 0, 3, bytes_of({9, 9, 9}), 2);
+  const auto grown =
+      shard::chunk_snapshot(1, 0, 4, bytes_of({1, 2, 3, 4, 5}), 2);
+  EXPECT_FALSE(asm_.add(small[0]));
+  for (const auto& f : grown) asm_.add(f);
+  EXPECT_TRUE(asm_.complete());
+  EXPECT_EQ(asm_.take(), bytes_of({1, 2, 3, 4, 5}));
+
+  // Same episode, inconsistent geometry (an honest donor sends one answer
+  // per episode): the frame is dropped as corrupt.
+  const auto e5 = shard::chunk_snapshot(1, 0, 5, bytes_of({1, 2, 3, 4}), 2);
+  shard::TransferFrame forged = e5[1];
+  forged.total = 3;
+  EXPECT_FALSE(asm_.add(e5[0]));
+  EXPECT_FALSE(asm_.add(forged));
+  EXPECT_TRUE(asm_.add(e5[1]));
   EXPECT_EQ(asm_.take(), bytes_of({1, 2, 3, 4}));
+}
+
+TEST(TransferCodec, AssemblerExpectQuarantinesPoisonedEpisodes) {
+  // After a failed install the joiner quarantines everything it asked for
+  // so far: duplicates of the poisoned episode must never re-complete.
+  const auto ep1 = shard::chunk_snapshot(1, 0, 1, bytes_of({1, 2, 3}), 2);
+  ASSERT_EQ(ep1.size(), 2u);
+  shard::SnapshotAssembler asm_;
+  EXPECT_FALSE(asm_.add(ep1[0]));
+  EXPECT_TRUE(asm_.add(ep1[1]));
+  (void)asm_.take();
+  asm_.expect(2);
+  for (const auto& f : ep1) EXPECT_FALSE(asm_.add(f));
+  EXPECT_FALSE(asm_.complete());
+  // The re-requested episode assembles normally.
+  const auto ep2 = shard::chunk_snapshot(1, 0, 2, bytes_of({4, 5, 6}), 2);
+  EXPECT_FALSE(asm_.add(ep2[0]));
+  EXPECT_TRUE(asm_.add(ep2[1]));
+  EXPECT_EQ(asm_.take(), bytes_of({4, 5, 6}));
 }
 
 // ===== 2. router pool-view regression ========================================
